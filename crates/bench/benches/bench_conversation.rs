@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the conversational substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use matilda_conversation::prelude::*;
+use matilda_conversation::vocab;
+use matilda_datagen::prelude::*;
+
+fn bench_nlu(c: &mut Criterion) {
+    let messages = [
+        "I want to predict 'price' for my customers",
+        "show me a summary of the data",
+        "no, skip that and fill the missing values",
+        "how accurate is it now?",
+        "surprise me with something creative",
+    ];
+    c.bench_function("conversation/parse_intent", |b| {
+        b.iter(|| {
+            for m in &messages {
+                black_box(parse(black_box(m)));
+            }
+        })
+    });
+    c.bench_function("conversation/normalize", |b| {
+        b.iter(|| black_box(vocab::normalize(black_box(messages[0]))))
+    });
+}
+
+fn bench_dialogue(c: &mut Criterion) {
+    let df = blobs(&BlobsConfig {
+        n_rows: 200,
+        n_classes: 2,
+        ..Default::default()
+    });
+    c.bench_function("conversation/full_scripted_dialogue", |b| {
+        b.iter(|| {
+            let mut d = Dialogue::new(UserProfile::novice("Ada", "urbanism"), &df);
+            d.handle("predict 'label'").unwrap();
+            let mut guard = 0;
+            while matches!(d.state(), DialogueState::InPhase(_)) && guard < 20 {
+                d.handle("yes").unwrap();
+                guard += 1;
+            }
+            black_box(d.draft().cloned())
+        })
+    });
+    c.bench_function("conversation/suggestions_per_phase", |b| {
+        let profile = matilda_pipeline::registry::DataProfile::from_frame(&df, "label", true);
+        let user = UserProfile::data_scientist("e");
+        b.iter(|| {
+            let mut n = 0usize;
+            let mut next_id = || {
+                n += 1;
+                format!("s{n}")
+            };
+            black_box(suggestions_for(
+                matilda_pipeline::Phase::Prepare,
+                &profile,
+                &user,
+                &mut next_id,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_nlu, bench_dialogue);
+criterion_main!(benches);

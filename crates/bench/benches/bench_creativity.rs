@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for the creativity engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use matilda_creativity::prelude::*;
+use matilda_creativity::search::{search, SearchConfig};
+use matilda_creativity::{grammar, mutate};
+use matilda_datagen::prelude::*;
+use matilda_pipeline::fingerprint::descriptor;
+use matilda_pipeline::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generation(c: &mut Criterion) {
+    let profile = DataProfile {
+        n_rows: 500,
+        n_numeric: 6,
+        n_categorical: 1,
+        n_nulls: 10,
+        classification: true,
+        max_skewness: 0.5,
+    };
+    let task = Task::Classification { target: "y".into() };
+    c.bench_function("creativity/random_spec", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(grammar::random_spec(&task, &profile, &mut rng)))
+    });
+    c.bench_function("creativity/random_mutation", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = PipelineSpec::default_classification("y");
+        b.iter(|| black_box(mutate::random_mutation(&spec, &profile, &mut rng)))
+    });
+}
+
+fn bench_archive(c: &mut Criterion) {
+    let archive = Archive::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let profile = DataProfile {
+        n_rows: 500,
+        n_numeric: 6,
+        n_categorical: 1,
+        n_nulls: 10,
+        classification: true,
+        max_skewness: 0.5,
+    };
+    let task = Task::Classification { target: "y".into() };
+    for i in 0..1_000u64 {
+        let spec = grammar::random_spec(&task, &profile, &mut rng);
+        archive.insert(i, descriptor(&spec), Some(0.5));
+    }
+    let probe = descriptor(&PipelineSpec::default_classification("y"));
+    c.bench_function("creativity/novelty_knn_1k_archive", |b| {
+        b.iter(|| black_box(archive.novelty(black_box(&probe), 5)))
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let df = moons(&MoonsConfig {
+        n_rows: 120,
+        noise: 0.15,
+        seed: 3,
+    });
+    let task = Task::Classification {
+        target: "moon".into(),
+    };
+    let config = SearchConfig {
+        population_size: 6,
+        generations: 1,
+        seed: 3,
+        ..SearchConfig::default()
+    };
+    let mut group = c.benchmark_group("creativity");
+    group.sample_size(10);
+    group.bench_function("search_1gen_pop6", |b| {
+        b.iter(|| black_box(search(&task, &df, &config).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_archive, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the data substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use matilda_data::prelude::*;
+use matilda_datagen::prelude::*;
+
+fn frame_10k() -> DataFrame {
+    blobs_with_noise(
+        &BlobsConfig {
+            n_rows: 10_000,
+            n_classes: 4,
+            separation: 4.0,
+            spread: 1.2,
+            ..Default::default()
+        },
+        3,
+    )
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let df = frame_10k();
+    let text = write_csv_str(&df, ',');
+    c.bench_function("data/csv_write_10k", |b| {
+        b.iter(|| black_box(write_csv_str(black_box(&df), ',')))
+    });
+    c.bench_function("data/csv_parse_10k", |b| {
+        b.iter(|| black_box(read_csv_str(black_box(&text), &CsvOptions::default()).unwrap()))
+    });
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let df = frame_10k();
+    c.bench_function("data/describe_10k", |b| {
+        b.iter(|| black_box(describe(black_box(&df))))
+    });
+    c.bench_function("data/filter_10k", |b| {
+        b.iter(|| {
+            black_box(
+                df.filter_column("f0", |v| v.as_f64().is_some_and(|x| x > 2.0))
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("data/sort_10k", |b| {
+        b.iter(|| black_box(df.sort_by("f1").unwrap()))
+    });
+    c.bench_function("data/groupby_10k", |b| {
+        b.iter(|| {
+            black_box(group_by(&df, "label", &[("f0", Agg::Mean), ("f1", Agg::Std)]).unwrap())
+        })
+    });
+    c.bench_function("data/train_test_split_10k", |b| {
+        b.iter(|| black_box(train_test_split(&df, 0.25, 7).unwrap()))
+    });
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let clean = frame_10k();
+    let df = inject_mcar(&clean, 0.1, &["label"], 3);
+    c.bench_function("data/impute_10k", |b| {
+        b.iter(|| black_box(impute_frame(black_box(&df), &ImputeStrategy::Median).unwrap()))
+    });
+    c.bench_function("data/scale_column_10k", |b| {
+        b.iter(|| black_box(scale(clean.column("f0").unwrap(), ScaleStrategy::Standard).unwrap()))
+    });
+    c.bench_function("data/one_hot_10k", |b| {
+        b.iter(|| black_box(one_hot_frame(black_box(&clean), &[]).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_csv, bench_ops, bench_transform);
+criterion_main!(benches);

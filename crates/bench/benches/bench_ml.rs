@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the ML substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use matilda_datagen::prelude::*;
+use matilda_ml::kmeans::KMeans;
+use matilda_ml::prelude::*;
+
+fn dataset_1k() -> Dataset {
+    let df = blobs_with_noise(
+        &BlobsConfig {
+            n_rows: 1_000,
+            n_classes: 3,
+            separation: 4.0,
+            spread: 1.5,
+            ..Default::default()
+        },
+        3,
+    );
+    Dataset::classification(&df, &["f0", "f1", "noise0", "noise1", "noise2"], "label")
+        .expect("dataset")
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let data = dataset_1k();
+    let y = data.y_classes().expect("classes");
+    let fit = |spec: &ModelSpec| {
+        let mut m = spec.build_classifier().expect("classifier");
+        m.fit(&data.x, &y).expect("fit");
+        m
+    };
+    c.bench_function("ml/fit_tree_1k", |b| {
+        b.iter(|| {
+            black_box(fit(&ModelSpec::Tree {
+                max_depth: 6,
+                min_samples_split: 4,
+            }))
+        })
+    });
+    c.bench_function("ml/fit_forest10_1k", |b| {
+        b.iter(|| {
+            black_box(fit(&ModelSpec::Forest {
+                n_trees: 10,
+                max_depth: 5,
+                feature_fraction: 0.8,
+                seed: 1,
+            }))
+        })
+    });
+    c.bench_function("ml/fit_logistic_1k", |b| {
+        b.iter(|| {
+            black_box(fit(&ModelSpec::Logistic {
+                learning_rate: 0.3,
+                epochs: 50,
+                l2: 1e-3,
+            }))
+        })
+    });
+    c.bench_function("ml/fit_nb_1k", |b| {
+        b.iter(|| black_box(fit(&ModelSpec::GaussianNb)))
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = dataset_1k();
+    let y = data.y_classes().expect("classes");
+    let mut forest = ModelSpec::Forest {
+        n_trees: 20,
+        max_depth: 6,
+        feature_fraction: 0.8,
+        seed: 1,
+    }
+    .build_classifier()
+    .expect("classifier");
+    forest.fit(&data.x, &y).expect("fit");
+    c.bench_function("ml/predict_forest20_1k", |b| {
+        b.iter(|| black_box(forest.predict(black_box(&data.x)).unwrap()))
+    });
+    let mut knn = ModelSpec::Knn { k: 5 }
+        .build_classifier()
+        .expect("classifier");
+    knn.fit(&data.x, &y).expect("fit");
+    c.bench_function("ml/predict_knn5_100", |b| {
+        b.iter(|| black_box(knn.predict(black_box(&data.x[..100])).unwrap()))
+    });
+}
+
+fn bench_cv_and_clustering(c: &mut Criterion) {
+    let data = dataset_1k();
+    c.bench_function("ml/cv3_tree_1k", |b| {
+        b.iter(|| {
+            black_box(
+                cross_validate(
+                    &ModelSpec::Tree {
+                        max_depth: 5,
+                        min_samples_split: 4,
+                    },
+                    &data,
+                    3,
+                    Scoring::Accuracy,
+                    7,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    c.bench_function("ml/kmeans3_1k", |b| {
+        b.iter(|| {
+            let mut km = KMeans::new(3, 50, 7);
+            black_box(km.fit(black_box(&data.x)).unwrap())
+        })
+    });
+    c.bench_function("ml/pca2_1k", |b| {
+        b.iter(|| black_box(Pca::fit(black_box(&data.x), 2).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_predict, bench_cv_and_clustering);
+criterion_main!(benches);

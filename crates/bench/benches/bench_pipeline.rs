@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for pipeline validation and execution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use matilda_datagen::prelude::*;
+use matilda_pipeline::prelude::*;
+
+fn frame() -> matilda_data::DataFrame {
+    let clean = blobs_with_noise(
+        &BlobsConfig {
+            n_rows: 2_000,
+            n_classes: 3,
+            separation: 4.0,
+            spread: 1.5,
+            ..Default::default()
+        },
+        3,
+    );
+    inject_mcar(&clean, 0.05, &["label"], 3)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let df = frame();
+    let spec = PipelineSpec::default_classification("label");
+    c.bench_function("pipeline/validate_2k", |b| {
+        b.iter(|| black_box(matilda_pipeline::validate::validate(black_box(&spec), &df)))
+    });
+    c.bench_function("pipeline/run_2k", |b| {
+        b.iter(|| black_box(run(black_box(&spec), &df).unwrap()))
+    });
+    c.bench_function("pipeline/cv3_2k", |b| {
+        b.iter(|| black_box(cv_score(black_box(&spec), &df, 3).unwrap()))
+    });
+}
+
+fn bench_graph_and_fingerprint(c: &mut Criterion) {
+    let spec = PipelineSpec::default_classification("label");
+    c.bench_function("pipeline/fingerprint", |b| {
+        b.iter(|| black_box(fingerprint(black_box(&spec))))
+    });
+    c.bench_function("pipeline/descriptor", |b| {
+        b.iter(|| black_box(descriptor(black_box(&spec))))
+    });
+    c.bench_function("pipeline/graph_toposort", |b| {
+        let graph = standard_graph(&["impute", "one_hot", "scale", "select_k_best"]);
+        b.iter(|| black_box(graph.topological_order().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_graph_and_fingerprint);
+criterion_main!(benches);

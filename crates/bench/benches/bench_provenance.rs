@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the provenance store.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use matilda_provenance::graph::ProvGraph;
+use matilda_provenance::prelude::*;
+use matilda_provenance::{json, query};
+
+fn sample_log(n: usize) -> Vec<Event> {
+    let r = Recorder::new();
+    r.record(EventKind::SessionStarted {
+        session: "bench".into(),
+        dataset: "d".into(),
+        research_question: "q".into(),
+    });
+    for i in 0..n {
+        r.record(EventKind::SuggestionMade {
+            suggestion_id: format!("s{i}"),
+            by: Actor::Conversation,
+            content: format!("content {i}"),
+            pattern: None,
+        });
+        r.record(EventKind::SuggestionDecided {
+            suggestion_id: format!("s{i}"),
+            adopted: i % 3 != 0,
+            reason: String::new(),
+        });
+        if i % 20 == 19 {
+            r.record(EventKind::PipelineProposed {
+                fingerprint: i as u64,
+                canonical: "c".into(),
+                by: Actor::Creativity,
+            });
+            r.record(EventKind::PipelineExecuted {
+                fingerprint: i as u64,
+                score: 0.7,
+                scoring: "f1".into(),
+            });
+        }
+    }
+    r.record(EventKind::SessionClosed {
+        final_fingerprint: None,
+    });
+    r.snapshot()
+}
+
+fn bench_record(c: &mut Criterion) {
+    c.bench_function("provenance/record_1k_events", |b| {
+        b.iter(|| black_box(sample_log(500)))
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let log = sample_log(500);
+    c.bench_function("provenance/audit_1k", |b| {
+        b.iter(|| black_box(matilda_provenance::quality::audit(black_box(&log))))
+    });
+    c.bench_function("provenance/graph_build_1k", |b| {
+        b.iter(|| black_box(ProvGraph::from_events(black_box(&log))))
+    });
+    c.bench_function("provenance/actor_stats_1k", |b| {
+        b.iter(|| black_box(query::actor_stats(black_box(&log))))
+    });
+    c.bench_function("provenance/jsonl_export_1k", |b| {
+        b.iter(|| black_box(json::log_to_jsonl(black_box(&log))))
+    });
+}
+
+criterion_group!(benches, bench_record, bench_queries);
+criterion_main!(benches);

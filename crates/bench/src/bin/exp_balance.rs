@@ -1,0 +1,81 @@
+//! E2 — the known/unknown balance: sweep the exploration weight lambda and
+//! measure design value and design-space coverage, plus the fixed-vs-
+//! decaying schedule ablation the paper's "strike the right balance"
+//! challenge calls for.
+
+use matilda_bench::{experiment_datasets, f3, header, row};
+use matilda_creativity::search::{search, SearchConfig};
+use matilda_creativity::BalanceSchedule;
+use matilda_pipeline::Task;
+
+fn config(balance: BalanceSchedule, seed: u64) -> SearchConfig {
+    SearchConfig {
+        population_size: 10,
+        generations: 5,
+        balance,
+        seed,
+        ..SearchConfig::default()
+    }
+}
+
+fn main() {
+    println!("# E2: exploration-exploitation balance sweep\n");
+    header(&[
+        "dataset",
+        "lambda",
+        "best_value",
+        "mean_value",
+        "designs_seen",
+        "evaluations",
+    ]);
+    for (name, df, target) in experiment_datasets() {
+        let task = Task::Classification {
+            target: target.into(),
+        };
+        for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let outcome = search(&task, &df, &config(BalanceSchedule::Fixed(lambda), 3))
+                .expect("search runs");
+            let last = outcome.history.last().expect("history");
+            row(&[
+                name.to_string(),
+                f3(lambda),
+                f3(last.best_value),
+                f3(last.mean_value),
+                last.archive_size.to_string(),
+                outcome.evaluations.to_string(),
+            ]);
+        }
+    }
+
+    println!("\n## ablation: fixed(0.5) vs decaying(0.8 -> 0) schedule");
+    header(&["dataset", "schedule", "best_value", "designs_seen"]);
+    for (name, df, target) in experiment_datasets() {
+        let task = Task::Classification {
+            target: target.into(),
+        };
+        for (label, balance) in [
+            ("fixed_0.5", BalanceSchedule::Fixed(0.5)),
+            (
+                "decaying",
+                BalanceSchedule::Decaying {
+                    initial: 0.8,
+                    decay: 0.7,
+                },
+            ),
+        ] {
+            let outcome = search(&task, &df, &config(balance, 3)).expect("search runs");
+            let last = outcome.history.last().expect("history");
+            row(&[
+                name.to_string(),
+                label.to_string(),
+                f3(last.best_value),
+                last.archive_size.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "\nexpectation (paper): pure exploitation (lambda=0) underexplores, pure \
+         exploration (lambda=1) wastes budget; intermediate/decaying schedules \
+         should dominate on at least the harder datasets."
+    );
+}

@@ -1,0 +1,109 @@
+//! E9 — conversational efficiency: rounds of dialogue needed to reach a
+//! quality target, versus a no-conversation random-design baseline's
+//! evaluation count, plus acceptance rates by expertise.
+
+use matilda_bench::{experiment_datasets, f3, header, row};
+use matilda_conversation::prelude::*;
+use matilda_core::prelude::*;
+use matilda_creativity::grammar;
+use matilda_creativity::prelude::Evaluator;
+use matilda_pipeline::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TARGET: f64 = 0.75;
+
+/// Random-design baseline: how many evaluated designs until one crosses
+/// the target CV score?
+fn random_baseline(df: &matilda_data::DataFrame, target_col: &str, seed: u64) -> Option<usize> {
+    let task = Task::Classification {
+        target: target_col.into(),
+    };
+    let profile = DataProfile::from_frame(df, target_col, true);
+    let evaluator = Evaluator::new(df.clone(), 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 1..=60 {
+        let spec = grammar::random_spec(&task, &profile, &mut rng);
+        if evaluator.value(&spec) >= TARGET {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn main() {
+    println!("# E9: conversational effort vs blind search (target score {TARGET})\n");
+    let platform = Matilda::new(PlatformConfig::default());
+    header(&[
+        "dataset",
+        "mode",
+        "rounds_or_evals",
+        "reached_target",
+        "final_score",
+    ]);
+    for (name, df, target) in experiment_datasets() {
+        // Conversational: a trusting novice follows the suggestions.
+        let mut persona = Persona::trusting_novice(target, 19);
+        match platform.design_conversational(&df, &mut persona, "rq") {
+            Ok(outcome) => {
+                row(&[
+                    name.to_string(),
+                    "conversation".into(),
+                    outcome.rounds.to_string(),
+                    (outcome.report.test_score >= TARGET).to_string(),
+                    f3(outcome.report.test_score),
+                ]);
+            }
+            Err(e) => row(&[
+                name.to_string(),
+                "conversation".into(),
+                format!("failed: {e}"),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+        // Baseline: random designs until the target falls.
+        let evals = random_baseline(&df, target, 19);
+        row(&[
+            name.to_string(),
+            "random_search".into(),
+            evals.map_or("60+ (never)".into(), |n| n.to_string()),
+            evals.is_some().to_string(),
+            "-".into(),
+        ]);
+    }
+
+    println!("\n## suggestion acceptance by expertise (moons)");
+    let (_, df, target) = experiment_datasets().into_iter().nth(1).expect("moons");
+    header(&["expertise", "acceptance_rate", "rounds", "score"]);
+    for (expertise, base_accept) in [
+        (Expertise::Novice, 0.85),
+        (Expertise::Analyst, 0.7),
+        (Expertise::DataScientist, 0.55),
+    ] {
+        let profile = match expertise {
+            Expertise::Novice => UserProfile::novice("n", "urbanism"),
+            Expertise::Analyst => UserProfile::new("a", Expertise::Analyst, "planning", 0.5),
+            Expertise::DataScientist => UserProfile::data_scientist("d"),
+        };
+        let mut persona = Persona::new(profile, target, base_accept, 0.2, 31);
+        match platform.design_conversational(&df, &mut persona, "rq") {
+            Ok(outcome) => row(&[
+                expertise.name().to_string(),
+                f3(outcome.cocreativity.conversational_acceptance),
+                outcome.rounds.to_string(),
+                f3(outcome.report.test_score),
+            ]),
+            Err(e) => row(&[
+                expertise.name().to_string(),
+                format!("failed: {e}"),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    println!(
+        "\nexpectation (paper): the step-by-step loop reaches usable designs in a \
+         handful of rounds, comparable to or cheaper than blind random design."
+    );
+}

@@ -1,0 +1,129 @@
+//! E7 — the urban public-policy case study: sweep the intervention effect
+//! size and check (a) that the before/after behavioural change detection
+//! tracks it and (b) that the recovered footfall effect matches the
+//! generator's ground truth.
+
+use matilda_bench::{f3, header, row};
+use matilda_data::groupby::{group_by, Agg};
+use matilda_datagen::prelude::*;
+use matilda_datagen::urban::truth;
+use matilda_ml::prelude::*;
+use matilda_pipeline::prelude::*;
+
+fn main() {
+    println!("# E7: urban policy study — effect recovery\n");
+
+    println!("## behavioural change detection vs intervention strength");
+    header(&["drift", "cv_accuracy", "interpretation"]);
+    for drift in [0.0, 0.25, 0.5, 1.0, 2.0] {
+        let df = behaviour_patterns(&BehaviourConfig {
+            n_individuals: 200,
+            drift,
+            seed: 9,
+        });
+        let data = Dataset::classification(
+            &df,
+            &[
+                "dwell_minutes",
+                "n_zone_visits",
+                "zone_entropy",
+                "car_transit_minutes",
+            ],
+            "period",
+        )
+        .expect("dataset");
+        let cv = cross_validate(
+            &ModelSpec::Logistic {
+                learning_rate: 0.3,
+                epochs: 150,
+                l2: 1e-3,
+            },
+            &data,
+            5,
+            Scoring::Accuracy,
+            0,
+        )
+        .expect("cv");
+        let interpretation = if cv.mean > 0.8 {
+            "clear change"
+        } else if cv.mean > 0.62 {
+            "weak change"
+        } else {
+            "no detectable change"
+        };
+        row(&[f3(drift), f3(cv.mean), interpretation.into()]);
+    }
+
+    println!("\n## ground-truth effect recovery from the observation panel");
+    header(&[
+        "effect_size",
+        "footfall_delta",
+        "ground_truth",
+        "co2_delta",
+        "re_delta",
+    ]);
+    for effect in [0.0, 0.1, 0.2, 0.3] {
+        let panel = urban_panel(&UrbanConfig {
+            effect_size: effect,
+            noise: 1.0,
+            ..Default::default()
+        });
+        let treated = panel
+            .filter_column("treated", |v| v.as_str() == Some("yes"))
+            .expect("filter");
+        let by_period = group_by(
+            &treated,
+            "period",
+            &[
+                ("footfall", Agg::Mean),
+                ("co2", Agg::Mean),
+                ("real_estate_index", Agg::Mean),
+            ],
+        )
+        .expect("group");
+        let delta = |col: usize| {
+            by_period.row(1).expect("after")[col].as_f64().expect("f64")
+                - by_period.row(0).expect("before")[col]
+                    .as_f64()
+                    .expect("f64")
+        };
+        row(&[
+            f3(effect),
+            f3(delta(1)),
+            f3(truth::FOOTFALL_PER_PED * effect),
+            f3(delta(2)),
+            f3(delta(3)),
+        ]);
+    }
+
+    println!("\n## can a pipeline predict footfall from district traits?");
+    let panel = urban_panel(&UrbanConfig {
+        effect_size: 0.25,
+        noise: 1.5,
+        ..Default::default()
+    });
+    let mut spec = PipelineSpec::default_regression("footfall");
+    spec.prep.retain(|op| op.name() != "one_hot"); // district ids are not features
+    let numeric = panel
+        .select(&[
+            "pedestrian_area",
+            "parking_slots",
+            "restaurant_density",
+            "transit_access",
+            "footfall",
+        ])
+        .expect("select");
+    let report = run(&spec, &numeric).expect("pipeline runs");
+    header(&["target", "model", "r2_heldout"]);
+    row(&[
+        "footfall".into(),
+        report.model_name.into(),
+        f3(report.test_score),
+    ]);
+    println!(
+        "\nexpectation (paper): the study quantifies how the pedestrianization \
+         changed usage; detection should track effect size and the recovered \
+         footfall delta should match {} x effect_size.",
+        truth::FOOTFALL_PER_PED
+    );
+}

@@ -1,0 +1,107 @@
+//! # matilda-bench
+//!
+//! The experiment harness regenerating the paper's artefacts (see
+//! DESIGN.md §4 for the experiment index E1–E10) plus Criterion
+//! micro-benchmarks for every substrate.
+//!
+//! Each `exp_*` binary prints a small CSV-style table to stdout;
+//! EXPERIMENTS.md records the measured outputs next to the paper's
+//! qualitative expectations.
+
+/// Print a table header row (pipe-separated, for readable CSV-ish output).
+pub fn header(columns: &[&str]) {
+    println!("{}", columns.join(" | "));
+    println!(
+        "{}",
+        columns
+            .iter()
+            .map(|c| "-".repeat(c.len()))
+            .collect::<Vec<_>>()
+            .join("-|-")
+    );
+}
+
+/// Print one table row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join(" | "));
+}
+
+/// Format a float to three decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// The standard experiment datasets: `(name, frame, target)` quadruples
+/// spanning the archetypes the patterns are expected to differ on.
+pub fn experiment_datasets() -> Vec<(&'static str, matilda_data::DataFrame, &'static str)> {
+    use matilda_datagen::prelude::*;
+    vec![
+        (
+            "blobs_noisy",
+            blobs_with_noise(
+                &BlobsConfig {
+                    n_rows: 180,
+                    n_classes: 3,
+                    separation: 5.0,
+                    spread: 1.5,
+                    ..Default::default()
+                },
+                3,
+            ),
+            "label",
+        ),
+        (
+            "moons",
+            moons(&MoonsConfig {
+                n_rows: 180,
+                noise: 0.2,
+                seed: 5,
+            }),
+            "moon",
+        ),
+        (
+            "imbalanced",
+            imbalanced(&ImbalanceConfig {
+                n_rows: 200,
+                minority_fraction: 0.15,
+                separation: 2.5,
+                seed: 5,
+            }),
+            "outcome",
+        ),
+        (
+            "questionnaire",
+            {
+                let q = questionnaire(&QuestionnaireConfig {
+                    n_respondents: 180,
+                    ..Default::default()
+                });
+                inject_mcar(&q, 0.05, &["satisfaction"], 5)
+            },
+            "satisfaction",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_available_and_valid() {
+        let sets = experiment_datasets();
+        assert_eq!(sets.len(), 4);
+        for (name, df, target) in sets {
+            assert!(df.n_rows() >= 100, "{name}");
+            assert!(
+                df.schema().index_of(target).is_some(),
+                "{name} target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f3(0.12345), "0.123");
+    }
+}

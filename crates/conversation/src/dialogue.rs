@@ -1,0 +1,723 @@
+//! The step-by-step dialogue state machine.
+//!
+//! The dialogue walks the user through the pipeline phases, presenting one
+//! suggestion at a time for adoption or rejection, exactly as the paper's
+//! platform does. It is pure conversational logic: executing pipelines and
+//! producing creative suggestions are the platform's job, surfaced here as
+//! [`DialogueEvent`]s.
+
+use crate::error::{ConversationError, Result};
+use crate::feedback::apply_to_draft;
+use crate::intent::{parse, Intent};
+use crate::profile::UserProfile;
+use crate::suggest::{suggestions_for, Suggestion};
+use crate::transcript::Transcript;
+use matilda_data::DataFrame;
+use matilda_pipeline::prelude::*;
+
+/// Where the dialogue currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DialogueState {
+    /// Waiting for the user to state a goal.
+    AwaitGoal,
+    /// Walking a phase's suggestions.
+    InPhase(Phase),
+    /// Design complete; waiting for a run/finish command.
+    ReadyToRun,
+    /// Session over.
+    Closed,
+}
+
+impl DialogueState {
+    /// Stable name for provenance.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DialogueState::AwaitGoal => "await_goal",
+            DialogueState::InPhase(_) => "in_phase",
+            DialogueState::ReadyToRun => "ready_to_run",
+            DialogueState::Closed => "closed",
+        }
+    }
+}
+
+/// Things the platform must act on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DialogueEvent {
+    /// The user fixed the analysis goal.
+    GoalSet {
+        /// The resulting task.
+        task: Task,
+    },
+    /// The design entered a new phase.
+    PhaseEntered(Phase),
+    /// A suggestion was decided.
+    SuggestionDecided {
+        /// The suggestion in question.
+        suggestion: Suggestion,
+        /// Whether the user adopted it.
+        adopted: bool,
+    },
+    /// The user asked for something creative; the platform should inject a
+    /// creative suggestion via [`Dialogue::inject_suggestion`].
+    SurpriseRequested,
+    /// The user asked to execute the current draft.
+    RunRequested {
+        /// The design to execute.
+        spec: PipelineSpec,
+    },
+    /// The user asked which features drive the result; the platform should
+    /// compute feature importance for the latest executed design.
+    DriversRequested,
+    /// The session ended.
+    Finished,
+}
+
+/// The platform's reply to one user message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DialogueResponse {
+    /// Text shown to the user.
+    pub reply: String,
+    /// Events the platform must process.
+    pub events: Vec<DialogueEvent>,
+}
+
+/// The dialogue engine.
+#[derive(Debug, Clone)]
+pub struct Dialogue {
+    user: UserProfile,
+    columns: Vec<(String, bool)>,
+    data_profile: DataProfile,
+    frame_rows: usize,
+    data_digest: String,
+    state: DialogueState,
+    draft: Option<PipelineSpec>,
+    pending: Vec<Suggestion>,
+    transcript: Transcript,
+    next_suggestion_id: usize,
+    decided: Vec<(Suggestion, bool)>,
+}
+
+impl Dialogue {
+    /// Start a dialogue for `user` over `frame`.
+    pub fn new(user: UserProfile, frame: &DataFrame) -> Self {
+        let columns: Vec<(String, bool)> = frame
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| (f.name.clone(), f.dtype.is_numeric()))
+            .collect();
+        // Until a goal is set, profile with no target.
+        let data_profile = DataProfile::from_frame(frame, "", true);
+        let data_digest = Self::digest(frame);
+        let mut transcript = Transcript::new();
+        let opening = format!(
+            "Hello {}! I can help you explore your {} data and design a study. \
+             What would you like to predict? (Mention a column in quotes, e.g. 'price'.)",
+            user.name, user.domain
+        );
+        transcript.matilda(&opening);
+        Self {
+            user,
+            columns,
+            data_profile,
+            frame_rows: frame.n_rows(),
+            data_digest,
+            state: DialogueState::AwaitGoal,
+            draft: None,
+            pending: Vec::new(),
+            transcript,
+            next_suggestion_id: 0,
+            decided: Vec::new(),
+        }
+    }
+
+    /// A compact human-readable overview of the frame, computed once.
+    fn digest(frame: &DataFrame) -> String {
+        let nulls = frame.null_count();
+        let mut parts = vec![format!(
+            "{} rows and {} columns{}",
+            frame.n_rows(),
+            frame.n_cols(),
+            if nulls > 0 {
+                format!(" ({nulls} missing values)")
+            } else {
+                String::new()
+            }
+        )];
+        for (name, summary) in matilda_data::stats::describe(frame).into_iter().take(4) {
+            parts.push(format!(
+                "{name}: typically {:.2} (ranges {:.2} to {:.2})",
+                summary.median, summary.min, summary.max
+            ));
+        }
+        let categorical: Vec<String> = frame
+            .schema()
+            .non_numeric_names()
+            .iter()
+            .take(3)
+            .map(|n| {
+                let distinct = frame.column(n).map(|c| c.n_unique()).unwrap_or(0);
+                format!("{n}: {distinct} kinds")
+            })
+            .collect();
+        if !categorical.is_empty() {
+            parts.push(categorical.join("; "));
+        }
+        parts.join(". ")
+    }
+
+    /// The data overview shown on request ("show me the data").
+    pub fn data_overview(&self) -> &str {
+        &self.data_digest
+    }
+
+    /// The opening line shown before any user input.
+    pub fn opening(&self) -> &str {
+        &self.transcript.turns()[0].text
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DialogueState {
+        self.state
+    }
+
+    /// The working design, once a goal is set.
+    pub fn draft(&self) -> Option<&PipelineSpec> {
+        self.draft.as_ref()
+    }
+
+    /// Full transcript so far.
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
+    /// All decided suggestions as `(suggestion, adopted)`.
+    pub fn decisions(&self) -> &[(Suggestion, bool)] {
+        &self.decided
+    }
+
+    /// The suggestion currently awaiting a decision.
+    pub fn pending_suggestion(&self) -> Option<&Suggestion> {
+        self.pending.first()
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_suggestion_id += 1;
+        format!("sug-{}", self.next_suggestion_id)
+    }
+
+    /// Put a (typically creative) suggestion at the front of the queue.
+    pub fn inject_suggestion(&mut self, mut suggestion: Suggestion) -> Result<()> {
+        match self.state {
+            DialogueState::InPhase(_) | DialogueState::ReadyToRun => {
+                suggestion.id = self.fresh_id();
+                if self.state == DialogueState::ReadyToRun {
+                    // Re-open the phase the suggestion belongs to.
+                    self.state = DialogueState::InPhase(suggestion.phase);
+                }
+                self.pending.insert(0, suggestion);
+                Ok(())
+            }
+            _ => Err(ConversationError::BadState {
+                state: self.state.name(),
+                action: "inject a suggestion".into(),
+            }),
+        }
+    }
+
+    fn enter_phase(&mut self, phase: Phase, events: &mut Vec<DialogueEvent>) -> String {
+        self.state = DialogueState::InPhase(phase);
+        events.push(DialogueEvent::PhaseEntered(phase));
+        let mut counter = {
+            let mut n = self.next_suggestion_id;
+            move || {
+                n += 1;
+                format!("sug-{n}")
+            }
+        };
+        let mut pending = suggestions_for(phase, &self.data_profile, &self.user, &mut counter);
+        self.next_suggestion_id += pending.len();
+        // The Explore phase is informational: no adoption question.
+        if phase == Phase::Explore {
+            pending.clear();
+        }
+        self.pending = pending;
+        match self.pending.first() {
+            Some(s) => format!(
+                "We are now in the '{phase}' step: {}.\nSuggestion: {} — shall we? (yes/no)",
+                phase.describe(),
+                s.text
+            ),
+            None => {
+                // Nothing to ask: advance immediately.
+                match phase.next() {
+                    Some(next) if phase != Phase::Assess => {
+                        let intro = format!(
+                            "I took a look at your data: {} rows, {} columns. ",
+                            self.frame_rows,
+                            self.columns.len()
+                        );
+                        let rest = self.enter_phase(next, events);
+                        format!("{intro}{rest}")
+                    }
+                    _ => self.finish_design(),
+                }
+            }
+        }
+    }
+
+    fn finish_design(&mut self) -> String {
+        self.state = DialogueState::ReadyToRun;
+        let summary = self
+            .draft
+            .as_ref()
+            .map(|d| d.summary())
+            .unwrap_or_else(|| "an empty design".to_string());
+        format!(
+            "The design is ready: {summary}. Say 'run' to execute it, \
+             'surprise me' for a creative alternative, or 'done' to stop."
+        )
+    }
+
+    fn advance_after_decision(&mut self, events: &mut Vec<DialogueEvent>) -> String {
+        if let Some(next) = self.pending.first() {
+            return format!("Next suggestion: {} — shall we? (yes/no)", next.text);
+        }
+        // Round exhausted: move to the next phase.
+        let DialogueState::InPhase(phase) = self.state else {
+            return self.finish_design();
+        };
+        match phase.next() {
+            Some(next) => self.enter_phase(next, events),
+            None => self.finish_design(),
+        }
+    }
+
+    fn decide(&mut self, adopted: bool, events: &mut Vec<DialogueEvent>) -> Result<String> {
+        let suggestion = match self.pending.first().cloned() {
+            Some(s) => s,
+            None => {
+                return Err(ConversationError::BadState {
+                    state: self.state.name(),
+                    action: "decide with no pending suggestion".into(),
+                })
+            }
+        };
+        self.pending.remove(0);
+        if adopted {
+            if let Some(draft) = self.draft.as_mut() {
+                apply_to_draft(draft, &suggestion)?;
+            }
+            // Single-choice phases (fragment/train/assess): adopting one
+            // option closes the round.
+            if matches!(
+                suggestion.phase,
+                Phase::Fragment | Phase::Train | Phase::Assess
+            ) {
+                self.pending.clear();
+            }
+        }
+        self.decided.push((suggestion.clone(), adopted));
+        events.push(DialogueEvent::SuggestionDecided {
+            suggestion,
+            adopted,
+        });
+        let ack = if adopted {
+            "Done. "
+        } else {
+            "No problem, skipping that. "
+        };
+        Ok(format!("{ack}{}", self.advance_after_decision(events)))
+    }
+
+    fn set_goal(&mut self, target: Option<String>, events: &mut Vec<DialogueEvent>) -> String {
+        let Some(target) = target else {
+            let numeric: Vec<&str> = self
+                .columns
+                .iter()
+                .filter(|(_, numeric)| *numeric)
+                .map(|(n, _)| n.as_str())
+                .collect();
+            return format!(
+                "Which column should we predict? Your options include: {}. \
+                 Please name one in quotes.",
+                numeric.join(", ")
+            );
+        };
+        let Some((name, numeric)) = self.columns.iter().find(|(n, _)| *n == target).cloned() else {
+            return format!(
+                "I cannot find a column called '{target}'. The columns are: {}.",
+                self.columns
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        };
+        let task = if numeric {
+            Task::Regression {
+                target: name.clone(),
+            }
+        } else {
+            Task::Classification {
+                target: name.clone(),
+            }
+        };
+        self.data_profile.classification = task.is_classification();
+        let mut draft = if task.is_classification() {
+            PipelineSpec::default_classification(&name)
+        } else {
+            PipelineSpec::default_regression(&name)
+        };
+        draft.prep.clear(); // the conversation will build the prep chain
+        self.draft = Some(draft);
+        events.push(DialogueEvent::GoalSet { task: task.clone() });
+        let kind = if task.is_classification() {
+            "tell categories apart"
+        } else {
+            "predict a number"
+        };
+        let rest = self.enter_phase(Phase::Explore, events);
+        format!("Understood — we will {kind} for '{name}'. {rest}")
+    }
+
+    fn explain(&self) -> String {
+        if let Some(s) = self.pending.first() {
+            return match self.user.expertise.technical_language() {
+                true => format!(
+                    "This suggestion belongs to the '{}' phase ({}). It is on the table \
+                     because of your data's characteristics.",
+                    s.phase,
+                    s.phase.describe()
+                ),
+                false => format!(
+                    "We are deciding how to {}. This step helps make the final answer \
+                     about your {} question trustworthy.",
+                    s.phase.describe(),
+                    self.user.domain
+                ),
+            };
+        }
+        match self.state {
+            DialogueState::ReadyToRun => {
+                "Running will train the model on one part of your data and honestly \
+                 test it on the rest."
+                    .into()
+            }
+            _ => "Tell me what you would like to predict, and I will walk you through \
+                  each step with suggestions you can accept or reject."
+                .into(),
+        }
+    }
+
+    /// Process one user message, advancing the dialogue.
+    pub fn handle(&mut self, user_text: &str) -> Result<DialogueResponse> {
+        if self.state == DialogueState::Closed {
+            return Err(ConversationError::BadState {
+                state: self.state.name(),
+                action: "continue a closed session".into(),
+            });
+        }
+        self.transcript.user(user_text);
+        let intent = parse(user_text);
+        let mut events = Vec::new();
+        let reply = match (&self.state, intent) {
+            (_, Intent::Finish) => {
+                self.state = DialogueState::Closed;
+                events.push(DialogueEvent::Finished);
+                "Thank you for designing with me. Goodbye!".to_string()
+            }
+            (_, Intent::Explain) => self.explain(),
+            (DialogueState::AwaitGoal, Intent::SetGoal { target }) => {
+                self.set_goal(target, &mut events)
+            }
+            (DialogueState::AwaitGoal, _) => {
+                "Let's start with the goal: what would you like to predict? \
+                 Name a column in quotes."
+                    .to_string()
+            }
+            (DialogueState::InPhase(_), Intent::Accept) => self.decide(true, &mut events)?,
+            (DialogueState::InPhase(_), Intent::Reject) => self.decide(false, &mut events)?,
+            (_, Intent::SurpriseMe) => {
+                events.push(DialogueEvent::SurpriseRequested);
+                "Let me think of something less ordinary...".to_string()
+            }
+            (DialogueState::ReadyToRun, Intent::Run) | (DialogueState::InPhase(_), Intent::Run) => {
+                match &self.draft {
+                    Some(draft) => {
+                        events.push(DialogueEvent::RunRequested {
+                            spec: draft.clone(),
+                        });
+                        "Running the study now...".to_string()
+                    }
+                    None => "There is no design to run yet.".to_string(),
+                }
+            }
+            (_, Intent::SetGoal { target }) => self.set_goal(target, &mut events),
+            (_, Intent::Drivers) => {
+                events.push(DialogueEvent::DriversRequested);
+                "Let me check which of your measurements carry the signal...".to_string()
+            }
+            (_, Intent::Explore) => {
+                let follow_up = match self.pending.first() {
+                    Some(s) => format!(" The pending suggestion is: {} — yes or no?", s.text),
+                    None => String::new(),
+                };
+                format!(
+                    "Here is what your data looks like: {}.{follow_up}",
+                    self.data_digest
+                )
+            }
+            (_, _) => match self.pending.first() {
+                Some(s) => format!(
+                    "Sorry, I did not follow. The pending suggestion is: {} — yes or no?",
+                    s.text
+                ),
+                None => "Sorry, I did not follow. You can say 'run', 'surprise me', \
+                         or 'done'."
+                    .to_string(),
+            },
+        };
+        self.transcript.matilda(&reply);
+        Ok(DialogueResponse { reply, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::Column;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("age", Column::from_f64((0..40).map(f64::from).collect())),
+            (
+                "income",
+                Column::from_f64((0..40).map(|i| f64::from(i) * 2.0).collect()),
+            ),
+            (
+                "churn",
+                Column::from_categorical(
+                    &(0..40)
+                        .map(|i| if i % 2 == 0 { "yes" } else { "no" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn dialogue() -> Dialogue {
+        Dialogue::new(UserProfile::novice("Ada", "urbanism"), &frame())
+    }
+
+    #[test]
+    fn opening_greets_by_name() {
+        let d = dialogue();
+        assert!(d.opening().contains("Ada"));
+        assert_eq!(d.state(), DialogueState::AwaitGoal);
+    }
+
+    #[test]
+    fn goal_with_categorical_target_is_classification() {
+        let mut d = dialogue();
+        let r = d.handle("I want to predict 'churn'").unwrap();
+        assert!(matches!(
+            r.events.first(),
+            Some(DialogueEvent::GoalSet {
+                task: Task::Classification { .. }
+            })
+        ));
+        assert!(d.draft().is_some());
+        assert!(matches!(d.state(), DialogueState::InPhase(_)));
+    }
+
+    #[test]
+    fn goal_with_numeric_target_is_regression() {
+        let mut d = dialogue();
+        let r = d.handle("can you estimate 'income'?").unwrap();
+        assert!(matches!(
+            r.events.first(),
+            Some(DialogueEvent::GoalSet {
+                task: Task::Regression { .. }
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_target_lists_columns() {
+        let mut d = dialogue();
+        let r = d.handle("predict 'ghost'").unwrap();
+        assert!(r.reply.contains("age"));
+        assert!(r.events.is_empty());
+        assert_eq!(d.state(), DialogueState::AwaitGoal);
+    }
+
+    #[test]
+    fn goal_without_target_asks_for_one() {
+        let mut d = dialogue();
+        let r = d.handle("I want to predict something").unwrap();
+        assert!(r.reply.contains("quotes") || r.reply.contains("name one"));
+    }
+
+    #[test]
+    fn accepting_suggestions_builds_draft() {
+        let mut d = dialogue();
+        d.handle("predict 'churn'").unwrap();
+        let before = d.draft().unwrap().prep.len();
+        // Accept everything until the design is ready.
+        let mut guard = 0;
+        while matches!(d.state(), DialogueState::InPhase(_)) && guard < 30 {
+            d.handle("yes").unwrap();
+            guard += 1;
+        }
+        assert_eq!(d.state(), DialogueState::ReadyToRun);
+        assert!(d.draft().unwrap().prep.len() > before);
+        assert!(!d.decisions().is_empty());
+        assert!(d.decisions().iter().all(|(_, adopted)| *adopted));
+    }
+
+    #[test]
+    fn rejecting_everything_still_terminates() {
+        let mut d = dialogue();
+        d.handle("predict 'churn'").unwrap();
+        let mut guard = 0;
+        while matches!(d.state(), DialogueState::InPhase(_)) && guard < 30 {
+            d.handle("no").unwrap();
+            guard += 1;
+        }
+        assert_eq!(d.state(), DialogueState::ReadyToRun);
+        assert!(d.decisions().iter().all(|(_, adopted)| !*adopted));
+    }
+
+    #[test]
+    fn run_emits_event_with_spec() {
+        let mut d = dialogue();
+        d.handle("predict 'churn'").unwrap();
+        let mut guard = 0;
+        while matches!(d.state(), DialogueState::InPhase(_)) && guard < 30 {
+            d.handle("yes").unwrap();
+            guard += 1;
+        }
+        let r = d.handle("run it").unwrap();
+        assert!(matches!(
+            r.events.first(),
+            Some(DialogueEvent::RunRequested { .. })
+        ));
+    }
+
+    #[test]
+    fn surprise_me_emits_event_and_injection_works() {
+        let mut d = dialogue();
+        d.handle("predict 'churn'").unwrap();
+        let r = d.handle("surprise me").unwrap();
+        assert!(r.events.contains(&DialogueEvent::SurpriseRequested));
+        let creative = Suggestion {
+            id: "x".into(),
+            phase: Phase::Prepare,
+            action: crate::suggest::SuggestedAction::AddPrep(PrepOp::PolynomialFeatures {
+                degree: 2,
+            }),
+            text: "add squared features".into(),
+            creative: true,
+        };
+        d.inject_suggestion(creative).unwrap();
+        assert!(d.pending_suggestion().unwrap().creative);
+        let r = d.handle("yes").unwrap();
+        assert!(matches!(
+            r.events.first(),
+            Some(DialogueEvent::SuggestionDecided { adopted: true, .. })
+        ));
+        assert!(d
+            .draft()
+            .unwrap()
+            .prep
+            .iter()
+            .any(|op| matches!(op, PrepOp::PolynomialFeatures { .. })));
+    }
+
+    #[test]
+    fn finish_closes_session() {
+        let mut d = dialogue();
+        let r = d.handle("we're done").unwrap();
+        assert!(r.events.contains(&DialogueEvent::Finished));
+        assert_eq!(d.state(), DialogueState::Closed);
+        assert!(d.handle("hello?").is_err());
+    }
+
+    #[test]
+    fn explain_answers_in_context() {
+        let mut d = dialogue();
+        let r = d.handle("why?").unwrap();
+        assert!(r.reply.contains("predict"));
+        d.handle("predict 'churn'").unwrap();
+        let r = d.handle("why?").unwrap();
+        assert!(!r.reply.is_empty());
+        assert!(r.events.is_empty(), "explanations change nothing");
+    }
+
+    #[test]
+    fn explore_request_shows_data_overview() {
+        let mut d = dialogue();
+        d.handle("predict 'churn'").unwrap();
+        let r = d.handle("show me the data").unwrap();
+        assert!(r.reply.contains("40 rows"), "{}", r.reply);
+        assert!(
+            r.reply.contains("age"),
+            "numeric summaries present: {}",
+            r.reply
+        );
+        assert!(r.reply.contains("churn: 2 kinds"), "{}", r.reply);
+        // The pending suggestion is restated so the flow is not lost.
+        assert!(r.reply.contains("yes or no"), "{}", r.reply);
+        assert!(r.events.is_empty());
+    }
+
+    #[test]
+    fn data_overview_accessor() {
+        let d = dialogue();
+        assert!(d.data_overview().contains("3 columns"));
+    }
+
+    #[test]
+    fn transcript_grows() {
+        let mut d = dialogue();
+        d.handle("predict 'churn'").unwrap();
+        d.handle("yes").unwrap();
+        // opening + 2 * (user + matilda)
+        assert_eq!(d.transcript().len(), 5);
+        assert_eq!(d.transcript().user_turns(), 2);
+    }
+
+    #[test]
+    fn injection_requires_active_design() {
+        let mut d = dialogue();
+        let s = Suggestion {
+            id: "x".into(),
+            phase: Phase::Prepare,
+            action: crate::suggest::SuggestedAction::AddPrep(PrepOp::DropNulls),
+            text: "t".into(),
+            creative: true,
+        };
+        assert!(d.inject_suggestion(s).is_err(), "no goal yet");
+    }
+
+    #[test]
+    fn single_choice_phase_closes_after_adoption() {
+        let mut d = dialogue();
+        d.handle("predict 'churn'").unwrap();
+        // Walk to the fragment phase by rejecting prepare suggestions.
+        let mut guard = 0;
+        while !matches!(d.state(), DialogueState::InPhase(Phase::Fragment)) && guard < 20 {
+            d.handle("no").unwrap();
+            guard += 1;
+        }
+        assert!(matches!(d.state(), DialogueState::InPhase(Phase::Fragment)));
+        d.handle("yes").unwrap();
+        // Adopting one split option moves straight to the next phase.
+        assert!(!matches!(
+            d.state(),
+            DialogueState::InPhase(Phase::Fragment)
+        ));
+    }
+}

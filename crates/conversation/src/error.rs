@@ -1,0 +1,64 @@
+//! Error types for the conversational substrate.
+
+use std::fmt;
+
+/// Errors raised by the dialogue engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConversationError {
+    /// The dialogue cannot accept this action in its current state.
+    BadState { state: &'static str, action: String },
+    /// A referenced suggestion id does not exist or was already decided.
+    UnknownSuggestion(String),
+    /// The draft pipeline cannot be updated as requested.
+    Draft(String),
+    /// Failure in the pipeline substrate.
+    Pipeline(matilda_pipeline::PipelineError),
+}
+
+impl fmt::Display for ConversationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConversationError::BadState { state, action } => {
+                write!(f, "cannot {action} while dialogue is in state {state}")
+            }
+            ConversationError::UnknownSuggestion(id) => write!(f, "unknown suggestion: {id}"),
+            ConversationError::Draft(m) => write!(f, "draft update failed: {m}"),
+            ConversationError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConversationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConversationError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<matilda_pipeline::PipelineError> for ConversationError {
+    fn from(e: matilda_pipeline::PipelineError) -> Self {
+        ConversationError::Pipeline(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ConversationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ConversationError::BadState {
+            state: "greeting",
+            action: "execute".into(),
+        };
+        assert!(e.to_string().contains("greeting"));
+        assert!(ConversationError::UnknownSuggestion("s9".into())
+            .to_string()
+            .contains("s9"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Applying adopted suggestions to the draft design.
+
+use crate::error::{ConversationError, Result};
+use crate::suggest::{SuggestedAction, Suggestion};
+use matilda_pipeline::prelude::*;
+
+/// Apply one adopted suggestion to the draft spec.
+///
+/// Prep ops keep the no-duplicate-family invariant: adopting a second
+/// suggestion of the same family replaces the first.
+pub fn apply_to_draft(draft: &mut PipelineSpec, suggestion: &Suggestion) -> Result<()> {
+    match &suggestion.action {
+        SuggestedAction::AddPrep(op) => {
+            if let Some(existing) = draft.prep.iter_mut().find(|p| p.name() == op.name()) {
+                *existing = op.clone();
+            } else {
+                draft.prep.push(op.clone());
+            }
+        }
+        SuggestedAction::SetSplit(split) => {
+            if split.stratified && !draft.task.is_classification() {
+                return Err(ConversationError::Draft(
+                    "stratified split needs a categorical target".into(),
+                ));
+            }
+            draft.split = split.clone();
+        }
+        SuggestedAction::SetModel(model) => {
+            let ok = if draft.task.is_classification() {
+                model.supports_classification()
+            } else {
+                model.supports_regression()
+            };
+            if !ok {
+                return Err(ConversationError::Draft(format!(
+                    "model '{}' does not fit the task",
+                    model.name()
+                )));
+            }
+            draft.model = model.clone();
+        }
+        SuggestedAction::SetScoring(s) => {
+            if s.is_classification() != draft.task.is_classification() {
+                return Err(ConversationError::Draft(format!(
+                    "scoring '{}' does not fit the task",
+                    s.name()
+                )));
+            }
+            draft.scoring = *s;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::transform::ImputeStrategy;
+    use matilda_ml::{ModelSpec, Scoring};
+
+    fn suggestion(action: SuggestedAction) -> Suggestion {
+        Suggestion {
+            id: "s1".into(),
+            phase: Phase::Prepare,
+            action,
+            text: String::new(),
+            creative: false,
+        }
+    }
+
+    #[test]
+    fn add_prep_appends() {
+        let mut draft = PipelineSpec::default_classification("y");
+        draft.prep.clear();
+        apply_to_draft(
+            &mut draft,
+            &suggestion(SuggestedAction::AddPrep(PrepOp::DropNulls)),
+        )
+        .unwrap();
+        assert_eq!(draft.prep.len(), 1);
+    }
+
+    #[test]
+    fn add_prep_replaces_same_family() {
+        let mut draft = PipelineSpec::default_classification("y");
+        draft.prep = vec![PrepOp::Impute(ImputeStrategy::Mean)];
+        apply_to_draft(
+            &mut draft,
+            &suggestion(SuggestedAction::AddPrep(PrepOp::Impute(
+                ImputeStrategy::Median,
+            ))),
+        )
+        .unwrap();
+        assert_eq!(draft.prep, vec![PrepOp::Impute(ImputeStrategy::Median)]);
+    }
+
+    #[test]
+    fn set_model_capability_checked() {
+        let mut draft = PipelineSpec::default_classification("y");
+        let err = apply_to_draft(
+            &mut draft,
+            &suggestion(SuggestedAction::SetModel(ModelSpec::Linear { ridge: 0.0 })),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConversationError::Draft(_)));
+        apply_to_draft(
+            &mut draft,
+            &suggestion(SuggestedAction::SetModel(ModelSpec::Knn { k: 3 })),
+        )
+        .unwrap();
+        assert_eq!(draft.model, ModelSpec::Knn { k: 3 });
+    }
+
+    #[test]
+    fn set_scoring_task_checked() {
+        let mut draft = PipelineSpec::default_regression("price");
+        assert!(apply_to_draft(
+            &mut draft,
+            &suggestion(SuggestedAction::SetScoring(Scoring::Accuracy)),
+        )
+        .is_err());
+        apply_to_draft(
+            &mut draft,
+            &suggestion(SuggestedAction::SetScoring(Scoring::NegRmse)),
+        )
+        .unwrap();
+        assert_eq!(draft.scoring, Scoring::NegRmse);
+    }
+
+    #[test]
+    fn stratified_regression_rejected() {
+        let mut draft = PipelineSpec::default_regression("price");
+        let err = apply_to_draft(
+            &mut draft,
+            &suggestion(SuggestedAction::SetSplit(SplitSpec {
+                test_fraction: 0.3,
+                stratified: true,
+                seed: 1,
+            })),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConversationError::Draft(_)));
+    }
+}

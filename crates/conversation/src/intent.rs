@@ -1,0 +1,195 @@
+//! Rule-based intent parsing over the controlled vocabulary.
+
+use crate::vocab::{concepts_in, quoted_token};
+
+/// What the user wants, as understood by the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Intent {
+    /// State the analysis goal; target column if quoted.
+    SetGoal {
+        /// Quoted target column, when present.
+        target: Option<String>,
+    },
+    /// Ask to see data summaries.
+    Explore,
+    /// Ask to handle missing values / cleaning.
+    Clean,
+    /// Ask about fragmentation.
+    Split,
+    /// Ask how good the results are.
+    Assess,
+    /// Accept the pending suggestion.
+    Accept,
+    /// Reject the pending suggestion.
+    Reject,
+    /// Ask for an explanation.
+    Explain,
+    /// Ask which features drive the result.
+    Drivers,
+    /// Ask for something unusual — hands the floor to the creativity engine.
+    SurpriseMe,
+    /// Ask to run/train the current design.
+    Run,
+    /// End the session.
+    Finish,
+    /// Could not be understood.
+    Unknown,
+}
+
+impl Intent {
+    /// Stable name for provenance/transcripts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Intent::SetGoal { .. } => "set_goal",
+            Intent::Explore => "explore",
+            Intent::Clean => "clean",
+            Intent::Split => "split",
+            Intent::Assess => "assess",
+            Intent::Accept => "accept",
+            Intent::Reject => "reject",
+            Intent::Explain => "explain",
+            Intent::Drivers => "drivers",
+            Intent::SurpriseMe => "surprise_me",
+            Intent::Run => "run",
+            Intent::Finish => "finish",
+            Intent::Unknown => "unknown",
+        }
+    }
+}
+
+/// Parse one user message into an intent.
+///
+/// Priority order resolves ambiguity: an explicit accept/reject wins (the
+/// loop usually has a pending question), then goal statements, then the
+/// phase-specific requests, then meta requests.
+pub fn parse(text: &str) -> Intent {
+    let concepts = concepts_in(text);
+    let has = |c: &str| concepts.contains(&c);
+    // accept/reject first, but only when unaccompanied by a concrete
+    // request ("no, show me the data" is an explore request).
+    let concrete = [
+        "predict", "explore", "clean", "split", "assess", "run", "surprise",
+    ];
+    let has_concrete = concepts.iter().any(|c| concrete.contains(c));
+    if has("accept") && !has_concrete {
+        return Intent::Accept;
+    }
+    if has("reject") && !has_concrete {
+        return Intent::Reject;
+    }
+    if has("predict") {
+        return Intent::SetGoal {
+            target: quoted_token(text),
+        };
+    }
+    if has("surprise") {
+        return Intent::SurpriseMe;
+    }
+    if has("run") {
+        return Intent::Run;
+    }
+    if has("drivers") {
+        return Intent::Drivers;
+    }
+    if has("explore") {
+        return Intent::Explore;
+    }
+    if has("clean") {
+        return Intent::Clean;
+    }
+    if has("split") {
+        return Intent::Split;
+    }
+    if has("assess") {
+        return Intent::Assess;
+    }
+    if has("explain") {
+        return Intent::Explain;
+    }
+    if has("finish") {
+        return Intent::Finish;
+    }
+    Intent::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goal_with_target() {
+        assert_eq!(
+            parse("I want to predict 'churn' for my customers"),
+            Intent::SetGoal {
+                target: Some("churn".into())
+            }
+        );
+        assert_eq!(
+            parse("can we forecast demand?"),
+            Intent::SetGoal { target: None }
+        );
+    }
+
+    #[test]
+    fn phase_requests() {
+        assert_eq!(parse("show me the data"), Intent::Explore);
+        assert_eq!(parse("there are missing values to fill"), Intent::Clean);
+        assert_eq!(parse("how should we split it?"), Intent::Split);
+        assert_eq!(parse("how accurate is it?"), Intent::Assess);
+        assert_eq!(parse("train it now"), Intent::Run);
+    }
+
+    #[test]
+    fn accept_reject() {
+        assert_eq!(parse("yes"), Intent::Accept);
+        assert_eq!(parse("ok sounds good"), Intent::Accept);
+        assert_eq!(parse("no thanks"), Intent::Reject);
+        assert_eq!(parse("skip that"), Intent::Reject);
+    }
+
+    #[test]
+    fn rejection_with_request_is_request() {
+        assert_eq!(parse("no, show me the data instead"), Intent::Explore);
+        assert_eq!(parse("yes, run it"), Intent::Run);
+    }
+
+    #[test]
+    fn surprise_me() {
+        assert_eq!(parse("surprise me"), Intent::SurpriseMe);
+        assert_eq!(parse("got anything more creative?"), Intent::SurpriseMe);
+    }
+
+    #[test]
+    fn explain_and_finish() {
+        assert_eq!(parse("why that one?"), Intent::Explain);
+        assert_eq!(parse("we're done, stop"), Intent::Finish);
+    }
+
+    #[test]
+    fn drivers_intent() {
+        assert_eq!(parse("what matters most here?"), Intent::Drivers);
+        assert_eq!(parse("which factors influence the result"), Intent::Drivers);
+        assert_eq!(parse("no, show me the important drivers"), Intent::Drivers);
+    }
+
+    #[test]
+    fn unknown_fallback() {
+        assert_eq!(parse("lorem ipsum dolor"), Intent::Unknown);
+        assert_eq!(parse(""), Intent::Unknown);
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(Intent::SurpriseMe.name(), "surprise_me");
+        assert_eq!(Intent::SetGoal { target: None }.name(), "set_goal");
+    }
+
+    #[test]
+    fn predict_beats_explain() {
+        // "what would the model predict" — prediction context wins.
+        assert!(matches!(
+            parse("what would the model predict for 'price'?"),
+            Intent::SetGoal { .. }
+        ));
+    }
+}

@@ -1,0 +1,54 @@
+//! # matilda-conversation
+//!
+//! MATILDA's conversational-computing substrate: the DS4All-style
+//! step-by-step loop that lets non-technical users steer a pipeline design
+//! without touching technical detail.
+//!
+//! - [`vocab`]: the controlled vocabulary and text normalization;
+//! - [`intent`]: rule-based intent parsing (deterministic, replayable);
+//! - [`profile`]: user expertise/domain/openness, which calibrates both
+//!   the number of suggestions and their wording;
+//! - [`suggest`]: per-phase suggestions drawn from the platform registry;
+//! - [`feedback`]: applying adopted suggestions to the draft design;
+//! - [`dialogue`]: the state machine walking the paper's phases and
+//!   emitting [`dialogue::DialogueEvent`]s for the platform to act on;
+//! - [`transcript`]: the ordered conversation record.
+//!
+//! ```
+//! use matilda_conversation::prelude::*;
+//! use matilda_data::{Column, DataFrame};
+//!
+//! let df = DataFrame::from_columns(vec![
+//!     ("x", Column::from_f64((0..20).map(f64::from).collect())),
+//!     ("label", Column::from_categorical(
+//!         &(0..20).map(|i| if i < 10 { "a" } else { "b" }).collect::<Vec<_>>())),
+//! ]).unwrap();
+//! let mut dialogue = Dialogue::new(UserProfile::novice("Ada", "urbanism"), &df);
+//! let response = dialogue.handle("I want to predict 'label'").unwrap();
+//! assert!(matches!(response.events.first(), Some(DialogueEvent::GoalSet { .. })));
+//! ```
+
+pub mod dialogue;
+pub mod error;
+pub mod feedback;
+pub mod intent;
+pub mod profile;
+pub mod suggest;
+pub mod transcript;
+pub mod vocab;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::dialogue::{Dialogue, DialogueEvent, DialogueResponse, DialogueState};
+    pub use crate::error::{ConversationError, Result};
+    pub use crate::feedback::apply_to_draft;
+    pub use crate::intent::{parse, Intent};
+    pub use crate::profile::{Expertise, UserProfile};
+    pub use crate::suggest::{suggestions_for, SuggestedAction, Suggestion};
+    pub use crate::transcript::{Speaker, Transcript, Turn};
+}
+
+pub use dialogue::{Dialogue, DialogueEvent, DialogueResponse, DialogueState};
+pub use error::{ConversationError, Result};
+pub use profile::{Expertise, UserProfile};
+pub use suggest::{SuggestedAction, Suggestion};

@@ -1,0 +1,147 @@
+//! User profiles: who the platform is talking to.
+//!
+//! The paper's central inclusion claim is that suggestions must be
+//! "calibrated to the data's characteristics and the user's expertise";
+//! the profile carries the user half of that calibration.
+
+/// Self-reported or inferred technical expertise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expertise {
+    /// Domain expert with no data-science background.
+    Novice,
+    /// Comfortable with spreadsheets and basic statistics.
+    Analyst,
+    /// Professional data scientist.
+    DataScientist,
+}
+
+impl Expertise {
+    /// All levels, least to most technical.
+    pub const ALL: [Expertise; 3] = [
+        Expertise::Novice,
+        Expertise::Analyst,
+        Expertise::DataScientist,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Expertise::Novice => "novice",
+            Expertise::Analyst => "analyst",
+            Expertise::DataScientist => "data_scientist",
+        }
+    }
+
+    /// How many options one suggestion round shows: fewer for novices so
+    /// choices stay manageable, more for experts who can triage.
+    pub fn suggestion_budget(self) -> usize {
+        match self {
+            Expertise::Novice => 2,
+            Expertise::Analyst => 3,
+            Expertise::DataScientist => 5,
+        }
+    }
+
+    /// Whether explanations should include technical vocabulary.
+    pub fn technical_language(self) -> bool {
+        self >= Expertise::Analyst
+    }
+}
+
+/// The profile of the human in the loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserProfile {
+    /// Display name.
+    pub name: String,
+    /// Technical expertise level.
+    pub expertise: Expertise,
+    /// The user's discipline, e.g. "urbanism" — echoed in explanations so
+    /// the conversation stays in the user's vocabulary.
+    pub domain: String,
+    /// Appetite for unusual, creative suggestions in `[0, 1]`; calibrates
+    /// the exploration weight the creativity engine uses for this user.
+    pub openness: f64,
+}
+
+impl UserProfile {
+    /// A new profile; `openness` is clamped into `[0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        expertise: Expertise,
+        domain: impl Into<String>,
+        openness: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            expertise,
+            domain: domain.into(),
+            openness: openness.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A typical non-technical domain expert.
+    pub fn novice(name: impl Into<String>, domain: impl Into<String>) -> Self {
+        Self::new(name, Expertise::Novice, domain, 0.3)
+    }
+
+    /// A typical data scientist.
+    pub fn data_scientist(name: impl Into<String>) -> Self {
+        Self::new(name, Expertise::DataScientist, "data science", 0.7)
+    }
+
+    /// The exploration weight the creativity engine should use for this
+    /// user: novices get mostly known territory, open experts get more
+    /// unknown territory.
+    pub fn exploration_weight(&self) -> f64 {
+        let base = match self.expertise {
+            Expertise::Novice => 0.2,
+            Expertise::Analyst => 0.4,
+            Expertise::DataScientist => 0.5,
+        };
+        (base + 0.4 * self.openness).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_grows_with_expertise() {
+        assert!(Expertise::Novice.suggestion_budget() < Expertise::Analyst.suggestion_budget());
+        assert!(
+            Expertise::Analyst.suggestion_budget() < Expertise::DataScientist.suggestion_budget()
+        );
+    }
+
+    #[test]
+    fn language_gate() {
+        assert!(!Expertise::Novice.technical_language());
+        assert!(Expertise::Analyst.technical_language());
+        assert!(Expertise::DataScientist.technical_language());
+    }
+
+    #[test]
+    fn openness_clamped() {
+        let p = UserProfile::new("u", Expertise::Novice, "urbanism", 7.0);
+        assert_eq!(p.openness, 1.0);
+        let p = UserProfile::new("u", Expertise::Novice, "urbanism", -1.0);
+        assert_eq!(p.openness, 0.0);
+    }
+
+    #[test]
+    fn exploration_weight_ordering() {
+        let novice = UserProfile::novice("n", "urbanism");
+        let expert = UserProfile::data_scientist("e");
+        assert!(novice.exploration_weight() < expert.exploration_weight());
+        assert!((0.0..=1.0).contains(&novice.exploration_weight()));
+        assert!((0.0..=1.0).contains(&expert.exploration_weight()));
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<&str> =
+            Expertise::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

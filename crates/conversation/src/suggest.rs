@@ -1,0 +1,348 @@
+//! Per-phase suggestion generation, calibrated to the data profile and the
+//! user's expertise — the platform side of the paper's "suggests possible
+//! scenarios that are adopted or not".
+
+use crate::profile::UserProfile;
+use matilda_data::transform::ImputeStrategy;
+use matilda_ml::ModelSpec;
+use matilda_pipeline::prelude::*;
+
+/// What adopting a suggestion would change in the draft design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuggestedAction {
+    /// Append a preparation operator.
+    AddPrep(PrepOp),
+    /// Replace the fragmentation strategy.
+    SetSplit(SplitSpec),
+    /// Replace the model.
+    SetModel(ModelSpec),
+    /// Replace the scoring rule.
+    SetScoring(matilda_ml::Scoring),
+}
+
+/// One adoptable suggestion shown to the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// Unique id within the session.
+    pub id: String,
+    /// Design phase it belongs to.
+    pub phase: Phase,
+    /// What adopting it does.
+    pub action: SuggestedAction,
+    /// Wording shown to the user (expertise-calibrated).
+    pub text: String,
+    /// Whether it came from known territory (registry) or the creativity
+    /// engine (set by the platform when it injects creative suggestions).
+    pub creative: bool,
+}
+
+/// Phrase an action for a given user.
+pub fn phrase(action: &SuggestedAction, rationale: &str, profile: &UserProfile) -> String {
+    let technical = profile.expertise.technical_language();
+    match action {
+        SuggestedAction::AddPrep(op) => {
+            if technical {
+                format!("Apply `{}`: {rationale}", op.name())
+            } else {
+                // Plain language, anchored in the user's own domain.
+                format!("I could {}. ({rationale})", op.describe())
+            }
+        }
+        SuggestedAction::SetSplit(split) => {
+            let pct = (split.test_fraction * 100.0).round() as u32;
+            if technical {
+                format!(
+                    "Hold out {pct}% for testing{}",
+                    if split.stratified {
+                        ", stratified on the target"
+                    } else {
+                        ""
+                    }
+                )
+            } else {
+                format!(
+                    "I could set aside {pct}% of your {} data to check our answer honestly",
+                    profile.domain
+                )
+            }
+        }
+        SuggestedAction::SetModel(model) => {
+            if technical {
+                format!("Use a `{}` model: {rationale}", model.name())
+            } else {
+                format!("I could try a method that {rationale}")
+            }
+        }
+        SuggestedAction::SetScoring(s) => {
+            if technical {
+                format!("Judge results by {}", s.name())
+            } else {
+                "I could pick a fair way to score how well we are doing".to_string()
+            }
+        }
+    }
+}
+
+/// Build the suggestion list for `phase`, calibrated to data and user.
+///
+/// The number of suggestions respects the user's suggestion budget; the
+/// ordering is by registry relevance, so the most applicable option always
+/// comes first.
+pub fn suggestions_for(
+    phase: Phase,
+    data_profile: &DataProfile,
+    user: &UserProfile,
+    next_id: &mut impl FnMut() -> String,
+) -> Vec<Suggestion> {
+    let budget = user.expertise.suggestion_budget();
+    let mut out = Vec::new();
+    match phase {
+        Phase::Explore => {
+            // Exploration has a single canonical move: profile the data.
+            out.push(Suggestion {
+                id: next_id(),
+                phase,
+                action: SuggestedAction::AddPrep(PrepOp::DropNulls),
+                text: if user.expertise.technical_language() {
+                    "Profile the dataset (summaries, correlations, missingness)".into()
+                } else {
+                    format!("Let me take a first look at your {} data", user.domain)
+                },
+                creative: false,
+            });
+            // This placeholder action is replaced by the platform; explore
+            // suggestions exist so the human can steer pace.
+            out.truncate(1);
+        }
+        Phase::Prepare => {
+            let mut entries = prep_catalogue();
+            entries.sort_by(|a, b| {
+                (b.relevance)(data_profile).total_cmp(&(a.relevance)(data_profile))
+            });
+            for entry in entries.into_iter().take(budget) {
+                if (entry.relevance)(data_profile) < 0.2 {
+                    continue;
+                }
+                // Calibrate template hyper-parameters to the data at hand.
+                let op = match entry.op {
+                    PrepOp::SelectKBest { k } => PrepOp::SelectKBest {
+                        k: k.min(data_profile.n_numeric.max(1)),
+                    },
+                    other => other,
+                };
+                let action = SuggestedAction::AddPrep(op);
+                out.push(Suggestion {
+                    id: next_id(),
+                    phase,
+                    text: phrase(&action, entry.rationale, user),
+                    action,
+                    creative: false,
+                });
+            }
+            // Guarantee at least an imputation option exists.
+            if out.is_empty() {
+                let action = SuggestedAction::AddPrep(PrepOp::Impute(ImputeStrategy::Median));
+                out.push(Suggestion {
+                    id: next_id(),
+                    phase,
+                    text: phrase(&action, "fill gaps so nothing is silently dropped", user),
+                    action,
+                    creative: false,
+                });
+            }
+        }
+        Phase::Fragment => {
+            let options = [
+                SplitSpec {
+                    test_fraction: 0.25,
+                    stratified: data_profile.classification,
+                    seed: 42,
+                },
+                SplitSpec {
+                    test_fraction: 0.2,
+                    stratified: false,
+                    seed: 42,
+                },
+                SplitSpec {
+                    test_fraction: 0.4,
+                    stratified: data_profile.classification,
+                    seed: 42,
+                },
+            ];
+            for split in options.into_iter().take(budget) {
+                let action = SuggestedAction::SetSplit(split);
+                out.push(Suggestion {
+                    id: next_id(),
+                    phase,
+                    text: phrase(&action, "", user),
+                    action,
+                    creative: false,
+                });
+            }
+        }
+        Phase::Train => {
+            let mut entries = model_catalogue();
+            entries.sort_by(|a, b| {
+                (b.relevance)(data_profile).total_cmp(&(a.relevance)(data_profile))
+            });
+            for entry in entries.into_iter().take(budget) {
+                if (entry.relevance)(data_profile) <= 0.0 {
+                    continue;
+                }
+                let action = SuggestedAction::SetModel(entry.spec.clone());
+                out.push(Suggestion {
+                    id: next_id(),
+                    phase,
+                    text: phrase(&action, entry.rationale, user),
+                    action,
+                    creative: false,
+                });
+            }
+        }
+        Phase::Test | Phase::Assess => {
+            for s in scoring_catalogue(data_profile.classification)
+                .into_iter()
+                .take(budget)
+            {
+                let action = SuggestedAction::SetScoring(s);
+                out.push(Suggestion {
+                    id: next_id(),
+                    phase,
+                    text: phrase(&action, "", user),
+                    action,
+                    creative: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Expertise;
+
+    fn data_profile() -> DataProfile {
+        DataProfile {
+            n_rows: 400,
+            n_numeric: 6,
+            n_categorical: 2,
+            n_nulls: 12,
+            classification: true,
+            max_skewness: 0.4,
+        }
+    }
+
+    fn id_counter() -> impl FnMut() -> String {
+        let mut n = 0;
+        move || {
+            n += 1;
+            format!("s{n}")
+        }
+    }
+
+    #[test]
+    fn budget_respected_by_expertise() {
+        let novice = UserProfile::novice("n", "urbanism");
+        let expert = UserProfile::data_scientist("e");
+        let mut ids = id_counter();
+        let for_novice = suggestions_for(Phase::Prepare, &data_profile(), &novice, &mut ids);
+        let for_expert = suggestions_for(Phase::Prepare, &data_profile(), &expert, &mut ids);
+        assert!(for_novice.len() <= Expertise::Novice.suggestion_budget());
+        assert!(for_expert.len() > for_novice.len());
+    }
+
+    #[test]
+    fn prepare_suggestions_lead_with_most_relevant() {
+        let user = UserProfile::data_scientist("e");
+        let mut ids = id_counter();
+        let s = suggestions_for(Phase::Prepare, &data_profile(), &user, &mut ids);
+        // With nulls and categoricals present, the top suggestions must
+        // include imputation and one-hot encoding.
+        let names: Vec<&str> = s
+            .iter()
+            .filter_map(|sg| match &sg.action {
+                SuggestedAction::AddPrep(op) => Some(op.name()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"impute"), "{names:?}");
+        assert!(names.contains(&"one_hot"), "{names:?}");
+    }
+
+    #[test]
+    fn novice_wording_is_plain() {
+        let novice = UserProfile::novice("n", "urbanism");
+        let mut ids = id_counter();
+        let s = suggestions_for(Phase::Prepare, &data_profile(), &novice, &mut ids);
+        for sg in &s {
+            assert!(
+                !sg.text.contains('`'),
+                "no code voice for novices: {}",
+                sg.text
+            );
+        }
+    }
+
+    #[test]
+    fn expert_wording_is_technical() {
+        let expert = UserProfile::data_scientist("e");
+        let mut ids = id_counter();
+        let s = suggestions_for(Phase::Train, &data_profile(), &expert, &mut ids);
+        assert!(
+            s.iter().any(|sg| sg.text.contains('`')),
+            "expert sees model names"
+        );
+    }
+
+    #[test]
+    fn train_suggestions_are_classifiers() {
+        let user = UserProfile::data_scientist("e");
+        let mut ids = id_counter();
+        let s = suggestions_for(Phase::Train, &data_profile(), &user, &mut ids);
+        assert!(!s.is_empty());
+        for sg in &s {
+            if let SuggestedAction::SetModel(m) = &sg.action {
+                assert!(m.supports_classification());
+            }
+        }
+    }
+
+    #[test]
+    fn assess_suggestions_match_task() {
+        let user = UserProfile::novice("n", "retail");
+        let mut regression = data_profile();
+        regression.classification = false;
+        let mut ids = id_counter();
+        let s = suggestions_for(Phase::Assess, &regression, &user, &mut ids);
+        for sg in &s {
+            if let SuggestedAction::SetScoring(sc) = &sg.action {
+                assert!(!sc.is_classification());
+            }
+        }
+    }
+
+    #[test]
+    fn ids_unique_across_phases() {
+        let user = UserProfile::data_scientist("e");
+        let mut ids = id_counter();
+        let mut all = Vec::new();
+        for phase in [Phase::Prepare, Phase::Fragment, Phase::Train, Phase::Assess] {
+            all.extend(suggestions_for(phase, &data_profile(), &user, &mut ids));
+        }
+        let unique: std::collections::HashSet<&str> = all.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn split_phrase_mentions_percentage() {
+        let user = UserProfile::novice("n", "urbanism");
+        let action = SuggestedAction::SetSplit(SplitSpec {
+            test_fraction: 0.25,
+            stratified: false,
+            seed: 1,
+        });
+        assert!(phrase(&action, "", &user).contains("25%"));
+    }
+}

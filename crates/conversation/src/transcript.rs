@@ -1,0 +1,124 @@
+//! Session transcripts: who said what, in order.
+
+use std::fmt;
+
+/// Who produced a transcript line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Speaker {
+    /// The human user.
+    User,
+    /// The platform.
+    Matilda,
+}
+
+impl Speaker {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Speaker::User => "user",
+            Speaker::Matilda => "matilda",
+        }
+    }
+}
+
+/// One line of dialogue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Turn {
+    /// Who spoke.
+    pub speaker: Speaker,
+    /// What was said.
+    pub text: String,
+}
+
+/// The ordered record of a conversation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Transcript {
+    turns: Vec<Turn>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a user line.
+    pub fn user(&mut self, text: impl Into<String>) {
+        self.turns.push(Turn {
+            speaker: Speaker::User,
+            text: text.into(),
+        });
+    }
+
+    /// Record a platform line.
+    pub fn matilda(&mut self, text: impl Into<String>) {
+        self.turns.push(Turn {
+            speaker: Speaker::Matilda,
+            text: text.into(),
+        });
+    }
+
+    /// All turns in order.
+    pub fn turns(&self) -> &[Turn] {
+        &self.turns
+    }
+
+    /// Number of turns.
+    pub fn len(&self) -> usize {
+        self.turns.len()
+    }
+
+    /// `true` when nothing has been said.
+    pub fn is_empty(&self) -> bool {
+        self.turns.is_empty()
+    }
+
+    /// Number of user turns (the conversational-effort measure used in the
+    /// efficiency experiment).
+    pub fn user_turns(&self) -> usize {
+        self.turns
+            .iter()
+            .filter(|t| t.speaker == Speaker::User)
+            .count()
+    }
+}
+
+impl fmt::Display for Transcript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for turn in &self.turns {
+            writeln!(f, "[{:>7}] {}", turn.speaker.name(), turn.text)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Transcript::new();
+        t.matilda("Hello! What would you like to study?");
+        t.user("predict 'price'");
+        t.matilda("Great.");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.turns()[1].speaker, Speaker::User);
+        assert_eq!(t.user_turns(), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut t = Transcript::new();
+        t.user("hello");
+        let s = t.to_string();
+        assert!(s.contains("[   user] hello"));
+    }
+
+    #[test]
+    fn empty_transcript() {
+        let t = Transcript::new();
+        assert!(t.is_empty());
+        assert_eq!(t.user_turns(), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The controlled vocabulary: normalization and keyword lexicons that the
+//! rule-based intent parser matches against.
+//!
+//! MATILDA's conversational layer (following DS4All) is deliberately
+//! *step-by-step* rather than open-ended: a small, documented vocabulary
+//! keeps the interaction predictable for non-technical users and fully
+//! deterministic for replay.
+
+/// Lowercase a message and strip punctuation, collapsing whitespace.
+pub fn normalize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric() && c != '\'')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.trim_matches('\'').to_string())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// A keyword family: a canonical concept plus its surface forms.
+#[derive(Debug, Clone)]
+pub struct Lexeme {
+    /// Canonical concept name.
+    pub concept: &'static str,
+    /// Surface forms that trigger it.
+    pub forms: &'static [&'static str],
+}
+
+/// The platform's keyword lexicon.
+pub const LEXICON: &[Lexeme] = &[
+    Lexeme {
+        concept: "predict",
+        forms: &[
+            "predict",
+            "forecast",
+            "estimate",
+            "classify",
+            "classification",
+            "regression",
+            "model",
+            "guess",
+        ],
+    },
+    Lexeme {
+        concept: "explore",
+        forms: &[
+            "explore",
+            "look",
+            "show",
+            "describe",
+            "summary",
+            "summarize",
+            "profile",
+            "distribution",
+            "overview",
+        ],
+    },
+    Lexeme {
+        concept: "clean",
+        forms: &[
+            "clean", "missing", "impute", "fill", "gaps", "nulls", "tidy",
+        ],
+    },
+    Lexeme {
+        concept: "split",
+        forms: &["split", "holdout", "fragment", "partition", "fold"],
+    },
+    Lexeme {
+        concept: "assess",
+        forms: &[
+            "assess",
+            "evaluate",
+            "score",
+            "accuracy",
+            "accurate",
+            "performance",
+            "results",
+        ],
+    },
+    Lexeme {
+        concept: "accept",
+        forms: &[
+            "yes", "ok", "okay", "sure", "accept", "adopt", "sounds", "go", "do", "apply",
+        ],
+    },
+    Lexeme {
+        concept: "reject",
+        forms: &[
+            "no", "nope", "reject", "skip", "don't", "dont", "never", "pass",
+        ],
+    },
+    Lexeme {
+        concept: "explain",
+        forms: &[
+            "why",
+            "explain",
+            "what",
+            "how",
+            "mean",
+            "meaning",
+            "understand",
+        ],
+    },
+    Lexeme {
+        concept: "surprise",
+        forms: &[
+            "surprise",
+            "creative",
+            "wild",
+            "unusual",
+            "different",
+            "else",
+            "other",
+            "alternative",
+            "alternatives",
+        ],
+    },
+    Lexeme {
+        concept: "drivers",
+        forms: &[
+            "drivers",
+            "driver",
+            "matters",
+            "important",
+            "importance",
+            "influence",
+            "influences",
+            "factors",
+        ],
+    },
+    Lexeme {
+        concept: "run",
+        forms: &["run", "execute", "start", "train", "fit", "build", "launch"],
+    },
+    Lexeme {
+        concept: "finish",
+        forms: &["finish", "done", "stop", "end", "enough", "quit", "close"],
+    },
+];
+
+/// The canonical concepts present in a message, in lexicon order.
+pub fn concepts_in(text: &str) -> Vec<&'static str> {
+    let tokens = normalize(text);
+    LEXICON
+        .iter()
+        .filter(|lex| tokens.iter().any(|t| lex.forms.contains(&t.as_str())))
+        .map(|lex| lex.concept)
+        .collect()
+}
+
+/// Extract a quoted column-like token (`'price'`, `"price"`) from raw
+/// text; used to pull target column names out of goal statements.
+///
+/// Only single-word quoted segments count, so apostrophes in contractions
+/// ("I'd like...") do not produce false targets.
+pub fn quoted_token(text: &str) -> Option<String> {
+    for quote in ['\'', '"'] {
+        // Contractions ("I'd") make quote parity unreliable, so accept any
+        // between-quotes segment that is a single bare word.
+        for (i, segment) in text.split(quote).enumerate() {
+            if i == 0 {
+                continue; // before the first quote
+            }
+            let trimmed = segment.trim();
+            if !trimmed.is_empty()
+                && trimmed.len() < 64
+                && !trimmed.chars().any(char::is_whitespace)
+                && text.split(quote).count() > i + 1
+            {
+                return Some(trimmed.to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_punctuation() {
+        assert_eq!(normalize("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(
+            normalize("  lots\t of   space "),
+            vec!["lots", "of", "space"]
+        );
+        assert_eq!(normalize("don't"), vec!["don't"]);
+    }
+
+    #[test]
+    fn normalize_empty() {
+        assert!(normalize("...").is_empty());
+        assert!(normalize("").is_empty());
+    }
+
+    #[test]
+    fn concepts_detected() {
+        assert_eq!(concepts_in("Can you predict the price?"), vec!["predict"]);
+        assert_eq!(concepts_in("show me a summary"), vec!["explore"]);
+        assert!(concepts_in("fill the missing values").contains(&"clean"));
+        assert!(concepts_in("why did you do that?").contains(&"explain"));
+    }
+
+    #[test]
+    fn multiple_concepts_in_order() {
+        let c = concepts_in("clean the data then split it");
+        assert_eq!(c, vec!["clean", "split"]);
+    }
+
+    #[test]
+    fn accept_and_reject_forms() {
+        assert_eq!(concepts_in("yes please"), vec!["accept"]);
+        assert_eq!(concepts_in("nope"), vec!["reject"]);
+        assert!(concepts_in("ok, go ahead").contains(&"accept"));
+    }
+
+    #[test]
+    fn surprise_concept() {
+        assert!(concepts_in("show me something creative").contains(&"surprise"));
+        assert!(concepts_in("what else could we try?").contains(&"surprise"));
+    }
+
+    #[test]
+    fn quoted_token_extraction() {
+        assert_eq!(quoted_token("predict 'price' please"), Some("price".into()));
+        assert_eq!(
+            quoted_token("predict \"co2_level\""),
+            Some("co2_level".into())
+        );
+        assert_eq!(quoted_token("no quotes here"), None);
+    }
+
+    #[test]
+    fn lexicon_concepts_unique() {
+        let names: std::collections::HashSet<&str> = LEXICON.iter().map(|l| l.concept).collect();
+        assert_eq!(names.len(), LEXICON.len());
+    }
+
+    #[test]
+    fn no_form_collisions_across_concepts() {
+        let mut seen: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+        for lex in LEXICON {
+            for form in lex.forms {
+                if let Some(prev) = seen.insert(form, lex.concept) {
+                    panic!("form '{form}' in both '{prev}' and '{}'", lex.concept);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Final assessment of a designed pipeline against Boden's three
+//! creativity criteria plus plain predictive quality — the platform's
+//! answer to the paper's "decide whether results are fair enough for
+//! considering an answer".
+
+/// Qualitative verdict bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Strong answer to the research question.
+    Strong,
+    /// Usable but worth refining.
+    Adequate,
+    /// Not yet an answer.
+    Weak,
+}
+
+impl Verdict {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Strong => "strong",
+            Verdict::Adequate => "adequate",
+            Verdict::Weak => "weak",
+        }
+    }
+}
+
+/// The final assessment of one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assessment {
+    /// Held-out score (in the design's own scoring rule, higher better).
+    pub quality: f64,
+    /// Archive-relative novelty of the design.
+    pub novelty: f64,
+    /// Surprise (standardized deviation from family expectation).
+    pub surprise: f64,
+    /// Train-minus-test gap; large gaps signal overfitting.
+    pub overfit_gap: f64,
+    /// Banded verdict.
+    pub verdict: Verdict,
+}
+
+/// Quality thresholds for the verdict bands. Scores are assumed to be in
+/// a "higher is better, ~1 is excellent" scale (accuracy, F1, R²); negative
+/// RMSE-style scores band by distance from zero.
+pub fn verdict_for(quality: f64, overfit_gap: f64) -> Verdict {
+    let effective = if quality <= 0.0 {
+        1.0 + quality
+    } else {
+        quality
+    };
+    if effective >= 0.8 && overfit_gap < 0.15 {
+        Verdict::Strong
+    } else if effective >= 0.6 {
+        Verdict::Adequate
+    } else {
+        Verdict::Weak
+    }
+}
+
+/// Assemble an assessment.
+pub fn assess(quality: f64, novelty: f64, surprise: f64, overfit_gap: f64) -> Assessment {
+    Assessment {
+        quality,
+        novelty,
+        surprise,
+        overfit_gap,
+        verdict: verdict_for(quality, overfit_gap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands() {
+        assert_eq!(verdict_for(0.95, 0.02), Verdict::Strong);
+        assert_eq!(verdict_for(0.7, 0.05), Verdict::Adequate);
+        assert_eq!(verdict_for(0.4, 0.0), Verdict::Weak);
+    }
+
+    #[test]
+    fn overfit_downgrades() {
+        assert_eq!(
+            verdict_for(0.9, 0.3),
+            Verdict::Adequate,
+            "good score but overfit"
+        );
+    }
+
+    #[test]
+    fn negative_scale_scores() {
+        // neg-RMSE of -0.1 is excellent.
+        assert_eq!(verdict_for(-0.1, 0.0), Verdict::Strong);
+        assert_eq!(verdict_for(-0.9, 0.0), Verdict::Weak);
+    }
+
+    #[test]
+    fn assessment_carries_components() {
+        let a = assess(0.85, 0.4, 1.2, 0.05);
+        assert_eq!(a.verdict, Verdict::Strong);
+        assert_eq!(a.novelty, 0.4);
+        assert_eq!(a.surprise, 1.2);
+        assert_eq!(a.verdict.name(), "strong");
+    }
+}

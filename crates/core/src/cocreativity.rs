@@ -1,0 +1,158 @@
+//! Co-creativity assessment in the style of Kantosalo & Riihiaho's
+//! human–computer co-creative process evaluations: quantify how the work
+//! was shared between human and machine and how the machine's contribution
+//! was received.
+
+use matilda_provenance::prelude::*;
+use matilda_provenance::query::actor_stats;
+
+/// Interaction metrics for one recorded session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoCreativityReport {
+    /// Suggestions made by the conversational loop (known territory).
+    pub conversational_suggestions: usize,
+    /// Suggestions made by the creativity engine (unknown territory).
+    pub creative_suggestions: usize,
+    /// Acceptance rate of conversational suggestions.
+    pub conversational_acceptance: f64,
+    /// Acceptance rate of creative suggestions.
+    pub creative_acceptance: f64,
+    /// Share of adopted suggestions that were creative, in `[0, 1]`.
+    pub creative_share_of_adopted: f64,
+    /// Distinct suggestion contents seen (diversity of the machine's offer).
+    pub distinct_suggestions: usize,
+    /// Pipelines executed during the session.
+    pub executions: usize,
+    /// Best score reached.
+    pub best_score: Option<f64>,
+}
+
+impl CoCreativityReport {
+    /// Compute the report from a session's event log.
+    pub fn from_events(events: &[Event]) -> Self {
+        let stats = actor_stats(events);
+        let conversational = stats
+            .iter()
+            .find(|(a, _)| *a == Actor::Conversation)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default();
+        let creative = stats
+            .iter()
+            .find(|(a, _)| *a == Actor::Creativity)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default();
+        let adopted_total = conversational.adopted + creative.adopted;
+        let mut contents: Vec<&str> = Vec::new();
+        let mut executions = 0;
+        for e in events {
+            match &e.kind {
+                EventKind::SuggestionMade { content, .. }
+                    if !contents.contains(&content.as_str()) =>
+                {
+                    contents.push(content);
+                }
+                EventKind::PipelineExecuted { .. } => executions += 1,
+                _ => {}
+            }
+        }
+        CoCreativityReport {
+            conversational_suggestions: conversational.suggestions,
+            creative_suggestions: creative.suggestions,
+            conversational_acceptance: conversational.acceptance_rate(),
+            creative_acceptance: creative.acceptance_rate(),
+            creative_share_of_adopted: if adopted_total == 0 {
+                0.0
+            } else {
+                creative.adopted as f64 / adopted_total as f64
+            },
+            distinct_suggestions: contents.len(),
+            executions,
+            best_score: matilda_provenance::query::best_execution(events).map(|(_, s)| s),
+        }
+    }
+
+    /// A scalar "co-creativity index" in `[0, 1]`: the harmonic blend of
+    /// machine contribution (creative share) and human receptivity
+    /// (creative acceptance). Zero when either side contributed nothing.
+    pub fn index(&self) -> f64 {
+        let a = self.creative_share_of_adopted;
+        let b = self.creative_acceptance;
+        if a + b == 0.0 {
+            0.0
+        } else {
+            2.0 * a * b / (a + b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_provenance::Recorder;
+
+    fn log(creative_adopted: bool) -> Vec<Event> {
+        let r = Recorder::new();
+        for (id, by, adopted) in [
+            ("c1", Actor::Conversation, true),
+            ("c2", Actor::Conversation, false),
+            ("k1", Actor::Creativity, creative_adopted),
+        ] {
+            r.record(EventKind::SuggestionMade {
+                suggestion_id: id.into(),
+                by,
+                content: format!("content {id}"),
+                pattern: None,
+            });
+            r.record(EventKind::SuggestionDecided {
+                suggestion_id: id.into(),
+                adopted,
+                reason: String::new(),
+            });
+        }
+        r.record(EventKind::PipelineProposed {
+            fingerprint: 1,
+            canonical: "c".into(),
+            by: Actor::Conversation,
+        });
+        r.record(EventKind::PipelineExecuted {
+            fingerprint: 1,
+            score: 0.8,
+            scoring: "f1".into(),
+        });
+        r.snapshot()
+    }
+
+    #[test]
+    fn counts_by_actor() {
+        let report = CoCreativityReport::from_events(&log(true));
+        assert_eq!(report.conversational_suggestions, 2);
+        assert_eq!(report.creative_suggestions, 1);
+        assert_eq!(report.conversational_acceptance, 0.5);
+        assert_eq!(report.creative_acceptance, 1.0);
+        assert_eq!(report.creative_share_of_adopted, 0.5);
+        assert_eq!(report.executions, 1);
+        assert_eq!(report.best_score, Some(0.8));
+        assert_eq!(report.distinct_suggestions, 3);
+    }
+
+    #[test]
+    fn index_zero_without_creative_contribution() {
+        let report = CoCreativityReport::from_events(&log(false));
+        assert_eq!(report.index(), 0.0);
+    }
+
+    #[test]
+    fn index_positive_with_collaboration() {
+        let report = CoCreativityReport::from_events(&log(true));
+        assert!(report.index() > 0.5);
+        assert!(report.index() <= 1.0);
+    }
+
+    #[test]
+    fn empty_log() {
+        let report = CoCreativityReport::from_events(&[]);
+        assert_eq!(report.executions, 0);
+        assert_eq!(report.index(), 0.0);
+        assert_eq!(report.best_score, None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Platform configuration.
+
+use matilda_creativity::search::PatternSelection;
+use matilda_creativity::BalanceSchedule;
+
+/// Knobs governing a MATILDA platform instance.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Creative-search population size.
+    pub population_size: usize,
+    /// Creative-search generations.
+    pub generations: usize,
+    /// Exploration-weight schedule; when `None` the schedule is derived
+    /// from the user profile's openness (the inclusive default).
+    pub balance: Option<BalanceSchedule>,
+    /// Cross-validation folds for value evaluation.
+    pub k_folds: usize,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Restrict creativity patterns by name; empty means all six.
+    pub patterns: Vec<String>,
+    /// Pattern budgeting policy.
+    pub selection: PatternSelection,
+    /// Hard cap on autonomous session rounds (guards simulated users).
+    pub max_rounds: usize,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            population_size: 10,
+            generations: 5,
+            balance: None,
+            k_folds: 3,
+            seed: 42,
+            patterns: Vec::new(),
+            selection: PatternSelection::Uniform,
+            max_rounds: 60,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// A smaller, faster configuration for tests and quick demos.
+    pub fn quick() -> Self {
+        Self {
+            population_size: 6,
+            generations: 2,
+            ..Self::default()
+        }
+    }
+
+    /// The search configuration for a user with exploration weight `lambda`.
+    pub fn search_config(&self, lambda: f64) -> matilda_creativity::SearchConfig {
+        matilda_creativity::SearchConfig {
+            population_size: self.population_size,
+            generations: self.generations,
+            balance: self.balance.unwrap_or(BalanceSchedule::Decaying {
+                initial: lambda,
+                decay: 0.85,
+            }),
+            k_novelty: 5,
+            k_folds: self.k_folds,
+            seed: self.seed,
+            patterns: self.patterns.clone(),
+            selection: self.selection,
+            seeds: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = PlatformConfig::default();
+        assert!(c.population_size > 0);
+        assert!(c.max_rounds > 10);
+        assert!(c.balance.is_none());
+    }
+
+    #[test]
+    fn search_config_derives_balance_from_lambda() {
+        let c = PlatformConfig::default();
+        let sc = c.search_config(0.4);
+        assert_eq!(sc.balance.lambda(0), 0.4);
+        assert_eq!(sc.population_size, c.population_size);
+    }
+
+    #[test]
+    fn explicit_balance_wins() {
+        let c = PlatformConfig {
+            balance: Some(BalanceSchedule::Fixed(0.9)),
+            ..PlatformConfig::default()
+        };
+        assert_eq!(c.search_config(0.1).balance.lambda(5), 0.9);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        assert!(PlatformConfig::quick().generations < PlatformConfig::default().generations);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for the platform layer.
+
+use std::fmt;
+
+/// Errors raised by MATILDA platform sessions.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// A session-level precondition failed.
+    Session(String),
+    /// Failure in the data substrate.
+    Data(matilda_data::DataError),
+    /// Failure in the ML substrate.
+    Ml(matilda_ml::MlError),
+    /// Failure in the conversational substrate.
+    Conversation(matilda_conversation::ConversationError),
+    /// Failure in the creativity engine.
+    Creativity(matilda_creativity::CreativityError),
+    /// Failure in the pipeline substrate.
+    Pipeline(matilda_pipeline::PipelineError),
+    /// Failure in the provenance store.
+    Provenance(matilda_provenance::ProvError),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Session(m) => write!(f, "session error: {m}"),
+            PlatformError::Data(e) => write!(f, "data error: {e}"),
+            PlatformError::Ml(e) => write!(f, "ml error: {e}"),
+            PlatformError::Conversation(e) => write!(f, "conversation error: {e}"),
+            PlatformError::Creativity(e) => write!(f, "creativity error: {e}"),
+            PlatformError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            PlatformError::Provenance(e) => write!(f, "provenance error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Session(_) => None,
+            PlatformError::Data(e) => Some(e),
+            PlatformError::Ml(e) => Some(e),
+            PlatformError::Conversation(e) => Some(e),
+            PlatformError::Creativity(e) => Some(e),
+            PlatformError::Pipeline(e) => Some(e),
+            PlatformError::Provenance(e) => Some(e),
+        }
+    }
+}
+
+impl From<matilda_data::DataError> for PlatformError {
+    fn from(e: matilda_data::DataError) -> Self {
+        PlatformError::Data(e)
+    }
+}
+
+impl From<matilda_ml::MlError> for PlatformError {
+    fn from(e: matilda_ml::MlError) -> Self {
+        PlatformError::Ml(e)
+    }
+}
+
+impl From<matilda_conversation::ConversationError> for PlatformError {
+    fn from(e: matilda_conversation::ConversationError) -> Self {
+        PlatformError::Conversation(e)
+    }
+}
+
+impl From<matilda_creativity::CreativityError> for PlatformError {
+    fn from(e: matilda_creativity::CreativityError) -> Self {
+        PlatformError::Creativity(e)
+    }
+}
+
+impl From<matilda_pipeline::PipelineError> for PlatformError {
+    fn from(e: matilda_pipeline::PipelineError) -> Self {
+        PlatformError::Pipeline(e)
+    }
+}
+
+impl From<matilda_provenance::ProvError> for PlatformError {
+    fn from(e: matilda_provenance::ProvError) -> Self {
+        PlatformError::Provenance(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PlatformError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: PlatformError = matilda_pipeline::PipelineError::InvalidSpec("x".into()).into();
+        assert!(e.to_string().contains("pipeline"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(PlatformError::Session("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

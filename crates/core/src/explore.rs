@@ -1,0 +1,216 @@
+//! Unsupervised exploration: discover citizen/respondent segments before
+//! any prediction goal exists — the "mathematically understanding the
+//! data" tasks the paper puts at the front of every DS pipeline.
+
+use crate::error::{PlatformError, Result};
+use matilda_conversation::prelude::{Expertise, UserProfile};
+use matilda_data::DataFrame;
+use matilda_ml::kmeans::KMeans;
+use matilda_ml::metrics::silhouette;
+
+/// One discovered segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Members in the segment.
+    pub size: usize,
+    /// Centroid in feature space (same order as `SegmentReport::features`).
+    pub centroid: Vec<f64>,
+}
+
+/// The result of segment discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentReport {
+    /// Feature columns used.
+    pub features: Vec<String>,
+    /// Chosen number of segments.
+    pub k: usize,
+    /// Mean silhouette of the chosen clustering, in `[-1, 1]`.
+    pub silhouette: f64,
+    /// The segments, largest first.
+    pub segments: Vec<Segment>,
+    /// Row-to-segment assignment (indices into `segments`' pre-sort order
+    /// are remapped, so `assignments[i]` indexes `segments`).
+    pub assignments: Vec<usize>,
+}
+
+/// Discover segments in the named numeric columns, choosing `k` in
+/// `2..=max_k` by silhouette. Deterministic given `seed`.
+pub fn discover_segments(
+    df: &DataFrame,
+    features: &[&str],
+    max_k: usize,
+    seed: u64,
+) -> Result<SegmentReport> {
+    if max_k < 2 {
+        return Err(PlatformError::Session("max_k must be >= 2".into()));
+    }
+    let points = df.to_matrix(features).map_err(PlatformError::from)?;
+    if points.len() < max_k * 2 {
+        return Err(PlatformError::Session(format!(
+            "segment discovery needs at least {} rows, got {}",
+            max_k * 2,
+            points.len()
+        )));
+    }
+    // (k, silhouette, assignments, centroids) of the best clustering so far.
+    type Clustering = (usize, f64, Vec<usize>, Vec<Vec<f64>>);
+    let mut best: Option<Clustering> = None;
+    for k in 2..=max_k {
+        let mut km = KMeans::new(k, 100, seed);
+        let assignments = km.fit(&points).map_err(PlatformError::from)?;
+        let score = silhouette(&points, &assignments).map_err(PlatformError::from)?;
+        if best.as_ref().is_none_or(|(_, s, _, _)| score > *s) {
+            best = Some((k, score, assignments, km.centroids().to_vec()));
+        }
+    }
+    let (k, sil, assignments, centroids) = best.expect("max_k >= 2 guarantees a candidate");
+    // Sort segments by size descending and remap assignments.
+    let mut sizes = vec![0usize; k];
+    for &a in &assignments {
+        sizes[a] += 1;
+    }
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]));
+    let mut remap = vec![0usize; k];
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        remap[old_idx] = new_idx;
+    }
+    let segments: Vec<Segment> = order
+        .iter()
+        .map(|&old| Segment {
+            size: sizes[old],
+            centroid: centroids[old].clone(),
+        })
+        .collect();
+    let assignments: Vec<usize> = assignments.into_iter().map(|a| remap[a]).collect();
+    Ok(SegmentReport {
+        features: features.iter().map(|s| s.to_string()).collect(),
+        k,
+        silhouette: sil,
+        segments,
+        assignments,
+    })
+}
+
+/// Narrate a segment report for the user.
+pub fn narrate_segments(report: &SegmentReport, user: &UserProfile) -> String {
+    let quality = if report.silhouette > 0.5 {
+        "clearly separated"
+    } else if report.silhouette > 0.25 {
+        "loosely separated"
+    } else {
+        "not well separated"
+    };
+    match user.expertise {
+        Expertise::Novice => {
+            let total: usize = report.segments.iter().map(|s| s.size).sum();
+            let shares: Vec<String> = report
+                .segments
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("group {} holds {}%", i + 1, (100 * s.size / total.max(1))))
+                .collect();
+            format!(
+                "Your {} data falls into {} natural groups ({quality}): {}.",
+                user.domain,
+                report.k,
+                shares.join(", ")
+            )
+        }
+        _ => {
+            let sizes: Vec<String> = report.segments.iter().map(|s| s.size.to_string()).collect();
+            format!(
+                "k-means (k chosen by silhouette): k={}, silhouette={:.3} ({quality}), \
+                 segment sizes [{}] over features [{}]",
+                report.k,
+                report.silhouette,
+                sizes.join(", "),
+                report.features.join(", ")
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_datagen::prelude::*;
+
+    fn blob_frame(k: usize) -> DataFrame {
+        blobs(&BlobsConfig {
+            n_rows: 40 * k,
+            n_classes: k,
+            separation: 8.0,
+            spread: 0.6,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn recovers_true_cluster_count() {
+        for true_k in [2usize, 3] {
+            let df = blob_frame(true_k);
+            let report = discover_segments(&df, &["f0", "f1"], 5, 7).unwrap();
+            assert_eq!(
+                report.k, true_k,
+                "silhouette should pick the true k={true_k}"
+            );
+            assert!(report.silhouette > 0.6);
+            assert_eq!(report.assignments.len(), df.n_rows());
+        }
+    }
+
+    #[test]
+    fn segments_sorted_by_size() {
+        let df = blob_frame(3);
+        let report = discover_segments(&df, &["f0", "f1"], 4, 1).unwrap();
+        for w in report.segments.windows(2) {
+            assert!(w[0].size >= w[1].size);
+        }
+        let total: usize = report.segments.iter().map(|s| s.size).sum();
+        assert_eq!(total, df.n_rows());
+    }
+
+    #[test]
+    fn assignments_match_remapped_segments() {
+        let df = blob_frame(2);
+        let report = discover_segments(&df, &["f0", "f1"], 3, 2).unwrap();
+        let mut counted = vec![0usize; report.k];
+        for &a in &report.assignments {
+            assert!(a < report.k);
+            counted[a] += 1;
+        }
+        let sizes: Vec<usize> = report.segments.iter().map(|s| s.size).collect();
+        assert_eq!(counted, sizes);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let df = blob_frame(2);
+        assert!(discover_segments(&df, &["f0"], 1, 0).is_err());
+        let tiny = df.head(3);
+        assert!(discover_segments(&tiny, &["f0"], 3, 0).is_err());
+        assert!(discover_segments(&df, &["ghost"], 3, 0).is_err());
+    }
+
+    #[test]
+    fn narration_by_expertise() {
+        let df = blob_frame(2);
+        let report = discover_segments(&df, &["f0", "f1"], 3, 3).unwrap();
+        let novice = narrate_segments(&report, &UserProfile::novice("n", "urbanism"));
+        assert!(novice.contains("natural groups"));
+        assert!(novice.contains('%'));
+        assert!(!novice.contains("silhouette"));
+        let expert = narrate_segments(&report, &UserProfile::data_scientist("d"));
+        assert!(expert.contains("silhouette="));
+        assert!(expert.contains("k=2"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let df = blob_frame(3);
+        let a = discover_segments(&df, &["f0", "f1"], 4, 9).unwrap();
+        let b = discover_segments(&df, &["f0", "f1"], 4, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,67 @@
+//! # matilda-core
+//!
+//! The MATILDA platform: creativity-based, inclusive data-science pipeline
+//! design with a human in the loop — the architecture of the paper's
+//! Figure 1, runnable end to end.
+//!
+//! A [`session::DesignSession`] binds the five substrates together:
+//!
+//! 1. the **conversational loop** suggests scenarios per design phase,
+//! 2. the **human** (or a simulated [`persona::Persona`]) adopts or rejects,
+//! 3. the **creativity engine** injects unknown-territory alternatives on
+//!    request ("surprise me"),
+//! 4. the **executor** runs adopted designs on the data,
+//! 5. the **provenance recorder** captures every decision for audit and
+//!    replay.
+//!
+//! The [`platform::Matilda`] façade offers the three design modes compared
+//! in the experiments: conversational-only, creative-only, and the hybrid
+//! MATILDA mode.
+//!
+//! ```
+//! use matilda_core::prelude::*;
+//! use matilda_data::{Column, DataFrame};
+//!
+//! let df = DataFrame::from_columns(vec![
+//!     ("x", Column::from_f64((0..40).map(f64::from).collect())),
+//!     ("label", Column::from_categorical(
+//!         &(0..40).map(|i| if i < 20 { "a" } else { "b" }).collect::<Vec<_>>())),
+//! ]).unwrap();
+//! let platform = Matilda::new(PlatformConfig::quick());
+//! let mut persona = Persona::trusting_novice("label", 7);
+//! let outcome = platform
+//!     .design_conversational(&df, &mut persona, "does x drive label?")
+//!     .unwrap();
+//! assert!(outcome.report.test_score > 0.5);
+//! ```
+
+pub mod assess;
+pub mod cocreativity;
+pub mod config;
+pub mod error;
+pub mod explore;
+pub mod narrate;
+pub mod persona;
+pub mod platform;
+pub mod session;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::assess::{assess, Assessment, Verdict};
+    pub use crate::cocreativity::CoCreativityReport;
+    pub use crate::config::PlatformConfig;
+    pub use crate::error::{PlatformError, Result};
+    pub use crate::explore::{discover_segments, narrate_segments, Segment, SegmentReport};
+    pub use crate::narrate::{narrate_report, narrate_verdict};
+    pub use crate::persona::Persona;
+    pub use crate::platform::{DesignMode, DesignOutcome, Matilda};
+    pub use crate::session::{DesignSession, ExecutedDesign, SessionSummary, StepOutcome};
+}
+
+pub use assess::{Assessment, Verdict};
+pub use cocreativity::CoCreativityReport;
+pub use config::PlatformConfig;
+pub use error::{PlatformError, Result};
+pub use persona::Persona;
+pub use platform::{DesignMode, DesignOutcome, Matilda};
+pub use session::{DesignSession, SessionSummary};

@@ -1,0 +1,308 @@
+//! Plain-language narration of pipeline results, calibrated to the user's
+//! expertise and phrased in their domain vocabulary — the paper's demand to
+//! "bridge the gap between technical vocabulary … and the vocabulary of
+//! other disciplines".
+
+use crate::assess::Verdict;
+use matilda_conversation::prelude::{Expertise, UserProfile};
+use matilda_ml::importance::FeatureImportance;
+use matilda_pipeline::PipelineReport;
+
+/// How a score reads on a human scale.
+fn quality_word(score: f64) -> &'static str {
+    // Negative scores are neg-RMSE style: translate to the same bands.
+    let effective = if score <= 0.0 { 1.0 + score } else { score };
+    match effective {
+        s if s >= 0.95 => "excellent",
+        s if s >= 0.85 => "very good",
+        s if s >= 0.7 => "good",
+        s if s >= 0.55 => "modest",
+        _ => "weak",
+    }
+}
+
+/// Narrate one executed report for `user`.
+///
+/// Novices get an analogy-first reading with no metric names; analysts get
+/// the metric with a gloss; data scientists get the full technical line.
+pub fn narrate_report(report: &PipelineReport, user: &UserProfile) -> String {
+    let quality = quality_word(report.test_score);
+    match user.expertise {
+        Expertise::Novice => {
+            let mut out = format!(
+                "I tested the study on {} I kept hidden during training, the way an exam \
+                 uses questions you haven't seen. The result is {quality}: the study's \
+                 answers about your {} data were right often enough to take seriously.",
+                "a slice of your data", user.domain
+            );
+            if report.overfit_gap() > 0.15 {
+                out.push_str(
+                    " One caution: it did noticeably better on the data it studied than \
+                     on the hidden slice, so part of what it learned may be memorized \
+                     detail rather than a real pattern.",
+                );
+            }
+            out
+        }
+        Expertise::Analyst => {
+            let mut out = format!(
+                "Held-out {} came to {:.3} — {quality}. The model ({}) was trained on \
+                 one fragment and scored on another it never saw.",
+                report.scoring_name, report.test_score, report.model_name
+            );
+            if report.overfit_gap() > 0.15 {
+                out.push_str(&format!(
+                    " Training score was {:.3}, a gap of {:.3}: watch for overfitting.",
+                    report.train_score,
+                    report.overfit_gap()
+                ));
+            }
+            out
+        }
+        Expertise::DataScientist => format!(
+            "{} = {:.3} held-out (train {:.3}, gap {:.3}); model `{}` over {} features \
+             [{}]; wall time {:?}.",
+            report.scoring_name,
+            report.test_score,
+            report.train_score,
+            report.overfit_gap(),
+            report.model_name,
+            report.feature_names.len(),
+            report.feature_names.join(", "),
+            report.total_time(),
+        ),
+    }
+}
+
+/// Narrate which features drive the prediction, phrased for the user.
+///
+/// `ranked` must be sorted by importance descending (as
+/// [`matilda_ml::importance::permutation_importance`] returns it).
+pub fn narrate_importance(ranked: &[FeatureImportance], user: &UserProfile) -> String {
+    let informative: Vec<&FeatureImportance> =
+        ranked.iter().filter(|f| f.importance > 0.01).collect();
+    if informative.is_empty() {
+        return match user.expertise {
+            Expertise::Novice => format!(
+                "None of the measurements stands out as driving the answer — the \
+                 study may be reading noise, so treat conclusions about your {} \
+                 question cautiously.",
+                user.domain
+            ),
+            _ => "No feature shows meaningful permutation importance; suspect \
+                  label noise or leakage-free irreducible error."
+                .to_string(),
+        };
+    }
+    match user.expertise {
+        Expertise::Novice => {
+            let names: Vec<&str> = informative
+                .iter()
+                .take(3)
+                .map(|f| f.feature.as_str())
+                .collect();
+            format!(
+                "What matters most for this answer: {}. When I scramble {} the \
+                 study loses the most accuracy, so it carries the strongest signal.",
+                names.join(", "),
+                names[0]
+            )
+        }
+        Expertise::Analyst => {
+            let lines: Vec<String> = informative
+                .iter()
+                .take(5)
+                .map(|f| format!("{} ({:+.3})", f.feature, f.importance))
+                .collect();
+            format!(
+                "Permutation importance (score drop when shuffled): {}",
+                lines.join(", ")
+            )
+        }
+        Expertise::DataScientist => {
+            let lines: Vec<String> = ranked
+                .iter()
+                .map(|f| format!("{}={:+.4}", f.feature, f.importance))
+                .collect();
+            format!("permutation importance: {}", lines.join(" "))
+        }
+    }
+}
+
+/// Narrate the verdict as a recommendation for the next step.
+pub fn narrate_verdict(verdict: Verdict, user: &UserProfile) -> String {
+    let technical = user.expertise.technical_language();
+    match (verdict, technical) {
+        (Verdict::Strong, false) => {
+            "This looks solid enough to bring to your colleagues.".to_string()
+        }
+        (Verdict::Strong, true) => {
+            "Strong result; consider a final robustness pass (different seeds, \
+             ablating features) before reporting."
+                .to_string()
+        }
+        (Verdict::Adequate, false) => {
+            "Usable, but we could probably do better — say 'surprise me' to explore \
+             alternatives."
+                .to_string()
+        }
+        (Verdict::Adequate, true) => {
+            "Adequate; the design space likely holds better configurations — try a \
+             creative search pass."
+                .to_string()
+        }
+        (Verdict::Weak, false) => {
+            "I would not rely on this yet. We may need different data or a different \
+             question."
+                .to_string()
+        }
+        (Verdict::Weak, true) => {
+            "Weak; revisit feature engineering or reconsider whether the target is \
+             predictable from these measurements."
+                .to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::{Column, DataFrame};
+    use matilda_pipeline::{run, PipelineSpec};
+
+    fn report() -> PipelineReport {
+        let df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..40).map(f64::from).collect())),
+            (
+                "label",
+                Column::from_categorical(
+                    &(0..40)
+                        .map(|i| if i < 20 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        run(&PipelineSpec::default_classification("label"), &df).unwrap()
+    }
+
+    #[test]
+    fn novice_narration_avoids_jargon() {
+        let r = report();
+        let text = narrate_report(&r, &UserProfile::novice("n", "urbanism"));
+        assert!(
+            !text.contains("macro_f1"),
+            "no metric names for novices: {text}"
+        );
+        assert!(!text.contains('`'));
+        assert!(
+            text.contains("urbanism"),
+            "speaks the user's domain: {text}"
+        );
+    }
+
+    #[test]
+    fn expert_narration_has_numbers_and_features() {
+        let r = report();
+        let text = narrate_report(&r, &UserProfile::data_scientist("d"));
+        assert!(text.contains("macro_f1"));
+        assert!(text.contains('`'));
+        assert!(text.contains("x"), "feature list present");
+    }
+
+    #[test]
+    fn analyst_gets_metric_with_gloss() {
+        let r = report();
+        let text = narrate_report(
+            &r,
+            &UserProfile::new("a", Expertise::Analyst, "planning", 0.5),
+        );
+        assert!(text.contains("Held-out"));
+        assert!(text.contains("never saw"));
+    }
+
+    #[test]
+    fn quality_words_banded() {
+        assert_eq!(quality_word(0.99), "excellent");
+        assert_eq!(quality_word(0.9), "very good");
+        assert_eq!(quality_word(0.75), "good");
+        assert_eq!(quality_word(0.6), "modest");
+        assert_eq!(quality_word(0.3), "weak");
+        assert_eq!(
+            quality_word(-0.05),
+            "excellent",
+            "neg-rmse maps to the same bands"
+        );
+    }
+
+    #[test]
+    fn overfit_warning_appears_when_warranted() {
+        let mut r = report();
+        r.train_score = r.test_score + 0.3;
+        let text = narrate_report(&r, &UserProfile::novice("n", "retail"));
+        assert!(text.contains("memorized"), "{text}");
+        let text = narrate_report(&r, &UserProfile::new("a", Expertise::Analyst, "x", 0.5));
+        assert!(text.contains("overfitting"));
+    }
+
+    #[test]
+    fn importance_narration_by_expertise() {
+        use matilda_ml::importance::FeatureImportance;
+        let ranked = vec![
+            FeatureImportance {
+                feature: "pedestrian_area".into(),
+                importance: 0.31,
+            },
+            FeatureImportance {
+                feature: "transit_access".into(),
+                importance: 0.09,
+            },
+            FeatureImportance {
+                feature: "noise".into(),
+                importance: -0.002,
+            },
+        ];
+        let novice = narrate_importance(&ranked, &UserProfile::novice("n", "urbanism"));
+        assert!(novice.contains("pedestrian_area"));
+        assert!(
+            !novice.contains("0.31"),
+            "no raw numbers for novices: {novice}"
+        );
+        let analyst = narrate_importance(
+            &ranked,
+            &UserProfile::new("a", Expertise::Analyst, "x", 0.5),
+        );
+        assert!(analyst.contains("+0.310"));
+        assert!(
+            !analyst.contains("noise"),
+            "uninformative features dropped for analysts"
+        );
+        let expert = narrate_importance(&ranked, &UserProfile::data_scientist("d"));
+        assert!(expert.contains("noise=-0.0020"), "{expert}");
+    }
+
+    #[test]
+    fn importance_narration_all_noise() {
+        let ranked = vec![FeatureImportance {
+            feature: "junk".into(),
+            importance: 0.0,
+        }];
+        let text = narrate_importance(&ranked, &UserProfile::novice("n", "retail"));
+        assert!(text.contains("cautiously"));
+        let text = narrate_importance(&ranked, &UserProfile::data_scientist("d"));
+        assert!(text.contains("importance"));
+    }
+
+    #[test]
+    fn verdict_narrations_differ_by_expertise() {
+        let novice = UserProfile::novice("n", "urbanism");
+        let expert = UserProfile::data_scientist("d");
+        for v in [Verdict::Strong, Verdict::Adequate, Verdict::Weak] {
+            let plain = narrate_verdict(v, &novice);
+            let technical = narrate_verdict(v, &expert);
+            assert_ne!(plain, technical);
+            assert!(!plain.is_empty() && !technical.is_empty());
+        }
+        assert!(narrate_verdict(Verdict::Adequate, &novice).contains("surprise me"));
+    }
+}

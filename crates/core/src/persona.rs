@@ -1,0 +1,197 @@
+//! Simulated human personas.
+//!
+//! The paper's platform has a human in the loop; for a runnable, measurable
+//! reproduction the human is simulated by a persona whose accept/reject
+//! policy depends on expertise and openness (DESIGN.md §5 documents the
+//! substitution). The *control flow* of the loop is exactly the paper's:
+//! suggest → decide → recalibrate.
+
+use matilda_conversation::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scripted-policy simulated user driving a dialogue.
+#[derive(Debug, Clone)]
+pub struct Persona {
+    /// The profile the platform sees.
+    pub profile: UserProfile,
+    /// The target column the persona wants predicted.
+    pub goal_target: String,
+    /// Probability of accepting a non-creative (registry) suggestion.
+    pub base_accept: f64,
+    /// How often the persona asks to be surprised, in `[0, 1]` per round.
+    pub curiosity: f64,
+    rng: StdRng,
+    asked_surprise: usize,
+}
+
+impl Persona {
+    /// A new persona with an explicit policy.
+    pub fn new(
+        profile: UserProfile,
+        goal_target: impl Into<String>,
+        base_accept: f64,
+        curiosity: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            profile,
+            goal_target: goal_target.into(),
+            base_accept: base_accept.clamp(0.0, 1.0),
+            curiosity: curiosity.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            asked_surprise: 0,
+        }
+    }
+
+    /// A trusting non-technical domain expert: accepts most suggestions,
+    /// rarely asks for surprises.
+    pub fn trusting_novice(goal_target: impl Into<String>, seed: u64) -> Self {
+        Self::new(
+            UserProfile::novice("Nadia", "urbanism"),
+            goal_target,
+            0.85,
+            0.1,
+            seed,
+        )
+    }
+
+    /// A picky data scientist: rejects more, asks for creative options.
+    pub fn picky_expert(goal_target: impl Into<String>, seed: u64) -> Self {
+        Self::new(
+            UserProfile::data_scientist("Elias"),
+            goal_target,
+            0.5,
+            0.4,
+            seed,
+        )
+    }
+
+    /// How many times the persona asked for a creative suggestion.
+    pub fn surprises_requested(&self) -> usize {
+        self.asked_surprise
+    }
+
+    /// Decide whether to adopt the pending suggestion.
+    ///
+    /// Creative suggestions are judged through openness: an open persona
+    /// embraces them, a closed one distrusts them.
+    pub fn decide(&mut self, suggestion: &Suggestion) -> bool {
+        let p = if suggestion.creative {
+            0.25 + 0.65 * self.profile.openness
+        } else {
+            self.base_accept
+        };
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Produce the persona's next utterance given the dialogue state.
+    pub fn next_utterance(&mut self, dialogue: &Dialogue) -> String {
+        match dialogue.state() {
+            DialogueState::AwaitGoal => format!("I want to predict '{}'", self.goal_target),
+            DialogueState::InPhase(_) => {
+                if let Some(pending) = dialogue.pending_suggestion() {
+                    let pending = pending.clone();
+                    if self.decide(&pending) {
+                        "yes".to_string()
+                    } else {
+                        "no".to_string()
+                    }
+                } else {
+                    "ok".to_string()
+                }
+            }
+            DialogueState::ReadyToRun => {
+                if self.rng.gen_bool(self.curiosity) && self.asked_surprise < 3 {
+                    self.asked_surprise += 1;
+                    "surprise me".to_string()
+                } else {
+                    "run it".to_string()
+                }
+            }
+            DialogueState::Closed => "".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_pipeline::{Phase, PrepOp};
+
+    fn suggestion(creative: bool) -> Suggestion {
+        Suggestion {
+            id: "s".into(),
+            phase: Phase::Prepare,
+            action: SuggestedAction::AddPrep(PrepOp::DropNulls),
+            text: "t".into(),
+            creative,
+        }
+    }
+
+    #[test]
+    fn trusting_novice_accepts_most_registry_suggestions() {
+        let mut p = Persona::trusting_novice("y", 1);
+        let accepted = (0..200).filter(|_| p.decide(&suggestion(false))).count();
+        assert!((140..=190).contains(&accepted), "{accepted}/200");
+    }
+
+    #[test]
+    fn closed_persona_distrusts_creative_suggestions() {
+        let mut closed = Persona::new(
+            UserProfile::new("c", Expertise::Novice, "retail", 0.0),
+            "y",
+            0.9,
+            0.0,
+            2,
+        );
+        let mut open = Persona::new(
+            UserProfile::new("o", Expertise::DataScientist, "ds", 1.0),
+            "y",
+            0.9,
+            0.0,
+            2,
+        );
+        let closed_accepts = (0..200)
+            .filter(|_| closed.decide(&suggestion(true)))
+            .count();
+        let open_accepts = (0..200).filter(|_| open.decide(&suggestion(true))).count();
+        assert!(
+            open_accepts > closed_accepts + 40,
+            "open {open_accepts} vs closed {closed_accepts}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut p = Persona::picky_expert("y", seed);
+            (0..50)
+                .map(|_| p.decide(&suggestion(false)))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn utterance_follows_state() {
+        use matilda_data::{Column, DataFrame};
+        let df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..20).map(f64::from).collect())),
+            (
+                "y",
+                Column::from_categorical(
+                    &(0..20)
+                        .map(|i| if i < 10 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let mut persona = Persona::trusting_novice("y", 3);
+        let dialogue = Dialogue::new(persona.profile.clone(), &df);
+        let first = persona.next_utterance(&dialogue);
+        assert!(first.contains("'y'"), "goal first: {first}");
+    }
+}

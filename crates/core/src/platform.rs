@@ -1,0 +1,365 @@
+//! The MATILDA platform façade: the three design modes the paper's
+//! architecture supports.
+//!
+//! - **Conversational** (known territory): the DS4All-style loop alone —
+//!   the baseline a pre-MATILDA assistant would offer.
+//! - **Creative** (unknown territory): the computational-creativity search
+//!   alone, no human steering.
+//! - **Hybrid** (MATILDA): the conversational design seeding a creative
+//!   pattern search, balancing known and unknown as the paper argues.
+
+use crate::assess::{assess, Assessment};
+use crate::cocreativity::CoCreativityReport;
+use crate::config::PlatformConfig;
+use crate::error::{PlatformError, Result};
+use crate::persona::Persona;
+use crate::session::DesignSession;
+use matilda_creativity::search::search;
+use matilda_data::DataFrame;
+use matilda_pipeline::prelude::*;
+use matilda_provenance::prelude::*;
+
+/// Which design mode produced an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignMode {
+    /// Conversational loop only.
+    Conversational,
+    /// Creative search only.
+    Creative,
+    /// Conversation followed by creative refinement.
+    Hybrid,
+}
+
+impl DesignMode {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignMode::Conversational => "conversational",
+            DesignMode::Creative => "creative",
+            DesignMode::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// The result of one end-to-end design run.
+#[derive(Debug, Clone)]
+pub struct DesignOutcome {
+    /// Mode that produced it.
+    pub mode: DesignMode,
+    /// The final design.
+    pub spec: PipelineSpec,
+    /// Its execution report on a held-out fragment.
+    pub report: PipelineReport,
+    /// Boden-criteria assessment.
+    pub assessment: Assessment,
+    /// Co-creativity metrics (zeroed for the pure creative mode).
+    pub cocreativity: CoCreativityReport,
+    /// The session's provenance log.
+    pub events: Vec<Event>,
+    /// Pipeline evaluations spent (creative modes).
+    pub evaluations: usize,
+    /// User-input rounds consumed (conversational modes).
+    pub rounds: usize,
+}
+
+/// The platform.
+#[derive(Debug, Clone)]
+pub struct Matilda {
+    config: PlatformConfig,
+}
+
+impl Matilda {
+    /// A platform with the given configuration.
+    pub fn new(config: PlatformConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    #[allow(clippy::too_many_arguments)] // one field per DesignOutcome component
+    fn finish_outcome(
+        &self,
+        mode: DesignMode,
+        spec: PipelineSpec,
+        frame: &DataFrame,
+        events: Vec<Event>,
+        evaluations: usize,
+        rounds: usize,
+        novelty: f64,
+        surprise: f64,
+    ) -> Result<DesignOutcome> {
+        let report = run(&spec, frame)?;
+        let assessment = assess(report.test_score, novelty, surprise, report.overfit_gap());
+        let cocreativity = CoCreativityReport::from_events(&events);
+        Ok(DesignOutcome {
+            mode,
+            spec,
+            report,
+            assessment,
+            cocreativity,
+            events,
+            evaluations,
+            rounds,
+        })
+    }
+
+    /// Conversational mode: a persona-driven session using only the
+    /// registry's known territory.
+    pub fn design_conversational(
+        &self,
+        frame: &DataFrame,
+        persona: &mut Persona,
+        research_question: &str,
+    ) -> Result<DesignOutcome> {
+        let mut session = DesignSession::new(
+            format!("conversational:{}", persona.profile.name),
+            research_question,
+            frame.clone(),
+            persona.profile.clone(),
+            self.config.clone(),
+        );
+        let summary = session.run_autonomous(persona)?;
+        let best = session
+            .best()
+            .ok_or_else(|| PlatformError::Session("session executed no design".into()))?
+            .clone();
+        self.finish_outcome(
+            DesignMode::Conversational,
+            best.spec,
+            frame,
+            session.recorder().snapshot(),
+            summary.executions,
+            summary.rounds,
+            0.0,
+            0.0,
+        )
+    }
+
+    /// Creative mode: pure computational-creativity search, recording the
+    /// search's proposals into provenance.
+    pub fn design_creative(&self, frame: &DataFrame, task: &Task) -> Result<DesignOutcome> {
+        let recorder = Recorder::new();
+        recorder.record(EventKind::SessionStarted {
+            session: "creative".into(),
+            dataset: format!("{} rows x {} cols", frame.n_rows(), frame.n_cols()),
+            research_question: format!("optimize {:?}", task),
+        });
+        let config = self.config.search_config(0.6);
+        let outcome = search(task, frame, &config)?;
+        let fp = outcome.best.fingerprint;
+        recorder.record(EventKind::PipelineProposed {
+            fingerprint: fp,
+            canonical: matilda_pipeline::codec::encode(&outcome.best.spec),
+            by: Actor::Creativity,
+        });
+        let spec = outcome.best.spec.clone();
+        let novelty = outcome.best.novelty.unwrap_or(0.0);
+        let surprise = outcome.best.surprise.unwrap_or(0.0);
+        let report = run(&spec, frame)?;
+        recorder.record(EventKind::PipelineExecuted {
+            fingerprint: fp,
+            score: report.test_score,
+            scoring: report.scoring_name.to_string(),
+        });
+        recorder.record(EventKind::SessionClosed {
+            final_fingerprint: Some(fp),
+        });
+        let assessment = assess(report.test_score, novelty, surprise, report.overfit_gap());
+        let events = recorder.snapshot();
+        let cocreativity = CoCreativityReport::from_events(&events);
+        Ok(DesignOutcome {
+            mode: DesignMode::Creative,
+            spec,
+            report,
+            assessment,
+            cocreativity,
+            events,
+            evaluations: outcome.evaluations,
+            rounds: 0,
+        })
+    }
+
+    /// Hybrid (MATILDA) mode: the conversational design seeds a creative
+    /// pattern search balanced by the user's exploration weight.
+    pub fn design_hybrid(
+        &self,
+        frame: &DataFrame,
+        persona: &mut Persona,
+        research_question: &str,
+    ) -> Result<DesignOutcome> {
+        let mut session = DesignSession::new(
+            format!("hybrid:{}", persona.profile.name),
+            research_question,
+            frame.clone(),
+            persona.profile.clone(),
+            self.config.clone(),
+        );
+        let summary = session.run_autonomous(persona)?;
+        let seed_design = session
+            .best()
+            .ok_or_else(|| PlatformError::Session("session executed no design".into()))?
+            .clone();
+        // Creative refinement: a full pattern search *seeded* with the
+        // conversational design, balanced by the user's own exploration
+        // weight — this is the "known feeds unknown" flow of Figure 1.
+        // The refinement gets its own log continuation: the session's
+        // events minus its closing record, so the combined log stays a
+        // single well-formed session that closes once, after refinement.
+        let recorder = Recorder::new();
+        for event in session.recorder().snapshot() {
+            if !matches!(event.kind, EventKind::SessionClosed { .. }) {
+                recorder.record(event.kind);
+            }
+        }
+        let mut search_config = self
+            .config
+            .search_config(persona.profile.exploration_weight());
+        search_config.seeds = vec![seed_design.spec.clone()];
+        let outcome = search(&seed_design.spec.task, frame, &search_config)?;
+        // The champion is kept only when it genuinely beats the seed on the
+        // cheap value signal; record its promotion into provenance.
+        let (final_spec, final_novelty, final_surprise) =
+            if outcome.best.fingerprint != seed_design.fingerprint {
+                recorder.record(EventKind::PipelineProposed {
+                    fingerprint: outcome.best.fingerprint,
+                    canonical: matilda_pipeline::codec::encode(&outcome.best.spec),
+                    by: Actor::Creativity,
+                });
+                recorder.record(EventKind::PipelineExecuted {
+                    fingerprint: outcome.best.fingerprint,
+                    score: outcome.best.value.unwrap_or(f64::NEG_INFINITY),
+                    scoring: outcome.best.spec.scoring.name().to_string(),
+                });
+                (
+                    outcome.best.spec.clone(),
+                    outcome.best.novelty.unwrap_or(0.0),
+                    outcome.best.surprise.unwrap_or(0.0),
+                )
+            } else {
+                (seed_design.spec.clone(), 0.0, 0.0)
+            };
+        recorder.record(EventKind::SessionClosed {
+            final_fingerprint: Some(matilda_pipeline::fingerprint::fingerprint(&final_spec)),
+        });
+        self.finish_outcome(
+            DesignMode::Hybrid,
+            final_spec,
+            frame,
+            recorder.snapshot(),
+            outcome.evaluations,
+            summary.rounds,
+            final_novelty,
+            final_surprise,
+        )
+    }
+}
+
+impl Default for Matilda {
+    fn default() -> Self {
+        Self::new(PlatformConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::Column;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..80).map(f64::from).collect())),
+            (
+                "noise",
+                Column::from_f64((0..80).map(|i| ((i * 13) % 7) as f64).collect()),
+            ),
+            (
+                "label",
+                Column::from_categorical(
+                    &(0..80)
+                        .map(|i| if i < 40 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn platform() -> Matilda {
+        Matilda::new(PlatformConfig::quick())
+    }
+
+    #[test]
+    fn conversational_mode_produces_outcome() {
+        let mut persona = Persona::trusting_novice("label", 3);
+        let outcome = platform()
+            .design_conversational(&frame(), &mut persona, "does x drive label?")
+            .unwrap();
+        assert_eq!(outcome.mode, DesignMode::Conversational);
+        assert!(outcome.report.test_score > 0.6);
+        assert!(outcome.rounds > 0);
+        assert!(!outcome.events.is_empty());
+    }
+
+    #[test]
+    fn creative_mode_produces_outcome() {
+        let task = Task::Classification {
+            target: "label".into(),
+        };
+        let outcome = platform().design_creative(&frame(), &task).unwrap();
+        assert_eq!(outcome.mode, DesignMode::Creative);
+        assert!(
+            outcome.report.test_score > 0.7,
+            "score {}",
+            outcome.report.test_score
+        );
+        assert!(outcome.evaluations > 0);
+        assert!(outcome.assessment.novelty >= 0.0);
+        // The provenance audit passes for the machine-only session too.
+        let audit = matilda_provenance::quality::audit(&outcome.events);
+        assert!(audit.all_passed(), "{:?}", audit.failures());
+    }
+
+    #[test]
+    fn hybrid_at_least_as_good_as_its_seed_conversation() {
+        let mut p1 = Persona::trusting_novice("label", 5);
+        let conv = platform()
+            .design_conversational(&frame(), &mut p1, "rq")
+            .unwrap();
+        let mut p2 = Persona::trusting_novice("label", 5);
+        let hybrid = platform().design_hybrid(&frame(), &mut p2, "rq").unwrap();
+        assert_eq!(hybrid.mode, DesignMode::Hybrid);
+        // Hybrid hill-climbs on CV value; on this easy data it should at
+        // least match the conversational baseline's held-out score within
+        // noise.
+        assert!(
+            hybrid.report.test_score >= conv.report.test_score - 0.1,
+            "hybrid {} vs conversational {}",
+            hybrid.report.test_score,
+            conv.report.test_score
+        );
+        assert!(hybrid.evaluations > 0);
+    }
+
+    #[test]
+    fn modes_have_stable_names() {
+        assert_eq!(DesignMode::Conversational.name(), "conversational");
+        assert_eq!(DesignMode::Creative.name(), "creative");
+        assert_eq!(DesignMode::Hybrid.name(), "hybrid");
+    }
+
+    #[test]
+    fn deterministic_creative_mode() {
+        let task = Task::Classification {
+            target: "label".into(),
+        };
+        let a = platform().design_creative(&frame(), &task).unwrap();
+        let b = platform().design_creative(&frame(), &task).unwrap();
+        assert_eq!(
+            matilda_pipeline::fingerprint::fingerprint(&a.spec),
+            matilda_pipeline::fingerprint::fingerprint(&b.spec)
+        );
+    }
+}

@@ -1,0 +1,729 @@
+//! The human-in-the-loop design session: the live object binding the
+//! conversational loop, the creativity engine, the executor and the
+//! provenance recorder — one full traversal of Figure 1.
+
+use crate::config::PlatformConfig;
+use crate::error::{PlatformError, Result};
+use crate::persona::Persona;
+use matilda_conversation::prelude::*;
+use matilda_creativity::apprentice::{ApprenticeAgent, LadderPolicy, Role};
+use matilda_creativity::grammar;
+use matilda_data::DataFrame;
+use matilda_pipeline::prelude::*;
+use matilda_provenance::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One executed design within a session.
+#[derive(Debug, Clone)]
+pub struct ExecutedDesign {
+    /// Fingerprint of the design.
+    pub fingerprint: u64,
+    /// The design itself.
+    pub spec: PipelineSpec,
+    /// Its execution report.
+    pub report: PipelineReport,
+}
+
+/// The outcome of one session step.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// The platform's textual reply.
+    pub reply: String,
+    /// A design executed during this step, if any.
+    pub executed: Option<ExecutedDesign>,
+    /// Whether the session closed during this step.
+    pub closed: bool,
+}
+
+/// Summary of a completed autonomous session.
+#[derive(Debug, Clone)]
+pub struct SessionSummary {
+    /// Rounds of user input consumed.
+    pub rounds: usize,
+    /// Best held-out score across executed designs.
+    pub best_score: Option<f64>,
+    /// Fingerprint of the best design.
+    pub best_fingerprint: Option<u64>,
+    /// Number of designs executed.
+    pub executions: usize,
+    /// Number of creative suggestions injected.
+    pub creative_suggestions: usize,
+    /// Suggestions adopted / decided.
+    pub adopted: usize,
+    /// Total decided suggestions.
+    pub decided: usize,
+    /// The creative agent's final role on the Apprentice ladder.
+    pub apprentice_role: Role,
+}
+
+/// Map the first repairable validation failure to a fix-up suggestion the
+/// user can adopt — the conversational loop "recalibrating the tasks".
+fn repair_suggestion(violations: &[matilda_pipeline::validate::Violation]) -> Option<Suggestion> {
+    for v in violations {
+        let (action, text) = match v.code {
+            "unhandled_nulls" => (
+                SuggestedAction::AddPrep(PrepOp::Impute(
+                    matilda_data::transform::ImputeStrategy::Median,
+                )),
+                "Your data still has missing values; let me fill them first".to_string(),
+            ),
+            "no_features" => (
+                SuggestedAction::AddPrep(PrepOp::OneHotEncode),
+                "I need usable feature columns; let me turn the categories into numbers"
+                    .to_string(),
+            ),
+            _ => continue,
+        };
+        return Some(Suggestion {
+            id: String::new(),
+            phase: Phase::Prepare,
+            action,
+            text,
+            creative: false,
+        });
+    }
+    None
+}
+
+/// A live design session.
+pub struct DesignSession {
+    frame: DataFrame,
+    config: PlatformConfig,
+    dialogue: Dialogue,
+    recorder: Recorder,
+    user: UserProfile,
+    rng: StdRng,
+    executed: Vec<ExecutedDesign>,
+    creative_injected: usize,
+    apprentice: ApprenticeAgent,
+    closed: bool,
+}
+
+impl DesignSession {
+    /// Open a session for `user` over `frame`.
+    pub fn new(
+        name: impl Into<String>,
+        research_question: impl Into<String>,
+        frame: DataFrame,
+        user: UserProfile,
+        config: PlatformConfig,
+    ) -> Self {
+        let recorder = Recorder::new();
+        recorder.record(EventKind::SessionStarted {
+            session: name.into(),
+            dataset: format!("{} rows x {} cols", frame.n_rows(), frame.n_cols()),
+            research_question: research_question.into(),
+        });
+        let dialogue = Dialogue::new(user.clone(), &frame);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x5e55_1011);
+        // The artificial team member starts one rung up from observer so
+        // it can at least propose preparation steps; everything beyond
+        // that is earned (Apprentice Framework).
+        let mut apprentice = ApprenticeAgent::new("matilda-agent", LadderPolicy::default());
+        apprentice.record_outcome(0, true);
+        apprentice.record_outcome(0, true);
+        apprentice.record_outcome(0, true); // promote Observer -> Apprentice
+        Self {
+            frame,
+            config,
+            dialogue,
+            recorder,
+            user,
+            rng,
+            executed: Vec::new(),
+            creative_injected: 0,
+            apprentice,
+            closed: false,
+        }
+    }
+
+    /// The platform's opening line.
+    pub fn opening(&self) -> &str {
+        self.dialogue.opening()
+    }
+
+    /// The shared provenance recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The live dialogue.
+    pub fn dialogue(&self) -> &Dialogue {
+        &self.dialogue
+    }
+
+    /// The profile of the human in the loop.
+    pub fn user(&self) -> &UserProfile {
+        &self.user
+    }
+
+    /// Designs executed so far, in order.
+    pub fn executed(&self) -> &[ExecutedDesign] {
+        &self.executed
+    }
+
+    /// The best executed design by held-out score.
+    pub fn best(&self) -> Option<&ExecutedDesign> {
+        self.executed
+            .iter()
+            .max_by(|a, b| a.report.test_score.total_cmp(&b.report.test_score))
+    }
+
+    /// `true` once the session has closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// The artificial team member's state on the Apprentice ladder.
+    pub fn apprentice(&self) -> &ApprenticeAgent {
+        &self.apprentice
+    }
+
+    /// Build a creative suggestion around the current draft — the platform
+    /// half of the paper's "surprise me" interaction.
+    fn creative_suggestion(&mut self) -> Option<Suggestion> {
+        let draft = self.dialogue.draft()?.clone();
+        let profile = DataProfile::from_frame(
+            &self.frame,
+            draft.task.target(),
+            draft.task.is_classification(),
+        );
+        // The agent's ladder role bounds its ambition: proposing a whole
+        // different model family is a pipeline-level responsibility that
+        // must be earned; preparation steps are apprentice work.
+        let may_swap_model = self.apprentice.role().may_propose_pipelines();
+        let (action, text) = if may_swap_model && self.rng.gen_bool(0.5) {
+            let mut model = grammar::random_model(draft.task.is_classification(), &mut self.rng);
+            for _ in 0..8 {
+                if model.name() != draft.model.name() {
+                    break;
+                }
+                model = grammar::random_model(draft.task.is_classification(), &mut self.rng);
+            }
+            let text = format!(
+                "Here is a less ordinary idea: switch the method to `{}`.",
+                model.name()
+            );
+            (SuggestedAction::SetModel(model), text)
+        } else {
+            let op = grammar::random_prep_op(&profile, &mut self.rng);
+            let text = format!("Here is a less ordinary idea: {}.", op.describe());
+            (SuggestedAction::AddPrep(op), text)
+        };
+        Some(Suggestion {
+            id: String::new(), // assigned at injection
+            phase: Phase::Prepare,
+            action,
+            text,
+            creative: true,
+        })
+    }
+
+    /// Compute and narrate feature importance for the latest executed
+    /// design; falls back to guidance when there is nothing to analyse.
+    fn narrate_drivers(&self) -> String {
+        let Some(best) = self.best() else {
+            return "We have not run a study yet — say 'run' first, then I can tell \
+                    you what drives the answer."
+                .to_string();
+        };
+        // Re-apply the design's preparation so importance sees the same
+        // feature space the model trained on.
+        let target = best.spec.task.target().to_string();
+        let mut frame = self.frame.clone();
+        for op in &best.spec.prep {
+            match op.apply(&frame, &target) {
+                Ok(next) => frame = next,
+                Err(e) => return format!("(could not recompute features: {e})"),
+            }
+        }
+        let features: Vec<String> = frame
+            .schema()
+            .numeric_names()
+            .iter()
+            .filter(|n| **n != target)
+            .map(|s| s.to_string())
+            .collect();
+        let refs: Vec<&str> = features.iter().map(String::as_str).collect();
+        let data = if best.spec.task.is_classification() {
+            matilda_ml::Dataset::classification(&frame, &refs, &target)
+        } else {
+            matilda_ml::Dataset::regression(&frame, &refs, &target)
+        };
+        let data = match data {
+            Ok(d) => d,
+            Err(e) => return format!("(could not rebuild the dataset: {e})"),
+        };
+        match matilda_ml::importance::permutation_importance(
+            &best.spec.model,
+            &data,
+            3,
+            self.config.seed,
+        ) {
+            Ok(ranked) => crate::narrate::narrate_importance(&ranked, &self.user),
+            Err(e) => format!("(importance analysis failed: {e})"),
+        }
+    }
+
+    fn execute(&mut self, spec: PipelineSpec, by: Actor) -> Result<ExecutedDesign> {
+        let fp = matilda_pipeline::fingerprint::fingerprint(&spec);
+        self.recorder.record(EventKind::PipelineProposed {
+            fingerprint: fp,
+            // The self-contained codec form: replay can decode and re-run
+            // this design from the log alone.
+            canonical: matilda_pipeline::codec::encode(&spec),
+            by,
+        });
+        let report = run(&spec, &self.frame)?;
+        self.recorder.record(EventKind::PipelineExecuted {
+            fingerprint: fp,
+            score: report.test_score,
+            scoring: report.scoring_name.to_string(),
+        });
+        let executed = ExecutedDesign {
+            fingerprint: fp,
+            spec,
+            report,
+        };
+        self.executed.push(executed.clone());
+        Ok(executed)
+    }
+
+    /// Feed one user message through the session.
+    pub fn step(&mut self, user_text: &str) -> Result<StepOutcome> {
+        if self.closed {
+            return Err(PlatformError::Session("session already closed".into()));
+        }
+        let response = self.dialogue.handle(user_text)?;
+        let mut executed = None;
+        let mut reply = response.reply.clone();
+        for event in response.events {
+            match event {
+                DialogueEvent::GoalSet { task } => {
+                    self.recorder.record(EventKind::Annotated {
+                        target: "session".into(),
+                        key: "task".into(),
+                        value: format!("{task:?}"),
+                    });
+                }
+                DialogueEvent::PhaseEntered(phase) => {
+                    self.recorder.record(EventKind::PhaseEntered {
+                        phase: phase.name().to_string(),
+                    });
+                }
+                DialogueEvent::SuggestionDecided {
+                    suggestion,
+                    adopted,
+                } => {
+                    if suggestion.creative {
+                        // Creative outcomes move the agent along the ladder.
+                        let round = self.recorder.len();
+                        self.apprentice.record_outcome(round, adopted);
+                    }
+                    self.recorder.record(EventKind::SuggestionMade {
+                        suggestion_id: suggestion.id.clone(),
+                        by: if suggestion.creative {
+                            Actor::Creativity
+                        } else {
+                            Actor::Conversation
+                        },
+                        content: suggestion.text.clone(),
+                        pattern: suggestion.creative.then(|| "mutant_shopping".to_string()),
+                    });
+                    self.recorder.record(EventKind::SuggestionDecided {
+                        suggestion_id: suggestion.id,
+                        adopted,
+                        reason: String::new(),
+                    });
+                }
+                DialogueEvent::SurpriseRequested => {
+                    if let Some(suggestion) = self.creative_suggestion() {
+                        let text = suggestion.text.clone();
+                        self.dialogue.inject_suggestion(suggestion)?;
+                        self.creative_injected += 1;
+                        reply = format!("{reply}\n{text} Shall we? (yes/no)");
+                    } else {
+                        reply = format!("{reply}\n(I need a goal before I can improvise.)");
+                    }
+                }
+                DialogueEvent::DriversRequested => {
+                    reply = format!("{reply}\n{}", self.narrate_drivers());
+                }
+                DialogueEvent::RunRequested { spec } => {
+                    // Validation problems become conversation, not crashes:
+                    // the user hears what is wrong and can adjust.
+                    let violations = matilda_pipeline::validate::validate(&spec, &self.frame);
+                    if violations.is_empty() {
+                        // Even validated designs can fail at runtime (e.g. a
+                        // rare class entirely absent from the training
+                        // fragment): that too is conversation, not a crash.
+                        match self.execute(spec, Actor::Conversation) {
+                            Ok(design) => {
+                                let narration =
+                                    crate::narrate::narrate_report(&design.report, &self.user);
+                                reply = format!("{reply}\nStudy complete. {narration}");
+                                executed = Some(design);
+                            }
+                            Err(e) => {
+                                reply = format!(
+                                    "{reply}\nThe study failed while running ({e}). A \
+                                     different split or preparation might avoid this — \
+                                     try adjusting and running again."
+                                );
+                            }
+                        }
+                    } else {
+                        let reasons: Vec<&str> =
+                            violations.iter().map(|v| v.message.as_str()).collect();
+                        reply = format!(
+                            "{reply}\nI cannot run this design yet: {}.",
+                            reasons.join("; ")
+                        );
+                        // Conversational repair: re-open the design with a
+                        // targeted suggestion for the first fixable problem,
+                        // instead of leaving the user at a dead end.
+                        if let Some(repair) = repair_suggestion(&violations) {
+                            let text = repair.text.clone();
+                            if self.dialogue.inject_suggestion(repair).is_ok() {
+                                reply = format!("{reply}\n{text} Shall we? (yes/no)");
+                            }
+                        }
+                    }
+                }
+                DialogueEvent::Finished => {
+                    self.recorder.record(EventKind::SessionClosed {
+                        final_fingerprint: self.best().map(|d| d.fingerprint),
+                    });
+                    self.closed = true;
+                }
+            }
+        }
+        Ok(StepOutcome {
+            reply,
+            executed,
+            closed: self.closed,
+        })
+    }
+
+    /// Drive the session with a simulated persona until it closes (or the
+    /// round cap is reached), returning a summary.
+    pub fn run_autonomous(&mut self, persona: &mut Persona) -> Result<SessionSummary> {
+        let mut rounds = 0;
+        while !self.closed && rounds < self.config.max_rounds {
+            // A satisfied persona stops after its first successful study,
+            // unless curiosity pushes it to ask for more first.
+            let utterance = if !self.executed.is_empty()
+                && self.dialogue.state() == DialogueState::ReadyToRun
+            {
+                "done".to_string()
+            } else {
+                persona.next_utterance(&self.dialogue)
+            };
+            if utterance.is_empty() {
+                break;
+            }
+            self.step(&utterance)?;
+            rounds += 1;
+        }
+        if !self.closed {
+            // Round cap reached: close cleanly for provenance integrity.
+            self.step("done")?;
+            rounds += 1;
+        }
+        let decided = self.dialogue.decisions().len();
+        let adopted = self.dialogue.decisions().iter().filter(|(_, a)| *a).count();
+        Ok(SessionSummary {
+            rounds,
+            best_score: self.best().map(|d| d.report.test_score),
+            best_fingerprint: self.best().map(|d| d.fingerprint),
+            executions: self.executed.len(),
+            creative_suggestions: self.creative_injected,
+            adopted,
+            decided,
+            apprentice_role: self.apprentice.role(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::Column;
+    use matilda_provenance::quality::audit;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..60).map(f64::from).collect())),
+            (
+                "noise",
+                Column::from_f64((0..60).map(|i| ((i * 7) % 5) as f64).collect()),
+            ),
+            (
+                "label",
+                Column::from_categorical(
+                    &(0..60)
+                        .map(|i| if i < 30 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn session() -> DesignSession {
+        DesignSession::new(
+            "test",
+            "can x predict label?",
+            frame(),
+            UserProfile::novice("Ada", "urbanism"),
+            PlatformConfig::quick(),
+        )
+    }
+
+    #[test]
+    fn manual_walkthrough_executes_and_records() {
+        let mut s = session();
+        s.step("I want to predict 'label'").unwrap();
+        let mut guard = 0;
+        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 30 {
+            s.step("yes").unwrap();
+            guard += 1;
+        }
+        let outcome = s.step("run it").unwrap();
+        let design = outcome.executed.expect("a design ran");
+        assert!(
+            design.report.test_score > 0.7,
+            "score {}",
+            design.report.test_score
+        );
+        let outcome = s.step("done").unwrap();
+        assert!(outcome.closed);
+        // Provenance log passes every quality rule.
+        let report = audit(&s.recorder().snapshot());
+        assert!(report.all_passed(), "failures: {:?}", report.failures());
+    }
+
+    #[test]
+    fn autonomous_session_with_trusting_novice() {
+        let mut s = session();
+        let mut persona = Persona::trusting_novice("label", 7);
+        let summary = s.run_autonomous(&mut persona).unwrap();
+        assert!(s.is_closed());
+        assert!(
+            summary.executions >= 1,
+            "the persona runs at least one study"
+        );
+        assert!(summary.best_score.unwrap() > 0.6);
+        assert!(summary.decided > 0);
+        assert!(summary.rounds <= PlatformConfig::quick().max_rounds + 1);
+    }
+
+    #[test]
+    fn autonomous_session_with_curious_expert_gets_creative_suggestions() {
+        let mut s = DesignSession::new(
+            "test",
+            "rq",
+            frame(),
+            UserProfile::data_scientist("Elias"),
+            PlatformConfig::quick(),
+        );
+        let mut persona = Persona::new(
+            UserProfile::data_scientist("Elias"),
+            "label",
+            0.7,
+            1.0, // always curious
+            11,
+        );
+        let summary = s.run_autonomous(&mut persona).unwrap();
+        assert!(
+            summary.creative_suggestions >= 1,
+            "curiosity triggers creative injections"
+        );
+        let creative_events = s
+            .recorder()
+            .of_type("suggestion_made")
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    &e.kind,
+                    EventKind::SuggestionMade {
+                        by: Actor::Creativity,
+                        ..
+                    }
+                )
+            })
+            .count();
+        // Injected suggestions that were decided appear in provenance.
+        assert!(creative_events <= summary.creative_suggestions + 1);
+    }
+
+    #[test]
+    fn step_after_close_errors() {
+        let mut s = session();
+        s.step("done").unwrap();
+        assert!(matches!(s.step("hello"), Err(PlatformError::Session(_))));
+    }
+
+    #[test]
+    fn best_tracks_highest_score() {
+        let mut s = session();
+        s.step("predict 'label'").unwrap();
+        let mut guard = 0;
+        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 30 {
+            s.step("no").unwrap();
+            guard += 1;
+        }
+        s.step("run it").unwrap();
+        assert_eq!(s.executed().len(), 1);
+        assert_eq!(s.best().unwrap().fingerprint, s.executed()[0].fingerprint);
+    }
+
+    #[test]
+    fn apprentice_starts_as_apprentice_and_climbs_on_adoption() {
+        let mut s = session();
+        assert_eq!(s.apprentice().role(), Role::Apprentice);
+        s.step("predict 'label'").unwrap();
+        // Ask for surprises and adopt every one: the agent earns rungs.
+        let mut adopted_creative = 0;
+        for _ in 0..12 {
+            if s.is_closed() {
+                break;
+            }
+            s.step("surprise me").unwrap();
+            if s.dialogue().pending_suggestion().map(|p| p.creative) == Some(true) {
+                s.step("yes").unwrap();
+                adopted_creative += 1;
+            }
+        }
+        assert!(adopted_creative >= 3, "creative suggestions flowed");
+        assert!(
+            s.apprentice().role() >= Role::Journeyman,
+            "consistent adoption promotes the agent, got {}",
+            s.apprentice().role()
+        );
+    }
+
+    #[test]
+    fn apprentice_demoted_on_consistent_rejection() {
+        let mut s = session();
+        s.step("predict 'label'").unwrap();
+        for _ in 0..8 {
+            if s.is_closed() {
+                break;
+            }
+            s.step("surprise me").unwrap();
+            if s.dialogue().pending_suggestion().map(|p| p.creative) == Some(true) {
+                s.step("no").unwrap();
+            }
+        }
+        assert_eq!(
+            s.apprentice().role(),
+            Role::Observer,
+            "repeated rejection strips responsibility"
+        );
+    }
+
+    #[test]
+    fn apprentice_role_reported_in_summary() {
+        let mut s = session();
+        let mut persona = Persona::trusting_novice("label", 7);
+        let summary = s.run_autonomous(&mut persona).unwrap();
+        assert!(summary.apprentice_role >= Role::Observer);
+    }
+
+    #[test]
+    fn invalid_run_triggers_conversational_repair() {
+        // A frame with nulls, and a user who rejects every suggestion:
+        // the first run attempt fails validation, so the platform reopens
+        // the design with a targeted imputation suggestion.
+        let dirty = DataFrame::from_columns(vec![
+            (
+                "x",
+                Column::from_opt_f64((0..40).map(|i| (i % 5 != 0).then_some(i as f64)).collect()),
+            ),
+            (
+                "label",
+                Column::from_categorical(
+                    &(0..40)
+                        .map(|i| if i < 20 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let mut s = DesignSession::new(
+            "repair",
+            "rq",
+            dirty,
+            UserProfile::novice("Ada", "urbanism"),
+            PlatformConfig::quick(),
+        );
+        s.step("predict 'label'").unwrap();
+        let mut guard = 0;
+        while matches!(s.dialogue().state(), DialogueState::InPhase(_)) && guard < 30 {
+            s.step("no").unwrap();
+            guard += 1;
+        }
+        let outcome = s.step("run it").unwrap();
+        assert!(
+            outcome.executed.is_none(),
+            "run must fail on unhandled nulls"
+        );
+        assert!(
+            outcome.reply.contains("missing values"),
+            "{}",
+            outcome.reply
+        );
+        assert!(
+            s.dialogue().pending_suggestion().is_some(),
+            "repair suggestion pending"
+        );
+        // Accept the repair and run again: now it succeeds.
+        s.step("yes").unwrap();
+        let outcome = s.step("run it").unwrap();
+        assert!(
+            outcome.executed.is_some(),
+            "repaired design runs: {}",
+            outcome.reply
+        );
+    }
+
+    #[test]
+    fn drivers_question_answered_after_a_run() {
+        let mut s = session();
+        s.step("predict 'label'").unwrap();
+        // Before any run: guidance, not analysis.
+        let out = s.step("what matters most?").unwrap();
+        assert!(out.reply.contains("run"), "{}", out.reply);
+        let mut guard = 0;
+        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 30 {
+            s.step("yes").unwrap();
+            guard += 1;
+        }
+        s.step("run it").unwrap();
+        let out = s.step("which factors matter?").unwrap();
+        // The signal feature `x` must lead the narration; the user is a
+        // novice, so no raw numbers.
+        assert!(out.reply.contains('x'), "{}", out.reply);
+        assert!(
+            out.reply.contains("matters most") || out.reply.contains("stands out"),
+            "{}",
+            out.reply
+        );
+    }
+
+    #[test]
+    fn deterministic_autonomous_sessions() {
+        let run = || {
+            let mut s = session();
+            let mut p = Persona::trusting_novice("label", 5);
+            s.run_autonomous(&mut p).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_fingerprint, b.best_fingerprint);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.adopted, b.adopted);
+    }
+}

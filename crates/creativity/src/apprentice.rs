@@ -1,0 +1,325 @@
+//! The Apprentice Framework (Negrete-Yankelevich & Morales-Zaragoza, ICCC
+//! 2014): an artificial agent earns responsibility inside a mixed
+//! human/machine creative team by climbing a ladder of roles. Each role
+//! bounds what the agent may do; sustained adopted contributions promote
+//! it, sustained rejections demote it.
+
+use std::fmt;
+
+/// Responsibility levels, lowest to highest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// Watches the session; may not propose.
+    Observer,
+    /// May propose single preparation steps.
+    Apprentice,
+    /// May propose complete pipeline designs.
+    Journeyman,
+    /// Proposals are auto-adopted unless the human vetoes.
+    Master,
+}
+
+impl Role {
+    /// All roles in ladder order.
+    pub const LADDER: [Role; 4] = [
+        Role::Observer,
+        Role::Apprentice,
+        Role::Journeyman,
+        Role::Master,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Observer => "observer",
+            Role::Apprentice => "apprentice",
+            Role::Journeyman => "journeyman",
+            Role::Master => "master",
+        }
+    }
+
+    /// The next role up, if any.
+    pub fn promoted(self) -> Role {
+        match self {
+            Role::Observer => Role::Apprentice,
+            Role::Apprentice => Role::Journeyman,
+            Role::Journeyman | Role::Master => Role::Master,
+        }
+    }
+
+    /// The next role down, if any.
+    pub fn demoted(self) -> Role {
+        match self {
+            Role::Observer | Role::Apprentice => Role::Observer,
+            Role::Journeyman => Role::Apprentice,
+            Role::Master => Role::Journeyman,
+        }
+    }
+
+    /// Whether the role may propose individual preparation steps.
+    pub fn may_propose_steps(self) -> bool {
+        self >= Role::Apprentice
+    }
+
+    /// Whether the role may propose complete pipelines.
+    pub fn may_propose_pipelines(self) -> bool {
+        self >= Role::Journeyman
+    }
+
+    /// Whether the role's proposals are adopted by default.
+    pub fn auto_adopts(self) -> bool {
+        self == Role::Master
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Promotion/demotion policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderPolicy {
+    /// Consecutive adoptions needed to promote.
+    pub promote_after: usize,
+    /// Consecutive rejections that trigger demotion.
+    pub demote_after: usize,
+}
+
+impl Default for LadderPolicy {
+    fn default() -> Self {
+        Self {
+            promote_after: 3,
+            demote_after: 3,
+        }
+    }
+}
+
+/// An artificial team member with a role and a track record.
+#[derive(Debug, Clone)]
+pub struct ApprenticeAgent {
+    /// Agent label (for provenance).
+    pub name: String,
+    role: Role,
+    policy: LadderPolicy,
+    streak_adopted: usize,
+    streak_rejected: usize,
+    total_proposals: usize,
+    total_adopted: usize,
+    history: Vec<(usize, Role)>,
+}
+
+impl ApprenticeAgent {
+    /// A new agent starting as an observer.
+    pub fn new(name: impl Into<String>, policy: LadderPolicy) -> Self {
+        Self {
+            name: name.into(),
+            role: Role::Observer,
+            policy,
+            streak_adopted: 0,
+            streak_rejected: 0,
+            total_proposals: 0,
+            total_adopted: 0,
+            history: vec![(0, Role::Observer)],
+        }
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// `(round, role)` transitions, oldest first.
+    pub fn history(&self) -> &[(usize, Role)] {
+        &self.history
+    }
+
+    /// Lifetime acceptance rate.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.total_proposals == 0 {
+            0.0
+        } else {
+            self.total_adopted as f64 / self.total_proposals as f64
+        }
+    }
+
+    /// Total proposals made.
+    pub fn proposals(&self) -> usize {
+        self.total_proposals
+    }
+
+    /// Record the outcome of one proposal at `round`; promotes or demotes
+    /// according to the policy and returns the (possibly new) role.
+    pub fn record_outcome(&mut self, round: usize, adopted: bool) -> Role {
+        self.total_proposals += 1;
+        if adopted {
+            self.total_adopted += 1;
+            self.streak_adopted += 1;
+            self.streak_rejected = 0;
+            if self.streak_adopted >= self.policy.promote_after {
+                let next = self.role.promoted();
+                if next != self.role {
+                    self.role = next;
+                    self.history.push((round, next));
+                }
+                self.streak_adopted = 0;
+            }
+        } else {
+            self.streak_rejected += 1;
+            self.streak_adopted = 0;
+            if self.streak_rejected >= self.policy.demote_after {
+                let next = self.role.demoted();
+                if next != self.role {
+                    self.role = next;
+                    self.history.push((round, next));
+                }
+                self.streak_rejected = 0;
+            }
+        }
+        self.role
+    }
+
+    /// Observer agents still "propose" internally to build a track record;
+    /// this reports whether the current proposal would actually be shown.
+    pub fn proposal_visible(&self) -> bool {
+        self.role.may_propose_steps()
+    }
+}
+
+/// Team-level creativity assessment (after the Apprentice Framework's
+/// "measure the system by how it affects team creativity").
+///
+/// `team_creativity = quality + diversity_bonus * agent_contribution_share`
+/// — the measurable proxy: how much better and more varied the team's
+/// output is when the agent's adopted proposals are included.
+pub fn team_creativity(
+    quality_with_agent: f64,
+    quality_without_agent: f64,
+    distinct_designs_with: usize,
+    distinct_designs_without: usize,
+) -> f64 {
+    let quality_delta = quality_with_agent - quality_without_agent;
+    let diversity_delta = distinct_designs_with as f64 - distinct_designs_without as f64;
+    quality_delta + 0.01 * diversity_delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order() {
+        assert!(Role::Observer < Role::Master);
+        assert_eq!(Role::Observer.promoted(), Role::Apprentice);
+        assert_eq!(Role::Master.promoted(), Role::Master);
+        assert_eq!(Role::Observer.demoted(), Role::Observer);
+        assert_eq!(Role::Master.demoted(), Role::Journeyman);
+    }
+
+    #[test]
+    fn capabilities_widen_up_the_ladder() {
+        assert!(!Role::Observer.may_propose_steps());
+        assert!(Role::Apprentice.may_propose_steps());
+        assert!(!Role::Apprentice.may_propose_pipelines());
+        assert!(Role::Journeyman.may_propose_pipelines());
+        assert!(!Role::Journeyman.auto_adopts());
+        assert!(Role::Master.auto_adopts());
+    }
+
+    #[test]
+    fn promotion_after_streak() {
+        let mut agent = ApprenticeAgent::new(
+            "a1",
+            LadderPolicy {
+                promote_after: 3,
+                demote_after: 3,
+            },
+        );
+        assert_eq!(agent.role(), Role::Observer);
+        agent.record_outcome(1, true);
+        agent.record_outcome(2, true);
+        assert_eq!(agent.role(), Role::Observer, "two is not enough");
+        agent.record_outcome(3, true);
+        assert_eq!(agent.role(), Role::Apprentice);
+        // Climb all the way to master.
+        for round in 4..10 {
+            agent.record_outcome(round, true);
+        }
+        assert_eq!(agent.role(), Role::Master);
+        assert_eq!(agent.history().last().unwrap().1, Role::Master);
+    }
+
+    #[test]
+    fn rejection_interrupts_streak() {
+        let mut agent = ApprenticeAgent::new("a", LadderPolicy::default());
+        agent.record_outcome(1, true);
+        agent.record_outcome(2, true);
+        agent.record_outcome(3, false);
+        agent.record_outcome(4, true);
+        agent.record_outcome(5, true);
+        assert_eq!(agent.role(), Role::Observer, "streak was reset");
+        agent.record_outcome(6, true);
+        assert_eq!(agent.role(), Role::Apprentice);
+    }
+
+    #[test]
+    fn demotion_after_rejections() {
+        let mut agent = ApprenticeAgent::new(
+            "a",
+            LadderPolicy {
+                promote_after: 1,
+                demote_after: 2,
+            },
+        );
+        agent.record_outcome(1, true); // -> apprentice
+        agent.record_outcome(2, true); // -> journeyman
+        assert_eq!(agent.role(), Role::Journeyman);
+        agent.record_outcome(3, false);
+        agent.record_outcome(4, false);
+        assert_eq!(agent.role(), Role::Apprentice, "two rejections demote");
+    }
+
+    #[test]
+    fn observer_cannot_sink_lower() {
+        let mut agent = ApprenticeAgent::new(
+            "a",
+            LadderPolicy {
+                promote_after: 9,
+                demote_after: 1,
+            },
+        );
+        agent.record_outcome(1, false);
+        agent.record_outcome(2, false);
+        assert_eq!(agent.role(), Role::Observer);
+        assert_eq!(agent.history().len(), 1, "no transition recorded");
+    }
+
+    #[test]
+    fn acceptance_rate_tracked() {
+        let mut agent = ApprenticeAgent::new("a", LadderPolicy::default());
+        assert_eq!(agent.acceptance_rate(), 0.0);
+        agent.record_outcome(1, true);
+        agent.record_outcome(2, false);
+        assert_eq!(agent.acceptance_rate(), 0.5);
+        assert_eq!(agent.proposals(), 2);
+    }
+
+    #[test]
+    fn team_creativity_rewards_quality_and_diversity() {
+        let better = team_creativity(0.9, 0.8, 12, 8);
+        let same = team_creativity(0.8, 0.8, 8, 8);
+        let worse = team_creativity(0.7, 0.8, 8, 8);
+        assert!(better > same);
+        assert!(same > worse);
+        assert!((same - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Role::Journeyman.to_string(), "journeyman");
+        let names: std::collections::HashSet<&str> =
+            Role::LADDER.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

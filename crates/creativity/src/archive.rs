@@ -1,0 +1,205 @@
+//! The novelty archive: every design the engine has ever seen, as
+//! behavioural descriptors keyed by fingerprint.
+//!
+//! Thread-safe so the chorus-line pattern's parallel workers can share it.
+
+use matilda_pipeline::fingerprint::{descriptor_distance, DESCRIPTOR_LEN};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One archived design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveEntry {
+    /// Exact design hash.
+    pub fingerprint: u64,
+    /// Behavioural descriptor.
+    pub descriptor: [f64; DESCRIPTOR_LEN],
+    /// Evaluated value if known.
+    pub value: Option<f64>,
+}
+
+/// A shared, append-mostly archive of seen designs.
+#[derive(Debug, Clone, Default)]
+pub struct Archive {
+    inner: Arc<RwLock<Vec<ArchiveEntry>>>,
+}
+
+impl Archive {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a design; duplicate fingerprints update the stored value.
+    pub fn insert(&self, fingerprint: u64, descriptor: [f64; DESCRIPTOR_LEN], value: Option<f64>) {
+        let mut entries = self.inner.write();
+        if let Some(existing) = entries.iter_mut().find(|e| e.fingerprint == fingerprint) {
+            if value.is_some() {
+                existing.value = value;
+            }
+            return;
+        }
+        entries.push(ArchiveEntry {
+            fingerprint,
+            descriptor,
+            value,
+        });
+    }
+
+    /// Whether the archive has seen this exact design.
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.inner
+            .read()
+            .iter()
+            .any(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Number of distinct designs seen.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// `true` when the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Stored value of a design, if evaluated.
+    pub fn value_of(&self, fingerprint: u64) -> Option<f64> {
+        self.inner
+            .read()
+            .iter()
+            .find(|e| e.fingerprint == fingerprint)
+            .and_then(|e| e.value)
+    }
+
+    /// Mean distance from `descriptor` to its `k` nearest archived
+    /// neighbours — the standard novelty-search score. An empty archive
+    /// yields the maximum possible descriptor distance (everything is novel).
+    pub fn novelty(&self, descriptor: &[f64; DESCRIPTOR_LEN], k: usize) -> f64 {
+        let entries = self.inner.read();
+        if entries.is_empty() {
+            return (DESCRIPTOR_LEN as f64).sqrt();
+        }
+        let mut dists: Vec<f64> = entries
+            .iter()
+            .map(|e| descriptor_distance(&e.descriptor, descriptor))
+            .collect();
+        dists.sort_by(f64::total_cmp);
+        let k = k.max(1).min(dists.len());
+        dists[..k].iter().sum::<f64>() / k as f64
+    }
+
+    /// Snapshot of all entries.
+    pub fn snapshot(&self) -> Vec<ArchiveEntry> {
+        self.inner.read().clone()
+    }
+
+    /// Best archived value with its fingerprint.
+    pub fn best(&self) -> Option<(u64, f64)> {
+        self.inner
+            .read()
+            .iter()
+            .filter_map(|e| e.value.map(|v| (e.fingerprint, v)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(seed: f64) -> [f64; DESCRIPTOR_LEN] {
+        let mut d = [0.0; DESCRIPTOR_LEN];
+        d[0] = seed;
+        d
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let a = Archive::new();
+        a.insert(1, desc(0.0), Some(0.5));
+        assert!(a.contains(1));
+        assert!(!a.contains(2));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.value_of(1), Some(0.5));
+        assert_eq!(a.value_of(2), None);
+    }
+
+    #[test]
+    fn duplicate_updates_value() {
+        let a = Archive::new();
+        a.insert(1, desc(0.0), None);
+        a.insert(1, desc(0.0), Some(0.7));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.value_of(1), Some(0.7));
+        // A later insert without value does not erase it.
+        a.insert(1, desc(0.0), None);
+        assert_eq!(a.value_of(1), Some(0.7));
+    }
+
+    #[test]
+    fn novelty_empty_archive_is_max() {
+        let a = Archive::new();
+        assert_eq!(a.novelty(&desc(0.5), 3), (DESCRIPTOR_LEN as f64).sqrt());
+    }
+
+    #[test]
+    fn novelty_decreases_near_archive() {
+        let a = Archive::new();
+        a.insert(1, desc(0.0), None);
+        a.insert(2, desc(0.1), None);
+        a.insert(3, desc(0.9), None);
+        let near = a.novelty(&desc(0.05), 2);
+        let far = a.novelty(&desc(0.5), 2);
+        assert!(near < far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn novelty_exact_duplicate_is_zero_at_k1() {
+        let a = Archive::new();
+        a.insert(1, desc(0.3), None);
+        assert_eq!(a.novelty(&desc(0.3), 1), 0.0);
+    }
+
+    #[test]
+    fn novelty_k_clamped_to_archive_size() {
+        let a = Archive::new();
+        a.insert(1, desc(0.0), None);
+        // k = 10 with a single entry must not panic.
+        assert!(a.novelty(&desc(1.0), 10) > 0.0);
+    }
+
+    #[test]
+    fn best_tracks_max_value() {
+        let a = Archive::new();
+        a.insert(1, desc(0.0), Some(0.4));
+        a.insert(2, desc(0.1), Some(0.9));
+        a.insert(3, desc(0.2), None);
+        assert_eq!(a.best(), Some((2, 0.9)));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Archive::new();
+        let b = a.clone();
+        a.insert(1, desc(0.0), None);
+        assert!(b.contains(1));
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let a = Archive::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let handle = a.clone();
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        handle.insert(t * 1000 + i, desc(i as f64 / 50.0), None);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.len(), 200);
+    }
+}

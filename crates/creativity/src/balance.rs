@@ -1,0 +1,148 @@
+//! The exploration–exploitation balance the paper calls out explicitly:
+//! "strike the right balance when creating data analysis pipelines between
+//! 'known' prior data exploration and analysis actions and 'unknown'
+//! creative actions".
+//!
+//! `lambda` is the exploration weight: 0 ranks candidates purely by value
+//! (known territory), 1 purely by novelty (unknown territory).
+
+use crate::error::{CreativityError, Result};
+
+/// How the balance evolves over generations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BalanceSchedule {
+    /// Constant lambda for the whole search.
+    Fixed(f64),
+    /// Start exploratory and decay geometrically toward exploitation:
+    /// `lambda_g = initial * decay^g`.
+    Decaying {
+        /// Lambda at generation 0.
+        initial: f64,
+        /// Multiplicative decay per generation, in (0, 1].
+        decay: f64,
+    },
+}
+
+impl BalanceSchedule {
+    /// Validate parameters.
+    pub fn validated(self) -> Result<Self> {
+        let ok = match self {
+            BalanceSchedule::Fixed(l) => (0.0..=1.0).contains(&l),
+            BalanceSchedule::Decaying { initial, decay } => {
+                (0.0..=1.0).contains(&initial) && decay > 0.0 && decay <= 1.0
+            }
+        };
+        if ok {
+            Ok(self)
+        } else {
+            Err(CreativityError::InvalidParameter(format!(
+                "bad balance schedule {self:?}"
+            )))
+        }
+    }
+
+    /// Lambda at generation `g`.
+    pub fn lambda(&self, generation: usize) -> f64 {
+        match self {
+            BalanceSchedule::Fixed(l) => *l,
+            BalanceSchedule::Decaying { initial, decay } => initial * decay.powi(generation as i32),
+        }
+    }
+}
+
+/// Min-max normalize values so value and novelty blend on the same scale;
+/// non-finite entries map to 0.
+pub fn normalize(xs: &[f64]) -> Vec<f64> {
+    let finite: Vec<f64> = xs.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return vec![0.0; xs.len()];
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = if max > min { max - min } else { 1.0 };
+    xs.iter()
+        .map(|&v| {
+            if v.is_finite() {
+                (v - min) / range
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_constant() {
+        let s = BalanceSchedule::Fixed(0.3).validated().unwrap();
+        assert_eq!(s.lambda(0), 0.3);
+        assert_eq!(s.lambda(100), 0.3);
+    }
+
+    #[test]
+    fn decaying_schedule_decreases() {
+        let s = BalanceSchedule::Decaying {
+            initial: 0.8,
+            decay: 0.5,
+        }
+        .validated()
+        .unwrap();
+        assert_eq!(s.lambda(0), 0.8);
+        assert_eq!(s.lambda(1), 0.4);
+        assert_eq!(s.lambda(2), 0.2);
+        assert!(s.lambda(20) < 1e-5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(BalanceSchedule::Fixed(1.5).validated().is_err());
+        assert!(BalanceSchedule::Fixed(-0.1).validated().is_err());
+        assert!(BalanceSchedule::Decaying {
+            initial: 0.5,
+            decay: 0.0
+        }
+        .validated()
+        .is_err());
+        assert!(BalanceSchedule::Decaying {
+            initial: 0.5,
+            decay: 1.1
+        }
+        .validated()
+        .is_err());
+        assert!(BalanceSchedule::Decaying {
+            initial: 0.5,
+            decay: 1.0
+        }
+        .validated()
+        .is_ok());
+    }
+
+    #[test]
+    fn normalize_basic() {
+        assert_eq!(normalize(&[1.0, 2.0, 3.0]), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_constant_input() {
+        assert_eq!(normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_handles_neg_infinity() {
+        let out = normalize(&[f64::NEG_INFINITY, 1.0, 2.0]);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 1.0);
+    }
+
+    #[test]
+    fn normalize_all_non_finite() {
+        assert_eq!(
+            normalize(&[f64::NEG_INFINITY, f64::INFINITY]),
+            vec![0.0, 0.0]
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Recombination of two parent designs.
+
+use matilda_pipeline::prelude::*;
+use rand::Rng;
+
+/// Recombine two parents into a child design.
+///
+/// The child takes its prep chain by interleaving the parents' chains
+/// (keeping family uniqueness), its model from one parent, its split from
+/// the other, and a random parent's scoring. Both parents must share the
+/// task; the child does too.
+pub fn crossover(a: &PipelineSpec, b: &PipelineSpec, rng: &mut impl Rng) -> PipelineSpec {
+    debug_assert_eq!(a.task, b.task, "crossover requires a shared task");
+    let mut prep: Vec<PrepOp> = Vec::new();
+    let (first, second) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+    for op in first.prep.iter().chain(&second.prep) {
+        if !prep.iter().any(|p| p.name() == op.name()) && rng.gen_bool(0.75) {
+            prep.push(op.clone());
+        }
+    }
+    // Guarantee the child keeps at least the first parent's safety ops.
+    for op in &first.prep {
+        let is_safety = matches!(
+            op,
+            PrepOp::Impute(_) | PrepOp::DropNulls | PrepOp::OneHotEncode
+        );
+        if is_safety && !prep.iter().any(|p| p.name() == op.name()) {
+            prep.insert(0, op.clone());
+        }
+    }
+    PipelineSpec {
+        task: a.task.clone(),
+        prep,
+        split: if rng.gen_bool(0.5) {
+            a.split.clone()
+        } else {
+            b.split.clone()
+        },
+        model: if rng.gen_bool(0.5) {
+            a.model.clone()
+        } else {
+            b.model.clone()
+        },
+        scoring: if rng.gen_bool(0.5) {
+            a.scoring
+        } else {
+            b.scoring
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::transform::{ImputeStrategy, ScaleStrategy};
+    use matilda_ml::{ModelSpec, Scoring};
+    use rand::SeedableRng;
+
+    fn parent_a() -> PipelineSpec {
+        PipelineSpec::default_classification("y")
+    }
+
+    fn parent_b() -> PipelineSpec {
+        PipelineSpec {
+            task: Task::Classification { target: "y".into() },
+            prep: vec![
+                PrepOp::Impute(ImputeStrategy::Mean),
+                PrepOp::OneHotEncode,
+                PrepOp::SelectKBest { k: 4 },
+            ],
+            split: SplitSpec {
+                test_fraction: 0.3,
+                stratified: false,
+                seed: 9,
+            },
+            model: ModelSpec::Knn { k: 7 },
+            scoring: Scoring::Accuracy,
+        }
+    }
+
+    #[test]
+    fn child_components_come_from_parents() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..30 {
+            let child = crossover(&parent_a(), &parent_b(), &mut rng);
+            assert!(
+                child.model == parent_a().model || child.model == parent_b().model,
+                "model from a parent"
+            );
+            assert!(child.split == parent_a().split || child.split == parent_b().split);
+            assert_eq!(child.task, parent_a().task);
+        }
+    }
+
+    #[test]
+    fn child_prep_has_unique_families() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let child = crossover(&parent_a(), &parent_b(), &mut rng);
+            let names: Vec<&str> = child.prep.iter().map(|p| p.name()).collect();
+            let unique: std::collections::HashSet<&&str> = names.iter().collect();
+            assert_eq!(unique.len(), names.len());
+        }
+    }
+
+    #[test]
+    fn safety_ops_survive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let child = crossover(&parent_a(), &parent_b(), &mut rng);
+            assert!(
+                child.prep.iter().any(|op| matches!(op, PrepOp::Impute(_))),
+                "both parents impute, so the child must"
+            );
+            assert!(child
+                .prep
+                .iter()
+                .any(|op| matches!(op, PrepOp::OneHotEncode)));
+        }
+    }
+
+    #[test]
+    fn crossover_produces_variety() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let fps: std::collections::HashSet<u64> = (0..20)
+            .map(|_| {
+                matilda_pipeline::fingerprint::fingerprint(&crossover(
+                    &parent_a(),
+                    &parent_b(),
+                    &mut rng,
+                ))
+            })
+            .collect();
+        assert!(
+            fps.len() > 3,
+            "recombination should vary, got {} distinct",
+            fps.len()
+        );
+    }
+
+    #[test]
+    fn scale_op_survives_sometimes() {
+        // parent_a has a Scale op; across draws it should appear in some child.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut seen_scale = false;
+        for _ in 0..30 {
+            let child = crossover(&parent_a(), &parent_b(), &mut rng);
+            if child
+                .prep
+                .iter()
+                .any(|op| matches!(op, PrepOp::Scale(ScaleStrategy::Standard)))
+            {
+                seen_scale = true;
+            }
+        }
+        assert!(seen_scale);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for the creativity engine.
+
+use std::fmt;
+
+/// Errors raised during creative search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CreativityError {
+    /// A search parameter was outside its valid domain.
+    InvalidParameter(String),
+    /// The search could not produce a single valid candidate.
+    NoValidCandidate(String),
+    /// Failure in the pipeline substrate.
+    Pipeline(matilda_pipeline::PipelineError),
+}
+
+impl fmt::Display for CreativityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CreativityError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            CreativityError::NoValidCandidate(m) => write!(f, "no valid candidate: {m}"),
+            CreativityError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CreativityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CreativityError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<matilda_pipeline::PipelineError> for CreativityError {
+    fn from(e: matilda_pipeline::PipelineError) -> Self {
+        CreativityError::Pipeline(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CreativityError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(CreativityError::InvalidParameter("x".into())
+            .to_string()
+            .contains("x"));
+        let e: CreativityError = matilda_pipeline::PipelineError::InvalidSpec("bad".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

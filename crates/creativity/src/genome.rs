@@ -1,0 +1,83 @@
+//! Candidates: pipeline designs annotated with creativity bookkeeping.
+
+use matilda_pipeline::fingerprint::{descriptor, fingerprint, DESCRIPTOR_LEN};
+use matilda_pipeline::PipelineSpec;
+
+/// A pipeline design travelling through the creative search, together with
+/// everything the engine knows about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The design itself (the genome).
+    pub spec: PipelineSpec,
+    /// Exact identity hash of the design.
+    pub fingerprint: u64,
+    /// Behavioural descriptor for novelty distances.
+    pub descriptor: [f64; DESCRIPTOR_LEN],
+    /// Cross-validated value, once evaluated.
+    pub value: Option<f64>,
+    /// Archive-relative novelty, once computed.
+    pub novelty: Option<f64>,
+    /// Surprise relative to family expectations, once computed.
+    pub surprise: Option<f64>,
+    /// Generation at which the candidate was created.
+    pub generation: usize,
+    /// Name of the creativity pattern (or operator) that produced it.
+    pub origin: String,
+}
+
+impl Candidate {
+    /// Wrap a spec as a fresh, unevaluated candidate.
+    pub fn new(spec: PipelineSpec, generation: usize, origin: impl Into<String>) -> Self {
+        let fingerprint = fingerprint(&spec);
+        let descriptor = descriptor(&spec);
+        Candidate {
+            spec,
+            fingerprint,
+            descriptor,
+            value: None,
+            novelty: None,
+            surprise: None,
+            generation,
+            origin: origin.into(),
+        }
+    }
+
+    /// Blended selection score: `(1 - lambda) * value + lambda * novelty`.
+    ///
+    /// `lambda` is the exploration weight in `[0, 1]`; unevaluated
+    /// components count as 0.
+    pub fn blended_score(&self, lambda: f64) -> f64 {
+        (1.0 - lambda) * self.value.unwrap_or(0.0) + lambda * self.novelty.unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_candidate_derives_identity() {
+        let spec = PipelineSpec::default_classification("y");
+        let c = Candidate::new(spec.clone(), 3, "design");
+        assert_eq!(c.fingerprint, fingerprint(&spec));
+        assert_eq!(c.generation, 3);
+        assert_eq!(c.origin, "design");
+        assert!(c.value.is_none());
+    }
+
+    #[test]
+    fn blended_score_interpolates() {
+        let mut c = Candidate::new(PipelineSpec::default_classification("y"), 0, "t");
+        c.value = Some(0.8);
+        c.novelty = Some(0.2);
+        assert!((c.blended_score(0.0) - 0.8).abs() < 1e-12);
+        assert!((c.blended_score(1.0) - 0.2).abs() < 1e-12);
+        assert!((c.blended_score(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_components_count_zero() {
+        let c = Candidate::new(PipelineSpec::default_classification("y"), 0, "t");
+        assert_eq!(c.blended_score(0.5), 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The design-space grammar: seeded random generation of *valid* pipeline
+//! specs for a given task and data profile.
+//!
+//! The grammar's terminal alphabet is the platform registry ("known
+//! territory"); random composition over it is how the engine wanders into
+//! unknown territory while remaining executable.
+
+use matilda_data::transform::{ImputeStrategy, ScaleStrategy};
+use matilda_ml::ModelSpec;
+use matilda_pipeline::prelude::*;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draw a random imputation strategy.
+pub fn random_impute(rng: &mut impl Rng) -> ImputeStrategy {
+    match rng.gen_range(0..4) {
+        0 => ImputeStrategy::Mean,
+        1 => ImputeStrategy::Median,
+        2 => ImputeStrategy::Mode,
+        _ => ImputeStrategy::Constant(rng.gen_range(-1.0..1.0)),
+    }
+}
+
+/// Draw a random scaling strategy.
+pub fn random_scale(rng: &mut impl Rng) -> ScaleStrategy {
+    *[
+        ScaleStrategy::Standard,
+        ScaleStrategy::MinMax,
+        ScaleStrategy::Robust,
+    ]
+    .choose(rng)
+    .expect("non-empty")
+}
+
+/// Draw a random preparation operator appropriate for `profile`.
+pub fn random_prep_op(profile: &DataProfile, rng: &mut impl Rng) -> PrepOp {
+    // Weight op families by registry relevance so generation is calibrated
+    // to the data, then randomize the hyper-parameters.
+    let catalogue = prep_catalogue();
+    let weights: Vec<f64> = catalogue
+        .iter()
+        .map(|e| (e.relevance)(profile).max(0.01))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut target = rng.gen::<f64>() * total;
+    let mut chosen = 0;
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            chosen = i;
+            break;
+        }
+    }
+    match &catalogue[chosen].op {
+        PrepOp::Impute(_) => PrepOp::Impute(random_impute(rng)),
+        PrepOp::Scale(_) => PrepOp::Scale(random_scale(rng)),
+        PrepOp::DropNulls => PrepOp::DropNulls,
+        PrepOp::OneHotEncode => PrepOp::OneHotEncode,
+        PrepOp::SelectKBest { .. } => PrepOp::SelectKBest {
+            k: rng.gen_range(1..=profile.n_numeric.max(2)),
+        },
+        PrepOp::PolynomialFeatures { .. } => PrepOp::PolynomialFeatures {
+            degree: rng.gen_range(2..=3),
+        },
+        PrepOp::ClipOutliers { .. } => {
+            let bound = rng.gen_range(1.5..4.0);
+            PrepOp::ClipOutliers {
+                lo: -bound,
+                hi: bound,
+            }
+        }
+        PrepOp::Discretize { .. } => PrepOp::Discretize {
+            bins: rng.gen_range(2..16),
+        },
+    }
+}
+
+/// Draw a random model spec supporting the task.
+pub fn random_model(classification: bool, rng: &mut impl Rng) -> ModelSpec {
+    loop {
+        let spec = match rng.gen_range(0..8) {
+            0 => ModelSpec::Linear {
+                ridge: 10f64.powf(rng.gen_range(-4.0..1.0)),
+            },
+            1 => ModelSpec::Logistic {
+                learning_rate: rng.gen_range(0.05..0.5),
+                epochs: rng.gen_range(50..300),
+                l2: 10f64.powf(rng.gen_range(-4.0..-1.0)),
+            },
+            2 => ModelSpec::GaussianNb,
+            3 => ModelSpec::Knn {
+                k: rng.gen_range(1..16),
+            },
+            4 => ModelSpec::Tree {
+                max_depth: rng.gen_range(2..10),
+                min_samples_split: rng.gen_range(2..8),
+            },
+            5 => ModelSpec::Forest {
+                n_trees: rng.gen_range(5..40),
+                max_depth: rng.gen_range(2..8),
+                feature_fraction: rng.gen_range(0.4..1.0),
+                seed: rng.gen(),
+            },
+            6 => ModelSpec::Boost {
+                n_rounds: rng.gen_range(5..40),
+                learning_rate: rng.gen_range(0.05..0.5),
+                max_depth: rng.gen_range(1..4),
+            },
+            _ => ModelSpec::Mlp {
+                hidden: rng.gen_range(4..24),
+                learning_rate: rng.gen_range(0.1..0.8),
+                epochs: rng.gen_range(100..400),
+                seed: rng.gen(),
+            },
+        };
+        let ok = if classification {
+            spec.supports_classification()
+        } else {
+            spec.supports_regression()
+        };
+        if ok {
+            return spec;
+        }
+    }
+}
+
+/// Draw a random split spec.
+pub fn random_split(classification: bool, rng: &mut impl Rng) -> SplitSpec {
+    SplitSpec {
+        test_fraction: rng.gen_range(0.15..0.4),
+        stratified: classification && rng.gen_bool(0.5),
+        seed: rng.gen(),
+    }
+}
+
+/// Generate a complete random pipeline spec for `task` calibrated to
+/// `profile`. Always includes null handling when the data has nulls and a
+/// one-hot op when categorical features exist, so generated specs validate.
+pub fn random_spec(task: &Task, profile: &DataProfile, rng: &mut impl Rng) -> PipelineSpec {
+    let mut prep: Vec<PrepOp> = Vec::new();
+    if profile.n_nulls > 0 {
+        prep.push(if rng.gen_bool(0.8) {
+            PrepOp::Impute(random_impute(rng))
+        } else {
+            PrepOp::DropNulls
+        });
+    }
+    if profile.n_categorical > 0 {
+        prep.push(PrepOp::OneHotEncode);
+    }
+    let extra = rng.gen_range(0..3);
+    for _ in 0..extra {
+        let op = random_prep_op(profile, rng);
+        // Avoid duplicate op families in one chain.
+        if !prep.iter().any(|p| p.name() == op.name()) {
+            prep.push(op);
+        }
+    }
+    let classification = task.is_classification();
+    let scoring = *scoring_catalogue(classification)
+        .choose(rng)
+        .expect("non-empty");
+    PipelineSpec {
+        task: task.clone(),
+        prep,
+        split: random_split(classification, rng),
+        model: random_model(classification, rng),
+        scoring,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn profile() -> DataProfile {
+        DataProfile {
+            n_rows: 300,
+            n_numeric: 5,
+            n_categorical: 1,
+            n_nulls: 4,
+            classification: true,
+            max_skewness: 0.3,
+        }
+    }
+
+    #[test]
+    fn random_models_respect_task() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(random_model(true, &mut rng).supports_classification());
+            assert!(random_model(false, &mut rng).supports_regression());
+        }
+    }
+
+    #[test]
+    fn generated_specs_always_handle_nulls_and_categories() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let task = Task::Classification { target: "y".into() };
+        for _ in 0..50 {
+            let spec = random_spec(&task, &profile(), &mut rng);
+            assert!(
+                spec.prep
+                    .iter()
+                    .any(|op| matches!(op, PrepOp::Impute(_) | PrepOp::DropNulls)),
+                "nulls must be handled"
+            );
+            assert!(spec
+                .prep
+                .iter()
+                .any(|op| matches!(op, PrepOp::OneHotEncode)));
+            assert!(spec.scoring.is_classification());
+        }
+    }
+
+    #[test]
+    fn generated_specs_validate_against_matching_frame() {
+        use matilda_data::{Column, DataFrame};
+        let df = DataFrame::from_columns(vec![
+            (
+                "a",
+                Column::from_opt_f64((0..30).map(|i| (i % 7 != 0).then_some(i as f64)).collect()),
+            ),
+            (
+                "b",
+                Column::from_f64((0..30).map(|i| (i * 3 % 11) as f64).collect()),
+            ),
+            (
+                "c",
+                Column::from_f64((0..30).map(|i| (i % 5) as f64).collect()),
+            ),
+            (
+                "d",
+                Column::from_f64((0..30).map(|i| (i % 4) as f64).collect()),
+            ),
+            (
+                "e",
+                Column::from_f64((0..30).map(|i| (i % 3) as f64).collect()),
+            ),
+            (
+                "cat",
+                Column::from_categorical(
+                    &(0..30)
+                        .map(|i| if i % 2 == 0 { "u" } else { "v" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "y",
+                Column::from_categorical(
+                    &(0..30)
+                        .map(|i| if i < 15 { "p" } else { "q" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let task = Task::Classification { target: "y".into() };
+        let p = DataProfile::from_frame(&df, "y", true);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for i in 0..30 {
+            let spec = random_spec(&task, &p, &mut rng);
+            let violations = matilda_pipeline::validate::validate(&spec, &df);
+            assert!(
+                violations.is_empty(),
+                "spec {i} invalid: {violations:?}\n{spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let task = Task::Regression { target: "t".into() };
+        let mut a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        let sa = random_spec(&task, &profile(), &mut a);
+        let sb = random_spec(&task, &profile(), &mut b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn variety_across_draws() {
+        let task = Task::Classification { target: "y".into() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let fps: std::collections::HashSet<u64> = (0..20)
+            .map(|_| {
+                matilda_pipeline::fingerprint::fingerprint(&random_spec(
+                    &task,
+                    &profile(),
+                    &mut rng,
+                ))
+            })
+            .collect();
+        assert!(
+            fps.len() > 10,
+            "grammar should produce diverse designs, got {}",
+            fps.len()
+        );
+    }
+
+    #[test]
+    fn no_duplicate_prep_families() {
+        let task = Task::Classification { target: "y".into() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..40 {
+            let spec = random_spec(&task, &profile(), &mut rng);
+            let names: Vec<&str> = spec.prep.iter().map(|p| p.name()).collect();
+            let unique: std::collections::HashSet<&&str> = names.iter().collect();
+            assert_eq!(unique.len(), names.len(), "duplicate families in {names:?}");
+        }
+    }
+}

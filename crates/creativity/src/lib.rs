@@ -1,0 +1,67 @@
+//! # matilda-creativity
+//!
+//! MATILDA's computational-creativity engine: generative search over the
+//! pipeline design space, structured by the six CC software design patterns
+//! of Glines, Griffith & Bodily and assessed by Boden's three creativity
+//! criteria — novelty, value and surprise.
+//!
+//! - [`grammar`]: seeded random generation of valid designs ("unknown
+//!   territory" that still executes);
+//! - [`mutate`] / [`crossover`]: local edits and recombination;
+//! - [`archive`]: the novelty archive with k-NN behavioural distances;
+//! - [`value`]: memoized cross-validated value;
+//! - [`surprise`]: per-model-family expectation tracking;
+//! - [`patterns`]: the six creativity patterns as pluggable strategies;
+//! - [`apprentice`]: the Apprentice Framework role ladder for the
+//!   artificial agent inside the mixed human/machine team;
+//! - [`balance`]: the explicit known-vs-unknown exploration weight;
+//! - [`mod@search`]: the population loop tying everything together.
+//!
+//! ```
+//! use matilda_creativity::prelude::*;
+//! use matilda_data::{Column, DataFrame};
+//! use matilda_pipeline::Task;
+//!
+//! let df = DataFrame::from_columns(vec![
+//!     ("x", Column::from_f64((0..40).map(f64::from).collect())),
+//!     ("y", Column::from_categorical(
+//!         &(0..40).map(|i| if i < 20 { "a" } else { "b" }).collect::<Vec<_>>())),
+//! ]).unwrap();
+//! let task = Task::Classification { target: "y".into() };
+//! let config = SearchConfig { population_size: 6, generations: 2, ..SearchConfig::default() };
+//! let outcome = search(&task, &df, &config).unwrap();
+//! assert!(outcome.best.value.unwrap() > 0.7);
+//! ```
+
+pub mod apprentice;
+pub mod archive;
+pub mod balance;
+pub mod crossover;
+pub mod error;
+pub mod genome;
+pub mod grammar;
+pub mod mutate;
+pub mod patterns;
+pub mod search;
+pub mod surprise;
+pub mod value;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::apprentice::{team_creativity, ApprenticeAgent, LadderPolicy, Role};
+    pub use crate::archive::Archive;
+    pub use crate::balance::BalanceSchedule;
+    pub use crate::error::{CreativityError, Result};
+    pub use crate::genome::Candidate;
+    pub use crate::patterns::{all_patterns, pattern_by_name, CreativityPattern, PatternContext};
+    pub use crate::search::{search, PatternSelection, SearchConfig, SearchOutcome};
+    pub use crate::surprise::SurpriseTracker;
+    pub use crate::value::Evaluator;
+}
+
+pub use apprentice::{ApprenticeAgent, Role};
+pub use archive::Archive;
+pub use balance::BalanceSchedule;
+pub use error::{CreativityError, Result};
+pub use genome::Candidate;
+pub use search::{search, SearchConfig, SearchOutcome};

@@ -1,0 +1,419 @@
+//! Mutation operators over pipeline specs.
+//!
+//! Each operator makes one local, named edit; names land in provenance so a
+//! design's history reads as a chain of understandable moves.
+
+use crate::grammar;
+use matilda_data::transform::ScaleStrategy;
+use matilda_ml::ModelSpec;
+use matilda_pipeline::prelude::*;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The kinds of mutation the engine can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Insert a random prep op at a random position.
+    AddPrepOp,
+    /// Remove a random prep op.
+    RemovePrepOp,
+    /// Swap two prep ops' positions.
+    SwapPrepOps,
+    /// Re-randomize one prep op's hyper-parameters.
+    TweakPrepOp,
+    /// Replace the model with another family.
+    SwapModelFamily,
+    /// Nudge the model's hyper-parameters.
+    TweakModel,
+    /// Change the split fraction / stratification / seed.
+    TweakSplit,
+    /// Switch to another task-appropriate scoring rule.
+    SwapScoring,
+}
+
+impl Mutation {
+    /// All mutation kinds.
+    pub const ALL: [Mutation; 8] = [
+        Mutation::AddPrepOp,
+        Mutation::RemovePrepOp,
+        Mutation::SwapPrepOps,
+        Mutation::TweakPrepOp,
+        Mutation::SwapModelFamily,
+        Mutation::TweakModel,
+        Mutation::TweakSplit,
+        Mutation::SwapScoring,
+    ];
+
+    /// Stable name for provenance.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::AddPrepOp => "add_prep_op",
+            Mutation::RemovePrepOp => "remove_prep_op",
+            Mutation::SwapPrepOps => "swap_prep_ops",
+            Mutation::TweakPrepOp => "tweak_prep_op",
+            Mutation::SwapModelFamily => "swap_model_family",
+            Mutation::TweakModel => "tweak_model",
+            Mutation::TweakSplit => "tweak_split",
+            Mutation::SwapScoring => "swap_scoring",
+        }
+    }
+}
+
+fn jitter_usize(v: usize, lo: usize, hi: usize, rng: &mut impl Rng) -> usize {
+    let delta: i64 = rng.gen_range(-2..=2);
+    ((v as i64 + delta).max(lo as i64) as usize).min(hi)
+}
+
+fn tweak_model_params(model: &ModelSpec, rng: &mut impl Rng) -> ModelSpec {
+    match model {
+        ModelSpec::Linear { ridge } => ModelSpec::Linear {
+            ridge: (ridge * rng.gen_range(0.3..3.0)).clamp(0.0, 100.0),
+        },
+        ModelSpec::Logistic {
+            learning_rate,
+            epochs,
+            l2,
+        } => ModelSpec::Logistic {
+            learning_rate: (learning_rate * rng.gen_range(0.5..2.0)).clamp(0.01, 1.0),
+            epochs: jitter_usize(*epochs, 20, 500, rng) + rng.gen_range(0..30),
+            l2: (l2 * rng.gen_range(0.3..3.0)).clamp(0.0, 1.0),
+        },
+        ModelSpec::GaussianNb => ModelSpec::GaussianNb,
+        ModelSpec::Knn { k } => ModelSpec::Knn {
+            k: jitter_usize(*k, 1, 32, rng),
+        },
+        ModelSpec::Tree {
+            max_depth,
+            min_samples_split,
+        } => ModelSpec::Tree {
+            max_depth: jitter_usize(*max_depth, 1, 16, rng),
+            min_samples_split: jitter_usize(*min_samples_split, 2, 16, rng),
+        },
+        ModelSpec::Forest {
+            n_trees,
+            max_depth,
+            feature_fraction,
+            seed,
+        } => ModelSpec::Forest {
+            n_trees: jitter_usize(*n_trees, 2, 80, rng),
+            max_depth: jitter_usize(*max_depth, 1, 12, rng),
+            feature_fraction: (feature_fraction + rng.gen_range(-0.2..0.2)).clamp(0.1, 1.0),
+            seed: *seed,
+        },
+        ModelSpec::Boost {
+            n_rounds,
+            learning_rate,
+            max_depth,
+        } => ModelSpec::Boost {
+            n_rounds: jitter_usize(*n_rounds, 2, 80, rng),
+            learning_rate: (learning_rate * rng.gen_range(0.5..2.0)).clamp(0.01, 1.0),
+            max_depth: jitter_usize(*max_depth, 1, 5, rng),
+        },
+        ModelSpec::Mlp {
+            hidden,
+            learning_rate,
+            epochs,
+            seed,
+        } => ModelSpec::Mlp {
+            hidden: jitter_usize(*hidden, 2, 48, rng),
+            learning_rate: (learning_rate * rng.gen_range(0.5..2.0)).clamp(0.01, 1.0),
+            epochs: jitter_usize(*epochs, 50, 600, rng),
+            seed: *seed,
+        },
+    }
+}
+
+fn tweak_prep_op(op: &PrepOp, rng: &mut impl Rng) -> PrepOp {
+    match op {
+        PrepOp::Impute(_) => PrepOp::Impute(grammar::random_impute(rng)),
+        PrepOp::Scale(s) => {
+            let options = [
+                ScaleStrategy::Standard,
+                ScaleStrategy::MinMax,
+                ScaleStrategy::Robust,
+            ];
+            let mut next = *options.choose(rng).expect("non-empty");
+            if next == *s {
+                next = options[(options.iter().position(|o| o == s).expect("in options") + 1) % 3];
+            }
+            PrepOp::Scale(next)
+        }
+        PrepOp::SelectKBest { k } => PrepOp::SelectKBest {
+            k: jitter_usize(*k, 1, 64, rng),
+        },
+        PrepOp::PolynomialFeatures { degree } => PrepOp::PolynomialFeatures {
+            degree: if *degree == 2 { 3 } else { 2 },
+        },
+        PrepOp::ClipOutliers { .. } => {
+            let bound = rng.gen_range(1.5..4.0);
+            PrepOp::ClipOutliers {
+                lo: -bound,
+                hi: bound,
+            }
+        }
+        PrepOp::DropNulls => PrepOp::Impute(grammar::random_impute(rng)),
+        PrepOp::OneHotEncode => PrepOp::OneHotEncode,
+        PrepOp::Discretize { bins } => PrepOp::Discretize {
+            bins: jitter_usize(*bins, 2, 32, rng),
+        },
+    }
+}
+
+/// Apply `mutation` to `spec`, returning the mutated copy.
+///
+/// Mutations that do not apply (e.g. removing from an empty prep chain)
+/// degrade gracefully into the nearest applicable edit.
+pub fn apply(
+    spec: &PipelineSpec,
+    mutation: Mutation,
+    profile: &DataProfile,
+    rng: &mut impl Rng,
+) -> PipelineSpec {
+    let mut out = spec.clone();
+    let classification = out.task.is_classification();
+    match mutation {
+        Mutation::AddPrepOp => {
+            let op = grammar::random_prep_op(profile, rng);
+            if !out.prep.iter().any(|p| p.name() == op.name()) {
+                let pos = rng.gen_range(0..=out.prep.len());
+                out.prep.insert(pos, op);
+            }
+        }
+        Mutation::RemovePrepOp => {
+            // Never remove the only null handler while the data has nulls,
+            // nor the only one-hot while categoricals exist.
+            let removable: Vec<usize> = out
+                .prep
+                .iter()
+                .enumerate()
+                .filter(|(_, op)| {
+                    let protects_nulls =
+                        profile.n_nulls > 0 && matches!(op, PrepOp::Impute(_) | PrepOp::DropNulls);
+                    let protects_cats =
+                        profile.n_categorical > 0 && matches!(op, PrepOp::OneHotEncode);
+                    !(protects_nulls || protects_cats)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&i) = removable.as_slice().choose(rng) {
+                out.prep.remove(i);
+            }
+        }
+        Mutation::SwapPrepOps => {
+            if out.prep.len() >= 2 {
+                let i = rng.gen_range(0..out.prep.len());
+                let j = rng.gen_range(0..out.prep.len());
+                out.prep.swap(i, j);
+            }
+        }
+        Mutation::TweakPrepOp => {
+            if !out.prep.is_empty() {
+                let i = rng.gen_range(0..out.prep.len());
+                let tweaked = tweak_prep_op(&out.prep[i], rng);
+                // Keep the no-duplicate-family invariant.
+                if !out
+                    .prep
+                    .iter()
+                    .enumerate()
+                    .any(|(j, p)| j != i && p.name() == tweaked.name())
+                {
+                    out.prep[i] = tweaked;
+                }
+            }
+        }
+        Mutation::SwapModelFamily => {
+            let current = out.model.name();
+            for _ in 0..16 {
+                let candidate = grammar::random_model(classification, rng);
+                if candidate.name() != current {
+                    out.model = candidate;
+                    break;
+                }
+            }
+        }
+        Mutation::TweakModel => {
+            out.model = tweak_model_params(&out.model, rng);
+        }
+        Mutation::TweakSplit => {
+            out.split = SplitSpec {
+                test_fraction: (out.split.test_fraction + rng.gen_range(-0.1..0.1))
+                    .clamp(0.1, 0.45),
+                stratified: classification && rng.gen_bool(0.5),
+                seed: rng.gen(),
+            };
+        }
+        Mutation::SwapScoring => {
+            let options = matilda_pipeline::registry::scoring_catalogue(classification);
+            if let Some(&next) = options.iter().find(|s| **s != out.scoring) {
+                out.scoring = next;
+            }
+        }
+    }
+    out
+}
+
+/// Apply a uniformly random mutation; returns the mutated spec and the name
+/// of the mutation used.
+pub fn random_mutation(
+    spec: &PipelineSpec,
+    profile: &DataProfile,
+    rng: &mut impl Rng,
+) -> (PipelineSpec, &'static str) {
+    let m = *Mutation::ALL.choose(rng).expect("non-empty");
+    (apply(spec, m, profile, rng), m.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::transform::ImputeStrategy;
+    use rand::SeedableRng;
+
+    fn profile() -> DataProfile {
+        DataProfile {
+            n_rows: 200,
+            n_numeric: 4,
+            n_categorical: 1,
+            n_nulls: 3,
+            classification: true,
+            max_skewness: 0.0,
+        }
+    }
+
+    fn base() -> PipelineSpec {
+        PipelineSpec::default_classification("y")
+    }
+
+    #[test]
+    fn mutation_names_unique() {
+        let names: std::collections::HashSet<&str> =
+            Mutation::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), Mutation::ALL.len());
+    }
+
+    #[test]
+    fn swap_model_changes_family() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mutated = apply(&base(), Mutation::SwapModelFamily, &profile(), &mut rng);
+        assert_ne!(mutated.model.name(), base().model.name());
+        assert!(mutated.model.supports_classification());
+    }
+
+    #[test]
+    fn tweak_model_keeps_family() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mutated = apply(&base(), Mutation::TweakModel, &profile(), &mut rng);
+        assert_eq!(mutated.model.name(), base().model.name());
+    }
+
+    #[test]
+    fn remove_protects_null_handler() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut spec = base();
+        spec.prep = vec![PrepOp::Impute(ImputeStrategy::Mean)];
+        for _ in 0..20 {
+            let mutated = apply(&spec, Mutation::RemovePrepOp, &profile(), &mut rng);
+            assert!(
+                mutated
+                    .prep
+                    .iter()
+                    .any(|op| matches!(op, PrepOp::Impute(_))),
+                "null handler must survive while data has nulls"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_protects_one_hot() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut spec = base();
+        spec.prep = vec![PrepOp::OneHotEncode, PrepOp::Impute(ImputeStrategy::Mean)];
+        for _ in 0..20 {
+            let mutated = apply(&spec, Mutation::RemovePrepOp, &profile(), &mut rng);
+            assert!(mutated
+                .prep
+                .iter()
+                .any(|op| matches!(op, PrepOp::OneHotEncode)));
+        }
+    }
+
+    #[test]
+    fn add_respects_family_uniqueness() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let mutated = apply(&base(), Mutation::AddPrepOp, &profile(), &mut rng);
+            let names: Vec<&str> = mutated.prep.iter().map(|p| p.name()).collect();
+            let unique: std::collections::HashSet<&&str> = names.iter().collect();
+            assert_eq!(unique.len(), names.len());
+        }
+    }
+
+    #[test]
+    fn tweak_split_stays_in_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut spec = base();
+        for _ in 0..30 {
+            spec = apply(&spec, Mutation::TweakSplit, &profile(), &mut rng);
+            assert!((0.1..=0.45).contains(&spec.split.test_fraction));
+        }
+    }
+
+    #[test]
+    fn swap_scoring_stays_task_compatible() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mutated = apply(&base(), Mutation::SwapScoring, &profile(), &mut rng);
+        assert!(mutated.scoring.is_classification());
+        assert_ne!(mutated.scoring, base().scoring);
+    }
+
+    #[test]
+    fn random_mutation_reports_name() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let (_, name) = random_mutation(&base(), &profile(), &mut rng);
+        assert!(Mutation::ALL.iter().any(|m| m.name() == name));
+    }
+
+    #[test]
+    fn mutations_preserve_validity_on_matching_frame() {
+        use matilda_data::{Column, DataFrame};
+        let df = DataFrame::from_columns(vec![
+            (
+                "a",
+                Column::from_opt_f64((0..40).map(|i| (i % 9 != 0).then_some(i as f64)).collect()),
+            ),
+            (
+                "b",
+                Column::from_f64((0..40).map(|i| (i % 7) as f64).collect()),
+            ),
+            (
+                "cat",
+                Column::from_categorical(
+                    &(0..40)
+                        .map(|i| if i % 2 == 0 { "u" } else { "v" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "y",
+                Column::from_categorical(
+                    &(0..40)
+                        .map(|i| if i < 20 { "p" } else { "q" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let p = DataProfile::from_frame(&df, "y", true);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut spec = PipelineSpec::default_classification("y");
+        for i in 0..100 {
+            let (next, name) = random_mutation(&spec, &p, &mut rng);
+            let violations = matilda_pipeline::validate::validate(&next, &df);
+            assert!(
+                violations.is_empty(),
+                "step {i} ({name}) broke validity: {violations:?}"
+            );
+            spec = next;
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The *Chorus Line* pattern: assemble a wide line-up of independent
+//! candidates and audition them all — embarrassing parallelism made
+//! explicit. Generation is random over the grammar; the audition
+//! (evaluation) runs on worker threads sharing the memoized evaluator.
+
+use super::{CreativityPattern, PatternContext};
+use crate::genome::Candidate;
+use crate::grammar;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// See module docs.
+pub struct ChorusLine;
+
+impl CreativityPattern for ChorusLine {
+    fn name(&self) -> &'static str {
+        "chorus_line"
+    }
+
+    fn generate(&self, ctx: &PatternContext<'_>, n: usize, rng: &mut StdRng) -> Vec<Candidate> {
+        // Independent grammar draws form the line.
+        let mut candidates: Vec<Candidate> = (0..n)
+            .map(|_| {
+                let spec = grammar::random_spec(ctx.task, ctx.profile, rng);
+                Candidate::new(spec, ctx.generation, self.name())
+            })
+            .collect();
+        // Audition in parallel: every member gets an evaluated value.
+        let evaluator = ctx.evaluator;
+        let n_workers = std::thread::available_parallelism()
+            .map_or(2, |p| p.get())
+            .min(n.max(1));
+        let chunk = candidates.len().div_ceil(n_workers.max(1)).max(1);
+        crossbeam::thread::scope(|scope| {
+            for slice in candidates.chunks_mut(chunk) {
+                scope.spawn(move |_| {
+                    for candidate in slice {
+                        candidate.value = Some(evaluator.value(&candidate.spec));
+                    }
+                });
+            }
+        })
+        .expect("audition worker panicked");
+        // Seed extra diversity: one wildcard with a fresh RNG stream so the
+        // line never fully converges even for small n.
+        if let Some(last) = candidates.last_mut() {
+            let mut wild = StdRng::seed_from_u64(rng.gen());
+            let spec = grammar::random_spec(ctx.task, ctx.profile, &mut wild);
+            let mut c = Candidate::new(spec, ctx.generation, self.name());
+            c.value = Some(evaluator.value(&c.spec));
+            *last = c;
+        }
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{frame, profile, task};
+    use super::*;
+    use crate::archive::Archive;
+    use crate::value::Evaluator;
+
+    #[test]
+    fn line_is_wide_and_fully_auditioned() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &[],
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 2,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let line = ChorusLine.generate(&ctx, 10, &mut rng);
+        assert_eq!(line.len(), 10);
+        assert!(line.iter().all(|c| c.value.is_some()), "everyone auditions");
+        let distinct: std::collections::HashSet<u64> = line.iter().map(|c| c.fingerprint).collect();
+        assert!(
+            distinct.len() >= 6,
+            "expected variety, got {}",
+            distinct.len()
+        );
+        // Evaluations were memoized through the shared evaluator.
+        assert!(evaluator.evaluations() >= distinct.len().min(evaluator.cache_size()));
+    }
+
+    #[test]
+    fn best_of_line_is_decent() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &[],
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 0,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let line = ChorusLine.generate(&ctx, 12, &mut rng);
+        let best = line
+            .iter()
+            .filter_map(|c| c.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            best > 0.8,
+            "12 random designs on separable data should find one good, {best}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &[],
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 0,
+            lambda: 0.5,
+        };
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            ChorusLine
+                .generate(&ctx, 6, &mut rng)
+                .iter()
+                .map(|c| c.fingerprint)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

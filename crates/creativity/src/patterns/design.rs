@@ -1,0 +1,171 @@
+//! The *Design* pattern: goal-directed composition.
+//!
+//! Rather than wandering, this pattern assembles pipelines from the registry
+//! entries most relevant to the data profile — the "known territory" move.
+//! It anchors the population in competent designs the other patterns can
+//! then push away from.
+
+use super::{CreativityPattern, PatternContext};
+use crate::genome::Candidate;
+use matilda_pipeline::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// See module docs.
+pub struct Design;
+
+impl CreativityPattern for Design {
+    fn name(&self) -> &'static str {
+        "design"
+    }
+
+    fn generate(&self, ctx: &PatternContext<'_>, n: usize, rng: &mut StdRng) -> Vec<Candidate> {
+        let classification = ctx.task.is_classification();
+        // Rank catalogue entries by relevance to this dataset.
+        let mut ops: Vec<(f64, PrepOp)> = prep_catalogue()
+            .into_iter()
+            .map(|e| ((e.relevance)(ctx.profile), e.op))
+            .collect();
+        ops.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut models: Vec<(f64, matilda_ml::ModelSpec)> = model_catalogue()
+            .into_iter()
+            .map(|e| ((e.relevance)(ctx.profile), e.spec))
+            .collect();
+        models.retain(|(r, _)| *r > 0.0);
+        models.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+        let scorings = scoring_catalogue(classification);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            // Take the top-relevance ops, with slight depth variation so
+            // repeated calls do not collapse to one design. The catalogue
+            // carries several variants per family (e.g. mean and median
+            // imputation), so dedupe by family to keep the one-op-per-
+            // family invariant.
+            let depth = 2 + (i + rng.gen_range(0..2)) % 3;
+            let mut prep: Vec<PrepOp> = Vec::with_capacity(depth);
+            for (relevance, op) in &ops {
+                if prep.len() >= depth {
+                    break;
+                }
+                if *relevance > 0.2 && !prep.iter().any(|p| p.name() == op.name()) {
+                    prep.push(op.clone());
+                }
+            }
+            let model = models
+                .get(i % models.len().max(1))
+                .map(|(_, m)| m.clone())
+                .unwrap_or(matilda_ml::ModelSpec::Tree {
+                    max_depth: 4,
+                    min_samples_split: 2,
+                });
+            let spec = PipelineSpec {
+                task: ctx.task.clone(),
+                prep,
+                split: SplitSpec {
+                    test_fraction: 0.25,
+                    stratified: classification,
+                    seed: rng.gen(),
+                },
+                model,
+                scoring: *scorings.choose(rng).expect("non-empty"),
+            };
+            out.push(Candidate::new(spec, ctx.generation, self.name()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{frame, profile, task};
+    use super::*;
+    use crate::archive::Archive;
+    use crate::value::Evaluator;
+    use rand::SeedableRng;
+
+    fn ctx<'a>(
+        task: &'a Task,
+        profile: &'a DataProfile,
+        archive: &'a Archive,
+        evaluator: &'a Evaluator,
+    ) -> PatternContext<'a> {
+        PatternContext {
+            task,
+            profile,
+            population: &[],
+            archive,
+            evaluator,
+            generation: 0,
+            lambda: 0.5,
+        }
+    }
+
+    #[test]
+    fn produces_valid_relevant_designs() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let candidates = Design.generate(&ctx(&t, &p, &archive, &evaluator), 4, &mut rng);
+        assert_eq!(candidates.len(), 4);
+        for c in &candidates {
+            assert_eq!(c.origin, "design");
+            let violations = matilda_pipeline::validate::validate(&c.spec, &frame());
+            assert!(violations.is_empty(), "{violations:?}");
+            assert!(c.spec.model.supports_classification());
+        }
+    }
+
+    #[test]
+    fn designs_score_well_on_easy_data() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let candidates = Design.generate(&ctx(&t, &p, &archive, &evaluator), 3, &mut rng);
+        let best = candidates
+            .iter()
+            .map(|c| evaluator.value(&c.spec))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            best > 0.85,
+            "registry-guided design should be competent, got {best}"
+        );
+    }
+
+    #[test]
+    fn no_duplicate_prep_families() {
+        // Regression: the catalogue has several imputers/scalers; designs
+        // must still carry at most one op per family.
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for c in Design.generate(&ctx(&t, &p, &archive, &evaluator), 10, &mut rng) {
+            let names: Vec<&str> = c.spec.prep.iter().map(|op| op.name()).collect();
+            let unique: std::collections::HashSet<&&str> = names.iter().collect();
+            assert_eq!(unique.len(), names.len(), "duplicate family in {names:?}");
+        }
+    }
+
+    #[test]
+    fn produces_model_variety() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let candidates = Design.generate(&ctx(&t, &p, &archive, &evaluator), 6, &mut rng);
+        let families: std::collections::HashSet<&str> =
+            candidates.iter().map(|c| c.spec.model.name()).collect();
+        assert!(
+            families.len() >= 3,
+            "expected model variety, got {families:?}"
+        );
+    }
+}

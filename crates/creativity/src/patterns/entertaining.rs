@@ -1,0 +1,212 @@
+//! The *Entertaining Evaluations* pattern: make judging part of the
+//! creative act. Candidates are not ranked on raw value alone — novelty
+//! against the archive is blended in, and recombination deliberately pairs
+//! *behaviourally distant* parents so the audience (the human, the search)
+//! keeps seeing genuinely different proposals.
+
+use super::{CreativityPattern, PatternContext};
+use crate::crossover::crossover;
+use crate::genome::Candidate;
+use matilda_pipeline::fingerprint::descriptor_distance;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// See module docs.
+pub struct EntertainingEvaluations;
+
+impl CreativityPattern for EntertainingEvaluations {
+    fn name(&self) -> &'static str {
+        "entertaining_evaluations"
+    }
+
+    fn generate(&self, ctx: &PatternContext<'_>, n: usize, rng: &mut StdRng) -> Vec<Candidate> {
+        if ctx.population.len() < 2 {
+            // Nothing to recombine yet. Re-judge what exists by blending in
+            // novelty; when even that is empty (the pattern running alone at
+            // generation zero), audition fresh grammar samples so the show
+            // can start.
+            let mut judged: Vec<Candidate> = ctx
+                .population
+                .iter()
+                .map(|c| {
+                    let mut j = c.clone();
+                    j.novelty = Some(ctx.archive.novelty(&c.descriptor, 5));
+                    j.origin = self.name().to_string();
+                    j
+                })
+                .collect();
+            while judged.len() < n.max(1) {
+                let spec = crate::grammar::random_spec(ctx.task, ctx.profile, rng);
+                let mut c = Candidate::new(spec, ctx.generation, self.name());
+                c.novelty = Some(ctx.archive.novelty(&c.descriptor, 5));
+                judged.push(c);
+            }
+            return judged;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Pick a first parent biased to blended score, then the
+            // behaviourally farthest of a random sample as its partner.
+            let a = &ctx.population[..ctx.population.len().min(4)]
+                .choose(rng)
+                .expect("population non-empty");
+            let sample: Vec<&Candidate> = ctx
+                .population
+                .choose_multiple(rng, ctx.population.len().min(5))
+                .collect();
+            let b = sample
+                .into_iter()
+                .filter(|c| c.fingerprint != a.fingerprint)
+                .max_by(|x, y| {
+                    descriptor_distance(&a.descriptor, &x.descriptor)
+                        .total_cmp(&descriptor_distance(&a.descriptor, &y.descriptor))
+                })
+                .unwrap_or(a);
+            let spec = crossover(&a.spec, &b.spec, rng);
+            let mut child = Candidate::new(spec, ctx.generation, self.name());
+            child.novelty = Some(ctx.archive.novelty(&child.descriptor, 5));
+            out.push(child);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{frame, profile, task};
+    use super::*;
+    use crate::archive::Archive;
+    use crate::value::Evaluator;
+    use matilda_ml::ModelSpec;
+    use matilda_pipeline::PipelineSpec;
+    use rand::SeedableRng;
+
+    fn population() -> Vec<Candidate> {
+        let mut a = Candidate::new(PipelineSpec::default_classification("y"), 0, "seed");
+        a.value = Some(0.9);
+        let mut spec_b = PipelineSpec::default_classification("y");
+        spec_b.model = ModelSpec::Knn { k: 3 };
+        let mut b = Candidate::new(spec_b, 0, "seed");
+        b.value = Some(0.8);
+        let mut spec_c = PipelineSpec::default_classification("y");
+        spec_c.model = ModelSpec::GaussianNb;
+        let mut c = Candidate::new(spec_c, 0, "seed");
+        c.value = Some(0.7);
+        vec![a, b, c]
+    }
+
+    #[test]
+    fn children_carry_novelty_scores() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        for c in population() {
+            archive.insert(c.fingerprint, c.descriptor, c.value);
+        }
+        let evaluator = Evaluator::new(frame(), 3);
+        let pop = population();
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &pop,
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 3,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let children = EntertainingEvaluations.generate(&ctx, 5, &mut rng);
+        assert_eq!(children.len(), 5);
+        for c in &children {
+            assert!(c.novelty.is_some(), "judging blends novelty in");
+            assert_eq!(c.spec.task, pop[0].spec.task);
+        }
+    }
+
+    #[test]
+    fn tiny_population_rejudged_not_crossed() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let pop = vec![population().remove(0)];
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &pop,
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 0,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let judged = EntertainingEvaluations.generate(&ctx, 4, &mut rng);
+        assert_eq!(
+            judged.len(),
+            4,
+            "one member re-judged, three fresh auditions"
+        );
+        assert!(judged.iter().all(|c| c.novelty.is_some()));
+        assert_eq!(
+            judged[0].fingerprint, pop[0].fingerprint,
+            "existing member leads"
+        );
+    }
+
+    #[test]
+    fn empty_population_bootstraps_with_grammar() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &[],
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 0,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let judged = EntertainingEvaluations.generate(&ctx, 5, &mut rng);
+        assert_eq!(
+            judged.len(),
+            5,
+            "the pattern alone can still start a search"
+        );
+        for c in &judged {
+            let violations = matilda_pipeline::validate::validate(&c.spec, &frame());
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn children_are_recombinations() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let pop = population();
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &pop,
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 1,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let children = EntertainingEvaluations.generate(&ctx, 10, &mut rng);
+        let parent_models: std::collections::HashSet<&str> =
+            pop.iter().map(|c| c.spec.model.name()).collect();
+        for c in &children {
+            assert!(
+                parent_models.contains(c.spec.model.name()),
+                "child model {} must come from a parent",
+                c.spec.model.name()
+            );
+        }
+    }
+}

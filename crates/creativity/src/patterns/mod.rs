@@ -1,0 +1,127 @@
+//! The six computational-creativity software design patterns of Glines,
+//! Griffith & Bodily (ICCC 2021), instantiated for pipeline design:
+//!
+//! | Pattern | Module | Role in MATILDA |
+//! |---|---|---|
+//! | Design | [`design`] | goal-directed composition from the registry (exploit) |
+//! | Mutant Shopping | [`mutant_shopping`] | offer many mutants of a good design to choose among |
+//! | Chorus Line | [`chorus_line`] | generate a broad parallel line-up, audition all |
+//! | Simulation & Approximating Feedback | [`simulation`] | screen candidates cheaply on a subsample |
+//! | Entertaining Evaluations | [`entertaining`] | make evaluation itself diverse: blend novelty into judging and recombine diverse parents |
+//! | No Blank Canvas | [`no_blank_canvas`] | never start from nothing: seed with sensible defaults |
+
+pub mod chorus_line;
+pub mod design;
+pub mod entertaining;
+pub mod mutant_shopping;
+pub mod no_blank_canvas;
+pub mod simulation;
+
+use crate::archive::Archive;
+use crate::genome::Candidate;
+use crate::value::Evaluator;
+use matilda_pipeline::registry::DataProfile;
+use matilda_pipeline::Task;
+use rand::rngs::StdRng;
+
+/// Everything a pattern may consult while generating candidates.
+pub struct PatternContext<'a> {
+    /// The prediction task being designed for.
+    pub task: &'a Task,
+    /// Characteristics of the dataset.
+    pub profile: &'a DataProfile,
+    /// Current population, sorted by blended score descending.
+    pub population: &'a [Candidate],
+    /// Shared novelty archive.
+    pub archive: &'a Archive,
+    /// Shared memoizing evaluator.
+    pub evaluator: &'a Evaluator,
+    /// Current generation number.
+    pub generation: usize,
+    /// Exploration weight in `[0, 1]` (0 = pure exploitation).
+    pub lambda: f64,
+}
+
+/// A creativity pattern: a strategy producing new candidate designs.
+pub trait CreativityPattern: Send + Sync {
+    /// Stable pattern name (matches the paper's terminology).
+    fn name(&self) -> &'static str;
+
+    /// Produce up to `n` candidates from the current search state.
+    fn generate(&self, ctx: &PatternContext<'_>, n: usize, rng: &mut StdRng) -> Vec<Candidate>;
+}
+
+/// Instantiate all six patterns.
+pub fn all_patterns() -> Vec<Box<dyn CreativityPattern>> {
+    vec![
+        Box::new(design::Design),
+        Box::new(mutant_shopping::MutantShopping),
+        Box::new(chorus_line::ChorusLine),
+        Box::new(simulation::Simulation),
+        Box::new(entertaining::EntertainingEvaluations),
+        Box::new(no_blank_canvas::NoBlankCanvas),
+    ]
+}
+
+/// Instantiate a pattern by name.
+pub fn pattern_by_name(name: &str) -> Option<Box<dyn CreativityPattern>> {
+    all_patterns().into_iter().find(|p| p.name() == name)
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use matilda_data::{Column, DataFrame};
+
+    /// A small, easy classification frame shared by pattern tests.
+    pub fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..60).map(f64::from).collect())),
+            (
+                "noise",
+                Column::from_f64((0..60).map(|i| ((i * 13) % 7) as f64).collect()),
+            ),
+            (
+                "y",
+                Column::from_categorical(
+                    &(0..60)
+                        .map(|i| if i < 30 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    pub fn profile() -> DataProfile {
+        DataProfile::from_frame(&frame(), "y", true)
+    }
+
+    pub fn task() -> Task {
+        Task::Classification { target: "y".into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_patterns_with_unique_names() {
+        let patterns = all_patterns();
+        assert_eq!(patterns.len(), 6);
+        let names: std::collections::HashSet<&str> = patterns.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(pattern_by_name("design").is_some());
+        assert!(pattern_by_name("mutant_shopping").is_some());
+        assert!(pattern_by_name("chorus_line").is_some());
+        assert!(pattern_by_name("simulation").is_some());
+        assert!(pattern_by_name("entertaining_evaluations").is_some());
+        assert!(pattern_by_name("no_blank_canvas").is_some());
+        assert!(pattern_by_name("nonsense").is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! The *Mutant Shopping* pattern: take a promising design, lay out a stall
+//! of its mutants, and let selection (human or automatic) go shopping.
+
+use super::{CreativityPattern, PatternContext};
+use crate::genome::Candidate;
+use crate::mutate;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// See module docs.
+pub struct MutantShopping;
+
+impl CreativityPattern for MutantShopping {
+    fn name(&self) -> &'static str {
+        "mutant_shopping"
+    }
+
+    fn generate(&self, ctx: &PatternContext<'_>, n: usize, rng: &mut StdRng) -> Vec<Candidate> {
+        // Shop around the best few designs; fall back to a default when the
+        // population is empty (first generation).
+        let elite: Vec<&Candidate> = ctx.population.iter().take(3).collect();
+        let fallback = Candidate::new(
+            if ctx.task.is_classification() {
+                matilda_pipeline::PipelineSpec::default_classification(ctx.task.target())
+            } else {
+                matilda_pipeline::PipelineSpec::default_regression(ctx.task.target())
+            },
+            ctx.generation,
+            self.name(),
+        );
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let parent = elite.choose(rng).copied().unwrap_or(&fallback);
+            let (spec, mutation) = mutate::random_mutation(&parent.spec, ctx.profile, rng);
+            let mut child = Candidate::new(spec, ctx.generation, self.name());
+            child.origin = format!("{}:{}", self.name(), mutation);
+            out.push(child);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{frame, profile, task};
+    use super::*;
+    use crate::archive::Archive;
+    use crate::value::Evaluator;
+    use matilda_pipeline::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutants_derive_from_elite() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let mut parent = Candidate::new(PipelineSpec::default_classification("y"), 0, "seed");
+        parent.value = Some(0.9);
+        let population = vec![parent.clone()];
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &population,
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 1,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mutants = MutantShopping.generate(&ctx, 8, &mut rng);
+        assert_eq!(mutants.len(), 8);
+        for m in &mutants {
+            assert!(
+                m.origin.starts_with("mutant_shopping:"),
+                "origin records the move: {}",
+                m.origin
+            );
+            assert_eq!(m.spec.task, parent.spec.task);
+        }
+        // At least one mutant must actually differ from the parent.
+        assert!(mutants.iter().any(|m| m.fingerprint != parent.fingerprint));
+    }
+
+    #[test]
+    fn works_with_empty_population() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &[],
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 0,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mutants = MutantShopping.generate(&ctx, 4, &mut rng);
+        assert_eq!(mutants.len(), 4);
+        for m in &mutants {
+            let violations = matilda_pipeline::validate::validate(&m.spec, &frame());
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The *No Blank Canvas* pattern: creative work never starts from nothing.
+//! The first thing a session sees is a set of sensible, runnable seeds —
+//! the defaults plus gentle registry-guided variations — which every other
+//! pattern then riffs on.
+
+use super::{CreativityPattern, PatternContext};
+use crate::genome::Candidate;
+use matilda_ml::ModelSpec;
+use matilda_pipeline::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// See module docs.
+pub struct NoBlankCanvas;
+
+impl CreativityPattern for NoBlankCanvas {
+    fn name(&self) -> &'static str {
+        "no_blank_canvas"
+    }
+
+    fn generate(&self, ctx: &PatternContext<'_>, n: usize, rng: &mut StdRng) -> Vec<Candidate> {
+        let classification = ctx.task.is_classification();
+        let base = if classification {
+            PipelineSpec::default_classification(ctx.task.target())
+        } else {
+            PipelineSpec::default_regression(ctx.task.target())
+        };
+        let mut out = vec![Candidate::new(base.clone(), ctx.generation, self.name())];
+        // Canvas variations: same spine, different model families from the
+        // registry, most relevant first.
+        let mut models: Vec<(f64, ModelSpec)> = model_catalogue()
+            .into_iter()
+            .map(|e| ((e.relevance)(ctx.profile), e.spec))
+            .filter(|(r, _)| *r > 0.0)
+            .collect();
+        models.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for (_, model) in models {
+            if out.len() >= n {
+                break;
+            }
+            if model.name() == base.model.name() {
+                continue;
+            }
+            let supported = if classification {
+                model.supports_classification()
+            } else {
+                model.supports_regression()
+            };
+            if !supported {
+                continue;
+            }
+            let mut spec = base.clone();
+            spec.model = model;
+            spec.split.seed = rng.gen();
+            out.push(Candidate::new(spec, ctx.generation, self.name()));
+        }
+        out.truncate(n.max(1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{frame, profile, task};
+    use super::*;
+    use crate::archive::Archive;
+    use crate::value::Evaluator;
+    use rand::SeedableRng;
+
+    fn run(n: usize) -> Vec<Candidate> {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &[],
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 0,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        NoBlankCanvas.generate(&ctx, n, &mut rng)
+    }
+
+    #[test]
+    fn first_seed_is_the_default() {
+        let seeds = run(5);
+        assert_eq!(seeds[0].spec, PipelineSpec::default_classification("y"));
+        assert_eq!(seeds[0].origin, "no_blank_canvas");
+    }
+
+    #[test]
+    fn seeds_are_distinct_model_families() {
+        let seeds = run(5);
+        let families: std::collections::HashSet<&str> =
+            seeds.iter().map(|c| c.spec.model.name()).collect();
+        assert_eq!(families.len(), seeds.len(), "one seed per family");
+    }
+
+    #[test]
+    fn all_seeds_valid_and_task_appropriate() {
+        for seed in run(6) {
+            assert!(seed.spec.model.supports_classification());
+            let violations = matilda_pipeline::validate::validate(&seed.spec, &frame());
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn respects_requested_count() {
+        assert_eq!(run(1).len(), 1);
+        assert_eq!(run(3).len(), 3);
+    }
+
+    #[test]
+    fn regression_canvas() {
+        let t = Task::Regression { target: "x".into() };
+        let mut p = profile();
+        p.classification = false;
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let ctx = PatternContext {
+            task: &t,
+            profile: &p,
+            population: &[],
+            archive: &archive,
+            evaluator: &evaluator,
+            generation: 0,
+            lambda: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let seeds = NoBlankCanvas.generate(&ctx, 4, &mut rng);
+        for s in &seeds {
+            assert!(s.spec.model.supports_regression());
+            assert!(!s.spec.scoring.is_classification());
+        }
+    }
+}

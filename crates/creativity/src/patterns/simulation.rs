@@ -1,0 +1,156 @@
+//! The *Simulation & Approximating Feedback* pattern: before paying for a
+//! full evaluation, screen a batch of candidates with a cheap approximation
+//! (cross-validation on a row subsample) and keep only the front-runners.
+
+use super::{CreativityPattern, PatternContext};
+use crate::genome::Candidate;
+use crate::{grammar, mutate};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How many raw candidates are screened per survivor.
+const SCREEN_FACTOR: usize = 3;
+
+/// Rows used for the approximate audition.
+const SUBSAMPLE_ROWS: usize = 40;
+
+/// See module docs.
+pub struct Simulation;
+
+impl CreativityPattern for Simulation {
+    fn name(&self) -> &'static str {
+        "simulation"
+    }
+
+    fn generate(&self, ctx: &PatternContext<'_>, n: usize, rng: &mut StdRng) -> Vec<Candidate> {
+        // Draw a wide raw pool: mutants of the elite when available,
+        // otherwise grammar samples.
+        let raw_n = n.max(1) * SCREEN_FACTOR;
+        let mut pool: Vec<Candidate> = (0..raw_n)
+            .map(|i| {
+                if let Some(parent) = ctx.population.get(i % ctx.population.len().max(1)) {
+                    let (spec, _) = mutate::random_mutation(&parent.spec, ctx.profile, rng);
+                    Candidate::new(spec, ctx.generation, self.name())
+                } else {
+                    let spec = grammar::random_spec(ctx.task, ctx.profile, rng);
+                    Candidate::new(spec, ctx.generation, self.name())
+                }
+            })
+            .collect();
+        // Approximate feedback on a subsample — cheap, slightly noisy.
+        let seed: u64 = rng.gen();
+        let mut scored: Vec<(f64, usize)> = pool
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    ctx.evaluator
+                        .approximate_value(&c.spec, SUBSAMPLE_ROWS, seed),
+                    i,
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let keep: Vec<usize> = scored.into_iter().take(n).map(|(_, i)| i).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in keep {
+            out.push(pool[i].clone());
+        }
+        pool.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{frame, profile, task};
+    use super::*;
+    use crate::archive::Archive;
+    use crate::value::Evaluator;
+    use rand::SeedableRng;
+
+    fn make_ctx<'a>(
+        t: &'a matilda_pipeline::Task,
+        p: &'a matilda_pipeline::registry::DataProfile,
+        archive: &'a Archive,
+        evaluator: &'a Evaluator,
+        population: &'a [Candidate],
+    ) -> PatternContext<'a> {
+        PatternContext {
+            task: t,
+            profile: p,
+            population,
+            archive,
+            evaluator,
+            generation: 1,
+            lambda: 0.5,
+        }
+    }
+
+    #[test]
+    fn survivors_beat_pool_average() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let ctx = make_ctx(&t, &p, &archive, &evaluator, &[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let survivors = Simulation.generate(&ctx, 4, &mut rng);
+        assert_eq!(survivors.len(), 4);
+        // Survivors were screened: their *full* values should be decent on
+        // average compared to a fresh random batch.
+        let survivor_mean: f64 = survivors
+            .iter()
+            .map(|c| evaluator.value(&c.spec).max(0.0))
+            .sum::<f64>()
+            / survivors.len() as f64;
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let random_mean: f64 = (0..8)
+            .map(|_| {
+                let spec = grammar::random_spec(&t, &p, &mut rng2);
+                evaluator.value(&spec).max(0.0)
+            })
+            .sum::<f64>()
+            / 8.0;
+        assert!(
+            survivor_mean >= random_mean - 0.15,
+            "screened {survivor_mean} vs random {random_mean}"
+        );
+    }
+
+    #[test]
+    fn uses_elite_as_parents_when_available() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let parent = Candidate::new(
+            matilda_pipeline::PipelineSpec::default_classification("y"),
+            0,
+            "seed",
+        );
+        let population = vec![parent.clone()];
+        let ctx = make_ctx(&t, &p, &archive, &evaluator, &population);
+        let mut rng = StdRng::seed_from_u64(1);
+        let survivors = Simulation.generate(&ctx, 3, &mut rng);
+        // Mutants of the default share its task and mostly its shape.
+        for s in &survivors {
+            assert_eq!(s.spec.task, parent.spec.task);
+            assert_eq!(s.origin, "simulation");
+        }
+    }
+
+    #[test]
+    fn all_survivors_valid() {
+        let t = task();
+        let p = profile();
+        let archive = Archive::new();
+        let evaluator = Evaluator::new(frame(), 3);
+        let ctx = make_ctx(&t, &p, &archive, &evaluator, &[]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in Simulation.generate(&ctx, 5, &mut rng) {
+            let violations = matilda_pipeline::validate::validate(&s.spec, &frame());
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! The creative search loop: population-based design-space exploration
+//! combining the six creativity patterns under an explicit
+//! exploration–exploitation balance.
+
+use crate::archive::Archive;
+use crate::balance::{normalize, BalanceSchedule};
+use crate::error::{CreativityError, Result};
+use crate::genome::Candidate;
+use crate::patterns::{all_patterns, pattern_by_name, CreativityPattern, PatternContext};
+use crate::surprise::SurpriseTracker;
+use crate::value::Evaluator;
+use matilda_data::DataFrame;
+use matilda_pipeline::registry::DataProfile;
+use matilda_pipeline::Task;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How patterns are chosen each generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternSelection {
+    /// Every enabled pattern contributes equally.
+    Uniform,
+    /// Patterns earn budget proportional to the quality of what they have
+    /// produced so far (an exponential-moving-average bandit).
+    Bandit,
+}
+
+/// Configuration of one creative search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Candidates kept between generations.
+    pub population_size: usize,
+    /// Number of generations after seeding.
+    pub generations: usize,
+    /// Exploration-weight schedule.
+    pub balance: BalanceSchedule,
+    /// Neighbours used for novelty scores.
+    pub k_novelty: usize,
+    /// Cross-validation folds for value.
+    pub k_folds: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Enabled pattern names; empty means all six.
+    pub patterns: Vec<String>,
+    /// Pattern budgeting policy.
+    pub selection: PatternSelection,
+    /// Designs seeding the initial population (e.g. the outcome of a
+    /// conversational session); evaluated before generation 0.
+    pub seeds: Vec<matilda_pipeline::PipelineSpec>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            population_size: 12,
+            generations: 8,
+            balance: BalanceSchedule::Decaying {
+                initial: 0.6,
+                decay: 0.8,
+            },
+            k_novelty: 5,
+            k_folds: 3,
+            seed: 42,
+            patterns: Vec::new(),
+            selection: PatternSelection::Uniform,
+            seeds: Vec::new(),
+        }
+    }
+}
+
+/// Per-generation statistics for reporting and the Boden-criteria curves.
+#[derive(Debug, Clone)]
+pub struct GenerationStats {
+    /// Generation index (0 = seeding).
+    pub generation: usize,
+    /// Best value seen so far.
+    pub best_value: f64,
+    /// Mean value of the surviving population.
+    pub mean_value: f64,
+    /// Mean novelty of the surviving population.
+    pub mean_novelty: f64,
+    /// Mean surprise of this generation's new candidates.
+    pub mean_surprise: f64,
+    /// Archive size after the generation.
+    pub archive_size: usize,
+    /// `(pattern, candidates produced)` this generation.
+    pub pattern_usage: Vec<(String, usize)>,
+}
+
+/// The result of a creative search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best candidate by value.
+    pub best: Candidate,
+    /// Final population, sorted by blended score descending.
+    pub population: Vec<Candidate>,
+    /// Per-generation statistics, oldest first.
+    pub history: Vec<GenerationStats>,
+    /// Number of genuine (uncached) pipeline evaluations spent.
+    pub evaluations: usize,
+}
+
+fn evaluate_batch(evaluator: &Evaluator, batch: &mut [Candidate]) {
+    let workers = std::thread::available_parallelism().map_or(2, |p| p.get());
+    let chunk = batch.len().div_ceil(workers.max(1)).max(1);
+    crossbeam::thread::scope(|scope| {
+        for slice in batch.chunks_mut(chunk) {
+            scope.spawn(move |_| {
+                for candidate in slice {
+                    if candidate.value.is_none() {
+                        candidate.value = Some(evaluator.value(&candidate.spec));
+                    }
+                }
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+}
+
+/// Run a creative search for `task` over `data`.
+pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<SearchOutcome> {
+    if config.population_size == 0 {
+        return Err(CreativityError::InvalidParameter(
+            "population_size must be >= 1".into(),
+        ));
+    }
+    let balance = config.balance.validated()?;
+    let patterns: Vec<Box<dyn CreativityPattern>> = if config.patterns.is_empty() {
+        all_patterns()
+    } else {
+        config
+            .patterns
+            .iter()
+            .map(|name| {
+                pattern_by_name(name).ok_or_else(|| {
+                    CreativityError::InvalidParameter(format!("unknown pattern '{name}'"))
+                })
+            })
+            .collect::<Result<_>>()?
+    };
+
+    let profile = DataProfile::from_frame(data, task.target(), task.is_classification());
+    let evaluator = Evaluator::new(data.clone(), config.k_folds);
+    let archive = Archive::new();
+    let surprise = SurpriseTracker::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut population: Vec<Candidate> = Vec::new();
+    // Seed designs join before generation 0, so every pattern can riff on
+    // them; invalid seeds are tolerated (they evaluate to -inf and drop out).
+    for seed_spec in &config.seeds {
+        if seed_spec.task == *task {
+            population.push(Candidate::new(seed_spec.clone(), 0, "seed"));
+        }
+    }
+    evaluate_batch(&evaluator, &mut population);
+    for c in &mut population {
+        c.novelty = Some(archive.novelty(&c.descriptor, config.k_novelty));
+        archive.insert(c.fingerprint, c.descriptor, c.value);
+    }
+    let mut history: Vec<GenerationStats> = Vec::new();
+    // Bandit credit per pattern (EMA of produced candidates' normalized value).
+    let mut credit: Vec<f64> = vec![1.0; patterns.len()];
+
+    for generation in 0..=config.generations {
+        let lambda = balance.lambda(generation);
+        let mut usage: Vec<(String, usize)> = Vec::new();
+        let mut newcomers: Vec<Candidate> = Vec::new();
+        {
+            let ctx = PatternContext {
+                task,
+                profile: &profile,
+                population: &population,
+                archive: &archive,
+                evaluator: &evaluator,
+                generation,
+                lambda,
+            };
+            // Allocate the generation's budget across patterns.
+            let budget = config.population_size.max(patterns.len());
+            let weights: Vec<f64> = match config.selection {
+                PatternSelection::Uniform => vec![1.0; patterns.len()],
+                PatternSelection::Bandit => credit.clone(),
+            };
+            let total_weight: f64 = weights.iter().sum();
+            for (i, pattern) in patterns.iter().enumerate() {
+                let share = ((weights[i] / total_weight) * budget as f64).round() as usize;
+                let share = share.max(1);
+                let produced = pattern.generate(&ctx, share, &mut rng);
+                usage.push((pattern.name().to_string(), produced.len()));
+                newcomers.extend(produced);
+            }
+        }
+        // Evaluate everything new (memoized), then annotate novelty and
+        // surprise *before* inserting into the archive, so a candidate is
+        // not its own nearest neighbour.
+        evaluate_batch(&evaluator, &mut newcomers);
+        let mut surprise_sum = 0.0;
+        for c in &mut newcomers {
+            c.novelty = Some(archive.novelty(&c.descriptor, config.k_novelty));
+            let s = surprise.observe(c.spec.model.name(), c.value.unwrap_or(f64::NEG_INFINITY));
+            c.surprise = Some(s);
+            surprise_sum += s;
+        }
+        let mean_surprise = if newcomers.is_empty() {
+            0.0
+        } else {
+            surprise_sum / newcomers.len() as f64
+        };
+        for c in &newcomers {
+            archive.insert(c.fingerprint, c.descriptor, c.value);
+        }
+        // Update bandit credit with each pattern's mean normalized value.
+        if config.selection == PatternSelection::Bandit && !newcomers.is_empty() {
+            let values: Vec<f64> = newcomers.iter().map(|c| c.value.unwrap_or(0.0)).collect();
+            let norm = normalize(&values);
+            let mut cursor = 0;
+            for (i, (_, count)) in usage.iter().enumerate() {
+                if *count > 0 {
+                    let mean: f64 =
+                        norm[cursor..cursor + count].iter().sum::<f64>() / *count as f64;
+                    credit[i] = 0.7 * credit[i] + 0.3 * (mean + 0.05);
+                    cursor += count;
+                }
+            }
+        }
+
+        // Survival: merge, dedupe by fingerprint, rank by blended score over
+        // normalized value/novelty, with elitism on raw value.
+        population.extend(newcomers);
+        population.sort_by_key(|a| a.fingerprint);
+        population.dedup_by_key(|c| c.fingerprint);
+        let values: Vec<f64> = population.iter().map(|c| c.value.unwrap_or(0.0)).collect();
+        let novelties: Vec<f64> = population
+            .iter()
+            .map(|c| c.novelty.unwrap_or(0.0))
+            .collect();
+        let nv = normalize(&values);
+        let nn = normalize(&novelties);
+        let mut ranked: Vec<(f64, usize)> = (0..population.len())
+            .map(|i| ((1.0 - lambda) * nv[i] + lambda * nn[i], i))
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+        // Elitism: the raw-value champion always survives.
+        let champion = population
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.value
+                    .unwrap_or(f64::NEG_INFINITY)
+                    .total_cmp(&b.1.value.unwrap_or(f64::NEG_INFINITY))
+            })
+            .map(|(i, _)| i);
+        let mut keep: Vec<usize> = ranked
+            .iter()
+            .take(config.population_size)
+            .map(|(_, i)| *i)
+            .collect();
+        if let Some(ch) = champion {
+            if !keep.contains(&ch) {
+                keep.pop();
+                keep.push(ch);
+            }
+        }
+        keep.sort_unstable();
+        keep.dedup();
+        let mut survivors = Vec::with_capacity(keep.len());
+        for i in keep {
+            survivors.push(population[i].clone());
+        }
+        survivors.sort_by(|a, b| b.blended_score(lambda).total_cmp(&a.blended_score(lambda)));
+        population = survivors;
+
+        let finite: Vec<f64> = population
+            .iter()
+            .filter_map(|c| c.value)
+            .filter(|v| v.is_finite())
+            .collect();
+        history.push(GenerationStats {
+            generation,
+            best_value: finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean_value: if finite.is_empty() {
+                f64::NEG_INFINITY
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            },
+            mean_novelty: population.iter().filter_map(|c| c.novelty).sum::<f64>()
+                / population.len().max(1) as f64,
+            mean_surprise,
+            archive_size: archive.len(),
+            pattern_usage: usage,
+        });
+    }
+
+    let best = population
+        .iter()
+        .filter(|c| c.value.map(f64::is_finite).unwrap_or(false))
+        .max_by(|a, b| a.value.unwrap().total_cmp(&b.value.unwrap()))
+        .cloned()
+        .ok_or_else(|| CreativityError::NoValidCandidate("search produced nothing valid".into()))?;
+
+    Ok(SearchOutcome {
+        best,
+        population,
+        history,
+        evaluations: evaluator.evaluations(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::Column;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..80).map(f64::from).collect())),
+            (
+                "noise",
+                Column::from_f64((0..80).map(|i| ((i * 13) % 7) as f64).collect()),
+            ),
+            (
+                "y",
+                Column::from_categorical(
+                    &(0..80)
+                        .map(|i| if i < 40 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn quick_config() -> SearchConfig {
+        SearchConfig {
+            population_size: 8,
+            generations: 3,
+            k_folds: 3,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn finds_a_strong_design() {
+        let task = Task::Classification { target: "y".into() };
+        let outcome = search(&task, &frame(), &quick_config()).unwrap();
+        assert!(
+            outcome.best.value.unwrap() > 0.9,
+            "separable data should be solved, got {:?}",
+            outcome.best.value
+        );
+        assert_eq!(outcome.history.len(), 4, "seeding + 3 generations");
+        assert!(outcome.evaluations > 0);
+    }
+
+    #[test]
+    fn best_value_monotone_in_history() {
+        let task = Task::Classification { target: "y".into() };
+        let outcome = search(&task, &frame(), &quick_config()).unwrap();
+        let bests: Vec<f64> = outcome.history.iter().map(|h| h.best_value).collect();
+        for w in bests.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "elitism keeps the best: {bests:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let task = Task::Classification { target: "y".into() };
+        let a = search(&task, &frame(), &quick_config()).unwrap();
+        let b = search(&task, &frame(), &quick_config()).unwrap();
+        assert_eq!(a.best.fingerprint, b.best.fingerprint);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn population_capped_and_sorted() {
+        let task = Task::Classification { target: "y".into() };
+        let outcome = search(&task, &frame(), &quick_config()).unwrap();
+        assert!(outcome.population.len() <= quick_config().population_size + 1);
+        let lambda = quick_config().balance.lambda(quick_config().generations);
+        let scores: Vec<f64> = outcome
+            .population
+            .iter()
+            .map(|c| c.blended_score(lambda))
+            .collect();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "sorted by blended score");
+        }
+    }
+
+    #[test]
+    fn restricted_pattern_set_respected() {
+        let task = Task::Classification { target: "y".into() };
+        let config = SearchConfig {
+            patterns: vec!["no_blank_canvas".into(), "mutant_shopping".into()],
+            ..quick_config()
+        };
+        let outcome = search(&task, &frame(), &config).unwrap();
+        for h in &outcome.history {
+            for (name, _) in &h.pattern_usage {
+                assert!(name == "no_blank_canvas" || name == "mutant_shopping");
+            }
+        }
+        assert!(outcome.best.value.unwrap() > 0.7);
+    }
+
+    #[test]
+    fn unknown_pattern_rejected() {
+        let task = Task::Classification { target: "y".into() };
+        let config = SearchConfig {
+            patterns: vec!["alchemy".into()],
+            ..quick_config()
+        };
+        assert!(matches!(
+            search(&task, &frame(), &config),
+            Err(CreativityError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn zero_population_rejected() {
+        let task = Task::Classification { target: "y".into() };
+        let config = SearchConfig {
+            population_size: 0,
+            ..quick_config()
+        };
+        assert!(search(&task, &frame(), &config).is_err());
+    }
+
+    #[test]
+    fn seeds_join_the_initial_population() {
+        let task = Task::Classification { target: "y".into() };
+        let seed_spec = matilda_pipeline::PipelineSpec::default_classification("y");
+        let seed_fp = matilda_pipeline::fingerprint::fingerprint(&seed_spec);
+        let config = SearchConfig {
+            seeds: vec![seed_spec.clone()],
+            ..quick_config()
+        };
+        let outcome = search(&task, &frame(), &config).unwrap();
+        // The search's champion is never worse than the seed's own value.
+        let evaluator = Evaluator::new(frame(), config.k_folds);
+        let seed_value = evaluator.value(&seed_spec);
+        assert!(
+            outcome.best.value.unwrap() >= seed_value - 1e-9,
+            "seeded search must not lose to its seed ({} vs {seed_value})",
+            outcome.best.value.unwrap()
+        );
+        // The seed itself went through the archive.
+        let seeded_history = &outcome.history[0];
+        assert!(seeded_history.archive_size >= 1);
+        let _ = seed_fp;
+    }
+
+    #[test]
+    fn mismatched_task_seeds_ignored() {
+        let task = Task::Classification { target: "y".into() };
+        let wrong = matilda_pipeline::PipelineSpec::default_regression("x");
+        let config = SearchConfig {
+            seeds: vec![wrong],
+            ..quick_config()
+        };
+        // Must not crash or pollute the search.
+        let outcome = search(&task, &frame(), &config).unwrap();
+        assert!(outcome.best.value.unwrap() > 0.7);
+    }
+
+    #[test]
+    fn bandit_selection_runs() {
+        let task = Task::Classification { target: "y".into() };
+        let config = SearchConfig {
+            selection: PatternSelection::Bandit,
+            ..quick_config()
+        };
+        let outcome = search(&task, &frame(), &config).unwrap();
+        assert!(outcome.best.value.unwrap() > 0.8);
+    }
+
+    #[test]
+    fn archive_grows_over_generations() {
+        let task = Task::Classification { target: "y".into() };
+        let outcome = search(&task, &frame(), &quick_config()).unwrap();
+        let sizes: Vec<usize> = outcome.history.iter().map(|h| h.archive_size).collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(*sizes.last().unwrap() > quick_config().population_size);
+    }
+
+    #[test]
+    fn pure_exploitation_vs_exploration_distinct_behaviour() {
+        let task = Task::Classification { target: "y".into() };
+        let exploit = SearchConfig {
+            balance: BalanceSchedule::Fixed(0.0),
+            seed: 7,
+            ..quick_config()
+        };
+        let explore = SearchConfig {
+            balance: BalanceSchedule::Fixed(1.0),
+            seed: 7,
+            ..quick_config()
+        };
+        let oe = search(&task, &frame(), &exploit).unwrap();
+        let ox = search(&task, &frame(), &explore).unwrap();
+        // Exploration should visit at least as many distinct designs.
+        let last_exploit = oe.history.last().unwrap().archive_size;
+        let last_explore = ox.history.last().unwrap().archive_size;
+        assert!(
+            last_explore as f64 >= last_exploit as f64 * 0.8,
+            "exploration archive {last_explore} vs exploitation {last_exploit}"
+        );
+    }
+}

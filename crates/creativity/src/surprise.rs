@@ -1,0 +1,164 @@
+//! The *surprise* dimension of Boden's creativity criteria.
+//!
+//! A design is surprising when its observed value deviates strongly from
+//! what its model family has historically delivered. The tracker keeps a
+//! running mean/variance per family (Welford's algorithm) and scores each
+//! new observation as a standardized deviation.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Default)]
+struct RunningStats {
+    n: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// Tracks per-family expectations and scores surprise.
+#[derive(Debug, Clone, Default)]
+pub struct SurpriseTracker {
+    families: Arc<Mutex<HashMap<String, RunningStats>>>,
+}
+
+/// Observations with |z| above this are "surprising".
+pub const SURPRISE_THRESHOLD: f64 = 2.0;
+
+impl SurpriseTracker {
+    /// A new, empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Score the surprise of observing `value` for `family`, *then* absorb
+    /// the observation into the family's statistics.
+    ///
+    /// Returns the absolute z-score against the family's prior expectation;
+    /// the first two observations of a family return 0 (no expectation yet).
+    pub fn observe(&self, family: &str, value: f64) -> f64 {
+        if !value.is_finite() {
+            return 0.0; // failed designs are disappointing, not surprising
+        }
+        let mut families = self.families.lock();
+        let stats = families.entry(family.to_owned()).or_default();
+        let surprise = if stats.n >= 2 && stats.std() > 1e-12 {
+            (value - stats.mean).abs() / stats.std()
+        } else {
+            0.0
+        };
+        stats.push(value);
+        surprise
+    }
+
+    /// The current expected value of a family, if observed at least once.
+    pub fn expectation(&self, family: &str) -> Option<f64> {
+        self.families
+            .lock()
+            .get(family)
+            .filter(|s| s.n > 0)
+            .map(|s| s.mean)
+    }
+
+    /// Number of observations recorded for a family.
+    pub fn observations(&self, family: &str) -> usize {
+        self.families.lock().get(family).map_or(0, |s| s.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observations_not_surprising() {
+        let t = SurpriseTracker::new();
+        assert_eq!(t.observe("tree", 0.8), 0.0);
+        assert_eq!(t.observe("tree", 0.82), 0.0);
+    }
+
+    #[test]
+    fn outlier_is_surprising() {
+        let t = SurpriseTracker::new();
+        for v in [0.80, 0.81, 0.79, 0.80, 0.82, 0.78] {
+            t.observe("tree", v);
+        }
+        let s = t.observe("tree", 0.95);
+        assert!(
+            s > SURPRISE_THRESHOLD,
+            "0.95 against ~0.80±0.015 should surprise, z={s}"
+        );
+        let usual = t.observe("tree", 0.80);
+        assert!(usual < 1.5, "typical value is not surprising, z={usual}");
+    }
+
+    #[test]
+    fn families_tracked_independently() {
+        let t = SurpriseTracker::new();
+        for v in [0.5, 0.52, 0.48] {
+            t.observe("knn", v);
+        }
+        assert_eq!(
+            t.observe("forest", 0.9),
+            0.0,
+            "new family has no expectation"
+        );
+        assert_eq!(t.observations("knn"), 3);
+        assert_eq!(t.observations("forest"), 1);
+        assert!((t.expectation("knn").unwrap() - 0.5).abs() < 0.02);
+        assert_eq!(t.expectation("ghost"), None);
+    }
+
+    #[test]
+    fn expectation_converges_to_mean() {
+        let t = SurpriseTracker::new();
+        for _ in 0..100 {
+            t.observe("nb", 0.7);
+        }
+        assert!((t.expectation("nb").unwrap() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_values_ignored_gracefully() {
+        let t = SurpriseTracker::new();
+        t.observe("tree", 0.8);
+        t.observe("tree", 0.81);
+        assert_eq!(t.observe("tree", f64::NEG_INFINITY), 0.0);
+        assert_eq!(t.observations("tree"), 2, "failure not absorbed");
+    }
+
+    #[test]
+    fn constant_history_zero_std_safe() {
+        let t = SurpriseTracker::new();
+        t.observe("nb", 0.5);
+        t.observe("nb", 0.5);
+        t.observe("nb", 0.5);
+        // Zero variance: surprise degrades to 0 instead of dividing by zero.
+        assert_eq!(t.observe("nb", 0.9), 0.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SurpriseTracker::new();
+        let b = a.clone();
+        a.observe("tree", 0.5);
+        assert_eq!(b.observations("tree"), 1);
+    }
+}

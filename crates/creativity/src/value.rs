@@ -1,0 +1,169 @@
+//! The *value* dimension of Boden's creativity criteria: how good a design
+//! actually is, measured by cross-validated score on the data at hand.
+//!
+//! Evaluation is by far the most expensive step of the search, so results
+//! are memoized by fingerprint in a shared cache.
+
+use crate::error::Result;
+use matilda_data::DataFrame;
+use matilda_pipeline::fingerprint::fingerprint;
+use matilda_pipeline::{cv_score, PipelineSpec};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A memoizing evaluator of pipeline value.
+#[derive(Clone)]
+pub struct Evaluator {
+    data: Arc<DataFrame>,
+    k_folds: usize,
+    cache: Arc<Mutex<HashMap<u64, f64>>>,
+    evaluations: Arc<Mutex<usize>>,
+}
+
+impl Evaluator {
+    /// A new evaluator running `k_folds`-fold cross-validation on `data`.
+    pub fn new(data: DataFrame, k_folds: usize) -> Self {
+        Self {
+            data: Arc::new(data),
+            k_folds,
+            cache: Arc::new(Mutex::new(HashMap::new())),
+            evaluations: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// The frame being evaluated against.
+    pub fn data(&self) -> &DataFrame {
+        &self.data
+    }
+
+    /// Cross-validated mean score of `spec`, memoized by fingerprint.
+    ///
+    /// Invalid or failing designs score `f64::NEG_INFINITY` rather than
+    /// erroring, so the search can discard them and move on; genuine
+    /// evaluation is only attempted once per design.
+    pub fn value(&self, spec: &PipelineSpec) -> f64 {
+        let fp = fingerprint(spec);
+        if let Some(&v) = self.cache.lock().get(&fp) {
+            return v;
+        }
+        *self.evaluations.lock() += 1;
+        let v = match cv_score(spec, &self.data, self.k_folds) {
+            Ok(cv) => cv.mean,
+            Err(_) => f64::NEG_INFINITY,
+        };
+        self.cache.lock().insert(fp, v);
+        v
+    }
+
+    /// Like [`Evaluator::value`] but propagating errors; used when a failure
+    /// should stop the caller rather than be scored out.
+    pub fn value_strict(&self, spec: &PipelineSpec) -> Result<f64> {
+        let fp = fingerprint(spec);
+        if let Some(&v) = self.cache.lock().get(&fp) {
+            // A cached failure sentinel is re-derived so the caller gets the
+            // real error, not -inf.
+            if v.is_finite() {
+                return Ok(v);
+            }
+        }
+        *self.evaluations.lock() += 1;
+        let cv = cv_score(spec, &self.data, self.k_folds)?;
+        self.cache.lock().insert(fp, cv.mean);
+        Ok(cv.mean)
+    }
+
+    /// Evaluate on a row subsample — the cheap approximate feedback used by
+    /// the simulation pattern. Not memoized (subsample-dependent).
+    pub fn approximate_value(&self, spec: &PipelineSpec, n_rows: usize, seed: u64) -> f64 {
+        let n = self.data.n_rows().min(n_rows.max(self.k_folds * 2));
+        let idx = matilda_data::split::shuffled_indices(self.data.n_rows(), seed);
+        let sample = match self.data.take(&idx[..n]) {
+            Ok(s) => s,
+            Err(_) => return f64::NEG_INFINITY,
+        };
+        match cv_score(spec, &sample, self.k_folds.min(3)) {
+            Ok(cv) => cv.mean,
+            Err(_) => f64::NEG_INFINITY,
+        }
+    }
+
+    /// How many genuine (non-cached) evaluations have run.
+    pub fn evaluations(&self) -> usize {
+        *self.evaluations.lock()
+    }
+
+    /// How many designs are cached.
+    pub fn cache_size(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::Column;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..60).map(f64::from).collect())),
+            (
+                "y",
+                Column::from_categorical(
+                    &(0..60)
+                        .map(|i| if i < 30 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn value_scores_good_design_high() {
+        let ev = Evaluator::new(frame(), 4);
+        let spec = PipelineSpec::default_classification("y");
+        assert!(ev.value(&spec) > 0.8);
+    }
+
+    #[test]
+    fn caching_prevents_reevaluation() {
+        let ev = Evaluator::new(frame(), 4);
+        let spec = PipelineSpec::default_classification("y");
+        let a = ev.value(&spec);
+        let b = ev.value(&spec);
+        assert_eq!(a, b);
+        assert_eq!(ev.evaluations(), 1);
+        assert_eq!(ev.cache_size(), 1);
+    }
+
+    #[test]
+    fn invalid_design_scores_neg_infinity() {
+        let ev = Evaluator::new(frame(), 4);
+        let spec = PipelineSpec::default_classification("ghost");
+        assert_eq!(ev.value(&spec), f64::NEG_INFINITY);
+        assert!(ev.value_strict(&spec).is_err());
+    }
+
+    #[test]
+    fn approximate_value_close_to_full_on_easy_data() {
+        let ev = Evaluator::new(frame(), 4);
+        let spec = PipelineSpec::default_classification("y");
+        let full = ev.value(&spec);
+        let approx = ev.approximate_value(&spec, 30, 7);
+        assert!(
+            (full - approx).abs() < 0.3,
+            "full {full} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn clones_share_cache() {
+        let a = Evaluator::new(frame(), 4);
+        let b = a.clone();
+        let spec = PipelineSpec::default_classification("y");
+        a.value(&spec);
+        b.value(&spec);
+        assert_eq!(a.evaluations(), 1, "second call hits the shared cache");
+    }
+}

@@ -1,0 +1,203 @@
+//! Compact validity bitmap used by columns to track nulls.
+
+/// A growable bitmap storing one validity bit per row.
+///
+/// Bit `i` is `true` when row `i` holds a valid (non-null) value. The
+/// representation packs 64 rows per word, the same layout used by columnar
+/// engines such as Arrow, so null counting is a `popcount` loop.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let mut words = vec![if value { u64::MAX } else { 0 }; nwords];
+        if value && !len.is_multiple_of(64) {
+            // Keep trailing bits of the last word zeroed so equality and
+            // popcounts never see garbage.
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        Self { words, len }
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, value: bool) {
+        let (word, bit) = (self.len / 64, self.len % 64);
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if value {
+            self.words[word] |= 1u64 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds for bitmap of length {}",
+            self.len
+        );
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds for bitmap of length {}",
+            self.len
+        );
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits (valid rows).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of unset bits (null rows).
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// `true` if every bit is set.
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Iterator over all bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// A new bitmap containing the bits at `indices`, in order.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn take(&self, indices: &[usize]) -> Self {
+        let mut out = Bitmap::new();
+        for &i in indices {
+            out.push(self.get(i));
+        }
+        out
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bm = Bitmap::new();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 130);
+        for i in 0..130 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn filled_true_masks_tail() {
+        let a = Bitmap::filled(70, true);
+        assert_eq!(a.count_ones(), 70);
+        assert!(a.all());
+        let b: Bitmap = (0..70).map(|_| true).collect();
+        assert_eq!(a, b, "filled and pushed bitmaps must be bit-identical");
+    }
+
+    #[test]
+    fn filled_false() {
+        let a = Bitmap::filled(10, false);
+        assert_eq!(a.count_ones(), 0);
+        assert_eq!(a.count_zeros(), 10);
+        assert!(!a.all());
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut bm = Bitmap::filled(100, false);
+        bm.set(99, true);
+        bm.set(0, true);
+        assert_eq!(bm.count_ones(), 2);
+        bm.set(99, false);
+        assert_eq!(bm.count_ones(), 1);
+        assert!(bm.get(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Bitmap::filled(3, true).get(3);
+    }
+
+    #[test]
+    fn take_reorders() {
+        let bm: Bitmap = [true, false, true, false].into_iter().collect();
+        let taken = bm.take(&[3, 2, 2, 0]);
+        let expect: Bitmap = [false, true, true, true].into_iter().collect();
+        assert_eq!(taken, expect);
+    }
+
+    #[test]
+    fn empty_bitmap_all_is_true() {
+        assert!(Bitmap::new().all());
+        assert!(Bitmap::new().is_empty());
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let bm: Bitmap = (0..200).map(|i| i % 7 == 0).collect();
+        let collected: Vec<bool> = bm.iter().collect();
+        assert_eq!(collected.len(), 200);
+        for (i, b) in collected.iter().enumerate() {
+            assert_eq!(*b, bm.get(i));
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Typed columnar storage.
+
+use crate::bitmap::Bitmap;
+use crate::error::{DataError, Result};
+use crate::value::{DType, Value};
+use std::collections::HashMap;
+
+/// Dictionary for categorical columns: maps codes to distinct strings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(s.to_owned());
+        self.index.insert(s.to_owned(), code);
+        code
+    }
+
+    /// Look up the code of `s` without interning.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string for `code`.
+    pub fn lookup(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the dictionary holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All distinct values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+/// A single column: typed values plus a validity bitmap.
+///
+/// Invariant: the data vector and the validity bitmap always have the same
+/// length; slots whose validity bit is unset hold an arbitrary placeholder
+/// that must never be observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit floats.
+    Float(Vec<f64>, Bitmap),
+    /// 64-bit integers.
+    Int(Vec<i64>, Bitmap),
+    /// Booleans.
+    Bool(Vec<bool>, Bitmap),
+    /// Dictionary-encoded categorical values.
+    Categorical(Vec<u32>, Bitmap, Dictionary),
+    /// Strings.
+    Str(Vec<String>, Bitmap),
+}
+
+impl Column {
+    /// A column of floats with no nulls.
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        let bm = Bitmap::filled(values.len(), true);
+        Column::Float(values, bm)
+    }
+
+    /// A column of optional floats.
+    pub fn from_opt_f64(values: Vec<Option<f64>>) -> Self {
+        let bm: Bitmap = values.iter().map(Option::is_some).collect();
+        let data = values.into_iter().map(|v| v.unwrap_or(0.0)).collect();
+        Column::Float(data, bm)
+    }
+
+    /// A column of integers with no nulls.
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        let bm = Bitmap::filled(values.len(), true);
+        Column::Int(values, bm)
+    }
+
+    /// A column of optional integers.
+    pub fn from_opt_i64(values: Vec<Option<i64>>) -> Self {
+        let bm: Bitmap = values.iter().map(Option::is_some).collect();
+        let data = values.into_iter().map(|v| v.unwrap_or(0)).collect();
+        Column::Int(data, bm)
+    }
+
+    /// A column of booleans with no nulls.
+    pub fn from_bool(values: Vec<bool>) -> Self {
+        let bm = Bitmap::filled(values.len(), true);
+        Column::Bool(values, bm)
+    }
+
+    /// A column of strings with no nulls.
+    pub fn from_strings<S: AsRef<str>>(values: &[S]) -> Self {
+        let bm = Bitmap::filled(values.len(), true);
+        Column::Str(values.iter().map(|s| s.as_ref().to_owned()).collect(), bm)
+    }
+
+    /// A dictionary-encoded categorical column with no nulls.
+    pub fn from_categorical<S: AsRef<str>>(values: &[S]) -> Self {
+        let mut dict = Dictionary::new();
+        let codes = values.iter().map(|s| dict.intern(s.as_ref())).collect();
+        let bm = Bitmap::filled(values.len(), true);
+        Column::Categorical(codes, bm, dict)
+    }
+
+    /// A dictionary-encoded categorical column with nulls.
+    pub fn from_opt_categorical<S: AsRef<str>>(values: &[Option<S>]) -> Self {
+        let mut dict = Dictionary::new();
+        let mut codes = Vec::with_capacity(values.len());
+        let mut bm = Bitmap::new();
+        for v in values {
+            match v {
+                Some(s) => {
+                    codes.push(dict.intern(s.as_ref()));
+                    bm.push(true);
+                }
+                None => {
+                    codes.push(0);
+                    bm.push(false);
+                }
+            }
+        }
+        Column::Categorical(codes, bm, dict)
+    }
+
+    /// Build a column of `dtype` from dynamic values; incompatible values error.
+    pub fn from_values(dtype: DType, values: &[Value]) -> Result<Self> {
+        let mut col = Column::empty(dtype);
+        for v in values {
+            col.push(v.clone())?;
+        }
+        Ok(col)
+    }
+
+    /// An empty column of the given type.
+    pub fn empty(dtype: DType) -> Self {
+        match dtype {
+            DType::Float => Column::Float(Vec::new(), Bitmap::new()),
+            DType::Int => Column::Int(Vec::new(), Bitmap::new()),
+            DType::Bool => Column::Bool(Vec::new(), Bitmap::new()),
+            DType::Categorical => Column::Categorical(Vec::new(), Bitmap::new(), Dictionary::new()),
+            DType::Str => Column::Str(Vec::new(), Bitmap::new()),
+        }
+    }
+
+    /// The column's logical type.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Column::Float(..) => DType::Float,
+            Column::Int(..) => DType::Int,
+            Column::Bool(..) => DType::Bool,
+            Column::Categorical(..) => DType::Categorical,
+            Column::Str(..) => DType::Str,
+        }
+    }
+
+    /// Number of rows (including nulls).
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Float(v, _) => v.len(),
+            Column::Int(v, _) => v.len(),
+            Column::Bool(v, _) => v.len(),
+            Column::Categorical(v, _, _) => v.len(),
+            Column::Str(v, _) => v.len(),
+        }
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The validity bitmap.
+    pub fn validity(&self) -> &Bitmap {
+        match self {
+            Column::Float(_, bm)
+            | Column::Int(_, bm)
+            | Column::Bool(_, bm)
+            | Column::Categorical(_, bm, _)
+            | Column::Str(_, bm) => bm,
+        }
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        self.validity().count_zeros()
+    }
+
+    /// Read row `i` as a dynamic [`Value`].
+    pub fn get(&self, i: usize) -> Result<Value> {
+        if i >= self.len() {
+            return Err(DataError::RowOutOfBounds {
+                index: i,
+                len: self.len(),
+            });
+        }
+        if !self.validity().get(i) {
+            return Ok(Value::Null);
+        }
+        Ok(match self {
+            Column::Float(v, _) => Value::Float(v[i]),
+            Column::Int(v, _) => Value::Int(v[i]),
+            Column::Bool(v, _) => Value::Bool(v[i]),
+            Column::Categorical(v, _, dict) => {
+                Value::Str(dict.lookup(v[i]).unwrap_or_default().to_owned())
+            }
+            Column::Str(v, _) => Value::Str(v[i].clone()),
+        })
+    }
+
+    /// Append a dynamic value; `Value::Null` appends a null of any type.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        let got = value.dtype().map(DType::name).unwrap_or("null");
+        match (self, value) {
+            (Column::Float(v, bm), Value::Float(x)) => {
+                v.push(x);
+                bm.push(true);
+            }
+            (Column::Float(v, bm), Value::Int(x)) => {
+                v.push(x as f64);
+                bm.push(true);
+            }
+            (Column::Int(v, bm), Value::Int(x)) => {
+                v.push(x);
+                bm.push(true);
+            }
+            (Column::Bool(v, bm), Value::Bool(x)) => {
+                v.push(x);
+                bm.push(true);
+            }
+            (Column::Categorical(v, bm, dict), Value::Str(s)) => {
+                v.push(dict.intern(&s));
+                bm.push(true);
+            }
+            (Column::Str(v, bm), Value::Str(s)) => {
+                v.push(s);
+                bm.push(true);
+            }
+            (col, Value::Null) => match col {
+                Column::Float(v, bm) => {
+                    v.push(0.0);
+                    bm.push(false);
+                }
+                Column::Int(v, bm) => {
+                    v.push(0);
+                    bm.push(false);
+                }
+                Column::Bool(v, bm) => {
+                    v.push(false);
+                    bm.push(false);
+                }
+                Column::Categorical(v, bm, _) => {
+                    v.push(0);
+                    bm.push(false);
+                }
+                Column::Str(v, bm) => {
+                    v.push(String::new());
+                    bm.push(false);
+                }
+            },
+            (col, _) => {
+                return Err(DataError::TypeMismatch {
+                    expected: col.dtype().name(),
+                    got,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Numeric view of the column: ints/bools widen to `f64`, nulls map to
+    /// `None`, non-numeric columns error.
+    pub fn to_f64(&self) -> Result<Vec<Option<f64>>> {
+        let bm = self.validity();
+        match self {
+            Column::Float(v, _) => Ok(v
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| bm.get(i).then_some(x))
+                .collect()),
+            Column::Int(v, _) => Ok(v
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| bm.get(i).then_some(x as f64))
+                .collect()),
+            Column::Bool(v, _) => Ok(v
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| bm.get(i).then_some(if x { 1.0 } else { 0.0 }))
+                .collect()),
+            other => Err(DataError::TypeMismatch {
+                expected: "numeric",
+                got: other.dtype().name(),
+            }),
+        }
+    }
+
+    /// Dense numeric view skipping nulls; errors on non-numeric columns.
+    pub fn to_f64_dense(&self) -> Result<Vec<f64>> {
+        Ok(self.to_f64()?.into_iter().flatten().collect())
+    }
+
+    /// A new column containing rows at `indices`, in order.
+    pub fn take(&self, indices: &[usize]) -> Result<Self> {
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::RowOutOfBounds {
+                    index: i,
+                    len: self.len(),
+                });
+            }
+        }
+        Ok(match self {
+            Column::Float(v, bm) => {
+                Column::Float(indices.iter().map(|&i| v[i]).collect(), bm.take(indices))
+            }
+            Column::Int(v, bm) => {
+                Column::Int(indices.iter().map(|&i| v[i]).collect(), bm.take(indices))
+            }
+            Column::Bool(v, bm) => {
+                Column::Bool(indices.iter().map(|&i| v[i]).collect(), bm.take(indices))
+            }
+            Column::Categorical(v, bm, dict) => Column::Categorical(
+                indices.iter().map(|&i| v[i]).collect(),
+                bm.take(indices),
+                dict.clone(),
+            ),
+            Column::Str(v, bm) => Column::Str(
+                indices.iter().map(|&i| v[i].clone()).collect(),
+                bm.take(indices),
+            ),
+        })
+    }
+
+    /// Iterator over rows as dynamic values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i).expect("index in range"))
+    }
+
+    /// Distinct non-null values and their occurrence counts, most frequent first.
+    pub fn value_counts(&self) -> Vec<(Value, usize)> {
+        let mut counts: Vec<(Value, usize)> = Vec::new();
+        for v in self.iter().filter(|v| !v.is_null()) {
+            match counts.iter_mut().find(|(existing, _)| *existing == v) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((v, 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
+        counts
+    }
+
+    /// Number of distinct non-null values.
+    pub fn n_unique(&self) -> usize {
+        self.value_counts().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_round_trip() {
+        let c = Column::from_f64(vec![1.0, 2.5, -3.0]);
+        assert_eq!(c.dtype(), DType::Float);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1).unwrap(), Value::Float(2.5));
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn opt_float_nulls() {
+        let c = Column::from_opt_f64(vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(1).unwrap(), Value::Null);
+        assert_eq!(c.to_f64().unwrap(), vec![Some(1.0), None, Some(3.0)]);
+        assert_eq!(c.to_f64_dense().unwrap(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn categorical_interning() {
+        let c = Column::from_categorical(&["a", "b", "a", "c", "b"]);
+        if let Column::Categorical(codes, _, dict) = &c {
+            assert_eq!(dict.len(), 3);
+            assert_eq!(codes, &[0, 1, 0, 2, 1]);
+        } else {
+            panic!("expected categorical");
+        }
+        assert_eq!(c.get(2).unwrap(), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn categorical_with_nulls() {
+        let c = Column::from_opt_categorical(&[Some("x"), None, Some("y")]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(1).unwrap(), Value::Null);
+        assert_eq!(c.n_unique(), 2);
+    }
+
+    #[test]
+    fn push_type_checks() {
+        let mut c = Column::empty(DType::Int);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        let err = c.push(Value::Str("no".into())).unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn push_int_into_float_widens() {
+        let mut c = Column::empty(DType::Float);
+        c.push(Value::Int(4)).unwrap();
+        assert_eq!(c.get(0).unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn take_preserves_nulls_and_dict() {
+        let c = Column::from_opt_categorical(&[Some("a"), None, Some("b"), Some("a")]);
+        let t = c.take(&[3, 1, 0]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0).unwrap(), Value::Str("a".into()));
+        assert_eq!(t.get(1).unwrap(), Value::Null);
+        assert_eq!(t.get(2).unwrap(), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn take_out_of_bounds() {
+        let c = Column::from_i64(vec![1, 2]);
+        assert!(matches!(
+            c.take(&[2]),
+            Err(DataError::RowOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn value_counts_sorted() {
+        let c = Column::from_categorical(&["b", "a", "b", "c", "b", "a"]);
+        let counts = c.value_counts();
+        assert_eq!(counts[0], (Value::Str("b".into()), 3));
+        assert_eq!(counts[1], (Value::Str("a".into()), 2));
+        assert_eq!(counts[2], (Value::Str("c".into()), 1));
+    }
+
+    #[test]
+    fn to_f64_on_bool() {
+        let c = Column::from_bool(vec![true, false, true]);
+        assert_eq!(c.to_f64_dense().unwrap(), vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn to_f64_on_str_errors() {
+        let c = Column::from_strings(&["x"]);
+        assert!(c.to_f64().is_err());
+    }
+
+    #[test]
+    fn from_values_mixed_numeric() {
+        let c = Column::from_values(
+            DType::Float,
+            &[Value::Float(1.0), Value::Int(2), Value::Null],
+        )
+        .unwrap();
+        assert_eq!(c.to_f64().unwrap(), vec![Some(1.0), Some(2.0), None]);
+    }
+
+    #[test]
+    fn get_out_of_bounds() {
+        let c = Column::from_i64(vec![1]);
+        assert!(matches!(
+            c.get(5),
+            Err(DataError::RowOutOfBounds { index: 5, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn dictionary_lookup() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.lookup(b), Some("beta"));
+        assert_eq!(d.code_of("gamma"), None);
+        assert_eq!(d.values(), &["alpha".to_owned(), "beta".to_owned()]);
+    }
+}

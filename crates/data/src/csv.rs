@@ -1,0 +1,404 @@
+//! CSV reading (with schema inference) and writing.
+//!
+//! The parser supports RFC-4180 quoting: fields may be wrapped in double
+//! quotes, embedded quotes are doubled, and quoted fields may contain commas
+//! and newlines. Schema inference scans every row and picks the narrowest
+//! type that fits all non-empty cells, with low-cardinality string columns
+//! inferred as categorical.
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::frame::DataFrame;
+use crate::value::{DType, Value};
+use std::path::Path;
+
+/// Options controlling CSV reading.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record is a header row (default `true`).
+    pub has_header: bool,
+    /// Strings (beyond the empty string) treated as null.
+    pub null_markers: Vec<String>,
+    /// Maximum distinct values for a string column to be inferred categorical.
+    pub categorical_threshold: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            has_header: true,
+            null_markers: vec!["NA".into(), "null".into(), "NULL".into(), "NaN".into()],
+            categorical_threshold: 64,
+        }
+    }
+}
+
+/// Split raw CSV text into records of fields, honouring quotes.
+fn tokenize(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(DataError::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                '\r' => {
+                    // Swallow CR in CRLF line endings.
+                    if chars.peek() != Some(&'\n') {
+                        field.push(c);
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c if c == delimiter => record.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// The narrowest dtype that fits a single raw cell, ignoring null markers.
+fn cell_dtype(cell: &str) -> Option<DType> {
+    if cell.parse::<i64>().is_ok() {
+        Some(DType::Int)
+    } else if cell.parse::<f64>().is_ok() {
+        Some(DType::Float)
+    } else if matches!(cell, "true" | "false" | "True" | "False" | "TRUE" | "FALSE") {
+        Some(DType::Bool)
+    } else {
+        None
+    }
+}
+
+/// Widen `a` to also accommodate `b`.
+fn unify(a: DType, b: DType) -> DType {
+    use DType::*;
+    match (a, b) {
+        (x, y) if x == y => x,
+        (Int, Float) | (Float, Int) => Float,
+        (Bool, Int) | (Int, Bool) | (Bool, Float) | (Float, Bool) => Float,
+        _ => Str,
+    }
+}
+
+fn parse_cell(cell: &str, dtype: DType, opts: &CsvOptions) -> Value {
+    if cell.is_empty() || opts.null_markers.iter().any(|m| m == cell) {
+        return Value::Null;
+    }
+    match dtype {
+        DType::Int => cell.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        DType::Float => match cell {
+            // A column that unified Bool with a numeric type parses as Float.
+            "true" | "True" | "TRUE" => Value::Float(1.0),
+            "false" | "False" | "FALSE" => Value::Float(0.0),
+            _ => cell.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+        },
+        DType::Bool => match cell {
+            "true" | "True" | "TRUE" => Value::Bool(true),
+            "false" | "False" | "FALSE" => Value::Bool(false),
+            _ => Value::Null,
+        },
+        DType::Categorical | DType::Str => Value::Str(cell.to_owned()),
+    }
+}
+
+/// Parse CSV text into a [`DataFrame`] with inferred schema.
+pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<DataFrame> {
+    let mut records = tokenize(text, opts.delimiter)?;
+    if records.is_empty() {
+        return Err(DataError::Empty("csv input"));
+    }
+    let header: Vec<String> = if opts.has_header {
+        records.remove(0)
+    } else {
+        (0..records[0].len()).map(|i| format!("col{i}")).collect()
+    };
+    let n_cols = header.len();
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != n_cols {
+            return Err(DataError::Csv {
+                line: i + 1 + usize::from(opts.has_header),
+                message: format!("expected {n_cols} fields, got {}", rec.len()),
+            });
+        }
+    }
+
+    // Infer one dtype per column across all rows.
+    let mut dtypes: Vec<Option<DType>> = vec![None; n_cols];
+    for rec in &records {
+        for (j, cell) in rec.iter().enumerate() {
+            if cell.is_empty() || opts.null_markers.iter().any(|m| m == cell) {
+                continue;
+            }
+            let d = cell_dtype(cell).unwrap_or(DType::Str);
+            dtypes[j] = Some(match dtypes[j] {
+                Some(prev) => unify(prev, d),
+                None => d,
+            });
+        }
+    }
+
+    // Low-cardinality string columns become categorical.
+    let mut final_dtypes = Vec::with_capacity(n_cols);
+    for (j, d) in dtypes.iter().enumerate() {
+        let d = d.unwrap_or(DType::Str);
+        if d == DType::Str {
+            let mut distinct: Vec<&str> = Vec::new();
+            for rec in &records {
+                let cell = rec[j].as_str();
+                if !cell.is_empty() && !distinct.contains(&cell) {
+                    distinct.push(cell);
+                    if distinct.len() > opts.categorical_threshold {
+                        break;
+                    }
+                }
+            }
+            final_dtypes.push(if distinct.len() <= opts.categorical_threshold {
+                DType::Categorical
+            } else {
+                DType::Str
+            });
+        } else {
+            final_dtypes.push(d);
+        }
+    }
+
+    let mut df = DataFrame::new();
+    for (j, name) in header.iter().enumerate() {
+        let dtype = final_dtypes[j];
+        let mut col = Column::empty(dtype);
+        for rec in &records {
+            col.push(parse_cell(&rec[j], dtype, opts))?;
+        }
+        df.add_column(name.clone(), col)?;
+    }
+    Ok(df)
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<DataFrame> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| DataError::Csv {
+        line: 0,
+        message: format!("io error reading {}: {e}", path.as_ref().display()),
+    })?;
+    read_csv_str(&text, opts)
+}
+
+fn escape(field: &str, delimiter: char) -> String {
+    if field.contains(delimiter) || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Serialize a frame to CSV text with a header row.
+pub fn write_csv_str(df: &DataFrame, delimiter: char) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &df.names()
+            .iter()
+            .map(|n| escape(n, delimiter))
+            .collect::<Vec<_>>()
+            .join(&delimiter.to_string()),
+    );
+    out.push('\n');
+    for i in 0..df.n_rows() {
+        let row = df.row(i).expect("row in range");
+        let line: Vec<String> = row
+            .iter()
+            .map(|v| escape(&v.to_string(), delimiter))
+            .collect();
+        out.push_str(&line.join(&delimiter.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a frame to a CSV file.
+pub fn write_csv_path(df: &DataFrame, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path.as_ref(), write_csv_str(df, ',')).map_err(|e| DataError::Csv {
+        line: 0,
+        message: format!("io error writing {}: {e}", path.as_ref().display()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_types() {
+        let df = read_csv_str(
+            "a,b,c,d\n1,1.5,true,x\n2,2.5,false,y\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let s = df.schema();
+        assert_eq!(s.field("a").unwrap().dtype, DType::Int);
+        assert_eq!(s.field("b").unwrap().dtype, DType::Float);
+        assert_eq!(s.field("c").unwrap().dtype, DType::Bool);
+        assert_eq!(s.field("d").unwrap().dtype, DType::Categorical);
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let df = read_csv_str("v\n1\n2.5\n", &CsvOptions::default()).unwrap();
+        assert_eq!(df.schema().field("v").unwrap().dtype, DType::Float);
+        assert_eq!(
+            df.column("v").unwrap().to_f64_dense().unwrap(),
+            vec![1.0, 2.5]
+        );
+    }
+
+    #[test]
+    fn null_markers_and_empties() {
+        let df = read_csv_str("v\n1\nNA\n\n3\n", &CsvOptions::default()).unwrap();
+        assert_eq!(df.n_rows(), 4);
+        assert_eq!(df.column("v").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let df = read_csv_str(
+            "name,notes\nalice,\"hello, world\"\nbob,\"say \"\"hi\"\"\"\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(df.row(0).unwrap()[1], Value::Str("hello, world".into()));
+        assert_eq!(df.row(1).unwrap()[1], Value::Str("say \"hi\"".into()));
+    }
+
+    #[test]
+    fn quoted_newline() {
+        let df = read_csv_str("a,b\n\"line1\nline2\",2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.row(0).unwrap()[0], Value::Str("line1\nline2".into()));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        let err = read_csv_str("a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { .. }));
+    }
+
+    #[test]
+    fn ragged_row_errors() {
+        let err = read_csv_str("a,b\n1,2\n3\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let df = read_csv_str("a,b\r\n1,2\r\n3,4\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.row(1).unwrap()[1], Value::Int(4));
+    }
+
+    #[test]
+    fn no_header_mode() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let df = read_csv_str("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(df.names(), vec!["col0", "col1"]);
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let df = read_csv_str("a\n1\n2", &CsvOptions::default()).unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn high_cardinality_stays_str() {
+        let opts = CsvOptions {
+            categorical_threshold: 2,
+            ..CsvOptions::default()
+        };
+        let df = read_csv_str("v\nu1\nu2\nu3\n", &opts).unwrap();
+        assert_eq!(df.schema().field("v").unwrap().dtype, DType::Str);
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "a,b,label\n1,1.5,x\n2,2.5,\"y,z\"\n";
+        let df = read_csv_str(text, &CsvOptions::default()).unwrap();
+        let out = write_csv_str(&df, ',');
+        let df2 = read_csv_str(&out, &CsvOptions::default()).unwrap();
+        assert_eq!(df.n_rows(), df2.n_rows());
+        for i in 0..df.n_rows() {
+            assert_eq!(df.row(i).unwrap(), df2.row(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let df = read_csv_str("a,b\n1,x\n2,y\n", &CsvOptions::default()).unwrap();
+        let path = std::env::temp_dir().join("matilda_csv_test.csv");
+        write_csv_path(&df, &path).unwrap();
+        let back = read_csv_path(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bool_unifies_with_int_to_float() {
+        let df = read_csv_str("v\ntrue\n2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(df.schema().field("v").unwrap().dtype, DType::Float);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(read_csv_str("", &CsvOptions::default()).is_err());
+    }
+}

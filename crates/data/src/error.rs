@@ -1,0 +1,99 @@
+//! Error types for the data substrate.
+
+use std::fmt;
+
+/// Errors produced by dataframe construction, access and transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A column name was not found in the schema.
+    ColumnNotFound(String),
+    /// A column with the same name already exists.
+    DuplicateColumn(String),
+    /// Columns in a frame have mismatched lengths.
+    LengthMismatch { expected: usize, got: usize },
+    /// An operation required a different data type.
+    TypeMismatch {
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds { index: usize, len: usize },
+    /// CSV input could not be parsed.
+    Csv { line: usize, message: String },
+    /// An operation is undefined for an empty input.
+    Empty(&'static str),
+    /// A parameter was outside its valid domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            DataError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            DataError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            DataError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            DataError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for length {len}")
+            }
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            DataError::Empty(what) => write!(f, "operation undefined on empty {what}"),
+            DataError::InvalidParameter(message) => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = DataError::ColumnNotFound("age".into());
+        assert_eq!(e.to_string(), "column not found: age");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = DataError::LengthMismatch {
+            expected: 3,
+            got: 5,
+        };
+        assert_eq!(e.to_string(), "length mismatch: expected 3, got 5");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = DataError::TypeMismatch {
+            expected: "float",
+            got: "str",
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected float, got str");
+    }
+
+    #[test]
+    fn display_csv() {
+        let e = DataError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DataError::Empty("frame"));
+    }
+}

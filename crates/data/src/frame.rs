@@ -1,0 +1,526 @@
+//! The [`DataFrame`]: an ordered collection of equal-length named columns.
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::schema::{Field, Schema};
+use crate::value::Value;
+use std::fmt;
+
+/// An in-memory columnar table.
+///
+/// Invariants: every column has the same length, and column names are unique.
+/// All constructors and mutators preserve these invariants or return an error.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataFrame {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl DataFrame {
+    /// An empty frame with no columns and no rows.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a frame from `(name, column)` pairs.
+    pub fn from_columns(pairs: Vec<(impl Into<String>, Column)>) -> Result<Self> {
+        let mut df = DataFrame::new();
+        for (name, col) in pairs {
+            df.add_column(name.into(), col)?;
+        }
+        Ok(df)
+    }
+
+    /// The frame's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` when the frame has no rows or no columns.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0 || self.columns.is_empty()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.schema.names()
+    }
+
+    /// The column named `name`.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| DataError::ColumnNotFound(name.to_owned()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// The column at position `idx`.
+    pub fn column_at(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Append a column; its length must match existing rows (any length if
+    /// this is the first column).
+    pub fn add_column(&mut self, name: impl Into<String>, col: Column) -> Result<()> {
+        let name = name.into();
+        if self.columns.is_empty() {
+            self.n_rows = col.len();
+        } else if col.len() != self.n_rows {
+            return Err(DataError::LengthMismatch {
+                expected: self.n_rows,
+                got: col.len(),
+            });
+        }
+        self.schema.push(Field::new(name, col.dtype()))?;
+        self.columns.push(col);
+        Ok(())
+    }
+
+    /// Replace the column named `name`, keeping its position. The new column
+    /// may change dtype but must match the row count.
+    pub fn replace_column(&mut self, name: &str, col: Column) -> Result<()> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| DataError::ColumnNotFound(name.to_owned()))?;
+        if col.len() != self.n_rows {
+            return Err(DataError::LengthMismatch {
+                expected: self.n_rows,
+                got: col.len(),
+            });
+        }
+        let mut fields = self.schema.fields().to_vec();
+        fields[idx].dtype = col.dtype();
+        self.schema = Schema::from_fields(fields)?;
+        self.columns[idx] = col;
+        Ok(())
+    }
+
+    /// Add the column if absent, otherwise replace it in place.
+    pub fn upsert_column(&mut self, name: &str, col: Column) -> Result<()> {
+        if self.schema.index_of(name).is_some() {
+            self.replace_column(name, col)
+        } else {
+            self.add_column(name, col)
+        }
+    }
+
+    /// Remove and return the column named `name`.
+    pub fn drop_column(&mut self, name: &str) -> Result<Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| DataError::ColumnNotFound(name.to_owned()))?;
+        self.schema.remove(name)?;
+        let col = self.columns.remove(idx);
+        if self.columns.is_empty() {
+            self.n_rows = 0;
+        }
+        Ok(col)
+    }
+
+    /// A new frame with only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let mut df = DataFrame::new();
+        for &name in names {
+            df.add_column(name, self.column(name)?.clone())?;
+        }
+        Ok(df)
+    }
+
+    /// Row `i` as dynamic values, in schema order.
+    pub fn row(&self, i: usize) -> Result<Vec<Value>> {
+        if i >= self.n_rows {
+            return Err(DataError::RowOutOfBounds {
+                index: i,
+                len: self.n_rows,
+            });
+        }
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// A new frame with rows at `indices`, in order (duplicates allowed).
+    pub fn take(&self, indices: &[usize]) -> Result<DataFrame> {
+        let mut df = DataFrame::new();
+        for (field, col) in self.schema.fields().iter().zip(&self.columns) {
+            df.add_column(field.name.clone(), col.take(indices)?)?;
+        }
+        // A frame with columns but zero selected rows keeps its columns.
+        if df.columns.is_empty() {
+            df.n_rows = 0;
+        }
+        Ok(df)
+    }
+
+    /// The first `n` rows (fewer if the frame is shorter).
+    pub fn head(&self, n: usize) -> DataFrame {
+        let n = n.min(self.n_rows);
+        let idx: Vec<usize> = (0..n).collect();
+        self.take(&idx).expect("indices in range")
+    }
+
+    /// Keep rows where `predicate(row_index)` is true.
+    pub fn filter_by_index(&self, predicate: impl Fn(usize) -> bool) -> DataFrame {
+        let idx: Vec<usize> = (0..self.n_rows).filter(|&i| predicate(i)).collect();
+        self.take(&idx).expect("indices in range")
+    }
+
+    /// Keep rows where the boolean `mask` is true. The mask length must match.
+    pub fn filter_mask(&self, mask: &[bool]) -> Result<DataFrame> {
+        if mask.len() != self.n_rows {
+            return Err(DataError::LengthMismatch {
+                expected: self.n_rows,
+                got: mask.len(),
+            });
+        }
+        Ok(self.filter_by_index(|i| mask[i]))
+    }
+
+    /// Keep rows whose value in `name` satisfies `predicate`.
+    pub fn filter_column(
+        &self,
+        name: &str,
+        predicate: impl Fn(&Value) -> bool,
+    ) -> Result<DataFrame> {
+        let col = self.column(name)?;
+        let mask: Vec<bool> = col.iter().map(|v| predicate(&v)).collect();
+        self.filter_mask(&mask)
+    }
+
+    /// Row indices sorted ascending by the column `name` (nulls first).
+    pub fn argsort(&self, name: &str) -> Result<Vec<usize>> {
+        let col = self.column(name)?;
+        let values: Vec<Value> = col.iter().collect();
+        let mut idx: Vec<usize> = (0..self.n_rows).collect();
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        Ok(idx)
+    }
+
+    /// A new frame sorted ascending by `name`.
+    pub fn sort_by(&self, name: &str) -> Result<DataFrame> {
+        let idx = self.argsort(name)?;
+        self.take(&idx)
+    }
+
+    /// Vertically concatenate another frame with an identical schema.
+    pub fn vstack(&self, other: &DataFrame) -> Result<DataFrame> {
+        if self.schema != other.schema {
+            return Err(DataError::InvalidParameter(
+                "vstack requires identical schemas".into(),
+            ));
+        }
+        let mut df = DataFrame::new();
+        for (field, (a, b)) in self
+            .schema
+            .fields()
+            .iter()
+            .zip(self.columns.iter().zip(&other.columns))
+        {
+            let mut col = Column::empty(field.dtype);
+            for v in a.iter().chain(b.iter()) {
+                col.push(v)?;
+            }
+            df.add_column(field.name.clone(), col)?;
+        }
+        Ok(df)
+    }
+
+    /// Total nulls across all columns.
+    pub fn null_count(&self) -> usize {
+        self.columns.iter().map(Column::null_count).sum()
+    }
+
+    /// Drop all rows containing at least one null.
+    pub fn drop_nulls(&self) -> DataFrame {
+        self.filter_by_index(|i| self.columns.iter().all(|c| c.validity().get(i)))
+    }
+
+    /// Iterate `(name, column)` pairs in schema order.
+    pub fn iter_columns(&self) -> impl Iterator<Item = (&str, &Column)> + '_ {
+        self.schema
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .zip(self.columns.iter())
+    }
+
+    /// Extract the named numeric columns as a dense row-major feature matrix,
+    /// erroring if any referenced cell is null or non-numeric.
+    pub fn to_matrix(&self, names: &[&str]) -> Result<Vec<Vec<f64>>> {
+        let cols: Vec<Vec<Option<f64>>> = names
+            .iter()
+            .map(|n| self.column(n)?.to_f64())
+            .collect::<Result<_>>()?;
+        let mut rows = Vec::with_capacity(self.n_rows);
+        for i in 0..self.n_rows {
+            let mut row = Vec::with_capacity(cols.len());
+            for (j, col) in cols.iter().enumerate() {
+                row.push(col[i].ok_or_else(|| {
+                    DataError::InvalidParameter(format!(
+                        "null in feature column '{}' at row {i}",
+                        names[j]
+                    ))
+                })?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+}
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MAX_ROWS: usize = 10;
+        writeln!(
+            f,
+            "DataFrame [{} rows x {} cols]",
+            self.n_rows,
+            self.n_cols()
+        )?;
+        writeln!(
+            f,
+            "{}",
+            self.schema
+                .fields()
+                .iter()
+                .map(|fd| format!("{}:{}", fd.name, fd.dtype))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        )?;
+        for i in 0..self.n_rows.min(MAX_ROWS) {
+            let row = self.row(i).map_err(|_| fmt::Error)?;
+            writeln!(
+                f,
+                "{}",
+                row.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            )?;
+        }
+        if self.n_rows > MAX_ROWS {
+            writeln!(f, "... ({} more rows)", self.n_rows - MAX_ROWS)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DType;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+            ("y", Column::from_i64(vec![10, 20, 30, 40])),
+            ("label", Column::from_categorical(&["a", "b", "a", "b"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let df = sample();
+        assert_eq!(df.n_rows(), 4);
+        assert_eq!(df.n_cols(), 3);
+        assert_eq!(df.names(), vec!["x", "y", "label"]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut df = sample();
+        let err = df
+            .add_column("bad", Column::from_f64(vec![1.0]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DataError::LengthMismatch {
+                expected: 4,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut df = sample();
+        let err = df
+            .add_column("x", Column::from_f64(vec![0.0; 4]))
+            .unwrap_err();
+        assert_eq!(err, DataError::DuplicateColumn("x".into()));
+    }
+
+    #[test]
+    fn select_reorders() {
+        let df = sample().select(&["label", "x"]).unwrap();
+        assert_eq!(df.names(), vec!["label", "x"]);
+        assert_eq!(df.n_rows(), 4);
+    }
+
+    #[test]
+    fn row_access() {
+        let df = sample();
+        let row = df.row(2).unwrap();
+        assert_eq!(
+            row,
+            vec![Value::Float(3.0), Value::Int(30), Value::Str("a".into())]
+        );
+        assert!(df.row(4).is_err());
+    }
+
+    #[test]
+    fn take_with_duplicates() {
+        let df = sample().take(&[0, 0, 3]).unwrap();
+        assert_eq!(df.n_rows(), 3);
+        assert_eq!(df.row(1).unwrap()[0], Value::Float(1.0));
+        assert_eq!(df.row(2).unwrap()[0], Value::Float(4.0));
+    }
+
+    #[test]
+    fn filter_column_values() {
+        let df = sample()
+            .filter_column("label", |v| v.as_str() == Some("a"))
+            .unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(
+            df.column("x").unwrap().to_f64_dense().unwrap(),
+            vec![1.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn filter_mask_length_checked() {
+        let df = sample();
+        assert!(df.filter_mask(&[true, false]).is_err());
+    }
+
+    #[test]
+    fn sort_descending_input() {
+        let df =
+            DataFrame::from_columns(vec![("v", Column::from_f64(vec![3.0, 1.0, 2.0]))]).unwrap();
+        let sorted = df.sort_by("v").unwrap();
+        assert_eq!(
+            sorted.column("v").unwrap().to_f64_dense().unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn sort_puts_nulls_first() {
+        let df = DataFrame::from_columns(vec![(
+            "v",
+            Column::from_opt_f64(vec![Some(2.0), None, Some(1.0)]),
+        )])
+        .unwrap();
+        let sorted = df.sort_by("v").unwrap();
+        assert_eq!(sorted.column("v").unwrap().get(0).unwrap(), Value::Null);
+        assert_eq!(
+            sorted.column("v").unwrap().get(1).unwrap(),
+            Value::Float(1.0)
+        );
+    }
+
+    #[test]
+    fn vstack_same_schema() {
+        let df = sample();
+        let stacked = df.vstack(&df).unwrap();
+        assert_eq!(stacked.n_rows(), 8);
+        assert_eq!(stacked.row(4).unwrap(), df.row(0).unwrap());
+    }
+
+    #[test]
+    fn vstack_schema_mismatch() {
+        let df = sample();
+        let other = df.select(&["x"]).unwrap();
+        assert!(df.vstack(&other).is_err());
+    }
+
+    #[test]
+    fn drop_nulls_removes_rows() {
+        let df = DataFrame::from_columns(vec![
+            ("a", Column::from_opt_f64(vec![Some(1.0), None, Some(3.0)])),
+            ("b", Column::from_opt_f64(vec![Some(1.0), Some(2.0), None])),
+        ])
+        .unwrap();
+        assert_eq!(df.null_count(), 2);
+        let clean = df.drop_nulls();
+        assert_eq!(clean.n_rows(), 1);
+        assert_eq!(clean.null_count(), 0);
+    }
+
+    #[test]
+    fn to_matrix_dense() {
+        let df = sample();
+        let m = df.to_matrix(&["x", "y"]).unwrap();
+        assert_eq!(
+            m,
+            vec![
+                vec![1.0, 10.0],
+                vec![2.0, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0]
+            ]
+        );
+    }
+
+    #[test]
+    fn to_matrix_rejects_nulls() {
+        let df = DataFrame::from_columns(vec![("a", Column::from_opt_f64(vec![Some(1.0), None]))])
+            .unwrap();
+        assert!(df.to_matrix(&["a"]).is_err());
+    }
+
+    #[test]
+    fn replace_column_changes_dtype() {
+        let mut df = sample();
+        df.replace_column("y", Column::from_f64(vec![0.5; 4]))
+            .unwrap();
+        assert_eq!(df.schema().field("y").unwrap().dtype, DType::Float);
+        assert_eq!(df.names(), vec!["x", "y", "label"], "position preserved");
+    }
+
+    #[test]
+    fn drop_column_then_head() {
+        let mut df = sample();
+        df.drop_column("y").unwrap();
+        assert_eq!(df.n_cols(), 2);
+        let h = df.head(2);
+        assert_eq!(h.n_rows(), 2);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let df = DataFrame::from_columns(vec![(
+            "v",
+            Column::from_f64((0..20).map(f64::from).collect()),
+        )])
+        .unwrap();
+        let s = df.to_string();
+        assert!(s.contains("more rows"));
+        assert!(s.contains("v:float"));
+    }
+
+    #[test]
+    fn upsert_adds_then_replaces() {
+        let mut df = sample();
+        df.upsert_column("z", Column::from_f64(vec![0.0; 4]))
+            .unwrap();
+        assert_eq!(df.n_cols(), 4);
+        df.upsert_column("z", Column::from_i64(vec![1; 4])).unwrap();
+        assert_eq!(df.n_cols(), 4);
+        assert_eq!(df.schema().field("z").unwrap().dtype, DType::Int);
+    }
+}

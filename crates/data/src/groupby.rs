@@ -1,0 +1,196 @@
+//! Group-by aggregation.
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::frame::DataFrame;
+use crate::stats;
+use crate::value::{DType, Value};
+
+/// Aggregation applied to a numeric column within each group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Row count of the group (ignores nulls in the aggregated column).
+    Count,
+    /// Sum of non-null values.
+    Sum,
+    /// Mean of non-null values.
+    Mean,
+    /// Minimum of non-null values.
+    Min,
+    /// Maximum of non-null values.
+    Max,
+    /// Sample standard deviation of non-null values.
+    Std,
+}
+
+impl Agg {
+    /// Name used in output columns, e.g. `"mean(x)"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Agg::Count => "count",
+            Agg::Sum => "sum",
+            Agg::Mean => "mean",
+            Agg::Min => "min",
+            Agg::Max => "max",
+            Agg::Std => "std",
+        }
+    }
+
+    fn apply(self, xs: &[f64]) -> Option<f64> {
+        if xs.is_empty() {
+            return if self == Agg::Count { Some(0.0) } else { None };
+        }
+        Some(match self {
+            Agg::Count => xs.len() as f64,
+            Agg::Sum => xs.iter().sum(),
+            Agg::Mean => stats::mean(xs).ok()?,
+            Agg::Min => xs.iter().copied().fold(f64::INFINITY, f64::min),
+            Agg::Max => xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Agg::Std => stats::std_dev(xs).ok()?,
+        })
+    }
+}
+
+/// Group `df` by the `key` column and aggregate each `(column, agg)` pair.
+///
+/// The output has one row per distinct key value (in first-seen order), the
+/// key column first, then one column per aggregation named `"{agg}({col})"`.
+pub fn group_by(df: &DataFrame, key: &str, aggs: &[(&str, Agg)]) -> Result<DataFrame> {
+    let key_col = df.column(key)?;
+    if df.n_rows() == 0 {
+        return Err(DataError::Empty("frame"));
+    }
+    // Partition row indices by key value (string form; nulls group together).
+    let mut groups: Vec<(Value, Vec<usize>)> = Vec::new();
+    for (i, v) in key_col.iter().enumerate() {
+        match groups.iter_mut().find(|(k, _)| *k == v) {
+            Some((_, rows)) => rows.push(i),
+            None => groups.push((v, vec![i])),
+        }
+    }
+
+    let mut out = DataFrame::new();
+    let mut key_out = Column::empty(match key_col.dtype() {
+        DType::Categorical => DType::Categorical,
+        other => other,
+    });
+    for (k, _) in &groups {
+        key_out.push(k.clone())?;
+    }
+    out.add_column(key, key_out)?;
+
+    for &(col_name, agg) in aggs {
+        let col = df.column(col_name)?;
+        let values = col.to_f64()?;
+        let mut agg_out: Vec<Option<f64>> = Vec::with_capacity(groups.len());
+        for (_, rows) in &groups {
+            let xs: Vec<f64> = rows.iter().filter_map(|&i| values[i]).collect();
+            agg_out.push(agg.apply(&xs));
+        }
+        out.add_column(
+            format!("{}({col_name})", agg.name()),
+            Column::from_opt_f64(agg_out),
+        )?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "city",
+                Column::from_categorical(&["lyon", "puebla", "lyon", "puebla", "lyon"]),
+            ),
+            ("co2", Column::from_f64(vec![10.0, 20.0, 30.0, 40.0, 50.0])),
+            (
+                "footfall",
+                Column::from_opt_f64(vec![Some(1.0), Some(2.0), None, Some(4.0), Some(5.0)]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn mean_per_group() {
+        let out = group_by(&sample(), "city", &[("co2", Agg::Mean)]).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.names(), vec!["city", "mean(co2)"]);
+        assert_eq!(out.row(0).unwrap()[0], Value::Str("lyon".into()));
+        assert_eq!(out.row(0).unwrap()[1], Value::Float(30.0));
+        assert_eq!(out.row(1).unwrap()[1], Value::Float(30.0));
+    }
+
+    #[test]
+    fn multiple_aggregations() {
+        let out = group_by(
+            &sample(),
+            "city",
+            &[
+                ("co2", Agg::Sum),
+                ("co2", Agg::Min),
+                ("co2", Agg::Max),
+                ("co2", Agg::Count),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            out.names(),
+            vec!["city", "sum(co2)", "min(co2)", "max(co2)", "count(co2)"]
+        );
+        let lyon = out.row(0).unwrap();
+        assert_eq!(lyon[1], Value::Float(90.0));
+        assert_eq!(lyon[2], Value::Float(10.0));
+        assert_eq!(lyon[3], Value::Float(50.0));
+        assert_eq!(lyon[4], Value::Float(3.0));
+    }
+
+    #[test]
+    fn nulls_excluded_from_aggregates() {
+        let out = group_by(&sample(), "city", &[("footfall", Agg::Count)]).unwrap();
+        assert_eq!(
+            out.row(0).unwrap()[1],
+            Value::Float(2.0),
+            "lyon has one null footfall"
+        );
+    }
+
+    #[test]
+    fn std_per_group() {
+        let out = group_by(&sample(), "city", &[("co2", Agg::Std)]).unwrap();
+        let lyon_std = out.row(0).unwrap()[1].as_f64().unwrap();
+        assert!((lyon_std - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_key_column_errors() {
+        assert!(group_by(&sample(), "nope", &[]).is_err());
+    }
+
+    #[test]
+    fn group_by_int_key() {
+        let df = DataFrame::from_columns(vec![
+            ("k", Column::from_i64(vec![1, 2, 1])),
+            ("v", Column::from_f64(vec![1.0, 2.0, 3.0])),
+        ])
+        .unwrap();
+        let out = group_by(&df, "k", &[("v", Agg::Sum)]).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.row(0).unwrap(), vec![Value::Int(1), Value::Float(4.0)]);
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        let df = DataFrame::from_columns(vec![
+            ("k", Column::from_opt_categorical(&[Some("a"), None, None])),
+            ("v", Column::from_f64(vec![1.0, 2.0, 3.0])),
+        ])
+        .unwrap();
+        let out = group_by(&df, "k", &[("v", Agg::Sum)]).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.row(1).unwrap()[1], Value::Float(5.0));
+    }
+}

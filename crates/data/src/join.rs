@@ -1,0 +1,203 @@
+//! Frame joins: inner and left equi-joins on a single key column.
+//!
+//! Joins let a study combine observation tables (e.g. the urban panel with
+//! per-district census traits) — part of the paper's "collect or search for
+//! datasets" phase.
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Join kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only rows whose key appears in both frames.
+    Inner,
+    /// Keep every left row; unmatched right columns become null.
+    Left,
+}
+
+/// Equi-join `left` and `right` on `key` (present in both frames).
+///
+/// Right-side columns keep their names; a right column whose name collides
+/// with a left column (other than the key) is suffixed `_right`. When a key
+/// value matches several right rows, the left row is duplicated for each
+/// match (standard SQL semantics). Null keys never match.
+pub fn join(left: &DataFrame, right: &DataFrame, key: &str, kind: JoinKind) -> Result<DataFrame> {
+    let left_key = left.column(key)?;
+    let right_key = right.column(key)?;
+    // Index right rows by key string form.
+    let mut right_index: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, v) in right_key.iter().enumerate() {
+        if v.is_null() {
+            continue;
+        }
+        let k = v.to_string();
+        match right_index.iter_mut().find(|(existing, _)| *existing == k) {
+            Some((_, rows)) => rows.push(i),
+            None => right_index.push((k, vec![i])),
+        }
+    }
+
+    // Compute matched row pairs: (left row, Option<right row>).
+    let mut pairs: Vec<(usize, Option<usize>)> = Vec::new();
+    for (i, v) in left_key.iter().enumerate() {
+        let matches = if v.is_null() {
+            None
+        } else {
+            right_index
+                .iter()
+                .find(|(k, _)| *k == v.to_string())
+                .map(|(_, rows)| rows)
+        };
+        match (matches, kind) {
+            (Some(rows), _) => {
+                for &j in rows {
+                    pairs.push((i, Some(j)));
+                }
+            }
+            (None, JoinKind::Left) => pairs.push((i, None)),
+            (None, JoinKind::Inner) => {}
+        }
+    }
+
+    let mut out = DataFrame::new();
+    // Left columns, gathered by left row index.
+    let left_rows: Vec<usize> = pairs.iter().map(|(i, _)| *i).collect();
+    for (name, col) in left.iter_columns() {
+        out.add_column(name, col.take(&left_rows)?)?;
+    }
+    // Right columns (except the key), gathered with null for non-matches.
+    for (name, col) in right.iter_columns() {
+        if name == key {
+            continue;
+        }
+        let out_name = if out.schema().index_of(name).is_some() {
+            format!("{name}_right")
+        } else {
+            name.to_string()
+        };
+        let mut gathered = Column::empty(col.dtype());
+        for (_, right_row) in &pairs {
+            match right_row {
+                Some(j) => gathered.push(col.get(*j)?)?,
+                None => gathered.push(Value::Null)?,
+            }
+        }
+        out.add_column(out_name, gathered)?;
+    }
+    if out.n_cols() == 0 {
+        return Err(DataError::Empty("join produced no columns"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn districts() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("district", Column::from_categorical(&["d0", "d1", "d2"])),
+            ("population", Column::from_i64(vec![1000, 2000, 3000])),
+        ])
+        .unwrap()
+    }
+
+    fn observations() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "district",
+                Column::from_categorical(&["d0", "d1", "d1", "d9"]),
+            ),
+            ("footfall", Column::from_f64(vec![10.0, 20.0, 21.0, 99.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_only() {
+        let out = join(&observations(), &districts(), "district", JoinKind::Inner).unwrap();
+        assert_eq!(out.n_rows(), 3, "d9 has no district record");
+        assert_eq!(out.names(), vec!["district", "footfall", "population"]);
+        assert_eq!(out.row(0).unwrap()[2], Value::Int(1000));
+        assert_eq!(out.row(1).unwrap()[2], Value::Int(2000));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let out = join(&observations(), &districts(), "district", JoinKind::Left).unwrap();
+        assert_eq!(out.n_rows(), 4);
+        let last = out.row(3).unwrap();
+        assert_eq!(last[0], Value::Str("d9".into()));
+        assert_eq!(last[2], Value::Null, "unmatched right column is null");
+    }
+
+    #[test]
+    fn one_to_many_duplicates_left_rows() {
+        // Join districts (one row per key) against observations (d1 twice).
+        let out = join(&districts(), &observations(), "district", JoinKind::Inner).unwrap();
+        // d0 matches once, d1 twice, d2 never.
+        assert_eq!(out.n_rows(), 3);
+        let d1_rows = out
+            .column("district")
+            .unwrap()
+            .iter()
+            .filter(|v| v.as_str() == Some("d1"))
+            .count();
+        assert_eq!(d1_rows, 2);
+    }
+
+    #[test]
+    fn name_collision_suffixed() {
+        let left = DataFrame::from_columns(vec![
+            ("k", Column::from_i64(vec![1, 2])),
+            ("v", Column::from_f64(vec![0.1, 0.2])),
+        ])
+        .unwrap();
+        let right = DataFrame::from_columns(vec![
+            ("k", Column::from_i64(vec![1, 2])),
+            ("v", Column::from_f64(vec![9.1, 9.2])),
+        ])
+        .unwrap();
+        let out = join(&left, &right, "k", JoinKind::Inner).unwrap();
+        assert_eq!(out.names(), vec!["k", "v", "v_right"]);
+        assert_eq!(out.row(0).unwrap()[2], Value::Float(9.1));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = DataFrame::from_columns(vec![(
+            "k",
+            Column::from_opt_categorical(&[Some("a"), None]),
+        )])
+        .unwrap();
+        let right = DataFrame::from_columns(vec![
+            ("k", Column::from_opt_categorical(&[Some("a"), None])),
+            ("x", Column::from_i64(vec![1, 2])),
+        ])
+        .unwrap();
+        let inner = join(&left, &right, "k", JoinKind::Inner).unwrap();
+        assert_eq!(inner.n_rows(), 1, "null keys do not match null keys");
+        let left_join = join(&left, &right, "k", JoinKind::Left).unwrap();
+        assert_eq!(left_join.n_rows(), 2);
+        assert_eq!(left_join.row(1).unwrap()[1], Value::Null);
+    }
+
+    #[test]
+    fn missing_key_column_errors() {
+        assert!(join(&districts(), &observations(), "ghost", JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn join_then_aggregate() {
+        // The urban use case: join observations to district traits, then
+        // aggregate footfall per population band — exercising the pipeline.
+        let out = join(&observations(), &districts(), "district", JoinKind::Inner).unwrap();
+        let agg =
+            crate::groupby::group_by(&out, "district", &[("footfall", crate::groupby::Agg::Mean)])
+                .unwrap();
+        assert_eq!(agg.n_rows(), 2);
+    }
+}

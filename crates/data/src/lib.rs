@@ -1,0 +1,65 @@
+//! # matilda-data
+//!
+//! Columnar in-memory data substrate for the MATILDA platform.
+//!
+//! MATILDA designs data-science pipelines over tabular datasets; this crate
+//! provides the storage and the *data exploration & preparation* primitives
+//! those pipelines operate on:
+//!
+//! - [`DataFrame`] / [`Column`]: typed columnar tables with null tracking;
+//! - [`csv`]: RFC-4180 CSV reading with schema inference, and writing;
+//! - [`stats`]: descriptive statistics, correlation, histograms;
+//! - [`transform`]: imputation, scaling, encoding, feature engineering;
+//! - [`split`]: deterministic train/test/stratified/k-fold fragmentation;
+//! - [`groupby`]: grouped aggregation;
+//! - [`join`]: inner/left equi-joins across observation tables.
+//!
+//! Everything is deterministic given explicit seeds, which is what makes
+//! design sessions replayable from provenance records.
+//!
+//! ```
+//! use matilda_data::prelude::*;
+//!
+//! let df = DataFrame::from_columns(vec![
+//!     ("x", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+//!     ("label", Column::from_categorical(&["a", "b", "a", "b"])),
+//! ]).unwrap();
+//! let (train, test) = train_test_split(&df, 0.25, 42).unwrap();
+//! assert_eq!(train.n_rows() + test.n_rows(), 4);
+//! ```
+
+pub mod bitmap;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod frame;
+pub mod groupby;
+pub mod join;
+pub mod schema;
+pub mod split;
+pub mod stats;
+pub mod transform;
+pub mod value;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::column::Column;
+    pub use crate::csv::{read_csv_path, read_csv_str, write_csv_str, CsvOptions};
+    pub use crate::error::{DataError, Result};
+    pub use crate::frame::DataFrame;
+    pub use crate::groupby::{group_by, Agg};
+    pub use crate::join::{join, JoinKind};
+    pub use crate::schema::{Field, Schema};
+    pub use crate::split::{k_fold_indices, stratified_split, train_test_split};
+    pub use crate::stats::{describe, summarize, Summary};
+    pub use crate::transform::{
+        impute, impute_frame, one_hot_frame, scale, ImputeStrategy, ScaleStrategy,
+    };
+    pub use crate::value::{DType, Value};
+}
+
+pub use column::Column;
+pub use error::{DataError, Result};
+pub use frame::DataFrame;
+pub use schema::{Field, Schema};
+pub use value::{DType, Value};

@@ -1,0 +1,162 @@
+//! Schema: ordered, named, typed fields.
+
+use crate::error::{DataError, Result};
+use crate::value::DType;
+
+/// A single named, typed field.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Field {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Logical type.
+    pub dtype: DType,
+}
+
+impl Field {
+    /// A new field.
+    pub fn new(name: impl Into<String>, dtype: DType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of uniquely named fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a schema from fields, rejecting duplicate names.
+    pub fn from_fields(fields: Vec<Field>) -> Result<Self> {
+        let mut s = Schema::new();
+        for f in fields {
+            s.push(f)?;
+        }
+        Ok(s)
+    }
+
+    /// Append a field, rejecting duplicate names.
+    pub fn push(&mut self, field: Field) -> Result<()> {
+        if self.index_of(&field.name).is_some() {
+            return Err(DataError::DuplicateColumn(field.name));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field named `name`, or an error.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| DataError::ColumnNotFound(name.to_owned()))
+    }
+
+    /// All field names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Names of all numeric fields (usable directly as features).
+    pub fn numeric_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.dtype.is_numeric())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Names of all categorical/string fields.
+    pub fn non_numeric_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| !f.dtype.is_numeric())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Remove and return the field named `name`.
+    pub fn remove(&mut self, name: &str) -> Result<Field> {
+        match self.index_of(name) {
+            Some(i) => Ok(self.fields.remove(i)),
+            None => Err(DataError::ColumnNotFound(name.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_fields(vec![
+            Field::new("age", DType::Float),
+            Field::new("city", DType::Categorical),
+            Field::new("active", DType::Bool),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Schema::from_fields(vec![
+            Field::new("x", DType::Int),
+            Field::new("x", DType::Float),
+        ])
+        .unwrap_err();
+        assert_eq!(err, DataError::DuplicateColumn("x".into()));
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("city"), Some(1));
+        assert_eq!(s.field("active").unwrap().dtype, DType::Bool);
+        assert!(s.field("missing").is_err());
+    }
+
+    #[test]
+    fn name_partitions() {
+        let s = sample();
+        assert_eq!(s.names(), vec!["age", "city", "active"]);
+        assert_eq!(s.numeric_names(), vec!["age", "active"]);
+        assert_eq!(s.non_numeric_names(), vec!["city"]);
+    }
+
+    #[test]
+    fn remove_field() {
+        let mut s = sample();
+        let f = s.remove("city").unwrap();
+        assert_eq!(f.dtype, DType::Categorical);
+        assert_eq!(s.len(), 2);
+        assert!(s.remove("city").is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Dataset fragmentation: train/test splits, stratified splits and k-fold
+//! cross-validation indices.
+//!
+//! This is the *fragmentation* phase of a MATILDA pipeline. All splits are
+//! driven by an explicit RNG seed so that design sessions are replayable from
+//! provenance records.
+
+use crate::error::{DataError, Result};
+use crate::frame::DataFrame;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic Fisher-Yates shuffle of `0..n` from a seed.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    idx
+}
+
+/// Split a frame into `(train, test)` with `test_fraction` of rows in test.
+pub fn train_test_split(
+    df: &DataFrame,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(DataFrame, DataFrame)> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(DataError::InvalidParameter(format!(
+            "test_fraction {test_fraction} outside (0,1)"
+        )));
+    }
+    if df.n_rows() < 2 {
+        return Err(DataError::Empty("frame with fewer than 2 rows"));
+    }
+    let idx = shuffled_indices(df.n_rows(), seed);
+    let n_test = ((df.n_rows() as f64) * test_fraction).round().max(1.0) as usize;
+    let n_test = n_test.min(df.n_rows() - 1);
+    let test = df.take(&idx[..n_test])?;
+    let train = df.take(&idx[n_test..])?;
+    Ok((train, test))
+}
+
+/// Stratified train/test split preserving the class distribution of the
+/// `stratify_by` column (compared by string form) in both partitions.
+pub fn stratified_split(
+    df: &DataFrame,
+    stratify_by: &str,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(DataFrame, DataFrame)> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(DataError::InvalidParameter(format!(
+            "test_fraction {test_fraction} outside (0,1)"
+        )));
+    }
+    let col = df.column(stratify_by)?;
+    // Group row indices by class.
+    let mut classes: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, v) in col.iter().enumerate() {
+        let key = v.to_string();
+        match classes.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, rows)) => rows.push(i),
+            None => classes.push((key, vec![i])),
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for (_, mut rows) in classes {
+        rows.shuffle(&mut rng);
+        let n_test = ((rows.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.min(rows.len().saturating_sub(1));
+        test_idx.extend_from_slice(&rows[..n_test]);
+        train_idx.extend_from_slice(&rows[n_test..]);
+    }
+    train_idx.sort_unstable();
+    test_idx.sort_unstable();
+    Ok((df.take(&train_idx)?, df.take(&test_idx)?))
+}
+
+/// One fold of a k-fold partition: held-out validation rows and the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Validation row indices.
+    pub validation: Vec<usize>,
+}
+
+/// Deterministic k-fold cross-validation indices over `n` rows.
+///
+/// Every row appears in exactly one validation fold; fold sizes differ by at
+/// most one.
+pub fn k_fold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>> {
+    if k < 2 {
+        return Err(DataError::InvalidParameter(format!(
+            "k must be >= 2, got {k}"
+        )));
+    }
+    if n < k {
+        return Err(DataError::InvalidParameter(format!(
+            "cannot split {n} rows into {k} folds"
+        )));
+    }
+    let idx = shuffled_indices(n, seed);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let validation: Vec<usize> = idx[start..start + size].to_vec();
+        let train: Vec<usize> = idx[..start]
+            .iter()
+            .chain(&idx[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, validation });
+        start += size;
+    }
+    Ok(folds)
+}
+
+/// Bootstrap sample of `n` indices drawn with replacement from `0..n`.
+pub fn bootstrap_indices(n: usize, seed: u64) -> Vec<usize> {
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn frame(n: usize) -> DataFrame {
+        DataFrame::from_columns(vec![("v", Column::from_i64((0..n as i64).collect()))]).unwrap()
+    }
+
+    #[test]
+    fn split_sizes() {
+        let df = frame(100);
+        let (train, test) = train_test_split(&df, 0.2, 7).unwrap();
+        assert_eq!(test.n_rows(), 20);
+        assert_eq!(train.n_rows(), 80);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let df = frame(50);
+        let (train, test) = train_test_split(&df, 0.3, 1).unwrap();
+        let mut all: Vec<i64> = train
+            .column("v")
+            .unwrap()
+            .iter()
+            .chain(test.column("v").unwrap().iter())
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn split_deterministic_by_seed() {
+        let df = frame(30);
+        let (a, _) = train_test_split(&df, 0.5, 42).unwrap();
+        let (b, _) = train_test_split(&df, 0.5, 42).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = train_test_split(&df, 0.5, 43).unwrap();
+        assert_ne!(a, c, "different seed should shuffle differently");
+    }
+
+    #[test]
+    fn split_fraction_validated() {
+        let df = frame(10);
+        assert!(train_test_split(&df, 0.0, 0).is_err());
+        assert!(train_test_split(&df, 1.0, 0).is_err());
+        assert!(train_test_split(&df, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn split_tiny_frame() {
+        let df = frame(2);
+        let (train, test) = train_test_split(&df, 0.5, 0).unwrap();
+        assert_eq!(train.n_rows(), 1);
+        assert_eq!(test.n_rows(), 1);
+        assert!(train_test_split(&frame(1), 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn stratified_preserves_ratio() {
+        let labels: Vec<&str> = (0..100)
+            .map(|i| if i % 5 == 0 { "minor" } else { "major" })
+            .collect();
+        let df = DataFrame::from_columns(vec![
+            ("v", Column::from_i64((0..100).collect())),
+            ("y", Column::from_categorical(&labels)),
+        ])
+        .unwrap();
+        let (train, test) = stratified_split(&df, "y", 0.2, 3).unwrap();
+        let count = |d: &DataFrame, lab: &str| {
+            d.column("y")
+                .unwrap()
+                .iter()
+                .filter(|v| v.as_str() == Some(lab))
+                .count()
+        };
+        assert_eq!(count(&test, "minor"), 4);
+        assert_eq!(count(&test, "major"), 16);
+        assert_eq!(count(&train, "minor"), 16);
+        assert_eq!(count(&train, "major"), 64);
+    }
+
+    #[test]
+    fn stratified_keeps_one_train_row_per_class() {
+        let df = DataFrame::from_columns(vec![("y", Column::from_categorical(&["a", "a", "b"]))])
+            .unwrap();
+        let (train, _) = stratified_split(&df, "y", 0.5, 0).unwrap();
+        assert!(train
+            .column("y")
+            .unwrap()
+            .iter()
+            .any(|v| v.as_str() == Some("b")));
+    }
+
+    #[test]
+    fn kfold_covers_all_rows_once() {
+        let folds = k_fold_indices(23, 5, 11).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.validation.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert_eq!(f.train.len() + f.validation.len(), 23);
+            for v in &f.validation {
+                assert!(!f.train.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn kfold_sizes_balanced() {
+        let folds = k_fold_indices(10, 3, 0).unwrap();
+        let sizes: Vec<usize> = folds.iter().map(|f| f.validation.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn kfold_parameter_validation() {
+        assert!(k_fold_indices(10, 1, 0).is_err());
+        assert!(k_fold_indices(3, 5, 0).is_err());
+    }
+
+    #[test]
+    fn bootstrap_in_range_and_deterministic() {
+        let a = bootstrap_indices(20, 9);
+        let b = bootstrap_indices(20, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        assert!(a.iter().all(|&i| i < 20));
+    }
+}

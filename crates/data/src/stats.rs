@@ -1,0 +1,373 @@
+//! Descriptive statistics over columns and frames.
+//!
+//! These are the primitives the platform's *data exploration* phase exposes
+//! to the conversational loop: per-column summaries, quantiles, correlation
+//! matrices and histograms.
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::frame::DataFrame;
+
+/// Summary statistics of one numeric column (nulls excluded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Non-null count.
+    pub count: usize,
+    /// Null count.
+    pub nulls: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 when count < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Mean of a slice; errors when empty.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(DataError::Empty("slice"));
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (n-1); 0 for fewer than two values.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    if xs.len() < 2 {
+        return Ok(0.0);
+    }
+    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]`, over unsorted data.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(DataError::Empty("slice"));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(DataError::InvalidParameter(format!(
+            "quantile {q} outside [0,1]"
+        )));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Most frequent value of a column as a raw [`crate::value::Value`].
+pub fn mode(col: &Column) -> Option<crate::value::Value> {
+    col.value_counts().into_iter().next().map(|(v, _)| v)
+}
+
+/// Pearson correlation of two equal-length slices.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(DataError::LengthMismatch {
+            expected: xs.len(),
+            got: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(DataError::Empty("correlation input"));
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return Err(DataError::InvalidParameter(
+            "zero variance in correlation".into(),
+        ));
+    }
+    Ok(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Full summary of one numeric column.
+pub fn summarize(col: &Column) -> Result<Summary> {
+    let xs = col.to_f64_dense()?;
+    if xs.is_empty() {
+        return Err(DataError::Empty("column"));
+    }
+    let mut sorted = xs.clone();
+    sorted.sort_by(f64::total_cmp);
+    Ok(Summary {
+        count: xs.len(),
+        nulls: col.null_count(),
+        mean: mean(&xs)?,
+        std: std_dev(&xs)?,
+        min: sorted[0],
+        q25: quantile(&xs, 0.25)?,
+        median: quantile(&xs, 0.5)?,
+        q75: quantile(&xs, 0.75)?,
+        max: *sorted.last().expect("non-empty"),
+    })
+}
+
+/// Summaries for every numeric column of a frame as `(name, summary)` pairs.
+pub fn describe(df: &DataFrame) -> Vec<(String, Summary)> {
+    df.iter_columns()
+        .filter(|(_, c)| c.dtype().is_numeric())
+        .filter_map(|(name, c)| summarize(c).ok().map(|s| (name.to_owned(), s)))
+        .collect()
+}
+
+/// Pairwise Pearson correlation matrix of the named numeric columns,
+/// computed over rows where both columns are non-null.
+pub fn correlation_matrix(df: &DataFrame, names: &[&str]) -> Result<Vec<Vec<f64>>> {
+    let cols: Vec<Vec<Option<f64>>> = names
+        .iter()
+        .map(|n| df.column(n)?.to_f64())
+        .collect::<Result<_>>()?;
+    let k = cols.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        m[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let (mut xs, mut ys) = (Vec::new(), Vec::new());
+            for (a, b) in cols[i].iter().zip(&cols[j]) {
+                if let (Some(a), Some(b)) = (a, b) {
+                    xs.push(*a);
+                    ys.push(*b);
+                }
+            }
+            let r = pearson(&xs, &ys).unwrap_or(0.0);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    Ok(m)
+}
+
+/// An equal-width histogram: bin edges (`n_bins + 1`) and counts (`n_bins`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bin edges, ascending, length `counts.len() + 1`.
+    pub edges: Vec<f64>,
+    /// Count per bin.
+    pub counts: Vec<usize>,
+}
+
+/// Equal-width histogram of a numeric column, nulls excluded.
+pub fn histogram(col: &Column, n_bins: usize) -> Result<Histogram> {
+    if n_bins == 0 {
+        return Err(DataError::InvalidParameter(
+            "histogram needs at least one bin".into(),
+        ));
+    }
+    let xs = col.to_f64_dense()?;
+    if xs.is_empty() {
+        return Err(DataError::Empty("column"));
+    }
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = if max > min {
+        (max - min) / n_bins as f64
+    } else {
+        1.0
+    };
+    let edges: Vec<f64> = (0..=n_bins).map(|i| min + width * i as f64).collect();
+    let mut counts = vec![0usize; n_bins];
+    for x in xs {
+        let mut bin = ((x - min) / width) as usize;
+        if bin >= n_bins {
+            bin = n_bins - 1; // max value falls in the last bin
+        }
+        counts[bin] += 1;
+    }
+    Ok(Histogram { edges, counts })
+}
+
+/// Skewness (Fisher-Pearson, population formula); 0 when undefined.
+pub fn skewness(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    let n = xs.len() as f64;
+    let s2 = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n;
+    if s2 == 0.0 {
+        return Ok(0.0);
+    }
+    let m3 = xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / n;
+    Ok(m3 / s2.powf(1.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DataFrame;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_empty_errors() {
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn variance_single_is_zero() {
+        assert_eq!(variance(&[3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_domain_checked() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn median_odd() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn pearson_perfect() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_errors() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn summary_ignores_nulls() {
+        let col = Column::from_opt_f64(vec![Some(1.0), None, Some(3.0), Some(2.0)]);
+        let s = summarize(&col).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn describe_numeric_only() {
+        let df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![1.0, 2.0])),
+            ("c", Column::from_categorical(&["a", "b"])),
+        ])
+        .unwrap();
+        let d = describe(&df);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, "x");
+    }
+
+    #[test]
+    fn correlation_matrix_symmetric() {
+        let df = DataFrame::from_columns(vec![
+            ("a", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+            ("b", Column::from_f64(vec![2.0, 4.0, 6.0, 8.0])),
+            ("c", Column::from_f64(vec![4.0, 3.0, 2.0, 1.0])),
+        ])
+        .unwrap();
+        let m = correlation_matrix(&df, &["a", "b", "c"]).unwrap();
+        assert!((m[0][1] - 1.0).abs() < 1e-12);
+        assert!((m[0][2] + 1.0).abs() < 1e-12);
+        assert_eq!(m[1][2], m[2][1]);
+        assert_eq!(m[0][0], 1.0);
+    }
+
+    #[test]
+    fn correlation_skips_null_pairs() {
+        let df = DataFrame::from_columns(vec![
+            (
+                "a",
+                Column::from_opt_f64(vec![Some(1.0), Some(2.0), None, Some(4.0)]),
+            ),
+            (
+                "b",
+                Column::from_opt_f64(vec![Some(1.0), Some(2.0), Some(9.0), Some(4.0)]),
+            ),
+        ])
+        .unwrap();
+        let m = correlation_matrix(&df, &["a", "b"]).unwrap();
+        assert!((m[0][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_all_values() {
+        let col = Column::from_f64(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let h = histogram(&col, 5).unwrap();
+        assert_eq!(h.counts.iter().sum::<usize>(), 6);
+        assert_eq!(h.edges.len(), 6);
+        assert_eq!(*h.counts.last().unwrap(), 2, "max value lands in last bin");
+    }
+
+    #[test]
+    fn histogram_constant_column() {
+        let col = Column::from_f64(vec![7.0; 4]);
+        let h = histogram(&col, 3).unwrap();
+        assert_eq!(h.counts[0], 4);
+    }
+
+    #[test]
+    fn histogram_zero_bins_errors() {
+        let col = Column::from_f64(vec![1.0]);
+        assert!(histogram(&col, 0).is_err());
+    }
+
+    #[test]
+    fn mode_of_categorical() {
+        let col = Column::from_categorical(&["x", "y", "x"]);
+        assert_eq!(mode(&col), Some(crate::value::Value::Str("x".into())));
+    }
+
+    #[test]
+    fn skewness_symmetric_is_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&xs).unwrap().abs() < 1e-12);
+        assert_eq!(skewness(&[2.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn skewness_right_tail_positive() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&xs).unwrap() > 0.0);
+    }
+}

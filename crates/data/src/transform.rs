@@ -1,0 +1,515 @@
+//! Column and frame transformations: imputation, scaling, encoding, binning.
+//!
+//! These are the *data preparation* operators that MATILDA pipelines compose.
+//! Every transformation is pure: it returns a new column/frame and leaves its
+//! input untouched, so the creativity engine can freely explore variants.
+
+use crate::column::Column;
+use crate::error::{DataError, Result};
+use crate::frame::DataFrame;
+use crate::stats;
+use crate::value::Value;
+
+/// Imputation strategy for missing values.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ImputeStrategy {
+    /// Replace numeric nulls with the column mean.
+    Mean,
+    /// Replace numeric nulls with the column median.
+    Median,
+    /// Replace nulls with the most frequent value (any dtype).
+    Mode,
+    /// Replace numeric nulls with a constant.
+    Constant(f64),
+}
+
+/// Impute nulls in a single column.
+pub fn impute(col: &Column, strategy: &ImputeStrategy) -> Result<Column> {
+    if col.null_count() == 0 {
+        return Ok(col.clone());
+    }
+    let numeric_fill = |v: f64| -> Value {
+        // The fill must match the column's storage type: integer columns
+        // get a rounded integer, boolean columns a thresholded boolean.
+        match col.dtype() {
+            crate::value::DType::Int => Value::Int(v.round() as i64),
+            crate::value::DType::Bool => Value::Bool(v >= 0.5),
+            _ => Value::Float(v),
+        }
+    };
+    let fill: Value = match strategy {
+        ImputeStrategy::Mean => numeric_fill(stats::mean(&col.to_f64_dense()?)?),
+        ImputeStrategy::Median => numeric_fill(stats::median(&col.to_f64_dense()?)?),
+        ImputeStrategy::Constant(c) => numeric_fill(*c),
+        ImputeStrategy::Mode => {
+            stats::mode(col).ok_or(DataError::Empty("column for mode imputation"))?
+        }
+    };
+    let mut out = Column::empty(col.dtype());
+    for v in col.iter() {
+        out.push(if v.is_null() { fill.clone() } else { v })?;
+    }
+    Ok(out)
+}
+
+/// Impute every column of a frame that contains nulls; numeric columns use
+/// `numeric`, non-numeric columns use mode.
+pub fn impute_frame(df: &DataFrame, numeric: &ImputeStrategy) -> Result<DataFrame> {
+    let mut out = df.clone();
+    let names: Vec<String> = df.names().iter().map(|s| s.to_string()).collect();
+    for name in names {
+        let col = df.column(&name)?;
+        if col.null_count() == 0 {
+            continue;
+        }
+        let strat = if col.dtype().is_numeric() {
+            numeric.clone()
+        } else {
+            ImputeStrategy::Mode
+        };
+        out.replace_column(&name, impute(col, &strat)?)?;
+    }
+    Ok(out)
+}
+
+/// Scaling strategy for numeric columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ScaleStrategy {
+    /// Zero mean, unit (sample) standard deviation.
+    Standard,
+    /// Rescale to `[0, 1]`.
+    MinMax,
+    /// Subtract the median and divide by the inter-quartile range.
+    Robust,
+}
+
+/// Scale a numeric column, preserving null positions.
+pub fn scale(col: &Column, strategy: ScaleStrategy) -> Result<Column> {
+    let xs = col.to_f64_dense()?;
+    if xs.is_empty() {
+        return Err(DataError::Empty("column"));
+    }
+    let (offset, denom) = match strategy {
+        ScaleStrategy::Standard => {
+            let m = stats::mean(&xs)?;
+            let s = stats::std_dev(&xs)?;
+            (m, if s > 0.0 { s } else { 1.0 })
+        }
+        ScaleStrategy::MinMax => {
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (min, if max > min { max - min } else { 1.0 })
+        }
+        ScaleStrategy::Robust => {
+            let med = stats::median(&xs)?;
+            let iqr = stats::quantile(&xs, 0.75)? - stats::quantile(&xs, 0.25)?;
+            (med, if iqr > 0.0 { iqr } else { 1.0 })
+        }
+    };
+    let opts: Vec<Option<f64>> = col
+        .to_f64()?
+        .into_iter()
+        .map(|v| v.map(|x| (x - offset) / denom))
+        .collect();
+    Ok(Column::from_opt_f64(opts))
+}
+
+/// One-hot encode a categorical/string column: one 0/1 float column per
+/// distinct value, returned as `(value_name, column)` pairs ordered by code.
+/// Null rows get 0 in every indicator.
+pub fn one_hot(col: &Column) -> Result<Vec<(String, Column)>> {
+    let distinct: Vec<String> = match col {
+        Column::Categorical(_, _, dict) => dict.values().to_vec(),
+        Column::Str(..) => {
+            let mut seen = Vec::new();
+            for v in col.iter() {
+                if let Value::Str(s) = v {
+                    if !seen.contains(&s) {
+                        seen.push(s);
+                    }
+                }
+            }
+            seen
+        }
+        other => {
+            return Err(DataError::TypeMismatch {
+                expected: "categorical or str",
+                got: other.dtype().name(),
+            })
+        }
+    };
+    let values: Vec<Value> = col.iter().collect();
+    let mut out = Vec::with_capacity(distinct.len());
+    for name in &distinct {
+        let data: Vec<f64> = values
+            .iter()
+            .map(|v| {
+                if v.as_str() == Some(name.as_str()) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        out.push((name.clone(), Column::from_f64(data)));
+    }
+    Ok(out)
+}
+
+/// Ordinal-encode a categorical/string column: distinct values (in first-seen
+/// order) map to `0.0, 1.0, ...`; nulls stay null.
+pub fn ordinal_encode(col: &Column) -> Result<Column> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut out: Vec<Option<f64>> = Vec::with_capacity(col.len());
+    for v in col.iter() {
+        match v {
+            Value::Null => out.push(None),
+            Value::Str(s) => {
+                let idx = match seen.iter().position(|x| *x == s) {
+                    Some(i) => i,
+                    None => {
+                        seen.push(s);
+                        seen.len() - 1
+                    }
+                };
+                out.push(Some(idx as f64));
+            }
+            other => {
+                return Err(DataError::TypeMismatch {
+                    expected: "categorical or str",
+                    got: other.dtype().map(|d| d.name()).unwrap_or("null"),
+                })
+            }
+        }
+    }
+    Ok(Column::from_opt_f64(out))
+}
+
+/// Replace a frame's categorical/string columns with one-hot indicator
+/// columns named `"{col}={value}"`; numeric columns pass through.
+pub fn one_hot_frame(df: &DataFrame, exclude: &[&str]) -> Result<DataFrame> {
+    let mut out = DataFrame::new();
+    for (name, col) in df.iter_columns() {
+        if col.dtype().is_numeric() || exclude.contains(&name) {
+            out.add_column(name, col.clone())?;
+        } else {
+            for (value, indicator) in one_hot(col)? {
+                out.add_column(format!("{name}={value}"), indicator)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Natural-log transform `ln(x + shift)`; nulls preserved. Errors if any
+/// value makes the argument non-positive.
+pub fn log_transform(col: &Column, shift: f64) -> Result<Column> {
+    let opts = col.to_f64()?;
+    let mut out = Vec::with_capacity(opts.len());
+    for v in opts {
+        match v {
+            None => out.push(None),
+            Some(x) if x + shift > 0.0 => out.push(Some((x + shift).ln())),
+            Some(x) => {
+                return Err(DataError::InvalidParameter(format!(
+                    "log of non-positive value {x} + {shift}"
+                )))
+            }
+        }
+    }
+    Ok(Column::from_opt_f64(out))
+}
+
+/// Clip numeric values into `[lo, hi]`; nulls preserved.
+pub fn clip(col: &Column, lo: f64, hi: f64) -> Result<Column> {
+    if lo > hi {
+        return Err(DataError::InvalidParameter(format!(
+            "clip bounds inverted: {lo} > {hi}"
+        )));
+    }
+    let opts: Vec<Option<f64>> = col
+        .to_f64()?
+        .into_iter()
+        .map(|v| v.map(|x| x.clamp(lo, hi)))
+        .collect();
+    Ok(Column::from_opt_f64(opts))
+}
+
+/// Equal-width binning into `n_bins` integer bins `0..n_bins`; nulls preserved.
+pub fn bin_equal_width(col: &Column, n_bins: usize) -> Result<Column> {
+    if n_bins == 0 {
+        return Err(DataError::InvalidParameter(
+            "binning needs at least one bin".into(),
+        ));
+    }
+    let xs = col.to_f64_dense()?;
+    if xs.is_empty() {
+        return Err(DataError::Empty("column"));
+    }
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = if max > min {
+        (max - min) / n_bins as f64
+    } else {
+        1.0
+    };
+    let opts: Vec<Option<i64>> = col
+        .to_f64()?
+        .into_iter()
+        .map(|v| {
+            v.map(|x| {
+                let b = ((x - min) / width) as i64;
+                b.min(n_bins as i64 - 1)
+            })
+        })
+        .collect();
+    Ok(Column::from_opt_i64(opts))
+}
+
+/// Interaction feature: element-wise product of two numeric columns; a null
+/// in either operand yields null.
+pub fn interaction(a: &Column, b: &Column) -> Result<Column> {
+    if a.len() != b.len() {
+        return Err(DataError::LengthMismatch {
+            expected: a.len(),
+            got: b.len(),
+        });
+    }
+    let opts: Vec<Option<f64>> = a
+        .to_f64()?
+        .into_iter()
+        .zip(b.to_f64()?)
+        .map(|(x, y)| match (x, y) {
+            (Some(x), Some(y)) => Some(x * y),
+            _ => None,
+        })
+        .collect();
+    Ok(Column::from_opt_f64(opts))
+}
+
+/// Polynomial feature: element-wise `x^degree`; nulls preserved.
+pub fn power(col: &Column, degree: i32) -> Result<Column> {
+    let opts: Vec<Option<f64>> = col
+        .to_f64()?
+        .into_iter()
+        .map(|v| v.map(|x| x.powi(degree)))
+        .collect();
+    Ok(Column::from_opt_f64(opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impute_mean() {
+        let col = Column::from_opt_f64(vec![Some(1.0), None, Some(3.0)]);
+        let out = impute(&col, &ImputeStrategy::Mean).unwrap();
+        assert_eq!(out.to_f64_dense().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(out.null_count(), 0);
+    }
+
+    #[test]
+    fn impute_median_robust_to_outlier() {
+        let col = Column::from_opt_f64(vec![Some(1.0), Some(2.0), Some(100.0), None]);
+        let out = impute(&col, &ImputeStrategy::Median).unwrap();
+        assert_eq!(out.get(3).unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn impute_mode_categorical() {
+        let col = Column::from_opt_categorical(&[Some("a"), Some("a"), Some("b"), None]);
+        let out = impute(&col, &ImputeStrategy::Mode).unwrap();
+        assert_eq!(out.get(3).unwrap(), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn impute_int_column_stays_int() {
+        // Regression: a mean fill of 2.5 must not break an Int column.
+        let col = Column::from_opt_i64(vec![Some(1), Some(4), None]);
+        let out = impute(&col, &ImputeStrategy::Mean).unwrap();
+        assert_eq!(out.dtype(), crate::value::DType::Int);
+        assert_eq!(
+            out.get(2).unwrap(),
+            Value::Int(3),
+            "2.5 rounds to 3 (ties away from zero)"
+        );
+        let med = impute(&col, &ImputeStrategy::Median).unwrap();
+        assert_eq!(med.dtype(), crate::value::DType::Int);
+    }
+
+    #[test]
+    fn impute_bool_column_stays_bool() {
+        let mut col = Column::from_bool(vec![true, true, false]);
+        col.push(Value::Null).unwrap();
+        let out = impute(&col, &ImputeStrategy::Mean).unwrap();
+        assert_eq!(
+            out.get(3).unwrap(),
+            Value::Bool(true),
+            "mean 2/3 thresholds to true"
+        );
+    }
+
+    #[test]
+    fn impute_constant() {
+        let col = Column::from_opt_f64(vec![None, Some(5.0)]);
+        let out = impute(&col, &ImputeStrategy::Constant(-1.0)).unwrap();
+        assert_eq!(out.get(0).unwrap(), Value::Float(-1.0));
+    }
+
+    #[test]
+    fn impute_no_nulls_is_identity() {
+        let col = Column::from_f64(vec![1.0, 2.0]);
+        assert_eq!(impute(&col, &ImputeStrategy::Mean).unwrap(), col);
+    }
+
+    #[test]
+    fn impute_frame_mixed() {
+        let df = DataFrame::from_columns(vec![
+            ("x", Column::from_opt_f64(vec![Some(2.0), None])),
+            ("c", Column::from_opt_categorical(&[Some("u"), None])),
+        ])
+        .unwrap();
+        let out = impute_frame(&df, &ImputeStrategy::Mean).unwrap();
+        assert_eq!(out.null_count(), 0);
+        assert_eq!(
+            out.column("c").unwrap().get(1).unwrap(),
+            Value::Str("u".into())
+        );
+    }
+
+    #[test]
+    fn standard_scaling() {
+        let col = Column::from_f64(vec![1.0, 2.0, 3.0]);
+        let out = scale(&col, ScaleStrategy::Standard).unwrap();
+        let xs = out.to_f64_dense().unwrap();
+        assert!(stats::mean(&xs).unwrap().abs() < 1e-12);
+        assert!((stats::std_dev(&xs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_scaling() {
+        let col = Column::from_f64(vec![10.0, 20.0, 30.0]);
+        let out = scale(&col, ScaleStrategy::MinMax).unwrap();
+        assert_eq!(out.to_f64_dense().unwrap(), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn robust_scaling_centers_median() {
+        let col = Column::from_f64(vec![1.0, 2.0, 3.0, 4.0, 100.0]);
+        let out = scale(&col, ScaleStrategy::Robust).unwrap();
+        let xs = out.to_f64_dense().unwrap();
+        assert_eq!(xs[2], 0.0, "median maps to zero");
+    }
+
+    #[test]
+    fn scaling_constant_column_safe() {
+        let col = Column::from_f64(vec![5.0; 3]);
+        let out = scale(&col, ScaleStrategy::Standard).unwrap();
+        assert_eq!(out.to_f64_dense().unwrap(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn scaling_preserves_null_positions() {
+        let col = Column::from_opt_f64(vec![Some(0.0), None, Some(10.0)]);
+        let out = scale(&col, ScaleStrategy::MinMax).unwrap();
+        assert_eq!(out.get(1).unwrap(), Value::Null);
+        assert_eq!(out.get(2).unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn one_hot_columns() {
+        let col = Column::from_categorical(&["r", "g", "r", "b"]);
+        let encoded = one_hot(&col).unwrap();
+        assert_eq!(encoded.len(), 3);
+        assert_eq!(encoded[0].0, "r");
+        assert_eq!(
+            encoded[0].1.to_f64_dense().unwrap(),
+            vec![1.0, 0.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn one_hot_null_rows_all_zero() {
+        let col = Column::from_opt_categorical(&[Some("a"), None]);
+        let encoded = one_hot(&col).unwrap();
+        assert_eq!(encoded[0].1.to_f64_dense().unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_rejects_numeric() {
+        assert!(one_hot(&Column::from_f64(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn one_hot_frame_names() {
+        let df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![1.0, 2.0])),
+            ("c", Column::from_categorical(&["p", "q"])),
+        ])
+        .unwrap();
+        let out = one_hot_frame(&df, &[]).unwrap();
+        assert_eq!(out.names(), vec!["x", "c=p", "c=q"]);
+    }
+
+    #[test]
+    fn one_hot_frame_excludes_target() {
+        let df = DataFrame::from_columns(vec![("label", Column::from_categorical(&["p", "q"]))])
+            .unwrap();
+        let out = one_hot_frame(&df, &["label"]).unwrap();
+        assert_eq!(out.names(), vec!["label"]);
+    }
+
+    #[test]
+    fn ordinal_encoding_first_seen_order() {
+        let col = Column::from_opt_categorical(&[Some("b"), Some("a"), None, Some("b")]);
+        let out = ordinal_encode(&col).unwrap();
+        assert_eq!(
+            out.to_f64().unwrap(),
+            vec![Some(0.0), Some(1.0), None, Some(0.0)]
+        );
+    }
+
+    #[test]
+    fn log_transform_positive() {
+        let col = Column::from_f64(vec![std::f64::consts::E - 1.0]);
+        let out = log_transform(&col, 1.0).unwrap();
+        assert!((out.to_f64_dense().unwrap()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_transform_rejects_nonpositive() {
+        let col = Column::from_f64(vec![-2.0]);
+        assert!(log_transform(&col, 1.0).is_err());
+    }
+
+    #[test]
+    fn clip_bounds() {
+        let col = Column::from_f64(vec![-5.0, 0.0, 5.0]);
+        let out = clip(&col, -1.0, 1.0).unwrap();
+        assert_eq!(out.to_f64_dense().unwrap(), vec![-1.0, 0.0, 1.0]);
+        assert!(clip(&col, 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn binning() {
+        let col = Column::from_f64(vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        let out = bin_equal_width(&col, 4).unwrap();
+        let bins: Vec<i64> = out.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(
+            bins,
+            vec![0, 1, 2, 3, 3],
+            "width 2.5; max clamps into last bin"
+        );
+    }
+
+    #[test]
+    fn interaction_and_power() {
+        let a = Column::from_f64(vec![2.0, 3.0]);
+        let b = Column::from_opt_f64(vec![Some(4.0), None]);
+        let prod = interaction(&a, &b).unwrap();
+        assert_eq!(prod.to_f64().unwrap(), vec![Some(8.0), None]);
+        let sq = power(&a, 2).unwrap();
+        assert_eq!(sq.to_f64_dense().unwrap(), vec![4.0, 9.0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Dynamically typed cell values and data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DType {
+    /// 64-bit floating point.
+    Float,
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Dictionary-encoded categorical string.
+    Categorical,
+    /// Arbitrary UTF-8 string.
+    Str,
+}
+
+impl DType {
+    /// Human-readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::Float => "float",
+            DType::Int => "int",
+            DType::Bool => "bool",
+            DType::Categorical => "categorical",
+            DType::Str => "str",
+        }
+    }
+
+    /// Whether values of this type can be used directly as model features.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DType::Float | DType::Int | DType::Bool)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single dynamically typed cell value.
+///
+/// `Value` is the exchange currency between the typed columnar storage and
+/// generic row-oriented operations (CSV parsing, display, filtering
+/// predicates written by users).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit float.
+    Float(f64),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String (also used for categorical cells).
+    Str(String),
+}
+
+impl Value {
+    /// `true` if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The natural [`DType`] of the value, or `None` for nulls.
+    pub fn dtype(&self) -> Option<DType> {
+        match self {
+            Value::Null => None,
+            Value::Float(_) => Some(DType::Float),
+            Value::Int(_) => Some(DType::Int),
+            Value::Bool(_) => Some(DType::Bool),
+            Value::Str(_) => Some(DType::Str),
+        }
+    }
+
+    /// Numeric view of the value: ints and bools are widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::Bool(v) => Some(if *v { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value; floats are not silently truncated.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Bool(v) => Some(i64::from(*v)),
+            _ => None,
+        }
+    }
+
+    /// String view of the value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used by sorting and group-by: Null < Bool < numeric < Str,
+    /// with NaN ordered greater than all other floats.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_names() {
+        assert_eq!(DType::Float.name(), "float");
+        assert_eq!(DType::Categorical.to_string(), "categorical");
+    }
+
+    #[test]
+    fn numeric_dtypes() {
+        assert!(DType::Float.is_numeric());
+        assert!(DType::Int.is_numeric());
+        assert!(DType::Bool.is_numeric());
+        assert!(!DType::Str.is_numeric());
+        assert!(!DType::Categorical.is_numeric());
+    }
+
+    #[test]
+    fn as_f64_widens() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn as_i64_does_not_truncate_floats() {
+        assert_eq!(Value::Float(2.9).as_i64(), None);
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert_eq!(Value::Bool(false).as_i64(), Some(0));
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+        assert_eq!(Value::Null.dtype(), None);
+    }
+
+    #[test]
+    fn ordering_across_types() {
+        let mut vs = [
+            Value::Str("a".into()),
+            Value::Float(1.5),
+            Value::Null,
+            Value::Int(2),
+            Value::Bool(true),
+        ];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        assert!(vs[0].is_null());
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::Float(1.5));
+        assert_eq!(vs[3], Value::Int(2));
+        assert_eq!(vs[4], Value::Str("a".into()));
+    }
+
+    #[test]
+    fn ordering_mixed_numeric() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn nan_sorts_last_among_floats() {
+        let mut vs = [
+            Value::Float(f64::NAN),
+            Value::Float(0.0),
+            Value::Float(-1.0),
+        ];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vs[0], Value::Float(-1.0));
+        assert!(matches!(vs[2], Value::Float(v) if v.is_nan()));
+    }
+
+    #[test]
+    fn from_option() {
+        assert_eq!(Value::from(Some(1.0_f64)), Value::Float(1.0));
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+    }
+}

@@ -1,0 +1,152 @@
+//! Gaussian-blob classification datasets.
+
+use crate::rng::{normal_with, rng};
+use matilda_data::{Column, DataFrame};
+use rand::Rng;
+
+/// Configuration for [`blobs`].
+#[derive(Debug, Clone)]
+pub struct BlobsConfig {
+    /// Total rows.
+    pub n_rows: usize,
+    /// Number of classes (one blob each).
+    pub n_classes: usize,
+    /// Feature dimensionality.
+    pub n_features: usize,
+    /// Distance between adjacent blob centres.
+    pub separation: f64,
+    /// Within-blob standard deviation.
+    pub spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BlobsConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 300,
+            n_classes: 3,
+            n_features: 2,
+            separation: 5.0,
+            spread: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a blob dataset: numeric features `f0..fN` plus a categorical
+/// `label` column (`class0`, `class1`, ...). Rows cycle through classes so
+/// classes are balanced to within one row.
+pub fn blobs(config: &BlobsConfig) -> DataFrame {
+    let mut r = rng(config.seed);
+    // Blob centres on a shuffled lattice direction per feature.
+    let centres: Vec<Vec<f64>> = (0..config.n_classes)
+        .map(|c| {
+            (0..config.n_features)
+                .map(|f| config.separation * ((c + f) % config.n_classes) as f64)
+                .collect()
+        })
+        .collect();
+    let mut features: Vec<Vec<f64>> = vec![Vec::with_capacity(config.n_rows); config.n_features];
+    let mut labels: Vec<String> = Vec::with_capacity(config.n_rows);
+    for i in 0..config.n_rows {
+        let class = i % config.n_classes;
+        for (f, column) in features.iter_mut().enumerate() {
+            column.push(normal_with(&mut r, centres[class][f], config.spread));
+        }
+        labels.push(format!("class{class}"));
+    }
+    let mut df = DataFrame::new();
+    for (f, column) in features.into_iter().enumerate() {
+        df.add_column(format!("f{f}"), Column::from_f64(column))
+            .expect("unique names");
+    }
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    df.add_column("label", Column::from_categorical(&label_refs))
+        .expect("unique names");
+    df
+}
+
+/// A noisy variant: `noise_features` additional uninformative columns.
+pub fn blobs_with_noise(config: &BlobsConfig, noise_features: usize) -> DataFrame {
+    let mut df = blobs(config);
+    let mut r = rng(config.seed.wrapping_add(1));
+    for j in 0..noise_features {
+        let col: Vec<f64> = (0..config.n_rows).map(|_| r.gen_range(-1.0..1.0)).collect();
+        df.add_column(format!("noise{j}"), Column::from_f64(col))
+            .expect("unique names");
+    }
+    // Keep the label last for readability.
+    let label = df.drop_column("label").expect("label exists");
+    df.add_column("label", label).expect("unique names");
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_ml::prelude::*;
+
+    #[test]
+    fn shape_and_balance() {
+        let df = blobs(&BlobsConfig {
+            n_rows: 90,
+            n_classes: 3,
+            ..BlobsConfig::default()
+        });
+        assert_eq!(df.n_rows(), 90);
+        assert_eq!(df.names(), vec!["f0", "f1", "label"]);
+        let counts = df.column("label").unwrap().value_counts();
+        assert_eq!(counts.len(), 3);
+        assert!(counts.iter().all(|(_, n)| *n == 30));
+    }
+
+    #[test]
+    fn deterministic() {
+        let config = BlobsConfig::default();
+        assert_eq!(blobs(&config), blobs(&config));
+    }
+
+    #[test]
+    fn separable_blobs_are_learnable() {
+        let df = blobs(&BlobsConfig {
+            n_rows: 150,
+            separation: 8.0,
+            spread: 0.5,
+            ..Default::default()
+        });
+        let data = Dataset::classification(&df, &["f0", "f1"], "label").unwrap();
+        let spec = ModelSpec::GaussianNb;
+        let cv = cross_validate(&spec, &data, 5, Scoring::Accuracy, 0).unwrap();
+        assert!(
+            cv.mean > 0.95,
+            "separable blobs should be easy, got {}",
+            cv.mean
+        );
+    }
+
+    #[test]
+    fn overlapping_blobs_are_hard() {
+        let df = blobs(&BlobsConfig {
+            n_rows: 150,
+            separation: 0.1,
+            spread: 2.0,
+            ..Default::default()
+        });
+        let data = Dataset::classification(&df, &["f0", "f1"], "label").unwrap();
+        let cv = cross_validate(&ModelSpec::GaussianNb, &data, 5, Scoring::Accuracy, 0).unwrap();
+        assert!(
+            cv.mean < 0.6,
+            "overlapping blobs should be hard, got {}",
+            cv.mean
+        );
+    }
+
+    #[test]
+    fn noise_features_added() {
+        let df = blobs_with_noise(&BlobsConfig::default(), 3);
+        assert!(df.names().contains(&"noise0"));
+        assert!(df.names().contains(&"noise2"));
+        assert_eq!(df.names().last(), Some(&"label"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Imbalanced binary classification generator — exercises stratified
+//! splitting and macro-F1 versus accuracy trade-offs.
+
+use crate::rng::{normal_with, rng};
+use matilda_data::{Column, DataFrame};
+
+/// Configuration for [`imbalanced`].
+#[derive(Debug, Clone)]
+pub struct ImbalanceConfig {
+    /// Total rows.
+    pub n_rows: usize,
+    /// Fraction of rows in the minority class, in (0, 0.5].
+    pub minority_fraction: f64,
+    /// Distance between class means (in standard deviations).
+    pub separation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImbalanceConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 400,
+            minority_fraction: 0.1,
+            separation: 3.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate an imbalanced dataset: `f0`, `f1` features and `outcome`
+/// (`common` / `rare`). The first `minority_fraction * n_rows` rows are
+/// rare, interleaved deterministically through the frame.
+pub fn imbalanced(config: &ImbalanceConfig) -> DataFrame {
+    assert!(
+        config.minority_fraction > 0.0 && config.minority_fraction <= 0.5,
+        "minority_fraction must be in (0, 0.5]"
+    );
+    let mut r = rng(config.seed);
+    let n_rare = ((config.n_rows as f64) * config.minority_fraction)
+        .round()
+        .max(1.0) as usize;
+    let every = config.n_rows / n_rare.max(1);
+    let mut f0 = Vec::with_capacity(config.n_rows);
+    let mut f1 = Vec::with_capacity(config.n_rows);
+    let mut labels: Vec<&str> = Vec::with_capacity(config.n_rows);
+    let mut rare_emitted = 0;
+    for i in 0..config.n_rows {
+        let rare = rare_emitted < n_rare && i % every.max(1) == 0;
+        if rare {
+            rare_emitted += 1;
+            f0.push(normal_with(&mut r, config.separation, 1.0));
+            f1.push(normal_with(&mut r, config.separation, 1.0));
+            labels.push("rare");
+        } else {
+            f0.push(normal_with(&mut r, 0.0, 1.0));
+            f1.push(normal_with(&mut r, 0.0, 1.0));
+            labels.push("common");
+        }
+    }
+    DataFrame::from_columns(vec![
+        ("f0", Column::from_f64(f0)),
+        ("f1", Column::from_f64(f1)),
+        ("outcome", Column::from_categorical(&labels)),
+    ])
+    .expect("unique names")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_ml::prelude::*;
+
+    #[test]
+    fn minority_fraction_respected() {
+        let df = imbalanced(&ImbalanceConfig {
+            n_rows: 200,
+            minority_fraction: 0.1,
+            ..Default::default()
+        });
+        let rare = df
+            .column("outcome")
+            .unwrap()
+            .iter()
+            .filter(|v| v.as_str() == Some("rare"))
+            .count();
+        assert_eq!(rare, 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = ImbalanceConfig::default();
+        assert_eq!(imbalanced(&c), imbalanced(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "minority_fraction")]
+    fn zero_fraction_panics() {
+        imbalanced(&ImbalanceConfig {
+            minority_fraction: 0.0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn accuracy_overstates_on_imbalance() {
+        // A majority-vote-ish model scores high accuracy but poor macro-F1.
+        let df = imbalanced(&ImbalanceConfig {
+            n_rows: 300,
+            minority_fraction: 0.08,
+            separation: 1.0, // weak signal
+            seed: 3,
+        });
+        let data = Dataset::classification(&df, &["f0", "f1"], "outcome").unwrap();
+        let spec = ModelSpec::Tree {
+            max_depth: 1,
+            min_samples_split: 2,
+        };
+        let acc = cross_validate(&spec, &data, 4, Scoring::Accuracy, 0)
+            .unwrap()
+            .mean;
+        let f1 = cross_validate(&spec, &data, 4, Scoring::MacroF1, 0)
+            .unwrap()
+            .mean;
+        assert!(
+            acc > f1 + 0.1,
+            "accuracy {acc} should flatter macro-f1 {f1}"
+        );
+    }
+
+    #[test]
+    fn separable_minority_learnable() {
+        let df = imbalanced(&ImbalanceConfig {
+            n_rows: 300,
+            minority_fraction: 0.2,
+            separation: 5.0,
+            seed: 1,
+        });
+        let data = Dataset::classification(&df, &["f0", "f1"], "outcome").unwrap();
+        let spec = ModelSpec::Forest {
+            n_trees: 15,
+            max_depth: 5,
+            feature_fraction: 1.0,
+            seed: 0,
+        };
+        let f1 = cross_validate(&spec, &data, 4, Scoring::MacroF1, 0)
+            .unwrap()
+            .mean;
+        assert!(
+            f1 > 0.85,
+            "well-separated minority should be caught, macro-f1 {f1}"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # matilda-datagen
+//!
+//! Synthetic workload and scenario generators for the MATILDA platform's
+//! evaluation, all deterministic given a seed:
+//!
+//! - [`mod@urban`]: the paper's running public-policy scenario (districts,
+//!   pedestrianization intervention, ground-truth effects);
+//! - [`mod@behaviour`]: the video-derived behavioural-pattern substitute;
+//! - [`mod@questionnaire`]: Likert-scale survey responses with a latent target;
+//! - [`mod@blobs`] / [`mod@moons`]: classic classification benchmarks;
+//! - [`mod@regression`]: linear and Friedman-style regression benchmarks;
+//! - [`mod@imbalance`]: skewed binary classification;
+//! - [`mod@missing`]: MCAR null injection onto any frame;
+//! - [`mod@rng`]: seeded normal sampling shared by the generators.
+
+pub mod behaviour;
+pub mod blobs;
+pub mod imbalance;
+pub mod missing;
+pub mod moons;
+pub mod questionnaire;
+pub mod regression;
+pub mod rng;
+pub mod urban;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::behaviour::{behaviour_patterns, BehaviourConfig};
+    pub use crate::blobs::{blobs, blobs_with_noise, BlobsConfig};
+    pub use crate::imbalance::{imbalanced, ImbalanceConfig};
+    pub use crate::missing::inject_mcar;
+    pub use crate::moons::{moons, MoonsConfig};
+    pub use crate::questionnaire::{questionnaire, QuestionnaireConfig};
+    pub use crate::regression::{friedman, linear, RegressionConfig};
+    pub use crate::urban::{is_treated, urban_panel, UrbanConfig};
+}
+
+pub use prelude::*;

@@ -1,0 +1,101 @@
+//! Missing-data injection: degrade a clean frame with MCAR
+//! (missing-completely-at-random) nulls so imputation operators have work
+//! to do.
+
+use crate::rng::rng;
+use matilda_data::{Column, DataFrame, Value};
+use rand::Rng;
+
+/// Replace a fraction of cells with nulls in every column except those in
+/// `protect` (typically the target). Null positions are MCAR and seeded.
+pub fn inject_mcar(df: &DataFrame, fraction: f64, protect: &[&str], seed: u64) -> DataFrame {
+    assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
+    let mut r = rng(seed);
+    let mut out = DataFrame::new();
+    for (name, col) in df.iter_columns() {
+        if protect.contains(&name) {
+            out.add_column(name, col.clone()).expect("unique names");
+            continue;
+        }
+        let mut degraded = Column::empty(col.dtype());
+        for v in col.iter() {
+            let value = if r.gen::<f64>() < fraction {
+                Value::Null
+            } else {
+                v
+            };
+            degraded.push(value).expect("same dtype");
+        }
+        out.add_column(name, degraded).expect("unique names");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("a", Column::from_f64((0..200).map(f64::from).collect())),
+            ("b", Column::from_i64((0..200).collect())),
+            (
+                "y",
+                Column::from_categorical(
+                    &(0..200)
+                        .map(|i| if i % 2 == 0 { "p" } else { "q" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fraction_approximately_respected() {
+        let out = inject_mcar(&frame(), 0.25, &["y"], 7);
+        let nulls_a = out.column("a").unwrap().null_count();
+        // 200 cells at 25%: expect ~50, allow generous slack.
+        assert!((30..=70).contains(&nulls_a), "got {nulls_a}");
+    }
+
+    #[test]
+    fn protected_columns_untouched() {
+        let out = inject_mcar(&frame(), 0.5, &["y"], 7);
+        assert_eq!(out.column("y").unwrap().null_count(), 0);
+    }
+
+    #[test]
+    fn zero_fraction_identity() {
+        let df = frame();
+        let out = inject_mcar(&df, 0.0, &[], 7);
+        assert_eq!(out, df);
+    }
+
+    #[test]
+    fn deterministic() {
+        let df = frame();
+        assert_eq!(
+            inject_mcar(&df, 0.3, &["y"], 9),
+            inject_mcar(&df, 0.3, &["y"], 9)
+        );
+        assert_ne!(
+            inject_mcar(&df, 0.3, &["y"], 9),
+            inject_mcar(&df, 0.3, &["y"], 10),
+            "different seed, different holes"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn full_fraction_panics() {
+        inject_mcar(&frame(), 1.0, &[], 0);
+    }
+
+    #[test]
+    fn dtypes_preserved() {
+        let out = inject_mcar(&frame(), 0.2, &[], 3);
+        assert_eq!(out.schema(), frame().schema());
+        assert_eq!(out.n_rows(), 200);
+    }
+}

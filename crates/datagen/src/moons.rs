@@ -1,0 +1,117 @@
+//! The two-moons dataset: two interleaving half-circles, a classic
+//! non-linearly-separable benchmark.
+
+use crate::rng::{normal_with, rng};
+use matilda_data::{Column, DataFrame};
+use rand::Rng;
+
+/// Configuration for [`moons`].
+#[derive(Debug, Clone)]
+pub struct MoonsConfig {
+    /// Total rows (split evenly between the moons).
+    pub n_rows: usize,
+    /// Gaussian noise added to each coordinate.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MoonsConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 200,
+            noise: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate two moons: columns `x`, `y` and categorical `moon`
+/// (`upper` / `lower`).
+pub fn moons(config: &MoonsConfig) -> DataFrame {
+    let mut r = rng(config.seed);
+    let mut xs = Vec::with_capacity(config.n_rows);
+    let mut ys = Vec::with_capacity(config.n_rows);
+    let mut labels: Vec<&str> = Vec::with_capacity(config.n_rows);
+    for i in 0..config.n_rows {
+        let t: f64 = r.gen_range(0.0..std::f64::consts::PI);
+        let (x, y, label) = if i % 2 == 0 {
+            (t.cos(), t.sin(), "upper")
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin(), "lower")
+        };
+        xs.push(normal_with(&mut r, x, config.noise));
+        ys.push(normal_with(&mut r, y, config.noise));
+        labels.push(label);
+    }
+    DataFrame::from_columns(vec![
+        ("x", Column::from_f64(xs)),
+        ("y", Column::from_f64(ys)),
+        ("moon", Column::from_categorical(&labels)),
+    ])
+    .expect("unique names")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_ml::prelude::*;
+
+    #[test]
+    fn shape_and_balance() {
+        let df = moons(&MoonsConfig {
+            n_rows: 100,
+            ..MoonsConfig::default()
+        });
+        assert_eq!(df.n_rows(), 100);
+        let counts = df.column("moon").unwrap().value_counts();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0].1, 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = MoonsConfig::default();
+        assert_eq!(moons(&c), moons(&c));
+    }
+
+    #[test]
+    fn nonlinear_model_beats_linear_boundary() {
+        let df = moons(&MoonsConfig {
+            n_rows: 300,
+            noise: 0.08,
+            seed: 5,
+        });
+        let data = Dataset::classification(&df, &["x", "y"], "moon").unwrap();
+        let knn = cross_validate(&ModelSpec::Knn { k: 5 }, &data, 5, Scoring::Accuracy, 0).unwrap();
+        let nb = cross_validate(&ModelSpec::GaussianNb, &data, 5, Scoring::Accuracy, 0).unwrap();
+        assert!(knn.mean > 0.9, "knn handles the moons, got {}", knn.mean);
+        assert!(
+            knn.mean > nb.mean,
+            "local model should beat the axis-aligned Gaussian one ({} vs {})",
+            knn.mean,
+            nb.mean
+        );
+    }
+
+    #[test]
+    fn noise_controls_difficulty() {
+        let clean = moons(&MoonsConfig {
+            n_rows: 200,
+            noise: 0.02,
+            seed: 1,
+        });
+        let noisy = moons(&MoonsConfig {
+            n_rows: 200,
+            noise: 0.5,
+            seed: 1,
+        });
+        let acc = |df: &DataFrame| {
+            let data = Dataset::classification(df, &["x", "y"], "moon").unwrap();
+            cross_validate(&ModelSpec::Knn { k: 5 }, &data, 4, Scoring::Accuracy, 0)
+                .unwrap()
+                .mean
+        };
+        assert!(acc(&clean) > acc(&noisy));
+    }
+}

@@ -1,0 +1,174 @@
+//! Questionnaire generator — the paper's alternative data-collection
+//! technique: "run other data collection techniques like questionnaires to
+//! describe urban civilians' behaviour through quantitative variables".
+//!
+//! Respondents carry a latent satisfaction driven by their commute mode;
+//! Likert items load on the latent with noise, and the analysis target is
+//! the satisfaction tercile.
+
+use crate::rng::{normal_with, rng};
+use matilda_data::{Column, DataFrame};
+use rand::Rng;
+
+/// Configuration of the questionnaire generator.
+#[derive(Debug, Clone)]
+pub struct QuestionnaireConfig {
+    /// Number of respondents.
+    pub n_respondents: usize,
+    /// Number of Likert items (questions), each scored 1..=5.
+    pub n_items: usize,
+    /// Noise added to each item before rounding.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QuestionnaireConfig {
+    fn default() -> Self {
+        Self {
+            n_respondents: 300,
+            n_items: 8,
+            noise: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+const COMMUTES: [(&str, f64); 3] = [("walk", 0.8), ("bike", 0.3), ("car", -0.8)];
+
+/// Generate questionnaire responses: `age`, `commute` (categorical),
+/// `q1..qN` Likert items (integers 1..=5) and the `satisfaction` target
+/// (`low` / `medium` / `high`).
+pub fn questionnaire(config: &QuestionnaireConfig) -> DataFrame {
+    let mut r = rng(config.seed);
+    let mut age = Vec::with_capacity(config.n_respondents);
+    let mut commute: Vec<&str> = Vec::with_capacity(config.n_respondents);
+    let mut items: Vec<Vec<i64>> = vec![Vec::with_capacity(config.n_respondents); config.n_items];
+    let mut latents = Vec::with_capacity(config.n_respondents);
+    for i in 0..config.n_respondents {
+        let (mode, mode_effect) = COMMUTES[i % COMMUTES.len()];
+        commute.push(mode);
+        age.push(r.gen_range(18.0..80.0));
+        let latent = normal_with(&mut r, mode_effect, 0.6);
+        latents.push(latent);
+        for (j, item) in items.iter_mut().enumerate() {
+            // Alternate item polarity, as real instruments do.
+            let loading = if j % 2 == 0 { 1.0 } else { -1.0 };
+            let raw = 3.0 + loading * latent + normal_with(&mut r, 0.0, config.noise);
+            item.push(raw.round().clamp(1.0, 5.0) as i64);
+        }
+    }
+    // Terciles of the latent define the target label.
+    let mut sorted = latents.clone();
+    sorted.sort_by(f64::total_cmp);
+    let lo = sorted[config.n_respondents / 3];
+    let hi = sorted[2 * config.n_respondents / 3];
+    let labels: Vec<&str> = latents
+        .iter()
+        .map(|&l| {
+            if l < lo {
+                "low"
+            } else if l < hi {
+                "medium"
+            } else {
+                "high"
+            }
+        })
+        .collect();
+
+    let mut df = DataFrame::new();
+    df.add_column("age", Column::from_f64(age)).expect("unique");
+    df.add_column("commute", Column::from_categorical(&commute))
+        .expect("unique");
+    for (j, item) in items.into_iter().enumerate() {
+        df.add_column(format!("q{}", j + 1), Column::from_i64(item))
+            .expect("unique");
+    }
+    df.add_column("satisfaction", Column::from_categorical(&labels))
+        .expect("unique");
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_ml::prelude::*;
+
+    #[test]
+    fn shape_and_ranges() {
+        let df = questionnaire(&QuestionnaireConfig::default());
+        assert_eq!(df.n_rows(), 300);
+        assert_eq!(df.n_cols(), 2 + 8 + 1);
+        for j in 1..=8 {
+            let col = df.column(&format!("q{j}")).unwrap();
+            for v in col.to_f64_dense().unwrap() {
+                assert!((1.0..=5.0).contains(&v), "likert out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = QuestionnaireConfig::default();
+        assert_eq!(questionnaire(&c), questionnaire(&c));
+    }
+
+    #[test]
+    fn terciles_roughly_balanced() {
+        let df = questionnaire(&QuestionnaireConfig::default());
+        let counts = df.column("satisfaction").unwrap().value_counts();
+        assert_eq!(counts.len(), 3);
+        for (_, n) in counts {
+            assert!((80..=120).contains(&n), "tercile size {n}");
+        }
+    }
+
+    #[test]
+    fn items_predict_satisfaction() {
+        let df = questionnaire(&QuestionnaireConfig {
+            n_respondents: 400,
+            ..Default::default()
+        });
+        let features: Vec<String> = (1..=8).map(|j| format!("q{j}")).collect();
+        let refs: Vec<&str> = features.iter().map(String::as_str).collect();
+        let data = Dataset::classification(&df, &refs, "satisfaction").unwrap();
+        let cv = cross_validate(
+            &ModelSpec::Forest {
+                n_trees: 20,
+                max_depth: 6,
+                feature_fraction: 0.8,
+                seed: 1,
+            },
+            &data,
+            4,
+            Scoring::Accuracy,
+            0,
+        )
+        .unwrap();
+        assert!(
+            cv.mean > 0.6,
+            "items carry the latent, accuracy {}",
+            cv.mean
+        );
+    }
+
+    #[test]
+    fn commute_mode_correlates_with_satisfaction() {
+        let df = questionnaire(&QuestionnaireConfig::default());
+        let walkers = df
+            .filter_column("commute", |v| v.as_str() == Some("walk"))
+            .unwrap();
+        let drivers = df
+            .filter_column("commute", |v| v.as_str() == Some("car"))
+            .unwrap();
+        let high_share = |d: &DataFrame| {
+            d.column("satisfaction")
+                .unwrap()
+                .iter()
+                .filter(|v| v.as_str() == Some("high"))
+                .count() as f64
+                / d.n_rows() as f64
+        };
+        assert!(high_share(&walkers) > high_share(&drivers) + 0.2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Regression benchmark generators: a linear target and a Friedman-style
+//! non-linear target.
+
+use crate::rng::{normal_with, rng};
+use matilda_data::{Column, DataFrame};
+use rand::Rng;
+
+/// Configuration shared by the regression generators.
+#[derive(Debug, Clone)]
+pub struct RegressionConfig {
+    /// Total rows.
+    pub n_rows: usize,
+    /// Informative feature count (the linear generator also honours this).
+    pub n_features: usize,
+    /// Standard deviation of target noise.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RegressionConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 200,
+            n_features: 4,
+            noise: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Linear target: `y = Σ (j+1) * x_j + noise`, features uniform in [0, 1].
+/// Columns `x0..xN` and `y`; the true coefficient of `x_j` is `j + 1`.
+pub fn linear(config: &RegressionConfig) -> DataFrame {
+    let mut r = rng(config.seed);
+    let mut features: Vec<Vec<f64>> = vec![Vec::with_capacity(config.n_rows); config.n_features];
+    let mut y = Vec::with_capacity(config.n_rows);
+    for _ in 0..config.n_rows {
+        let mut target = 0.0;
+        for (j, column) in features.iter_mut().enumerate() {
+            let v: f64 = r.gen_range(0.0..1.0);
+            target += (j + 1) as f64 * v;
+            column.push(v);
+        }
+        y.push(normal_with(&mut r, target, config.noise));
+    }
+    let mut df = DataFrame::new();
+    for (j, column) in features.into_iter().enumerate() {
+        df.add_column(format!("x{j}"), Column::from_f64(column))
+            .expect("unique");
+    }
+    df.add_column("y", Column::from_f64(y)).expect("unique");
+    df
+}
+
+/// Friedman #1-style non-linear target over five uniform features:
+/// `y = 10 sin(pi x0 x1) + 20 (x2 - 0.5)^2 + 10 x3 + 5 x4 + noise`.
+pub fn friedman(config: &RegressionConfig) -> DataFrame {
+    let mut r = rng(config.seed);
+    let d = 5usize;
+    let mut features: Vec<Vec<f64>> = (0..d).map(|_| Vec::with_capacity(config.n_rows)).collect();
+    let mut y = Vec::with_capacity(config.n_rows);
+    for _ in 0..config.n_rows {
+        let row: Vec<f64> = (0..d).map(|_| r.gen_range(0.0..1.0)).collect();
+        let target = 10.0 * (std::f64::consts::PI * row[0] * row[1]).sin()
+            + 20.0 * (row[2] - 0.5).powi(2)
+            + 10.0 * row[3]
+            + 5.0 * row[4];
+        for (column, &v) in features.iter_mut().zip(&row) {
+            column.push(v);
+        }
+        y.push(normal_with(&mut r, target, config.noise));
+    }
+    let mut df = DataFrame::new();
+    for (j, column) in features.into_iter().enumerate() {
+        df.add_column(format!("x{j}"), Column::from_f64(column))
+            .expect("unique");
+    }
+    df.add_column("y", Column::from_f64(y)).expect("unique");
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_ml::prelude::*;
+
+    #[test]
+    fn linear_recoverable_by_ols() {
+        let df = linear(&RegressionConfig {
+            n_rows: 300,
+            noise: 0.1,
+            ..Default::default()
+        });
+        let data = Dataset::regression(&df, &["x0", "x1", "x2", "x3"], "y").unwrap();
+        let cv =
+            cross_validate(&ModelSpec::Linear { ridge: 0.0 }, &data, 5, Scoring::R2, 0).unwrap();
+        assert!(cv.mean > 0.95, "linear data, linear model: r2 {}", cv.mean);
+    }
+
+    #[test]
+    fn friedman_nonlinear_favours_trees() {
+        let df = friedman(&RegressionConfig {
+            n_rows: 400,
+            noise: 0.5,
+            ..Default::default()
+        });
+        let data = Dataset::regression(&df, &["x0", "x1", "x2", "x3", "x4"], "y").unwrap();
+        let linear_cv =
+            cross_validate(&ModelSpec::Linear { ridge: 0.0 }, &data, 4, Scoring::R2, 0).unwrap();
+        let boost_cv = cross_validate(
+            &ModelSpec::Boost {
+                n_rounds: 60,
+                learning_rate: 0.2,
+                max_depth: 3,
+            },
+            &data,
+            4,
+            Scoring::R2,
+            0,
+        )
+        .unwrap();
+        assert!(
+            boost_cv.mean > linear_cv.mean + 0.05,
+            "boosting should beat OLS on Friedman ({} vs {})",
+            boost_cv.mean,
+            linear_cv.mean
+        );
+    }
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let c = RegressionConfig::default();
+        assert_eq!(linear(&c), linear(&c));
+        assert_eq!(friedman(&c).n_cols(), 6);
+        assert_eq!(linear(&c).n_rows(), c.n_rows);
+    }
+
+    #[test]
+    fn noise_degrades_fit() {
+        let quiet = linear(&RegressionConfig {
+            noise: 0.01,
+            ..Default::default()
+        });
+        let loud = linear(&RegressionConfig {
+            noise: 3.0,
+            ..Default::default()
+        });
+        let r2 = |df: &DataFrame| {
+            let data = Dataset::regression(df, &["x0", "x1", "x2", "x3"], "y").unwrap();
+            cross_validate(&ModelSpec::Linear { ridge: 0.0 }, &data, 4, Scoring::R2, 0)
+                .unwrap()
+                .mean
+        };
+        assert!(r2(&quiet) > r2(&loud));
+    }
+}

@@ -1,0 +1,66 @@
+//! Seeded randomness helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG from a seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Standard normal draw via the Box-Muller transform (avoids an extra
+/// distribution dependency).
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal draw with explicit mean and standard deviation.
+pub fn normal_with(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    mean + std * normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<f64> = {
+            let mut r = rng(7);
+            (0..5).map(|_| normal(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(7);
+            (0..5).map(|_| normal(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(42);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_scales() {
+        let mut r = rng(1);
+        let xs: Vec<f64> = (0..10_000).map(|_| normal_with(&mut r, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn values_finite() {
+        let mut r = rng(3);
+        for _ in 0..10_000 {
+            assert!(normal(&mut r).is_finite());
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Gradient boosting over shallow regression trees.
+//!
+//! Regression uses squared loss: each round fits a tree to the residuals.
+//! Classification wraps the regression ensemble with the logistic link on
+//! ±1-coded binary targets (one-vs-rest for multiclass).
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::model::{Classifier, Regressor};
+use crate::tree::{grow_tree, Node};
+
+fn validate(n_rounds: usize, learning_rate: f64, max_depth: usize) -> Result<()> {
+    if n_rounds == 0 {
+        return Err(MlError::InvalidParameter("n_rounds must be >= 1".into()));
+    }
+    if learning_rate <= 0.0 || learning_rate > 1.0 {
+        return Err(MlError::InvalidParameter(format!(
+            "learning_rate {learning_rate} outside (0,1]"
+        )));
+    }
+    if max_depth == 0 {
+        return Err(MlError::InvalidParameter("max_depth must be >= 1".into()));
+    }
+    Ok(())
+}
+
+fn leaf_value(node: &Node, row: &[f64]) -> f64 {
+    match node {
+        Node::Leaf { value, .. } => *value,
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if row[*feature] < *threshold {
+                leaf_value(left, row)
+            } else {
+                leaf_value(right, row)
+            }
+        }
+    }
+}
+
+/// The additive ensemble shared by the regressor and classifier.
+#[derive(Debug, Clone, Default)]
+struct Ensemble {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<Node>,
+}
+
+impl Ensemble {
+    fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        n_rounds: usize,
+        learning_rate: f64,
+        max_depth: usize,
+    ) -> Ensemble {
+        let n = x.len();
+        let base = y.iter().sum::<f64>() / n as f64;
+        let indices: Vec<usize> = (0..n).collect();
+        let features: Vec<usize> = (0..x[0].len()).collect();
+        let mut current: Vec<f64> = vec![base; n];
+        let mut trees = Vec::with_capacity(n_rounds);
+        for _ in 0..n_rounds {
+            let residuals: Vec<f64> = y.iter().zip(&current).map(|(t, c)| t - c).collect();
+            let tree = grow_tree(x, &residuals, &indices, &features, None, max_depth, 2);
+            for (c, row) in current.iter_mut().zip(x) {
+                *c += learning_rate * leaf_value(&tree, row);
+            }
+            trees.push(tree);
+        }
+        Ensemble {
+            base,
+            learning_rate,
+            trees,
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.base + self.learning_rate * self.trees.iter().map(|t| leaf_value(t, row)).sum::<f64>()
+    }
+}
+
+/// Gradient-boosted regression trees with squared loss.
+#[derive(Debug, Clone)]
+pub struct GradientBoostingRegressor {
+    n_rounds: usize,
+    learning_rate: f64,
+    max_depth: usize,
+    ensemble: Option<Ensemble>,
+    n_features: usize,
+}
+
+impl GradientBoostingRegressor {
+    /// `n_rounds` boosting rounds of depth-`max_depth` trees, each scaled by
+    /// `learning_rate`.
+    pub fn new(n_rounds: usize, learning_rate: f64, max_depth: usize) -> Self {
+        Self {
+            n_rounds,
+            learning_rate,
+            max_depth,
+            ensemble: None,
+            n_features: 0,
+        }
+    }
+
+    /// Number of fitted boosting rounds.
+    pub fn n_fitted_rounds(&self) -> usize {
+        self.ensemble.as_ref().map_or(0, |e| e.trees.len())
+    }
+}
+
+impl Regressor for GradientBoostingRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        validate(self.n_rounds, self.learning_rate, self.max_depth)?;
+        self.ensemble = Some(Ensemble::fit(
+            x,
+            y,
+            self.n_rounds,
+            self.learning_rate,
+            self.max_depth,
+        ));
+        self.n_features = d;
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<f64> {
+        let e = self
+            .ensemble
+            .as_ref()
+            .ok_or(MlError::NotFitted("gradient boosting"))?;
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        Ok(e.predict(row))
+    }
+
+    fn name(&self) -> &'static str {
+        "boost"
+    }
+}
+
+/// Boosted classifier: one regression ensemble per class on ±1 targets,
+/// probabilities via softmax over the ensemble margins.
+#[derive(Debug, Clone)]
+pub struct GradientBoostingClassifier {
+    n_rounds: usize,
+    learning_rate: f64,
+    max_depth: usize,
+    ensembles: Vec<Ensemble>,
+    n_features: usize,
+}
+
+impl GradientBoostingClassifier {
+    /// See [`GradientBoostingRegressor::new`].
+    pub fn new(n_rounds: usize, learning_rate: f64, max_depth: usize) -> Self {
+        Self {
+            n_rounds,
+            learning_rate,
+            max_depth,
+            ensembles: Vec::new(),
+            n_features: 0,
+        }
+    }
+}
+
+impl Classifier for GradientBoostingClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        validate(self.n_rounds, self.learning_rate, self.max_depth)?;
+        let k = y.iter().copied().max().map_or(0, |m| m + 1);
+        if k < 2 {
+            return Err(MlError::InvalidParameter("need at least 2 classes".into()));
+        }
+        self.ensembles.clear();
+        for c in 0..k {
+            let targets: Vec<f64> = y
+                .iter()
+                .map(|&label| if label == c { 1.0 } else { -1.0 })
+                .collect();
+            self.ensembles.push(Ensemble::fit(
+                x,
+                &targets,
+                self.n_rounds,
+                self.learning_rate,
+                self.max_depth,
+            ));
+        }
+        self.n_features = d;
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<usize> {
+        let p = self.predict_proba_one(row)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("fitted ensemble has classes"))
+    }
+
+    fn predict_proba_one(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if self.ensembles.is_empty() {
+            return Err(MlError::NotFitted("gradient boosting"));
+        }
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        let margins: Vec<f64> = self.ensembles.iter().map(|e| e.predict(row)).collect();
+        let max = margins.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = margins.iter().map(|m| (m - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        Ok(exps.into_iter().map(|e| e / sum).collect())
+    }
+
+    fn n_classes(&self) -> usize {
+        self.ensembles.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "boost"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_improves_with_rounds() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let mut weak = GradientBoostingRegressor::new(1, 0.5, 2);
+        weak.fit(&x, &y).unwrap();
+        let mut strong = GradientBoostingRegressor::new(80, 0.2, 2);
+        strong.fit(&x, &y).unwrap();
+        let mse_weak = crate::metrics::mse(&y, &weak.predict(&x).unwrap()).unwrap();
+        let mse_strong = crate::metrics::mse(&y, &strong.predict(&x).unwrap()).unwrap();
+        assert!(
+            mse_strong < mse_weak / 10.0,
+            "weak {mse_weak} vs strong {mse_strong}"
+        );
+        assert_eq!(strong.n_fitted_rounds(), 80);
+    }
+
+    #[test]
+    fn regression_base_is_mean_for_one_stump() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![2.0, 4.0];
+        let mut m = GradientBoostingRegressor::new(1, 1.0, 1);
+        m.fit(&x, &y).unwrap();
+        // Base = 3, one stump fits residuals -1/+1 exactly at depth 1.
+        assert!((m.predict_one(&[0.0]).unwrap() - 2.0).abs() < 1e-9);
+        assert!((m.predict_one(&[1.0]).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classifier_learns_binary() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            x.push(vec![i as f64]);
+            y.push(usize::from(i >= 20));
+        }
+        let mut m = GradientBoostingClassifier::new(20, 0.3, 2);
+        m.fit(&x, &y).unwrap();
+        let preds = m.predict(&x).unwrap();
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert_eq!(m.n_classes(), 2);
+    }
+
+    #[test]
+    fn classifier_three_classes() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            x.push(vec![i as f64]);
+            y.push(i / 20);
+        }
+        let mut m = GradientBoostingClassifier::new(25, 0.3, 2);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_one(&[5.0]).unwrap(), 0);
+        assert_eq!(m.predict_one(&[30.0]).unwrap(), 1);
+        assert_eq!(m.predict_one(&[55.0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut m = GradientBoostingClassifier::new(5, 0.5, 1);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_proba_one(&[1.5]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let x = vec![vec![0.0], vec![1.0]];
+        assert!(GradientBoostingRegressor::new(0, 0.1, 2)
+            .fit(&x, &[0.0, 1.0])
+            .is_err());
+        assert!(GradientBoostingRegressor::new(5, 0.0, 2)
+            .fit(&x, &[0.0, 1.0])
+            .is_err());
+        assert!(GradientBoostingRegressor::new(5, 1.5, 2)
+            .fit(&x, &[0.0, 1.0])
+            .is_err());
+        assert!(GradientBoostingRegressor::new(5, 0.1, 0)
+            .fit(&x, &[0.0, 1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        assert!(GradientBoostingRegressor::new(1, 0.5, 1)
+            .predict_one(&[0.0])
+            .is_err());
+        assert!(GradientBoostingClassifier::new(1, 0.5, 1)
+            .predict_proba_one(&[0.0])
+            .is_err());
+    }
+}

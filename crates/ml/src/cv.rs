@@ -1,0 +1,231 @@
+//! k-fold cross-validation over [`ModelSpec`]s.
+//!
+//! Cross-validated scores are the *value* signal MATILDA's creativity engine
+//! optimizes, so this module keeps everything deterministic given a seed.
+
+use crate::dataset::Dataset;
+use crate::error::{MlError, Result};
+use crate::metrics;
+use crate::model::ModelSpec;
+use matilda_data::split::k_fold_indices;
+
+/// Scoring rule for cross-validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Scoring {
+    /// Classification accuracy (higher is better).
+    Accuracy,
+    /// Macro-averaged F1 (higher is better).
+    MacroF1,
+    /// R² (higher is better) for regression.
+    R2,
+    /// Negative RMSE, so that higher is always better.
+    NegRmse,
+}
+
+impl Scoring {
+    /// `true` when the scoring applies to classification datasets.
+    pub fn is_classification(self) -> bool {
+        matches!(self, Scoring::Accuracy | Scoring::MacroF1)
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scoring::Accuracy => "accuracy",
+            Scoring::MacroF1 => "macro_f1",
+            Scoring::R2 => "r2",
+            Scoring::NegRmse => "neg_rmse",
+        }
+    }
+}
+
+/// Per-fold and aggregate results of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Score per fold, in fold order.
+    pub fold_scores: Vec<f64>,
+    /// Mean of the fold scores.
+    pub mean: f64,
+    /// Sample standard deviation of the fold scores.
+    pub std: f64,
+}
+
+fn score_classification(
+    spec: &ModelSpec,
+    train: &Dataset,
+    test: &Dataset,
+    scoring: Scoring,
+) -> Result<f64> {
+    let mut model = spec
+        .build_classifier()
+        .ok_or_else(|| MlError::InvalidParameter(format!("{} cannot classify", spec.name())))?;
+    let y_train = train.y_classes()?;
+    let y_test = test.y_classes()?;
+    model.fit(&train.x, &y_train)?;
+    let preds = model.predict(&test.x)?;
+    match scoring {
+        Scoring::Accuracy => metrics::accuracy(&y_test, &preds),
+        Scoring::MacroF1 => {
+            let k = train.n_classes().max(model.n_classes());
+            metrics::macro_f1(&y_test, &preds, k)
+        }
+        _ => unreachable!("checked by caller"),
+    }
+}
+
+fn score_regression(
+    spec: &ModelSpec,
+    train: &Dataset,
+    test: &Dataset,
+    scoring: Scoring,
+) -> Result<f64> {
+    let mut model = spec
+        .build_regressor()
+        .ok_or_else(|| MlError::InvalidParameter(format!("{} cannot regress", spec.name())))?;
+    model.fit(&train.x, &train.y)?;
+    let preds = model.predict(&test.x)?;
+    match scoring {
+        Scoring::R2 => metrics::r2_score(&test.y, &preds),
+        Scoring::NegRmse => Ok(-metrics::rmse(&test.y, &preds)?),
+        _ => unreachable!("checked by caller"),
+    }
+}
+
+/// Train/score `spec` on an explicit train/test pair.
+pub fn holdout_score(
+    spec: &ModelSpec,
+    train: &Dataset,
+    test: &Dataset,
+    scoring: Scoring,
+) -> Result<f64> {
+    if scoring.is_classification() != train.is_classification() {
+        return Err(MlError::InvalidParameter(format!(
+            "scoring {} does not match dataset task",
+            scoring.name()
+        )));
+    }
+    if scoring.is_classification() {
+        score_classification(spec, train, test, scoring)
+    } else {
+        score_regression(spec, train, test, scoring)
+    }
+}
+
+/// k-fold cross-validation of `spec` on `data`.
+pub fn cross_validate(
+    spec: &ModelSpec,
+    data: &Dataset,
+    k: usize,
+    scoring: Scoring,
+    seed: u64,
+) -> Result<CvResult> {
+    let folds = k_fold_indices(data.n_rows(), k, seed)?;
+    let mut fold_scores = Vec::with_capacity(k);
+    for fold in &folds {
+        let train = data.subset(&fold.train)?;
+        let test = data.subset(&fold.validation)?;
+        fold_scores.push(holdout_score(spec, &train, &test, scoring)?);
+    }
+    let mean = fold_scores.iter().sum::<f64>() / fold_scores.len() as f64;
+    let var = if fold_scores.len() > 1 {
+        fold_scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (fold_scores.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Ok(CvResult {
+        fold_scores,
+        mean,
+        std: var.sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::{Column, DataFrame};
+
+    fn classification_data(n: usize) -> Dataset {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let labels: Vec<&str> = (0..n)
+            .map(|i| if i < n / 2 { "low" } else { "high" })
+            .collect();
+        let df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(x)),
+            ("y", Column::from_categorical(&labels)),
+        ])
+        .unwrap();
+        Dataset::classification(&df, &["x"], "y").unwrap()
+    }
+
+    fn regression_data(n: usize) -> Dataset {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let df =
+            DataFrame::from_columns(vec![("x", Column::from_f64(x)), ("y", Column::from_f64(y))])
+                .unwrap();
+        Dataset::regression(&df, &["x"], "y").unwrap()
+    }
+
+    #[test]
+    fn cv_easy_classification_high_accuracy() {
+        let data = classification_data(60);
+        let spec = ModelSpec::Tree {
+            max_depth: 3,
+            min_samples_split: 2,
+        };
+        let result = cross_validate(&spec, &data, 5, Scoring::Accuracy, 42).unwrap();
+        assert_eq!(result.fold_scores.len(), 5);
+        assert!(result.mean > 0.9, "mean accuracy {}", result.mean);
+        assert!(result.std < 0.2);
+    }
+
+    #[test]
+    fn cv_linear_regression_near_perfect() {
+        let data = regression_data(40);
+        let spec = ModelSpec::Linear { ridge: 0.0 };
+        let result = cross_validate(&spec, &data, 4, Scoring::R2, 1).unwrap();
+        assert!(result.mean > 0.99, "mean r2 {}", result.mean);
+    }
+
+    #[test]
+    fn cv_neg_rmse_is_negative_but_small() {
+        let data = regression_data(40);
+        let spec = ModelSpec::Linear { ridge: 0.0 };
+        let result = cross_validate(&spec, &data, 4, Scoring::NegRmse, 1).unwrap();
+        assert!(result.mean <= 0.0);
+        assert!(result.mean > -0.5, "exact fit should have tiny rmse");
+    }
+
+    #[test]
+    fn scoring_task_mismatch_rejected() {
+        let data = regression_data(20);
+        let spec = ModelSpec::Linear { ridge: 0.0 };
+        let train = data.subset(&(0..10).collect::<Vec<_>>()).unwrap();
+        let test = data.subset(&(10..20).collect::<Vec<_>>()).unwrap();
+        assert!(holdout_score(&spec, &train, &test, Scoring::Accuracy).is_err());
+    }
+
+    #[test]
+    fn capability_mismatch_rejected() {
+        let data = classification_data(20);
+        let spec = ModelSpec::Linear { ridge: 0.0 };
+        assert!(cross_validate(&spec, &data, 2, Scoring::Accuracy, 0).is_err());
+    }
+
+    #[test]
+    fn cv_deterministic() {
+        let data = classification_data(40);
+        let spec = ModelSpec::Knn { k: 3 };
+        let a = cross_validate(&spec, &data, 4, Scoring::Accuracy, 5).unwrap();
+        let b = cross_validate(&spec, &data, 4, Scoring::Accuracy, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn macro_f1_scoring_works() {
+        let data = classification_data(40);
+        let spec = ModelSpec::GaussianNb;
+        let result = cross_validate(&spec, &data, 4, Scoring::MacroF1, 2).unwrap();
+        assert!(result.mean > 0.8, "macro f1 {}", result.mean);
+    }
+}

@@ -1,0 +1,235 @@
+//! Bridging [`matilda_data::DataFrame`] tables into dense supervised datasets.
+
+use crate::error::{MlError, Result};
+use matilda_data::prelude::*;
+
+/// A dense supervised-learning view of a table: row-major features plus a
+/// target, with feature names retained for interpretability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Row-major feature matrix.
+    pub x: Vec<Vec<f64>>,
+    /// Numeric target (regression) or class codes as floats (classification).
+    pub y: Vec<f64>,
+    /// One name per feature column.
+    pub feature_names: Vec<String>,
+    /// For classification: the class labels, index = class code.
+    pub class_labels: Vec<String>,
+}
+
+impl Dataset {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// `true` when the dataset carries class labels (classification task).
+    pub fn is_classification(&self) -> bool {
+        !self.class_labels.is_empty()
+    }
+
+    /// Targets as class codes; errors when this is a regression dataset or a
+    /// target is not an integral code.
+    pub fn y_classes(&self) -> Result<Vec<usize>> {
+        if !self.is_classification() {
+            return Err(MlError::InvalidParameter(
+                "regression dataset has no classes".into(),
+            ));
+        }
+        self.y
+            .iter()
+            .map(|&v| {
+                if v >= 0.0 && v.fract() == 0.0 {
+                    Ok(v as usize)
+                } else {
+                    Err(MlError::InvalidParameter(format!(
+                        "non-integral class code {v}"
+                    )))
+                }
+            })
+            .collect()
+    }
+
+    /// Number of classes (0 for regression).
+    pub fn n_classes(&self) -> usize {
+        self.class_labels.len()
+    }
+
+    /// Select the subset of rows at `indices` (duplicates allowed).
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        for &i in indices {
+            if i >= self.n_rows() {
+                return Err(MlError::LengthMismatch {
+                    expected: self.n_rows(),
+                    got: i,
+                });
+            }
+        }
+        Ok(Dataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            class_labels: self.class_labels.clone(),
+        })
+    }
+
+    /// Build a **classification** dataset: numeric feature columns plus a
+    /// categorical/string (or integer) target column mapped to class codes.
+    pub fn classification(df: &DataFrame, features: &[&str], target: &str) -> Result<Dataset> {
+        let x = df.to_matrix(features)?;
+        let target_col = df.column(target)?;
+        let mut class_labels: Vec<String> = Vec::new();
+        let mut y = Vec::with_capacity(df.n_rows());
+        for v in target_col.iter() {
+            if v.is_null() {
+                return Err(MlError::InvalidParameter(format!(
+                    "null target in '{target}'"
+                )));
+            }
+            let label = v.to_string();
+            let code = match class_labels.iter().position(|l| *l == label) {
+                Some(i) => i,
+                None => {
+                    class_labels.push(label);
+                    class_labels.len() - 1
+                }
+            };
+            y.push(code as f64);
+        }
+        if x.is_empty() {
+            return Err(MlError::EmptyInput("classification dataset"));
+        }
+        Ok(Dataset {
+            x,
+            y,
+            feature_names: features.iter().map(|s| s.to_string()).collect(),
+            class_labels,
+        })
+    }
+
+    /// Build a **regression** dataset: numeric features and a numeric target.
+    pub fn regression(df: &DataFrame, features: &[&str], target: &str) -> Result<Dataset> {
+        let x = df.to_matrix(features)?;
+        let y_opt = df.column(target)?.to_f64()?;
+        let mut y = Vec::with_capacity(y_opt.len());
+        for v in y_opt {
+            y.push(
+                v.ok_or_else(|| MlError::InvalidParameter(format!("null target in '{target}'")))?,
+            );
+        }
+        if x.is_empty() {
+            return Err(MlError::EmptyInput("regression dataset"));
+        }
+        Ok(Dataset {
+            x,
+            y,
+            feature_names: features.iter().map(|s| s.to_string()).collect(),
+            class_labels: Vec::new(),
+        })
+    }
+}
+
+/// Validate that `x` is a non-empty rectangular matrix matching `y`.
+pub fn check_xy(x: &[Vec<f64>], y_len: usize) -> Result<usize> {
+    if x.is_empty() {
+        return Err(MlError::EmptyInput("feature matrix"));
+    }
+    let d = x[0].len();
+    if d == 0 {
+        return Err(MlError::EmptyInput("feature row"));
+    }
+    for row in x {
+        if row.len() != d {
+            return Err(MlError::DimensionMismatch {
+                expected: d,
+                got: row.len(),
+            });
+        }
+    }
+    if x.len() != y_len {
+        return Err(MlError::LengthMismatch {
+            expected: x.len(),
+            got: y_len,
+        });
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::Column;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("a", Column::from_f64(vec![1.0, 2.0, 3.0])),
+            ("b", Column::from_f64(vec![0.5, 1.5, 2.5])),
+            ("label", Column::from_categorical(&["yes", "no", "yes"])),
+            ("price", Column::from_f64(vec![10.0, 20.0, 30.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn classification_codes() {
+        let ds = Dataset::classification(&df(), &["a", "b"], "label").unwrap();
+        assert_eq!(ds.n_rows(), 3);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.class_labels, vec!["yes", "no"]);
+        assert_eq!(ds.y_classes().unwrap(), vec![0, 1, 0]);
+        assert!(ds.is_classification());
+    }
+
+    #[test]
+    fn regression_dataset() {
+        let ds = Dataset::regression(&df(), &["a"], "price").unwrap();
+        assert_eq!(ds.y, vec![10.0, 20.0, 30.0]);
+        assert!(!ds.is_classification());
+        assert!(ds.y_classes().is_err());
+    }
+
+    #[test]
+    fn integer_targets_are_classes() {
+        let d = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![0.0, 1.0])),
+            ("y", Column::from_i64(vec![7, 9])),
+        ])
+        .unwrap();
+        let ds = Dataset::classification(&d, &["x"], "y").unwrap();
+        assert_eq!(ds.class_labels, vec!["7", "9"]);
+        assert_eq!(ds.y_classes().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn null_target_rejected() {
+        let d = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![0.0, 1.0])),
+            ("y", Column::from_opt_f64(vec![Some(1.0), None])),
+        ])
+        .unwrap();
+        assert!(Dataset::regression(&d, &["x"], "y").is_err());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let ds = Dataset::classification(&df(), &["a"], "label").unwrap();
+        let sub = ds.subset(&[2, 0]).unwrap();
+        assert_eq!(sub.x, vec![vec![3.0], vec![1.0]]);
+        assert_eq!(sub.y, vec![0.0, 0.0]);
+        assert!(ds.subset(&[5]).is_err());
+    }
+
+    #[test]
+    fn check_xy_validates() {
+        assert_eq!(check_xy(&[vec![1.0, 2.0]], 1).unwrap(), 2);
+        assert!(check_xy(&[], 0).is_err());
+        assert!(check_xy(&[vec![]], 1).is_err());
+        assert!(check_xy(&[vec![1.0], vec![1.0, 2.0]], 2).is_err());
+        assert!(check_xy(&[vec![1.0]], 2).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for the ML substrate.
+
+use std::fmt;
+
+/// Errors produced while fitting or applying models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Training or prediction input was empty.
+    EmptyInput(&'static str),
+    /// Features and targets (or two matrices) disagree in length.
+    LengthMismatch { expected: usize, got: usize },
+    /// Rows disagree in feature dimensionality.
+    DimensionMismatch { expected: usize, got: usize },
+    /// A hyper-parameter was outside its valid domain.
+    InvalidParameter(String),
+    /// The model was used before fitting.
+    NotFitted(&'static str),
+    /// A numerical routine failed (singular matrix, divergence).
+    Numerical(String),
+    /// Underlying data error.
+    Data(matilda_data::DataError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            MlError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            MlError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} features, got {got}"
+                )
+            }
+            MlError::InvalidParameter(message) => write!(f, "invalid parameter: {message}"),
+            MlError::NotFitted(model) => write!(f, "{model} used before fit"),
+            MlError::Numerical(message) => write!(f, "numerical failure: {message}"),
+            MlError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<matilda_data::DataError> for MlError {
+    fn from(e: matilda_data::DataError) -> Self {
+        MlError::Data(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MlError::EmptyInput("x").to_string().contains("empty"));
+        assert!(MlError::NotFitted("knn").to_string().contains("before fit"));
+        assert!(MlError::DimensionMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("3"));
+    }
+
+    #[test]
+    fn from_data_error_keeps_source() {
+        let e: MlError = matilda_data::DataError::Empty("frame").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

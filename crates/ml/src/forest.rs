@@ -1,0 +1,332 @@
+//! Random forests: bagged CART trees with per-tree feature subsampling.
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::model::{Classifier, Regressor};
+use crate::tree::{grow_tree, Node};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One fitted ensemble member: the tree plus the feature subset it sees.
+#[derive(Debug, Clone)]
+struct Member {
+    root: Node,
+}
+
+fn bootstrap(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+fn feature_subset(d: usize, fraction: f64, rng: &mut impl Rng) -> Vec<usize> {
+    let m = ((d as f64 * fraction).ceil() as usize).clamp(1, d);
+    let mut all: Vec<usize> = (0..d).collect();
+    all.shuffle(rng);
+    all.truncate(m);
+    all.sort_unstable();
+    all
+}
+
+fn validate(n_trees: usize, max_depth: usize, feature_fraction: f64) -> Result<()> {
+    if n_trees == 0 {
+        return Err(MlError::InvalidParameter("n_trees must be >= 1".into()));
+    }
+    if max_depth == 0 {
+        return Err(MlError::InvalidParameter("max_depth must be >= 1".into()));
+    }
+    if !(0.0..=1.0).contains(&feature_fraction) || feature_fraction == 0.0 {
+        return Err(MlError::InvalidParameter(format!(
+            "feature_fraction {feature_fraction} outside (0,1]"
+        )));
+    }
+    Ok(())
+}
+
+fn leaf_distribution<'a>(node: &'a Node, row: &[f64]) -> &'a [f64] {
+    match descend(node, row) {
+        Node::Leaf { distribution, .. } => distribution,
+        Node::Split { .. } => unreachable!(),
+    }
+}
+
+fn leaf_value(node: &Node, row: &[f64]) -> f64 {
+    match descend(node, row) {
+        Node::Leaf { value, .. } => *value,
+        Node::Split { .. } => unreachable!(),
+    }
+}
+
+fn descend<'a>(node: &'a Node, row: &[f64]) -> &'a Node {
+    match node {
+        Node::Leaf { .. } => node,
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if row[*feature] < *threshold {
+                descend(left, row)
+            } else {
+                descend(right, row)
+            }
+        }
+    }
+}
+
+/// Random forest classifier: soft-vote over bagged Gini trees.
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    n_trees: usize,
+    max_depth: usize,
+    feature_fraction: f64,
+    seed: u64,
+    members: Vec<Member>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RandomForestClassifier {
+    /// A forest of `n_trees` trees, each on a bootstrap sample and a random
+    /// `feature_fraction` of the features, grown to `max_depth`.
+    pub fn new(n_trees: usize, max_depth: usize, feature_fraction: f64, seed: u64) -> Self {
+        Self {
+            n_trees,
+            max_depth,
+            feature_fraction,
+            seed,
+            members: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn n_fitted_trees(&self) -> usize {
+        self.members.len()
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        validate(self.n_trees, self.max_depth, self.feature_fraction)?;
+        let k = y.iter().copied().max().map_or(0, |m| m + 1);
+        if k < 2 {
+            return Err(MlError::InvalidParameter("need at least 2 classes".into()));
+        }
+        let y_f: Vec<f64> = y.iter().map(|&c| c as f64).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        self.members.clear();
+        for _ in 0..self.n_trees {
+            let rows = bootstrap(x.len(), &mut rng);
+            let features = feature_subset(d, self.feature_fraction, &mut rng);
+            let root = grow_tree(x, &y_f, &rows, &features, Some(k), self.max_depth, 2);
+            self.members.push(Member { root });
+        }
+        self.n_classes = k;
+        self.n_features = d;
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<usize> {
+        let p = self.predict_proba_one(row)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("fitted forest has classes"))
+    }
+
+    fn predict_proba_one(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if self.members.is_empty() {
+            return Err(MlError::NotFitted("random forest"));
+        }
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        let mut acc = vec![0.0; self.n_classes];
+        for m in &self.members {
+            for (a, &p) in acc.iter_mut().zip(leaf_distribution(&m.root, row)) {
+                *a += p;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        Ok(acc.into_iter().map(|v| v / total).collect())
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn name(&self) -> &'static str {
+        "forest"
+    }
+}
+
+/// Random forest regressor: mean over bagged variance-splitting trees.
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    n_trees: usize,
+    max_depth: usize,
+    feature_fraction: f64,
+    seed: u64,
+    members: Vec<Member>,
+    n_features: usize,
+}
+
+impl RandomForestRegressor {
+    /// See [`RandomForestClassifier::new`].
+    pub fn new(n_trees: usize, max_depth: usize, feature_fraction: f64, seed: u64) -> Self {
+        Self {
+            n_trees,
+            max_depth,
+            feature_fraction,
+            seed,
+            members: Vec::new(),
+            n_features: 0,
+        }
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        validate(self.n_trees, self.max_depth, self.feature_fraction)?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        self.members.clear();
+        for _ in 0..self.n_trees {
+            let rows = bootstrap(x.len(), &mut rng);
+            let features = feature_subset(d, self.feature_fraction, &mut rng);
+            let root = grow_tree(x, y, &rows, &features, None, self.max_depth, 2);
+            self.members.push(Member { root });
+        }
+        self.n_features = d;
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<f64> {
+        if self.members.is_empty() {
+            return Err(MlError::NotFitted("random forest"));
+        }
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        let sum: f64 = self.members.iter().map(|m| leaf_value(&m.root, row)).sum();
+        Ok(sum / self.members.len() as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_threshold(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Two informative features + one noise feature.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i % 17) as f64;
+            let b = (i % 13) as f64;
+            let noise = ((i * 7) % 11) as f64;
+            x.push(vec![a, b, noise]);
+            y.push(usize::from(a + b > 14.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn classifies_noisy_threshold() {
+        let (x, y) = noisy_threshold(120);
+        let mut m = RandomForestClassifier::new(25, 6, 0.8, 42);
+        m.fit(&x, &y).unwrap();
+        let preds = m.predict(&x).unwrap();
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.9, "train accuracy {acc}");
+        assert_eq!(m.n_fitted_trees(), 25);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_threshold(60);
+        let mut a = RandomForestClassifier::new(10, 4, 0.7, 9);
+        let mut b = RandomForestClassifier::new(10, 4, 0.7, 9);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let (x, y) = noisy_threshold(60);
+        let mut a = RandomForestClassifier::new(3, 3, 0.4, 1);
+        let mut b = RandomForestClassifier::new(3, 3, 0.4, 2);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        let pa: Vec<Vec<f64>> = x.iter().map(|r| a.predict_proba_one(r).unwrap()).collect();
+        let pb: Vec<Vec<f64>> = x.iter().map(|r| b.predict_proba_one(r).unwrap()).collect();
+        assert_ne!(pa, pb, "probability surfaces should differ across seeds");
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let (x, y) = noisy_threshold(60);
+        let mut m = RandomForestClassifier::new(7, 4, 0.6, 5);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_proba_one(&x[0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regressor_fits_smooth_function() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].sin() * 3.0).collect();
+        let mut m = RandomForestRegressor::new(30, 8, 1.0, 3);
+        m.fit(&x, &y).unwrap();
+        let preds = m.predict(&x).unwrap();
+        let mse = crate::metrics::mse(&y, &preds).unwrap();
+        assert!(mse < 0.1, "train mse {mse}");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let x = vec![vec![0.0], vec![1.0]];
+        assert!(RandomForestClassifier::new(0, 3, 0.5, 0)
+            .fit(&x, &[0, 1])
+            .is_err());
+        assert!(RandomForestClassifier::new(3, 0, 0.5, 0)
+            .fit(&x, &[0, 1])
+            .is_err());
+        assert!(RandomForestClassifier::new(3, 3, 0.0, 0)
+            .fit(&x, &[0, 1])
+            .is_err());
+        assert!(RandomForestClassifier::new(3, 3, 1.5, 0)
+            .fit(&x, &[0, 1])
+            .is_err());
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let m = RandomForestRegressor::new(3, 3, 0.5, 0);
+        assert!(m.predict_one(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn feature_subset_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let s = feature_subset(10, 0.3, &mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+        let one = feature_subset(4, 0.01, &mut rng);
+        assert_eq!(one.len(), 1, "at least one feature");
+    }
+}

@@ -1,0 +1,253 @@
+//! k-means clustering with k-means++ initialization.
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::linalg::euclidean;
+use rand::{Rng, SeedableRng};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    /// Fitted cluster centres; empty before fit.
+    centroids: Vec<Vec<f64>>,
+    /// Iterations run until convergence at the last fit.
+    iterations: usize,
+}
+
+impl KMeans {
+    /// A new model with `k` clusters, capped at `max_iters` Lloyd iterations.
+    pub fn new(k: usize, max_iters: usize, seed: u64) -> Self {
+        Self {
+            k,
+            max_iters,
+            seed,
+            centroids: Vec::new(),
+            iterations: 0,
+        }
+    }
+
+    /// Fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Lloyd iterations used by the last fit.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// k-means++ seeding: spread initial centroids proportionally to squared
+    /// distance from the nearest already-chosen centroid.
+    fn init_centroids(&self, x: &[Vec<f64>], rng: &mut impl Rng) -> Vec<Vec<f64>> {
+        let mut centroids = Vec::with_capacity(self.k);
+        centroids.push(x[rng.gen_range(0..x.len())].clone());
+        while centroids.len() < self.k {
+            let d2: Vec<f64> = x
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| euclidean(p, c).powi(2))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            if total == 0.0 {
+                // All points coincide with existing centroids; duplicate one.
+                centroids.push(centroids[0].clone());
+                continue;
+            }
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = x.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            centroids.push(x[chosen].clone());
+        }
+        centroids
+    }
+
+    /// Fit on row-major points; returns the final assignments.
+    pub fn fit(&mut self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
+        check_xy(x, x.len())?;
+        if self.k == 0 || self.k > x.len() {
+            return Err(MlError::InvalidParameter(format!(
+                "k={} invalid for {} points",
+                self.k,
+                x.len()
+            )));
+        }
+        if self.max_iters == 0 {
+            return Err(MlError::InvalidParameter("max_iters must be >= 1".into()));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut centroids = self.init_centroids(x, &mut rng);
+        let mut assignments = vec![0usize; x.len()];
+        self.iterations = 0;
+        for iter in 0..self.max_iters {
+            self.iterations = iter + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, p) in x.iter().enumerate() {
+                let best = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| euclidean(p, a.1).total_cmp(&euclidean(p, b.1)))
+                    .map(|(c, _)| c)
+                    .expect("k >= 1");
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+            // Update step; empty clusters keep their previous centroid.
+            let d = x[0].len();
+            let mut sums = vec![vec![0.0; d]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for (p, &a) in x.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, &v) in sums[a].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] > 0 {
+                    for (s, cur) in sums[c].iter_mut().zip(&mut centroids[c]) {
+                        *cur = *s / counts[c] as f64;
+                    }
+                }
+            }
+        }
+        self.centroids = centroids;
+        Ok(assignments)
+    }
+
+    /// Assign each point to its nearest fitted centroid.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
+        if self.centroids.is_empty() {
+            return Err(MlError::NotFitted("kmeans"));
+        }
+        x.iter()
+            .map(|p| {
+                if p.len() != self.centroids[0].len() {
+                    return Err(MlError::DimensionMismatch {
+                        expected: self.centroids[0].len(),
+                        got: p.len(),
+                    });
+                }
+                Ok(self
+                    .centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| euclidean(p, a.1).total_cmp(&euclidean(p, b.1)))
+                    .map(|(c, _)| c)
+                    .expect("k >= 1"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{inertia, silhouette};
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let j = (i % 5) as f64 * 0.05;
+            pts.push(vec![0.0 + j, 0.0]);
+            pts.push(vec![10.0 + j, 0.0]);
+            pts.push(vec![5.0 + j, 8.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let pts = three_blobs();
+        let mut km = KMeans::new(3, 100, 7);
+        let assignments = km.fit(&pts).unwrap();
+        // Points generated in rotation: blob membership is i % 3.
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                let same_blob = i % 3 == j % 3;
+                let same_cluster = assignments[i] == assignments[j];
+                assert_eq!(same_blob, same_cluster, "points {i} and {j}");
+            }
+        }
+        let s = silhouette(&pts, &assignments).unwrap();
+        assert!(s > 0.8, "silhouette {s}");
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = three_blobs();
+        let mut k1 = KMeans::new(1, 50, 0);
+        let a1 = k1.fit(&pts).unwrap();
+        let mut k3 = KMeans::new(3, 50, 0);
+        let a3 = k3.fit(&pts).unwrap();
+        let i1 = inertia(&pts, &a1, k1.centroids()).unwrap();
+        let i3 = inertia(&pts, &a3, k3.centroids()).unwrap();
+        assert!(
+            i3 < i1 / 10.0,
+            "k=3 should fit blobs far better ({i3} vs {i1})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = three_blobs();
+        let mut a = KMeans::new(3, 50, 11);
+        let mut b = KMeans::new(3, 50, 11);
+        assert_eq!(a.fit(&pts).unwrap(), b.fit(&pts).unwrap());
+    }
+
+    #[test]
+    fn predict_matches_fit_assignments() {
+        let pts = three_blobs();
+        let mut km = KMeans::new(3, 50, 2);
+        let fitted = km.fit(&pts).unwrap();
+        assert_eq!(km.predict(&pts).unwrap(), fitted);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        assert!(KMeans::new(0, 10, 0).fit(&pts).is_err());
+        assert!(KMeans::new(3, 10, 0).fit(&pts).is_err());
+        assert!(KMeans::new(1, 0, 0).fit(&pts).is_err());
+    }
+
+    #[test]
+    fn not_fitted_predict_errors() {
+        assert!(KMeans::new(2, 10, 0).predict(&[vec![0.0]]).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![vec![1.0, 1.0]; 5];
+        let mut km = KMeans::new(2, 10, 0);
+        let assignments = km.fit(&pts).unwrap();
+        assert_eq!(assignments.len(), 5);
+    }
+
+    #[test]
+    fn k_equals_n_memorizes() {
+        let pts = vec![vec![0.0], vec![5.0], vec![10.0]];
+        let mut km = KMeans::new(3, 10, 4);
+        let assignments = km.fit(&pts).unwrap();
+        let unique: std::collections::HashSet<usize> = assignments.iter().copied().collect();
+        assert_eq!(unique.len(), 3, "each point gets its own cluster");
+    }
+}

@@ -1,0 +1,233 @@
+//! k-nearest-neighbour classification and regression.
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::linalg::euclidean;
+use crate::model::{Classifier, Regressor};
+
+/// Indices and distances of the `k` nearest stored rows to `row`.
+fn nearest(train: &[Vec<f64>], row: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut dists: Vec<(usize, f64)> = train
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, euclidean(t, row)))
+        .collect();
+    dists.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    dists.truncate(k);
+    dists
+}
+
+/// k-NN classifier with majority vote (ties break to the lowest class code).
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// A new classifier voting over `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        check_xy(x, y.len())?;
+        if self.k == 0 {
+            return Err(MlError::InvalidParameter("k must be >= 1".into()));
+        }
+        if self.k > x.len() {
+            return Err(MlError::InvalidParameter(format!(
+                "k={} exceeds {} training rows",
+                self.k,
+                x.len()
+            )));
+        }
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+        self.n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<usize> {
+        let p = self.predict_proba_one(row)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("fitted model has classes"))
+    }
+
+    fn predict_proba_one(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if self.x.is_empty() {
+            return Err(MlError::NotFitted("knn classifier"));
+        }
+        if row.len() != self.x[0].len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.x[0].len(),
+                got: row.len(),
+            });
+        }
+        let mut votes = vec![0.0; self.n_classes];
+        for (i, _) in nearest(&self.x, row, self.k) {
+            votes[self.y[i]] += 1.0;
+        }
+        let total: f64 = votes.iter().sum();
+        Ok(votes.into_iter().map(|v| v / total).collect())
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+/// k-NN regressor averaging the targets of the `k` nearest neighbours.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// A new regressor averaging over `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        check_xy(x, y.len())?;
+        if self.k == 0 || self.k > x.len() {
+            return Err(MlError::InvalidParameter(format!(
+                "k={} invalid for {} rows",
+                self.k,
+                x.len()
+            )));
+        }
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<f64> {
+        if self.x.is_empty() {
+            return Err(MlError::NotFitted("knn regressor"));
+        }
+        if row.len() != self.x[0].len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.x[0].len(),
+                got: row.len(),
+            });
+        }
+        let neighbours = nearest(&self.x, row, self.k);
+        Ok(neighbours.iter().map(|&(i, _)| self.y[i]).sum::<f64>() / self.k as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorizes() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![0, 1, 0];
+        let mut m = KnnClassifier::new(1);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn majority_vote() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2], vec![10.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut m = KnnClassifier::new(3);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(
+            m.predict_one(&[0.05]).unwrap(),
+            0,
+            "two of three nearest are class 0"
+        );
+    }
+
+    #[test]
+    fn proba_reflects_vote_shares() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2]];
+        let y = vec![0, 0, 1];
+        let mut m = KnnClassifier::new(3);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_proba_one(&[0.0]).unwrap();
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_validation() {
+        let x = vec![vec![0.0], vec![1.0]];
+        assert!(KnnClassifier::new(0).fit(&x, &[0, 1]).is_err());
+        assert!(KnnClassifier::new(3).fit(&x, &[0, 1]).is_err());
+        assert!(KnnRegressor::new(5).fit(&x, &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn regressor_averages() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0.0, 10.0, 20.0, 30.0];
+        let mut m = KnnRegressor::new(2);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(
+            m.predict_one(&[0.4]).unwrap(),
+            5.0,
+            "mean of two nearest targets"
+        );
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        assert!(KnnClassifier::new(1).predict_one(&[0.0]).is_err());
+        assert!(KnnRegressor::new(1).predict_one(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let mut m = KnnRegressor::new(1);
+        m.fit(&[vec![0.0, 1.0]], &[1.0]).unwrap();
+        assert!(m.predict_one(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Equidistant neighbours with different labels: stable result by index.
+        let x = vec![vec![-1.0], vec![1.0]];
+        let y = vec![1, 0];
+        let mut m = KnnClassifier::new(1);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(
+            m.predict_one(&[0.0]).unwrap(),
+            1,
+            "lower index wins the distance tie"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # matilda-ml
+//!
+//! From-scratch machine learning library powering MATILDA pipelines: the
+//! *training*, *testing* and *assessment* phases of the platform.
+//!
+//! Estimators implement the [`model::Classifier`] / [`model::Regressor`]
+//! traits and are instantiated dynamically from declarative
+//! [`model::ModelSpec`]s so that the creativity engine can mutate model
+//! choice and hyper-parameters as data:
+//!
+//! - [`linear`]: OLS / ridge regression (normal equations);
+//! - [`logistic`]: multinomial logistic regression (gradient descent);
+//! - [`naive_bayes`]: Gaussian naive Bayes;
+//! - [`knn`]: k-nearest-neighbour classifier and regressor;
+//! - [`tree`]: CART decision trees (Gini / variance);
+//! - [`forest`]: bagged random forests;
+//! - [`mlp`]: one-hidden-layer perceptron (the paper's cited family);
+//! - [`boost`]: gradient-boosted shallow trees;
+//! - [`kmeans`]: k-means with k-means++ seeding;
+//! - [`pca`]: principal component analysis;
+//! - [`metrics`]: classification, regression and clustering metrics;
+//! - [`cv`]: deterministic k-fold cross-validation;
+//! - [`importance`]: model-agnostic permutation feature importance.
+//!
+//! ```
+//! use matilda_ml::prelude::*;
+//! use matilda_data::{Column, DataFrame};
+//!
+//! let df = DataFrame::from_columns(vec![
+//!     ("x", Column::from_f64((0..40).map(f64::from).collect())),
+//!     ("y", Column::from_categorical(
+//!         &(0..40).map(|i| if i < 20 { "a" } else { "b" }).collect::<Vec<_>>())),
+//! ]).unwrap();
+//! let data = Dataset::classification(&df, &["x"], "y").unwrap();
+//! let spec = ModelSpec::Tree { max_depth: 3, min_samples_split: 2 };
+//! let cv = cross_validate(&spec, &data, 4, Scoring::Accuracy, 42).unwrap();
+//! assert!(cv.mean > 0.9);
+//! ```
+
+pub mod boost;
+pub mod cv;
+pub mod dataset;
+pub mod error;
+pub mod forest;
+pub mod importance;
+pub mod kmeans;
+pub mod knn;
+pub mod linalg;
+pub mod linear;
+pub mod logistic;
+pub mod metrics;
+pub mod mlp;
+pub mod model;
+pub mod naive_bayes;
+pub mod pca;
+pub mod tree;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::cv::{cross_validate, holdout_score, CvResult, Scoring};
+    pub use crate::dataset::Dataset;
+    pub use crate::error::{MlError, Result};
+    pub use crate::importance::{permutation_importance, FeatureImportance};
+    pub use crate::kmeans::KMeans;
+    pub use crate::metrics;
+    pub use crate::model::{Classifier, ModelSpec, Regressor};
+    pub use crate::pca::Pca;
+}
+
+pub use cv::{cross_validate, holdout_score, CvResult, Scoring};
+pub use dataset::Dataset;
+pub use error::{MlError, Result};
+pub use model::{Classifier, ModelSpec, Regressor};

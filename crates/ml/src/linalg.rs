@@ -1,0 +1,288 @@
+//! Minimal dense linear algebra used by the analytical estimators.
+#![allow(clippy::needless_range_loop)] // index-form reads clearest for matrix math
+//!
+//! Matrices are row-major `Vec<Vec<f64>>`. These routines are O(n³) and meant
+//! for the modest dimensionalities of tabular pipelines, not BLAS workloads.
+
+use crate::error::{MlError, Result};
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// `Aᵀ A` for a row-major matrix (n×d → d×d).
+pub fn gram(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let d = a.first().map_or(0, Vec::len);
+    let mut g = vec![vec![0.0; d]; d];
+    for row in a {
+        for i in 0..d {
+            for j in i..d {
+                g[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..d {
+        for j in 0..i {
+            g[i][j] = g[j][i];
+        }
+    }
+    g
+}
+
+/// `Aᵀ y` for a row-major matrix and a vector.
+pub fn xt_y(a: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    let d = a.first().map_or(0, Vec::len);
+    let mut out = vec![0.0; d];
+    for (row, &target) in a.iter().zip(y) {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v * target;
+        }
+    }
+    out
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// `a` is consumed as the working copy. Errors on singular systems.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = a.len();
+    if n == 0 {
+        return Err(MlError::EmptyInput("linear system"));
+    }
+    if a.iter().any(|row| row.len() != n) || b.len() != n {
+        return Err(MlError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
+    }
+    for col in 0..n {
+        // Partial pivot: largest |a[row][col]| among remaining rows.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(MlError::Numerical(format!(
+                "singular matrix at column {col}"
+            )));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Covariance matrix of row-major data (features centred internally).
+pub fn covariance(rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    let n = rows.len();
+    if n < 2 {
+        return Err(MlError::EmptyInput("covariance needs >= 2 rows"));
+    }
+    let d = rows[0].len();
+    let mut means = vec![0.0; d];
+    for row in rows {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    let mut cov = vec![vec![0.0; d]; d];
+    for row in rows {
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] += (row[i] - means[i]) * (row[j] - means[j]);
+            }
+        }
+    }
+    for i in 0..d {
+        for j in i..d {
+            cov[i][j] /= (n - 1) as f64;
+            cov[j][i] = cov[i][j];
+        }
+    }
+    Ok(cov)
+}
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// eigenvectors are rows of the returned matrix.
+pub fn jacobi_eigen(mut a: Vec<Vec<f64>>, max_sweeps: usize) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
+    let n = a.len();
+    if n == 0 {
+        return Err(MlError::EmptyInput("matrix"));
+    }
+    let mut v = identity(n);
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|i| (a[i][i], (0..n).map(|k| v[k][i]).collect()))
+        .collect();
+    pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
+    let values = pairs.iter().map(|(e, _)| *e).collect();
+    let vectors = pairs.into_iter().map(|(_, vec)| vec).collect();
+    Ok((values, vectors))
+}
+
+/// The n×n identity matrix.
+pub fn identity(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| f64::from(u8::from(i == j))).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_distance() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn gram_matrix() {
+        let a = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let g = gram(&a);
+        assert_eq!(g, vec![vec![10.0, 14.0], vec![14.0, 20.0]]);
+    }
+
+    #[test]
+    fn xt_y_matches_manual() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 2.0]];
+        assert_eq!(xt_y(&a, &[3.0, 4.0]), vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn solve_2x2() {
+        // x + y = 3 ; 2x - y = 0  =>  x = 1, y = 2
+        let x = solve(vec![vec![1.0, 1.0], vec![2.0, -1.0]], vec![3.0, 0.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let x = solve(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn solve_singular_errors() {
+        let err = solve(vec![vec![1.0, 2.0], vec![2.0, 4.0]], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, MlError::Numerical(_)));
+    }
+
+    #[test]
+    fn solve_dimension_checked() {
+        assert!(solve(vec![vec![1.0, 2.0]], vec![1.0]).is_err());
+        assert!(solve(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn covariance_diagonal() {
+        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let c = covariance(&rows).unwrap();
+        assert!((c[0][0] - 1.0).abs() < 1e-12);
+        assert!((c[1][1] - 100.0).abs() < 1e-12);
+        assert!((c[0][1] - 10.0).abs() < 1e-12, "perfectly correlated");
+    }
+
+    #[test]
+    fn jacobi_on_diagonal_matrix() {
+        let (vals, _) = jacobi_eigen(vec![vec![3.0, 0.0], vec![0.0, 1.0]], 30).unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let (vals, vecs) = jacobi_eigen(vec![vec![2.0, 1.0], vec![1.0, 2.0]], 30).unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v = &vecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        assert!((v[0] - v[1]).abs() < 1e-6 || (v[0] + v[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_shape() {
+        let i = identity(3);
+        assert_eq!(i[1][1], 1.0);
+        assert_eq!(i[0][2], 0.0);
+    }
+}

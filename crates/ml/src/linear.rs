@@ -1,0 +1,174 @@
+//! Ordinary least squares / ridge regression solved by the normal equations.
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::linalg;
+use crate::model::Regressor;
+
+/// Linear regression `y = w·x + b`, optionally ridge-regularized.
+///
+/// Fitting solves `(XᵀX + λI) w = Xᵀy` with an intercept column appended
+/// (the intercept is not penalized when `ridge > 0`).
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    ridge: f64,
+    /// Learned weights, one per feature; empty before fit.
+    weights: Vec<f64>,
+    /// Learned intercept.
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// A new model with L2 penalty `ridge` (0 for OLS).
+    pub fn new(ridge: f64) -> Self {
+        Self {
+            ridge,
+            weights: Vec::new(),
+            intercept: 0.0,
+        }
+    }
+
+    /// Learned coefficients (empty before fit).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        if self.ridge < 0.0 {
+            return Err(MlError::InvalidParameter(format!(
+                "ridge {} < 0",
+                self.ridge
+            )));
+        }
+        // Design matrix with trailing intercept column of ones.
+        let design: Vec<Vec<f64>> = x
+            .iter()
+            .map(|row| {
+                let mut r = row.clone();
+                r.push(1.0);
+                r
+            })
+            .collect();
+        let mut gram = linalg::gram(&design);
+        for (i, row) in gram.iter_mut().enumerate().take(d) {
+            row[i] += self.ridge; // do not penalise the intercept (index d)
+        }
+        let rhs = linalg::xt_y(&design, y);
+        let solution = linalg::solve(gram, rhs)?;
+        self.intercept = solution[d];
+        self.weights = solution[..d].to_vec();
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<f64> {
+        if self.weights.is_empty() {
+            return Err(MlError::NotFitted("linear regression"));
+        }
+        if row.len() != self.weights.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.weights.len(),
+                got: row.len(),
+            });
+        }
+        Ok(linalg::dot(&self.weights, row) + self.intercept)
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        // y = 2x + 1
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let mut m = LinearRegression::new(0.0);
+        m.fit(&x, &y).unwrap();
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-9);
+        assert!((m.intercept() - 1.0).abs() < 1e-9);
+        assert!((m.predict_one(&[100.0]).unwrap() - 201.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_multivariate() {
+        // y = 3a - 2b + 5
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                x.push(vec![a as f64, b as f64]);
+                y.push(3.0 * a as f64 - 2.0 * b as f64 + 5.0);
+            }
+        }
+        let mut m = LinearRegression::new(0.0);
+        m.fit(&x, &y).unwrap();
+        assert!((m.coefficients()[0] - 3.0).abs() < 1e-9);
+        assert!((m.coefficients()[1] + 2.0).abs() < 1e-9);
+        assert!((m.intercept() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| 4.0 * i as f64).collect();
+        let mut ols = LinearRegression::new(0.0);
+        ols.fit(&x, &y).unwrap();
+        let mut ridge = LinearRegression::new(100.0);
+        ridge.fit(&x, &y).unwrap();
+        assert!(ridge.coefficients()[0].abs() < ols.coefficients()[0].abs());
+        assert!(ridge.coefficients()[0] > 0.0);
+    }
+
+    #[test]
+    fn negative_ridge_rejected() {
+        let mut m = LinearRegression::new(-1.0);
+        assert!(m.fit(&[vec![1.0]], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let m = LinearRegression::new(0.0);
+        assert!(matches!(m.predict_one(&[1.0]), Err(MlError::NotFitted(_))));
+    }
+
+    #[test]
+    fn predict_dimension_checked() {
+        let mut m = LinearRegression::new(0.0);
+        m.fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0]).unwrap();
+        assert!(m.predict_one(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn collinear_features_error_without_ridge_but_fit_with() {
+        // Second feature duplicates the first: singular gram matrix.
+        let x: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let mut ols = LinearRegression::new(0.0);
+        assert!(ols.fit(&x, &y).is_err());
+        let mut ridge = LinearRegression::new(1e-3);
+        ridge.fit(&x, &y).unwrap();
+        assert!((ridge.predict_one(&[3.0, 3.0]).unwrap() - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn batch_predict() {
+        let mut m = LinearRegression::new(0.0);
+        m.fit(&[vec![0.0], vec![1.0]], &[0.0, 1.0]).unwrap();
+        let preds = m.predict(&[vec![2.0], vec![3.0]]).unwrap();
+        assert!((preds[0] - 2.0).abs() < 1e-9);
+        assert!((preds[1] - 3.0).abs() < 1e-9);
+    }
+}

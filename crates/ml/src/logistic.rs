@@ -1,0 +1,231 @@
+//! Multinomial logistic regression trained by batch gradient descent.
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::linalg::dot;
+use crate::model::Classifier;
+
+/// Softmax over raw scores, numerically stabilized.
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Multinomial (softmax) logistic regression with L2 regularization.
+///
+/// One weight vector + bias per class, trained by full-batch gradient
+/// descent on the cross-entropy loss. Deterministic: weights start at zero.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    learning_rate: f64,
+    epochs: usize,
+    l2: f64,
+    /// Per-class weight vectors; empty before fit.
+    weights: Vec<Vec<f64>>,
+    /// Per-class biases.
+    biases: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// A new model; `l2` is the L2 penalty coefficient.
+    pub fn new(learning_rate: f64, epochs: usize, l2: f64) -> Self {
+        Self {
+            learning_rate,
+            epochs,
+            l2,
+            weights: Vec::new(),
+            biases: Vec::new(),
+        }
+    }
+
+    fn scores(&self, row: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, b)| dot(w, row) + b)
+            .collect()
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        if self.learning_rate <= 0.0 {
+            return Err(MlError::InvalidParameter(
+                "learning_rate must be positive".into(),
+            ));
+        }
+        if self.epochs == 0 {
+            return Err(MlError::InvalidParameter("epochs must be positive".into()));
+        }
+        let k = y.iter().copied().max().map_or(0, |m| m + 1);
+        if k < 2 {
+            return Err(MlError::InvalidParameter("need at least 2 classes".into()));
+        }
+        let n = x.len() as f64;
+        self.weights = vec![vec![0.0; d]; k];
+        self.biases = vec![0.0; k];
+        let mut grad_w = vec![vec![0.0; d]; k];
+        let mut grad_b = vec![0.0; k];
+        for _ in 0..self.epochs {
+            for g in grad_w.iter_mut() {
+                g.iter_mut().for_each(|v| *v = 0.0);
+            }
+            grad_b.iter_mut().for_each(|v| *v = 0.0);
+            for (row, &label) in x.iter().zip(y) {
+                let p = softmax(&self.scores(row));
+                for c in 0..k {
+                    let err = p[c] - f64::from(u8::from(c == label));
+                    for (g, &v) in grad_w[c].iter_mut().zip(row) {
+                        *g += err * v;
+                    }
+                    grad_b[c] += err;
+                }
+            }
+            for c in 0..k {
+                for (w, g) in self.weights[c].iter_mut().zip(&grad_w[c]) {
+                    *w -= self.learning_rate * (g / n + self.l2 * *w);
+                }
+                self.biases[c] -= self.learning_rate * grad_b[c] / n;
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<usize> {
+        let p = self.predict_proba_one(row)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty probabilities"))
+    }
+
+    fn predict_proba_one(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if self.weights.is_empty() {
+            return Err(MlError::NotFitted("logistic regression"));
+        }
+        if row.len() != self.weights[0].len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.weights[0].len(),
+                got: row.len(),
+            });
+        }
+        Ok(softmax(&self.scores(row)))
+    }
+
+    fn n_classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 / 20.0;
+            x.push(vec![t, t + 0.5]);
+            y.push(0);
+            x.push(vec![t + 3.0, t + 3.5]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_large_scores_stable() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!(p[1] > p[0]);
+    }
+
+    #[test]
+    fn learns_separable_binary() {
+        let (x, y) = separable();
+        let mut m = LogisticRegression::new(0.5, 300, 0.0);
+        m.fit(&x, &y).unwrap();
+        let preds = m.predict(&x).unwrap();
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn three_class_blobs() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..15 {
+            let t = i as f64 * 0.01;
+            x.push(vec![0.0 + t, 0.0]);
+            y.push(0);
+            x.push(vec![5.0 + t, 0.0]);
+            y.push(1);
+            x.push(vec![2.5 + t, 5.0]);
+            y.push(2);
+        }
+        let mut m = LogisticRegression::new(0.5, 500, 0.0);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.n_classes(), 3);
+        assert_eq!(m.predict_one(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(m.predict_one(&[5.0, 0.0]).unwrap(), 1);
+        assert_eq!(m.predict_one(&[2.5, 5.0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (x, y) = separable();
+        let mut m = LogisticRegression::new(0.5, 100, 0.01);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_proba_one(&[0.0, 0.5]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn l2_shrinks_confidence() {
+        let (x, y) = separable();
+        let mut free = LogisticRegression::new(0.5, 300, 0.0);
+        free.fit(&x, &y).unwrap();
+        let mut reg = LogisticRegression::new(0.5, 300, 1.0);
+        reg.fit(&x, &y).unwrap();
+        let pf = free.predict_proba_one(&x[0]).unwrap()[0];
+        let pr = reg.predict_proba_one(&x[0]).unwrap()[0];
+        assert!(
+            pf > pr,
+            "regularized model should be less confident ({pf} vs {pr})"
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let (x, y) = separable();
+        assert!(LogisticRegression::new(0.0, 10, 0.0).fit(&x, &y).is_err());
+        assert!(LogisticRegression::new(0.1, 0, 0.0).fit(&x, &y).is_err());
+        assert!(LogisticRegression::new(0.1, 10, 0.0)
+            .fit(&x, &[0; 40])
+            .is_err());
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let m = LogisticRegression::new(0.1, 10, 0.0);
+        assert!(m.predict_proba_one(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! Classification metrics.
+
+use crate::error::{MlError, Result};
+
+fn check_lengths(a: usize, b: usize) -> Result<()> {
+    if a == 0 {
+        return Err(MlError::EmptyInput("metric input"));
+    }
+    if a != b {
+        return Err(MlError::LengthMismatch {
+            expected: a,
+            got: b,
+        });
+    }
+    Ok(())
+}
+
+/// Fraction of predictions equal to the truth.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> Result<f64> {
+    check_lengths(y_true.len(), y_pred.len())?;
+    let hits = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    Ok(hits as f64 / y_true.len() as f64)
+}
+
+/// A k×k confusion matrix; `counts[t][p]` counts true class `t` predicted `p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Row = true class, column = predicted class.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True positives of class `c`.
+    pub fn tp(&self, c: usize) -> usize {
+        self.counts[c][c]
+    }
+
+    /// False positives of class `c` (predicted `c`, truth differs).
+    pub fn fp(&self, c: usize) -> usize {
+        (0..self.n_classes())
+            .filter(|&t| t != c)
+            .map(|t| self.counts[t][c])
+            .sum()
+    }
+
+    /// False negatives of class `c` (truth `c`, predicted otherwise).
+    pub fn fn_(&self, c: usize) -> usize {
+        (0..self.n_classes())
+            .filter(|&p| p != c)
+            .map(|p| self.counts[c][p])
+            .sum()
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .sum()
+    }
+}
+
+/// Build the confusion matrix over `n_classes` classes.
+pub fn confusion_matrix(
+    y_true: &[usize],
+    y_pred: &[usize],
+    n_classes: usize,
+) -> Result<ConfusionMatrix> {
+    check_lengths(y_true.len(), y_pred.len())?;
+    let mut counts = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        if t >= n_classes || p >= n_classes {
+            return Err(MlError::InvalidParameter(format!(
+                "class code out of range: true={t} pred={p} n_classes={n_classes}"
+            )));
+        }
+        counts[t][p] += 1;
+    }
+    Ok(ConfusionMatrix { counts })
+}
+
+/// Precision of `positive`: TP / (TP + FP); 0 when the denominator is 0.
+pub fn precision(y_true: &[usize], y_pred: &[usize], positive: usize) -> Result<f64> {
+    let n = 1 + y_true
+        .iter()
+        .chain(y_pred)
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(positive);
+    let cm = confusion_matrix(y_true, y_pred, n)?;
+    let denom = cm.tp(positive) + cm.fp(positive);
+    Ok(if denom == 0 {
+        0.0
+    } else {
+        cm.tp(positive) as f64 / denom as f64
+    })
+}
+
+/// Recall of `positive`: TP / (TP + FN); 0 when the denominator is 0.
+pub fn recall(y_true: &[usize], y_pred: &[usize], positive: usize) -> Result<f64> {
+    let n = 1 + y_true
+        .iter()
+        .chain(y_pred)
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(positive);
+    let cm = confusion_matrix(y_true, y_pred, n)?;
+    let denom = cm.tp(positive) + cm.fn_(positive);
+    Ok(if denom == 0 {
+        0.0
+    } else {
+        cm.tp(positive) as f64 / denom as f64
+    })
+}
+
+/// F1 of `positive`: harmonic mean of precision and recall.
+pub fn f1_score(y_true: &[usize], y_pred: &[usize], positive: usize) -> Result<f64> {
+    let p = precision(y_true, y_pred, positive)?;
+    let r = recall(y_true, y_pred, positive)?;
+    Ok(if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    })
+}
+
+/// Macro-averaged F1 over `n_classes` classes.
+pub fn macro_f1(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Result<f64> {
+    if n_classes == 0 {
+        return Err(MlError::InvalidParameter(
+            "macro_f1 needs n_classes > 0".into(),
+        ));
+    }
+    let mut sum = 0.0;
+    for c in 0..n_classes {
+        sum += f1_score(y_true, y_pred, c)?;
+    }
+    Ok(sum / n_classes as f64)
+}
+
+/// Area under the ROC curve for binary labels and positive-class scores,
+/// computed via the Mann-Whitney U statistic with tie correction.
+pub fn roc_auc(y_true: &[usize], scores: &[f64]) -> Result<f64> {
+    check_lengths(y_true.len(), scores.len())?;
+    let n_pos = y_true.iter().filter(|&&t| t == 1).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(MlError::InvalidParameter(
+            "roc_auc needs both classes present".into(),
+        ));
+    }
+    if y_true.iter().any(|&t| t > 1) {
+        return Err(MlError::InvalidParameter(
+            "roc_auc is binary; labels must be 0/1".into(),
+        ));
+    }
+    // Rank scores ascending, averaging ranks over ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Ok(u / (n_pos * n_neg) as f64)
+}
+
+/// Multiclass cross-entropy for predicted probability rows.
+pub fn log_loss(y_true: &[usize], probas: &[Vec<f64>]) -> Result<f64> {
+    check_lengths(y_true.len(), probas.len())?;
+    const EPS: f64 = 1e-15;
+    let mut total = 0.0;
+    for (&t, p) in y_true.iter().zip(probas) {
+        let pt = p.get(t).copied().ok_or_else(|| {
+            MlError::InvalidParameter(format!("class {t} missing from probability row"))
+        })?;
+        total -= pt.clamp(EPS, 1.0).ln();
+    }
+    Ok(total / y_true.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]).unwrap(), 0.75);
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let cm = confusion_matrix(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0], 2).unwrap();
+        assert_eq!(cm.counts, vec![vec![1, 1], vec![1, 2]]);
+        assert_eq!(cm.tp(1), 2);
+        assert_eq!(cm.fp(1), 1);
+        assert_eq!(cm.fn_(1), 1);
+        assert_eq!(cm.total(), 5);
+    }
+
+    #[test]
+    fn confusion_range_checked() {
+        assert!(confusion_matrix(&[2], &[0], 2).is_err());
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let t = [1, 1, 1, 0, 0];
+        let p = [1, 1, 0, 1, 0];
+        assert!((precision(&t, &p, 1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall(&t, &p, 1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f1_score(&t, &p, 1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_precision_is_zero() {
+        // Nothing predicted positive.
+        assert_eq!(precision(&[1, 0], &[0, 0], 1).unwrap(), 0.0);
+        assert_eq!(f1_score(&[0, 0], &[0, 0], 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_averages() {
+        let t = [0, 0, 1, 1];
+        let p = [0, 0, 1, 1];
+        assert!((macro_f1(&t, &p, 2).unwrap() - 1.0).abs() < 1e-12);
+        assert!(macro_f1(&t, &p, 0).is_err());
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let t = [0, 0, 1, 1];
+        assert_eq!(roc_auc(&t, &[0.1, 0.2, 0.8, 0.9]).unwrap(), 1.0);
+        assert_eq!(roc_auc(&t, &[0.9, 0.8, 0.2, 0.1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let t = [0, 1, 0, 1];
+        let s = [0.5, 0.5, 0.5, 0.5];
+        assert!(
+            (roc_auc(&t, &s).unwrap() - 0.5).abs() < 1e-12,
+            "ties average to 0.5"
+        );
+    }
+
+    #[test]
+    fn auc_needs_both_classes() {
+        assert!(roc_auc(&[1, 1], &[0.1, 0.2]).is_err());
+        assert!(roc_auc(&[0, 2], &[0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won = 3 of 4 -> 0.75
+        let t = [1, 0, 1, 0];
+        let s = [0.8, 0.6, 0.4, 0.2];
+        assert!((roc_auc(&t, &s).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_confident_correct_is_small() {
+        let t = [0, 1];
+        let good = vec![vec![0.99, 0.01], vec![0.01, 0.99]];
+        let bad = vec![vec![0.01, 0.99], vec![0.99, 0.01]];
+        assert!(log_loss(&t, &good).unwrap() < log_loss(&t, &bad).unwrap());
+    }
+
+    #[test]
+    fn log_loss_clamps_zero_probability() {
+        let t = [0];
+        let p = vec![vec![0.0, 1.0]];
+        assert!(log_loss(&t, &p).unwrap().is_finite());
+    }
+}

@@ -1,0 +1,150 @@
+//! Clustering quality metrics.
+
+use crate::error::{MlError, Result};
+use crate::linalg::euclidean;
+
+/// Sum of squared distances from each point to its assigned centroid.
+pub fn inertia(points: &[Vec<f64>], assignments: &[usize], centroids: &[Vec<f64>]) -> Result<f64> {
+    if points.is_empty() {
+        return Err(MlError::EmptyInput("points"));
+    }
+    if points.len() != assignments.len() {
+        return Err(MlError::LengthMismatch {
+            expected: points.len(),
+            got: assignments.len(),
+        });
+    }
+    let mut total = 0.0;
+    for (p, &a) in points.iter().zip(assignments) {
+        let c = centroids
+            .get(a)
+            .ok_or_else(|| MlError::InvalidParameter(format!("assignment {a} has no centroid")))?;
+        total += euclidean(p, c).powi(2);
+    }
+    Ok(total)
+}
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`.
+///
+/// For each point: `a` is the mean distance to points in its own cluster,
+/// `b` the smallest mean distance to another cluster; the silhouette is
+/// `(b - a) / max(a, b)`. Singleton clusters contribute 0, matching the
+/// standard convention.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64> {
+    if points.is_empty() {
+        return Err(MlError::EmptyInput("points"));
+    }
+    if points.len() != assignments.len() {
+        return Err(MlError::LengthMismatch {
+            expected: points.len(),
+            got: assignments.len(),
+        });
+    }
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return Err(MlError::InvalidParameter(
+            "silhouette needs at least 2 clusters".into(),
+        ));
+    }
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        members[a].push(i);
+    }
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let own = assignments[i];
+        if members[own].len() <= 1 {
+            continue; // silhouette of a singleton is 0
+        }
+        let a: f64 = members[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| euclidean(p, &points[j]))
+            .sum::<f64>()
+            / (members[own].len() - 1) as f64;
+        let mut b = f64::INFINITY;
+        for (c, cluster) in members.iter().enumerate() {
+            if c == own || cluster.is_empty() {
+                continue;
+            }
+            let mean_d: f64 = cluster
+                .iter()
+                .map(|&j| euclidean(p, &points[j]))
+                .sum::<f64>()
+                / cluster.len() as f64;
+            b = b.min(mean_d);
+        }
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    Ok(total / points.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ];
+        let assignments = vec![0, 0, 0, 1, 1, 1];
+        (points, assignments)
+    }
+
+    #[test]
+    fn inertia_at_centroids_zero() {
+        let points = vec![vec![1.0, 1.0], vec![3.0, 3.0]];
+        let centroids = points.clone();
+        assert_eq!(inertia(&points, &[0, 1], &centroids).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inertia_known() {
+        let points = vec![vec![0.0], vec![2.0]];
+        let centroids = vec![vec![1.0]];
+        assert_eq!(inertia(&points, &[0, 0], &centroids).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn inertia_bad_assignment_errors() {
+        assert!(inertia(&[vec![0.0]], &[1], &[vec![0.0]]).is_err());
+    }
+
+    #[test]
+    fn silhouette_well_separated_near_one() {
+        let (points, assignments) = two_blobs();
+        let s = silhouette(&points, &assignments).unwrap();
+        assert!(
+            s > 0.95,
+            "well separated blobs should score near 1, got {s}"
+        );
+    }
+
+    #[test]
+    fn silhouette_bad_assignment_low() {
+        let (points, _) = two_blobs();
+        // Deliberately mix the clusters.
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let s = silhouette(&points, &bad).unwrap();
+        assert!(s < 0.0, "mixed clusters should score negative, got {s}");
+    }
+
+    #[test]
+    fn silhouette_needs_two_clusters() {
+        assert!(silhouette(&[vec![0.0], vec![1.0]], &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn silhouette_singletons_contribute_zero() {
+        let points = vec![vec![0.0], vec![5.0], vec![5.1]];
+        let s = silhouette(&points, &[0, 1, 1]).unwrap();
+        assert!(s > 0.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Evaluation metrics for the *assessment* phase of MATILDA pipelines.
+
+pub mod classification;
+pub mod clustering;
+pub mod regression;
+
+pub use classification::{
+    accuracy, confusion_matrix, f1_score, log_loss, macro_f1, precision, recall, roc_auc,
+    ConfusionMatrix,
+};
+pub use clustering::{inertia, silhouette};
+pub use regression::{mae, mse, r2_score, rmse};

@@ -1,0 +1,107 @@
+//! Regression metrics.
+
+use crate::error::{MlError, Result};
+
+fn check(y_true: &[f64], y_pred: &[f64]) -> Result<()> {
+    if y_true.is_empty() {
+        return Err(MlError::EmptyInput("metric input"));
+    }
+    if y_true.len() != y_pred.len() {
+        return Err(MlError::LengthMismatch {
+            expected: y_true.len(),
+            got: y_pred.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Mean squared error.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check(y_true, y_pred)?;
+    Ok(y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64)
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    Ok(mse(y_true, y_pred)?.sqrt())
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check(y_true, y_pred)?;
+    Ok(y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64)
+}
+
+/// Coefficient of determination R². 1 is perfect, 0 matches the mean
+/// predictor, negative is worse than the mean predictor. Errors when the
+/// target has zero variance.
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check(y_true, y_pred)?;
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return Err(MlError::InvalidParameter(
+            "r2 undefined for constant target".into(),
+        ));
+    }
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&y, &y).unwrap(), 0.0);
+        assert_eq!(rmse(&y, &y).unwrap(), 0.0);
+        assert_eq!(mae(&y, &y).unwrap(), 0.0);
+        assert_eq!(r2_score(&y, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!((mse(&t, &p).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((mae(&t, &p).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (r2_score(&t, &p).unwrap() - 0.0).abs() < 1e-12,
+            "mean predictor scores 0"
+        );
+    }
+
+    #[test]
+    fn r2_negative_when_worse_than_mean() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [3.0, 2.0, 1.0];
+        assert!(r2_score(&t, &p).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_target_errors() {
+        assert!(r2_score(&[2.0, 2.0], &[1.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn length_validation() {
+        assert!(mse(&[], &[]).is_err());
+        assert!(mae(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! A multi-layer perceptron with one hidden layer, trained by full-batch
+//! backpropagation.
+//!
+//! The paper's running scenario extracts behavioural patterns "for example,
+//! using perceptrons" (Cruz-Esquivel & Guzman-Zavaleta 2022); this estimator
+//! is that model family, usable both as the behaviour-extraction substitute
+//! and as a pipeline model the creativity engine can select.
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::model::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+fn relu_grad(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn softmax_in_place(scores: &mut [f64]) {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    for s in scores.iter_mut() {
+        *s /= sum;
+    }
+}
+
+/// A one-hidden-layer perceptron classifier (ReLU + softmax).
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    hidden: usize,
+    learning_rate: f64,
+    epochs: usize,
+    seed: u64,
+    // weights[h][i]: input i -> hidden h; out_weights[c][h]: hidden h -> class c.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    w2: Vec<Vec<f64>>,
+    b2: Vec<f64>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl MlpClassifier {
+    /// A new MLP with `hidden` ReLU units.
+    pub fn new(hidden: usize, learning_rate: f64, epochs: usize, seed: u64) -> Self {
+        Self {
+            hidden,
+            learning_rate,
+            epochs,
+            seed,
+            w1: Vec::new(),
+            b1: Vec::new(),
+            w2: Vec::new(),
+            b2: Vec::new(),
+            n_features: 0,
+            n_classes: 0,
+        }
+    }
+
+    /// Hidden activations and raw class scores for one row.
+    fn forward(&self, row: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let pre: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, b)| w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>() + b)
+            .collect();
+        let hidden: Vec<f64> = pre.iter().map(|&p| relu(p)).collect();
+        let scores: Vec<f64> = self
+            .w2
+            .iter()
+            .zip(&self.b2)
+            .map(|(w, b)| w.iter().zip(&hidden).map(|(wi, hi)| wi * hi).sum::<f64>() + b)
+            .collect();
+        (pre, scores)
+    }
+}
+
+impl Classifier for MlpClassifier {
+    #[allow(clippy::needless_range_loop)] // index form mirrors the backprop math
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        if self.hidden == 0 {
+            return Err(MlError::InvalidParameter(
+                "hidden units must be >= 1".into(),
+            ));
+        }
+        if self.learning_rate <= 0.0 {
+            return Err(MlError::InvalidParameter(
+                "learning_rate must be positive".into(),
+            ));
+        }
+        if self.epochs == 0 {
+            return Err(MlError::InvalidParameter("epochs must be positive".into()));
+        }
+        let k = y.iter().copied().max().map_or(0, |m| m + 1);
+        if k < 2 {
+            return Err(MlError::InvalidParameter("need at least 2 classes".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // He-style initialization keeps ReLU activations alive.
+        let scale1 = (2.0 / d as f64).sqrt();
+        let scale2 = (2.0 / self.hidden as f64).sqrt();
+        self.w1 = (0..self.hidden)
+            .map(|_| (0..d).map(|_| rng.gen_range(-scale1..scale1)).collect())
+            .collect();
+        self.b1 = vec![0.0; self.hidden];
+        self.w2 = (0..k)
+            .map(|_| {
+                (0..self.hidden)
+                    .map(|_| rng.gen_range(-scale2..scale2))
+                    .collect()
+            })
+            .collect();
+        self.b2 = vec![0.0; k];
+        self.n_features = d;
+        self.n_classes = k;
+
+        let n = x.len() as f64;
+        let lr = self.learning_rate;
+        for _ in 0..self.epochs {
+            let mut gw1 = vec![vec![0.0; d]; self.hidden];
+            let mut gb1 = vec![0.0; self.hidden];
+            let mut gw2 = vec![vec![0.0; self.hidden]; k];
+            let mut gb2 = vec![0.0; k];
+            for (row, &label) in x.iter().zip(y) {
+                let (pre, mut scores) = self.forward(row);
+                let hidden: Vec<f64> = pre.iter().map(|&p| relu(p)).collect();
+                softmax_in_place(&mut scores);
+                // dL/dscore_c = p_c - 1{c == label}
+                for c in 0..k {
+                    let err = scores[c] - f64::from(u8::from(c == label));
+                    for (g, &h) in gw2[c].iter_mut().zip(&hidden) {
+                        *g += err * h;
+                    }
+                    gb2[c] += err;
+                }
+                // Backprop into the hidden layer.
+                for h in 0..self.hidden {
+                    let mut upstream = 0.0;
+                    for c in 0..k {
+                        let err = scores[c] - f64::from(u8::from(c == label));
+                        upstream += err * self.w2[c][h];
+                    }
+                    let grad = upstream * relu_grad(pre[h]);
+                    for (g, &xi) in gw1[h].iter_mut().zip(row) {
+                        *g += grad * xi;
+                    }
+                    gb1[h] += grad;
+                }
+            }
+            for h in 0..self.hidden {
+                for (w, g) in self.w1[h].iter_mut().zip(&gw1[h]) {
+                    *w -= lr * g / n;
+                }
+                self.b1[h] -= lr * gb1[h] / n;
+            }
+            for c in 0..k {
+                for (w, g) in self.w2[c].iter_mut().zip(&gw2[c]) {
+                    *w -= lr * g / n;
+                }
+                self.b2[c] -= lr * gb2[c] / n;
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<usize> {
+        let p = self.predict_proba_one(row)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("fitted model has classes"))
+    }
+
+    fn predict_proba_one(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if self.w1.is_empty() {
+            return Err(MlError::NotFitted("mlp"));
+        }
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        let (_, mut scores) = self.forward(row);
+        softmax_in_place(&mut scores);
+        Ok(scores)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        // XOR with jitter: the canonical not-linearly-separable task.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = f64::from(u8::from(i % 2 == 0));
+            let b = f64::from(u8::from((i / 2) % 2 == 0));
+            let jitter = (i % 7) as f64 * 0.01;
+            x.push(vec![a + jitter, b - jitter]);
+            y.push(usize::from((a != b) as u8 == 1));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data(80);
+        let mut m = MlpClassifier::new(16, 0.8, 1500, 7);
+        m.fit(&x, &y).unwrap();
+        let preds = m.predict(&x).unwrap();
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_linear_separation_too() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let mut m = MlpClassifier::new(8, 0.5, 600, 3);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_one(&[0.1]).unwrap(), 0);
+        assert_eq!(m.predict_one(&[3.9]).unwrap(), 1);
+    }
+
+    #[test]
+    fn three_classes() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.02;
+            x.push(vec![0.0 + t, 0.0]);
+            y.push(0);
+            x.push(vec![3.0 + t, 0.0]);
+            y.push(1);
+            x.push(vec![1.5 + t, 3.0]);
+            y.push(2);
+        }
+        let mut m = MlpClassifier::new(12, 0.5, 800, 5);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.n_classes(), 3);
+        assert_eq!(m.predict_one(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(m.predict_one(&[3.0, 0.0]).unwrap(), 1);
+        assert_eq!(m.predict_one(&[1.5, 3.0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (x, y) = xor_data(40);
+        let mut m = MlpClassifier::new(8, 0.5, 200, 1);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_proba_one(&x[0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data(40);
+        let mut a = MlpClassifier::new(8, 0.5, 100, 9);
+        let mut b = MlpClassifier::new(8, 0.5, 100, 9);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let (x, y) = xor_data(8);
+        assert!(MlpClassifier::new(0, 0.5, 10, 0).fit(&x, &y).is_err());
+        assert!(MlpClassifier::new(4, 0.0, 10, 0).fit(&x, &y).is_err());
+        assert!(MlpClassifier::new(4, 0.5, 0, 0).fit(&x, &y).is_err());
+    }
+
+    #[test]
+    fn not_fitted_and_dimensions() {
+        let m = MlpClassifier::new(4, 0.5, 10, 0);
+        assert!(m.predict_proba_one(&[0.0]).is_err());
+        let (x, y) = xor_data(16);
+        let mut m = MlpClassifier::new(4, 0.5, 10, 0);
+        m.fit(&x, &y).unwrap();
+        assert!(m.predict_one(&[0.0]).is_err(), "wrong dimensionality");
+    }
+}

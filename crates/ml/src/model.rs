@@ -1,0 +1,252 @@
+//! Model traits shared by all estimators, and a dynamic model factory the
+//! pipeline layer uses to instantiate models from declarative specs.
+
+use crate::error::Result;
+
+/// A classifier over dense feature rows with integer class codes.
+pub trait Classifier: Send + Sync {
+    /// Fit on row-major features and class codes `0..n_classes`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()>;
+    /// Predict the class code of one row.
+    fn predict_one(&self, row: &[f64]) -> Result<usize>;
+    /// Predict class codes for many rows.
+    fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+    /// Class probability distribution for one row (sums to 1).
+    fn predict_proba_one(&self, row: &[f64]) -> Result<Vec<f64>>;
+    /// Number of classes seen at fit time.
+    fn n_classes(&self) -> usize;
+    /// Stable model name for provenance and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A regressor over dense feature rows.
+pub trait Regressor: Send + Sync {
+    /// Fit on row-major features and numeric targets.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()>;
+    /// Predict one row.
+    fn predict_one(&self, row: &[f64]) -> Result<f64>;
+    /// Predict many rows.
+    fn predict(&self, x: &[Vec<f64>]) -> Result<Vec<f64>> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+    /// Stable model name for provenance and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Declarative model specification: everything the creativity engine mutates.
+///
+/// The spec is data, not code, so pipeline genomes can be fingerprinted,
+/// compared for novelty, stored in provenance and replayed.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ModelSpec {
+    /// Ordinary least squares / ridge regression. `ridge` is the L2 penalty.
+    Linear { ridge: f64 },
+    /// Binary/multiclass logistic regression trained by gradient descent.
+    Logistic {
+        learning_rate: f64,
+        epochs: usize,
+        l2: f64,
+    },
+    /// Gaussian naive Bayes.
+    GaussianNb,
+    /// k-nearest-neighbour vote / average.
+    Knn { k: usize },
+    /// CART decision tree.
+    Tree {
+        max_depth: usize,
+        min_samples_split: usize,
+    },
+    /// Random forest of CART trees on bootstrap samples.
+    Forest {
+        n_trees: usize,
+        max_depth: usize,
+        feature_fraction: f64,
+        seed: u64,
+    },
+    /// Gradient-boosted regression trees (squared loss) /
+    /// boosted classification via the regression ensemble on ±1 targets.
+    Boost {
+        n_rounds: usize,
+        learning_rate: f64,
+        max_depth: usize,
+    },
+    /// One-hidden-layer perceptron (ReLU + softmax) — the paper's cited
+    /// behaviour-extraction model family.
+    Mlp {
+        hidden: usize,
+        learning_rate: f64,
+        epochs: usize,
+        seed: u64,
+    },
+}
+
+impl ModelSpec {
+    /// Stable short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelSpec::Linear { .. } => "linear",
+            ModelSpec::Logistic { .. } => "logistic",
+            ModelSpec::GaussianNb => "gaussian_nb",
+            ModelSpec::Knn { .. } => "knn",
+            ModelSpec::Tree { .. } => "tree",
+            ModelSpec::Forest { .. } => "forest",
+            ModelSpec::Boost { .. } => "boost",
+            ModelSpec::Mlp { .. } => "mlp",
+        }
+    }
+
+    /// `true` if the spec can act as a classifier.
+    pub fn supports_classification(&self) -> bool {
+        !matches!(self, ModelSpec::Linear { .. })
+    }
+
+    /// `true` if the spec can act as a regressor.
+    pub fn supports_regression(&self) -> bool {
+        matches!(
+            self,
+            ModelSpec::Linear { .. }
+                | ModelSpec::Knn { .. }
+                | ModelSpec::Tree { .. }
+                | ModelSpec::Forest { .. }
+                | ModelSpec::Boost { .. }
+        )
+    }
+
+    /// Instantiate a classifier from the spec, if supported.
+    pub fn build_classifier(&self) -> Option<Box<dyn Classifier>> {
+        Some(match self {
+            ModelSpec::Logistic {
+                learning_rate,
+                epochs,
+                l2,
+            } => Box::new(crate::logistic::LogisticRegression::new(
+                *learning_rate,
+                *epochs,
+                *l2,
+            )),
+            ModelSpec::GaussianNb => Box::new(crate::naive_bayes::GaussianNb::new()),
+            ModelSpec::Knn { k } => Box::new(crate::knn::KnnClassifier::new(*k)),
+            ModelSpec::Tree {
+                max_depth,
+                min_samples_split,
+            } => Box::new(crate::tree::DecisionTreeClassifier::new(
+                *max_depth,
+                *min_samples_split,
+            )),
+            ModelSpec::Forest {
+                n_trees,
+                max_depth,
+                feature_fraction,
+                seed,
+            } => Box::new(crate::forest::RandomForestClassifier::new(
+                *n_trees,
+                *max_depth,
+                *feature_fraction,
+                *seed,
+            )),
+            ModelSpec::Boost {
+                n_rounds,
+                learning_rate,
+                max_depth,
+            } => Box::new(crate::boost::GradientBoostingClassifier::new(
+                *n_rounds,
+                *learning_rate,
+                *max_depth,
+            )),
+            ModelSpec::Mlp {
+                hidden,
+                learning_rate,
+                epochs,
+                seed,
+            } => Box::new(crate::mlp::MlpClassifier::new(
+                *hidden,
+                *learning_rate,
+                *epochs,
+                *seed,
+            )),
+            ModelSpec::Linear { .. } => return None,
+        })
+    }
+
+    /// Instantiate a regressor from the spec, if supported.
+    pub fn build_regressor(&self) -> Option<Box<dyn Regressor>> {
+        Some(match self {
+            ModelSpec::Linear { ridge } => Box::new(crate::linear::LinearRegression::new(*ridge)),
+            ModelSpec::Knn { k } => Box::new(crate::knn::KnnRegressor::new(*k)),
+            ModelSpec::Tree {
+                max_depth,
+                min_samples_split,
+            } => Box::new(crate::tree::DecisionTreeRegressor::new(
+                *max_depth,
+                *min_samples_split,
+            )),
+            ModelSpec::Forest {
+                n_trees,
+                max_depth,
+                feature_fraction,
+                seed,
+            } => Box::new(crate::forest::RandomForestRegressor::new(
+                *n_trees,
+                *max_depth,
+                *feature_fraction,
+                *seed,
+            )),
+            ModelSpec::Boost {
+                n_rounds,
+                learning_rate,
+                max_depth,
+            } => Box::new(crate::boost::GradientBoostingRegressor::new(
+                *n_rounds,
+                *learning_rate,
+                *max_depth,
+            )),
+            ModelSpec::Logistic { .. } | ModelSpec::GaussianNb | ModelSpec::Mlp { .. } => {
+                return None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(ModelSpec::GaussianNb.name(), "gaussian_nb");
+        assert_eq!(ModelSpec::Knn { k: 3 }.name(), "knn");
+    }
+
+    #[test]
+    fn capability_matrix() {
+        assert!(!ModelSpec::Linear { ridge: 0.0 }.supports_classification());
+        assert!(ModelSpec::Linear { ridge: 0.0 }.supports_regression());
+        assert!(ModelSpec::GaussianNb.supports_classification());
+        assert!(!ModelSpec::GaussianNb.supports_regression());
+        assert!(ModelSpec::Knn { k: 1 }.supports_classification());
+        assert!(ModelSpec::Knn { k: 1 }.supports_regression());
+        let mlp = ModelSpec::Mlp {
+            hidden: 8,
+            learning_rate: 0.5,
+            epochs: 100,
+            seed: 0,
+        };
+        assert!(mlp.supports_classification());
+        assert!(!mlp.supports_regression());
+        assert!(mlp.build_classifier().is_some());
+        assert!(mlp.build_regressor().is_none());
+        assert_eq!(mlp.name(), "mlp");
+    }
+
+    #[test]
+    fn factory_respects_capabilities() {
+        assert!(ModelSpec::Linear { ridge: 0.0 }
+            .build_classifier()
+            .is_none());
+        assert!(ModelSpec::Linear { ridge: 0.0 }.build_regressor().is_some());
+        assert!(ModelSpec::GaussianNb.build_classifier().is_some());
+        assert!(ModelSpec::GaussianNb.build_regressor().is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! Gaussian naive Bayes classifier.
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::model::Classifier;
+
+/// Per-class Gaussian parameters.
+#[derive(Debug, Clone)]
+struct ClassStats {
+    prior_ln: f64,
+    means: Vec<f64>,
+    variances: Vec<f64>,
+}
+
+/// Gaussian naive Bayes: features are modelled as independent normals per
+/// class; variances are floored at a small epsilon for numerical safety.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    classes: Vec<ClassStats>,
+    n_features: usize,
+}
+
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// A new, unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn log_likelihood(&self, stats: &ClassStats, row: &[f64]) -> f64 {
+        let mut ll = stats.prior_ln;
+        for ((&x, &m), &v) in row.iter().zip(&stats.means).zip(&stats.variances) {
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + (x - m).powi(2) / v);
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        let k = y.iter().copied().max().map_or(0, |m| m + 1);
+        if k < 2 {
+            return Err(MlError::InvalidParameter("need at least 2 classes".into()));
+        }
+        self.n_features = d;
+        self.classes.clear();
+        for c in 0..k {
+            let rows: Vec<&Vec<f64>> = x
+                .iter()
+                .zip(y)
+                .filter(|(_, &label)| label == c)
+                .map(|(r, _)| r)
+                .collect();
+            if rows.is_empty() {
+                return Err(MlError::InvalidParameter(format!(
+                    "class {c} has no samples"
+                )));
+            }
+            let n = rows.len() as f64;
+            let mut means = vec![0.0; d];
+            for row in &rows {
+                for (m, &v) in means.iter_mut().zip(row.iter()) {
+                    *m += v;
+                }
+            }
+            means.iter_mut().for_each(|m| *m /= n);
+            let mut variances = vec![0.0; d];
+            for row in &rows {
+                for ((s, &v), &m) in variances.iter_mut().zip(row.iter()).zip(&means) {
+                    *s += (v - m).powi(2);
+                }
+            }
+            variances
+                .iter_mut()
+                .for_each(|v| *v = (*v / n).max(VAR_FLOOR));
+            self.classes.push(ClassStats {
+                prior_ln: (n / x.len() as f64).ln(),
+                means,
+                variances,
+            });
+        }
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<usize> {
+        let probs = self.predict_proba_one(row)?;
+        Ok(probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("fitted model has classes"))
+    }
+
+    fn predict_proba_one(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if self.classes.is_empty() {
+            return Err(MlError::NotFitted("gaussian naive bayes"));
+        }
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        let lls: Vec<f64> = self
+            .classes
+            .iter()
+            .map(|s| self.log_likelihood(s, row))
+            .collect();
+        let max = lls.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = lls.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        Ok(exps.into_iter().map(|e| e / sum).collect())
+    }
+
+    fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian_nb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.1;
+            x.push(vec![0.0 + jitter, 0.0 - jitter]);
+            y.push(0);
+            x.push(vec![10.0 + jitter, 10.0 - jitter]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (x, y) = blobs();
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_one(&[0.1, 0.0]).unwrap(), 0);
+        assert_eq!(m.predict_one(&[9.9, 10.0]).unwrap(), 1);
+        assert_eq!(m.n_classes(), 2);
+    }
+
+    #[test]
+    fn probabilities_normalized_and_confident() {
+        let (x, y) = blobs();
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_proba_one(&[0.0, 0.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > 0.99);
+    }
+
+    #[test]
+    fn respects_priors_on_ambiguous_point() {
+        // Class 0 has 9x the samples of class 1 at the same location spread.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..90 {
+            x.push(vec![(i % 10) as f64 / 10.0]);
+            y.push(0);
+        }
+        for i in 0..10 {
+            x.push(vec![(i % 10) as f64 / 10.0]);
+            y.push(1);
+        }
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y).unwrap();
+        assert_eq!(
+            m.predict_one(&[0.5]).unwrap(),
+            0,
+            "prior should break the tie"
+        );
+    }
+
+    #[test]
+    fn constant_feature_is_safe() {
+        let x = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 10.0],
+            vec![1.0, 11.0],
+        ];
+        let y = vec![0, 0, 1, 1];
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_one(&[1.0, 0.5]).unwrap(), 0);
+        assert_eq!(m.predict_one(&[1.0, 10.5]).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_class_detected() {
+        // Labels 0 and 2 only: class 1 has no samples.
+        let mut m = GaussianNb::new();
+        let err = m.fit(&[vec![0.0], vec![1.0]], &[0, 2]).unwrap_err();
+        assert!(matches!(err, MlError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn not_fitted_and_dimension_errors() {
+        let m = GaussianNb::new();
+        assert!(m.predict_one(&[0.0]).is_err());
+        let (x, y) = blobs();
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y).unwrap();
+        assert!(m.predict_one(&[0.0]).is_err(), "wrong dimension");
+    }
+}

@@ -1,0 +1,167 @@
+//! Principal component analysis via Jacobi eigen-decomposition of the
+//! covariance matrix.
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::linalg::{self, dot};
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    n_components: usize,
+    /// Feature means subtracted before projecting.
+    means: Vec<f64>,
+    /// Component rows, each a unit-length direction in feature space.
+    components: Vec<Vec<f64>>,
+    /// Variance explained by each kept component.
+    explained_variance: Vec<f64>,
+    /// Total variance across all original features.
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fit a projection onto the top `n_components` principal directions.
+    pub fn fit(x: &[Vec<f64>], n_components: usize) -> Result<Pca> {
+        let d = check_xy(x, x.len())?;
+        if n_components == 0 || n_components > d {
+            return Err(MlError::InvalidParameter(format!(
+                "n_components {n_components} outside 1..={d}"
+            )));
+        }
+        if x.len() < 2 {
+            return Err(MlError::EmptyInput("pca needs >= 2 rows"));
+        }
+        let mut means = vec![0.0; d];
+        for row in x {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= x.len() as f64);
+        let cov = linalg::covariance(x)?;
+        let total_variance: f64 = (0..d).map(|i| cov[i][i]).sum();
+        let (values, vectors) = linalg::jacobi_eigen(cov, 50)?;
+        Ok(Pca {
+            n_components,
+            means,
+            components: vectors.into_iter().take(n_components).collect(),
+            explained_variance: values
+                .into_iter()
+                .take(n_components)
+                .map(|v| v.max(0.0))
+                .collect(),
+            total_variance,
+        })
+    }
+
+    /// Number of components kept.
+    pub fn n_components(&self) -> usize {
+        self.n_components
+    }
+
+    /// Variance explained per kept component, descending.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total variance captured by the kept components.
+    pub fn explained_variance_ratio(&self) -> f64 {
+        if self.total_variance == 0.0 {
+            return 0.0;
+        }
+        self.explained_variance.iter().sum::<f64>() / self.total_variance
+    }
+
+    /// Project one row into component space.
+    pub fn transform_one(&self, row: &[f64]) -> Result<Vec<f64>> {
+        if row.len() != self.means.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.means.len(),
+                got: row.len(),
+            });
+        }
+        let centred: Vec<f64> = row.iter().zip(&self.means).map(|(v, m)| v - m).collect();
+        Ok(self.components.iter().map(|c| dot(c, &centred)).collect())
+    }
+
+    /// Project many rows.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        x.iter().map(|r| self.transform_one(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points on the line y = 2x with tiny orthogonal noise.
+    fn line_cloud() -> Vec<Vec<f64>> {
+        (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let noise = if i % 2 == 0 { 0.01 } else { -0.01 };
+                vec![t - 2.5 + noise * 2.0, 2.0 * (t - 2.5) - noise]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_component_captures_line() {
+        let x = line_cloud();
+        let pca = Pca::fit(&x, 1).unwrap();
+        assert!(
+            pca.explained_variance_ratio() > 0.999,
+            "line is 1-dimensional"
+        );
+        // Moving by (1, 2) in feature space moves sqrt(5) along the first
+        // component (up to sign); differencing cancels the centring.
+        let a = pca.transform_one(&[1.0, 2.0]).unwrap()[0];
+        let b = pca.transform_one(&[0.0, 0.0]).unwrap()[0];
+        assert!(((a - b).abs() - 5.0f64.sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn full_rank_keeps_all_variance() {
+        let x = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![-1.0, 0.0],
+            vec![0.0, -1.0],
+        ];
+        let pca = Pca::fit(&x, 2).unwrap();
+        assert!((pca.explained_variance_ratio() - 1.0).abs() < 1e-9);
+        assert_eq!(pca.n_components(), 2);
+    }
+
+    #[test]
+    fn variances_descending() {
+        let x = line_cloud();
+        let pca = Pca::fit(&x, 2).unwrap();
+        let ev = pca.explained_variance();
+        assert!(ev[0] >= ev[1]);
+    }
+
+    #[test]
+    fn transform_centres_data() {
+        let x = vec![vec![10.0, 0.0], vec![12.0, 0.0], vec![14.0, 0.0]];
+        let pca = Pca::fit(&x, 1).unwrap();
+        let proj = pca.transform(&x).unwrap();
+        let mean: f64 = proj.iter().map(|p| p[0]).sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-9, "projections are centred");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let x = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(Pca::fit(&x, 0).is_err());
+        assert!(Pca::fit(&x, 3).is_err());
+        assert!(Pca::fit(&x[..1], 1).is_err());
+    }
+
+    #[test]
+    fn transform_dimension_checked() {
+        let x = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let pca = Pca::fit(&x, 1).unwrap();
+        assert!(pca.transform_one(&[0.0]).is_err());
+    }
+}

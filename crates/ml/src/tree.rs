@@ -1,0 +1,577 @@
+//! CART decision trees for classification (Gini) and regression (variance).
+
+use crate::dataset::check_xy;
+use crate::error::{MlError, Result};
+use crate::model::{Classifier, Regressor};
+
+/// A fitted tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Terminal node: mean target (regression) or class distribution
+    /// (classification; `value` is the argmax class as f64).
+    Leaf {
+        /// Prediction value: class code or mean target.
+        value: f64,
+        /// Class probability distribution; empty for regression.
+        distribution: Vec<f64>,
+    },
+    /// Binary split: rows with `feature < threshold` go left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold (midpoint between adjacent training values).
+        threshold: f64,
+        /// Subtree for `x[feature] < threshold`.
+        left: Box<Node>,
+        /// Subtree for `x[feature] >= threshold`.
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn descend(&self, row: &[f64]) -> &Node {
+        match self {
+            Node::Leaf { .. } => self,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if row[*feature] < *threshold {
+                    left.descend(row)
+                } else {
+                    right.descend(row)
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree rooted here (leaf = 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    /// Number of leaves under this node.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.n_leaves() + right.n_leaves(),
+        }
+    }
+}
+
+/// Impurity criterion for split search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Criterion {
+    /// Gini impurity over `n_classes`.
+    Gini(usize),
+    /// Variance (mean squared error around the node mean).
+    Mse,
+}
+
+/// Best split found for a node, if any improves impurity.
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    score: f64,
+}
+
+fn gini_from_counts(counts: &[f64], total: f64) -> f64 {
+    if total == 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|&c| (c / total).powi(2)).sum::<f64>()
+}
+
+/// Weighted impurity of splitting sorted `(value, target)` pairs after index
+/// `i` for each candidate split; returns the best split for one feature.
+fn best_split_for_feature(
+    pairs: &[(f64, f64)],
+    criterion: Criterion,
+    feature: usize,
+) -> Option<BestSplit> {
+    let n = pairs.len();
+    let n_f = n as f64;
+    let mut best: Option<BestSplit> = None;
+    match criterion {
+        Criterion::Gini(k) => {
+            let mut left = vec![0.0f64; k];
+            let mut right = vec![0.0f64; k];
+            for &(_, t) in pairs {
+                right[t as usize] += 1.0;
+            }
+            for i in 1..n {
+                let t = pairs[i - 1].1 as usize;
+                left[t] += 1.0;
+                right[t] -= 1.0;
+                if pairs[i].0 == pairs[i - 1].0 {
+                    continue; // cannot split between equal values
+                }
+                let nl = i as f64;
+                let nr = n_f - nl;
+                let score = nl / n_f * gini_from_counts(&left, nl)
+                    + nr / n_f * gini_from_counts(&right, nr);
+                if best.as_ref().is_none_or(|b| score < b.score) {
+                    best = Some(BestSplit {
+                        feature,
+                        threshold: (pairs[i - 1].0 + pairs[i].0) / 2.0,
+                        score,
+                    });
+                }
+            }
+        }
+        Criterion::Mse => {
+            let total_sum: f64 = pairs.iter().map(|p| p.1).sum();
+            let total_sq: f64 = pairs.iter().map(|p| p.1 * p.1).sum();
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for i in 1..n {
+                let t = pairs[i - 1].1;
+                left_sum += t;
+                left_sq += t * t;
+                if pairs[i].0 == pairs[i - 1].0 {
+                    continue;
+                }
+                let nl = i as f64;
+                let nr = n_f - nl;
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                // Sum of squared deviations = E[x²]·n - n·mean²
+                let sse_l = left_sq - left_sum * left_sum / nl;
+                let sse_r = right_sq - right_sum * right_sum / nr;
+                let score = (sse_l + sse_r) / n_f;
+                if best.as_ref().is_none_or(|b| score < b.score) {
+                    best = Some(BestSplit {
+                        feature,
+                        threshold: (pairs[i - 1].0 + pairs[i].0) / 2.0,
+                        score,
+                    });
+                }
+            }
+        }
+    }
+    best
+}
+
+fn node_impurity(targets: &[f64], criterion: Criterion) -> f64 {
+    let n = targets.len() as f64;
+    match criterion {
+        Criterion::Gini(k) => {
+            let mut counts = vec![0.0; k];
+            for &t in targets {
+                counts[t as usize] += 1.0;
+            }
+            gini_from_counts(&counts, n)
+        }
+        Criterion::Mse => {
+            let mean = targets.iter().sum::<f64>() / n;
+            targets.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / n
+        }
+    }
+}
+
+fn make_leaf(targets: &[f64], criterion: Criterion) -> Node {
+    match criterion {
+        Criterion::Gini(k) => {
+            let mut counts = vec![0.0; k];
+            for &t in targets {
+                counts[t as usize] += 1.0;
+            }
+            let total: f64 = counts.iter().sum();
+            let value = counts
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i as f64)
+                .unwrap_or(0.0);
+            Node::Leaf {
+                value,
+                distribution: counts.iter().map(|&c| c / total).collect(),
+            }
+        }
+        Criterion::Mse => {
+            let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+            Node::Leaf {
+                value: mean,
+                distribution: Vec::new(),
+            }
+        }
+    }
+}
+
+/// Recursively grow a tree on the rows at `indices`.
+///
+/// `features` restricts which feature columns may be split on (random
+/// forests pass a subsample; plain trees pass all).
+#[allow(clippy::too_many_arguments)] // recursion carries the full split context
+fn grow(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    features: &[usize],
+    criterion: Criterion,
+    depth: usize,
+    max_depth: usize,
+    min_samples_split: usize,
+) -> Node {
+    let targets: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
+    if depth >= max_depth
+        || indices.len() < min_samples_split
+        || node_impurity(&targets, criterion) == 0.0
+    {
+        return make_leaf(&targets, criterion);
+    }
+    let mut best: Option<BestSplit> = None;
+    for &f in features {
+        let mut pairs: Vec<(f64, f64)> = indices.iter().map(|&i| (x[i][f], y[i])).collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if let Some(candidate) = best_split_for_feature(&pairs, criterion, f) {
+            if best.as_ref().is_none_or(|b| candidate.score < b.score) {
+                best = Some(candidate);
+            }
+        }
+    }
+    let Some(split) = best else {
+        return make_leaf(&targets, criterion);
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| x[i][split.feature] < split.threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return make_leaf(&targets, criterion);
+    }
+    Node::Split {
+        feature: split.feature,
+        threshold: split.threshold,
+        left: Box::new(grow(
+            x,
+            y,
+            &left_idx,
+            features,
+            criterion,
+            depth + 1,
+            max_depth,
+            min_samples_split,
+        )),
+        right: Box::new(grow(
+            x,
+            y,
+            &right_idx,
+            features,
+            criterion,
+            depth + 1,
+            max_depth,
+            min_samples_split,
+        )),
+    }
+}
+
+/// Grow a tree over explicit row and feature index subsets. Used directly by
+/// the random forest; plain estimators call it with all rows/features.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grow_tree(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &[usize],
+    features: &[usize],
+    classification: Option<usize>,
+    max_depth: usize,
+    min_samples_split: usize,
+) -> Node {
+    let criterion = match classification {
+        Some(k) => Criterion::Gini(k),
+        None => Criterion::Mse,
+    };
+    grow(
+        x,
+        y,
+        indices,
+        features,
+        criterion,
+        0,
+        max_depth,
+        min_samples_split,
+    )
+}
+
+/// CART classifier minimizing Gini impurity.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeClassifier {
+    max_depth: usize,
+    min_samples_split: usize,
+    root: Option<Node>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// A new tree limited to `max_depth` levels; nodes with fewer than
+    /// `min_samples_split` rows become leaves.
+    pub fn new(max_depth: usize, min_samples_split: usize) -> Self {
+        Self {
+            max_depth,
+            min_samples_split,
+            root: None,
+            n_classes: 0,
+            n_features: 0,
+        }
+    }
+
+    /// The fitted root node.
+    pub fn root(&self) -> Option<&Node> {
+        self.root.as_ref()
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        if self.max_depth == 0 {
+            return Err(MlError::InvalidParameter("max_depth must be >= 1".into()));
+        }
+        let k = y.iter().copied().max().map_or(0, |m| m + 1);
+        if k < 2 {
+            return Err(MlError::InvalidParameter("need at least 2 classes".into()));
+        }
+        let y_f: Vec<f64> = y.iter().map(|&c| c as f64).collect();
+        let indices: Vec<usize> = (0..x.len()).collect();
+        let features: Vec<usize> = (0..d).collect();
+        self.root = Some(grow_tree(
+            x,
+            &y_f,
+            &indices,
+            &features,
+            Some(k),
+            self.max_depth,
+            self.min_samples_split.max(2),
+        ));
+        self.n_classes = k;
+        self.n_features = d;
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<usize> {
+        let p = self.predict_proba_one(row)?;
+        Ok(p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("fitted tree has classes"))
+    }
+
+    fn predict_proba_one(&self, row: &[f64]) -> Result<Vec<f64>> {
+        let root = self
+            .root
+            .as_ref()
+            .ok_or(MlError::NotFitted("decision tree"))?;
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        match root.descend(row) {
+            Node::Leaf { distribution, .. } => Ok(distribution.clone()),
+            Node::Split { .. } => unreachable!("descend returns a leaf"),
+        }
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+}
+
+/// CART regressor minimizing within-node variance.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    max_depth: usize,
+    min_samples_split: usize,
+    root: Option<Node>,
+    n_features: usize,
+}
+
+impl DecisionTreeRegressor {
+    /// A new regression tree; see [`DecisionTreeClassifier::new`].
+    pub fn new(max_depth: usize, min_samples_split: usize) -> Self {
+        Self {
+            max_depth,
+            min_samples_split,
+            root: None,
+            n_features: 0,
+        }
+    }
+
+    /// The fitted root node.
+    pub fn root(&self) -> Option<&Node> {
+        self.root.as_ref()
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        let d = check_xy(x, y.len())?;
+        if self.max_depth == 0 {
+            return Err(MlError::InvalidParameter("max_depth must be >= 1".into()));
+        }
+        let indices: Vec<usize> = (0..x.len()).collect();
+        let features: Vec<usize> = (0..d).collect();
+        self.root = Some(grow_tree(
+            x,
+            y,
+            &indices,
+            &features,
+            None,
+            self.max_depth,
+            self.min_samples_split.max(2),
+        ));
+        self.n_features = d;
+        Ok(())
+    }
+
+    fn predict_one(&self, row: &[f64]) -> Result<f64> {
+        let root = self
+            .root
+            .as_ref()
+            .ok_or(MlError::NotFitted("decision tree"))?;
+        if row.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        match root.descend(row) {
+            Node::Leaf { value, .. } => Ok(*value),
+            Node::Split { .. } => unreachable!("descend returns a leaf"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_threshold_rule() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let mut m = DecisionTreeClassifier::new(3, 2);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_one(&[3.0]).unwrap(), 0);
+        assert_eq!(m.predict_one(&[15.0]).unwrap(), 1);
+        assert_eq!(m.root().unwrap().depth(), 1, "one split suffices");
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0, 1, 1, 0];
+        let mut m = DecisionTreeClassifier::new(2, 2);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict(&x).unwrap(), y, "XOR needs two levels");
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let x: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..32).map(|i| i % 2).collect();
+        let mut m = DecisionTreeClassifier::new(2, 2);
+        m.fit(&x, &y).unwrap();
+        assert!(m.root().unwrap().depth() <= 2);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        // All labels are class 1 (class 0 exists but is empty): zero
+        // impurity at the root, so the tree is a single leaf.
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![1, 1, 1];
+        let mut m = DecisionTreeClassifier::new(5, 2);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.root().unwrap().n_leaves(), 1);
+        assert_eq!(m.predict_one(&[9.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn proba_at_impure_leaf() {
+        let x = vec![vec![0.0], vec![0.0], vec![0.0], vec![5.0]];
+        let y = vec![0, 0, 1, 1];
+        // Depth 1 with identical left values: leaf keeps mixed distribution.
+        let mut m = DecisionTreeClassifier::new(1, 2);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_proba_one(&[0.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_step_function() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let mut m = DecisionTreeRegressor::new(3, 2);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.predict_one(&[2.0]).unwrap(), 1.0);
+        assert_eq!(m.predict_one(&[17.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn regression_reduces_to_mean_at_depth_limit() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        let mut shallow = DecisionTreeRegressor::new(1, 2);
+        shallow.fit(&x, &y).unwrap();
+        // Single split at 1.5: leaves predict means 0.5 and 2.5.
+        assert_eq!(shallow.predict_one(&[0.0]).unwrap(), 0.5);
+        assert_eq!(shallow.predict_one(&[3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn min_samples_split_respected() {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let mut m = DecisionTreeClassifier::new(10, 100);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.root().unwrap().n_leaves(), 1, "root cannot split");
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        let x = vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]];
+        let y = vec![0, 1, 0, 1];
+        let mut m = DecisionTreeClassifier::new(3, 2);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.root().unwrap().n_leaves(), 1);
+    }
+
+    #[test]
+    fn not_fitted_and_dims() {
+        let m = DecisionTreeClassifier::new(3, 2);
+        assert!(m.predict_one(&[0.0]).is_err());
+        let mut r = DecisionTreeRegressor::new(3, 2);
+        r.fit(&[vec![0.0, 1.0], vec![1.0, 0.0]], &[0.0, 1.0])
+            .unwrap();
+        assert!(r.predict_one(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn max_depth_zero_rejected() {
+        let mut m = DecisionTreeRegressor::new(0, 2);
+        assert!(m.fit(&[vec![0.0]], &[0.0]).is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! A stable, versioned text codec for [`PipelineSpec`].
+//!
+//! Provenance logs must be self-contained: a recorded session replays in a
+//! fresh process, years later, from the log alone. The codec writes one
+//! `key=value` token per line (v1), and parses it back exactly. Round-trip
+//! identity (`decode(encode(s)) == s`) is the contract, enforced by
+//! property tests.
+
+use crate::error::{PipelineError, Result};
+use crate::op::{PrepOp, SplitSpec};
+use crate::spec::{PipelineSpec, Task};
+use matilda_data::transform::{ImputeStrategy, ScaleStrategy};
+use matilda_ml::{ModelSpec, Scoring};
+
+const VERSION: &str = "matilda-spec-v1";
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('=', "\\e")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('e') => out.push('='),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn encode_impute(s: &ImputeStrategy) -> String {
+    match s {
+        ImputeStrategy::Mean => "mean".into(),
+        ImputeStrategy::Median => "median".into(),
+        ImputeStrategy::Mode => "mode".into(),
+        ImputeStrategy::Constant(c) => format!("constant:{c}"),
+    }
+}
+
+fn decode_impute(s: &str) -> Result<ImputeStrategy> {
+    Ok(match s {
+        "mean" => ImputeStrategy::Mean,
+        "median" => ImputeStrategy::Median,
+        "mode" => ImputeStrategy::Mode,
+        other => match other.strip_prefix("constant:") {
+            Some(v) => ImputeStrategy::Constant(parse_f64(v)?),
+            None => return Err(bad(format!("impute strategy '{other}'"))),
+        },
+    })
+}
+
+fn encode_scale(s: &ScaleStrategy) -> &'static str {
+    match s {
+        ScaleStrategy::Standard => "standard",
+        ScaleStrategy::MinMax => "minmax",
+        ScaleStrategy::Robust => "robust",
+    }
+}
+
+fn decode_scale(s: &str) -> Result<ScaleStrategy> {
+    Ok(match s {
+        "standard" => ScaleStrategy::Standard,
+        "minmax" => ScaleStrategy::MinMax,
+        "robust" => ScaleStrategy::Robust,
+        other => return Err(bad(format!("scale strategy '{other}'"))),
+    })
+}
+
+fn encode_op(op: &PrepOp) -> String {
+    match op {
+        PrepOp::DropNulls => "drop_nulls".into(),
+        PrepOp::Impute(s) => format!("impute {}", encode_impute(s)),
+        PrepOp::Scale(s) => format!("scale {}", encode_scale(s)),
+        PrepOp::OneHotEncode => "one_hot".into(),
+        PrepOp::SelectKBest { k } => format!("select_k_best {k}"),
+        PrepOp::PolynomialFeatures { degree } => format!("poly_features {degree}"),
+        PrepOp::ClipOutliers { lo, hi } => format!("clip {lo} {hi}"),
+        PrepOp::Discretize { bins } => format!("discretize {bins}"),
+    }
+}
+
+fn decode_op(s: &str) -> Result<PrepOp> {
+    let mut parts = s.split(' ');
+    let head = parts.next().unwrap_or_default();
+    let mut arg = || {
+        parts
+            .next()
+            .ok_or_else(|| bad(format!("op '{s}' missing argument")))
+    };
+    Ok(match head {
+        "drop_nulls" => PrepOp::DropNulls,
+        "impute" => PrepOp::Impute(decode_impute(arg()?)?),
+        "scale" => PrepOp::Scale(decode_scale(arg()?)?),
+        "one_hot" => PrepOp::OneHotEncode,
+        "select_k_best" => PrepOp::SelectKBest {
+            k: parse_usize(arg()?)?,
+        },
+        "poly_features" => PrepOp::PolynomialFeatures {
+            degree: parse_u32(arg()?)?,
+        },
+        "clip" => {
+            let lo = parse_f64(arg()?)?;
+            let hi = parse_f64(arg()?)?;
+            PrepOp::ClipOutliers { lo, hi }
+        }
+        "discretize" => PrepOp::Discretize {
+            bins: parse_usize(arg()?)?,
+        },
+        other => return Err(bad(format!("unknown prep op '{other}'"))),
+    })
+}
+
+fn encode_model(m: &ModelSpec) -> String {
+    match m {
+        ModelSpec::Linear { ridge } => format!("linear {ridge}"),
+        ModelSpec::Logistic {
+            learning_rate,
+            epochs,
+            l2,
+        } => {
+            format!("logistic {learning_rate} {epochs} {l2}")
+        }
+        ModelSpec::GaussianNb => "gaussian_nb".into(),
+        ModelSpec::Knn { k } => format!("knn {k}"),
+        ModelSpec::Tree {
+            max_depth,
+            min_samples_split,
+        } => {
+            format!("tree {max_depth} {min_samples_split}")
+        }
+        ModelSpec::Forest {
+            n_trees,
+            max_depth,
+            feature_fraction,
+            seed,
+        } => {
+            format!("forest {n_trees} {max_depth} {feature_fraction} {seed}")
+        }
+        ModelSpec::Boost {
+            n_rounds,
+            learning_rate,
+            max_depth,
+        } => {
+            format!("boost {n_rounds} {learning_rate} {max_depth}")
+        }
+        ModelSpec::Mlp {
+            hidden,
+            learning_rate,
+            epochs,
+            seed,
+        } => {
+            format!("mlp {hidden} {learning_rate} {epochs} {seed}")
+        }
+    }
+}
+
+fn decode_model(s: &str) -> Result<ModelSpec> {
+    let mut parts = s.split(' ');
+    let head = parts.next().unwrap_or_default();
+    let mut arg = || {
+        parts
+            .next()
+            .ok_or_else(|| bad(format!("model '{s}' missing argument")))
+    };
+    Ok(match head {
+        "linear" => ModelSpec::Linear {
+            ridge: parse_f64(arg()?)?,
+        },
+        "logistic" => ModelSpec::Logistic {
+            learning_rate: parse_f64(arg()?)?,
+            epochs: parse_usize(arg()?)?,
+            l2: parse_f64(arg()?)?,
+        },
+        "gaussian_nb" => ModelSpec::GaussianNb,
+        "knn" => ModelSpec::Knn {
+            k: parse_usize(arg()?)?,
+        },
+        "tree" => ModelSpec::Tree {
+            max_depth: parse_usize(arg()?)?,
+            min_samples_split: parse_usize(arg()?)?,
+        },
+        "forest" => ModelSpec::Forest {
+            n_trees: parse_usize(arg()?)?,
+            max_depth: parse_usize(arg()?)?,
+            feature_fraction: parse_f64(arg()?)?,
+            seed: parse_u64(arg()?)?,
+        },
+        "boost" => ModelSpec::Boost {
+            n_rounds: parse_usize(arg()?)?,
+            learning_rate: parse_f64(arg()?)?,
+            max_depth: parse_usize(arg()?)?,
+        },
+        "mlp" => ModelSpec::Mlp {
+            hidden: parse_usize(arg()?)?,
+            learning_rate: parse_f64(arg()?)?,
+            epochs: parse_usize(arg()?)?,
+            seed: parse_u64(arg()?)?,
+        },
+        other => return Err(bad(format!("unknown model '{other}'"))),
+    })
+}
+
+fn bad(message: String) -> PipelineError {
+    PipelineError::InvalidSpec(format!("codec: {message}"))
+}
+
+fn parse_f64(s: &str) -> Result<f64> {
+    s.parse().map_err(|_| bad(format!("bad float '{s}'")))
+}
+
+fn parse_usize(s: &str) -> Result<usize> {
+    s.parse().map_err(|_| bad(format!("bad integer '{s}'")))
+}
+
+fn parse_u32(s: &str) -> Result<u32> {
+    s.parse().map_err(|_| bad(format!("bad integer '{s}'")))
+}
+
+fn parse_u64(s: &str) -> Result<u64> {
+    s.parse().map_err(|_| bad(format!("bad integer '{s}'")))
+}
+
+/// Serialize a spec to the v1 line format.
+pub fn encode(spec: &PipelineSpec) -> String {
+    let mut out = String::new();
+    out.push_str(VERSION);
+    out.push('\n');
+    let (kind, target) = match &spec.task {
+        Task::Classification { target } => ("classification", target),
+        Task::Regression { target } => ("regression", target),
+    };
+    out.push_str(&format!("task={kind} {}\n", escape(target)));
+    for op in &spec.prep {
+        out.push_str(&format!("prep={}\n", encode_op(op)));
+    }
+    out.push_str(&format!(
+        "split={} {} {}\n",
+        spec.split.test_fraction, spec.split.stratified, spec.split.seed
+    ));
+    out.push_str(&format!("model={}\n", encode_model(&spec.model)));
+    out.push_str(&format!("scoring={}\n", spec.scoring.name()));
+    out
+}
+
+/// Parse the v1 line format back into a spec.
+pub fn decode(text: &str) -> Result<PipelineSpec> {
+    let mut lines = text.lines();
+    if lines.next() != Some(VERSION) {
+        return Err(bad("missing or unsupported version header".into()));
+    }
+    let mut task: Option<Task> = None;
+    let mut prep = Vec::new();
+    let mut split: Option<SplitSpec> = None;
+    let mut model: Option<ModelSpec> = None;
+    let mut scoring: Option<Scoring> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| bad(format!("malformed line '{line}'")))?;
+        match key {
+            "task" => {
+                let (kind, target) = value
+                    .split_once(' ')
+                    .ok_or_else(|| bad(format!("malformed task '{value}'")))?;
+                let target = unescape(target);
+                task = Some(match kind {
+                    "classification" => Task::Classification { target },
+                    "regression" => Task::Regression { target },
+                    other => return Err(bad(format!("unknown task kind '{other}'"))),
+                });
+            }
+            "prep" => prep.push(decode_op(value)?),
+            "split" => {
+                let mut parts = value.split(' ');
+                let fraction = parse_f64(parts.next().unwrap_or_default())?;
+                let stratified = match parts.next() {
+                    Some("true") => true,
+                    Some("false") => false,
+                    other => return Err(bad(format!("bad stratified flag {other:?}"))),
+                };
+                let seed = parse_u64(parts.next().unwrap_or_default())?;
+                split = Some(SplitSpec {
+                    test_fraction: fraction,
+                    stratified,
+                    seed,
+                });
+            }
+            "model" => model = Some(decode_model(value)?),
+            "scoring" => {
+                scoring = Some(match value {
+                    "accuracy" => Scoring::Accuracy,
+                    "macro_f1" => Scoring::MacroF1,
+                    "r2" => Scoring::R2,
+                    "neg_rmse" => Scoring::NegRmse,
+                    other => return Err(bad(format!("unknown scoring '{other}'"))),
+                });
+            }
+            other => return Err(bad(format!("unknown key '{other}'"))),
+        }
+    }
+    Ok(PipelineSpec {
+        task: task.ok_or_else(|| bad("missing task".into()))?,
+        prep,
+        split: split.ok_or_else(|| bad("missing split".into()))?,
+        model: model.ok_or_else(|| bad("missing model".into()))?,
+        scoring: scoring.ok_or_else(|| bad("missing scoring".into()))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exotic_spec() -> PipelineSpec {
+        PipelineSpec {
+            task: Task::Classification {
+                target: "weird=name\nwith newline".into(),
+            },
+            prep: vec![
+                PrepOp::Impute(ImputeStrategy::Constant(-0.25)),
+                PrepOp::OneHotEncode,
+                PrepOp::Scale(ScaleStrategy::Robust),
+                PrepOp::SelectKBest { k: 7 },
+                PrepOp::PolynomialFeatures { degree: 3 },
+                PrepOp::ClipOutliers { lo: -2.5, hi: 2.5 },
+                PrepOp::Discretize { bins: 9 },
+                PrepOp::DropNulls,
+            ],
+            split: SplitSpec {
+                test_fraction: 0.31,
+                stratified: true,
+                seed: 987654321,
+            },
+            model: ModelSpec::Forest {
+                n_trees: 17,
+                max_depth: 4,
+                feature_fraction: 0.625,
+                seed: 42,
+            },
+            scoring: Scoring::MacroF1,
+        }
+    }
+
+    #[test]
+    fn round_trip_defaults() {
+        for spec in [
+            PipelineSpec::default_classification("y"),
+            PipelineSpec::default_regression("price"),
+        ] {
+            let decoded = decode(&encode(&spec)).unwrap();
+            assert_eq!(decoded, spec);
+        }
+    }
+
+    #[test]
+    fn round_trip_exotic() {
+        let spec = exotic_spec();
+        let decoded = decode(&encode(&spec)).unwrap();
+        assert_eq!(decoded, spec, "escaped target and all op kinds survive");
+    }
+
+    #[test]
+    fn round_trip_every_model_family() {
+        let models = [
+            ModelSpec::Linear { ridge: 0.001 },
+            ModelSpec::Logistic {
+                learning_rate: 0.3,
+                epochs: 150,
+                l2: 0.01,
+            },
+            ModelSpec::GaussianNb,
+            ModelSpec::Knn { k: 11 },
+            ModelSpec::Tree {
+                max_depth: 6,
+                min_samples_split: 3,
+            },
+            ModelSpec::Boost {
+                n_rounds: 25,
+                learning_rate: 0.15,
+                max_depth: 2,
+            },
+            ModelSpec::Mlp {
+                hidden: 12,
+                learning_rate: 0.4,
+                epochs: 222,
+                seed: 5,
+            },
+        ];
+        for model in models {
+            let mut spec = PipelineSpec::default_classification("y");
+            spec.model = model.clone();
+            assert_eq!(decode(&encode(&spec)).unwrap().model, model);
+        }
+    }
+
+    #[test]
+    fn version_checked() {
+        assert!(decode("garbage\ntask=classification y\n").is_err());
+        assert!(decode("").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        let cases = [
+            "matilda-spec-v1\nnonsense",
+            "matilda-spec-v1\ntask=martian y",
+            "matilda-spec-v1\nprep=warp_drive",
+            "matilda-spec-v1\nmodel=oracle",
+            "matilda-spec-v1\nscoring=vibes",
+            "matilda-spec-v1\nsplit=0.2 maybe 1",
+            "matilda-spec-v1\nprep=select_k_best",
+        ];
+        for c in cases {
+            assert!(decode(c).is_err(), "should reject: {c}");
+        }
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        let spec = PipelineSpec::default_classification("y");
+        let full = encode(&spec);
+        for drop_key in ["task=", "split=", "model=", "scoring="] {
+            let partial: String = full
+                .lines()
+                .filter(|l| !l.starts_with(drop_key))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            assert!(decode(&partial).is_err(), "missing {drop_key} must fail");
+        }
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        for s in ["plain", "a=b", "line\nbreak", "back\\slash", "mix=\\\n="] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+
+    #[test]
+    fn fingerprint_stable_through_codec() {
+        let spec = exotic_spec();
+        let decoded = decode(&encode(&spec)).unwrap();
+        assert_eq!(
+            crate::fingerprint::fingerprint(&spec),
+            crate::fingerprint::fingerprint(&decoded)
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for pipeline specification and execution.
+
+use std::fmt;
+
+/// Errors raised while validating or executing a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The specification is structurally invalid.
+    InvalidSpec(String),
+    /// The spec references a column the input frame does not have.
+    MissingColumn(String),
+    /// The task graph contains a dependency cycle.
+    Cycle(String),
+    /// A graph node id was duplicated or unknown.
+    BadNode(String),
+    /// Failure in the data substrate.
+    Data(matilda_data::DataError),
+    /// Failure in the ML substrate.
+    Ml(matilda_ml::MlError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidSpec(m) => write!(f, "invalid pipeline spec: {m}"),
+            PipelineError::MissingColumn(c) => write!(f, "pipeline references missing column: {c}"),
+            PipelineError::Cycle(m) => write!(f, "task graph cycle: {m}"),
+            PipelineError::BadNode(m) => write!(f, "bad task node: {m}"),
+            PipelineError::Data(e) => write!(f, "data error: {e}"),
+            PipelineError::Ml(e) => write!(f, "ml error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Data(e) => Some(e),
+            PipelineError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<matilda_data::DataError> for PipelineError {
+    fn from(e: matilda_data::DataError) -> Self {
+        PipelineError::Data(e)
+    }
+}
+
+impl From<matilda_ml::MlError> for PipelineError {
+    fn from(e: matilda_ml::MlError) -> Self {
+        PipelineError::Ml(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PipelineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = PipelineError::MissingColumn("age".into());
+        assert!(e.to_string().contains("age"));
+        let e: PipelineError = matilda_data::DataError::Empty("frame").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: PipelineError = matilda_ml::MlError::EmptyInput("x").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,347 @@
+//! Pipeline execution: lower a spec into the standard task graph, run every
+//! task, and report scores plus per-task timings.
+
+use crate::error::{PipelineError, Result};
+use crate::graph::{standard_graph, TaskGraph};
+use crate::op::PrepOp;
+use crate::spec::{PipelineSpec, Task};
+use crate::validate::validate_strict;
+use matilda_data::prelude::*;
+use matilda_ml::prelude::*;
+use std::time::Instant;
+
+/// The outcome of executing one pipeline end to end.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Held-out test score under the spec's scoring rule (higher is better).
+    pub test_score: f64,
+    /// Score on the training fragment (gap to `test_score` shows overfit).
+    pub train_score: f64,
+    /// `(task id, wall time)` per executed task, in execution order.
+    pub timings: Vec<(String, std::time::Duration)>,
+    /// Rows after preparation.
+    pub n_rows: usize,
+    /// Feature columns fed to the model.
+    pub feature_names: Vec<String>,
+    /// Model name that was trained.
+    pub model_name: &'static str,
+    /// Scoring rule name.
+    pub scoring_name: &'static str,
+    /// Number of numeric summaries computed during exploration.
+    pub n_explored_columns: usize,
+}
+
+impl PipelineReport {
+    /// Total wall time across tasks.
+    pub fn total_time(&self) -> std::time::Duration {
+        self.timings.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Overfit gap: train score minus test score.
+    pub fn overfit_gap(&self) -> f64 {
+        self.train_score - self.test_score
+    }
+}
+
+/// Numeric feature names for the model: every numeric column except the target.
+fn feature_names(df: &DataFrame, target: &str) -> Vec<String> {
+    df.schema()
+        .numeric_names()
+        .iter()
+        .filter(|n| **n != target)
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn build_dataset(df: &DataFrame, task: &Task, features: &[String]) -> Result<Dataset> {
+    let refs: Vec<&str> = features.iter().map(String::as_str).collect();
+    Ok(match task {
+        Task::Classification { target } => Dataset::classification(df, &refs, target)?,
+        Task::Regression { target } => Dataset::regression(df, &refs, target)?,
+    })
+}
+
+/// Align a test dataset's class codes with the training dataset's labels.
+///
+/// Class codes are assigned in first-seen order per frame, so the same label
+/// can map to different codes in train and test; remap test codes onto the
+/// training label table. Unseen labels error.
+fn align_classes(train: &Dataset, test: &mut Dataset) -> Result<()> {
+    if !train.is_classification() {
+        return Ok(());
+    }
+    let mapping: Vec<usize> = test
+        .class_labels
+        .iter()
+        .map(|label| {
+            train
+                .class_labels
+                .iter()
+                .position(|l| l == label)
+                .ok_or_else(|| {
+                    PipelineError::InvalidSpec(format!(
+                        "label '{label}' absent from training fragment"
+                    ))
+                })
+        })
+        .collect::<Result<_>>()?;
+    for y in &mut test.y {
+        *y = mapping[*y as usize] as f64;
+    }
+    test.class_labels = train.class_labels.clone();
+    Ok(())
+}
+
+/// Execute `spec` on `df`, returning the report.
+///
+/// Execution follows the standard six-phase task graph; each task is timed.
+pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
+    validate_strict(spec, df)?;
+    let target = spec.task.target().to_string();
+    let op_names: Vec<&str> = spec.prep.iter().map(PrepOp::name).collect();
+    let graph: TaskGraph = standard_graph(&op_names);
+    let order = graph.topological_order()?;
+
+    let mut timings = Vec::with_capacity(order.len());
+    let mut frame = df.clone();
+    let mut n_explored = 0usize;
+    let mut prep_cursor = 0usize;
+    let mut split: Option<(DataFrame, DataFrame)> = None;
+    let mut train_data: Option<Dataset> = None;
+    let mut test_data: Option<Dataset> = None;
+    let mut model_name: &'static str = spec.model.name();
+    let mut train_score = 0.0;
+    let mut test_score = 0.0;
+    let mut features: Vec<String> = Vec::new();
+
+    for id in order {
+        let start = Instant::now();
+        match id {
+            "explore" => {
+                n_explored = matilda_data::stats::describe(&frame).len();
+            }
+            "fragment" => {
+                split = Some(spec.split.apply(&frame, &target)?);
+            }
+            "train" => {
+                let (train_frame, test_frame) = split.as_ref().expect("fragment precedes train");
+                features = feature_names(train_frame, &target);
+                let train = build_dataset(train_frame, &spec.task, &features)?;
+                let mut test = build_dataset(test_frame, &spec.task, &features)?;
+                align_classes(&train, &mut test)?;
+                // Train score on the training fragment itself.
+                train_score = holdout_score(&spec.model, &train, &train, spec.scoring)?;
+                model_name = spec.model.name();
+                train_data = Some(train);
+                test_data = Some(test);
+            }
+            "test" | "assess" => {
+                // Scoring happens once; "test" performs prediction+scoring
+                // and "assess" re-reports it, mirroring the paper's phases.
+                if id == "test" {
+                    let train = train_data.as_ref().expect("train precedes test");
+                    let test = test_data.as_ref().expect("train precedes test");
+                    test_score = holdout_score(&spec.model, train, test, spec.scoring)?;
+                }
+            }
+            prep_id => {
+                debug_assert!(prep_id.starts_with("prepare."));
+                let op = &spec.prep[prep_cursor];
+                frame = op.apply(&frame, &target)?;
+                prep_cursor += 1;
+            }
+        }
+        timings.push((id.to_string(), start.elapsed()));
+    }
+
+    Ok(PipelineReport {
+        test_score,
+        train_score,
+        timings,
+        n_rows: frame.n_rows(),
+        feature_names: features,
+        model_name,
+        scoring_name: spec.scoring.name(),
+        n_explored_columns: n_explored,
+    })
+}
+
+/// Cross-validated score of `spec` on `df`: preparation is applied once to
+/// the full frame, then the model is k-fold cross-validated.
+///
+/// This is the cheap *value* signal the creativity engine optimizes while
+/// searching; final reporting should use [`run`], whose held-out fragment
+/// never sees preparation statistics.
+pub fn cv_score(spec: &PipelineSpec, df: &DataFrame, k: usize) -> Result<CvResult> {
+    validate_strict(spec, df)?;
+    let target = spec.task.target().to_string();
+    let mut frame = df.clone();
+    for op in &spec.prep {
+        frame = op.apply(&frame, &target)?;
+    }
+    let features = feature_names(&frame, &target);
+    let data = build_dataset(&frame, &spec.task, &features)?;
+    Ok(cross_validate(
+        &spec.model,
+        &data,
+        k,
+        spec.scoring,
+        spec.split.seed,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classification_frame(n: usize) -> DataFrame {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let noise: Vec<f64> = (0..n).map(|i| ((i * 17) % 13) as f64).collect();
+        let labels: Vec<&str> = (0..n)
+            .map(|i| if i < n / 2 { "low" } else { "high" })
+            .collect();
+        DataFrame::from_columns(vec![
+            ("x", Column::from_f64(x)),
+            ("noise", Column::from_f64(noise)),
+            ("label", Column::from_categorical(&labels)),
+        ])
+        .unwrap()
+    }
+
+    fn regression_frame(n: usize) -> DataFrame {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 3.0).collect();
+        DataFrame::from_columns(vec![("x", Column::from_f64(x)), ("y", Column::from_f64(y))])
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_classification() {
+        let df = classification_frame(80);
+        let spec = PipelineSpec::default_classification("label");
+        let report = run(&spec, &df).unwrap();
+        assert!(report.test_score > 0.85, "test score {}", report.test_score);
+        assert!(report.train_score >= report.test_score - 0.2);
+        assert_eq!(report.model_name, "tree");
+        assert_eq!(report.scoring_name, "macro_f1");
+        assert!(report.feature_names.contains(&"x".to_string()));
+        assert_eq!(report.n_rows, 80);
+    }
+
+    #[test]
+    fn end_to_end_regression() {
+        let df = regression_frame(60);
+        let spec = PipelineSpec::default_regression("y");
+        let report = run(&spec, &df).unwrap();
+        assert!(report.test_score > 0.95, "r2 {}", report.test_score);
+    }
+
+    #[test]
+    fn timings_cover_all_tasks() {
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        let report = run(&spec, &df).unwrap();
+        // explore + 3 preps + fragment + train + test + assess = 8
+        assert_eq!(report.timings.len(), 8);
+        assert_eq!(report.timings[0].0, "explore");
+        assert_eq!(report.timings.last().unwrap().0, "assess");
+        assert!(report.total_time() > std::time::Duration::ZERO);
+        assert!(report.n_explored_columns >= 2);
+    }
+
+    #[test]
+    fn invalid_spec_rejected_before_work() {
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("ghost");
+        assert!(matches!(
+            run(&spec, &df),
+            Err(PipelineError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let df = classification_frame(60);
+        let spec = PipelineSpec::default_classification("label");
+        let a = run(&spec, &df).unwrap();
+        let b = run(&spec, &df).unwrap();
+        assert_eq!(a.test_score, b.test_score);
+        assert_eq!(a.train_score, b.train_score);
+    }
+
+    #[test]
+    fn cv_score_reasonable() {
+        let df = classification_frame(60);
+        let spec = PipelineSpec::default_classification("label");
+        let cv = cv_score(&spec, &df, 4).unwrap();
+        assert_eq!(cv.fold_scores.len(), 4);
+        assert!(cv.mean > 0.8, "cv mean {}", cv.mean);
+    }
+
+    #[test]
+    fn prep_ops_change_feature_space() {
+        let df = regression_frame(40);
+        let mut spec = PipelineSpec::default_regression("y");
+        spec.prep.push(PrepOp::PolynomialFeatures { degree: 2 });
+        let report = run(&spec, &df).unwrap();
+        assert!(report.feature_names.iter().any(|f| f.ends_with("^2")));
+    }
+
+    #[test]
+    fn stratified_split_in_pipeline() {
+        let df = classification_frame(60);
+        let mut spec = PipelineSpec::default_classification("label");
+        spec.split.stratified = true;
+        let report = run(&spec, &df).unwrap();
+        assert!(report.test_score > 0.8);
+    }
+
+    #[test]
+    fn overfit_gap_computed() {
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        let report = run(&spec, &df).unwrap();
+        assert!((report.overfit_gap() - (report.train_score - report.test_score)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn align_classes_remaps_codes() {
+        // Train sees labels in order [a, b]; test fragment first sees b.
+        let train_df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![0.0, 1.0, 0.2, 1.2])),
+            ("y", Column::from_categorical(&["a", "b", "a", "b"])),
+        ])
+        .unwrap();
+        let test_df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![1.1, 0.1])),
+            ("y", Column::from_categorical(&["b", "a"])),
+        ])
+        .unwrap();
+        let train = Dataset::classification(&train_df, &["x"], "y").unwrap();
+        let mut test = Dataset::classification(&test_df, &["x"], "y").unwrap();
+        align_classes(&train, &mut test).unwrap();
+        assert_eq!(test.class_labels, train.class_labels);
+        assert_eq!(
+            test.y_classes().unwrap(),
+            vec![1, 0],
+            "b=1, a=0 in training order"
+        );
+    }
+
+    #[test]
+    fn unseen_test_label_errors() {
+        let train_df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![0.0, 1.0])),
+            ("y", Column::from_categorical(&["a", "b"])),
+        ])
+        .unwrap();
+        let test_df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![2.0])),
+            ("y", Column::from_categorical(&["c"])),
+        ])
+        .unwrap();
+        let train = Dataset::classification(&train_df, &["x"], "y").unwrap();
+        let mut test = Dataset::classification(&test_df, &["x"], "y").unwrap();
+        assert!(align_classes(&train, &mut test).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Stable fingerprints and behavioural descriptors of pipeline specs.
+//!
+//! The fingerprint (FNV-1a over the canonical form) identifies a design
+//! exactly — provenance and the novelty archive key on it. The descriptor is
+//! a fixed-length numeric vector summarizing the design's *behaviourally
+//! relevant* choices; distances between descriptors drive novelty search.
+
+use crate::op::PrepOp;
+use crate::spec::PipelineSpec;
+use matilda_data::transform::{ImputeStrategy, ScaleStrategy};
+use matilda_ml::ModelSpec;
+
+/// 64-bit FNV-1a hash of arbitrary bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Exact fingerprint of a spec: equal specs hash equal, any change to task,
+/// prep, split, model or scoring changes the hash with high probability.
+pub fn fingerprint(spec: &PipelineSpec) -> u64 {
+    fnv1a(spec.canonical().as_bytes())
+}
+
+/// Dimensionality of [`descriptor`] vectors.
+pub const DESCRIPTOR_LEN: usize = 17;
+
+/// Behavioural descriptor: a fixed-length vector in roughly `[0, 1]` per
+/// dimension, so Euclidean distances are meaningful for novelty search.
+///
+/// Layout:
+/// 0..7  – presence/intensity of each prep op family
+/// 7     – prep chain length (scaled)
+/// 8     – test fraction
+/// 9     – stratified flag
+/// 10..15 – model family one-hot-ish with a capacity scalar
+/// 16    – discretization coarseness
+pub fn descriptor(spec: &PipelineSpec) -> [f64; DESCRIPTOR_LEN] {
+    let mut d = [0.0; DESCRIPTOR_LEN];
+    for op in &spec.prep {
+        match op {
+            PrepOp::DropNulls => d[0] = 1.0,
+            PrepOp::Impute(s) => {
+                d[1] = match s {
+                    ImputeStrategy::Mean => 0.4,
+                    ImputeStrategy::Median => 0.6,
+                    ImputeStrategy::Mode => 0.8,
+                    ImputeStrategy::Constant(_) => 1.0,
+                }
+            }
+            PrepOp::Scale(s) => {
+                d[2] = match s {
+                    ScaleStrategy::Standard => 0.5,
+                    ScaleStrategy::MinMax => 0.75,
+                    ScaleStrategy::Robust => 1.0,
+                }
+            }
+            PrepOp::OneHotEncode => d[3] = 1.0,
+            PrepOp::SelectKBest { k } => d[4] = (*k as f64 / 16.0).min(1.0),
+            PrepOp::PolynomialFeatures { degree } => d[5] = (*degree as f64 / 6.0).min(1.0),
+            PrepOp::ClipOutliers { .. } => d[6] = 1.0,
+            PrepOp::Discretize { bins } => d[16] = (*bins as f64 / 16.0).min(1.0),
+        }
+    }
+    d[7] = (spec.prep.len() as f64 / 8.0).min(1.0);
+    d[8] = spec.split.test_fraction;
+    d[9] = f64::from(u8::from(spec.split.stratified));
+    match &spec.model {
+        ModelSpec::Linear { ridge } => {
+            d[10] = 1.0;
+            d[15] = (ridge.ln_1p() / 10.0).clamp(0.0, 1.0);
+        }
+        ModelSpec::Logistic { epochs, .. } => {
+            d[11] = 1.0;
+            d[15] = (*epochs as f64 / 1000.0).min(1.0);
+        }
+        ModelSpec::GaussianNb => d[12] = 1.0,
+        ModelSpec::Knn { k } => {
+            d[13] = 1.0;
+            d[15] = (*k as f64 / 32.0).min(1.0);
+        }
+        ModelSpec::Tree { max_depth, .. } => {
+            d[14] = 1.0;
+            d[15] = (*max_depth as f64 / 16.0).min(1.0);
+        }
+        ModelSpec::Forest {
+            n_trees, max_depth, ..
+        } => {
+            d[14] = 0.7; // tree family, ensemble flavour
+            d[13] = 0.3;
+            d[15] = ((*n_trees * *max_depth) as f64 / 400.0).min(1.0);
+        }
+        ModelSpec::Boost {
+            n_rounds,
+            max_depth,
+            ..
+        } => {
+            d[14] = 0.5;
+            d[12] = 0.3;
+            d[15] = ((*n_rounds * *max_depth) as f64 / 400.0).min(1.0);
+        }
+        ModelSpec::Mlp { hidden, epochs, .. } => {
+            d[11] = 0.6; // gradient-trained family, like logistic...
+            d[13] = 0.4; // ...but nonlinear/local like knn
+            d[15] = ((*hidden * *epochs) as f64 / 20_000.0).min(1.0);
+        }
+    }
+    d
+}
+
+/// Euclidean distance between two descriptors.
+pub fn descriptor_distance(a: &[f64; DESCRIPTOR_LEN], b: &[f64; DESCRIPTOR_LEN]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::SplitSpec;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // FNV-1a reference values.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn equal_specs_equal_fingerprints() {
+        let a = PipelineSpec::default_classification("y");
+        let b = PipelineSpec::default_classification("y");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn any_field_changes_fingerprint() {
+        let base = PipelineSpec::default_classification("y");
+        let mut model = base.clone();
+        model.model = ModelSpec::Knn { k: 5 };
+        let mut split = base.clone();
+        split.split = SplitSpec {
+            test_fraction: 0.3,
+            stratified: true,
+            seed: 42,
+        };
+        let mut prep = base.clone();
+        prep.prep.push(PrepOp::DropNulls);
+        let fps = [
+            fingerprint(&base),
+            fingerprint(&model),
+            fingerprint(&split),
+            fingerprint(&prep),
+        ];
+        let unique: std::collections::HashSet<u64> = fps.iter().copied().collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn descriptor_identity_distance_zero() {
+        let a = PipelineSpec::default_classification("y");
+        assert_eq!(descriptor_distance(&descriptor(&a), &descriptor(&a)), 0.0);
+    }
+
+    #[test]
+    fn descriptor_far_for_different_families() {
+        let tree = PipelineSpec::default_classification("y");
+        let mut knn = tree.clone();
+        knn.model = ModelSpec::Knn { k: 5 };
+        let mut similar = tree.clone();
+        similar.model = ModelSpec::Tree {
+            max_depth: 6,
+            min_samples_split: 4,
+        };
+        let d_family = descriptor_distance(&descriptor(&tree), &descriptor(&knn));
+        let d_hyper = descriptor_distance(&descriptor(&tree), &descriptor(&similar));
+        assert!(
+            d_family > d_hyper,
+            "family change ({d_family}) should move farther than a depth tweak ({d_hyper})"
+        );
+    }
+
+    #[test]
+    fn descriptor_bounded() {
+        let mut spec = PipelineSpec::default_classification("y");
+        spec.prep.push(PrepOp::SelectKBest { k: 1000 });
+        spec.prep.push(PrepOp::PolynomialFeatures { degree: 50 });
+        spec.model = ModelSpec::Forest {
+            n_trees: 999,
+            max_depth: 99,
+            feature_fraction: 0.5,
+            seed: 0,
+        };
+        for v in descriptor(&spec) {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "descriptor component {v} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn prep_ops_move_descriptor() {
+        let base = PipelineSpec::default_classification("y");
+        let mut clipped = base.clone();
+        clipped
+            .prep
+            .push(PrepOp::ClipOutliers { lo: -3.0, hi: 3.0 });
+        assert!(descriptor_distance(&descriptor(&base), &descriptor(&clipped)) > 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! A generic task DAG with topological execution order.
+//!
+//! The executor lowers a [`crate::spec::PipelineSpec`] into a task graph so
+//! that provenance can record per-task lineage and the platform can display
+//! progress phase by phase.
+
+use crate::error::{PipelineError, Result};
+use crate::phase::Phase;
+use std::collections::HashMap;
+
+/// One node in the task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskNode {
+    /// Unique node id.
+    pub id: String,
+    /// Design phase the task belongs to.
+    pub phase: Phase,
+    /// Human-readable label.
+    pub label: String,
+    /// Ids of tasks that must complete first.
+    pub depends_on: Vec<String>,
+}
+
+/// A directed acyclic graph of pipeline tasks.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    nodes: Vec<TaskNode>,
+    index: HashMap<String, usize>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; ids must be unique and dependencies must already exist.
+    pub fn add(
+        &mut self,
+        id: impl Into<String>,
+        phase: Phase,
+        label: impl Into<String>,
+        depends_on: &[&str],
+    ) -> Result<()> {
+        let id = id.into();
+        if self.index.contains_key(&id) {
+            return Err(PipelineError::BadNode(format!("duplicate id '{id}'")));
+        }
+        for dep in depends_on {
+            if !self.index.contains_key(*dep) {
+                return Err(PipelineError::BadNode(format!(
+                    "node '{id}' depends on unknown '{dep}'"
+                )));
+            }
+        }
+        self.index.insert(id.clone(), self.nodes.len());
+        self.nodes.push(TaskNode {
+            id,
+            phase,
+            label: label.into(),
+            depends_on: depends_on.iter().map(|s| s.to_string()).collect(),
+        });
+        Ok(())
+    }
+
+    /// All nodes in insertion order.
+    pub fn nodes(&self) -> &[TaskNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: &str) -> Option<&TaskNode> {
+        self.index.get(id).map(|&i| &self.nodes[i])
+    }
+
+    /// Kahn topological order over node ids; errors on cycles.
+    ///
+    /// Ties (nodes simultaneously ready) resolve in insertion order, so the
+    /// result is deterministic.
+    pub fn topological_order(&self) -> Result<Vec<&str>> {
+        let n = self.nodes.len();
+        let mut in_degree = vec![0usize; n];
+        let mut dependants: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for dep in &node.depends_on {
+                let j = self.index[dep.as_str()];
+                in_degree[i] += 1;
+                dependants[j].push(i);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&i) = ready.first() {
+            ready.remove(0);
+            order.push(self.nodes[i].id.as_str());
+            for &j in &dependants[i] {
+                in_degree[j] -= 1;
+                if in_degree[j] == 0 {
+                    // Insert keeping ready sorted by insertion index.
+                    let pos = ready.partition_point(|&k| k < j);
+                    ready.insert(pos, j);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck: Vec<&str> = self
+                .nodes
+                .iter()
+                .filter(|node| !order.contains(&node.id.as_str()))
+                .map(|node| node.id.as_str())
+                .collect();
+            return Err(PipelineError::Cycle(format!(
+                "unresolvable nodes: {stuck:?}"
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Ids of the transitive dependencies of `id` (its lineage), in
+    /// topological order.
+    pub fn lineage(&self, id: &str) -> Result<Vec<&str>> {
+        if !self.index.contains_key(id) {
+            return Err(PipelineError::BadNode(format!("unknown node '{id}'")));
+        }
+        let mut wanted = vec![id.to_string()];
+        let mut i = 0;
+        while i < wanted.len() {
+            let node = self.node(&wanted[i]).expect("validated");
+            for dep in &node.depends_on {
+                if !wanted.contains(dep) {
+                    wanted.push(dep.clone());
+                }
+            }
+            i += 1;
+        }
+        let order = self.topological_order()?;
+        Ok(order
+            .into_iter()
+            .filter(|n| wanted.iter().any(|w| w == n) && *n != id)
+            .collect())
+    }
+}
+
+/// Build the canonical six-phase task graph for one pipeline run.
+pub fn standard_graph(prep_ops: &[&str]) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    g.add("explore", Phase::Explore, "profile the dataset", &[])
+        .expect("fresh graph");
+    let mut last = "explore".to_string();
+    for (i, op) in prep_ops.iter().enumerate() {
+        let id = format!("prepare.{i}.{op}");
+        g.add(&id, Phase::Prepare, format!("apply {op}"), &[last.as_str()])
+            .expect("sequential ids unique");
+        last = id;
+    }
+    g.add(
+        "fragment",
+        Phase::Fragment,
+        "split train/test",
+        &[last.as_str()],
+    )
+    .expect("unique");
+    g.add("train", Phase::Train, "fit the model", &["fragment"])
+        .expect("unique");
+    g.add("test", Phase::Test, "predict held-out rows", &["train"])
+        .expect("unique");
+    g.add("assess", Phase::Assess, "score predictions", &["test"])
+        .expect("unique");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut g = TaskGraph::new();
+        g.add("a", Phase::Explore, "A", &[]).unwrap();
+        g.add("b", Phase::Prepare, "B", &["a"]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.node("b").unwrap().depends_on, vec!["a"]);
+        assert!(g.node("zzz").is_none());
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut g = TaskGraph::new();
+        g.add("a", Phase::Explore, "A", &[]).unwrap();
+        assert!(matches!(
+            g.add("a", Phase::Prepare, "A2", &[]),
+            Err(PipelineError::BadNode(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_dependency_rejected() {
+        let mut g = TaskGraph::new();
+        assert!(g.add("a", Phase::Explore, "A", &["ghost"]).is_err());
+    }
+
+    #[test]
+    fn topological_order_respects_deps() {
+        let mut g = TaskGraph::new();
+        g.add("load", Phase::Explore, "", &[]).unwrap();
+        g.add("clean", Phase::Prepare, "", &["load"]).unwrap();
+        g.add("encode", Phase::Prepare, "", &["load"]).unwrap();
+        g.add("merge", Phase::Fragment, "", &["clean", "encode"])
+            .unwrap();
+        let order = g.topological_order().unwrap();
+        let pos = |id: &str| order.iter().position(|&n| n == id).unwrap();
+        assert!(pos("load") < pos("clean"));
+        assert!(pos("load") < pos("encode"));
+        assert!(pos("clean") < pos("merge"));
+        assert!(pos("encode") < pos("merge"));
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let build = || {
+            let mut g = TaskGraph::new();
+            g.add("r", Phase::Explore, "", &[]).unwrap();
+            g.add("x", Phase::Prepare, "", &["r"]).unwrap();
+            g.add("y", Phase::Prepare, "", &["r"]).unwrap();
+            g.add("z", Phase::Prepare, "", &["r"]).unwrap();
+            g
+        };
+        assert_eq!(
+            build().topological_order().unwrap(),
+            build().topological_order().unwrap()
+        );
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // Build a cycle by editing nodes directly (add() prevents forward refs).
+        let mut g = TaskGraph::new();
+        g.add("a", Phase::Explore, "", &[]).unwrap();
+        g.add("b", Phase::Prepare, "", &["a"]).unwrap();
+        g.nodes[0].depends_on.push("b".into());
+        assert!(matches!(
+            g.topological_order(),
+            Err(PipelineError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn lineage_transitive() {
+        let g = standard_graph(&["impute", "scale"]);
+        let lineage = g.lineage("assess").unwrap();
+        assert!(lineage.contains(&"explore"));
+        assert!(lineage.contains(&"prepare.0.impute"));
+        assert!(lineage.contains(&"train"));
+        assert!(
+            !lineage.contains(&"assess"),
+            "a node is not in its own lineage"
+        );
+        assert!(g.lineage("ghost").is_err());
+    }
+
+    #[test]
+    fn standard_graph_shape() {
+        let g = standard_graph(&["impute"]);
+        assert_eq!(
+            g.len(),
+            6,
+            "explore + 1 prep + fragment + train + test + assess"
+        );
+        let order = g.topological_order().unwrap();
+        assert_eq!(order.first(), Some(&"explore"));
+        assert_eq!(order.last(), Some(&"assess"));
+    }
+
+    #[test]
+    fn standard_graph_no_prep() {
+        let g = standard_graph(&[]);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.node("fragment").unwrap().depends_on, vec!["explore"]);
+    }
+}

@@ -1,0 +1,64 @@
+//! # matilda-pipeline
+//!
+//! The data-science pipeline model at the heart of MATILDA: a pipeline is a
+//! declarative, serializable design artefact — [`spec::PipelineSpec`] — that
+//! the creativity engine mutates, the validator checks against concrete
+//! data, and the executor runs through the paper's five phases (explore &
+//! prepare, fragment, train, test, assess).
+//!
+//! - [`spec`]: the pipeline genome (task, prep ops, split, model, scoring);
+//! - [`op`]: preparation operators and the split spec, each pure data;
+//! - [`graph`]: the task DAG with topological execution and lineage queries;
+//! - [`validate`]: static validation with user-facing violation messages;
+//! - [`exec`]: the executor producing scored, timed [`exec::PipelineReport`]s;
+//! - [`fingerprint`]: exact hashes and behavioural descriptors for novelty;
+//! - [`codec`]: a versioned text codec making provenance logs self-contained;
+//! - [`registry`]: the catalogue of known operators/models with
+//!   data-calibrated applicability, feeding conversation and creativity.
+//!
+//! ```
+//! use matilda_data::prelude::*;
+//! use matilda_pipeline::prelude::*;
+//!
+//! let df = DataFrame::from_columns(vec![
+//!     ("x", Column::from_f64((0..40).map(f64::from).collect())),
+//!     ("label", Column::from_categorical(
+//!         &(0..40).map(|i| if i < 20 { "a" } else { "b" }).collect::<Vec<_>>())),
+//! ]).unwrap();
+//! let spec = PipelineSpec::default_classification("label");
+//! let report = run(&spec, &df).unwrap();
+//! assert!(report.test_score > 0.8);
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod exec;
+pub mod fingerprint;
+pub mod graph;
+pub mod op;
+pub mod phase;
+pub mod registry;
+pub mod spec;
+pub mod validate;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::codec::{decode as decode_spec, encode as encode_spec};
+    pub use crate::error::{PipelineError, Result};
+    pub use crate::exec::{cv_score, run, PipelineReport};
+    pub use crate::fingerprint::{descriptor, descriptor_distance, fingerprint, DESCRIPTOR_LEN};
+    pub use crate::graph::{standard_graph, TaskGraph, TaskNode};
+    pub use crate::op::{PrepOp, SplitSpec};
+    pub use crate::phase::Phase;
+    pub use crate::registry::{
+        model_catalogue, prep_catalogue, scoring_catalogue, DataProfile, ModelEntry, OpEntry,
+    };
+    pub use crate::spec::{PipelineSpec, Task};
+    pub use crate::validate::{validate, validate_strict, Violation};
+}
+
+pub use error::{PipelineError, Result};
+pub use exec::{cv_score, run, PipelineReport};
+pub use op::{PrepOp, SplitSpec};
+pub use phase::Phase;
+pub use spec::{PipelineSpec, Task};

@@ -1,0 +1,466 @@
+//! Declarative preparation operators and the split specification.
+//!
+//! Operators are *data*, not code: the creativity engine mutates them, the
+//! validator checks them against a concrete frame, and the executor applies
+//! them. Each op is pure (frame in, frame out).
+
+use crate::error::{PipelineError, Result};
+use matilda_data::prelude::*;
+use matilda_data::{stats, transform};
+
+/// A preparation-phase operator applied to the whole frame.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum PrepOp {
+    /// Drop rows containing any null.
+    DropNulls,
+    /// Impute nulls: numeric columns with the strategy, others with mode.
+    Impute(ImputeStrategy),
+    /// Scale every numeric feature column (the target is left untouched).
+    Scale(ScaleStrategy),
+    /// One-hot encode all categorical/string columns except the target.
+    OneHotEncode,
+    /// Keep only the `k` numeric features most correlated with the target
+    /// (absolute Pearson), plus the target itself.
+    SelectKBest {
+        /// How many features to keep.
+        k: usize,
+    },
+    /// Append `x^2 .. x^degree` columns for every numeric feature.
+    PolynomialFeatures {
+        /// Highest power added (>= 2).
+        degree: u32,
+    },
+    /// Clip every numeric feature into `[lo, hi]`.
+    ClipOutliers {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Replace every numeric feature with its equal-width bin index —
+    /// coarse-graining that can help tree-free models on stepwise signals.
+    Discretize {
+        /// Number of bins (>= 2).
+        bins: usize,
+    },
+}
+
+impl PrepOp {
+    /// Stable short name for provenance and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrepOp::DropNulls => "drop_nulls",
+            PrepOp::Impute(_) => "impute",
+            PrepOp::Scale(_) => "scale",
+            PrepOp::OneHotEncode => "one_hot",
+            PrepOp::SelectKBest { .. } => "select_k_best",
+            PrepOp::PolynomialFeatures { .. } => "poly_features",
+            PrepOp::ClipOutliers { .. } => "clip",
+            PrepOp::Discretize { .. } => "discretize",
+        }
+    }
+
+    /// Human-readable description for the conversational loop.
+    pub fn describe(&self) -> String {
+        match self {
+            PrepOp::DropNulls => "drop every row that has a missing value".into(),
+            PrepOp::Impute(s) => format!("fill missing values using the {s:?} strategy"),
+            PrepOp::Scale(s) => format!("rescale numeric features ({s:?})"),
+            PrepOp::OneHotEncode => "turn categories into 0/1 indicator columns".into(),
+            PrepOp::SelectKBest { k } => {
+                format!("keep only the {k} features most related to the target")
+            }
+            PrepOp::PolynomialFeatures { degree } => {
+                format!("add powers of each feature up to degree {degree}")
+            }
+            PrepOp::ClipOutliers { lo, hi } => format!("clip extreme values into [{lo}, {hi}]"),
+            PrepOp::Discretize { bins } => {
+                format!("simplify each number into one of {bins} coarse levels")
+            }
+        }
+    }
+
+    /// Apply the operator to `df`; `target` names the prediction target so
+    /// operators can avoid transforming it.
+    pub fn apply(&self, df: &DataFrame, target: &str) -> Result<DataFrame> {
+        match self {
+            PrepOp::DropNulls => Ok(df.drop_nulls()),
+            PrepOp::Impute(strategy) => Ok(transform::impute_frame(df, strategy)?),
+            PrepOp::Scale(strategy) => {
+                let mut out = df.clone();
+                let names: Vec<String> = df
+                    .schema()
+                    .numeric_names()
+                    .iter()
+                    .filter(|n| **n != target)
+                    .map(|s| s.to_string())
+                    .collect();
+                for name in names {
+                    let col = df.column(&name)?;
+                    if col.null_count() == col.len() {
+                        continue; // nothing to scale
+                    }
+                    out.replace_column(&name, transform::scale(col, *strategy)?)?;
+                }
+                Ok(out)
+            }
+            PrepOp::OneHotEncode => Ok(transform::one_hot_frame(df, &[target])?),
+            PrepOp::SelectKBest { k } => {
+                if *k == 0 {
+                    return Err(PipelineError::InvalidSpec(
+                        "select_k_best needs k >= 1".into(),
+                    ));
+                }
+                let target_col = df.column(target)?;
+                let target_vals = numeric_or_encoded(target_col)?;
+                let mut scored: Vec<(String, f64)> = Vec::new();
+                for (name, col) in df.iter_columns() {
+                    if name == target || !col.dtype().is_numeric() {
+                        continue;
+                    }
+                    let vals = col.to_f64()?;
+                    let (mut xs, mut ys) = (Vec::new(), Vec::new());
+                    for (a, b) in vals.iter().zip(&target_vals) {
+                        if let (Some(a), Some(b)) = (a, b) {
+                            xs.push(*a);
+                            ys.push(*b);
+                        }
+                    }
+                    let r = stats::pearson(&xs, &ys).unwrap_or(0.0).abs();
+                    scored.push((name.to_owned(), r));
+                }
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                let keep: Vec<&str> = scored
+                    .iter()
+                    .take(*k)
+                    .map(|(n, _)| n.as_str())
+                    .chain(std::iter::once(target))
+                    .collect();
+                // Preserve non-numeric columns so later encodes still work.
+                let mut names: Vec<&str> = Vec::new();
+                for (name, col) in df.iter_columns() {
+                    if keep.contains(&name) || (!col.dtype().is_numeric() && name != target) {
+                        names.push(name);
+                    }
+                }
+                if keep.contains(&target) && !names.contains(&target) {
+                    names.push(target);
+                }
+                Ok(df.select(&names)?)
+            }
+            PrepOp::PolynomialFeatures { degree } => {
+                if *degree < 2 {
+                    return Err(PipelineError::InvalidSpec(
+                        "poly_features needs degree >= 2".into(),
+                    ));
+                }
+                let mut out = df.clone();
+                let names: Vec<String> = df
+                    .schema()
+                    .numeric_names()
+                    .iter()
+                    .filter(|n| **n != target)
+                    .map(|s| s.to_string())
+                    .collect();
+                for name in names {
+                    let col = df.column(&name)?;
+                    for p in 2..=*degree {
+                        out.upsert_column(
+                            &format!("{name}^{p}"),
+                            transform::power(col, p as i32)?,
+                        )?;
+                    }
+                }
+                Ok(out)
+            }
+            PrepOp::ClipOutliers { lo, hi } => {
+                if lo > hi {
+                    return Err(PipelineError::InvalidSpec(format!(
+                        "clip bounds inverted: {lo} > {hi}"
+                    )));
+                }
+                let mut out = df.clone();
+                let names: Vec<String> = df
+                    .schema()
+                    .numeric_names()
+                    .iter()
+                    .filter(|n| **n != target)
+                    .map(|s| s.to_string())
+                    .collect();
+                for name in names {
+                    out.replace_column(&name, transform::clip(df.column(&name)?, *lo, *hi)?)?;
+                }
+                Ok(out)
+            }
+            PrepOp::Discretize { bins } => {
+                if *bins < 2 {
+                    return Err(PipelineError::InvalidSpec(
+                        "discretize needs at least 2 bins".into(),
+                    ));
+                }
+                let mut out = df.clone();
+                let names: Vec<String> = df
+                    .schema()
+                    .numeric_names()
+                    .iter()
+                    .filter(|n| **n != target)
+                    .map(|s| s.to_string())
+                    .collect();
+                for name in names {
+                    let col = df.column(&name)?;
+                    if col.to_f64_dense()?.is_empty() {
+                        continue;
+                    }
+                    out.replace_column(&name, transform::bin_equal_width(col, *bins)?)?;
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Numeric view of a column for correlation: numeric columns pass through,
+/// categorical/string columns are ordinal-encoded.
+fn numeric_or_encoded(col: &Column) -> Result<Vec<Option<f64>>> {
+    if col.dtype().is_numeric() {
+        Ok(col.to_f64()?)
+    } else {
+        Ok(transform::ordinal_encode(col)?.to_f64()?)
+    }
+}
+
+/// How the pipeline fragments data before training.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SplitSpec {
+    /// Fraction of rows held out for testing, in (0, 1).
+    pub test_fraction: f64,
+    /// Whether to stratify on the target column.
+    pub stratified: bool,
+    /// RNG seed making the fragmentation reproducible.
+    pub seed: u64,
+}
+
+impl Default for SplitSpec {
+    fn default() -> Self {
+        Self {
+            test_fraction: 0.25,
+            stratified: false,
+            seed: 42,
+        }
+    }
+}
+
+impl SplitSpec {
+    /// Execute the split.
+    pub fn apply(&self, df: &DataFrame, target: &str) -> Result<(DataFrame, DataFrame)> {
+        if self.stratified {
+            Ok(matilda_data::split::stratified_split(
+                df,
+                target,
+                self.test_fraction,
+                self.seed,
+            )?)
+        } else {
+            Ok(matilda_data::split::train_test_split(
+                df,
+                self.test_fraction,
+                self.seed,
+            )?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "a",
+                Column::from_opt_f64(vec![Some(1.0), Some(2.0), None, Some(4.0)]),
+            ),
+            ("b", Column::from_f64(vec![4.0, 3.0, 2.0, 1.0])),
+            ("noise", Column::from_f64(vec![0.9, 0.2, 0.7, 0.4])),
+            ("cat", Column::from_categorical(&["x", "y", "x", "y"])),
+            ("target", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn drop_nulls_op() {
+        let out = PrepOp::DropNulls.apply(&df(), "target").unwrap();
+        assert_eq!(out.n_rows(), 3);
+    }
+
+    #[test]
+    fn impute_op_fills_everything() {
+        let out = PrepOp::Impute(ImputeStrategy::Mean)
+            .apply(&df(), "target")
+            .unwrap();
+        assert_eq!(out.null_count(), 0);
+        assert_eq!(out.n_rows(), 4);
+    }
+
+    #[test]
+    fn scale_leaves_target_untouched() {
+        let clean = PrepOp::Impute(ImputeStrategy::Mean)
+            .apply(&df(), "target")
+            .unwrap();
+        let out = PrepOp::Scale(ScaleStrategy::MinMax)
+            .apply(&clean, "target")
+            .unwrap();
+        let target: Vec<f64> = out.column("target").unwrap().to_f64_dense().unwrap();
+        assert_eq!(target, vec![1.0, 2.0, 3.0, 4.0]);
+        let b: Vec<f64> = out.column("b").unwrap().to_f64_dense().unwrap();
+        assert_eq!(b, vec![1.0, 2.0 / 3.0, 1.0 / 3.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_op_excludes_target() {
+        let d = DataFrame::from_columns(vec![
+            ("cat", Column::from_categorical(&["x", "y"])),
+            ("target", Column::from_categorical(&["p", "q"])),
+        ])
+        .unwrap();
+        let out = PrepOp::OneHotEncode.apply(&d, "target").unwrap();
+        assert_eq!(out.names(), vec!["cat=x", "cat=y", "target"]);
+    }
+
+    #[test]
+    fn select_k_best_keeps_most_correlated() {
+        // `a` (over its non-null pairs) and `b` are perfectly
+        // (anti-)correlated with target; `noise` is not.
+        let out = PrepOp::SelectKBest { k: 2 }.apply(&df(), "target").unwrap();
+        let names = out.names();
+        assert!(names.contains(&"a"));
+        assert!(names.contains(&"b"));
+        assert!(!names.contains(&"noise"));
+        assert!(names.contains(&"target"));
+        assert!(
+            names.contains(&"cat"),
+            "non-numeric columns survive selection"
+        );
+    }
+
+    #[test]
+    fn select_k_best_with_categorical_target() {
+        let d = DataFrame::from_columns(vec![
+            ("f", Column::from_f64(vec![0.0, 0.1, 1.0, 1.1])),
+            ("g", Column::from_f64(vec![0.5, 0.4, 0.6, 0.5])),
+            ("y", Column::from_categorical(&["a", "a", "b", "b"])),
+        ])
+        .unwrap();
+        let out = PrepOp::SelectKBest { k: 1 }.apply(&d, "y").unwrap();
+        assert!(out.names().contains(&"f"));
+        assert!(!out.names().contains(&"g"));
+    }
+
+    #[test]
+    fn select_k_zero_rejected() {
+        assert!(PrepOp::SelectKBest { k: 0 }.apply(&df(), "target").is_err());
+    }
+
+    #[test]
+    fn polynomial_features_added() {
+        let out = PrepOp::PolynomialFeatures { degree: 3 }
+            .apply(&df(), "target")
+            .unwrap();
+        assert!(out.names().contains(&"b^2"));
+        assert!(out.names().contains(&"b^3"));
+        assert!(!out.names().contains(&"target^2"), "target not expanded");
+        let b2: Vec<f64> = out.column("b^2").unwrap().to_f64_dense().unwrap();
+        assert_eq!(b2, vec![16.0, 9.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn polynomial_degree_validated() {
+        assert!(PrepOp::PolynomialFeatures { degree: 1 }
+            .apply(&df(), "target")
+            .is_err());
+    }
+
+    #[test]
+    fn clip_op() {
+        let out = PrepOp::ClipOutliers { lo: 2.0, hi: 3.0 }
+            .apply(&df(), "target")
+            .unwrap();
+        let b: Vec<f64> = out.column("b").unwrap().to_f64_dense().unwrap();
+        assert_eq!(b, vec![3.0, 3.0, 2.0, 2.0]);
+        assert!(PrepOp::ClipOutliers { lo: 3.0, hi: 2.0 }
+            .apply(&df(), "target")
+            .is_err());
+    }
+
+    #[test]
+    fn discretize_op() {
+        let out = PrepOp::Discretize { bins: 2 }
+            .apply(&df(), "target")
+            .unwrap();
+        // b spans 1..4 -> two bins: {1,2} -> 0, {3,4} -> 1 (width 1.5).
+        let b: Vec<f64> = out.column("b").unwrap().to_f64_dense().unwrap();
+        assert!(b.iter().all(|v| *v == 0.0 || *v == 1.0), "{b:?}");
+        let target: Vec<f64> = out.column("target").unwrap().to_f64_dense().unwrap();
+        assert_eq!(target, vec![1.0, 2.0, 3.0, 4.0], "target untouched");
+        assert!(PrepOp::Discretize { bins: 1 }
+            .apply(&df(), "target")
+            .is_err());
+    }
+
+    #[test]
+    fn split_spec_plain_and_stratified() {
+        let d = DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..20).map(f64::from).collect())),
+            (
+                "y",
+                Column::from_categorical(
+                    &(0..20)
+                        .map(|i| if i % 2 == 0 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let plain = SplitSpec {
+            test_fraction: 0.25,
+            stratified: false,
+            seed: 1,
+        };
+        let (tr, te) = plain.apply(&d, "y").unwrap();
+        assert_eq!(tr.n_rows() + te.n_rows(), 20);
+        let strat = SplitSpec {
+            test_fraction: 0.5,
+            stratified: true,
+            seed: 1,
+        };
+        let (tr, te) = strat.apply(&d, "y").unwrap();
+        let count = |f: &DataFrame, l: &str| {
+            f.column("y")
+                .unwrap()
+                .iter()
+                .filter(|v| v.as_str() == Some(l))
+                .count()
+        };
+        assert_eq!(count(&tr, "a"), count(&tr, "b"));
+        assert_eq!(count(&te, "a"), count(&te, "b"));
+    }
+
+    #[test]
+    fn op_names_and_descriptions() {
+        let ops = vec![
+            PrepOp::DropNulls,
+            PrepOp::Impute(ImputeStrategy::Median),
+            PrepOp::Scale(ScaleStrategy::Standard),
+            PrepOp::OneHotEncode,
+            PrepOp::SelectKBest { k: 3 },
+            PrepOp::PolynomialFeatures { degree: 2 },
+            PrepOp::ClipOutliers { lo: -1.0, hi: 1.0 },
+            PrepOp::Discretize { bins: 4 },
+        ];
+        for op in ops {
+            assert!(!op.name().is_empty());
+            assert!(!op.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The five design phases of a MATILDA data-science pipeline.
+//!
+//! The paper enumerates them as "data exploration and preparation,
+//! fragmentation, training, testing and assessing"; every task, suggestion
+//! and provenance record is tagged with one.
+
+use std::fmt;
+
+/// One phase of the pipeline design process.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Phase {
+    /// Understand the data: summaries, correlations, distributions.
+    Explore,
+    /// Clean and engineer features: impute, scale, encode.
+    Prepare,
+    /// Fragment the dataset: train/test splits, folds.
+    Fragment,
+    /// Fit models on training fragments.
+    Train,
+    /// Apply fitted models to held-out fragments.
+    Test,
+    /// Score results and decide whether they answer the research question.
+    Assess,
+}
+
+impl Phase {
+    /// All phases in canonical design order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Explore,
+        Phase::Prepare,
+        Phase::Fragment,
+        Phase::Train,
+        Phase::Test,
+        Phase::Assess,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Explore => "explore",
+            Phase::Prepare => "prepare",
+            Phase::Fragment => "fragment",
+            Phase::Train => "train",
+            Phase::Test => "test",
+            Phase::Assess => "assess",
+        }
+    }
+
+    /// The phase that canonically follows this one, if any.
+    pub fn next(self) -> Option<Phase> {
+        let i = Phase::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("phase in ALL");
+        Phase::ALL.get(i + 1).copied()
+    }
+
+    /// Short human description used by the conversational loop.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Phase::Explore => "look at distributions, correlations and missing values",
+            Phase::Prepare => "clean the data and engineer features",
+            Phase::Fragment => "decide how to split data into training and testing fragments",
+            Phase::Train => "choose and fit a model family",
+            Phase::Test => "apply the fitted model to held-out data",
+            Phase::Assess => "score the results and judge whether they answer the question",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order() {
+        assert_eq!(Phase::Explore.next(), Some(Phase::Prepare));
+        assert_eq!(Phase::Prepare.next(), Some(Phase::Fragment));
+        assert_eq!(Phase::Assess.next(), None);
+    }
+
+    #[test]
+    fn ordering_matches_design_flow() {
+        assert!(Phase::Explore < Phase::Assess);
+        let mut shuffled = vec![Phase::Assess, Phase::Explore, Phase::Train];
+        shuffled.sort();
+        assert_eq!(shuffled, vec![Phase::Explore, Phase::Train, Phase::Assess]);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), Phase::ALL.len());
+        assert_eq!(Phase::Fragment.to_string(), "fragment");
+    }
+
+    #[test]
+    fn descriptions_non_empty() {
+        for p in Phase::ALL {
+            assert!(!p.describe().is_empty());
+        }
+    }
+}

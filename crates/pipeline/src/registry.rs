@@ -1,0 +1,327 @@
+//! The operator/model registry: the platform's catalogue of "known
+//! territory".
+//!
+//! The conversational loop draws its suggestions from here, and the
+//! creativity grammar uses it as the terminal alphabet. Each entry carries
+//! applicability hints so suggestions can be calibrated to the data's
+//! characteristics, as the paper requires.
+
+use crate::op::PrepOp;
+use matilda_data::transform::{ImputeStrategy, ScaleStrategy};
+use matilda_ml::{ModelSpec, Scoring};
+
+/// Dataset characteristics that drive applicability hints.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DataProfile {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Numeric feature count (excluding the target).
+    pub n_numeric: usize,
+    /// Categorical/string feature count (excluding the target).
+    pub n_categorical: usize,
+    /// Total null cells in feature columns.
+    pub n_nulls: usize,
+    /// Whether the task is classification.
+    pub classification: bool,
+    /// Maximum absolute skewness across numeric features.
+    pub max_skewness: f64,
+}
+
+impl DataProfile {
+    /// Profile a frame for a given target column.
+    pub fn from_frame(df: &matilda_data::DataFrame, target: &str, classification: bool) -> Self {
+        let mut profile = DataProfile {
+            n_rows: df.n_rows(),
+            classification,
+            ..DataProfile::default()
+        };
+        for (name, col) in df.iter_columns() {
+            if name == target {
+                continue;
+            }
+            if col.dtype().is_numeric() {
+                profile.n_numeric += 1;
+                if let Ok(xs) = col.to_f64_dense() {
+                    if xs.len() > 2 {
+                        let s = matilda_data::stats::skewness(&xs).unwrap_or(0.0).abs();
+                        profile.max_skewness = profile.max_skewness.max(s);
+                    }
+                }
+            } else {
+                profile.n_categorical += 1;
+            }
+            profile.n_nulls += col.null_count();
+        }
+        profile
+    }
+}
+
+/// A catalogue entry for a preparation operator.
+#[derive(Debug, Clone)]
+pub struct OpEntry {
+    /// The operator template.
+    pub op: PrepOp,
+    /// Why a designer would use it (shown in conversation).
+    pub rationale: &'static str,
+    /// Relevance of the op for `profile`, in `[0, 1]`.
+    pub relevance: fn(&DataProfile) -> f64,
+}
+
+/// A catalogue entry for a model family.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// The model template with default hyper-parameters.
+    pub spec: ModelSpec,
+    /// Why a designer would use it.
+    pub rationale: &'static str,
+    /// Relevance of the model for `profile`, in `[0, 1]`.
+    pub relevance: fn(&DataProfile) -> f64,
+}
+
+/// All preparation operators the platform knows.
+pub fn prep_catalogue() -> Vec<OpEntry> {
+    vec![
+        OpEntry {
+            op: PrepOp::Impute(ImputeStrategy::Median),
+            rationale: "median imputation fills gaps without chasing outliers",
+            relevance: |p| if p.n_nulls > 0 { 1.0 } else { 0.1 },
+        },
+        OpEntry {
+            op: PrepOp::Impute(ImputeStrategy::Mean),
+            rationale: "mean imputation is the simplest gap filler",
+            relevance: |p| if p.n_nulls > 0 { 0.8 } else { 0.05 },
+        },
+        OpEntry {
+            op: PrepOp::DropNulls,
+            rationale: "dropping incomplete rows keeps only observed data",
+            relevance: |p| {
+                if p.n_nulls == 0 {
+                    0.05
+                } else if p.n_rows > 1000 {
+                    0.7
+                } else {
+                    0.3 // dropping rows hurts small datasets
+                }
+            },
+        },
+        OpEntry {
+            op: PrepOp::Scale(ScaleStrategy::Standard),
+            rationale: "standardizing puts features on a comparable scale",
+            relevance: |p| if p.n_numeric > 1 { 0.9 } else { 0.3 },
+        },
+        OpEntry {
+            op: PrepOp::Scale(ScaleStrategy::Robust),
+            rationale: "robust scaling resists heavy-tailed features",
+            relevance: |p| if p.max_skewness > 1.0 { 0.9 } else { 0.3 },
+        },
+        OpEntry {
+            op: PrepOp::OneHotEncode,
+            rationale: "models need numbers; one-hot turns categories into indicators",
+            relevance: |p| if p.n_categorical > 0 { 1.0 } else { 0.0 },
+        },
+        OpEntry {
+            op: PrepOp::SelectKBest { k: 8 },
+            rationale: "keeping the most predictive features fights noise",
+            relevance: |p| if p.n_numeric > 8 { 0.8 } else { 0.2 },
+        },
+        OpEntry {
+            op: PrepOp::PolynomialFeatures { degree: 2 },
+            rationale: "squared features let linear models bend",
+            relevance: |p| if p.n_numeric <= 6 { 0.6 } else { 0.2 },
+        },
+        OpEntry {
+            op: PrepOp::ClipOutliers { lo: -3.0, hi: 3.0 },
+            rationale: "clipping tames extreme values after standardization",
+            relevance: |p| if p.max_skewness > 2.0 { 0.7 } else { 0.2 },
+        },
+        OpEntry {
+            op: PrepOp::Discretize { bins: 8 },
+            rationale: "coarse levels make stepwise patterns obvious",
+            relevance: |p| if p.max_skewness > 1.5 { 0.4 } else { 0.15 },
+        },
+    ]
+}
+
+/// All model families the platform knows.
+pub fn model_catalogue() -> Vec<ModelEntry> {
+    vec![
+        ModelEntry {
+            spec: ModelSpec::Linear { ridge: 1e-3 },
+            rationale: "a straight-line fit: interpretable and fast",
+            relevance: |p| if p.classification { 0.0 } else { 0.9 },
+        },
+        ModelEntry {
+            spec: ModelSpec::Logistic {
+                learning_rate: 0.3,
+                epochs: 200,
+                l2: 1e-3,
+            },
+            rationale: "logistic regression gives calibrated class probabilities",
+            relevance: |p| if p.classification { 0.8 } else { 0.0 },
+        },
+        ModelEntry {
+            spec: ModelSpec::GaussianNb,
+            rationale: "naive Bayes is robust on small samples",
+            relevance: |p| {
+                if !p.classification {
+                    0.0
+                } else if p.n_rows < 200 {
+                    0.9
+                } else {
+                    0.5
+                }
+            },
+        },
+        ModelEntry {
+            spec: ModelSpec::Knn { k: 5 },
+            rationale: "nearest neighbours follow local structure with no training",
+            relevance: |p| if p.n_rows < 2000 { 0.6 } else { 0.2 },
+        },
+        ModelEntry {
+            spec: ModelSpec::Tree {
+                max_depth: 5,
+                min_samples_split: 4,
+            },
+            rationale: "a decision tree yields readable if-then rules",
+            relevance: |_| 0.7,
+        },
+        ModelEntry {
+            spec: ModelSpec::Forest {
+                n_trees: 30,
+                max_depth: 6,
+                feature_fraction: 0.7,
+                seed: 7,
+            },
+            rationale: "a forest of trees trades interpretability for accuracy",
+            relevance: |p| if p.n_rows >= 100 { 0.85 } else { 0.4 },
+        },
+        ModelEntry {
+            spec: ModelSpec::Boost {
+                n_rounds: 40,
+                learning_rate: 0.2,
+                max_depth: 3,
+            },
+            rationale: "boosting squeezes accuracy out of shallow trees",
+            relevance: |p| if p.n_rows >= 100 { 0.8 } else { 0.3 },
+        },
+        ModelEntry {
+            spec: ModelSpec::Mlp {
+                hidden: 16,
+                learning_rate: 0.4,
+                epochs: 200,
+                seed: 7,
+            },
+            rationale: "a small neural network bends around curved boundaries",
+            relevance: |p| {
+                if !p.classification {
+                    0.0
+                } else if p.n_rows >= 150 {
+                    0.6
+                } else {
+                    0.2 // data-hungry relative to the others
+                }
+            },
+        },
+    ]
+}
+
+/// Scorings appropriate for a task.
+pub fn scoring_catalogue(classification: bool) -> Vec<Scoring> {
+    if classification {
+        vec![Scoring::Accuracy, Scoring::MacroF1]
+    } else {
+        vec![Scoring::R2, Scoring::NegRmse]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_data::{Column, DataFrame};
+
+    fn profile() -> DataProfile {
+        DataProfile {
+            n_rows: 500,
+            n_numeric: 4,
+            n_categorical: 1,
+            n_nulls: 10,
+            classification: true,
+            max_skewness: 0.5,
+        }
+    }
+
+    #[test]
+    fn catalogue_non_empty_and_scored() {
+        let p = profile();
+        for entry in prep_catalogue() {
+            let r = (entry.relevance)(&p);
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "{} relevance {r}",
+                entry.op.name()
+            );
+            assert!(!entry.rationale.is_empty());
+        }
+        for entry in model_catalogue() {
+            let r = (entry.relevance)(&p);
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn one_hot_irrelevant_without_categoricals() {
+        let mut p = profile();
+        p.n_categorical = 0;
+        let one_hot = prep_catalogue()
+            .into_iter()
+            .find(|e| matches!(e.op, PrepOp::OneHotEncode))
+            .unwrap();
+        assert_eq!((one_hot.relevance)(&p), 0.0);
+    }
+
+    #[test]
+    fn regression_excludes_classifiers() {
+        let mut p = profile();
+        p.classification = false;
+        let logistic = model_catalogue()
+            .into_iter()
+            .find(|e| matches!(e.spec, ModelSpec::Logistic { .. }))
+            .unwrap();
+        assert_eq!((logistic.relevance)(&p), 0.0);
+        let linear = model_catalogue()
+            .into_iter()
+            .find(|e| matches!(e.spec, ModelSpec::Linear { .. }))
+            .unwrap();
+        assert!((linear.relevance)(&p) > 0.5);
+    }
+
+    #[test]
+    fn scoring_catalogue_by_task() {
+        assert!(scoring_catalogue(true)
+            .iter()
+            .all(|s| s.is_classification()));
+        assert!(scoring_catalogue(false)
+            .iter()
+            .all(|s| !s.is_classification()));
+    }
+
+    #[test]
+    fn profile_from_frame() {
+        let df = DataFrame::from_columns(vec![
+            (
+                "a",
+                Column::from_opt_f64(vec![Some(1.0), None, Some(100.0), Some(2.0)]),
+            ),
+            ("c", Column::from_categorical(&["x", "y", "x", "y"])),
+            ("y", Column::from_categorical(&["p", "q", "p", "q"])),
+        ])
+        .unwrap();
+        let p = DataProfile::from_frame(&df, "y", true);
+        assert_eq!(p.n_rows, 4);
+        assert_eq!(p.n_numeric, 1);
+        assert_eq!(p.n_categorical, 1);
+        assert_eq!(p.n_nulls, 1);
+        assert!(p.classification);
+        assert!(p.max_skewness > 0.5, "outlier should show up as skew");
+    }
+}

@@ -1,0 +1,165 @@
+//! The complete declarative pipeline specification — MATILDA's design
+//! artefact and the genome its creativity engine evolves.
+
+use crate::op::{PrepOp, SplitSpec};
+use matilda_ml::{ModelSpec, Scoring};
+
+/// What the pipeline predicts.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Task {
+    /// Predict the class of `target`.
+    Classification {
+        /// Target column name.
+        target: String,
+    },
+    /// Predict the numeric value of `target`.
+    Regression {
+        /// Target column name.
+        target: String,
+    },
+}
+
+impl Task {
+    /// The target column name.
+    pub fn target(&self) -> &str {
+        match self {
+            Task::Classification { target } | Task::Regression { target } => target,
+        }
+    }
+
+    /// `true` for classification tasks.
+    pub fn is_classification(&self) -> bool {
+        matches!(self, Task::Classification { .. })
+    }
+}
+
+/// A full end-to-end pipeline design.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PipelineSpec {
+    /// Prediction task and target.
+    pub task: Task,
+    /// Ordered preparation operators.
+    pub prep: Vec<PrepOp>,
+    /// Fragmentation strategy.
+    pub split: SplitSpec,
+    /// Model family and hyper-parameters.
+    pub model: ModelSpec,
+    /// Assessment metric.
+    pub scoring: Scoring,
+}
+
+impl PipelineSpec {
+    /// A sensible default classification pipeline for `target`.
+    pub fn default_classification(target: impl Into<String>) -> Self {
+        PipelineSpec {
+            task: Task::Classification {
+                target: target.into(),
+            },
+            prep: vec![
+                PrepOp::Impute(matilda_data::transform::ImputeStrategy::Median),
+                PrepOp::OneHotEncode,
+                PrepOp::Scale(matilda_data::transform::ScaleStrategy::Standard),
+            ],
+            split: SplitSpec {
+                stratified: true,
+                ..SplitSpec::default()
+            },
+            model: ModelSpec::Tree {
+                max_depth: 5,
+                min_samples_split: 4,
+            },
+            scoring: Scoring::MacroF1,
+        }
+    }
+
+    /// A sensible default regression pipeline for `target`.
+    pub fn default_regression(target: impl Into<String>) -> Self {
+        PipelineSpec {
+            task: Task::Regression {
+                target: target.into(),
+            },
+            prep: vec![
+                PrepOp::Impute(matilda_data::transform::ImputeStrategy::Median),
+                PrepOp::OneHotEncode,
+                PrepOp::Scale(matilda_data::transform::ScaleStrategy::Standard),
+            ],
+            split: SplitSpec::default(),
+            model: ModelSpec::Linear { ridge: 1e-3 },
+            scoring: Scoring::R2,
+        }
+    }
+
+    /// A canonical multi-line description, also used for fingerprinting.
+    ///
+    /// The format is stable: task, then each prep op, the split, the model
+    /// and the scoring, one per line.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("task:{:?}\n", self.task));
+        for op in &self.prep {
+            out.push_str(&format!("prep:{op:?}\n"));
+        }
+        out.push_str(&format!("split:{:?}\n", self.split));
+        out.push_str(&format!("model:{:?}\n", self.model));
+        out.push_str(&format!("scoring:{:?}\n", self.scoring));
+        out
+    }
+
+    /// Short one-line human summary.
+    pub fn summary(&self) -> String {
+        let prep: Vec<&str> = self.prep.iter().map(|p| p.name()).collect();
+        format!(
+            "{} of '{}' via [{}] -> {} ({})",
+            if self.task.is_classification() {
+                "classification"
+            } else {
+                "regression"
+            },
+            self.task.target(),
+            prep.join(", "),
+            self.model.name(),
+            self.scoring.name(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = PipelineSpec::default_classification("label");
+        assert!(c.task.is_classification());
+        assert!(c.scoring.is_classification());
+        assert!(c.model.supports_classification());
+        let r = PipelineSpec::default_regression("price");
+        assert!(!r.task.is_classification());
+        assert!(!r.scoring.is_classification());
+        assert!(r.model.supports_regression());
+    }
+
+    #[test]
+    fn canonical_is_stable_and_distinguishes() {
+        let a = PipelineSpec::default_classification("y");
+        let b = PipelineSpec::default_classification("y");
+        assert_eq!(a.canonical(), b.canonical());
+        let mut c = PipelineSpec::default_classification("y");
+        c.model = ModelSpec::Knn { k: 3 };
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn summary_mentions_parts() {
+        let s = PipelineSpec::default_classification("label").summary();
+        assert!(s.contains("classification"));
+        assert!(s.contains("label"));
+        assert!(s.contains("tree"));
+        assert!(s.contains("impute"));
+    }
+
+    #[test]
+    fn task_target_accessor() {
+        assert_eq!(Task::Regression { target: "t".into() }.target(), "t");
+    }
+}

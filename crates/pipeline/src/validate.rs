@@ -1,0 +1,365 @@
+//! Static validation of a pipeline spec against a concrete dataset.
+//!
+//! Validation runs *before* execution so the creativity engine can cheaply
+//! reject ill-formed mutations, and the conversational loop can explain to
+//! the user why a suggestion does not apply.
+
+use crate::error::{PipelineError, Result};
+use crate::op::PrepOp;
+use crate::spec::{PipelineSpec, Task};
+use matilda_data::prelude::*;
+
+/// One validation problem, with a human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Machine-readable code, stable across releases.
+    pub code: &'static str,
+    /// Explanation for the user.
+    pub message: String,
+}
+
+impl Violation {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Check `spec` against `df`, returning every violation found (empty = valid).
+pub fn validate(spec: &PipelineSpec, df: &DataFrame) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let target = spec.task.target();
+
+    // Target must exist.
+    let target_field = df.schema().field(target).ok().cloned();
+    match (&spec.task, &target_field) {
+        (_, None) => {
+            out.push(Violation::new(
+                "target_missing",
+                format!("target column '{target}' not found"),
+            ));
+        }
+        (Task::Regression { .. }, Some(f)) if !f.dtype.is_numeric() => {
+            out.push(Violation::new(
+                "target_not_numeric",
+                format!("regression target '{target}' has type {}", f.dtype),
+            ));
+        }
+        (Task::Classification { .. }, Some(_)) => {
+            if let Ok(col) = df.column(target) {
+                if col.null_count() > 0 {
+                    out.push(Violation::new(
+                        "target_has_nulls",
+                        format!("target '{target}' contains {} nulls", col.null_count()),
+                    ));
+                }
+                let n_unique = col.n_unique();
+                if n_unique < 2 {
+                    out.push(Violation::new(
+                        "single_class",
+                        format!("target '{target}' has {n_unique} distinct value(s)"),
+                    ));
+                } else if n_unique > df.n_rows() / 2 && df.n_rows() >= 8 {
+                    out.push(Violation::new(
+                        "too_many_classes",
+                        format!(
+                            "target '{target}' has {n_unique} classes for {} rows",
+                            df.n_rows()
+                        ),
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+
+    // Scoring must match the task.
+    if spec.scoring.is_classification() != spec.task.is_classification() {
+        out.push(Violation::new(
+            "scoring_task_mismatch",
+            format!("scoring '{}' does not fit the task", spec.scoring.name()),
+        ));
+    }
+
+    // Model must support the task.
+    let ok_model = if spec.task.is_classification() {
+        spec.model.supports_classification()
+    } else {
+        spec.model.supports_regression()
+    };
+    if !ok_model {
+        out.push(Violation::new(
+            "model_task_mismatch",
+            format!("model '{}' does not fit the task", spec.model.name()),
+        ));
+    }
+
+    // Split must be sane.
+    if !(0.0..1.0).contains(&spec.split.test_fraction) || spec.split.test_fraction == 0.0 {
+        out.push(Violation::new(
+            "bad_test_fraction",
+            format!("test_fraction {} outside (0,1)", spec.split.test_fraction),
+        ));
+    }
+    if spec.split.stratified && !spec.task.is_classification() {
+        out.push(Violation::new(
+            "stratify_regression",
+            "stratified splits need a categorical target",
+        ));
+    }
+
+    // Prep ops sanity.
+    let n_numeric_features = df
+        .schema()
+        .numeric_names()
+        .iter()
+        .filter(|n| **n != target)
+        .count();
+    for (i, op) in spec.prep.iter().enumerate() {
+        match op {
+            PrepOp::SelectKBest { k } => {
+                if *k == 0 {
+                    out.push(Violation::new(
+                        "k_zero",
+                        format!("prep[{i}]: select_k_best k = 0"),
+                    ));
+                }
+                // Note: k may exceed the numeric feature count after encoding,
+                // so only flag when it exceeds even the total column count.
+                if *k > df.n_cols() {
+                    out.push(Violation::new(
+                        "k_too_large",
+                        format!("prep[{i}]: k={k} exceeds {} columns", df.n_cols()),
+                    ));
+                }
+            }
+            PrepOp::PolynomialFeatures { degree } => {
+                if *degree < 2 {
+                    out.push(Violation::new(
+                        "bad_degree",
+                        format!("prep[{i}]: poly degree {degree} < 2"),
+                    ));
+                }
+                if *degree > 6 {
+                    out.push(Violation::new(
+                        "degree_explosion",
+                        format!("prep[{i}]: poly degree {degree} would explode feature space"),
+                    ));
+                }
+            }
+            PrepOp::ClipOutliers { lo, hi } if lo > hi => {
+                out.push(Violation::new(
+                    "bad_clip",
+                    format!("prep[{i}]: clip bounds [{lo}, {hi}] inverted"),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // There must be at least one usable feature (numeric now, or categorical
+    // that an OneHotEncode op will expand).
+    let has_one_hot = spec
+        .prep
+        .iter()
+        .any(|op| matches!(op, PrepOp::OneHotEncode));
+    let n_categorical = df
+        .schema()
+        .non_numeric_names()
+        .iter()
+        .filter(|n| **n != target)
+        .count();
+    if n_numeric_features == 0 && !(has_one_hot && n_categorical > 0) {
+        out.push(Violation::new(
+            "no_features",
+            "no usable feature columns for the model",
+        ));
+    }
+
+    // Nulls must be handled before modelling.
+    let feature_nulls: usize = df
+        .iter_columns()
+        .filter(|(name, _)| *name != target)
+        .map(|(_, c)| c.null_count())
+        .sum();
+    let handles_nulls = spec
+        .prep
+        .iter()
+        .any(|op| matches!(op, PrepOp::DropNulls | PrepOp::Impute(_)));
+    if feature_nulls > 0 && !handles_nulls {
+        out.push(Violation::new(
+            "unhandled_nulls",
+            format!("{feature_nulls} feature nulls and no impute/drop_nulls op"),
+        ));
+    }
+
+    out
+}
+
+/// Validate and convert violations into an error.
+pub fn validate_strict(spec: &PipelineSpec, df: &DataFrame) -> Result<()> {
+    let violations = validate(spec, df);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        let msgs: Vec<String> = violations
+            .iter()
+            .map(|v| format!("[{}] {}", v.code, v.message))
+            .collect();
+        Err(PipelineError::InvalidSpec(msgs.join("; ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_ml::{ModelSpec, Scoring};
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..20).map(f64::from).collect())),
+            (
+                "label",
+                Column::from_categorical(
+                    &(0..20)
+                        .map(|i| if i < 10 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "price",
+                Column::from_f64((0..20).map(|i| f64::from(i) * 2.0).collect()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn codes(spec: &PipelineSpec, df: &DataFrame) -> Vec<&'static str> {
+        validate(spec, df).into_iter().map(|v| v.code).collect()
+    }
+
+    #[test]
+    fn valid_defaults_pass() {
+        let spec = PipelineSpec::default_classification("label");
+        assert!(
+            validate(&spec, &df()).is_empty(),
+            "{:?}",
+            validate(&spec, &df())
+        );
+        let spec = PipelineSpec::default_regression("price");
+        assert!(validate(&spec, &df()).is_empty());
+        assert!(validate_strict(&spec, &df()).is_ok());
+    }
+
+    #[test]
+    fn missing_target_detected() {
+        let spec = PipelineSpec::default_classification("ghost");
+        assert!(codes(&spec, &df()).contains(&"target_missing"));
+        assert!(validate_strict(&spec, &df()).is_err());
+    }
+
+    #[test]
+    fn regression_on_categorical_target() {
+        let spec = PipelineSpec::default_regression("label");
+        assert!(codes(&spec, &df()).contains(&"target_not_numeric"));
+    }
+
+    #[test]
+    fn scoring_mismatch_detected() {
+        let mut spec = PipelineSpec::default_classification("label");
+        spec.scoring = Scoring::R2;
+        assert!(codes(&spec, &df()).contains(&"scoring_task_mismatch"));
+    }
+
+    #[test]
+    fn model_mismatch_detected() {
+        let mut spec = PipelineSpec::default_classification("label");
+        spec.model = ModelSpec::Linear { ridge: 0.0 };
+        assert!(codes(&spec, &df()).contains(&"model_task_mismatch"));
+    }
+
+    #[test]
+    fn bad_split_fraction() {
+        let mut spec = PipelineSpec::default_classification("label");
+        spec.split.test_fraction = 1.5;
+        assert!(codes(&spec, &df()).contains(&"bad_test_fraction"));
+    }
+
+    #[test]
+    fn stratified_regression_flagged() {
+        let mut spec = PipelineSpec::default_regression("price");
+        spec.split.stratified = true;
+        assert!(codes(&spec, &df()).contains(&"stratify_regression"));
+    }
+
+    #[test]
+    fn single_class_target() {
+        let d = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(vec![1.0, 2.0])),
+            ("y", Column::from_categorical(&["a", "a"])),
+        ])
+        .unwrap();
+        let spec = PipelineSpec::default_classification("y");
+        assert!(codes(&spec, &d).contains(&"single_class"));
+    }
+
+    #[test]
+    fn id_like_target_flagged() {
+        let labels: Vec<String> = (0..20).map(|i| format!("row{i}")).collect();
+        let d = DataFrame::from_columns(vec![
+            ("x", Column::from_f64((0..20).map(f64::from).collect())),
+            ("y", Column::from_categorical(&labels)),
+        ])
+        .unwrap();
+        let spec = PipelineSpec::default_classification("y");
+        assert!(codes(&spec, &d).contains(&"too_many_classes"));
+    }
+
+    #[test]
+    fn unhandled_nulls_detected() {
+        let d = DataFrame::from_columns(vec![
+            (
+                "x",
+                Column::from_opt_f64(vec![Some(1.0), None, Some(3.0), Some(4.0)]),
+            ),
+            ("y", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+        ])
+        .unwrap();
+        let mut spec = PipelineSpec::default_regression("y");
+        spec.prep = vec![]; // remove the imputer
+        assert!(codes(&spec, &d).contains(&"unhandled_nulls"));
+        spec.prep = vec![PrepOp::DropNulls];
+        assert!(!codes(&spec, &d).contains(&"unhandled_nulls"));
+    }
+
+    #[test]
+    fn no_features_detected() {
+        let d = DataFrame::from_columns(vec![("y", Column::from_f64(vec![1.0, 2.0]))]).unwrap();
+        let mut spec = PipelineSpec::default_regression("y");
+        spec.prep = vec![];
+        assert!(codes(&spec, &d).contains(&"no_features"));
+    }
+
+    #[test]
+    fn categorical_features_with_one_hot_ok() {
+        let d = DataFrame::from_columns(vec![
+            ("c", Column::from_categorical(&["p", "q", "p", "q"])),
+            ("y", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+        ])
+        .unwrap();
+        let spec = PipelineSpec::default_regression("y");
+        assert!(
+            !codes(&spec, &d).contains(&"no_features"),
+            "one-hot rescues categoricals"
+        );
+    }
+
+    #[test]
+    fn degree_explosion_flagged() {
+        let mut spec = PipelineSpec::default_regression("price");
+        spec.prep.push(PrepOp::PolynomialFeatures { degree: 9 });
+        assert!(codes(&spec, &df()).contains(&"degree_explosion"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for provenance capture and queries.
+
+use std::fmt;
+
+/// Errors raised by the provenance store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvError {
+    /// A referenced record id does not exist.
+    UnknownId(String),
+    /// The event log violates an integrity rule.
+    Integrity(String),
+    /// A replay diverged from the recorded history.
+    ReplayMismatch {
+        seq: u64,
+        expected: String,
+        got: String,
+    },
+}
+
+impl fmt::Display for ProvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvError::UnknownId(id) => write!(f, "unknown provenance id: {id}"),
+            ProvError::Integrity(m) => write!(f, "provenance integrity violation: {m}"),
+            ProvError::ReplayMismatch { seq, expected, got } => {
+                write!(
+                    f,
+                    "replay mismatch at seq {seq}: expected {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProvError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ProvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ProvError::UnknownId("e1".into()).to_string().contains("e1"));
+        let e = ProvError::ReplayMismatch {
+            seq: 3,
+            expected: "a".into(),
+            got: "b".into(),
+        };
+        assert!(e.to_string().contains("seq 3"));
+    }
+}

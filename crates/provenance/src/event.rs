@@ -1,0 +1,198 @@
+//! The append-only design-session event vocabulary.
+//!
+//! Every decision made while designing a pipeline — by the human, the
+//! conversational loop or the creativity engine — lands here as one event.
+//! Events use a logical sequence number rather than wall time so that
+//! recorded sessions replay deterministically.
+
+/// Who caused an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Actor {
+    /// The human in the loop.
+    Human,
+    /// The conversational suggestion loop (known territory).
+    Conversation,
+    /// The computational-creativity engine (unknown territory).
+    Creativity,
+    /// The platform runtime itself.
+    System,
+}
+
+impl Actor {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Actor::Human => "human",
+            Actor::Conversation => "conversation",
+            Actor::Creativity => "creativity",
+            Actor::System => "system",
+        }
+    }
+}
+
+/// The payload of one provenance event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A design session opened.
+    SessionStarted {
+        /// Session label.
+        session: String,
+        /// Dataset identifier (name or content hash).
+        dataset: String,
+        /// The research question being pursued.
+        research_question: String,
+    },
+    /// The design moved to a new phase.
+    PhaseEntered {
+        /// Phase name (e.g. "prepare").
+        phase: String,
+    },
+    /// An actor proposed something for the human to adopt or reject.
+    SuggestionMade {
+        /// Unique suggestion id within the session.
+        suggestion_id: String,
+        /// Who proposed it.
+        by: Actor,
+        /// What was proposed, human-readable.
+        content: String,
+        /// Creativity pattern that generated it, if any.
+        pattern: Option<String>,
+    },
+    /// The human (or persona) decided on a suggestion.
+    SuggestionDecided {
+        /// The suggestion decided on.
+        suggestion_id: String,
+        /// Adopted or rejected.
+        adopted: bool,
+        /// Optional free-text reason.
+        reason: String,
+    },
+    /// A complete pipeline design was proposed.
+    PipelineProposed {
+        /// Exact fingerprint of the design.
+        fingerprint: u64,
+        /// Canonical multi-line form of the design.
+        canonical: String,
+        /// Who proposed it.
+        by: Actor,
+    },
+    /// A pipeline was executed and scored.
+    PipelineExecuted {
+        /// Fingerprint of the executed design.
+        fingerprint: u64,
+        /// Held-out score.
+        score: f64,
+        /// Scoring rule name.
+        scoring: String,
+    },
+    /// A free-form annotation on any identified thing.
+    Annotated {
+        /// What is annotated (suggestion id, fingerprint as string, ...).
+        target: String,
+        /// Annotation key.
+        key: String,
+        /// Annotation value.
+        value: String,
+    },
+    /// A data-curation / quality-control check ran.
+    QualityChecked {
+        /// Check name.
+        check: String,
+        /// Whether it passed.
+        passed: bool,
+        /// Details for failures.
+        detail: String,
+    },
+    /// The session closed with a final design.
+    SessionClosed {
+        /// Fingerprint of the adopted final design, if any.
+        final_fingerprint: Option<u64>,
+    },
+}
+
+impl EventKind {
+    /// Stable event-type name used in exports and quality rules.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            EventKind::SessionStarted { .. } => "session_started",
+            EventKind::PhaseEntered { .. } => "phase_entered",
+            EventKind::SuggestionMade { .. } => "suggestion_made",
+            EventKind::SuggestionDecided { .. } => "suggestion_decided",
+            EventKind::PipelineProposed { .. } => "pipeline_proposed",
+            EventKind::PipelineExecuted { .. } => "pipeline_executed",
+            EventKind::Annotated { .. } => "annotated",
+            EventKind::QualityChecked { .. } => "quality_checked",
+            EventKind::SessionClosed { .. } => "session_closed",
+        }
+    }
+}
+
+/// One recorded event: payload plus its logical position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number, unique within a recorder.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_names() {
+        assert_eq!(Actor::Human.name(), "human");
+        assert_eq!(Actor::Creativity.name(), "creativity");
+    }
+
+    #[test]
+    fn type_names_unique() {
+        let kinds = [
+            EventKind::SessionStarted {
+                session: "s".into(),
+                dataset: "d".into(),
+                research_question: "q".into(),
+            },
+            EventKind::PhaseEntered {
+                phase: "prepare".into(),
+            },
+            EventKind::SuggestionMade {
+                suggestion_id: "s1".into(),
+                by: Actor::Conversation,
+                content: "scale".into(),
+                pattern: None,
+            },
+            EventKind::SuggestionDecided {
+                suggestion_id: "s1".into(),
+                adopted: true,
+                reason: String::new(),
+            },
+            EventKind::PipelineProposed {
+                fingerprint: 1,
+                canonical: "c".into(),
+                by: Actor::Creativity,
+            },
+            EventKind::PipelineExecuted {
+                fingerprint: 1,
+                score: 0.9,
+                scoring: "f1".into(),
+            },
+            EventKind::Annotated {
+                target: "s1".into(),
+                key: "k".into(),
+                value: "v".into(),
+            },
+            EventKind::QualityChecked {
+                check: "c".into(),
+                passed: true,
+                detail: String::new(),
+            },
+            EventKind::SessionClosed {
+                final_fingerprint: Some(1),
+            },
+        ];
+        let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.type_name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

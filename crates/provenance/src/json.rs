@@ -1,0 +1,226 @@
+//! Minimal hand-rolled JSON export of session logs.
+//!
+//! We deliberately avoid a JSON dependency: provenance exports are flat and
+//! append-only, so a small, well-tested writer is all that is needed. The
+//! output is JSON Lines: one event object per line.
+
+use crate::event::{Event, EventKind};
+
+/// Escape a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn field_str(out: &mut String, key: &str, value: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(&format!("\"{key}\":\"{}\"", escape(value)));
+}
+
+fn field_raw(out: &mut String, key: &str, value: impl std::fmt::Display, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(&format!("\"{key}\":{value}"));
+}
+
+/// Serialize one event as a single-line JSON object.
+pub fn event_to_json(event: &Event) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    field_raw(&mut out, "seq", event.seq, &mut first);
+    field_str(&mut out, "type", event.kind.type_name(), &mut first);
+    match &event.kind {
+        EventKind::SessionStarted {
+            session,
+            dataset,
+            research_question,
+        } => {
+            field_str(&mut out, "session", session, &mut first);
+            field_str(&mut out, "dataset", dataset, &mut first);
+            field_str(&mut out, "research_question", research_question, &mut first);
+        }
+        EventKind::PhaseEntered { phase } => {
+            field_str(&mut out, "phase", phase, &mut first);
+        }
+        EventKind::SuggestionMade {
+            suggestion_id,
+            by,
+            content,
+            pattern,
+        } => {
+            field_str(&mut out, "suggestion_id", suggestion_id, &mut first);
+            field_str(&mut out, "by", by.name(), &mut first);
+            field_str(&mut out, "content", content, &mut first);
+            if let Some(p) = pattern {
+                field_str(&mut out, "pattern", p, &mut first);
+            }
+        }
+        EventKind::SuggestionDecided {
+            suggestion_id,
+            adopted,
+            reason,
+        } => {
+            field_str(&mut out, "suggestion_id", suggestion_id, &mut first);
+            field_raw(&mut out, "adopted", adopted, &mut first);
+            field_str(&mut out, "reason", reason, &mut first);
+        }
+        EventKind::PipelineProposed {
+            fingerprint,
+            canonical,
+            by,
+        } => {
+            field_raw(&mut out, "fingerprint", fingerprint, &mut first);
+            field_str(&mut out, "canonical", canonical, &mut first);
+            field_str(&mut out, "by", by.name(), &mut first);
+        }
+        EventKind::PipelineExecuted {
+            fingerprint,
+            score,
+            scoring,
+        } => {
+            field_raw(&mut out, "fingerprint", fingerprint, &mut first);
+            field_raw(&mut out, "score", score, &mut first);
+            field_str(&mut out, "scoring", scoring, &mut first);
+        }
+        EventKind::Annotated { target, key, value } => {
+            field_str(&mut out, "target", target, &mut first);
+            field_str(&mut out, "key", key, &mut first);
+            field_str(&mut out, "value", value, &mut first);
+        }
+        EventKind::QualityChecked {
+            check,
+            passed,
+            detail,
+        } => {
+            field_str(&mut out, "check", check, &mut first);
+            field_raw(&mut out, "passed", passed, &mut first);
+            field_str(&mut out, "detail", detail, &mut first);
+        }
+        EventKind::SessionClosed { final_fingerprint } => match final_fingerprint {
+            Some(fp) => field_raw(&mut out, "final_fingerprint", fp, &mut first),
+            None => field_raw(&mut out, "final_fingerprint", "null", &mut first),
+        },
+    }
+    out.push('}');
+    out
+}
+
+/// Serialize a whole log as JSON Lines.
+pub fn log_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Actor;
+    use crate::record::Recorder;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let r = Recorder::new();
+        r.record(EventKind::SuggestionMade {
+            suggestion_id: "s1".into(),
+            by: Actor::Creativity,
+            content: "try \"poly\" features".into(),
+            pattern: Some("mutant_shopping".into()),
+        });
+        let json = event_to_json(&r.snapshot()[0]);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"seq\":0"));
+        assert!(json.contains("\"type\":\"suggestion_made\""));
+        assert!(json.contains("\\\"poly\\\""));
+        assert!(json.contains("\"pattern\":\"mutant_shopping\""));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn numeric_fields_unquoted() {
+        let r = Recorder::new();
+        r.record(EventKind::PipelineExecuted {
+            fingerprint: 42,
+            score: 0.5,
+            scoring: "r2".into(),
+        });
+        let json = event_to_json(&r.snapshot()[0]);
+        assert!(json.contains("\"fingerprint\":42"));
+        assert!(json.contains("\"score\":0.5"));
+    }
+
+    #[test]
+    fn bool_fields_unquoted() {
+        let r = Recorder::new();
+        r.record(EventKind::SuggestionDecided {
+            suggestion_id: "s".into(),
+            adopted: true,
+            reason: String::new(),
+        });
+        assert!(event_to_json(&r.snapshot()[0]).contains("\"adopted\":true"));
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let r = Recorder::new();
+        r.record(EventKind::PhaseEntered {
+            phase: "explore".into(),
+        });
+        r.record(EventKind::PhaseEntered {
+            phase: "prepare".into(),
+        });
+        let out = log_to_jsonl(&r.snapshot());
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn closed_without_final_uses_null() {
+        let r = Recorder::new();
+        r.record(EventKind::SessionClosed {
+            final_fingerprint: None,
+        });
+        assert!(event_to_json(&r.snapshot()[0]).contains("\"final_fingerprint\":null"));
+    }
+
+    #[test]
+    fn multiline_canonical_escaped() {
+        let r = Recorder::new();
+        r.record(EventKind::PipelineProposed {
+            fingerprint: 1,
+            canonical: "task:X\nmodel:Y\n".into(),
+            by: Actor::System,
+        });
+        let json = event_to_json(&r.snapshot()[0]);
+        assert!(!json.contains('\n'));
+        assert!(json.contains("task:X\\nmodel:Y\\n"));
+    }
+}

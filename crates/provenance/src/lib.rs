@@ -1,0 +1,49 @@
+//! # matilda-provenance
+//!
+//! Provenance capture for MATILDA design sessions — the paper's fourth
+//! challenge: "implement processes for data curation, annotation,
+//! identification, and quality control in research".
+//!
+//! Every suggestion, decision, proposal and execution made while designing a
+//! pipeline is recorded as an append-only [`event::Event`] with a logical
+//! sequence number. From the log the crate derives:
+//!
+//! - a W3C-PROV-style derivation [`graph::ProvGraph`] (entities, activities,
+//!   agents) answering lineage questions;
+//! - [`query`] helpers: acceptance rates per actor, score trajectories,
+//!   decision trails, annotations;
+//! - [`quality`] audits checking the log's integrity and completeness;
+//! - deterministic [`replay`] that re-executes recorded designs and verifies
+//!   scores;
+//! - hand-rolled [`json`] export (JSON Lines, no external dependency);
+//! - a Markdown [`report`] renderer for filing sessions as curation artefacts.
+//!
+//! The recorder is thread-safe: conversational loop, creativity workers and
+//! the executor all append to one shared session log.
+
+pub mod error;
+pub mod event;
+pub mod graph;
+pub mod json;
+pub mod quality;
+pub mod query;
+pub mod record;
+pub mod replay;
+pub mod report;
+
+/// Convenient re-exports of the most used items.
+pub mod prelude {
+    pub use crate::error::{ProvError, Result};
+    pub use crate::event::{Actor, Event, EventKind};
+    pub use crate::graph::{ProvGraph, ProvNode, Relation};
+    pub use crate::json::{event_to_json, log_to_jsonl};
+    pub use crate::quality::{audit, QualityReport};
+    pub use crate::query::{actor_stats, best_execution, decision_trail, score_trajectory};
+    pub use crate::record::Recorder;
+    pub use crate::replay::{replay_plan, verify_replay, ReplayStep};
+    pub use crate::report::session_report;
+}
+
+pub use error::{ProvError, Result};
+pub use event::{Actor, Event, EventKind};
+pub use record::Recorder;

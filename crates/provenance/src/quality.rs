@@ -1,0 +1,301 @@
+//! Quality control over recorded design sessions.
+//!
+//! The paper's fourth challenge asks for "processes for data curation,
+//! annotation, identification, and quality control in research"; these
+//! checks audit a session log for completeness and integrity.
+
+use crate::event::{Event, EventKind};
+
+/// One quality rule's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// Rule name.
+    pub check: &'static str,
+    /// Whether the log satisfies the rule.
+    pub passed: bool,
+    /// Failure details (empty when passed).
+    pub detail: String,
+}
+
+/// Aggregate quality report for a session log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualityReport {
+    /// Individual rule outcomes.
+    pub results: Vec<CheckResult>,
+}
+
+impl QualityReport {
+    /// `true` when every rule passed.
+    pub fn all_passed(&self) -> bool {
+        self.results.iter().all(|r| r.passed)
+    }
+
+    /// Names of failed rules.
+    pub fn failures(&self) -> Vec<&'static str> {
+        self.results
+            .iter()
+            .filter(|r| !r.passed)
+            .map(|r| r.check)
+            .collect()
+    }
+}
+
+fn check(name: &'static str, passed: bool, detail: String) -> CheckResult {
+    CheckResult {
+        check: name,
+        passed,
+        detail: if passed { String::new() } else { detail },
+    }
+}
+
+/// Run every quality rule over a session log.
+pub fn audit(events: &[Event]) -> QualityReport {
+    let mut results = Vec::new();
+
+    // Rule: sequence numbers are contiguous from zero.
+    let contiguous = events.iter().enumerate().all(|(i, e)| e.seq == i as u64);
+    results.push(check(
+        "contiguous_sequence",
+        contiguous,
+        "event sequence numbers are not contiguous".into(),
+    ));
+
+    // Rule: the log starts with session_started (when non-empty).
+    let starts_ok = events
+        .first()
+        .map(|e| matches!(e.kind, EventKind::SessionStarted { .. }))
+        .unwrap_or(true);
+    results.push(check(
+        "starts_with_session",
+        starts_ok,
+        "first event is not session_started".into(),
+    ));
+
+    // Rule: every decision references a previously made suggestion.
+    let mut seen: Vec<&str> = Vec::new();
+    let mut orphan_decisions = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::SuggestionMade { suggestion_id, .. } => seen.push(suggestion_id),
+            EventKind::SuggestionDecided { suggestion_id, .. }
+                if !seen.contains(&suggestion_id.as_str()) =>
+            {
+                orphan_decisions.push(suggestion_id.clone());
+            }
+            _ => {}
+        }
+    }
+    results.push(check(
+        "decisions_reference_suggestions",
+        orphan_decisions.is_empty(),
+        format!("decisions without suggestions: {orphan_decisions:?}"),
+    ));
+
+    // Rule: every suggestion is eventually decided.
+    let decided: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::SuggestionDecided { suggestion_id, .. } => Some(suggestion_id.as_str()),
+            _ => None,
+        })
+        .collect();
+    let undecided: Vec<&str> = seen
+        .iter()
+        .filter(|s| !decided.contains(*s))
+        .copied()
+        .collect();
+    results.push(check(
+        "all_suggestions_decided",
+        undecided.is_empty(),
+        format!("suggestions never decided: {undecided:?}"),
+    ));
+
+    // Rule: every execution follows a proposal of the same fingerprint.
+    let mut proposed: Vec<u64> = Vec::new();
+    let mut unproposed = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::PipelineProposed { fingerprint, .. } => proposed.push(*fingerprint),
+            EventKind::PipelineExecuted { fingerprint, .. } if !proposed.contains(fingerprint) => {
+                unproposed.push(*fingerprint);
+            }
+            _ => {}
+        }
+    }
+    results.push(check(
+        "executions_follow_proposals",
+        unproposed.is_empty(),
+        format!("executed without proposal: {unproposed:?}"),
+    ));
+
+    // Rule: a closed session's final fingerprint was executed.
+    let executed: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::PipelineExecuted { fingerprint, .. } => Some(*fingerprint),
+            _ => None,
+        })
+        .collect();
+    let close_ok = events.iter().all(|e| match &e.kind {
+        EventKind::SessionClosed {
+            final_fingerprint: Some(fp),
+        } => executed.contains(fp),
+        _ => true,
+    });
+    results.push(check(
+        "final_design_was_executed",
+        close_ok,
+        "session closed on a never-executed design".into(),
+    ));
+
+    // Rule: nothing recorded after session_closed.
+    let closed_at = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::SessionClosed { .. }));
+    let nothing_after = match closed_at {
+        Some(i) => i == events.len() - 1,
+        None => true,
+    };
+    results.push(check(
+        "nothing_after_close",
+        nothing_after,
+        "events recorded after session_closed".into(),
+    ));
+
+    QualityReport { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Actor;
+    use crate::record::Recorder;
+
+    fn well_formed() -> Vec<Event> {
+        let r = Recorder::new();
+        r.record(EventKind::SessionStarted {
+            session: "s".into(),
+            dataset: "urban".into(),
+            research_question: "rq".into(),
+        });
+        r.record(EventKind::SuggestionMade {
+            suggestion_id: "a".into(),
+            by: Actor::Conversation,
+            content: "impute".into(),
+            pattern: None,
+        });
+        r.record(EventKind::SuggestionDecided {
+            suggestion_id: "a".into(),
+            adopted: true,
+            reason: String::new(),
+        });
+        r.record(EventKind::PipelineProposed {
+            fingerprint: 5,
+            canonical: "c".into(),
+            by: Actor::Creativity,
+        });
+        r.record(EventKind::PipelineExecuted {
+            fingerprint: 5,
+            score: 0.8,
+            scoring: "r2".into(),
+        });
+        r.record(EventKind::SessionClosed {
+            final_fingerprint: Some(5),
+        });
+        r.snapshot()
+    }
+
+    #[test]
+    fn well_formed_log_passes() {
+        let report = audit(&well_formed());
+        assert!(report.all_passed(), "failures: {:?}", report.failures());
+    }
+
+    #[test]
+    fn orphan_decision_detected() {
+        let r = Recorder::new();
+        r.record(EventKind::SuggestionDecided {
+            suggestion_id: "ghost".into(),
+            adopted: true,
+            reason: String::new(),
+        });
+        let report = audit(&r.snapshot());
+        assert!(report
+            .failures()
+            .contains(&"decisions_reference_suggestions"));
+    }
+
+    #[test]
+    fn undecided_suggestion_detected() {
+        let r = Recorder::new();
+        r.record(EventKind::SessionStarted {
+            session: "s".into(),
+            dataset: "d".into(),
+            research_question: "q".into(),
+        });
+        r.record(EventKind::SuggestionMade {
+            suggestion_id: "a".into(),
+            by: Actor::Conversation,
+            content: "x".into(),
+            pattern: None,
+        });
+        let report = audit(&r.snapshot());
+        assert!(report.failures().contains(&"all_suggestions_decided"));
+    }
+
+    #[test]
+    fn unproposed_execution_detected() {
+        let r = Recorder::new();
+        r.record(EventKind::PipelineExecuted {
+            fingerprint: 9,
+            score: 0.5,
+            scoring: "r2".into(),
+        });
+        let report = audit(&r.snapshot());
+        assert!(report.failures().contains(&"executions_follow_proposals"));
+        assert!(report.failures().contains(&"starts_with_session"));
+    }
+
+    #[test]
+    fn close_on_unexecuted_design_detected() {
+        let r = Recorder::new();
+        r.record(EventKind::SessionStarted {
+            session: "s".into(),
+            dataset: "d".into(),
+            research_question: "q".into(),
+        });
+        r.record(EventKind::SessionClosed {
+            final_fingerprint: Some(404),
+        });
+        let report = audit(&r.snapshot());
+        assert!(report.failures().contains(&"final_design_was_executed"));
+    }
+
+    #[test]
+    fn events_after_close_detected() {
+        let mut events = well_formed();
+        let r = Recorder::new();
+        for e in &events {
+            r.record(e.kind.clone());
+        }
+        r.record(EventKind::PhaseEntered {
+            phase: "train".into(),
+        });
+        events = r.snapshot();
+        let report = audit(&events);
+        assert!(report.failures().contains(&"nothing_after_close"));
+    }
+
+    #[test]
+    fn broken_sequence_detected() {
+        let mut events = well_formed();
+        events[2].seq = 99;
+        let report = audit(&events);
+        assert!(report.failures().contains(&"contiguous_sequence"));
+    }
+
+    #[test]
+    fn empty_log_passes() {
+        assert!(audit(&[]).all_passed());
+    }
+}

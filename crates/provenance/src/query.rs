@@ -1,0 +1,251 @@
+//! Higher-level queries over session logs: acceptance statistics, actor
+//! contributions, and the decision trail behind a design.
+
+use crate::event::{Actor, Event, EventKind};
+
+/// Per-actor contribution statistics for one session.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ActorStats {
+    /// Suggestions made by the actor.
+    pub suggestions: usize,
+    /// Of those, how many the human adopted.
+    pub adopted: usize,
+    /// Pipelines proposed by the actor.
+    pub proposals: usize,
+}
+
+impl ActorStats {
+    /// Fraction of the actor's suggestions that were adopted (0 if none).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.suggestions == 0 {
+            0.0
+        } else {
+            self.adopted as f64 / self.suggestions as f64
+        }
+    }
+}
+
+/// Contribution statistics for every actor appearing in the log.
+pub fn actor_stats(events: &[Event]) -> Vec<(Actor, ActorStats)> {
+    let actors = [
+        Actor::Human,
+        Actor::Conversation,
+        Actor::Creativity,
+        Actor::System,
+    ];
+    let mut stats: Vec<(Actor, ActorStats)> =
+        actors.iter().map(|&a| (a, ActorStats::default())).collect();
+    fn entry(stats: &mut [(Actor, ActorStats)], actor: Actor) -> &mut ActorStats {
+        stats
+            .iter_mut()
+            .find(|(a, _)| *a == actor)
+            .map(|(_, s)| s)
+            .expect("all actors present")
+    }
+    // Map suggestion -> author, then credit adoptions back.
+    let mut authors: Vec<(String, Actor)> = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::SuggestionMade {
+                suggestion_id, by, ..
+            } => {
+                entry(&mut stats, *by).suggestions += 1;
+                authors.push((suggestion_id.clone(), *by));
+            }
+            EventKind::SuggestionDecided {
+                suggestion_id,
+                adopted: true,
+                ..
+            } => {
+                if let Some((_, by)) = authors.iter().find(|(id, _)| id == suggestion_id) {
+                    entry(&mut stats, *by).adopted += 1;
+                }
+            }
+            EventKind::PipelineProposed { by, .. } => {
+                entry(&mut stats, *by).proposals += 1;
+            }
+            _ => {}
+        }
+    }
+    stats
+}
+
+/// Best executed score in the log, with its fingerprint.
+pub fn best_execution(events: &[Event]) -> Option<(u64, f64)> {
+    events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::PipelineExecuted {
+                fingerprint, score, ..
+            } => Some((*fingerprint, *score)),
+            _ => None,
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Scores of every execution in order — the session's learning curve.
+pub fn score_trajectory(events: &[Event]) -> Vec<f64> {
+    events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::PipelineExecuted { score, .. } => Some(*score),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The ordered decision trail: `(suggestion id, content, adopted)` for every
+/// decided suggestion.
+pub fn decision_trail(events: &[Event]) -> Vec<(String, String, bool)> {
+    let mut contents: Vec<(String, String)> = Vec::new();
+    let mut trail = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::SuggestionMade {
+                suggestion_id,
+                content,
+                ..
+            } => {
+                contents.push((suggestion_id.clone(), content.clone()));
+            }
+            EventKind::SuggestionDecided {
+                suggestion_id,
+                adopted,
+                ..
+            } => {
+                let content = contents
+                    .iter()
+                    .find(|(id, _)| id == suggestion_id)
+                    .map(|(_, c)| c.clone())
+                    .unwrap_or_default();
+                trail.push((suggestion_id.clone(), content, *adopted));
+            }
+            _ => {}
+        }
+    }
+    trail
+}
+
+/// Annotations attached to `target`, as `(key, value)` pairs in order.
+pub fn annotations_of(events: &[Event], target: &str) -> Vec<(String, String)> {
+    events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Annotated {
+                target: t,
+                key,
+                value,
+            } if t == target => Some((key.clone(), value.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Recorder;
+
+    fn log() -> Vec<Event> {
+        let r = Recorder::new();
+        for (id, by, adopt) in [
+            ("c1", Actor::Conversation, true),
+            ("c2", Actor::Conversation, true),
+            ("k1", Actor::Creativity, false),
+            ("k2", Actor::Creativity, true),
+        ] {
+            r.record(EventKind::SuggestionMade {
+                suggestion_id: id.into(),
+                by,
+                content: format!("content of {id}"),
+                pattern: None,
+            });
+            r.record(EventKind::SuggestionDecided {
+                suggestion_id: id.into(),
+                adopted: adopt,
+                reason: String::new(),
+            });
+        }
+        r.record(EventKind::PipelineProposed {
+            fingerprint: 1,
+            canonical: "a".into(),
+            by: Actor::Creativity,
+        });
+        r.record(EventKind::PipelineExecuted {
+            fingerprint: 1,
+            score: 0.6,
+            scoring: "f1".into(),
+        });
+        r.record(EventKind::PipelineProposed {
+            fingerprint: 2,
+            canonical: "b".into(),
+            by: Actor::Creativity,
+        });
+        r.record(EventKind::PipelineExecuted {
+            fingerprint: 2,
+            score: 0.9,
+            scoring: "f1".into(),
+        });
+        r.record(EventKind::Annotated {
+            target: "pipeline:2".into(),
+            key: "note".into(),
+            value: "winner".into(),
+        });
+        r.snapshot()
+    }
+
+    #[test]
+    fn actor_stats_counted() {
+        let stats = actor_stats(&log());
+        let conv = &stats
+            .iter()
+            .find(|(a, _)| *a == Actor::Conversation)
+            .unwrap()
+            .1;
+        assert_eq!(conv.suggestions, 2);
+        assert_eq!(conv.adopted, 2);
+        assert_eq!(conv.acceptance_rate(), 1.0);
+        let crea = &stats
+            .iter()
+            .find(|(a, _)| *a == Actor::Creativity)
+            .unwrap()
+            .1;
+        assert_eq!(crea.suggestions, 2);
+        assert_eq!(crea.adopted, 1);
+        assert_eq!(crea.proposals, 2);
+        assert_eq!(crea.acceptance_rate(), 0.5);
+    }
+
+    #[test]
+    fn empty_acceptance_rate_is_zero() {
+        assert_eq!(ActorStats::default().acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn best_execution_found() {
+        assert_eq!(best_execution(&log()), Some((2, 0.9)));
+        assert_eq!(best_execution(&[]), None);
+    }
+
+    #[test]
+    fn trajectory_in_order() {
+        assert_eq!(score_trajectory(&log()), vec![0.6, 0.9]);
+    }
+
+    #[test]
+    fn decision_trail_complete() {
+        let trail = decision_trail(&log());
+        assert_eq!(trail.len(), 4);
+        assert_eq!(
+            trail[2],
+            ("k1".to_string(), "content of k1".to_string(), false)
+        );
+    }
+
+    #[test]
+    fn annotations_filtered_by_target() {
+        let a = annotations_of(&log(), "pipeline:2");
+        assert_eq!(a, vec![("note".to_string(), "winner".to_string())]);
+        assert!(annotations_of(&log(), "pipeline:1").is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! The thread-safe, append-only event recorder.
+
+use crate::event::{Event, EventKind};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An append-only provenance log shared across platform components.
+///
+/// Cloning a `Recorder` yields another handle on the same log (the creativity
+/// search workers and the conversational loop all record into one session).
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Arc<Mutex<Vec<Event>>>,
+}
+
+impl Recorder {
+    /// A new, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event, returning its sequence number.
+    pub fn record(&self, kind: EventKind) -> u64 {
+        let mut log = self.inner.lock();
+        let seq = log.len() as u64;
+        log.push(Event { seq, kind });
+        seq
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// A point-in-time copy of the whole log.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().clone()
+    }
+
+    /// Events whose type name matches `type_name`, in order.
+    pub fn of_type(&self, type_name: &str) -> Vec<Event> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|e| e.kind.type_name() == type_name)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Actor;
+
+    fn suggestion(id: &str) -> EventKind {
+        EventKind::SuggestionMade {
+            suggestion_id: id.into(),
+            by: Actor::Conversation,
+            content: "impute".into(),
+            pattern: None,
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_monotonic() {
+        let r = Recorder::new();
+        assert_eq!(r.record(suggestion("a")), 0);
+        assert_eq!(r.record(suggestion("b")), 1);
+        assert_eq!(r.len(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].seq, 0);
+        assert_eq!(snap[1].seq, 1);
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let a = Recorder::new();
+        let b = a.clone();
+        a.record(suggestion("x"));
+        b.record(suggestion("y"));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn of_type_filters() {
+        let r = Recorder::new();
+        r.record(suggestion("a"));
+        r.record(EventKind::PhaseEntered {
+            phase: "train".into(),
+        });
+        r.record(suggestion("b"));
+        assert_eq!(r.of_type("suggestion_made").len(), 2);
+        assert_eq!(r.of_type("phase_entered").len(), 1);
+        assert!(r.of_type("session_closed").is_empty());
+    }
+
+    #[test]
+    fn concurrent_appends_all_land() {
+        let r = Recorder::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let handle = r.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        handle.record(suggestion(&format!("t{t}-{i}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 200);
+        // Sequence numbers are a permutation-free 0..200.
+        let mut seqs: Vec<u64> = r.snapshot().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+    }
+}

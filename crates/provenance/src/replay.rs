@@ -1,0 +1,167 @@
+//! Deterministic session replay.
+//!
+//! A recorded session can be replayed against a live platform run: the
+//! replayer walks the log, yields each decision in order, and verifies that
+//! re-executing the adopted designs reproduces the recorded fingerprints and
+//! scores. This is what makes MATILDA design sessions auditable artefacts.
+
+use crate::error::{ProvError, Result};
+use crate::event::{Event, EventKind};
+
+/// One replayable step extracted from a session log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayStep {
+    /// Re-enter a phase.
+    Phase(String),
+    /// Re-apply a decision: `(suggestion id, adopted)`.
+    Decision(String, bool),
+    /// Re-execute a design: `(fingerprint, canonical form, recorded score)`.
+    Execute(u64, String, f64),
+}
+
+/// Extract the replayable steps of a session, in order.
+pub fn replay_plan(events: &[Event]) -> Vec<ReplayStep> {
+    let mut canonical_of: Vec<(u64, String)> = Vec::new();
+    let mut plan = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::PhaseEntered { phase } => plan.push(ReplayStep::Phase(phase.clone())),
+            EventKind::SuggestionDecided {
+                suggestion_id,
+                adopted,
+                ..
+            } => {
+                plan.push(ReplayStep::Decision(suggestion_id.clone(), *adopted));
+            }
+            EventKind::PipelineProposed {
+                fingerprint,
+                canonical,
+                ..
+            } => {
+                canonical_of.push((*fingerprint, canonical.clone()));
+            }
+            EventKind::PipelineExecuted {
+                fingerprint, score, ..
+            } => {
+                let canonical = canonical_of
+                    .iter()
+                    .find(|(fp, _)| fp == fingerprint)
+                    .map(|(_, c)| c.clone())
+                    .unwrap_or_default();
+                plan.push(ReplayStep::Execute(*fingerprint, canonical, *score));
+            }
+            _ => {}
+        }
+    }
+    plan
+}
+
+/// Verify a re-run against the recorded history.
+///
+/// `rerun` maps a canonical design to its re-executed score; replay fails on
+/// the first design whose score diverges by more than `tolerance`.
+pub fn verify_replay(
+    events: &[Event],
+    tolerance: f64,
+    mut rerun: impl FnMut(u64, &str) -> f64,
+) -> Result<usize> {
+    let mut verified = 0;
+    for (i, step) in replay_plan(events).into_iter().enumerate() {
+        if let ReplayStep::Execute(fp, canonical, recorded) = step {
+            let new_score = rerun(fp, &canonical);
+            if (new_score - recorded).abs() > tolerance {
+                return Err(ProvError::ReplayMismatch {
+                    seq: i as u64,
+                    expected: format!("{recorded}"),
+                    got: format!("{new_score}"),
+                });
+            }
+            verified += 1;
+        }
+    }
+    Ok(verified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Actor;
+    use crate::record::Recorder;
+
+    fn log() -> Vec<Event> {
+        let r = Recorder::new();
+        r.record(EventKind::PhaseEntered {
+            phase: "prepare".into(),
+        });
+        r.record(EventKind::SuggestionMade {
+            suggestion_id: "s".into(),
+            by: Actor::Conversation,
+            content: "x".into(),
+            pattern: None,
+        });
+        r.record(EventKind::SuggestionDecided {
+            suggestion_id: "s".into(),
+            adopted: true,
+            reason: String::new(),
+        });
+        r.record(EventKind::PipelineProposed {
+            fingerprint: 10,
+            canonical: "model:tree".into(),
+            by: Actor::Creativity,
+        });
+        r.record(EventKind::PipelineExecuted {
+            fingerprint: 10,
+            score: 0.75,
+            scoring: "f1".into(),
+        });
+        r.snapshot()
+    }
+
+    #[test]
+    fn plan_extracts_ordered_steps() {
+        let plan = replay_plan(&log());
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan[0], ReplayStep::Phase("prepare".into()));
+        assert_eq!(plan[1], ReplayStep::Decision("s".into(), true));
+        assert_eq!(plan[2], ReplayStep::Execute(10, "model:tree".into(), 0.75));
+    }
+
+    #[test]
+    fn verify_passes_within_tolerance() {
+        let n = verify_replay(&log(), 1e-6, |fp, canonical| {
+            assert_eq!(fp, 10);
+            assert_eq!(canonical, "model:tree");
+            0.75
+        })
+        .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn verify_fails_on_divergence() {
+        let err = verify_replay(&log(), 1e-6, |_, _| 0.5).unwrap_err();
+        assert!(matches!(err, ProvError::ReplayMismatch { .. }));
+    }
+
+    #[test]
+    fn tolerance_allows_noise() {
+        assert!(verify_replay(&log(), 0.1, |_, _| 0.70).is_ok());
+    }
+
+    #[test]
+    fn empty_log_verifies_zero() {
+        assert_eq!(verify_replay(&[], 0.0, |_, _| 0.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn execution_without_proposal_gets_empty_canonical() {
+        let r = Recorder::new();
+        r.record(EventKind::PipelineExecuted {
+            fingerprint: 3,
+            score: 0.1,
+            scoring: "f1".into(),
+        });
+        let plan = replay_plan(&r.snapshot());
+        assert_eq!(plan[0], ReplayStep::Execute(3, String::new(), 0.1));
+    }
+}

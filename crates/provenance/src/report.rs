@@ -1,0 +1,217 @@
+//! Render a recorded design session as a human-readable Markdown report —
+//! the curation artefact a research team files alongside its results.
+
+use crate::event::{Event, EventKind};
+use crate::quality::audit;
+use crate::query::{actor_stats, best_execution, decision_trail, score_trajectory};
+
+fn push_line(out: &mut String, line: impl AsRef<str>) {
+    out.push_str(line.as_ref());
+    out.push('\n');
+}
+
+/// Render the full session report.
+pub fn session_report(events: &[Event]) -> String {
+    let mut out = String::new();
+    // Header from the opening event.
+    match events.first().map(|e| &e.kind) {
+        Some(EventKind::SessionStarted {
+            session,
+            dataset,
+            research_question,
+        }) => {
+            push_line(&mut out, format!("# Design session report: {session}"));
+            push_line(&mut out, "");
+            push_line(&mut out, format!("- **Dataset:** {dataset}"));
+            push_line(
+                &mut out,
+                format!("- **Research question:** {research_question}"),
+            );
+        }
+        _ => {
+            push_line(&mut out, "# Design session report");
+        }
+    }
+    push_line(&mut out, format!("- **Events recorded:** {}", events.len()));
+
+    // Outcome.
+    push_line(&mut out, "");
+    push_line(&mut out, "## Outcome");
+    match best_execution(events) {
+        Some((fp, score)) => {
+            push_line(
+                &mut out,
+                format!("Best design `pipeline:{fp:016x}` scored **{score:.3}**."),
+            );
+            let trajectory = score_trajectory(events);
+            if trajectory.len() > 1 {
+                let series: Vec<String> = trajectory.iter().map(|s| format!("{s:.3}")).collect();
+                push_line(
+                    &mut out,
+                    format!(
+                        "Score trajectory over {} executions: {}",
+                        trajectory.len(),
+                        series.join(" → ")
+                    ),
+                );
+            }
+        }
+        None => push_line(&mut out, "No design was executed."),
+    }
+    if let Some(EventKind::SessionClosed { final_fingerprint }) = events.last().map(|e| &e.kind) {
+        match final_fingerprint {
+            Some(fp) => push_line(
+                &mut out,
+                format!("Session closed on design `pipeline:{fp:016x}`."),
+            ),
+            None => push_line(&mut out, "Session closed without adopting a design."),
+        }
+    }
+
+    // Decision trail.
+    let trail = decision_trail(events);
+    if !trail.is_empty() {
+        push_line(&mut out, "");
+        push_line(&mut out, "## Decision trail");
+        push_line(&mut out, "| # | suggestion | decision |");
+        push_line(&mut out, "|---|---|---|");
+        for (i, (_, content, adopted)) in trail.iter().enumerate() {
+            push_line(
+                &mut out,
+                format!(
+                    "| {} | {} | {} |",
+                    i + 1,
+                    content.replace('|', "\\|"),
+                    if *adopted { "adopted" } else { "rejected" }
+                ),
+            );
+        }
+    }
+
+    // Contributions.
+    push_line(&mut out, "");
+    push_line(&mut out, "## Contributions");
+    push_line(
+        &mut out,
+        "| actor | suggestions | adopted | proposals | acceptance |",
+    );
+    push_line(&mut out, "|---|---|---|---|---|");
+    for (actor, stats) in actor_stats(events) {
+        if stats.suggestions + stats.proposals > 0 {
+            push_line(
+                &mut out,
+                format!(
+                    "| {} | {} | {} | {} | {:.0}% |",
+                    actor.name(),
+                    stats.suggestions,
+                    stats.adopted,
+                    stats.proposals,
+                    stats.acceptance_rate() * 100.0
+                ),
+            );
+        }
+    }
+
+    // Quality audit.
+    push_line(&mut out, "");
+    push_line(&mut out, "## Quality audit");
+    let quality = audit(events);
+    for r in &quality.results {
+        push_line(
+            &mut out,
+            format!(
+                "- {} `{}`{}",
+                if r.passed { "✅" } else { "❌" },
+                r.check,
+                if r.passed {
+                    String::new()
+                } else {
+                    format!(" — {}", r.detail)
+                }
+            ),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Actor;
+    use crate::record::Recorder;
+
+    fn session_log() -> Vec<Event> {
+        let r = Recorder::new();
+        r.record(EventKind::SessionStarted {
+            session: "urban-study".into(),
+            dataset: "400 rows x 6 cols".into(),
+            research_question: "did behaviour change?".into(),
+        });
+        r.record(EventKind::SuggestionMade {
+            suggestion_id: "s1".into(),
+            by: Actor::Conversation,
+            content: "impute | medians".into(),
+            pattern: None,
+        });
+        r.record(EventKind::SuggestionDecided {
+            suggestion_id: "s1".into(),
+            adopted: true,
+            reason: String::new(),
+        });
+        r.record(EventKind::PipelineProposed {
+            fingerprint: 0xabc,
+            canonical: "c".into(),
+            by: Actor::Creativity,
+        });
+        r.record(EventKind::PipelineExecuted {
+            fingerprint: 0xabc,
+            score: 0.9,
+            scoring: "macro_f1".into(),
+        });
+        r.record(EventKind::SessionClosed {
+            final_fingerprint: Some(0xabc),
+        });
+        r.snapshot()
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let md = session_report(&session_log());
+        assert!(md.contains("# Design session report: urban-study"));
+        assert!(md.contains("**Research question:** did behaviour change?"));
+        assert!(md.contains("## Outcome"));
+        assert!(md.contains("scored **0.900**"));
+        assert!(md.contains("## Decision trail"));
+        assert!(md.contains("| adopted |"));
+        assert!(md.contains("## Contributions"));
+        assert!(md.contains("| conversation | 1 | 1 | 0 | 100% |"));
+        assert!(md.contains("## Quality audit"));
+        assert!(!md.contains('❌'), "well-formed log has no failures:\n{md}");
+    }
+
+    #[test]
+    fn pipe_characters_escaped_in_trail() {
+        let md = session_report(&session_log());
+        assert!(md.contains("impute \\| medians"));
+    }
+
+    #[test]
+    fn empty_log_report() {
+        let md = session_report(&[]);
+        assert!(md.contains("# Design session report"));
+        assert!(md.contains("No design was executed."));
+    }
+
+    #[test]
+    fn failed_audit_marked() {
+        let r = Recorder::new();
+        r.record(EventKind::SuggestionDecided {
+            suggestion_id: "ghost".into(),
+            adopted: true,
+            reason: String::new(),
+        });
+        let md = session_report(&r.snapshot());
+        assert!(md.contains('❌'));
+        assert!(md.contains("decisions_reference_suggestions"));
+    }
+}

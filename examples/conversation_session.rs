@@ -1,0 +1,86 @@
+//! A scripted conversation with MATILDA, printed as a transcript — shows
+//! the step-by-step loop a non-technical user experiences, including the
+//! "surprise me" entry point into the creativity engine.
+//!
+//! ```sh
+//! cargo run --example conversation_session
+//! ```
+
+use matilda::datagen::{inject_mcar, questionnaire, QuestionnaireConfig};
+use matilda::prelude::*;
+
+fn main() {
+    // Survey data with some missing answers, as real questionnaires have.
+    let clean = questionnaire(&QuestionnaireConfig {
+        n_respondents: 240,
+        ..Default::default()
+    });
+    let df = inject_mcar(&clean, 0.05, &["satisfaction"], 3);
+
+    let mut session = DesignSession::new(
+        "survey-study",
+        "what drives citizen satisfaction?",
+        df,
+        UserProfile::novice("Maya", "urban sociology"),
+        PlatformConfig::default(),
+    );
+
+    println!("[matilda] {}", session.opening());
+
+    // The scripted user: states a goal, follows suggestions, asks for one
+    // creative alternative, runs, and closes.
+    let script = [
+        "I'd like to predict 'satisfaction' for our respondents",
+        "yes",
+        "yes",
+        "no",
+        "yes",
+        "yes",
+        "surprise me",
+        "yes",
+        "run it",
+        "what matters most for satisfaction?",
+        "done, thanks",
+    ];
+    for line in script {
+        if session.is_closed() {
+            break;
+        }
+        println!("[   maya] {line}");
+        match session.step(line) {
+            Ok(outcome) => {
+                println!("[matilda] {}", outcome.reply.replace('\n', "\n          "));
+                if let Some(design) = outcome.executed {
+                    println!(
+                        "          (executed design {:016x}, score {:.3})",
+                        design.fingerprint, design.report.test_score
+                    );
+                }
+            }
+            Err(e) => println!("[matilda] (error: {e})"),
+        }
+    }
+
+    // What the session left behind.
+    println!("\n--- session artefacts ---");
+    println!("decisions: {}", session.dialogue().decisions().len());
+    let adopted = session
+        .dialogue()
+        .decisions()
+        .iter()
+        .filter(|(_, a)| *a)
+        .count();
+    println!("adopted:   {adopted}");
+    if let Some(best) = session.best() {
+        println!("best design: {}", best.spec.summary());
+    }
+    let events = session.recorder().snapshot();
+    println!("provenance events: {}", events.len());
+    let report = CoCreativityReport::from_events(&events);
+    println!(
+        "co-creativity: {} machine suggestions ({} creative), index {:.2}",
+        report.conversational_suggestions + report.creative_suggestions,
+        report.creative_suggestions,
+        report.index()
+    );
+}

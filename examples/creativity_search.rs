@@ -1,0 +1,85 @@
+//! The computational-creativity engine on its own: evolve pipeline designs
+//! for the two-moons dataset and watch Boden's criteria (novelty, value,
+//! surprise) evolve over generations.
+//!
+//! ```sh
+//! cargo run --example creativity_search
+//! ```
+
+use matilda::creativity::search::{search, PatternSelection, SearchConfig};
+use matilda::creativity::BalanceSchedule;
+use matilda::datagen::{moons, MoonsConfig};
+use matilda::prelude::*;
+
+fn main() {
+    let df = moons(&MoonsConfig {
+        n_rows: 260,
+        noise: 0.15,
+        seed: 9,
+    });
+    let task = Task::Classification {
+        target: "moon".into(),
+    };
+
+    let config = SearchConfig {
+        population_size: 14,
+        generations: 8,
+        balance: BalanceSchedule::Decaying {
+            initial: 0.7,
+            decay: 0.8,
+        },
+        selection: PatternSelection::Bandit,
+        seed: 4,
+        ..SearchConfig::default()
+    };
+    println!("Searching the design space for: {task:?}");
+    let outcome = search(&task, &df, &config).expect("search succeeds");
+
+    println!("\ngen | best  | mean  | novelty | surprise | archive | patterns");
+    println!("----+-------+-------+---------+----------+---------+---------");
+    for h in &outcome.history {
+        let patterns: Vec<String> = h
+            .pattern_usage
+            .iter()
+            .map(|(n, c)| format!("{}:{c}", &n[..n.len().min(6)]))
+            .collect();
+        println!(
+            "{:>3} | {:.3} | {:.3} | {:>7.3} | {:>8.3} | {:>7} | {}",
+            h.generation,
+            h.best_value,
+            h.mean_value,
+            h.mean_novelty,
+            h.mean_surprise,
+            h.archive_size,
+            patterns.join(" ")
+        );
+    }
+
+    println!("\nBest design found ({} evaluations):", outcome.evaluations);
+    println!("  {}", outcome.best.spec.summary());
+    println!(
+        "  value {:.3}, novelty {:.3}, surprise {:.3}, discovered by '{}' at generation {}",
+        outcome.best.value.unwrap_or(f64::NAN),
+        outcome.best.novelty.unwrap_or(0.0),
+        outcome.best.surprise.unwrap_or(0.0),
+        outcome.best.origin,
+        outcome.best.generation
+    );
+
+    println!("\nFinal population:");
+    for c in &outcome.population {
+        println!(
+            "  {:.3}  {:<30} ({})",
+            c.value.unwrap_or(f64::NAN),
+            c.spec.model.name(),
+            c.origin
+        );
+    }
+
+    // Confirm the winner on a held-out execution.
+    let report = run(&outcome.best.spec, &df).expect("winner executes");
+    println!(
+        "\nHeld-out confirmation: {} = {:.3}",
+        report.scoring_name, report.test_score
+    );
+}

@@ -1,0 +1,58 @@
+//! Inclusivity in action: the same pipeline result narrated for three
+//! different users — a non-technical domain expert, an analyst and a data
+//! scientist — plus the Markdown session report a research team would file.
+//!
+//! ```sh
+//! cargo run --example inclusive_report
+//! ```
+
+use matilda::core::narrate::{narrate_report, narrate_verdict};
+use matilda::datagen::{questionnaire, QuestionnaireConfig};
+use matilda::prelude::*;
+use matilda::provenance::report::session_report;
+
+fn main() {
+    let df = questionnaire(&QuestionnaireConfig {
+        n_respondents: 240,
+        ..Default::default()
+    });
+
+    // One design, executed once.
+    let features: Vec<String> = (1..=8).map(|j| format!("q{j}")).collect();
+    let _ = features; // the default pipeline discovers features itself
+    let spec = PipelineSpec::default_classification("satisfaction");
+    let report = run(&spec, &df).expect("pipeline runs");
+    let verdict = matilda::core::assess::verdict_for(report.test_score, report.overfit_gap());
+
+    // The same result, three audiences.
+    let users = [
+        UserProfile::novice("Maya", "urban sociology"),
+        UserProfile::new("Ben", Expertise::Analyst, "city planning", 0.5),
+        UserProfile::data_scientist("Rin"),
+    ];
+    for user in &users {
+        println!(
+            "=== as told to {} ({}) ===",
+            user.name,
+            user.expertise.name()
+        );
+        println!("{}", narrate_report(&report, user));
+        println!("→ {}\n", narrate_verdict(verdict, user));
+    }
+
+    // And the artefact that goes in the project archive: run a short
+    // session so there is a real decision trail to report.
+    let mut session = DesignSession::new(
+        "satisfaction-study",
+        "what drives citizen satisfaction?",
+        df,
+        UserProfile::novice("Maya", "urban sociology"),
+        PlatformConfig::quick(),
+    );
+    let mut persona = Persona::trusting_novice("satisfaction", 7);
+    session
+        .run_autonomous(&mut persona)
+        .expect("session completes");
+    println!("=== filed session report (Markdown) ===\n");
+    println!("{}", session_report(&session.recorder().snapshot()));
+}

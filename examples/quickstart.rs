@@ -1,0 +1,60 @@
+//! Quickstart: design and execute a data-science pipeline in a few lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use matilda::datagen::{blobs_with_noise, BlobsConfig};
+use matilda::prelude::*;
+
+fn main() {
+    // 1. A dataset. In a real study this is `read_csv_path(...)`; here we
+    //    synthesize three Gaussian blobs plus two useless noise columns.
+    let df = blobs_with_noise(
+        &BlobsConfig {
+            n_rows: 240,
+            n_classes: 3,
+            separation: 6.0,
+            spread: 1.2,
+            seed: 7,
+            ..Default::default()
+        },
+        2,
+    );
+    println!("Dataset:\n{df}");
+
+    // 2. A declarative pipeline design: impute/encode/scale, stratified
+    //    split, a decision tree, macro-F1 scoring.
+    let spec = PipelineSpec::default_classification("label");
+    println!("Design: {}", spec.summary());
+
+    // 3. Validate against the data before spending any compute.
+    let violations = matilda::pipeline::validate::validate(&spec, &df);
+    assert!(
+        violations.is_empty(),
+        "design should fit the data: {violations:?}"
+    );
+
+    // 4. Execute: the executor walks the standard explore -> prepare ->
+    //    fragment -> train -> test -> assess task graph.
+    let report = run(&spec, &df).expect("pipeline runs");
+    println!(
+        "\nHeld-out {} = {:.3} (train {:.3}, overfit gap {:.3})",
+        report.scoring_name,
+        report.test_score,
+        report.train_score,
+        report.overfit_gap()
+    );
+    println!("Features used: {:?}", report.feature_names);
+    println!("Per-task timings:");
+    for (task, time) in &report.timings {
+        println!("  {task:<24} {time:?}");
+    }
+
+    // 5. Cross-validate the same design for a more stable value estimate.
+    let cv = cv_score(&spec, &df, 5).expect("cv runs");
+    println!(
+        "\n5-fold CV: {:.3} +/- {:.3}  (folds: {:?})",
+        cv.mean, cv.std, cv.fold_scores
+    );
+}

@@ -1,0 +1,123 @@
+//! The paper's running scenario: a decision-making group wants quantitative
+//! evidence on how pedestrianizing a downtown area affects citizens.
+//!
+//! A non-technical urbanist (simulated persona) designs the study through
+//! the conversational loop; MATILDA's creativity engine refines it; the
+//! before/after behavioural change is then quantified.
+//!
+//! ```sh
+//! cargo run --example urban_policy
+//! ```
+
+use matilda::data::groupby::{group_by, Agg};
+use matilda::datagen::{behaviour_patterns, urban_panel, BehaviourConfig, UrbanConfig};
+use matilda::prelude::*;
+
+fn main() {
+    // --- The observational data the city collected -----------------------
+    let config = UrbanConfig {
+        effect_size: 0.25,
+        noise: 1.5,
+        ..Default::default()
+    };
+    let panel = urban_panel(&config);
+    println!("Urban observation panel: {} rows", panel.n_rows());
+
+    // Descriptive pass: what changed in treated districts?
+    let treated = panel
+        .filter_column("treated", |v| v.as_str() == Some("yes"))
+        .unwrap();
+    let deltas = group_by(
+        &treated,
+        "period",
+        &[
+            ("footfall", Agg::Mean),
+            ("co2", Agg::Mean),
+            ("real_estate_index", Agg::Mean),
+        ],
+    )
+    .unwrap();
+    println!("\nTreated districts, before vs after:\n{deltas}");
+
+    // Unsupervised pass: do citizens fall into natural usage groups?
+    let behaviour_preview = behaviour_patterns(&BehaviourConfig {
+        n_individuals: 150,
+        drift: 1.2,
+        seed: 11,
+    });
+    let segments = matilda::core::explore::discover_segments(
+        &behaviour_preview,
+        &["dwell_minutes", "car_transit_minutes"],
+        4,
+        7,
+    )
+    .expect("segment discovery runs");
+    let urbanist_profile = UserProfile::novice("the urbanist", "urbanism");
+    println!(
+        "\nExploration: {}",
+        matilda::core::explore::narrate_segments(&segments, &urbanist_profile)
+    );
+
+    // --- An urbanist designs a study through conversation ----------------
+    // Research question: can we detect the behavioural change in citizens?
+    let behaviour = behaviour_patterns(&BehaviourConfig {
+        n_individuals: 250,
+        drift: 1.2,
+        seed: 11,
+    });
+    let platform = Matilda::new(PlatformConfig::default());
+    let mut urbanist = Persona::trusting_novice("period", 23);
+    let outcome = platform
+        .design_hybrid(
+            &behaviour,
+            &mut urbanist,
+            "to what extent did the pedestrianization change how citizens use the space?",
+        )
+        .expect("design session succeeds");
+
+    println!("--- MATILDA hybrid design session ---");
+    println!("Final design: {}", outcome.spec.summary());
+    println!(
+        "Held-out {} = {:.3}  ->  verdict: {}",
+        outcome.report.scoring_name,
+        outcome.report.test_score,
+        outcome.assessment.verdict.name()
+    );
+    println!(
+        "Session: {} rounds, {} pipeline evaluations, co-creativity index {:.2}",
+        outcome.rounds,
+        outcome.evaluations,
+        outcome.cocreativity.index()
+    );
+
+    // --- Interpretation for the decision makers --------------------------
+    println!("\n--- Reading for the policy group ---");
+    if outcome.report.test_score > 0.8 {
+        println!(
+            "Citizen behaviour before and after the intervention is clearly \
+             distinguishable (score {:.2}): the policy changed how people use \
+             the space. Footfall rose, CO2 fell, and real-estate pressure \
+             increased in treated districts (see the table above).",
+            outcome.report.test_score
+        );
+    } else {
+        println!(
+            "The behavioural change is weak (score {:.2}); with this effect \
+             size the policy's impact on usage patterns is not yet \
+             demonstrable.",
+            outcome.report.test_score
+        );
+    }
+
+    // Provenance: the design is an auditable artefact.
+    let audit = matilda::provenance::quality::audit(&outcome.events);
+    println!(
+        "\nProvenance: {} events recorded, quality audit {}",
+        outcome.events.len(),
+        if audit.all_passed() {
+            "PASSED"
+        } else {
+            "FAILED"
+        }
+    );
+}

@@ -1,0 +1,135 @@
+//! The MATILDA command-line client: a live conversational design session
+//! over a CSV file.
+//!
+//! ```sh
+//! cargo run --release --bin matilda-cli -- data.csv [--name you] \
+//!     [--domain urbanism] [--expertise novice|analyst|expert] [--seed 42]
+//! # or, with no CSV, a built-in demo dataset:
+//! cargo run --release --bin matilda-cli
+//! ```
+//!
+//! Type what you want in plain language ("predict 'price'", "yes", "no",
+//! "surprise me", "run it", "why?", "done"). Every decision is recorded;
+//! on exit the session's provenance report is printed.
+
+use matilda::datagen::{blobs_with_noise, BlobsConfig};
+use matilda::prelude::*;
+use matilda::provenance::report::session_report;
+use std::io::{BufRead, Write};
+
+struct Args {
+    csv: Option<String>,
+    name: String,
+    domain: String,
+    expertise: Expertise,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        csv: None,
+        name: "friend".into(),
+        domain: "your field".into(),
+        expertise: Expertise::Novice,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--name" => args.name = it.next().unwrap_or_default(),
+            "--domain" => args.domain = it.next().unwrap_or_default(),
+            "--expertise" => {
+                args.expertise = match it.next().as_deref() {
+                    Some("analyst") => Expertise::Analyst,
+                    Some("expert") | Some("data_scientist") => Expertise::DataScientist,
+                    _ => Expertise::Novice,
+                }
+            }
+            "--seed" => args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: matilda-cli [data.csv] [--name N] [--domain D] \
+                     [--expertise novice|analyst|expert] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => args.csv = Some(other.to_string()),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let frame = match &args.csv {
+        Some(path) => match read_csv_path(path, &CsvOptions::default()) {
+            Ok(df) => {
+                eprintln!("loaded {path}: {} rows x {} cols", df.n_rows(), df.n_cols());
+                df
+            }
+            Err(e) => {
+                eprintln!("could not read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            eprintln!("(no CSV given; using a built-in demo dataset with a 'label' column)");
+            blobs_with_noise(
+                &BlobsConfig {
+                    n_rows: 200,
+                    n_classes: 2,
+                    separation: 4.0,
+                    ..Default::default()
+                },
+                2,
+            )
+        }
+    };
+
+    let user = UserProfile::new(args.name, args.expertise, args.domain, 0.5);
+    let mut session = DesignSession::new(
+        "cli-session",
+        "interactive CLI session",
+        frame,
+        user,
+        PlatformConfig {
+            seed: args.seed,
+            ..PlatformConfig::default()
+        },
+    );
+    println!("matilda> {}", session.opening());
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("you> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            // EOF: close the session cleanly so the log audits.
+            if !session.is_closed() {
+                let _ = session.step("done");
+            }
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match session.step(line) {
+            Ok(outcome) => {
+                println!("matilda> {}", outcome.reply.replace('\n', "\nmatilda> "));
+                if outcome.closed {
+                    break;
+                }
+            }
+            Err(e) => {
+                println!("matilda> (something went wrong: {e})");
+                break;
+            }
+        }
+    }
+
+    // Leave an auditable trace behind.
+    println!("\n{}", session_report(&session.recorder().snapshot()));
+}

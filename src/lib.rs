@@ -1,0 +1,60 @@
+//! # MATILDA
+//!
+//! *Inclusive data-science pipeline design through computational
+//! creativity* — a full Rust implementation of the MATILDA platform
+//! (Vargas-Solar et al., EDBT 2024) and every substrate it depends on.
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`data`] | columnar dataframes, CSV, statistics, transforms, splits |
+//! | [`ml`] | from-scratch estimators, metrics, cross-validation |
+//! | [`pipeline`] | declarative pipeline specs, validation, execution |
+//! | [`creativity`] | the CC engine: grammar, patterns, novelty, search |
+//! | [`conversation`] | intents, suggestions, the dialogue state machine |
+//! | [`provenance`] | append-only session logs, PROV graphs, replay |
+//! | [`datagen`] | synthetic scenarios incl. the urban-policy case study |
+//! | [`core`] | the platform: sessions, personas, design modes |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use matilda::prelude::*;
+//!
+//! // A small dataset and a simulated non-technical user.
+//! let df = matilda::datagen::blobs(&matilda::datagen::BlobsConfig {
+//!     n_rows: 90, ..Default::default()
+//! });
+//! let platform = Matilda::new(PlatformConfig::quick());
+//! let mut persona = Persona::trusting_novice("label", 7);
+//! let outcome = platform
+//!     .design_conversational(&df, &mut persona, "which blob is which?")
+//!     .unwrap();
+//! assert!(outcome.report.test_score > 0.5);
+//! ```
+
+pub use matilda_conversation as conversation;
+pub use matilda_core as core;
+pub use matilda_creativity as creativity;
+pub use matilda_data as data;
+pub use matilda_datagen as datagen;
+pub use matilda_ml as ml;
+pub use matilda_pipeline as pipeline;
+pub use matilda_provenance as provenance;
+
+/// One-stop imports for platform users.
+pub mod prelude {
+    pub use matilda_conversation::prelude::*;
+    pub use matilda_core::prelude::*;
+    pub use matilda_creativity::prelude::*;
+    pub use matilda_data::prelude::*;
+    pub use matilda_ml::prelude::*;
+    pub use matilda_pipeline::prelude::{
+        cv_score, run, standard_graph, PipelineReport, PipelineSpec, Task,
+    };
+    pub use matilda_provenance::prelude::*;
+    // Every substrate defines its own `Result` alias; the platform's is the
+    // one a facade user means.
+    pub use matilda_core::prelude::Result;
+}

@@ -1,0 +1,195 @@
+//! Integration tests spanning the whole workspace: CSV in, conversational
+//! design, creative search, execution, provenance out.
+
+use matilda::datagen::{
+    blobs_with_noise, inject_mcar, moons, urban_panel, BlobsConfig, MoonsConfig, UrbanConfig,
+};
+use matilda::prelude::*;
+use matilda::provenance::quality::audit;
+
+/// CSV text -> frame -> designed pipeline -> report, end to end.
+#[test]
+fn csv_to_report() {
+    let df = blobs_with_noise(
+        &BlobsConfig {
+            n_rows: 120,
+            n_classes: 2,
+            separation: 5.0,
+            ..Default::default()
+        },
+        1,
+    );
+    let text = write_csv_str(&df, ',');
+    let parsed = read_csv_str(&text, &CsvOptions::default()).expect("csv parses");
+    assert_eq!(parsed.n_rows(), df.n_rows());
+
+    let spec = PipelineSpec::default_classification("label");
+    let report = run(&spec, &parsed).expect("pipeline runs on parsed data");
+    assert!(
+        report.test_score > 0.9,
+        "blobs through CSV: {}",
+        report.test_score
+    );
+}
+
+/// The three platform modes on the same data, all auditable.
+#[test]
+fn three_modes_same_data() {
+    let df = moons(&MoonsConfig {
+        n_rows: 160,
+        noise: 0.15,
+        seed: 2,
+    });
+    let platform = Matilda::new(PlatformConfig::quick());
+    let task = Task::Classification {
+        target: "moon".into(),
+    };
+
+    let mut p = Persona::trusting_novice("moon", 3);
+    let conversational = platform
+        .design_conversational(&df, &mut p, "rq")
+        .expect("conversational");
+    let creative = platform.design_creative(&df, &task).expect("creative");
+    let mut p = Persona::trusting_novice("moon", 3);
+    let hybrid = platform.design_hybrid(&df, &mut p, "rq").expect("hybrid");
+
+    for outcome in [&conversational, &creative, &hybrid] {
+        assert!(
+            outcome.report.test_score > 0.6,
+            "{} scored {}",
+            outcome.mode.name(),
+            outcome.report.test_score
+        );
+        let quality = audit(&outcome.events);
+        assert!(
+            quality.all_passed(),
+            "{}: {:?}",
+            outcome.mode.name(),
+            quality.failures()
+        );
+    }
+    // The creative modes should not lose to the conversational baseline on
+    // this nonlinear dataset (moons punishes the default template less
+    // than exotic data would, so allow slack).
+    assert!(hybrid.report.test_score >= conversational.report.test_score - 0.1);
+}
+
+/// A session over data with missing values exercises imputation ops chosen
+/// through conversation.
+#[test]
+fn session_survives_missing_data() {
+    let clean = blobs_with_noise(
+        &BlobsConfig {
+            n_rows: 150,
+            n_classes: 2,
+            separation: 5.0,
+            ..Default::default()
+        },
+        2,
+    );
+    let dirty = inject_mcar(&clean, 0.1, &["label"], 5);
+    assert!(dirty.null_count() > 0);
+    let mut session = DesignSession::new(
+        "dirty",
+        "rq",
+        dirty,
+        UserProfile::novice("n", "retail"),
+        PlatformConfig::quick(),
+    );
+    let mut persona = Persona::trusting_novice("label", 9);
+    let summary = session
+        .run_autonomous(&mut persona)
+        .expect("session completes");
+    assert!(summary.executions >= 1);
+    assert!(
+        summary.best_score.unwrap() > 0.7,
+        "score {:?}",
+        summary.best_score
+    );
+}
+
+/// The urban scenario wired through the full platform.
+#[test]
+fn urban_panel_regression_design() {
+    let panel = urban_panel(&UrbanConfig {
+        n_districts: 12,
+        n_weeks: 8,
+        effect_size: 0.25,
+        noise: 1.0,
+        ..Default::default()
+    });
+    // Keep only numeric district traits + the regression target.
+    let numeric = panel
+        .select(&[
+            "pedestrian_area",
+            "parking_slots",
+            "restaurant_density",
+            "transit_access",
+            "footfall",
+        ])
+        .expect("select");
+    let mut persona = Persona::trusting_novice("footfall", 21);
+    let platform = Matilda::new(PlatformConfig::quick());
+    let outcome = platform
+        .design_conversational(&numeric, &mut persona, "what drives footfall?")
+        .expect("design runs");
+    assert!(
+        !outcome.spec.task.is_classification(),
+        "numeric target => regression task"
+    );
+    assert!(
+        outcome.report.test_score > 0.3,
+        "district traits explain footfall: r2 {}",
+        outcome.report.test_score
+    );
+}
+
+/// Creative search respects the evaluation budget ordering: more
+/// generations never hurt the best value (elitism), and the archive grows.
+#[test]
+fn search_budget_monotonicity() {
+    let df = moons(&MoonsConfig {
+        n_rows: 140,
+        noise: 0.2,
+        seed: 8,
+    });
+    let task = Task::Classification {
+        target: "moon".into(),
+    };
+    let short = SearchConfig {
+        population_size: 8,
+        generations: 1,
+        seed: 5,
+        ..Default::default()
+    };
+    let long = SearchConfig {
+        population_size: 8,
+        generations: 4,
+        seed: 5,
+        ..Default::default()
+    };
+    let a = search(&task, &df, &short).expect("short search");
+    let b = search(&task, &df, &long).expect("long search");
+    assert!(b.best.value.unwrap() >= a.best.value.unwrap() - 1e-9);
+    assert!(b.evaluations >= a.evaluations);
+}
+
+/// Cross-crate determinism: the same seeds produce byte-identical
+/// provenance exports across full platform runs.
+#[test]
+fn deterministic_provenance_export() {
+    let df = moons(&MoonsConfig {
+        n_rows: 100,
+        noise: 0.2,
+        seed: 1,
+    });
+    let export = || {
+        let platform = Matilda::new(PlatformConfig::quick());
+        let mut persona = Persona::picky_expert("moon", 13);
+        let outcome = platform
+            .design_conversational(&df, &mut persona, "rq")
+            .expect("runs");
+        matilda::provenance::json::log_to_jsonl(&outcome.events)
+    };
+    assert_eq!(export(), export());
+}

@@ -1,0 +1,192 @@
+//! Property-based tests over core data structures and invariants.
+
+use matilda::data::bitmap::Bitmap;
+use matilda::data::{stats, Column, DataFrame};
+use matilda::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// A bitmap behaves exactly like a Vec<bool> under push/get/counts.
+    #[test]
+    fn bitmap_models_vec_bool(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bm: Bitmap = bits.iter().copied().collect();
+        prop_assert_eq!(bm.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+        }
+        prop_assert_eq!(bm.count_ones(), bits.iter().filter(|&&b| b).count());
+        prop_assert_eq!(bm.count_zeros(), bits.iter().filter(|&&b| !b).count());
+    }
+
+    /// Quantiles stay within [min, max] and are monotone in q.
+    #[test]
+    fn quantile_bounds_and_monotonicity(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&xs, lo).unwrap();
+        let b = stats::quantile(&xs, hi).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && a <= max + 1e-9);
+        prop_assert!(a <= b + 1e-9, "quantile must be monotone: q({lo})={a} > q({hi})={b}");
+    }
+
+    /// Pearson correlation is always within [-1, 1] (when defined).
+    #[test]
+    fn pearson_bounded(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Ok(r) = stats::pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        }
+    }
+
+    /// Train/test split partitions the rows for any size and fraction.
+    #[test]
+    fn split_is_partition(n in 2usize..400, frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let df = DataFrame::from_columns(vec![(
+            "v",
+            Column::from_i64((0..n as i64).collect()),
+        )]).unwrap();
+        let (train, test) = train_test_split(&df, frac, seed).unwrap();
+        prop_assert_eq!(train.n_rows() + test.n_rows(), n);
+        prop_assert!(test.n_rows() >= 1 && train.n_rows() >= 1);
+        let mut all: Vec<i64> = train.column("v").unwrap().iter()
+            .chain(test.column("v").unwrap().iter())
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as i64).collect::<Vec<_>>());
+    }
+
+    /// k-fold indices cover each row exactly once as validation.
+    #[test]
+    fn kfold_covers_exactly_once(n in 4usize..200, k in 2usize..6, seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        let folds = matilda::data::split::k_fold_indices(n, k, seed).unwrap();
+        let mut seen = vec![0usize; n];
+        for f in &folds {
+            for &i in &f.validation {
+                seen[i] += 1;
+            }
+            for &i in &f.train {
+                prop_assert!(!f.validation.contains(&i));
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// CSV round-trips preserve every cell for frames without nulls.
+    #[test]
+    fn csv_round_trip(
+        floats in prop::collection::vec(-1e6f64..1e6, 1..60),
+        labels in prop::collection::vec(0u8..4, 1..60),
+    ) {
+        let n = floats.len().min(labels.len());
+        let floats = &floats[..n];
+        let labels: Vec<String> = labels[..n].iter().map(|c| format!("cat{c}")).collect();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(floats.to_vec())),
+            ("label", Column::from_categorical(&refs)),
+        ]).unwrap();
+        let text = write_csv_str(&df, ',');
+        let back = read_csv_str(&text, &CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        for i in 0..df.n_rows() {
+            prop_assert_eq!(back.row(i).unwrap(), df.row(i).unwrap());
+        }
+    }
+
+    /// Fingerprints are deterministic and descriptors stay bounded, for
+    /// arbitrary mutation chains from the default spec.
+    #[test]
+    fn mutation_chain_invariants(seed in any::<u64>(), steps in 1usize..30) {
+        use matilda::creativity::mutate;
+        use matilda::pipeline::fingerprint::{descriptor, fingerprint};
+        use matilda::pipeline::registry::DataProfile;
+        use rand::SeedableRng;
+        let profile = DataProfile {
+            n_rows: 200, n_numeric: 4, n_categorical: 1, n_nulls: 3,
+            classification: true, max_skewness: 0.4,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut spec = PipelineSpec::default_classification("y");
+        for _ in 0..steps {
+            let (next, _) = mutate::random_mutation(&spec, &profile, &mut rng);
+            // Fingerprint is a pure function of the spec.
+            prop_assert_eq!(fingerprint(&next), fingerprint(&next.clone()));
+            for v in descriptor(&next) {
+                prop_assert!((0.0..=1.0).contains(&v), "descriptor component {v}");
+            }
+            // Mutations never produce duplicate prep families.
+            let names: Vec<&str> = next.prep.iter().map(|p| p.name()).collect();
+            let unique: std::collections::HashSet<&&str> = names.iter().collect();
+            prop_assert_eq!(unique.len(), names.len());
+            spec = next;
+        }
+    }
+
+    /// The spec codec round-trips any design the mutation engine can reach.
+    #[test]
+    fn codec_round_trip_over_mutation_chains(seed in any::<u64>(), steps in 0usize..25) {
+        use matilda::creativity::mutate;
+        use matilda::pipeline::codec::{decode, encode};
+        use matilda::pipeline::registry::DataProfile;
+        use rand::SeedableRng;
+        let profile = DataProfile {
+            n_rows: 150, n_numeric: 5, n_categorical: 1, n_nulls: 2,
+            classification: true, max_skewness: 1.8,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut spec = PipelineSpec::default_classification("target with spaces=and signs");
+        for _ in 0..steps {
+            spec = mutate::random_mutation(&spec, &profile, &mut rng).0;
+        }
+        let decoded = decode(&encode(&spec)).unwrap();
+        prop_assert_eq!(decoded, spec);
+    }
+
+    /// The accuracy metric is bounded and exact on identical inputs.
+    #[test]
+    fn accuracy_properties(ys in prop::collection::vec(0usize..4, 1..100)) {
+        use matilda::ml::metrics::accuracy;
+        prop_assert_eq!(accuracy(&ys, &ys).unwrap(), 1.0);
+        let shifted: Vec<usize> = ys.iter().map(|&y| (y + 1) % 4).collect();
+        prop_assert_eq!(accuracy(&ys, &shifted).unwrap(), 0.0);
+    }
+
+    /// Provenance JSONL never emits raw newlines inside a record and stays
+    /// parseable field-wise even for hostile strings.
+    #[test]
+    fn jsonl_lines_are_single_lines(content in ".{0,80}") {
+        use matilda::provenance::{json, Recorder, EventKind, Actor};
+        let r = Recorder::new();
+        r.record(EventKind::SuggestionMade {
+            suggestion_id: "s".into(),
+            by: Actor::Conversation,
+            content: content.clone(),
+            pattern: None,
+        });
+        let out = json::log_to_jsonl(&r.snapshot());
+        prop_assert_eq!(out.lines().count(), 1);
+        let line = out.lines().next().unwrap();
+        let braced = line.starts_with('{') && line.ends_with('}');
+        prop_assert!(braced, "line not a JSON object: {:?}", line);
+    }
+
+    /// Normalization maps any finite input into [0, 1].
+    #[test]
+    fn normalize_bounded(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+        let out = matilda::creativity::balance::normalize(&xs);
+        prop_assert_eq!(out.len(), xs.len());
+        for v in out {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+}

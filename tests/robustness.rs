@@ -1,0 +1,233 @@
+//! Failure-injection and edge-case tests: hostile CSVs, degenerate frames,
+//! adversarial dialogue input, and pathological pipeline specs. The platform
+//! must fail *well*: typed errors or graceful conversation, never panics.
+
+use matilda::data::csv::{read_csv_str, CsvOptions};
+use matilda::pipeline::PrepOp;
+use matilda::prelude::*;
+
+// ---------------------------------------------------------------- CSV ----
+
+#[test]
+fn hostile_csv_inputs_error_or_parse_never_panic() {
+    let hostile = [
+        "",                                 // empty
+        "\n\n\n",                           // blank lines
+        "a,b\n1",                           // ragged
+        "a,b\n\"unterminated",              // bad quote
+        "a,a\n1,2",                         // duplicate header
+        "☃,λ\n1,2\n",                       // unicode headers
+        "a\n999999999999999999999999999\n", // overflow int -> float
+        &"x,".repeat(500),                  // many columns, no data
+    ];
+    for text in hostile {
+        // Either a clean error or a parsed frame; a panic fails the test.
+        let _ = read_csv_str(text, &CsvOptions::default());
+    }
+}
+
+#[test]
+fn csv_huge_field_ok() {
+    let big = "v\n".to_string() + &"x".repeat(100_000) + "\n";
+    let df = read_csv_str(&big, &CsvOptions::default()).expect("parses");
+    assert_eq!(df.n_rows(), 1);
+}
+
+// ------------------------------------------------------------ pipeline ----
+
+fn tiny_frame(n: usize) -> DataFrame {
+    DataFrame::from_columns(vec![
+        ("x", Column::from_f64((0..n).map(|i| i as f64).collect())),
+        (
+            "y",
+            Column::from_categorical(
+                &(0..n)
+                    .map(|i| if i % 2 == 0 { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn pipeline_on_tiny_frames_errors_cleanly() {
+    let spec = PipelineSpec::default_classification("y");
+    for n in [0usize, 1, 2, 3] {
+        let df = tiny_frame(n.max(1));
+        // run() must either work or return a typed error.
+        match run(&spec, &df) {
+            Ok(report) => assert!(report.test_score.is_finite() || n < 4),
+            Err(e) => assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
+#[test]
+fn cv_with_more_folds_than_rows_errors() {
+    let df = tiny_frame(4);
+    let spec = PipelineSpec::default_classification("y");
+    assert!(cv_score(&spec, &df, 10).is_err());
+}
+
+#[test]
+fn degenerate_constant_feature_survives_pipeline() {
+    let df = DataFrame::from_columns(vec![
+        ("constant", Column::from_f64(vec![5.0; 40])),
+        ("x", Column::from_f64((0..40).map(f64::from).collect())),
+        (
+            "y",
+            Column::from_categorical(
+                &(0..40)
+                    .map(|i| if i < 20 { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+    .unwrap();
+    let report = run(&PipelineSpec::default_classification("y"), &df).expect("runs");
+    assert!(
+        report.test_score > 0.8,
+        "constant feature must not break scaling/training"
+    );
+}
+
+#[test]
+fn all_null_feature_column_handled() {
+    let df = DataFrame::from_columns(vec![
+        ("dead", Column::from_opt_f64(vec![None; 30])),
+        ("x", Column::from_f64((0..30).map(f64::from).collect())),
+        (
+            "y",
+            Column::from_categorical(
+                &(0..30)
+                    .map(|i| if i < 15 { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+    .unwrap();
+    // DropNulls would erase every row; the median imputer cannot compute a
+    // median of nothing. Whatever happens must be a typed error or success.
+    let mut spec = PipelineSpec::default_classification("y");
+    spec.prep = vec![PrepOp::DropNulls];
+    assert!(
+        run(&spec, &df).is_err(),
+        "dropping all rows must error, not panic"
+    );
+}
+
+// ---------------------------------------------------------- conversation ----
+
+#[test]
+fn dialogue_survives_garbage_input() {
+    let mut d = Dialogue::new(UserProfile::novice("n", "x"), &tiny_frame(20));
+    let garbage = [
+        "",
+        "🤖🤖🤖",
+        "yes no yes no",
+        "predict predict predict",
+        "predict ''",
+        "predict 'nonexistent_column_name_that_is_long'",
+        &"word ".repeat(2000),
+        "run", // nothing to run yet
+        "why why why why",
+    ];
+    for g in garbage {
+        let response = d.handle(g).expect("dialogue absorbs garbage");
+        assert!(!response.reply.is_empty());
+    }
+    // And it still works afterwards.
+    let r = d.handle("predict 'y'").unwrap();
+    assert!(matches!(
+        r.events.first(),
+        Some(DialogueEvent::GoalSet { .. })
+    ));
+}
+
+#[test]
+fn session_rejects_double_close_with_typed_error() {
+    let mut s = DesignSession::new(
+        "t",
+        "rq",
+        tiny_frame(30),
+        UserProfile::novice("n", "x"),
+        PlatformConfig::quick(),
+    );
+    s.step("done").unwrap();
+    let err = s.step("anything").unwrap_err();
+    assert!(err.to_string().contains("closed"));
+}
+
+// ------------------------------------------------------------ creativity ----
+
+#[test]
+fn search_on_unlearnable_data_still_terminates() {
+    // Pure noise: nothing to learn, but the loop must converge and return
+    // its (mediocre) best rather than spin or crash.
+    let labels: Vec<&str> = (0..60)
+        .map(|i| {
+            if (i * 2654435761_usize).is_multiple_of(2) {
+                "a"
+            } else {
+                "b"
+            }
+        })
+        .collect();
+    let df = DataFrame::from_columns(vec![
+        (
+            "noise",
+            Column::from_f64((0..60).map(|i| ((i * 37) % 17) as f64).collect()),
+        ),
+        ("y", Column::from_categorical(&labels)),
+    ])
+    .unwrap();
+    let task = Task::Classification { target: "y".into() };
+    let config = SearchConfig {
+        population_size: 6,
+        generations: 2,
+        ..Default::default()
+    };
+    let outcome = search(&task, &df, &config).expect("terminates");
+    let best = outcome.best.value.unwrap();
+    assert!(best.is_finite());
+    assert!(best <= 1.0);
+}
+
+#[test]
+fn search_with_missing_target_errors() {
+    let task = Task::Classification {
+        target: "ghost".into(),
+    };
+    let config = SearchConfig {
+        population_size: 4,
+        generations: 1,
+        ..Default::default()
+    };
+    assert!(search(&task, &tiny_frame(30), &config).is_err());
+}
+
+// ------------------------------------------------------------- provenance ----
+
+#[test]
+fn audit_handles_adversarial_event_orders() {
+    use matilda::provenance::{quality, EventKind, Recorder};
+    let r = Recorder::new();
+    // Close first, then keep talking; decide unknown things; execute ghosts.
+    r.record(EventKind::SessionClosed {
+        final_fingerprint: Some(1),
+    });
+    r.record(EventKind::SuggestionDecided {
+        suggestion_id: "never-made".into(),
+        adopted: true,
+        reason: String::new(),
+    });
+    r.record(EventKind::PipelineExecuted {
+        fingerprint: 9,
+        score: f64::NAN,
+        scoring: "x".into(),
+    });
+    let report = quality::audit(&r.snapshot());
+    assert!(!report.all_passed());
+    assert!(report.failures().len() >= 3, "{:?}", report.failures());
+}
