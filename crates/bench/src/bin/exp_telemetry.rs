@@ -1,0 +1,197 @@
+//! E11 — telemetry figure: run the urban public-policy scenario end to end
+//! with full instrumentation and export `results/telemetry_fig1.json`
+//! containing per-phase span timings, creative-search generation counters,
+//! task-duration quantiles and a provenance event provably linked to its
+//! telemetry span.
+
+use matilda_bench::{f3, header, row};
+use matilda_conversation::prelude::*;
+use matilda_core::prelude::*;
+use matilda_creativity::search::{search, SearchConfig};
+use matilda_datagen::prelude::*;
+use matilda_pipeline::prelude::*;
+use matilda_telemetry as telemetry;
+use std::fmt::Write as _;
+
+/// The paper's five reported pipeline phases (prepare collapses the
+/// per-operator tasks).
+const PHASES: [&str; 5] = ["prepare", "fragment", "train", "test", "assess"];
+
+fn phase_of(task_id: &str) -> Option<&'static str> {
+    let name = task_id.strip_prefix("pipeline.task.")?;
+    if name.starts_with("prepare.") {
+        return Some("prepare");
+    }
+    PHASES.iter().find(|p| **p == name).copied()
+}
+
+fn main() {
+    println!("# E11: telemetry — spans, metrics and run reports\n");
+
+    // The urban-policy scenario: predict footfall from district traits.
+    let panel = urban_panel(&UrbanConfig {
+        effect_size: 0.25,
+        noise: 1.5,
+        ..Default::default()
+    });
+    let numeric = panel
+        .select(&[
+            "pedestrian_area",
+            "parking_slots",
+            "restaurant_density",
+            "transit_access",
+            "footfall",
+        ])
+        .expect("select");
+    let mut spec = PipelineSpec::default_regression("footfall");
+    spec.prep.retain(|op| op.name() != "one_hot");
+    let report = run(&spec, &numeric).expect("pipeline runs");
+
+    println!("## per-phase wall time (urban-policy pipeline)");
+    header(&["task", "ms"]);
+    for (id, took) in &report.timings {
+        row(&[id.clone(), f3(took.as_secs_f64() * 1e3)]);
+    }
+    let (slowest, slowest_took) = report.slowest_task().expect("non-empty report");
+    println!(
+        "\nslowest task: {slowest} ({:.3} ms); wall clock {:.3} ms vs task sum {:.3} ms\n",
+        slowest_took.as_secs_f64() * 1e3,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.total_time().as_secs_f64() * 1e3,
+    );
+
+    // Creative search over the same design space: generation spans and
+    // pattern-production counters.
+    let task = Task::Regression {
+        target: "footfall".into(),
+    };
+    let outcome = search(
+        &task,
+        &numeric,
+        &SearchConfig {
+            population_size: 8,
+            generations: 4,
+            k_folds: 3,
+            ..SearchConfig::default()
+        },
+    )
+    .expect("search runs");
+    println!("## creative search over the urban design space");
+    println!(
+        "best design value {:.3} after {} evaluations\n",
+        outcome.best.value.unwrap_or(f64::NAN),
+        outcome.evaluations
+    );
+
+    // A short autonomous design session so provenance events are recorded
+    // inside live turn spans.
+    let mut session = DesignSession::new(
+        "urban-telemetry",
+        "did pedestrianization change district usage?",
+        panel
+            .select(&[
+                "pedestrian_area",
+                "parking_slots",
+                "restaurant_density",
+                "transit_access",
+                "treated",
+            ])
+            .expect("select"),
+        UserProfile::novice("Ada", "urbanism"),
+        PlatformConfig::quick(),
+    );
+    let mut persona = Persona::trusting_novice("treated", 7);
+    let summary = session.run_autonomous(&mut persona).expect("session runs");
+    println!("## autonomous session");
+    println!(
+        "rounds {} executions {} best score {:.3}\n",
+        summary.rounds,
+        summary.executions,
+        summary.best_score.unwrap_or(f64::NAN)
+    );
+
+    // Capture everything the run produced and derive the figure's data.
+    let run_telemetry = telemetry::RunTelemetry::capture_global("urban-policy");
+    let metrics = &run_telemetry.metrics;
+
+    // Per-phase timings from the executed pipeline's task spans: attribute
+    // each task span to its paper phase and sum.
+    let mut phase_ns: Vec<(&str, u64)> = PHASES.iter().map(|p| (*p, 0u64)).collect();
+    for span in &run_telemetry.spans {
+        if let Some(phase) = phase_of(&span.name) {
+            let slot = phase_ns
+                .iter_mut()
+                .find(|(p, _)| *p == phase)
+                .expect("known phase");
+            slot.1 += span.duration_ns;
+        }
+    }
+
+    // The provenance proof: a pipeline_executed event recorded inside a
+    // turn span, exported with its non-null span id.
+    let events = session.recorder().snapshot();
+    let linked = events
+        .iter()
+        .find(|e| e.kind.type_name() == "pipeline_executed" && e.span_id.is_some())
+        .expect("a pipeline executed inside a turn span");
+    let linked_span_id = linked.span_id.expect("non-null span id");
+    assert!(
+        run_telemetry.spans.iter().any(|s| s.id == linked_span_id),
+        "the event's span must exist in the exported trace"
+    );
+    let event_json = matilda_provenance::json::event_to_json(linked);
+
+    let task_hist = metrics
+        .histogram("pipeline.task_seconds")
+        .expect("task durations observed");
+
+    println!("## task-duration distribution (all pipeline runs this process)");
+    header(&["n", "p50_ms", "p95_ms", "p99_ms", "max_ms"]);
+    row(&[
+        task_hist.count.to_string(),
+        f3(task_hist.p50 * 1e3),
+        f3(task_hist.p95 * 1e3),
+        f3(task_hist.p99 * 1e3),
+        f3(task_hist.max * 1e3),
+    ]);
+
+    // Assemble the figure JSON by hand (same idiom as the exporters).
+    let mut doc = String::from("{\n  \"figure\": \"telemetry_fig1\",\n");
+    let _ = writeln!(doc, "  \"scenario\": \"urban-policy\",");
+    doc.push_str("  \"phase_timings_ns\": {");
+    for (i, (phase, ns)) in phase_ns.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let _ = write!(doc, "\"{phase}\":{ns}");
+    }
+    doc.push_str("},\n");
+    doc.push_str("  \"search_counters\": {");
+    let search_keys: Vec<&String> = metrics
+        .metrics
+        .keys()
+        .filter(|k| k.starts_with("search."))
+        .collect();
+    for (i, key) in search_keys.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let _ = write!(doc, "\"{key}\":{}", metrics.counter(key));
+    }
+    doc.push_str("},\n");
+    let _ = writeln!(
+        doc,
+        "  \"task_duration_seconds\": {{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},",
+        task_hist.count, task_hist.p50, task_hist.p95, task_hist.p99, task_hist.max
+    );
+    let _ = writeln!(doc, "  \"provenance_linked_event\": {event_json},");
+    let _ = writeln!(doc, "  \"provenance_span_id\": {linked_span_id},");
+    let _ = writeln!(doc, "  \"telemetry\": {}", run_telemetry.to_json());
+    doc.push_str("}\n");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/telemetry_fig1.json", &doc).expect("write figure json");
+    println!("\nwrote results/telemetry_fig1.json ({} bytes)", doc.len());
+
+    println!("\n{}", run_telemetry.report());
+}

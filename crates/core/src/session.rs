@@ -11,6 +11,7 @@ use matilda_creativity::grammar;
 use matilda_data::DataFrame;
 use matilda_pipeline::prelude::*;
 use matilda_provenance::prelude::*;
+use matilda_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -292,6 +293,9 @@ impl DesignSession {
 
     /// Feed one user message through the session.
     pub fn step(&mut self, user_text: &str) -> Result<StepOutcome> {
+        let mut turn_span = telemetry::span("session.turn");
+        turn_span.field("chars_in", user_text.len());
+        telemetry::metrics::global().inc("session.turns");
         if self.closed {
             return Err(PlatformError::Session("session already closed".into()));
         }
@@ -399,6 +403,9 @@ impl DesignSession {
                 }
             }
         }
+        turn_span
+            .field("executed", executed.is_some())
+            .field("closed", self.closed);
         Ok(StepOutcome {
             reply,
             executed,
@@ -409,6 +416,7 @@ impl DesignSession {
     /// Drive the session with a simulated persona until it closes (or the
     /// round cap is reached), returning a summary.
     pub fn run_autonomous(&mut self, persona: &mut Persona) -> Result<SessionSummary> {
+        let mut session_span = telemetry::span("session.autonomous");
         let mut rounds = 0;
         while !self.closed && rounds < self.config.max_rounds {
             // A satisfied persona stops after its first successful study,
@@ -433,6 +441,9 @@ impl DesignSession {
         }
         let decided = self.dialogue.decisions().len();
         let adopted = self.dialogue.decisions().iter().filter(|(_, a)| *a).count();
+        session_span
+            .field("rounds", rounds)
+            .field("executions", self.executed.len());
         Ok(SessionSummary {
             rounds,
             best_score: self.best().map(|d| d.report.test_score),
@@ -711,6 +722,35 @@ mod tests {
             "{}",
             out.reply
         );
+    }
+
+    #[test]
+    fn provenance_events_link_to_turn_spans() {
+        let mut s = session();
+        s.step("predict 'label'").unwrap();
+        let mut guard = 0;
+        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 30 {
+            s.step("yes").unwrap();
+            guard += 1;
+        }
+        s.step("run it").unwrap();
+        let events = s.recorder().snapshot();
+        // Everything recorded during a step carries the turn's span id...
+        let executed = events
+            .iter()
+            .find(|e| e.kind.type_name() == "pipeline_executed")
+            .expect("a pipeline ran");
+        let span_id = executed.span_id.expect("recorded inside a turn span");
+        // ...and that id names a real, closed session.turn span, so the
+        // JSON export round-trips a non-null linkage.
+        let spans = matilda_telemetry::span::global().snapshot();
+        let turn = spans
+            .iter()
+            .find(|sp| sp.id == span_id)
+            .expect("span exported");
+        assert_eq!(turn.name, "session.turn");
+        let json = matilda_provenance::json::event_to_json(executed);
+        assert!(json.contains(&format!("\"span_id\":{span_id}")), "{json}");
     }
 
     #[test]

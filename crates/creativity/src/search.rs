@@ -12,6 +12,7 @@ use crate::value::Evaluator;
 use matilda_data::DataFrame;
 use matilda_pipeline::registry::DataProfile;
 use matilda_pipeline::Task;
+use matilda_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -119,6 +120,10 @@ fn evaluate_batch(evaluator: &Evaluator, batch: &mut [Candidate]) {
 
 /// Run a creative search for `task` over `data`.
 pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<SearchOutcome> {
+    let mut search_span = telemetry::span("search.run");
+    search_span
+        .field("generations", config.generations)
+        .field("population", config.population_size);
     if config.population_size == 0 {
         return Err(CreativityError::InvalidParameter(
             "population_size must be >= 1".into(),
@@ -162,6 +167,9 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
     let mut credit: Vec<f64> = vec![1.0; patterns.len()];
 
     for generation in 0..=config.generations {
+        let mut gen_span = telemetry::span("search.generation");
+        gen_span.field("generation", generation);
+        telemetry::metrics::global().inc("search.generations");
         let lambda = balance.lambda(generation);
         let mut usage: Vec<(String, usize)> = Vec::new();
         let mut newcomers: Vec<Candidate> = Vec::new();
@@ -186,6 +194,10 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
                 let share = ((weights[i] / total_weight) * budget as f64).round() as usize;
                 let share = share.max(1);
                 let produced = pattern.generate(&ctx, share, &mut rng);
+                telemetry::metrics::global().add(
+                    &format!("search.candidates.{}", pattern.name()),
+                    produced.len() as u64,
+                );
                 usage.push((pattern.name().to_string(), produced.len()));
                 newcomers.extend(produced);
             }
@@ -206,9 +218,16 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
         } else {
             surprise_sum / newcomers.len() as f64
         };
+        // Re-discovered fingerprints update an existing archive entry
+        // rather than growing it: those are archive hits.
+        let archive_before = archive.len();
         for c in &newcomers {
             archive.insert(c.fingerprint, c.descriptor, c.value);
         }
+        let inserted = archive.len() - archive_before;
+        telemetry::metrics::global()
+            .add("search.archive_hits", (newcomers.len() - inserted) as u64);
+        telemetry::metrics::global().add("search.archive_inserts", inserted as u64);
         // Update bandit credit with each pattern's mean normalized value.
         if config.selection == PatternSelection::Bandit && !newcomers.is_empty() {
             let values: Vec<f64> = newcomers.iter().map(|c| c.value.unwrap_or(0.0)).collect();
@@ -275,6 +294,13 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
             .filter_map(|c| c.value)
             .filter(|v| v.is_finite())
             .collect();
+        gen_span
+            .field("newcomers", usage.iter().map(|(_, n)| *n).sum::<usize>())
+            .field("archive_size", archive.len())
+            .field(
+                "best_value",
+                finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            );
         history.push(GenerationStats {
             generation,
             best_value: finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
@@ -298,6 +324,10 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
         .cloned()
         .ok_or_else(|| CreativityError::NoValidCandidate("search produced nothing valid".into()))?;
 
+    telemetry::metrics::global().add("search.evaluations", evaluator.evaluations() as u64);
+    search_span
+        .field("evaluations", evaluator.evaluations())
+        .field("best_value", best.value.unwrap_or(f64::NEG_INFINITY));
     Ok(SearchOutcome {
         best,
         population,
@@ -472,6 +502,29 @@ mod tests {
         };
         let outcome = search(&task, &frame(), &config).unwrap();
         assert!(outcome.best.value.unwrap() > 0.8);
+    }
+
+    #[test]
+    fn search_emits_spans_and_counters() {
+        let task = Task::Classification { target: "y".into() };
+        search(&task, &frame(), &quick_config()).unwrap();
+        let spans = matilda_telemetry::span::global().snapshot();
+        let run = spans.iter().rfind(|s| s.name == "search.run").unwrap();
+        let generations: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "search.generation" && s.parent == Some(run.id))
+            .collect();
+        assert_eq!(generations.len(), quick_config().generations + 1);
+        let metrics = matilda_telemetry::metrics::global().snapshot();
+        assert!(metrics.counter("search.generations") >= generations.len() as u64);
+        assert!(metrics.counter("search.evaluations") > 0);
+        assert!(
+            metrics
+                .metrics
+                .keys()
+                .any(|k| k.starts_with("search.candidates.")),
+            "per-pattern production counters present"
+        );
     }
 
     #[test]

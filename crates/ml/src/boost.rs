@@ -115,6 +115,8 @@ impl GradientBoostingRegressor {
 
 impl Regressor for GradientBoostingRegressor {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        let mut span = matilda_telemetry::span("ml.fit.boost");
+        span.field("rows", x.len()).field("rounds", self.n_rounds);
         let d = check_xy(x, y.len())?;
         validate(self.n_rounds, self.learning_rate, self.max_depth)?;
         self.ensemble = Some(Ensemble::fit(
@@ -125,6 +127,7 @@ impl Regressor for GradientBoostingRegressor {
             self.max_depth,
         ));
         self.n_features = d;
+        matilda_telemetry::metrics::global().observe_duration("ml.fit_seconds", span.close());
         Ok(())
     }
 
@@ -173,6 +176,8 @@ impl GradientBoostingClassifier {
 
 impl Classifier for GradientBoostingClassifier {
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        let mut span = matilda_telemetry::span("ml.fit.boost");
+        span.field("rows", x.len()).field("rounds", self.n_rounds);
         let d = check_xy(x, y.len())?;
         validate(self.n_rounds, self.learning_rate, self.max_depth)?;
         let k = y.iter().copied().max().map_or(0, |m| m + 1);
@@ -194,6 +199,7 @@ impl Classifier for GradientBoostingClassifier {
             ));
         }
         self.n_features = d;
+        matilda_telemetry::metrics::global().observe_duration("ml.fit_seconds", span.close());
         Ok(())
     }
 

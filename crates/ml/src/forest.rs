@@ -108,6 +108,8 @@ impl RandomForestClassifier {
 
 impl Classifier for RandomForestClassifier {
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        let mut span = matilda_telemetry::span("ml.fit.forest");
+        span.field("rows", x.len()).field("trees", self.n_trees);
         let d = check_xy(x, y.len())?;
         validate(self.n_trees, self.max_depth, self.feature_fraction)?;
         let k = y.iter().copied().max().map_or(0, |m| m + 1);
@@ -125,6 +127,7 @@ impl Classifier for RandomForestClassifier {
         }
         self.n_classes = k;
         self.n_features = d;
+        matilda_telemetry::metrics::global().observe_duration("ml.fit_seconds", span.close());
         Ok(())
     }
 
@@ -193,6 +196,8 @@ impl RandomForestRegressor {
 
 impl Regressor for RandomForestRegressor {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
+        let mut span = matilda_telemetry::span("ml.fit.forest");
+        span.field("rows", x.len()).field("trees", self.n_trees);
         let d = check_xy(x, y.len())?;
         validate(self.n_trees, self.max_depth, self.feature_fraction)?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
@@ -204,6 +209,7 @@ impl Regressor for RandomForestRegressor {
             self.members.push(Member { root });
         }
         self.n_features = d;
+        matilda_telemetry::metrics::global().observe_duration("ml.fit_seconds", span.close());
         Ok(())
     }
 

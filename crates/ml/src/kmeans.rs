@@ -76,6 +76,8 @@ impl KMeans {
 
     /// Fit on row-major points; returns the final assignments.
     pub fn fit(&mut self, x: &[Vec<f64>]) -> Result<Vec<usize>> {
+        let mut span = matilda_telemetry::span("ml.fit.kmeans");
+        span.field("rows", x.len()).field("k", self.k);
         check_xy(x, x.len())?;
         if self.k == 0 || self.k > x.len() {
             return Err(MlError::InvalidParameter(format!(
@@ -129,6 +131,8 @@ impl KMeans {
             }
         }
         self.centroids = centroids;
+        span.field("iterations", self.iterations);
+        matilda_telemetry::metrics::global().observe_duration("ml.fit_seconds", span.close());
         Ok(assignments)
     }
 

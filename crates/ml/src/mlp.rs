@@ -91,6 +91,8 @@ impl MlpClassifier {
 impl Classifier for MlpClassifier {
     #[allow(clippy::needless_range_loop)] // index form mirrors the backprop math
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
+        let mut span = matilda_telemetry::span("ml.fit.mlp");
+        span.field("rows", x.len()).field("epochs", self.epochs);
         let d = check_xy(x, y.len())?;
         if self.hidden == 0 {
             return Err(MlError::InvalidParameter(
@@ -174,6 +176,7 @@ impl Classifier for MlpClassifier {
                 self.b2[c] -= lr * gb2[c] / n;
             }
         }
+        matilda_telemetry::metrics::global().observe_duration("ml.fit_seconds", span.close());
         Ok(())
     }
 

@@ -8,7 +8,7 @@ use crate::spec::{PipelineSpec, Task};
 use crate::validate::validate_strict;
 use matilda_data::prelude::*;
 use matilda_ml::prelude::*;
-use std::time::Instant;
+use matilda_telemetry as telemetry;
 
 /// The outcome of executing one pipeline end to end.
 #[derive(Debug, Clone)]
@@ -18,7 +18,13 @@ pub struct PipelineReport {
     /// Score on the training fragment (gap to `test_score` shows overfit).
     pub train_score: f64,
     /// `(task id, wall time)` per executed task, in execution order.
+    ///
+    /// Each entry is the closed duration of that task's telemetry span, so
+    /// the report and any exported trace agree exactly.
     pub timings: Vec<(String, std::time::Duration)>,
+    /// Wall-clock time of the whole run, including graph construction and
+    /// inter-task bookkeeping — at least [`total_time`](Self::total_time).
+    pub elapsed: std::time::Duration,
     /// Rows after preparation.
     pub n_rows: usize,
     /// Feature columns fed to the model.
@@ -40,6 +46,16 @@ impl PipelineReport {
     /// Overfit gap: train score minus test score.
     pub fn overfit_gap(&self) -> f64 {
         self.train_score - self.test_score
+    }
+
+    /// The task that took the longest, with its wall time.
+    ///
+    /// Returns `None` only for an empty report.
+    pub fn slowest_task(&self) -> Option<(&str, std::time::Duration)> {
+        self.timings
+            .iter()
+            .max_by_key(|(_, d)| *d)
+            .map(|(id, d)| (id.as_str(), *d))
     }
 }
 
@@ -96,6 +112,10 @@ fn align_classes(train: &Dataset, test: &mut Dataset) -> Result<()> {
 ///
 /// Execution follows the standard six-phase task graph; each task is timed.
 pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
+    let mut run_span = telemetry::span("pipeline.run");
+    run_span
+        .field("model", spec.model.name())
+        .field("rows_in", df.n_rows());
     validate_strict(spec, df)?;
     let target = spec.task.target().to_string();
     let op_names: Vec<&str> = spec.prep.iter().map(PrepOp::name).collect();
@@ -115,7 +135,7 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
     let mut features: Vec<String> = Vec::new();
 
     for id in order {
-        let start = Instant::now();
+        let task_span = telemetry::span(format!("pipeline.task.{id}"));
         match id {
             "explore" => {
                 n_explored = matilda_data::stats::describe(&frame).len();
@@ -151,13 +171,19 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
                 prep_cursor += 1;
             }
         }
-        timings.push((id.to_string(), start.elapsed()));
+        let took = task_span.close();
+        telemetry::metrics::global().observe_duration("pipeline.task_seconds", took);
+        timings.push((id.to_string(), took));
     }
 
+    run_span
+        .field("test_score", test_score)
+        .field("train_score", train_score);
     Ok(PipelineReport {
         test_score,
         train_score,
         timings,
+        elapsed: run_span.close(),
         n_rows: frame.n_rows(),
         feature_names: features,
         model_name,
@@ -173,6 +199,8 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
 /// searching; final reporting should use [`run`], whose held-out fragment
 /// never sees preparation statistics.
 pub fn cv_score(spec: &PipelineSpec, df: &DataFrame, k: usize) -> Result<CvResult> {
+    let mut span = telemetry::span("pipeline.cv_score");
+    span.field("model", spec.model.name()).field("folds", k);
     validate_strict(spec, df)?;
     let target = spec.task.target().to_string();
     let mut frame = df.clone();
@@ -247,6 +275,64 @@ mod tests {
         assert_eq!(report.timings.last().unwrap().0, "assess");
         assert!(report.total_time() > std::time::Duration::ZERO);
         assert!(report.n_explored_columns >= 2);
+    }
+
+    #[test]
+    fn elapsed_covers_task_sum() {
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        let report = run(&spec, &df).unwrap();
+        // Wall clock includes inter-task bookkeeping, so it must be at
+        // least the sum of per-task times.
+        assert!(
+            report.elapsed >= report.total_time(),
+            "elapsed {:?} < total {:?}",
+            report.elapsed,
+            report.total_time()
+        );
+    }
+
+    #[test]
+    fn slowest_task_is_argmax_of_timings() {
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        let report = run(&spec, &df).unwrap();
+        let (id, took) = report.slowest_task().unwrap();
+        assert!(report.timings.iter().any(|(t, d)| t == id && *d == took));
+        assert!(report.timings.iter().all(|(_, d)| *d <= took));
+    }
+
+    #[test]
+    fn slowest_task_none_when_empty() {
+        let report = PipelineReport {
+            test_score: 0.0,
+            train_score: 0.0,
+            timings: Vec::new(),
+            elapsed: std::time::Duration::ZERO,
+            n_rows: 0,
+            feature_names: Vec::new(),
+            model_name: "tree",
+            scoring_name: "macro_f1",
+            n_explored_columns: 0,
+        };
+        assert!(report.slowest_task().is_none());
+    }
+
+    #[test]
+    fn run_emits_task_spans() {
+        let collector_len_before = matilda_telemetry::span::global().len();
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        run(&spec, &df).unwrap();
+        let spans = matilda_telemetry::span::global().snapshot();
+        assert!(spans.len() > collector_len_before);
+        assert!(spans.iter().any(|s| s.name == "pipeline.run"));
+        assert!(spans.iter().any(|s| s.name == "pipeline.task.train"));
+        // Task spans nest under the run span.
+        let run_span = spans.iter().rfind(|s| s.name == "pipeline.run").unwrap();
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "pipeline.task.assess" && s.parent == Some(run_span.id)));
     }
 
     #[test]

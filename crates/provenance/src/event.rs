@@ -132,6 +132,10 @@ impl EventKind {
 pub struct Event {
     /// Monotonic sequence number, unique within a recorder.
     pub seq: u64,
+    /// The telemetry span that was active when the event was recorded,
+    /// linking provenance to the trace timeline. `None` when recorded
+    /// outside any span.
+    pub span_id: Option<u64>,
     /// Payload.
     pub kind: EventKind,
 }

@@ -44,6 +44,10 @@ pub fn event_to_json(event: &Event) -> String {
     let mut out = String::from("{");
     let mut first = true;
     field_raw(&mut out, "seq", event.seq, &mut first);
+    match event.span_id {
+        Some(id) => field_raw(&mut out, "span_id", id, &mut first),
+        None => field_raw(&mut out, "span_id", "null", &mut first),
+    }
     field_str(&mut out, "type", event.kind.type_name(), &mut first);
     match &event.kind {
         EventKind::SessionStarted {
@@ -200,6 +204,22 @@ mod tests {
         let out = log_to_jsonl(&r.snapshot());
         assert_eq!(out.lines().count(), 2);
         assert!(out.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn span_id_serialized_when_present() {
+        let r = Recorder::new();
+        r.record(EventKind::PhaseEntered {
+            phase: "train".into(),
+        });
+        assert!(event_to_json(&r.snapshot()[0]).contains("\"span_id\":null"));
+        let collector = matilda_telemetry::Collector::new();
+        let span = collector.span("turn");
+        let id = span.id();
+        r.record(EventKind::PhaseEntered {
+            phase: "test".into(),
+        });
+        assert!(event_to_json(&r.snapshot()[1]).contains(&format!("\"span_id\":{id}")));
     }
 
     #[test]

@@ -20,10 +20,14 @@ impl Recorder {
     }
 
     /// Append an event, returning its sequence number.
+    ///
+    /// The event captures the telemetry span active on the calling thread,
+    /// if any, so provenance entries can be located on the trace timeline.
     pub fn record(&self, kind: EventKind) -> u64 {
+        let span_id = matilda_telemetry::current_span_id();
         let mut log = self.inner.lock();
         let seq = log.len() as u64;
-        log.push(Event { seq, kind });
+        log.push(Event { seq, span_id, kind });
         seq
     }
 
@@ -99,6 +103,22 @@ mod tests {
         assert_eq!(r.of_type("suggestion_made").len(), 2);
         assert_eq!(r.of_type("phase_entered").len(), 1);
         assert!(r.of_type("session_closed").is_empty());
+    }
+
+    #[test]
+    fn events_capture_active_span() {
+        let r = Recorder::new();
+        r.record(suggestion("outside"));
+        let collector = matilda_telemetry::Collector::new();
+        let span_id;
+        {
+            let span = collector.span("decide");
+            span_id = span.id();
+            r.record(suggestion("inside"));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap[0].span_id, None);
+        assert_eq!(snap[1].span_id, Some(span_id));
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Exporters: JSONL trace dumps, serializable run telemetry and
+//! human-readable run reports.
+//!
+//! All JSON here is hand-rolled (same idiom as `matilda-provenance`): the
+//! output is a small, fixed schema and keeping the writer explicit avoids
+//! any serialization dependency.
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::span::{Collector, FieldValue, SpanRecord};
+use std::fmt::Write as _;
+
+/// Escape a string for embedding in a JSON document.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as JSON (finite only; non-finite becomes `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn field_value_json(v: &FieldValue) -> String {
+    match v {
+        FieldValue::I64(i) => format!("{i}"),
+        FieldValue::U64(u) => format!("{u}"),
+        FieldValue::F64(f) => json_f64(*f),
+        FieldValue::Bool(b) => format!("{b}"),
+        FieldValue::Str(s) => format!("\"{}\"", escape(s)),
+    }
+}
+
+/// One span as a single JSON object (one JSONL line).
+pub fn span_to_json(span: &SpanRecord) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    let _ = write!(out, "\"id\":{}", span.id);
+    match span.parent {
+        Some(p) => {
+            let _ = write!(out, ",\"parent\":{p}");
+        }
+        None => out.push_str(",\"parent\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"name\":\"{}\",\"start_ns\":{},\"duration_ns\":{}",
+        escape(&span.name),
+        span.start_ns,
+        span.duration_ns
+    );
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in span.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape(k), field_value_json(v));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// All spans of `collector` as JSONL, one span per line, ordered by close
+/// time.
+pub fn spans_to_jsonl(collector: &Collector) -> String {
+    let mut out = String::new();
+    for span in collector.snapshot() {
+        out.push_str(&span_to_json(&span));
+        out.push('\n');
+    }
+    out
+}
+
+fn metric_value_json(v: &MetricValue) -> String {
+    match v {
+        MetricValue::Counter(c) => format!("{{\"kind\":\"counter\",\"value\":{c}}}"),
+        MetricValue::Gauge(g) => {
+            format!("{{\"kind\":\"gauge\",\"value\":{}}}", json_f64(*g))
+        }
+        MetricValue::Histogram(h) => format!(
+            "{{\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
+            json_f64(h.p50),
+            json_f64(h.p95),
+            json_f64(h.p99)
+        ),
+    }
+}
+
+/// A metrics snapshot as one JSON object keyed by metric name.
+pub fn metrics_to_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in snapshot.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape(name), metric_value_json(value));
+    }
+    out.push('}');
+    out
+}
+
+/// Everything measured during one run: spans plus metrics, ready for
+/// export.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunTelemetry {
+    /// Free-form run label (scenario name, experiment id, ...).
+    pub run: String,
+    /// Closed spans, ordered by close time.
+    pub spans: Vec<SpanRecord>,
+    /// Metric snapshot taken at capture time.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunTelemetry {
+    /// Capture the current state of `collector` and `metrics` under the
+    /// label `run`.
+    pub fn capture(
+        run: impl Into<String>,
+        collector: &Collector,
+        metrics: &crate::metrics::MetricsRegistry,
+    ) -> Self {
+        Self {
+            run: run.into(),
+            spans: collector.snapshot(),
+            metrics: metrics.snapshot(),
+        }
+    }
+
+    /// Capture from the process-global collector and registry.
+    pub fn capture_global(run: impl Into<String>) -> Self {
+        Self::capture(run, crate::span::global(), crate::metrics::global())
+    }
+
+    /// The full telemetry as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        let _ = write!(out, "\"run\":\"{}\"", escape(&self.run));
+        out.push_str(",\"spans\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&span_to_json(span));
+        }
+        out.push(']');
+        let _ = write!(out, ",\"metrics\":{}", metrics_to_json(&self.metrics));
+        out.push('}');
+        out
+    }
+
+    /// A human-readable per-run report: a span tree with wall times plus a
+    /// metrics table.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== run report: {} ===", self.run);
+        let _ = writeln!(out, "spans: {}", self.spans.len());
+
+        // Parent → children index; roots are spans whose parent is absent
+        // from the capture (not just None), so partial captures still
+        // render.
+        let ids: std::collections::HashSet<u64> = self.spans.iter().map(|s| s.id).collect();
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        let mut children: std::collections::HashMap<u64, Vec<&SpanRecord>> =
+            std::collections::HashMap::new();
+        for span in &self.spans {
+            match span.parent {
+                Some(p) if ids.contains(&p) => children.entry(p).or_default().push(span),
+                _ => roots.push(span),
+            }
+        }
+        let by_start = |a: &&SpanRecord, b: &&SpanRecord| a.start_ns.cmp(&b.start_ns);
+        roots.sort_by(by_start);
+        for kids in children.values_mut() {
+            kids.sort_by(by_start);
+        }
+
+        fn render(
+            out: &mut String,
+            span: &SpanRecord,
+            children: &std::collections::HashMap<u64, Vec<&SpanRecord>>,
+            depth: usize,
+        ) {
+            let ms = span.duration_ns as f64 / 1e6;
+            let mut fields = String::new();
+            for (k, v) in &span.fields {
+                let _ = write!(fields, " {k}={}", field_value_json(v));
+            }
+            let _ = writeln!(
+                out,
+                "{}{}  {:.3} ms{}",
+                "  ".repeat(depth + 1),
+                span.name,
+                ms,
+                fields
+            );
+            if let Some(kids) = children.get(&span.id) {
+                for kid in kids {
+                    render(out, kid, children, depth + 1);
+                }
+            }
+        }
+        for root in roots {
+            render(&mut out, root, &children, 0);
+        }
+
+        if !self.metrics.metrics.is_empty() {
+            let _ = writeln!(out, "metrics:");
+            for (name, value) in &self.metrics.metrics {
+                match value {
+                    MetricValue::Counter(c) => {
+                        let _ = writeln!(out, "  {name} = {c}");
+                    }
+                    MetricValue::Gauge(g) => {
+                        let _ = writeln!(out, "  {name} = {g:.6}");
+                    }
+                    MetricValue::Histogram(h) => {
+                        let _ = writeln!(
+                            out,
+                            "  {name}: n={} mean={:.6} p50={:.6} p95={:.6} p99={:.6} max={:.6}",
+                            h.count,
+                            h.mean(),
+                            h.p50,
+                            h.p95,
+                            h.p99,
+                            h.max
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::Collector;
+
+    fn sample_run() -> RunTelemetry {
+        let collector = Collector::new();
+        {
+            let mut outer = collector.span("outer");
+            outer.field("k", "v\"q");
+            {
+                let _inner = collector.span("inner");
+            }
+        }
+        let metrics = MetricsRegistry::new();
+        metrics.inc("hits");
+        metrics.set_gauge("temp", 0.5);
+        metrics.observe("lat", 0.001);
+        RunTelemetry::capture("test-run", &collector, &metrics)
+    }
+
+    #[test]
+    fn span_json_escapes_and_links() {
+        let run = sample_run();
+        let outer = run.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = run.spans.iter().find(|s| s.name == "inner").unwrap();
+        let json = span_to_json(outer);
+        assert!(json.contains("\"parent\":null"), "{json}");
+        assert!(json.contains("\\\"q"), "quote must be escaped: {json}");
+        let json = span_to_json(inner);
+        assert!(json.contains(&format!("\"parent\":{}", outer.id)), "{json}");
+    }
+
+    #[test]
+    fn jsonl_one_line_per_span() {
+        let collector = Collector::new();
+        for name in ["a", "b", "c"] {
+            let _s = collector.span(name);
+        }
+        let jsonl = spans_to_jsonl(&collector);
+        assert_eq!(jsonl.lines().count(), 3);
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn run_json_contains_all_sections() {
+        let json = sample_run().to_json();
+        assert!(json.contains("\"run\":\"test-run\""));
+        assert!(json.contains("\"spans\":["));
+        assert!(json.contains("\"hits\":{\"kind\":\"counter\",\"value\":1}"));
+        assert!(json.contains("\"temp\":{\"kind\":\"gauge\",\"value\":0.5}"));
+        assert!(json.contains("\"lat\":{\"kind\":\"histogram\""));
+    }
+
+    #[test]
+    fn report_renders_tree_and_metrics() {
+        let report = sample_run().report();
+        assert!(report.contains("run report: test-run"), "{report}");
+        let outer_line = report.lines().find(|l| l.contains("outer")).unwrap();
+        let inner_line = report.lines().find(|l| l.contains("inner")).unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(inner_line) > indent(outer_line), "{report}");
+        assert!(report.contains("hits = 1"), "{report}");
+        assert!(report.contains("lat: n=1"), "{report}");
+    }
+
+    #[test]
+    fn non_finite_gauge_serializes_as_null() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_gauge("bad", f64::NAN);
+        let json = metrics_to_json(&metrics.snapshot());
+        assert!(json.contains("\"bad\":{\"kind\":\"gauge\",\"value\":null}"));
+    }
+
+    #[test]
+    fn orphan_spans_render_as_roots() {
+        let collector = Collector::new();
+        {
+            let _a = collector.span("kept");
+        }
+        let mut run = RunTelemetry::capture("r", &collector, &MetricsRegistry::new());
+        // Simulate a partial capture: point the span at a missing parent.
+        run.spans[0].parent = Some(999_999_999);
+        let report = run.report();
+        assert!(report.contains("kept"), "{report}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Spans, metrics and run reports: the measurement substrate under every
+//! MATILDA component.
+//!
+//! Three layers, usable separately or together:
+//!
+//! - [`span`] — RAII hierarchical tracing. A [`span::SpanGuard`] times a
+//!   region of code, carries key/value fields, and links to its parent via
+//!   a thread-local span stack. Closed spans land in a sharded
+//!   [`span::Collector`].
+//! - [`metrics`] — a global sharded [`metrics::MetricsRegistry`] of
+//!   counters, gauges and fixed-bucket histograms with p50/p95/p99
+//!   summaries.
+//! - [`export`] — JSONL trace dumps, a serializable
+//!   [`export::RunTelemetry`] capture and a human-readable run report.
+//!
+//! ```
+//! use matilda_telemetry as telemetry;
+//!
+//! {
+//!     let mut span = telemetry::span("train");
+//!     span.field("rows", 10_000u64);
+//!     telemetry::metrics::global().inc("train.calls");
+//! } // span closes here; duration recorded
+//!
+//! let run = telemetry::export::RunTelemetry::capture_global("demo");
+//! assert!(run.spans.iter().any(|s| s.name == "train"));
+//! println!("{}", run.report());
+//! ```
+//!
+//! Instrumentation must never change program behaviour: collectors recover
+//! from poisoned locks, metric kind conflicts are ignored rather than
+//! panicking, and span close is tolerant of out-of-order drops.
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use export::RunTelemetry;
+pub use metrics::{HistogramSummary, MetricsRegistry};
+pub use span::{current_span_id, span, Collector, SpanGuard, SpanId, SpanRecord};
+
+#[cfg(test)]
+mod prop_tests {
+    use crate::span::Collector;
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    /// Open spans following `plan` depth-first: each entry is a number of
+    /// children for the node at that position. Consumes the plan as a
+    /// preorder walk, returning when its subtree is done.
+    fn run_tree(collector: &Collector, plan: &mut Vec<u8>, depth: usize) {
+        if depth > 6 {
+            return;
+        }
+        let children = match plan.pop() {
+            Some(n) => n % 4,
+            None => return,
+        };
+        let _span = collector.span(format!("d{depth}"));
+        std::thread::sleep(Duration::from_micros(50));
+        for _ in 0..children {
+            run_tree(collector, plan, depth + 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn nested_spans_close_lifo_and_parents_cover_children(
+            plan in prop::collection::vec(0u8..8, 1..12),
+        ) {
+            let collector = Collector::new();
+            let mut plan = plan.clone();
+            run_tree(&collector, &mut plan, 0);
+            let spans = collector.snapshot();
+            prop_assert!(!spans.is_empty());
+
+            // LIFO closing: snapshot() orders by close time, and every
+            // parent must close at or after each of its children.
+            for span in &spans {
+                if let Some(parent_id) = span.parent {
+                    let parent = spans.iter().find(|s| s.id == parent_id);
+                    prop_assert!(parent.is_some(), "parent {parent_id} missing");
+                    let parent = parent.unwrap();
+                    let child_close = span.start_ns + span.duration_ns;
+                    let parent_close = parent.start_ns + parent.duration_ns;
+                    prop_assert!(
+                        parent_close >= child_close,
+                        "parent {} closed before child {}",
+                        parent.name,
+                        span.name
+                    );
+                    prop_assert!(
+                        parent.start_ns <= span.start_ns,
+                        "parent started after child"
+                    );
+                }
+            }
+
+            // Parent wall time covers the sum of its direct children
+            // (children run sequentially inside the parent).
+            for parent in &spans {
+                let child_sum: u64 = spans
+                    .iter()
+                    .filter(|s| s.parent == Some(parent.id))
+                    .map(|s| s.duration_ns)
+                    .sum();
+                prop_assert!(
+                    parent.duration_ns >= child_sum,
+                    "span {} ({} ns) shorter than its children ({} ns)",
+                    parent.name,
+                    parent.duration_ns,
+                    child_sum
+                );
+            }
+        }
+    }
+}

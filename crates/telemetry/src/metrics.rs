@@ -1,0 +1,467 @@
+//! A global sharded registry of counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Names are free-form strings, conventionally `component.metric`
+//! (`search.mutations`, `ml.fit_seconds`). The registry is sharded by name
+//! hash so concurrent workers touching different metrics rarely contend.
+//!
+//! ```
+//! use matilda_telemetry::metrics::MetricsRegistry;
+//!
+//! let m = MetricsRegistry::new();
+//! m.inc("search.mutations");
+//! m.observe("task.seconds", 0.012);
+//! let snap = m.snapshot();
+//! assert_eq!(snap.counter("search.mutations"), 1);
+//! assert_eq!(snap.histogram("task.seconds").unwrap().count, 1);
+//! ```
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
+
+/// Fixed histogram bucket upper bounds (inclusive), in the metric's unit.
+///
+/// The default covers 1 µs to ~17 min in powers of four when the unit is
+/// seconds — wide enough for both a single column scan and a whole creative
+/// search.
+pub fn default_buckets() -> Vec<f64> {
+    (0..16).map(|i| 1e-6 * 4f64.powi(i)).collect()
+}
+
+/// A fixed-bucket histogram with min/max/sum tracking.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Upper bound (inclusive) per bucket; values above the last bound land
+    /// in the overflow bucket.
+    bounds: Vec<f64>,
+    /// One count per bound, plus a trailing overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (must be non-empty and strictly
+    /// increasing).
+    pub fn with_buckets(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let n = bounds.len();
+        Self {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A histogram over [`default_buckets`].
+    pub fn new() -> Self {
+        Self::with_buckets(default_buckets())
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The index of the bucket `value` would land in.
+    pub fn bucket_index(&self, value: f64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len())
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the target bucket, clamped to the observed min/max.
+    ///
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation (1-based), then walk buckets.
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = if idx == 0 { 0.0 } else { self.bounds[idx - 1] };
+                let hi = if idx < self.bounds.len() {
+                    self.bounds[idx]
+                } else {
+                    self.max
+                };
+                // Position of the rank within this bucket's counts.
+                let within = (rank - seen) as f64 / c as f64;
+                let est = lo + within * (hi - lo).max(0.0);
+                return Some(est.clamp(self.min, self.max));
+            }
+            seen += c;
+        }
+        Some(self.max)
+    }
+
+    /// Summarize into a serializable snapshot.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+/// Point-in-time value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Distribution summary.
+    Histogram(HistogramSummary),
+}
+
+const SHARDS: usize = 8;
+
+/// A sharded registry of named metrics.
+///
+/// Metric kinds are fixed at first touch: incrementing a name makes it a
+/// counter, `observe` makes it a histogram, `set_gauge` a gauge. Touching a
+/// name as a different kind is a no-op (never a panic) so instrumentation
+/// can never take down the platform.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: [Mutex<HashMap<String, Metric>>; SHARDS],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A new, empty registry.
+    pub fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Metric>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[h.finish() as usize % SHARDS]
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut shard = self.shard(name).lock();
+        if let Metric::Counter(c) = shard.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            *c += delta;
+        }
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut shard = self.shard(name).lock();
+        if let Metric::Gauge(g) = shard.entry(name.to_string()).or_insert(Metric::Gauge(0.0)) {
+            *g = value;
+        }
+    }
+
+    /// Record `value` into the histogram `name` (default buckets).
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut shard = self.shard(name).lock();
+        if let Metric::Histogram(h) = shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            h.observe(value);
+        }
+    }
+
+    /// Record a duration, in seconds, into the histogram `name`.
+    pub fn observe_duration(&self, name: &str, duration: std::time::Duration) {
+        self.observe(name, duration.as_secs_f64());
+    }
+
+    /// A sorted snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (name, metric) in shard.lock().iter() {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(*c),
+                    Metric::Gauge(g) => MetricValue::Gauge(*g),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                };
+                out.insert(name.clone(), value);
+            }
+        }
+        MetricsSnapshot { metrics: out }
+    }
+
+    /// Remove every metric.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+/// Sorted point-in-time view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Metric name → value, sorted by name.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// The counter `name`, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// The gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The histogram summary `name`, if any observation landed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// The process-wide default registry, used by all instrumented hot paths.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.inc("a");
+        m.inc("a");
+        m.add("a", 3);
+        m.inc("b");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("b"), 1);
+        assert_eq!(snap.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_last() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("g", 1.5);
+        m.set_gauge("g", -2.0);
+        assert_eq!(m.snapshot().gauge("g"), Some(-2.0));
+        assert_eq!(m.snapshot().gauge("absent"), None);
+    }
+
+    #[test]
+    fn kind_conflicts_are_ignored_not_fatal() {
+        let m = MetricsRegistry::new();
+        m.inc("x");
+        m.set_gauge("x", 9.0); // wrong kind: ignored
+        m.observe("x", 1.0); // wrong kind: ignored
+        assert_eq!(m.snapshot().counter("x"), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::with_buckets(vec![1.0, 2.0, 4.0]);
+        // A value exactly on a bound belongs to that bucket (inclusive
+        // upper bounds); above the last bound goes to overflow.
+        assert_eq!(h.bucket_index(0.5), 0);
+        assert_eq!(h.bucket_index(1.0), 0);
+        assert_eq!(h.bucket_index(1.0001), 1);
+        assert_eq!(h.bucket_index(2.0), 1);
+        assert_eq!(h.bucket_index(4.0), 2);
+        assert_eq!(h.bucket_index(4.0001), 3);
+        for v in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.counts, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantiles_bounded_and_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64 * 1e-4); // 0.1ms .. 100ms
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p50 >= 1e-4 && p99 <= 0.1, "{p50} {p99}");
+        // The median estimate lands within its bucket: for the default
+        // power-of-four grid, 0.05 falls in the (0.016, 0.065] bucket.
+        assert!((0.016..=0.066).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn quantile_exact_for_single_value() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.observe(0.5);
+        }
+        // All mass in one bucket, min == max == 0.5: clamping makes the
+        // estimate exact.
+        assert_eq!(h.quantile(0.5), Some(0.5));
+        assert_eq!(h.quantile(0.99), Some(0.5));
+        let s = h.summary();
+        assert_eq!(s.p50, 0.5);
+        assert_eq!(s.mean(), 0.5);
+    }
+
+    #[test]
+    fn summary_of_empty_histogram() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_updates_all_land() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..250 {
+                        m.inc("hits");
+                        m.observe("lat", i as f64 * 1e-5);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("hits"), 1000);
+        assert_eq!(snap.histogram("lat").unwrap().count, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::with_buckets(vec![2.0, 1.0]);
+    }
+}

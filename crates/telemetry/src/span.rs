@@ -1,0 +1,411 @@
+//! RAII span-based hierarchical tracing.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and drop and
+//! records itself into a [`Collector`]. A thread-local stack links spans
+//! opened on the same thread into a parent/child hierarchy, so nested calls
+//! produce a proper trace tree without any plumbing through signatures.
+//!
+//! ```
+//! use matilda_telemetry::span::Collector;
+//!
+//! let collector = Collector::new();
+//! {
+//!     let mut outer = collector.span("request");
+//!     outer.field("user", "ada");
+//!     let _inner = collector.span("parse");
+//! } // spans record on drop, inner first (LIFO)
+//! let spans = collector.snapshot();
+//! assert_eq!(spans.len(), 2);
+//! assert_eq!(spans[0].name, "parse");
+//! assert_eq!(spans[0].parent, Some(spans[1].id));
+//! ```
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Identifier of one span, unique within a process run.
+pub type SpanId = u64;
+
+/// A typed key/value annotation attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer payload.
+    I64(i64),
+    /// Unsigned integer payload (counts, fingerprints).
+    U64(u64),
+    /// Floating payload (scores, ratios).
+    F64(f64),
+    /// Text payload.
+    Str(String),
+    /// Boolean payload.
+    Bool(bool),
+}
+
+macro_rules! impl_field_from {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+impl_field_from!(
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+    f64 => F64 as f64
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One closed span, as stored by a [`Collector`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SpanRecord {
+    /// Unique id of this span.
+    pub id: SpanId,
+    /// Id of the span that was open on the same thread when this one
+    /// started, if any.
+    pub parent: Option<SpanId>,
+    /// Span name, conventionally `component.operation`.
+    pub name: String,
+    /// Start offset from the collector's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall time between open and close, in nanoseconds.
+    pub duration_ns: u64,
+    /// Key/value annotations recorded while the span was open.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// Wall time as a [`Duration`].
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.duration_ns)
+    }
+
+    /// The value recorded under `key`, if any.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+// Ids must be unique across collectors: provenance events store bare span
+// ids, so two collectors handing out the same id would corrupt the linkage.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    // The stack of spans currently open on this thread (any collector).
+    static SPAN_STACK: RefCell<Vec<SpanId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The id of the innermost span currently open on this thread.
+///
+/// This is the hook other subsystems use to tag their artefacts with trace
+/// context — e.g. every provenance event records the active span id.
+pub fn current_span_id() -> Option<SpanId> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+const SHARDS: usize = 8;
+
+/// A sink for closed spans.
+///
+/// Cloning is cheap and yields a handle on the same buffer, so worker
+/// threads can record into their session's collector. Storage is sharded by
+/// thread to keep contention off the hot path.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    inner: Arc<CollectorInner>,
+}
+
+#[derive(Debug)]
+struct CollectorInner {
+    epoch: Instant,
+    shards: [Mutex<Vec<SpanRecord>>; SHARDS],
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// A new, empty collector whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(CollectorInner {
+                epoch: Instant::now(),
+                shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            }),
+        }
+    }
+
+    /// Open a span named `name`; it closes (and records) when dropped.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = current_span_id();
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard {
+            collector: self.clone(),
+            record: Some(SpanRecord {
+                id,
+                parent,
+                name: name.into(),
+                start_ns: self.inner.epoch.elapsed().as_nanos() as u64,
+                duration_ns: 0,
+                fields: Vec::new(),
+            }),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// `true` when no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all recorded spans, ordered by close time (record order
+    /// within a thread, interleaved across threads by shard).
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self
+            .inner
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().iter().cloned().collect::<Vec<_>>())
+            .collect();
+        out.sort_by_key(|r| r.start_ns + r.duration_ns);
+        out
+    }
+
+    /// Remove and return all recorded spans.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self
+            .inner
+            .shards
+            .iter()
+            .flat_map(|s| std::mem::take(&mut *s.lock()))
+            .collect();
+        out.sort_by_key(|r| r.start_ns + r.duration_ns);
+        out
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let shard = thread_index() % SHARDS;
+        self.inner.shards[shard].lock().push(record);
+    }
+}
+
+// Stable small index per OS thread, for shard selection.
+fn thread_index() -> usize {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static INDEX: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    INDEX.with(|i| *i as usize)
+}
+
+/// The process-wide default collector, used by all instrumented hot paths.
+pub fn global() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(Collector::new)
+}
+
+/// Open a span on the [`global`] collector.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    global().span(name)
+}
+
+/// An open span; records itself into its collector on drop or [`close`].
+///
+/// [`close`]: SpanGuard::close
+#[derive(Debug)]
+pub struct SpanGuard {
+    collector: Collector,
+    record: Option<SpanRecord>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// This span's id (e.g. to hand to another thread as explicit parent).
+    pub fn id(&self) -> SpanId {
+        self.record.as_ref().expect("span open").id
+    }
+
+    /// Attach a key/value annotation.
+    pub fn field(&mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> &mut Self {
+        self.record
+            .as_mut()
+            .expect("span open")
+            .fields
+            .push((key.into(), value.into()));
+        self
+    }
+
+    /// Wall time since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Close the span now, returning its measured duration.
+    ///
+    /// Equivalent to dropping, but hands back the wall time so callers can
+    /// reuse the span's own measurement (e.g. `PipelineReport::timings` is a
+    /// view over task spans).
+    pub fn close(mut self) -> Duration {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(mut record) = self.record.take() {
+            record.duration_ns = elapsed.as_nanos() as u64;
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // Guards drop in LIFO order in straight-line code; a guard
+                // moved across scopes can close out of order, so fall back
+                // to removing it wherever it sits.
+                if stack.last() == Some(&record.id) {
+                    stack.pop();
+                } else if let Some(pos) = stack.iter().rposition(|&id| id == record.id) {
+                    stack.remove(pos);
+                }
+            });
+            self.collector.push(record);
+        }
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop_with_duration() {
+        let c = Collector::new();
+        {
+            let _sp = c.span("work");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let spans = c.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "work");
+        assert!(spans[0].duration() >= Duration::from_millis(2));
+        assert!(spans[0].parent.is_none());
+    }
+
+    #[test]
+    fn nesting_links_parents() {
+        let c = Collector::new();
+        {
+            let outer = c.span("outer");
+            let outer_id = outer.id();
+            {
+                let inner = c.span("inner");
+                assert_eq!(current_span_id(), Some(inner.id()));
+            }
+            assert_eq!(current_span_id(), Some(outer_id));
+        }
+        assert_eq!(current_span_id(), None);
+        let spans = c.snapshot();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(outer.duration_ns >= inner.duration_ns);
+    }
+
+    #[test]
+    fn fields_round_trip() {
+        let c = Collector::new();
+        {
+            let mut sp = c.span("annotated");
+            sp.field("count", 3usize).field("label", "x");
+            sp.field("score", 0.5).field("ok", true);
+        }
+        let spans = c.snapshot();
+        assert_eq!(spans[0].field("count"), Some(&FieldValue::U64(3)));
+        assert_eq!(spans[0].field("label"), Some(&FieldValue::Str("x".into())));
+        assert_eq!(spans[0].field("score"), Some(&FieldValue::F64(0.5)));
+        assert_eq!(spans[0].field("ok"), Some(&FieldValue::Bool(true)));
+        assert_eq!(spans[0].field("absent"), None);
+    }
+
+    #[test]
+    fn close_returns_duration_and_records_once() {
+        let c = Collector::new();
+        let sp = c.span("explicit");
+        let d = sp.close();
+        assert!(d > Duration::ZERO);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ids_unique_across_collectors() {
+        let a = Collector::new();
+        let b = Collector::new();
+        let ia = a.span("a").close();
+        let ib = b.span("b").close();
+        let _ = (ia, ib);
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        assert_ne!(sa[0].id, sb[0].id);
+    }
+
+    #[test]
+    fn cross_thread_spans_all_land() {
+        let c = Collector::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let handle = c.clone();
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let mut sp = handle.span(format!("t{t}"));
+                        sp.field("i", i as u64);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let c = Collector::new();
+        c.span("one").close();
+        assert_eq!(c.drain().len(), 1);
+        assert!(c.is_empty());
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`provenance`] | append-only session logs, PROV graphs, replay |
 //! | [`datagen`] | synthetic scenarios incl. the urban-policy case study |
 //! | [`core`] | the platform: sessions, personas, design modes |
+//! | [`telemetry`] | RAII spans, metrics registry, trace export & run reports |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@ pub use matilda_datagen as datagen;
 pub use matilda_ml as ml;
 pub use matilda_pipeline as pipeline;
 pub use matilda_provenance as provenance;
+pub use matilda_telemetry as telemetry;
 
 /// One-stop imports for platform users.
 pub mod prelude {

@@ -1,0 +1,156 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the macro/API surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`) with a simple measured loop: a short
+//! warm-up, then timed batches, reporting mean per-iteration wall time.
+//! No statistics engine, no plots — enough to smoke-run benches offline
+//! and eyeball regressions.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark's measured loop.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly within the time budget, timing every call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(f());
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            self.iters_done += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget || self.iters_done >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// Registry/driver for a group of benchmarks.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Measure `f` under `name`, printing mean per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.budget, &mut f);
+        self
+    }
+
+    /// Open a named group; benchmarks run as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            budget: self.budget,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    budget: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in is time-budgeted,
+    /// not sample-counted, so the value is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrink or grow the per-benchmark time budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Measure `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.budget, &mut f);
+        self
+    }
+
+    /// End the group (no-op; finishes on drop too).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, f: &mut F) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget,
+    };
+    f(&mut b);
+    let mean_ns = if b.iters_done == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters_done as f64
+    };
+    println!(
+        "bench {name}: {mean_ns:.0} ns/iter ({} iters)",
+        b.iters_done
+    );
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls >= 2, "warm-up + at least one timed iteration");
+    }
+}

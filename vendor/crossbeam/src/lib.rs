@@ -1,0 +1,83 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (available since Rust 1.63), preserving crossbeam's two API quirks the
+//! workspace relies on: the closure passed to `spawn` receives the scope as
+//! an argument, and `scope` returns a `Result` that is `Err` when any
+//! spawned thread panicked.
+
+/// Scoped threads.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle for spawning threads bound to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives this scope so it can
+        /// spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned.
+    ///
+    /// All spawned threads are joined before this returns. Returns `Err`
+    /// with the panic payload if the closure or any unjoined spawned thread
+    /// panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_all() {
+        let mut data = [0u64; 8];
+        super::thread::scope(|scope| {
+            for chunk in data.chunks_mut(2) {
+                scope.spawn(move |_| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn panic_in_worker_is_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let out = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this repository builds in has no network access, so the real
+//! `rand` cannot be fetched. This crate implements exactly the API subset the
+//! workspace uses — `Rng::{gen, gen_bool, gen_range}`, `SeedableRng`,
+//! `rngs::StdRng` and `seq::SliceRandom` — behind the same paths, backed by a
+//! deterministic SplitMix64 generator. The stream differs from upstream
+//! `rand`, but every workspace component only relies on *determinism given a
+//! seed*, which this crate guarantees.
+
+use std::ops::Range;
+
+/// The minimal generator core: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // IEEE-754 doubles hold 53 mantissa bits; use the top bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types drawable uniformly from their whole domain via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// Primitives that can be drawn uniformly between two bounds.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_excl<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_incl<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl UniformSample for f64 {
+    fn sample_excl<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        let v = lo + rng.next_f64() * (hi - lo);
+        // Floating rounding can land exactly on `hi`; fold back inside.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+    fn sample_incl<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_uniform_sample_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_excl<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+            fn sample_incl<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_excl(self.start, self.end, rng)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_incl(lo, hi, rng)
+    }
+}
+
+/// The user-facing generator interface.
+pub trait Rng: RngCore {
+    /// Draw a value uniformly over the whole domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Draw uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: SplitMix64.
+    ///
+    /// Not the ChaCha12 stream of upstream `rand`, but statistically solid
+    /// for simulation work and — what the workspace actually depends on —
+    /// a pure function of its seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Scramble the raw seed once so small seeds (0, 1, 2, ...)
+            // do not start in neighbouring states.
+            let mut rng = StdRng {
+                state: state ^ 0x5DEE_CE66_D012_3456,
+            };
+            let warmed = rng.next_u64();
+            StdRng { state: warmed }
+        }
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// A uniformly chosen element, or `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// `amount.min(len)` distinct elements in random order.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            // Partial Fisher–Yates: only the prefix we return needs work.
+            for i in 0..amount {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(2..8);
+            assert!((2..8).contains(&v));
+            let f: f64 = rng.gen_range(-0.25..0.25);
+            assert!((-0.25..0.25).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v: Vec<usize> = (0..10).collect();
+        let picked: Vec<&usize> = v.choose_multiple(&mut rng, 5).collect();
+        assert_eq!(picked.len(), 5);
+        let set: std::collections::HashSet<usize> = picked.iter().map(|&&x| x).collect();
+        assert_eq!(set.len(), 5);
+    }
+}

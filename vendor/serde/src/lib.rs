@@ -1,0 +1,56 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `serde::Serialize` / `serde::Deserialize` on its
+//! spec types as a forward-compatibility marker but performs all actual
+//! serialization through hand-rolled writers (`matilda-provenance::json`,
+//! `matilda-telemetry::export`) — nothing calls serde's data model. This
+//! stand-in therefore provides the two trait names with blanket
+//! implementations, plus no-op derive macros, which is exactly enough for
+//! every `#[derive(serde::Serialize, serde::Deserialize)]` in the tree to
+//! compile offline.
+
+/// Marker for serializable types. Blanket-implemented: with no data model to
+/// drive, every type is trivially "serializable".
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented, mirroring
+/// [`Serialize`].
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+// The derive macros live in the macro namespace, the traits above in the
+// type namespace; both can be reached as `serde::Serialize`.
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, Clone, PartialEq, crate::Serialize, crate::Deserialize)]
+    struct Plain {
+        a: u64,
+        b: String,
+    }
+
+    #[derive(Debug, Clone, PartialEq, crate::Serialize, crate::Deserialize)]
+    enum Sum {
+        A,
+        B { x: f64 },
+        C(Vec<u8>),
+    }
+
+    fn assert_serializable<T: crate::Serialize>(_: &T) {}
+
+    #[test]
+    fn derives_compile_and_traits_blanket() {
+        let p = Plain {
+            a: 1,
+            b: "x".into(),
+        };
+        let s = Sum::B { x: 0.5 };
+        assert_serializable(&p);
+        assert_serializable(&s);
+        let _ = Sum::A;
+        let _ = Sum::C(vec![1]);
+        assert_eq!(p.clone(), p);
+    }
+}

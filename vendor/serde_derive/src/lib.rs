@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits, so the
+//! derives have nothing to generate: they only need to exist so that
+//! `#[derive(serde::Serialize)]` attributes resolve.
+
+use proc_macro::TokenStream;
+
+/// Accepts any item; generates nothing (the trait is blanket-implemented).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts any item; generates nothing (the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
