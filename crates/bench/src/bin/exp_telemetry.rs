@@ -2,7 +2,12 @@
 //! with full instrumentation and export `results/telemetry_fig1.json`
 //! containing per-phase span timings, creative-search generation counters,
 //! task-duration quantiles and a provenance event provably linked to its
-//! telemetry span.
+//! telemetry span. Also writes `results/flamegraph.folded` (folded-stack
+//! profile of every span) and `results/metrics.prom` (Prometheus text
+//! exposition snapshot).
+//!
+//! Pass `--serve <addr>` (e.g. `--serve 127.0.0.1:9464`) to keep serving
+//! `/metrics`, `/healthz`, `/spans` and `/logs` after the run until killed.
 
 use matilda_bench::{f3, header, row};
 use matilda_conversation::prelude::*;
@@ -193,5 +198,34 @@ fn main() {
     std::fs::write("results/telemetry_fig1.json", &doc).expect("write figure json");
     println!("\nwrote results/telemetry_fig1.json ({} bytes)", doc.len());
 
+    // Folded-stack flamegraph of every span this process produced; feed it
+    // to inferno/flamegraph.pl or speedscope as-is.
+    telemetry::flame::write_folded("results/flamegraph.folded", &run_telemetry.spans)
+        .expect("write flamegraph");
+    let folded = telemetry::flame::folded_stacks(&run_telemetry.spans);
+    println!(
+        "wrote results/flamegraph.folded ({} stacks, pipeline.run total {:.3} ms)",
+        folded.lines().count(),
+        telemetry::flame::root_total_ns(&folded, "pipeline.run") as f64 / 1e6
+    );
+
+    // The same metrics the live endpoint would serve, as a file artifact.
+    let prom = telemetry::expose::render_prometheus(telemetry::metrics::process_global());
+    std::fs::write("results/metrics.prom", &prom).expect("write prometheus snapshot");
+    println!("wrote results/metrics.prom ({} bytes)", prom.len());
+
     println!("\n{}", run_telemetry.report());
+
+    // `--serve <addr>`: keep the observability plane up for live inspection
+    // (CI curls /metrics and /healthz against this).
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--serve") {
+        let addr = args.get(i + 1).map(String::as_str).unwrap_or("127.0.0.1:0");
+        let server = telemetry::ObservabilityServer::bind(addr).expect("bind observability server");
+        println!("serving observability plane on http://{}/", server.addr());
+        println!("  /metrics /healthz /spans /logs — kill the process to stop");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
 }

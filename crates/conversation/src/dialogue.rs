@@ -14,6 +14,7 @@ use crate::suggest::{suggestions_for, Suggestion};
 use crate::transcript::Transcript;
 use matilda_data::DataFrame;
 use matilda_pipeline::prelude::*;
+use matilda_telemetry as telemetry;
 
 /// Where the dialogue currently is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -317,6 +318,12 @@ impl Dialogue {
                 self.pending.clear();
             }
         }
+        telemetry::log::debug("conversation.dialogue", "suggestion decided")
+            .field("suggestion_id", suggestion.id.as_str())
+            .field("phase", suggestion.phase.name())
+            .field("adopted", adopted)
+            .field("creative", suggestion.creative)
+            .emit();
         self.decided.push((suggestion.clone(), adopted));
         events.push(DialogueEvent::SuggestionDecided {
             suggestion,
@@ -420,6 +427,13 @@ impl Dialogue {
         }
         self.transcript.user(user_text);
         let intent = parse(user_text);
+        // The routing decision is the conversational loop's hot path: what
+        // the user said, what we understood, and where the dialogue stood.
+        telemetry::log::debug("conversation.dialogue", "intent routed")
+            .field("intent", intent.name())
+            .field("state", self.state.name())
+            .field("pending", self.pending.len())
+            .emit();
         let mut events = Vec::new();
         let reply = match (&self.state, intent) {
             (_, Intent::Finish) => {

@@ -99,6 +99,9 @@ pub struct DesignSession {
     creative_injected: usize,
     apprentice: ApprenticeAgent,
     closed: bool,
+    /// The telemetry trace identity minted for this session; every span,
+    /// log event and provenance event emitted during the session carries it.
+    trace_id: telemetry::TraceId,
 }
 
 impl DesignSession {
@@ -110,9 +113,17 @@ impl DesignSession {
         user: UserProfile,
         config: PlatformConfig,
     ) -> Self {
+        let name = name.into();
+        let trace_id = telemetry::trace::next_trace_id();
+        let _trace = telemetry::trace::enter(trace_id);
+        telemetry::log::info("core.session", "session opened")
+            .field("session", name.as_str())
+            .field("rows", frame.n_rows() as u64)
+            .field("cols", frame.n_cols() as u64)
+            .emit();
         let recorder = Recorder::new();
         recorder.record(EventKind::SessionStarted {
-            session: name.into(),
+            session: name,
             dataset: format!("{} rows x {} cols", frame.n_rows(), frame.n_cols()),
             research_question: research_question.into(),
         });
@@ -136,7 +147,14 @@ impl DesignSession {
             creative_injected: 0,
             apprentice,
             closed: false,
+            trace_id,
         }
+    }
+
+    /// The trace identity stamped on every span, log event and provenance
+    /// event of this session.
+    pub fn trace_id(&self) -> telemetry::TraceId {
+        self.trace_id
     }
 
     /// The platform's opening line.
@@ -293,12 +311,18 @@ impl DesignSession {
 
     /// Feed one user message through the session.
     pub fn step(&mut self, user_text: &str) -> Result<StepOutcome> {
+        let _trace = telemetry::trace::enter(self.trace_id);
         let mut turn_span = telemetry::span("session.turn");
         turn_span.field("chars_in", user_text.len());
         telemetry::metrics::global().inc("session.turns");
         if self.closed {
+            telemetry::log::warn("core.session", "step on closed session").emit();
             return Err(PlatformError::Session("session already closed".into()));
         }
+        telemetry::log::debug("core.session", "turn started")
+            .field("chars_in", user_text.len())
+            .field("state", format!("{:?}", self.dialogue.state()))
+            .emit();
         let response = self.dialogue.handle(user_text)?;
         let mut executed = None;
         let mut reply = response.reply.clone();
@@ -323,8 +347,24 @@ impl DesignSession {
                     if suggestion.creative {
                         // Creative outcomes move the agent along the ladder.
                         let round = self.recorder.len();
+                        let before = self.apprentice.role();
                         self.apprentice.record_outcome(round, adopted);
+                        let after = self.apprentice.role();
+                        if after != before {
+                            // A persona switch on the Apprentice ladder is a
+                            // trust decision worth surfacing in the log.
+                            telemetry::log::info("core.session", "apprentice role changed")
+                                .field("from", before.name())
+                                .field("to", after.name())
+                                .field("adopted", adopted)
+                                .emit();
+                        }
                     }
+                    telemetry::log::debug("core.session", "suggestion decided")
+                        .field("suggestion_id", suggestion.id.as_str())
+                        .field("adopted", adopted)
+                        .field("creative", suggestion.creative)
+                        .emit();
                     self.recorder.record(EventKind::SuggestionMade {
                         suggestion_id: suggestion.id.clone(),
                         by: if suggestion.creative {
@@ -400,6 +440,13 @@ impl DesignSession {
                         final_fingerprint: self.best().map(|d| d.fingerprint),
                     });
                     self.closed = true;
+                    telemetry::log::info("core.session", "session closed")
+                        .field("executions", self.executed.len())
+                        .field(
+                            "best_score",
+                            self.best().map(|d| d.report.test_score).unwrap_or(f64::NAN),
+                        )
+                        .emit();
                 }
             }
         }
@@ -416,7 +463,11 @@ impl DesignSession {
     /// Drive the session with a simulated persona until it closes (or the
     /// round cap is reached), returning a summary.
     pub fn run_autonomous(&mut self, persona: &mut Persona) -> Result<SessionSummary> {
+        let _trace = telemetry::trace::enter(self.trace_id);
         let mut session_span = telemetry::span("session.autonomous");
+        telemetry::log::info("core.session", "autonomous run started")
+            .field("max_rounds", self.config.max_rounds)
+            .emit();
         let mut rounds = 0;
         while !self.closed && rounds < self.config.max_rounds {
             // A satisfied persona stops after its first successful study,
@@ -751,6 +802,43 @@ mod tests {
         assert_eq!(turn.name, "session.turn");
         let json = matilda_provenance::json::event_to_json(executed);
         assert!(json.contains(&format!("\"span_id\":{span_id}")), "{json}");
+    }
+
+    #[test]
+    fn one_trace_id_spans_the_whole_session() {
+        let mut s = session();
+        let trace = s.trace_id();
+        assert_ne!(trace, 0);
+        s.step("predict 'label'").unwrap();
+        let mut guard = 0;
+        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 30 {
+            s.step("yes").unwrap();
+            guard += 1;
+        }
+        s.step("run it").unwrap();
+        // Every provenance event carries the session's trace id.
+        let events = s.recorder().snapshot();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().all(|e| e.trace_id == Some(trace)),
+            "all provenance events share the session trace"
+        );
+        // Every session.turn span of this session carries it too.
+        let spans = matilda_telemetry::span::global().snapshot();
+        let turns: Vec<_> = spans
+            .iter()
+            .filter(|sp| sp.name == "session.turn" && sp.trace_id == Some(trace))
+            .collect();
+        assert!(!turns.is_empty(), "turn spans stamped with the trace");
+        // And log events emitted during the session correlate as well.
+        let logs = matilda_telemetry::log::global().tail(4096, None);
+        assert!(
+            logs.iter().any(|e| e.trace_id == Some(trace)),
+            "log events stamped with the trace"
+        );
+        // A second session gets a distinct trace identity.
+        let other = session();
+        assert_ne!(other.trace_id(), trace);
     }
 
     #[test]

@@ -222,7 +222,15 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
         // rather than growing it: those are archive hits.
         let archive_before = archive.len();
         for c in &newcomers {
+            let before = archive.len();
             archive.insert(c.fingerprint, c.descriptor, c.value);
+            if archive.len() > before {
+                telemetry::log::trace("creativity.search", "archive admission")
+                    .field("fingerprint", c.fingerprint)
+                    .field("pattern", c.origin.as_str())
+                    .field("value", c.value.unwrap_or(f64::NEG_INFINITY))
+                    .emit();
+            }
         }
         let inserted = archive.len() - archive_before;
         telemetry::metrics::global()
@@ -301,6 +309,17 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
                 "best_value",
                 finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             );
+        telemetry::log::debug("creativity.search", "generation finished")
+            .field("generation", generation)
+            .field("newcomers", usage.iter().map(|(_, n)| *n).sum::<usize>())
+            .field("inserted", inserted)
+            .field("archive_size", archive.len())
+            .field(
+                "best_value",
+                finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            )
+            .field("lambda", lambda)
+            .emit();
         history.push(GenerationStats {
             generation,
             best_value: finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
@@ -328,6 +347,11 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
     search_span
         .field("evaluations", evaluator.evaluations())
         .field("best_value", best.value.unwrap_or(f64::NEG_INFINITY));
+    telemetry::log::info("creativity.search", "search finished")
+        .field("evaluations", evaluator.evaluations())
+        .field("best_value", best.value.unwrap_or(f64::NEG_INFINITY))
+        .field("best_model", best.spec.model.name())
+        .emit();
     Ok(SearchOutcome {
         best,
         population,

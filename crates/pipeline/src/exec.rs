@@ -116,7 +116,16 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
     run_span
         .field("model", spec.model.name())
         .field("rows_in", df.n_rows());
-    validate_strict(spec, df)?;
+    telemetry::log::debug("pipeline.exec", "run started")
+        .field("model", spec.model.name())
+        .field("rows_in", df.n_rows())
+        .emit();
+    if let Err(e) = validate_strict(spec, df) {
+        telemetry::log::error("pipeline.exec", "validation failed")
+            .field("error", e.to_string())
+            .emit();
+        return Err(e);
+    }
     let target = spec.task.target().to_string();
     let op_names: Vec<&str> = spec.prep.iter().map(PrepOp::name).collect();
     let graph: TaskGraph = standard_graph(&op_names);
@@ -136,49 +145,71 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
 
     for id in order {
         let task_span = telemetry::span(format!("pipeline.task.{id}"));
-        match id {
-            "explore" => {
-                n_explored = matilda_data::stats::describe(&frame).len();
-            }
-            "fragment" => {
-                split = Some(spec.split.apply(&frame, &target)?);
-            }
-            "train" => {
-                let (train_frame, test_frame) = split.as_ref().expect("fragment precedes train");
-                features = feature_names(train_frame, &target);
-                let train = build_dataset(train_frame, &spec.task, &features)?;
-                let mut test = build_dataset(test_frame, &spec.task, &features)?;
-                align_classes(&train, &mut test)?;
-                // Train score on the training fragment itself.
-                train_score = holdout_score(&spec.model, &train, &train, spec.scoring)?;
-                model_name = spec.model.name();
-                train_data = Some(train);
-                test_data = Some(test);
-            }
-            "test" | "assess" => {
-                // Scoring happens once; "test" performs prediction+scoring
-                // and "assess" re-reports it, mirroring the paper's phases.
-                if id == "test" {
-                    let train = train_data.as_ref().expect("train precedes test");
-                    let test = test_data.as_ref().expect("train precedes test");
-                    test_score = holdout_score(&spec.model, train, test, spec.scoring)?;
+        telemetry::log::trace("pipeline.exec", "task started")
+            .field("task", id)
+            .emit();
+        let step: Result<()> = (|| {
+            match id {
+                "explore" => {
+                    n_explored = matilda_data::stats::describe(&frame).len();
+                }
+                "fragment" => {
+                    split = Some(spec.split.apply(&frame, &target)?);
+                }
+                "train" => {
+                    let (train_frame, test_frame) =
+                        split.as_ref().expect("fragment precedes train");
+                    features = feature_names(train_frame, &target);
+                    let train = build_dataset(train_frame, &spec.task, &features)?;
+                    let mut test = build_dataset(test_frame, &spec.task, &features)?;
+                    align_classes(&train, &mut test)?;
+                    // Train score on the training fragment itself.
+                    train_score = holdout_score(&spec.model, &train, &train, spec.scoring)?;
+                    model_name = spec.model.name();
+                    train_data = Some(train);
+                    test_data = Some(test);
+                }
+                "test" | "assess" => {
+                    // Scoring happens once; "test" performs prediction+scoring
+                    // and "assess" re-reports it, mirroring the paper's phases.
+                    if id == "test" {
+                        let train = train_data.as_ref().expect("train precedes test");
+                        let test = test_data.as_ref().expect("train precedes test");
+                        test_score = holdout_score(&spec.model, train, test, spec.scoring)?;
+                    }
+                }
+                prep_id => {
+                    debug_assert!(prep_id.starts_with("prepare."));
+                    let op = &spec.prep[prep_cursor];
+                    frame = op.apply(&frame, &target)?;
+                    prep_cursor += 1;
                 }
             }
-            prep_id => {
-                debug_assert!(prep_id.starts_with("prepare."));
-                let op = &spec.prep[prep_cursor];
-                frame = op.apply(&frame, &target)?;
-                prep_cursor += 1;
-            }
+            Ok(())
+        })();
+        if let Err(e) = step {
+            telemetry::log::error("pipeline.exec", "task failed")
+                .field("task", id)
+                .field("error", e.to_string())
+                .emit();
+            return Err(e);
         }
         let took = task_span.close();
         telemetry::metrics::global().observe_duration("pipeline.task_seconds", took);
+        telemetry::log::trace("pipeline.exec", "task finished")
+            .field("task", id)
+            .field("micros", took.as_micros() as u64)
+            .emit();
         timings.push((id.to_string(), took));
     }
 
     run_span
         .field("test_score", test_score)
         .field("train_score", train_score);
+    telemetry::log::debug("pipeline.exec", "run finished")
+        .field("test_score", test_score)
+        .field("train_score", train_score)
+        .emit();
     Ok(PipelineReport {
         test_score,
         train_score,

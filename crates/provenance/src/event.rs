@@ -136,6 +136,10 @@ pub struct Event {
     /// linking provenance to the trace timeline. `None` when recorded
     /// outside any span.
     pub span_id: Option<u64>,
+    /// The telemetry trace (session) entered when the event was recorded,
+    /// correlating provenance with every span and log event of the same
+    /// session. `None` when recorded outside any trace.
+    pub trace_id: Option<u64>,
     /// Payload.
     pub kind: EventKind,
 }

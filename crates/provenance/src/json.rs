@@ -48,6 +48,10 @@ pub fn event_to_json(event: &Event) -> String {
         Some(id) => field_raw(&mut out, "span_id", id, &mut first),
         None => field_raw(&mut out, "span_id", "null", &mut first),
     }
+    match event.trace_id {
+        Some(id) => field_raw(&mut out, "trace_id", id, &mut first),
+        None => field_raw(&mut out, "trace_id", "null", &mut first),
+    }
     field_str(&mut out, "type", event.kind.type_name(), &mut first);
     match &event.kind {
         EventKind::SessionStarted {
@@ -220,6 +224,21 @@ mod tests {
             phase: "test".into(),
         });
         assert!(event_to_json(&r.snapshot()[1]).contains(&format!("\"span_id\":{id}")));
+    }
+
+    #[test]
+    fn trace_id_serialized_when_present() {
+        let r = Recorder::new();
+        r.record(EventKind::PhaseEntered {
+            phase: "train".into(),
+        });
+        assert!(event_to_json(&r.snapshot()[0]).contains("\"trace_id\":null"));
+        let trace = matilda_telemetry::trace::next_trace_id();
+        let _guard = matilda_telemetry::trace::enter(trace);
+        r.record(EventKind::PhaseEntered {
+            phase: "test".into(),
+        });
+        assert!(event_to_json(&r.snapshot()[1]).contains(&format!("\"trace_id\":{trace}")));
     }
 
     #[test]

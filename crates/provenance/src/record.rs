@@ -21,13 +21,20 @@ impl Recorder {
 
     /// Append an event, returning its sequence number.
     ///
-    /// The event captures the telemetry span active on the calling thread,
-    /// if any, so provenance entries can be located on the trace timeline.
+    /// The event captures the telemetry span and trace active on the calling
+    /// thread, if any, so provenance entries can be located on the trace
+    /// timeline and correlated with session-wide logs.
     pub fn record(&self, kind: EventKind) -> u64 {
         let span_id = matilda_telemetry::current_span_id();
+        let trace_id = matilda_telemetry::current_trace_id();
         let mut log = self.inner.lock();
         let seq = log.len() as u64;
-        log.push(Event { seq, span_id, kind });
+        log.push(Event {
+            seq,
+            span_id,
+            trace_id,
+            kind,
+        });
         seq
     }
 
@@ -119,6 +126,20 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap[0].span_id, None);
         assert_eq!(snap[1].span_id, Some(span_id));
+    }
+
+    #[test]
+    fn events_capture_active_trace() {
+        let r = Recorder::new();
+        r.record(suggestion("outside"));
+        let trace = matilda_telemetry::trace::next_trace_id();
+        {
+            let _guard = matilda_telemetry::trace::enter(trace);
+            r.record(suggestion("inside"));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap[0].trace_id, None);
+        assert_eq!(snap[1].trace_id, Some(trace));
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub fn span_to_json(span: &SpanRecord) -> String {
         }
         None => out.push_str(",\"parent\":null"),
     }
+    match span.trace_id {
+        Some(t) => {
+            let _ = write!(out, ",\"trace_id\":{t}");
+        }
+        None => out.push_str(",\"trace_id\":null"),
+    }
     let _ = write!(
         out,
         ",\"name\":\"{}\",\"start_ns\":{},\"duration_ns\":{}",
@@ -106,6 +112,42 @@ fn metric_value_json(v: &MetricValue) -> String {
     }
 }
 
+/// One log event as a single JSON object (one JSONL line).
+pub fn log_event_to_json(event: &crate::log::LogEvent) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"seq\":{},\"ts_ns\":{},\"level\":\"{}\",\"target\":\"{}\",\"message\":\"{}\"",
+        event.seq,
+        event.ts_ns,
+        event.level.name(),
+        escape(&event.target),
+        escape(&event.message)
+    );
+    match event.span_id {
+        Some(id) => {
+            let _ = write!(out, ",\"span_id\":{id}");
+        }
+        None => out.push_str(",\"span_id\":null"),
+    }
+    match event.trace_id {
+        Some(id) => {
+            let _ = write!(out, ",\"trace_id\":{id}");
+        }
+        None => out.push_str(",\"trace_id\":null"),
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in event.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape(k), field_value_json(v));
+    }
+    out.push_str("}}");
+    out
+}
+
 /// A metrics snapshot as one JSON object keyed by metric name.
 pub fn metrics_to_json(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::from("{");
@@ -148,7 +190,7 @@ impl RunTelemetry {
 
     /// Capture from the process-global collector and registry.
     pub fn capture_global(run: impl Into<String>) -> Self {
-        Self::capture(run, crate::span::global(), crate::metrics::global())
+        Self::capture(run, crate::span::global(), crate::metrics::process_global())
     }
 
     /// The full telemetry as one JSON document.
@@ -328,6 +370,37 @@ mod tests {
         metrics.set_gauge("bad", f64::NAN);
         let json = metrics_to_json(&metrics.snapshot());
         assert!(json.contains("\"bad\":{\"kind\":\"gauge\",\"value\":null}"));
+    }
+
+    #[test]
+    fn span_json_carries_trace_id() {
+        let collector = Collector::new();
+        let trace_id = crate::trace::next_trace_id();
+        {
+            let _t = crate::trace::enter(trace_id);
+            collector.span("traced").close();
+        }
+        collector.span("untraced").close();
+        let spans = collector.snapshot();
+        let traced = spans.iter().find(|s| s.name == "traced").unwrap();
+        let untraced = spans.iter().find(|s| s.name == "untraced").unwrap();
+        assert!(span_to_json(traced).contains(&format!("\"trace_id\":{trace_id}")));
+        assert!(span_to_json(untraced).contains("\"trace_id\":null"));
+    }
+
+    #[test]
+    fn log_event_json_shape() {
+        let buf = crate::log::LogBuffer::new();
+        buf.log(crate::log::Level::Warn, "core.session", "odd \"input\"")
+            .field("rows", 12u64)
+            .emit();
+        let json = log_event_to_json(&buf.tail(1, None)[0]);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"level\":\"warn\""), "{json}");
+        assert!(json.contains("\"target\":\"core.session\""), "{json}");
+        assert!(json.contains("\\\"input\\\""), "{json}");
+        assert!(json.contains("\"fields\":{\"rows\":12}"), "{json}");
+        assert!(json.contains("\"span_id\":null"), "{json}");
     }
 
     #[test]

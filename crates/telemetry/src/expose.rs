@@ -1,0 +1,452 @@
+//! The live observability endpoint: Prometheus-style metric exposition and
+//! a tiny dependency-free HTTP server over the process-global telemetry.
+//!
+//! Routes:
+//!
+//! - `GET /metrics` — the global registry in Prometheus text exposition
+//!   format (version 0.0.4): counters, gauges, and histograms with
+//!   cumulative `le` buckets plus `_sum`/`_count` series.
+//! - `GET /healthz` — `200 ok`, for liveness probes.
+//! - `GET /spans?limit=N` — the most recent closed spans as a JSON array.
+//! - `GET /logs?level=L&limit=N` — the log ring-buffer tail as JSON.
+//!
+//! The server is one background thread handling connections serially —
+//! observability traffic is a human or a scraper, not the serving path —
+//! and shuts down gracefully: [`ObservabilityServer::shutdown`] (or drop)
+//! flips a flag and nudges the listener awake, so no request is ever
+//! half-written.
+//!
+//! ```no_run
+//! use matilda_telemetry::expose::ObservabilityServer;
+//!
+//! let server = ObservabilityServer::bind("127.0.0.1:0").unwrap();
+//! println!("watch this run: curl http://{}/metrics", server.addr());
+//! // ... run the workload ...
+//! server.shutdown();
+//! ```
+
+use crate::metrics::{MetricValue, MetricsRegistry};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sanitize a metric name for Prometheus: `[a-zA-Z_:][a-zA-Z0-9_:]*`, so
+/// the registry's dotted names (`pipeline.task_seconds`) become
+/// underscore-joined (`pipeline_task_seconds`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+// Escape a label value per the exposition format: backslash, quote, newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// Render an f64 the way Prometheus expects (`+Inf`/`-Inf`/`NaN` spelled out).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render `registry` in Prometheus text exposition format.
+///
+/// Counters and gauges come from the snapshot; histograms are re-read in
+/// full so the output carries real cumulative `le` buckets (the snapshot's
+/// quantile summary cannot reconstruct them).
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let snapshot = registry.snapshot();
+    let histograms = registry.histograms();
+    let mut out = String::with_capacity(4096);
+    for (name, value) in &snapshot.metrics {
+        let sane = sanitize_metric_name(name);
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {sane} counter");
+                let _ = writeln!(out, "{sane} {c}");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {sane} gauge");
+                let _ = writeln!(out, "{sane} {}", prom_f64(*g));
+            }
+            MetricValue::Histogram(_) => {
+                let Some(hist) = histograms.get(name) else {
+                    continue;
+                };
+                let _ = writeln!(out, "# TYPE {sane} histogram");
+                let mut cumulative = 0u64;
+                for (bound, count) in hist.bounds().iter().zip(hist.bucket_counts()) {
+                    cumulative += count;
+                    let _ = writeln!(
+                        out,
+                        "{sane}_bucket{{le=\"{}\"}} {cumulative}",
+                        escape_label(&prom_f64(*bound))
+                    );
+                }
+                let _ = writeln!(out, "{sane}_bucket{{le=\"+Inf\"}} {}", hist.count());
+                let _ = writeln!(out, "{sane}_sum {}", prom_f64(hist.sum()));
+                let _ = writeln!(out, "{sane}_count {}", hist.count());
+            }
+        }
+    }
+    out
+}
+
+// One parsed query parameter list: tiny, permissive, allocation-light.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+const DEFAULT_TAIL: usize = 256;
+
+fn spans_body(query: &str) -> String {
+    let limit = query_param(query, "limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TAIL);
+    let mut spans = crate::span::global().snapshot();
+    if spans.len() > limit {
+        spans.drain(..spans.len() - limit);
+    }
+    let mut out = String::from("[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&crate::export::span_to_json(span));
+    }
+    out.push(']');
+    out
+}
+
+fn logs_body(query: &str) -> String {
+    let limit = query_param(query, "limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TAIL);
+    let level = query_param(query, "level").and_then(crate::log::Level::parse);
+    let events = crate::log::global().tail(limit, level);
+    let mut out = String::from("[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&crate::export::log_event_to_json(event));
+    }
+    out.push(']');
+    out
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // A scraper hanging up mid-response is its problem, not ours.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let mut request_line = String::new();
+    if BufReader::new(&stream)
+        .read_line(&mut request_line)
+        .is_err()
+    {
+        return;
+    }
+    // `GET /path?query HTTP/1.1` — everything else is a 400.
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => {
+            respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                "bad request\n",
+            );
+            return;
+        }
+    };
+    if method != "GET" {
+        respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    match path {
+        "/metrics" => {
+            let body = render_prometheus(crate::metrics::process_global());
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/spans" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &spans_body(query),
+        ),
+        "/logs" => respond(&mut stream, "200 OK", "application/json", &logs_body(query)),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "unknown path; try /metrics /healthz /spans /logs\n",
+        ),
+    }
+}
+
+/// A running observability endpoint; serves until shut down or dropped.
+#[derive(Debug)]
+pub struct ObservabilityServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObservabilityServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9464"`, or port `0` for an ephemeral
+    /// port) and start serving on a background thread.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("matilda-observe".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => handle_connection(stream),
+                        Err(_) => continue,
+                    }
+                }
+            })?;
+        crate::log::info("telemetry.expose", "observability endpoint up")
+            .field("addr", addr.to_string())
+            .emit();
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the serving thread. Any request
+    /// already being handled finishes first.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Nudge the blocking accept() awake; if the connect fails the
+        // listener is already gone, which is the outcome we want.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = handle.join();
+    }
+}
+
+impl Drop for ObservabilityServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use std::io::Read;
+
+    #[test]
+    fn metric_names_sanitized() {
+        assert_eq!(
+            sanitize_metric_name("pipeline.task_seconds"),
+            "pipeline_task_seconds"
+        );
+        assert_eq!(
+            sanitize_metric_name("search.candidates.no-blank"),
+            "search_candidates_no_blank"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn label_values_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn golden_prometheus_exposition() {
+        // A registry with one of each kind and a tiny two-bucket histogram:
+        // the full output is pinned so escaping, `le` accumulation and the
+        // `_sum`/`_count` tail never silently drift.
+        let m = MetricsRegistry::new();
+        m.add("session.turns", 3);
+        m.set_gauge("search.lambda", 0.25);
+        for v in [0.1, 0.4, 1.0, 5.0] {
+            m.observe_with_buckets("task.seconds", v, || vec![0.5, 2.0]);
+        }
+        let text = render_prometheus(&m);
+        let expected = "\
+# TYPE search_lambda gauge
+search_lambda 0.25
+# TYPE session_turns counter
+session_turns 3
+# TYPE task_seconds histogram
+task_seconds_bucket{le=\"0.5\"} 2
+task_seconds_bucket{le=\"2\"} 3
+task_seconds_bucket{le=\"+Inf\"} 4
+task_seconds_sum 6.5
+task_seconds_count 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_includes_default_bucket_grid() {
+        let m = MetricsRegistry::new();
+        m.observe("lat", 1e-5);
+        let text = render_prometheus(&m);
+        assert!(text.contains("lat_bucket{le=\"0.000001\"} 0"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("lat_count 1"), "{text}");
+    }
+
+    #[test]
+    fn non_finite_gauge_spelled_for_prometheus() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("bad", f64::INFINITY);
+        assert!(render_prometheus(&m).contains("bad +Inf\n"));
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn endpoint_round_trips_metrics_and_healthz() {
+        // Populate the process-global registry so /metrics is non-empty.
+        crate::metrics::process_global().inc("expose_test.hits");
+        crate::metrics::process_global().set_gauge("expose_test.level", 1.5);
+        crate::metrics::process_global().observe("expose_test.seconds", 0.01);
+        crate::span::global().span("expose_test.span").close();
+        crate::log::info("expose_test", "endpoint test event").emit();
+
+        let server = ObservabilityServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("# TYPE expose_test_hits counter"), "{body}");
+        assert!(body.contains("expose_test_hits 1"), "{body}");
+        assert!(body.contains("# TYPE expose_test_level gauge"), "{body}");
+        assert!(
+            body.contains("expose_test_seconds_bucket{le=\"+Inf\"}"),
+            "{body}"
+        );
+        assert!(body.contains("expose_test_seconds_count"), "{body}");
+
+        let (status, body) = http_get(addr, "/spans?limit=10000");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+        assert!(body.contains("\"expose_test.span\""), "{body}");
+
+        let (status, body) = http_get(addr, "/logs?level=info&limit=10000");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("endpoint test event"), "{body}");
+
+        let (status, _) = http_get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+        // The port is released: a fresh bind on the same port succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn non_get_rejected() {
+        let server = ObservabilityServer::bind("127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("405"), "{response}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,214 @@
+//! Flamegraph export: collapse a span trace into folded-stack format.
+//!
+//! Folded stacks are the lingua franca of flamegraph tooling
+//! (`inferno-flamegraph`, speedscope, Brendan Gregg's original scripts):
+//! one line per unique call stack, frames joined by `;`, followed by a
+//! count — here the *self* time of that stack in nanoseconds, so the sum
+//! over a root's lines equals that root span's wall clock exactly.
+//!
+//! ```
+//! use matilda_telemetry::{flame, span::Collector};
+//!
+//! let c = Collector::new();
+//! {
+//!     let _outer = c.span("request");
+//!     let _inner = c.span("parse");
+//! }
+//! let folded = flame::folded_stacks(&c.snapshot());
+//! assert!(folded.lines().any(|l| l.starts_with("request;parse ")));
+//! ```
+
+use crate::span::{SpanId, SpanRecord};
+use std::collections::{BTreeMap, HashMap};
+
+/// Collapse `spans` into folded-stack lines (`a;b;c <self_ns>`), sorted by
+/// stack name for deterministic output.
+///
+/// Self time is a span's duration minus the sum of its direct children's
+/// durations, clamped at zero (clock jitter can make children sum slightly
+/// past the parent). Spans whose parent is absent from `spans` — roots,
+/// spans from partial captures, or children of unsampled parents — start
+/// new stacks. Stacks sharing a name aggregate.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let by_id: HashMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_ns: HashMap<SpanId, u64> = HashMap::new();
+    for span in spans {
+        if let Some(parent) = span.parent {
+            if by_id.contains_key(&parent) {
+                *child_ns.entry(parent).or_default() += span.duration_ns;
+            }
+        }
+    }
+
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for span in spans {
+        let children = child_ns.get(&span.id).copied().unwrap_or(0);
+        let self_ns = span.duration_ns.saturating_sub(children);
+        // Frame path: walk parents to the nearest root present in the
+        // capture. Traces are shallow (session > turn > run > task), so the
+        // walk is cheap; a cycle guard caps it anyway.
+        let mut frames = vec![span.name.as_str()];
+        let mut cursor = span.parent;
+        let mut depth = 0;
+        while let Some(parent_id) = cursor {
+            let Some(parent) = by_id.get(&parent_id) else {
+                break;
+            };
+            frames.push(parent.name.as_str());
+            cursor = parent.parent;
+            depth += 1;
+            if depth > 128 {
+                break;
+            }
+        }
+        frames.reverse();
+        *stacks.entry(frames.join(";")).or_default() += self_ns;
+    }
+
+    let mut out = String::new();
+    for (stack, ns) in stacks {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Total folded time attributed under the root frame `root`, in
+/// nanoseconds — i.e. the sum of every line whose stack starts at `root`.
+pub fn root_total_ns(folded: &str, root: &str) -> u64 {
+    folded
+        .lines()
+        .filter_map(|line| {
+            let (stack, count) = line.rsplit_once(' ')?;
+            let head = stack.split(';').next()?;
+            (head == root).then(|| count.parse::<u64>().ok())?
+        })
+        .sum()
+}
+
+/// Write [`folded_stacks`] of `spans` to `path` (parent directories are
+/// created).
+pub fn write_folded(
+    path: impl AsRef<std::path::Path>,
+    spans: &[SpanRecord],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, folded_stacks(spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Collector;
+    use std::time::Duration;
+
+    fn record(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start_ns: u64,
+        duration_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            trace_id: None,
+            name: name.into(),
+            start_ns,
+            duration_ns,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let spans = vec![
+            record(1, None, "root", 0, 100),
+            record(2, Some(1), "child", 10, 30),
+            record(3, Some(1), "child", 50, 20),
+            record(4, Some(3), "leaf", 55, 5),
+        ];
+        let folded = folded_stacks(&spans);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "root 50",       // 100 - (30 + 20)
+                "root;child 45", // 30 + (20 - 5): same-name stacks merge
+                "root;child;leaf 5",
+            ]
+        );
+    }
+
+    #[test]
+    fn root_totals_equal_root_duration() {
+        let spans = vec![
+            record(1, None, "run", 0, 1_000),
+            record(2, Some(1), "a", 0, 400),
+            record(3, Some(2), "b", 0, 150),
+            record(4, Some(1), "c", 500, 300),
+        ];
+        let folded = folded_stacks(&spans);
+        assert_eq!(root_total_ns(&folded, "run"), 1_000);
+        assert_eq!(root_total_ns(&folded, "absent"), 0);
+    }
+
+    #[test]
+    fn overlong_children_clamp_to_zero_self() {
+        let spans = vec![
+            record(1, None, "p", 0, 10),
+            record(2, Some(1), "c", 0, 15), // jitter: child "longer" than parent
+        ];
+        let folded = folded_stacks(&spans);
+        assert!(folded.contains("p 0\n"), "{folded}");
+        assert!(folded.contains("p;c 15\n"), "{folded}");
+    }
+
+    #[test]
+    fn orphans_start_new_stacks() {
+        let spans = vec![record(7, Some(999), "lonely", 0, 42)];
+        assert_eq!(folded_stacks(&spans), "lonely 42\n");
+    }
+
+    #[test]
+    fn live_collector_round_trip_matches_wall_clock() {
+        let c = Collector::new();
+        {
+            let _outer = c.span("outer");
+            {
+                let _inner = c.span("inner");
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let spans = c.snapshot();
+        let outer_ns = spans
+            .iter()
+            .find(|s| s.name == "outer")
+            .unwrap()
+            .duration_ns;
+        let folded = folded_stacks(&spans);
+        // Every line parses as `stack count`.
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.is_empty());
+            count.parse::<u64>().unwrap();
+        }
+        assert_eq!(root_total_ns(&folded, "outer"), outer_ns);
+    }
+
+    #[test]
+    fn write_folded_creates_parents() {
+        let dir = std::env::temp_dir().join("matilda-flame-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("out.folded");
+        write_folded(&path, &[record(1, None, "r", 0, 9)]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "r 9\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,17 +1,27 @@
 //! Spans, metrics and run reports: the measurement substrate under every
 //! MATILDA component.
 //!
-//! Three layers, usable separately or together:
+//! Seven layers, usable separately or together:
 //!
 //! - [`span`] — RAII hierarchical tracing. A [`span::SpanGuard`] times a
 //!   region of code, carries key/value fields, and links to its parent via
-//!   a thread-local span stack. Closed spans land in a sharded
-//!   [`span::Collector`].
+//!   a thread-local span stack. Closed spans land in a sharded, bounded
+//!   [`span::Collector`] with a configurable sampling policy.
 //! - [`metrics`] — a global sharded [`metrics::MetricsRegistry`] of
 //!   counters, gauges and fixed-bucket histograms with p50/p95/p99
-//!   summaries.
+//!   summaries; [`metrics::scoped`] installs a thread-local registry for
+//!   test isolation.
+//! - [`trace`] — per-session trace identity: a [`trace::TraceId`] entered
+//!   via a thread-local guard is stamped onto every span, log event and
+//!   provenance event recorded while it is current.
+//! - [`log`] — leveled structured events (trace→error) with key/value
+//!   fields in a lock-sharded bounded ring buffer, auto-correlated to the
+//!   current span and trace.
 //! - [`export`] — JSONL trace dumps, a serializable
 //!   [`export::RunTelemetry`] capture and a human-readable run report.
+//! - [`expose`] — a dependency-free HTTP endpoint serving `/metrics`
+//!   (Prometheus text exposition), `/healthz`, `/spans` and `/logs`.
+//! - [`flame`] — folded-stack flamegraph export of any span capture.
 //!
 //! ```
 //! use matilda_telemetry as telemetry;
@@ -32,12 +42,19 @@
 //! panicking, and span close is tolerant of out-of-order drops.
 
 pub mod export;
+pub mod expose;
+pub mod flame;
+pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use export::RunTelemetry;
+pub use expose::ObservabilityServer;
+pub use log::{LogBuffer, LogEvent};
 pub use metrics::{HistogramSummary, MetricsRegistry};
-pub use span::{current_span_id, span, Collector, SpanGuard, SpanId, SpanRecord};
+pub use span::{current_span_id, span, Collector, SpanGuard, SpanId, SpanRecord, SpanSampling};
+pub use trace::{current_trace_id, TraceId};
 
 #[cfg(test)]
 mod prop_tests {

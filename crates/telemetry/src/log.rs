@@ -1,0 +1,497 @@
+//! Leveled structured logging into a bounded, lock-sharded ring buffer.
+//!
+//! Log events are *data*, not text lines: each carries a [`Level`], a
+//! `target` (conventionally `crate.module`), a message, typed key/value
+//! fields, and is automatically correlated to the span and trace current on
+//! the emitting thread. Events land in a [`LogBuffer`] — a fixed-capacity
+//! ring sharded by thread, so hot paths never contend on one lock and a
+//! chatty component can never exhaust memory: when a shard is full the
+//! oldest event is overwritten and `telemetry.log_events_dropped` counts it.
+//!
+//! ```
+//! use matilda_telemetry::log::{self, Level};
+//!
+//! log::info("demo", "pipeline scored").field("score", 0.92).emit();
+//! let tail = log::global().tail(10, Some(Level::Info));
+//! assert!(tail.iter().any(|e| e.message == "pipeline scored"));
+//! ```
+//!
+//! Like the rest of the telemetry crate, logging must never change program
+//! behaviour: events below the buffer's minimum level are dropped before
+//! any allocation, and emission never blocks beyond one shard lock.
+
+use crate::span::FieldValue;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Severity of a log event, least to most severe.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Level {
+    /// Very fine-grained flow tracing (per-candidate, per-row).
+    Trace,
+    /// Diagnostic detail (per-task, per-generation).
+    Debug,
+    /// Notable milestones (turns, runs, sessions).
+    Info,
+    /// Something surprising but survivable.
+    Warn,
+    /// An operation failed.
+    Error,
+}
+
+impl Level {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a level name, case-insensitively.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Trace,
+            1 => Level::Debug,
+            2 => Level::Info,
+            3 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured log event, as stored by a [`LogBuffer`].
+#[derive(Debug, Clone)]
+pub struct LogEvent {
+    /// Process-wide monotonic sequence number (total emission order).
+    pub seq: u64,
+    /// Offset from the buffer's epoch, in nanoseconds.
+    pub ts_ns: u64,
+    /// Severity.
+    pub level: Level,
+    /// Component that emitted the event, conventionally `crate.module`.
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// The span open on the emitting thread, if any.
+    pub span_id: Option<u64>,
+    /// The trace entered on the emitting thread, if any.
+    pub trace_id: Option<u64>,
+    /// Typed key/value payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl LogEvent {
+    /// The value recorded under `key`, if any.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+const SHARDS: usize = 8;
+
+/// Default per-shard ring capacity: 8 shards × 2048 = 16384 retained events.
+pub const DEFAULT_SHARD_CAPACITY: usize = 2048;
+
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A bounded, lock-sharded ring buffer of [`LogEvent`]s.
+///
+/// Cloning is cheap and yields a handle on the same buffer. Shards are keyed
+/// by emitting thread, so concurrent emitters rarely contend; [`tail`]
+/// re-merges shards by sequence number.
+///
+/// [`tail`]: LogBuffer::tail
+#[derive(Debug, Clone)]
+pub struct LogBuffer {
+    inner: Arc<BufferInner>,
+}
+
+#[derive(Debug)]
+struct BufferInner {
+    epoch: Instant,
+    shards: [Mutex<VecDeque<LogEvent>>; SHARDS],
+    shard_capacity: usize,
+    min_level: AtomicU8,
+    dropped: AtomicU64,
+}
+
+impl Default for LogBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogBuffer {
+    /// A buffer with the default capacity, recording [`Level::Debug`] and up.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// A buffer retaining at most `shard_capacity` events per shard
+    /// (total retention is `8 * shard_capacity`).
+    pub fn with_capacity(shard_capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(BufferInner {
+                epoch: Instant::now(),
+                shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+                shard_capacity: shard_capacity.max(1),
+                min_level: AtomicU8::new(Level::Debug as u8),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The least severe level this buffer records.
+    pub fn min_level(&self) -> Level {
+        Level::from_u8(self.inner.min_level.load(Ordering::Relaxed))
+    }
+
+    /// Record `level` and everything more severe; drop the rest at the
+    /// emission site, before any allocation.
+    pub fn set_min_level(&self, level: Level) {
+        self.inner.min_level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// `true` when an event at `level` would be recorded.
+    pub fn enabled(&self, level: Level) -> bool {
+        level as u8 >= self.inner.min_level.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten because their shard was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// `true` when no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Start building an event; it records when [`emit`] is called.
+    ///
+    /// [`emit`]: LogEventBuilder::emit
+    pub fn log(
+        &self,
+        level: Level,
+        target: impl Into<String>,
+        message: impl Into<String>,
+    ) -> LogEventBuilder {
+        if !self.enabled(level) {
+            return LogEventBuilder {
+                buffer: self.clone(),
+                event: None,
+            };
+        }
+        LogEventBuilder {
+            event: Some(LogEvent {
+                seq: 0, // assigned at emit, so builder lifetime cannot reorder
+                ts_ns: self.inner.epoch.elapsed().as_nanos() as u64,
+                level,
+                target: target.into(),
+                message: message.into(),
+                span_id: crate::span::current_span_id(),
+                trace_id: crate::trace::current_trace_id(),
+                fields: Vec::new(),
+            }),
+            buffer: self.clone(),
+        }
+    }
+
+    fn push(&self, mut event: LogEvent) {
+        event.seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+        let shard = crate::span::thread_index() % SHARDS;
+        let mut shard = self.inner.shards[shard].lock();
+        if shard.len() >= self.inner.shard_capacity {
+            shard.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            crate::metrics::global().inc("telemetry.log_events_dropped");
+        }
+        shard.push_back(event);
+    }
+
+    /// The most recent `max` retained events at `min_level` or above
+    /// (`None` = any), oldest first.
+    pub fn tail(&self, max: usize, min_level: Option<Level>) -> Vec<LogEvent> {
+        let mut out: Vec<LogEvent> = self
+            .inner
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .filter(|e| min_level.is_none_or(|lvl| e.level >= lvl))
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        if out.len() > max {
+            out.drain(..out.len() - max);
+        }
+        out
+    }
+
+    /// Remove every retained event (the dropped counter is preserved).
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+/// An in-flight log event; call [`emit`](Self::emit) to record it.
+///
+/// A builder for a disabled level carries no event and every operation on it
+/// is free.
+#[derive(Debug)]
+#[must_use = "a log event does nothing until .emit() is called"]
+pub struct LogEventBuilder {
+    buffer: LogBuffer,
+    event: Option<LogEvent>,
+}
+
+impl LogEventBuilder {
+    /// Attach a key/value annotation.
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> Self {
+        if let Some(event) = &mut self.event {
+            event.fields.push((key.into(), value.into()));
+        }
+        self
+    }
+
+    /// Record the event into its buffer.
+    pub fn emit(self) {
+        if let Some(event) = self.event {
+            self.buffer.push(event);
+        }
+    }
+}
+
+/// The process-wide default buffer, used by all instrumented hot paths.
+pub fn global() -> &'static LogBuffer {
+    static GLOBAL: OnceLock<LogBuffer> = OnceLock::new();
+    GLOBAL.get_or_init(LogBuffer::new)
+}
+
+/// Build a [`Level::Trace`] event on the [`global`] buffer.
+pub fn trace(target: impl Into<String>, message: impl Into<String>) -> LogEventBuilder {
+    global().log(Level::Trace, target, message)
+}
+
+/// Build a [`Level::Debug`] event on the [`global`] buffer.
+pub fn debug(target: impl Into<String>, message: impl Into<String>) -> LogEventBuilder {
+    global().log(Level::Debug, target, message)
+}
+
+/// Build a [`Level::Info`] event on the [`global`] buffer.
+pub fn info(target: impl Into<String>, message: impl Into<String>) -> LogEventBuilder {
+    global().log(Level::Info, target, message)
+}
+
+/// Build a [`Level::Warn`] event on the [`global`] buffer.
+pub fn warn(target: impl Into<String>, message: impl Into<String>) -> LogEventBuilder {
+    global().log(Level::Warn, target, message)
+}
+
+/// Build a [`Level::Error`] event on the [`global`] buffer.
+pub fn error(target: impl Into<String>, message: impl Into<String>) -> LogEventBuilder {
+    global().log(Level::Error, target, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_ordered_and_named() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Warn.name(), "warn");
+        assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn events_record_with_fields_and_order() {
+        let buf = LogBuffer::new();
+        buf.log(Level::Info, "t", "first").emit();
+        buf.log(Level::Warn, "t", "second")
+            .field("n", 3u64)
+            .field("why", "because")
+            .emit();
+        let tail = buf.tail(10, None);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].message, "first");
+        assert_eq!(tail[1].message, "second");
+        assert!(tail[0].seq < tail[1].seq);
+        assert_eq!(tail[1].field("n"), Some(&FieldValue::U64(3)));
+        assert_eq!(
+            tail[1].field("why"),
+            Some(&FieldValue::Str("because".into()))
+        );
+    }
+
+    #[test]
+    fn min_level_filters_at_emission() {
+        let buf = LogBuffer::new();
+        assert!(!buf.enabled(Level::Trace), "trace off by default");
+        buf.log(Level::Trace, "t", "invisible").emit();
+        assert!(buf.is_empty());
+        buf.set_min_level(Level::Trace);
+        buf.log(Level::Trace, "t", "visible").emit();
+        assert_eq!(buf.len(), 1);
+        buf.set_min_level(Level::Error);
+        buf.log(Level::Warn, "t", "also invisible").emit();
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn tail_filters_by_level_and_limits() {
+        let buf = LogBuffer::new();
+        for i in 0..6 {
+            let level = if i % 2 == 0 { Level::Info } else { Level::Warn };
+            buf.log(level, "t", format!("m{i}")).emit();
+        }
+        let warns = buf.tail(10, Some(Level::Warn));
+        assert_eq!(warns.len(), 3);
+        assert!(warns.iter().all(|e| e.level >= Level::Warn));
+        let last_two = buf.tail(2, None);
+        assert_eq!(last_two.len(), 2);
+        assert_eq!(last_two[1].message, "m5");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let buf = LogBuffer::with_capacity(4);
+        for i in 0..10 {
+            buf.log(Level::Info, "t", format!("m{i}")).emit();
+        }
+        // Single-threaded: one shard in use, so exactly 4 retained.
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped(), 6);
+        let tail = buf.tail(10, None);
+        assert_eq!(tail.first().unwrap().message, "m6");
+        assert_eq!(tail.last().unwrap().message, "m9");
+    }
+
+    #[test]
+    fn events_capture_span_and_trace_context() {
+        let buf = LogBuffer::new();
+        let collector = crate::span::Collector::new();
+        let trace_id = crate::trace::next_trace_id();
+        buf.log(Level::Info, "t", "outside").emit();
+        {
+            let _trace = crate::trace::enter(trace_id);
+            let span = collector.span("work");
+            buf.log(Level::Info, "t", "inside").emit();
+            let tail = buf.tail(10, None);
+            assert_eq!(tail[1].span_id, Some(span.id()));
+            assert_eq!(tail[1].trace_id, Some(trace_id));
+        }
+        let tail = buf.tail(10, None);
+        assert_eq!(tail[0].span_id, None);
+        assert_eq!(tail[0].trace_id, None);
+    }
+
+    #[test]
+    fn concurrent_emitters_all_land_in_order() {
+        let buf = LogBuffer::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let handle = buf.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        handle
+                            .log(Level::Info, format!("t{t}"), format!("m{i}"))
+                            .field("i", i as u64)
+                            .emit();
+                    }
+                });
+            }
+        });
+        assert_eq!(buf.len(), 400);
+        let tail = buf.tail(400, None);
+        assert_eq!(tail.len(), 400);
+        // Global sequence numbers are strictly increasing after the merge.
+        assert!(tail.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Per-thread emission order survives sharding.
+        for t in 0..4 {
+            let target = format!("t{t}");
+            let msgs: Vec<&str> = tail
+                .iter()
+                .filter(|e| e.target == target)
+                .map(|e| e.message.as_str())
+                .collect();
+            assert_eq!(msgs.len(), 100);
+            assert!(msgs.windows(2).all(|w| {
+                let a: u32 = w[0][1..].parse().unwrap();
+                let b: u32 = w[1][1..].parse().unwrap();
+                a < b
+            }));
+        }
+    }
+
+    #[test]
+    fn concurrent_bounded_buffer_never_exceeds_capacity() {
+        let buf = LogBuffer::with_capacity(16);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let handle = buf.clone();
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        handle
+                            .log(Level::Info, "t", "m")
+                            .field("i", i as u64)
+                            .emit();
+                    }
+                });
+            }
+        });
+        assert!(buf.len() <= 16 * SHARDS);
+        assert_eq!(buf.len() as u64 + buf.dropped(), 8 * 500);
+    }
+
+    #[test]
+    fn clear_keeps_dropped_counter() {
+        let buf = LogBuffer::with_capacity(1);
+        buf.log(Level::Info, "t", "a").emit();
+        buf.log(Level::Info, "t", "b").emit();
+        assert_eq!(buf.dropped(), 1);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+}

@@ -96,6 +96,17 @@ impl Histogram {
         self.sum
     }
 
+    /// Upper bound (inclusive) per bucket, excluding the overflow bucket.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts: one entry per bound, plus a trailing
+    /// overflow bucket (not cumulative — the exposition layer accumulates).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// The index of the bucket `value` would land in.
     pub fn bucket_index(&self, value: f64) -> usize {
         self.bounds
@@ -275,6 +286,18 @@ impl MetricsRegistry {
         self.observe(name, duration.as_secs_f64());
     }
 
+    /// Record `value` into the histogram `name`, creating it over the
+    /// bounds `buckets()` yields on first touch (later calls ignore it).
+    pub fn observe_with_buckets(&self, name: &str, value: f64, buckets: impl FnOnce() -> Vec<f64>) {
+        let mut shard = self.shard(name).lock();
+        if let Metric::Histogram(h) = shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::with_buckets(buckets())))
+        {
+            h.observe(value);
+        }
+    }
+
     /// A sorted snapshot of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut out = BTreeMap::new();
@@ -289,6 +312,21 @@ impl MetricsRegistry {
             }
         }
         MetricsSnapshot { metrics: out }
+    }
+
+    /// Full histogram states (with per-bucket counts), sorted by name — the
+    /// raw material for Prometheus exposition, which needs cumulative `le`
+    /// buckets that [`HistogramSummary`] deliberately does not carry.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (name, metric) in shard.lock().iter() {
+                if let Metric::Histogram(h) = metric {
+                    out.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        out
     }
 
     /// Remove every metric.
@@ -332,10 +370,102 @@ impl MetricsSnapshot {
     }
 }
 
-/// The process-wide default registry, used by all instrumented hot paths.
-pub fn global() -> &'static MetricsRegistry {
+thread_local! {
+    // Registries installed by `scoped()` on this thread, innermost last.
+    static SCOPED: std::cell::RefCell<Vec<std::sync::Arc<MetricsRegistry>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The registry instrumented hot paths write to: the innermost registry
+/// installed by [`scoped`] on the calling thread, falling back to the
+/// process-wide registry ([`process_global`]).
+///
+/// The returned handle derefs to [`MetricsRegistry`], so call sites read as
+/// `metrics::global().inc("...")` whether or not a scope is active.
+pub fn global() -> RegistryHandle {
+    SCOPED.with(|stack| match stack.borrow().last() {
+        Some(reg) => RegistryHandle::Scoped(reg.clone()),
+        None => RegistryHandle::Process(process_global()),
+    })
+}
+
+/// The process-wide registry, ignoring any thread-local scope — what the
+/// exposition endpoint and run captures serve.
+pub fn process_global() -> &'static MetricsRegistry {
     static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
     GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Install a fresh registry for the calling thread until the guard drops.
+///
+/// This is the test-isolation story: `cargo test` runs tests on concurrent
+/// threads sharing one process registry, so a test asserting on counters
+/// can observe increments from its neighbours. A scoped registry captures
+/// everything the current thread records through [`global`] — worker
+/// threads spawned inside the scope still write to the process registry.
+pub fn scoped() -> ScopedRegistry {
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    SCOPED.with(|stack| stack.borrow_mut().push(registry.clone()));
+    ScopedRegistry { registry }
+}
+
+/// A handle on the registry currently in scope; derefs to
+/// [`MetricsRegistry`].
+#[derive(Debug)]
+pub enum RegistryHandle {
+    /// The process-wide registry.
+    Process(&'static MetricsRegistry),
+    /// A thread-local scoped registry.
+    Scoped(std::sync::Arc<MetricsRegistry>),
+}
+
+impl std::ops::Deref for RegistryHandle {
+    type Target = MetricsRegistry;
+
+    fn deref(&self) -> &MetricsRegistry {
+        match self {
+            RegistryHandle::Process(r) => r,
+            RegistryHandle::Scoped(r) => r,
+        }
+    }
+}
+
+/// RAII guard for a thread-scoped registry; uninstalls on drop.
+#[derive(Debug)]
+pub struct ScopedRegistry {
+    registry: std::sync::Arc<MetricsRegistry>,
+}
+
+impl ScopedRegistry {
+    /// The scoped registry itself (what this thread's `global()` resolves
+    /// to while the guard lives).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+impl std::ops::Deref for ScopedRegistry {
+    type Target = MetricsRegistry;
+
+    fn deref(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+impl Drop for ScopedRegistry {
+    fn drop(&mut self) {
+        SCOPED.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Remove this guard's registry wherever it sits: guards usually
+            // drop LIFO, but a guard moved across scopes may not.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|r| std::sync::Arc::ptr_eq(r, &self.registry))
+            {
+                stack.remove(pos);
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -463,5 +593,79 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::with_buckets(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn histograms_expose_raw_buckets() {
+        let m = MetricsRegistry::new();
+        m.observe("lat", 0.5);
+        m.observe("lat", 2.0);
+        m.inc("not_a_histogram");
+        let hists = m.histograms();
+        assert_eq!(hists.len(), 1);
+        let h = &hists["lat"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_counts().len(), h.bounds().len() + 1);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn scoped_registry_isolates_thread_writes() {
+        // Writes through `global()` land in the scope, not the process
+        // registry — and the process registry's state never leaks in.
+        process_global().inc("scoped_test.outside");
+        let before = process_global().snapshot().counter("scoped_test.inside");
+        {
+            let scope = scoped();
+            global().inc("scoped_test.inside");
+            global().inc("scoped_test.inside");
+            assert_eq!(scope.snapshot().counter("scoped_test.inside"), 2);
+            assert_eq!(scope.snapshot().counter("scoped_test.outside"), 0);
+        }
+        assert_eq!(
+            process_global().snapshot().counter("scoped_test.inside"),
+            before,
+            "scoped writes never reach the process registry"
+        );
+    }
+
+    #[test]
+    fn scoped_registries_nest_innermost_wins() {
+        let outer = scoped();
+        global().inc("n");
+        {
+            let inner = scoped();
+            global().inc("n");
+            global().inc("n");
+            assert_eq!(inner.snapshot().counter("n"), 2);
+        }
+        global().inc("n");
+        assert_eq!(outer.snapshot().counter("n"), 2);
+    }
+
+    #[test]
+    fn scoped_registry_is_thread_local() {
+        let scope = scoped();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Another thread sees no scope; its writes go to the
+                // process registry.
+                assert!(matches!(global(), RegistryHandle::Process(_)));
+            });
+        });
+        assert_eq!(scope.snapshot().counter("anything"), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = MetricsRegistry::new();
+        m.inc("c");
+        m.set_gauge("g", 1.0);
+        m.observe("h", 0.1);
+        m.reset();
+        let snap = m.snapshot();
+        assert!(snap.metrics.is_empty());
+        assert_eq!(snap.counter("c"), 0);
+        assert!(snap.histogram("h").is_none());
     }
 }

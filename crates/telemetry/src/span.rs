@@ -88,6 +88,9 @@ pub struct SpanRecord {
     /// Id of the span that was open on the same thread when this one
     /// started, if any.
     pub parent: Option<SpanId>,
+    /// The trace (session) entered on the opening thread, if any — see
+    /// [`crate::trace`].
+    pub trace_id: Option<u64>,
     /// Span name, conventionally `component.operation`.
     pub name: String,
     /// Start offset from the collector's epoch, in nanoseconds.
@@ -129,20 +132,47 @@ pub fn current_span_id() -> Option<SpanId> {
 
 const SHARDS: usize = 8;
 
+/// How a [`Collector`] decides which spans to record.
+///
+/// Sampling trades trace completeness for overhead: an unsampled span costs
+/// one atomic increment and is never pushed onto the span stack, so its
+/// children re-parent onto the nearest sampled ancestor (or surface as
+/// roots). Every span dropped by sampling or a full collector increments the
+/// `telemetry.spans_dropped` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanSampling {
+    /// Record every span (the default).
+    Always,
+    /// Record no spans.
+    Never,
+    /// Record one span out of every `n` opened (`OneIn(1)` ≡ `Always`).
+    OneIn(u64),
+}
+
 /// A sink for closed spans.
 ///
 /// Cloning is cheap and yields a handle on the same buffer, so worker
 /// threads can record into their session's collector. Storage is sharded by
-/// thread to keep contention off the hot path.
+/// thread to keep contention off the hot path, and bounded: when a shard
+/// reaches its capacity further spans are dropped (and counted) rather than
+/// growing without limit.
 #[derive(Debug, Clone)]
 pub struct Collector {
     inner: Arc<CollectorInner>,
 }
 
+/// Default per-shard span capacity: 8 shards × 2^17 ≈ 1M retained spans.
+pub const DEFAULT_SHARD_CAPACITY: usize = 1 << 17;
+
 #[derive(Debug)]
 struct CollectorInner {
     epoch: Instant,
     shards: [Mutex<Vec<SpanRecord>>; SHARDS],
+    shard_capacity: usize,
+    // Sampling mode: 0 = always, u64::MAX = never, n = one-in-n.
+    sampling: AtomicU64,
+    sample_clock: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl Default for Collector {
@@ -154,24 +184,86 @@ impl Default for Collector {
 impl Collector {
     /// A new, empty collector whose epoch is "now".
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// A collector retaining at most `shard_capacity` spans per shard.
+    pub fn with_capacity(shard_capacity: usize) -> Self {
         Self {
             inner: Arc::new(CollectorInner {
                 epoch: Instant::now(),
                 shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+                shard_capacity: shard_capacity.max(1),
+                sampling: AtomicU64::new(0),
+                sample_clock: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Set this collector's sampling policy (applies to spans opened after
+    /// the call).
+    pub fn set_sampling(&self, sampling: SpanSampling) {
+        let encoded = match sampling {
+            SpanSampling::Always => 0,
+            SpanSampling::Never => u64::MAX,
+            SpanSampling::OneIn(n) => n.clamp(1, u64::MAX - 1),
+        };
+        self.inner.sampling.store(encoded, Ordering::Relaxed);
+    }
+
+    /// The current sampling policy.
+    pub fn sampling(&self) -> SpanSampling {
+        match self.inner.sampling.load(Ordering::Relaxed) {
+            0 | 1 => SpanSampling::Always,
+            u64::MAX => SpanSampling::Never,
+            n => SpanSampling::OneIn(n),
+        }
+    }
+
+    /// Spans dropped by sampling or a full shard.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    fn sample(&self) -> bool {
+        match self.inner.sampling.load(Ordering::Relaxed) {
+            0 | 1 => true,
+            u64::MAX => false,
+            n => self
+                .inner
+                .sample_clock
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n),
+        }
+    }
+
+    fn count_drop(&self) {
+        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        crate::metrics::global().inc("telemetry.spans_dropped");
     }
 
     /// Open a span named `name`; it closes (and records) when dropped.
     pub fn span(&self, name: impl Into<String>) -> SpanGuard {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        if !self.sample() {
+            self.count_drop();
+            return SpanGuard {
+                collector: self.clone(),
+                id,
+                record: None,
+                start: Instant::now(),
+            };
+        }
         let parent = current_span_id();
         SPAN_STACK.with(|s| s.borrow_mut().push(id));
         SpanGuard {
             collector: self.clone(),
+            id,
             record: Some(SpanRecord {
                 id,
                 parent,
+                trace_id: crate::trace::current_trace_id(),
                 name: name.into(),
                 start_ns: self.inner.epoch.elapsed().as_nanos() as u64,
                 duration_ns: 0,
@@ -218,12 +310,19 @@ impl Collector {
 
     fn push(&self, record: SpanRecord) {
         let shard = thread_index() % SHARDS;
-        self.inner.shards[shard].lock().push(record);
+        let mut shard = self.inner.shards[shard].lock();
+        if shard.len() >= self.inner.shard_capacity {
+            drop(shard);
+            self.count_drop();
+            return;
+        }
+        shard.push(record);
     }
 }
 
-// Stable small index per OS thread, for shard selection.
-fn thread_index() -> usize {
+// Stable small index per OS thread, for shard selection (shared with the
+// log buffer so one thread maps to the same shard slot everywhere).
+pub(crate) fn thread_index() -> usize {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     thread_local! {
         static INDEX: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
@@ -244,10 +343,15 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
 
 /// An open span; records itself into its collector on drop or [`close`].
 ///
+/// A span dropped by sampling still hands out a valid id and accepts fields
+/// (which go nowhere), so instrumented code never has to care whether it was
+/// sampled.
+///
 /// [`close`]: SpanGuard::close
 #[derive(Debug)]
 pub struct SpanGuard {
     collector: Collector,
+    id: SpanId,
     record: Option<SpanRecord>,
     start: Instant,
 }
@@ -255,16 +359,14 @@ pub struct SpanGuard {
 impl SpanGuard {
     /// This span's id (e.g. to hand to another thread as explicit parent).
     pub fn id(&self) -> SpanId {
-        self.record.as_ref().expect("span open").id
+        self.id
     }
 
     /// Attach a key/value annotation.
     pub fn field(&mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> &mut Self {
-        self.record
-            .as_mut()
-            .expect("span open")
-            .fields
-            .push((key.into(), value.into()));
+        if let Some(record) = self.record.as_mut() {
+            record.fields.push((key.into(), value.into()));
+        }
         self
     }
 
@@ -283,9 +385,15 @@ impl SpanGuard {
     }
 
     fn finish(&mut self) -> Duration {
-        let elapsed = self.start.elapsed();
+        let mut elapsed = self.start.elapsed();
         if let Some(mut record) = self.record.take() {
-            record.duration_ns = elapsed.as_nanos() as u64;
+            // Measure the close on the collector's epoch clock — the same
+            // timeline `start_ns` came from — so close order across spans
+            // is exact: a parent closing after its child can never export
+            // an earlier close timestamp through clock-read skew.
+            let close_ns = self.collector.inner.epoch.elapsed().as_nanos() as u64;
+            record.duration_ns = close_ns.saturating_sub(record.start_ns);
+            elapsed = Duration::from_nanos(record.duration_ns);
             SPAN_STACK.with(|s| {
                 let mut stack = s.borrow_mut();
                 // Guards drop in LIFO order in straight-line code; a guard
@@ -407,5 +515,80 @@ mod tests {
         c.span("one").close();
         assert_eq!(c.drain().len(), 1);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn spans_capture_current_trace() {
+        let c = Collector::new();
+        c.span("before").close();
+        let trace_id = crate::trace::next_trace_id();
+        {
+            let _t = crate::trace::enter(trace_id);
+            c.span("during").close();
+        }
+        let spans = c.snapshot();
+        let before = spans.iter().find(|s| s.name == "before").unwrap();
+        let during = spans.iter().find(|s| s.name == "during").unwrap();
+        assert_eq!(before.trace_id, None);
+        assert_eq!(during.trace_id, Some(trace_id));
+    }
+
+    #[test]
+    fn sampling_never_drops_everything_but_guards_stay_usable() {
+        let c = Collector::new();
+        c.set_sampling(SpanSampling::Never);
+        let mut sp = c.span("ghost");
+        sp.field("k", 1u64); // must not panic
+        assert!(sp.id() > 0);
+        assert_eq!(current_span_id(), None, "unsampled spans skip the stack");
+        drop(sp);
+        assert!(c.is_empty());
+        assert_eq!(c.dropped(), 1);
+        assert_eq!(c.sampling(), SpanSampling::Never);
+    }
+
+    #[test]
+    fn sampling_one_in_n_keeps_a_deterministic_share() {
+        let c = Collector::new();
+        c.set_sampling(SpanSampling::OneIn(4));
+        for _ in 0..40 {
+            c.span("s").close();
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.dropped(), 30);
+        c.set_sampling(SpanSampling::Always);
+        c.span("back").close();
+        assert_eq!(c.len(), 11);
+    }
+
+    #[test]
+    fn unsampled_parent_reparents_children_upward() {
+        let c = Collector::new();
+        let outer = c.span("outer");
+        let outer_id = outer.id();
+        c.set_sampling(SpanSampling::Never);
+        let middle = c.span("middle");
+        c.set_sampling(SpanSampling::Always);
+        let inner = c.span("inner");
+        drop(inner);
+        drop(middle);
+        drop(outer);
+        let spans = c.snapshot();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(
+            inner.parent,
+            Some(outer_id),
+            "child of an unsampled span links to the nearest sampled ancestor"
+        );
+    }
+
+    #[test]
+    fn full_shard_drops_and_counts() {
+        let c = Collector::with_capacity(2);
+        for _ in 0..5 {
+            c.span("s").close();
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.dropped(), 3);
     }
 }

@@ -1,0 +1,142 @@
+//! Per-session trace identity.
+//!
+//! A [`TraceId`] names one logical unit of work — conventionally a whole
+//! design session — across every signal the platform emits: spans, log
+//! events and provenance events recorded while a trace is entered all carry
+//! the same id, so an operator can slice any export down to one session.
+//!
+//! The id travels through a thread-local, exactly like the span stack: the
+//! session objects call [`enter`] at the top of each turn and the RAII
+//! [`TraceGuard`] restores the previous trace on drop, so nested or
+//! re-entrant sessions on one thread stay correctly attributed.
+//!
+//! ```
+//! use matilda_telemetry::trace;
+//!
+//! let id = trace::next_trace_id();
+//! assert_eq!(trace::current_trace_id(), None);
+//! {
+//!     let _guard = trace::enter(id);
+//!     assert_eq!(trace::current_trace_id(), Some(id));
+//! }
+//! assert_eq!(trace::current_trace_id(), None);
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of one trace (session), unique within a process run.
+pub type TraceId = u64;
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_TRACE: Cell<Option<TraceId>> = const { Cell::new(None) };
+}
+
+/// Mix a counter into a well-spread 64-bit id (splitmix64 finalizer), so
+/// trace ids do not collide visually with span ids or sequence numbers.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mint a fresh, process-unique trace id (never zero).
+pub fn next_trace_id() -> TraceId {
+    loop {
+        let id = splitmix64(NEXT_TRACE.fetch_add(1, Ordering::Relaxed));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// The trace currently entered on this thread, if any.
+///
+/// This is the hook other subsystems use to tag their artefacts: every span,
+/// log event and provenance event captures it at record time.
+pub fn current_trace_id() -> Option<TraceId> {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
+/// Enter `trace` on this thread until the returned guard drops.
+///
+/// Entering is idempotent and nestable: the guard restores whatever trace
+/// (or absence of one) was current before.
+pub fn enter(trace: TraceId) -> TraceGuard {
+    let prev = CURRENT_TRACE.with(|c| c.replace(Some(trace)));
+    TraceGuard { prev }
+}
+
+/// RAII guard restoring the previously-current trace on drop.
+#[derive(Debug)]
+pub struct TraceGuard {
+    prev: Option<TraceId>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Render a trace id the way exports and logs print it (zero-padded hex).
+pub fn format_trace_id(id: TraceId) -> String {
+    format!("{id:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+    }
+
+    #[test]
+    fn guard_nests_and_restores() {
+        assert_eq!(current_trace_id(), None);
+        let outer = next_trace_id();
+        let inner = next_trace_id();
+        {
+            let _g1 = enter(outer);
+            assert_eq!(current_trace_id(), Some(outer));
+            {
+                let _g2 = enter(inner);
+                assert_eq!(current_trace_id(), Some(inner));
+            }
+            assert_eq!(current_trace_id(), Some(outer));
+        }
+        assert_eq!(current_trace_id(), None);
+    }
+
+    #[test]
+    fn re_entering_same_trace_is_fine() {
+        let id = next_trace_id();
+        let _a = enter(id);
+        let _b = enter(id);
+        assert_eq!(current_trace_id(), Some(id));
+    }
+
+    #[test]
+    fn trace_is_thread_local() {
+        let id = next_trace_id();
+        let _g = enter(id);
+        std::thread::spawn(|| assert_eq!(current_trace_id(), None))
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn hex_format_is_stable_width() {
+        assert_eq!(format_trace_id(0xff).len(), 16);
+        assert_eq!(format_trace_id(0xff), "00000000000000ff");
+    }
+}

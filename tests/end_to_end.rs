@@ -195,6 +195,7 @@ fn deterministic_provenance_export() {
         let mut events = outcome.events;
         for e in &mut events {
             e.span_id = None;
+            e.trace_id = None;
         }
         matilda::provenance::json::log_to_jsonl(&events)
     };

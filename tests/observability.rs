@@ -1,0 +1,147 @@
+//! Integration tests for the live observability plane: a real design
+//! session served over HTTP, one trace id across spans/logs/provenance,
+//! and a flamegraph whose root totals match the run's wall clock.
+
+use matilda::datagen::{moons, MoonsConfig};
+use matilda::prelude::*;
+use matilda::telemetry;
+use std::io::Read as _;
+
+fn frame() -> DataFrame {
+    moons(&MoonsConfig {
+        n_rows: 120,
+        noise: 0.2,
+        seed: 3,
+    })
+}
+
+fn run_session() -> (DesignSession, SessionSummary) {
+    let mut session = DesignSession::new(
+        "observability-test",
+        "can the coordinates predict the moon?",
+        frame(),
+        UserProfile::novice("Ada", "urbanism"),
+        PlatformConfig::quick(),
+    );
+    let mut persona = Persona::trusting_novice("moon", 9);
+    let summary = session.run_autonomous(&mut persona).expect("session runs");
+    (session, summary)
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    use std::io::Write as _;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+/// A full autonomous session, then the live endpoint must serve coherent
+/// metrics, health, spans and logs over plain HTTP.
+#[test]
+fn live_endpoint_serves_a_real_session() {
+    let (_session, summary) = run_session();
+    assert!(summary.executions >= 1, "the persona ran a study");
+
+    let server = telemetry::ObservabilityServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let (status, body) = http_get(addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, "ok\n");
+
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(!metrics.is_empty());
+    // At least one counter with samples, and a histogram with `le` buckets,
+    // cumulative to +Inf with _sum/_count.
+    assert!(
+        metrics.contains("# TYPE session_turns counter"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("# TYPE pipeline_task_seconds histogram"));
+    assert!(metrics.contains("pipeline_task_seconds_bucket{le=\"+Inf\"}"));
+    assert!(metrics.contains("pipeline_task_seconds_sum"));
+    assert!(metrics.contains("pipeline_task_seconds_count"));
+
+    let (status, spans) = http_get(addr, "/spans?limit=2000");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        spans.contains("\"name\":\"session.turn\""),
+        "turn spans served"
+    );
+
+    let (status, logs) = http_get(addr, "/logs?level=info");
+    assert!(status.contains("200"), "{status}");
+    assert!(logs.contains("\"level\":\"info\""), "{logs}");
+
+    server.shutdown();
+}
+
+/// One session, one trace id — on every provenance event, on its turn
+/// spans, and on log events emitted while it ran.
+#[test]
+fn session_trace_id_correlates_all_exports() {
+    let (session, _) = run_session();
+    let trace = session.trace_id();
+    assert_ne!(trace, 0);
+
+    let events = session.recorder().snapshot();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.trace_id == Some(trace)));
+    // The JSON export round-trips the linkage.
+    let json = matilda::provenance::json::event_to_json(&events[0]);
+    assert!(json.contains(&format!("\"trace_id\":{trace}")), "{json}");
+
+    let spans = telemetry::span::global().snapshot();
+    assert!(spans
+        .iter()
+        .any(|s| s.name == "session.turn" && s.trace_id == Some(trace)));
+
+    let logs = telemetry::log::global().tail(8192, None);
+    assert!(logs.iter().any(|e| e.trace_id == Some(trace)));
+}
+
+/// The folded-stack flamegraph of a pipeline run: root totals must match
+/// the run's wall clock within 10% (they match exactly — self time is
+/// derived from the same closed spans).
+#[test]
+fn flamegraph_roots_match_wall_clock() {
+    let spec = PipelineSpec::default_classification("moon");
+    let df = frame();
+    // Open the root on the global collector so the pipeline's own spans
+    // nest under it via the thread-local span stack.
+    let root = telemetry::span("observability.flame_root");
+    run(&spec, &df).expect("pipeline runs");
+    let elapsed = root.close();
+
+    let spans = telemetry::span::global().snapshot();
+    let folded = telemetry::flame::folded_stacks(&spans);
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("folded line");
+        assert!(!stack.is_empty());
+        count.parse::<u64>().expect("numeric self time");
+    }
+    assert!(
+        folded.contains("observability.flame_root;pipeline.run;"),
+        "pipeline tasks nest under the root:\n{folded}"
+    );
+    // The root's folded total (its self time plus all nested stacks) must
+    // reproduce its wall clock — within 10% per the acceptance bar, though
+    // the derivation is exact by construction.
+    let total = telemetry::flame::root_total_ns(&folded, "observability.flame_root");
+    let wall = elapsed.as_nanos() as u64;
+    let diff = total.abs_diff(wall) as f64;
+    assert!(
+        diff <= wall as f64 * 0.10,
+        "folded total {total} vs wall {wall}"
+    );
+}
