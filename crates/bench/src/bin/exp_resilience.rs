@@ -1,0 +1,283 @@
+//! E12 — resilience under injected chaos: drive the platform through seeded
+//! fault plans and measure what recovery costs and how often it succeeds.
+//! Exports `results/resilience.json` with recovery-latency percentiles, the
+//! tally of recovery actions, and every `resilience.*` counter the run
+//! produced.
+//!
+//! All clocks are virtual ([`TestClock`]): backoff advances simulated time,
+//! so the whole experiment is deterministic per `CHAOS_SEED` and finishes in
+//! wall-clock milliseconds regardless of how much "sleeping" the retries do.
+
+use matilda_bench::{f3, header, row};
+use matilda_conversation::prelude::*;
+use matilda_core::prelude::*;
+use matilda_creativity::search::{search, SearchConfig};
+use matilda_data::{Column, DataFrame};
+use matilda_pipeline::prelude::Task;
+use matilda_resilience::{fault, FaultKind, FaultPlan, RetryPolicy, StopReason, TestClock};
+use matilda_telemetry as telemetry;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+fn base_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn frame() -> DataFrame {
+    DataFrame::from_columns(vec![
+        ("x", Column::from_f64((0..60).map(f64::from).collect())),
+        (
+            "noise",
+            Column::from_f64((0..60).map(|i| ((i * 7) % 5) as f64).collect()),
+        ),
+        (
+            "label",
+            Column::from_categorical(
+                &(0..60)
+                    .map(|i| if i < 30 { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+    .unwrap()
+}
+
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let seed = base_seed();
+    println!("# E12: resilience — recovery under seeded chaos (seed {seed})\n");
+
+    // ---- retry microbench: recovery latency under 50% transient faults ----
+    //
+    // Each trial is one guarded operation behind the default retry policy;
+    // half its attempts fail (deterministically per trial seed). Recovery
+    // latency is the virtual time between the first failure and eventual
+    // success — i.e. what the backoff policy actually costs a caller.
+    const TRIALS: u64 = 400;
+    let policy = RetryPolicy::default();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut recovered = 0u64;
+    let mut first_try = 0u64;
+    let mut exhausted = 0u64;
+    for trial in 0..TRIALS {
+        let clock = TestClock::new();
+        let plan = FaultPlan::new(seed.wrapping_mul(100_003).wrapping_add(trial)).inject(
+            "bench.op",
+            FaultKind::Error,
+            0.5,
+        );
+        let _scope = fault::activate_with_clock(plan, Arc::new(clock.clone()));
+        let (result, stats) = policy.run(&clock, None, "bench.op", |_| {
+            fault::faultpoint("bench.op").map_err(|f| f.to_string())
+        });
+        match (result.is_ok(), stats.retries) {
+            (true, 0) => first_try += 1,
+            (true, _) => recovered += 1,
+            (false, _) => exhausted += 1,
+        }
+        if let Some(latency) = stats.recovery_latency {
+            latencies.push(latency.as_secs_f64());
+        }
+        debug_assert!(matches!(
+            stats.stop,
+            StopReason::Succeeded | StopReason::AttemptsExhausted
+        ));
+    }
+    latencies.sort_by(f64::total_cmp);
+    println!("## retry recovery latency (virtual seconds, {TRIALS} guarded ops, 50% fault rate)");
+    header(&["outcome", "count"]);
+    row(&["succeeded first try".into(), first_try.to_string()]);
+    row(&["recovered via retry".into(), recovered.to_string()]);
+    row(&["attempts exhausted".into(), exhausted.to_string()]);
+    println!();
+    header(&["n", "p50_ms", "p90_ms", "p99_ms", "max_ms"]);
+    row(&[
+        latencies.len().to_string(),
+        f3(pct(&latencies, 0.50) * 1e3),
+        f3(pct(&latencies, 0.90) * 1e3),
+        f3(pct(&latencies, 0.99) * 1e3),
+        f3(latencies.last().copied().unwrap_or(0.0) * 1e3),
+    ]);
+
+    // ---- chaos sessions: graceful degradation end to end ----
+    //
+    // Full design sessions under a mixed plan: transient execution faults,
+    // degraded turns and scored-out candidate evaluations. The platform
+    // must keep every session alive; we tally how each run ended.
+    const SESSIONS: u64 = 20;
+    let mut runs_executed = 0u64;
+    let mut runs_failed = 0u64;
+    let mut action_tally: Vec<(String, u64)> = Vec::new();
+    for trial in 0..SESSIONS {
+        let plan = FaultPlan::new(seed.wrapping_mul(1_000_003).wrapping_add(trial))
+            .inject("pipeline.task.train", FaultKind::Error, 0.4)
+            .inject("session.step", FaultKind::Error, 0.1)
+            .inject("search.eval_candidate", FaultKind::Error, 0.2);
+        let _scope = fault::activate_with_clock(plan, Arc::new(TestClock::new()));
+        let mut s = DesignSession::new(
+            "chaos-bench",
+            "can x predict label?",
+            frame(),
+            UserProfile::novice("Ada", "urbanism"),
+            PlatformConfig::quick(),
+        );
+        s.step("predict 'label'").expect("session survives");
+        let mut guard = 0;
+        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 60 {
+            s.step("no").expect("session survives");
+            guard += 1;
+        }
+        let outcome = s.step("run it").expect("session survives");
+        if outcome.executed.is_some() {
+            runs_executed += 1;
+        } else {
+            runs_failed += 1;
+        }
+        s.step("done").expect("session survives");
+        for e in s.recorder().of_type("failure_observed") {
+            if let matilda_provenance::EventKind::FailureObserved { action, .. } = &e.kind {
+                match action_tally.iter_mut().find(|(a, _)| a == action) {
+                    Some((_, n)) => *n += 1,
+                    None => action_tally.push((action.clone(), 1)),
+                }
+            }
+        }
+    }
+    action_tally.sort_by(|a, b| a.0.cmp(&b.0));
+    println!("\n## chaos sessions ({SESSIONS} full design sessions under mixed faults)");
+    header(&["outcome", "count"]);
+    row(&[
+        "run executed (incl. recovered)".into(),
+        runs_executed.to_string(),
+    ]);
+    row(&[
+        "run failed, session survived".into(),
+        runs_failed.to_string(),
+    ]);
+    println!();
+    header(&["recovery action", "count"]);
+    for (action, n) in &action_tally {
+        row(&[action.clone(), n.to_string()]);
+    }
+
+    // ---- chaos searches: candidate attrition and degraded generations ----
+    //
+    // The creative search under partial evaluation failure: candidates hit
+    // by the plan are scored out and counted; whole generations hit by the
+    // generation fault are skipped with the population carried over.
+    const SEARCHES: u64 = 5;
+    let mut searches_completed = 0u64;
+    let mut failed_candidates = 0u64;
+    let mut degraded_generations = 0u64;
+    for trial in 0..SEARCHES {
+        let plan = FaultPlan::new(seed.wrapping_mul(10_000_019).wrapping_add(trial))
+            .inject("search.eval_candidate", FaultKind::Error, 0.3)
+            .inject("search.generation", FaultKind::Error, 0.2);
+        let _scope = fault::activate_with_clock(plan, Arc::new(TestClock::new()));
+        let task = Task::Classification {
+            target: "label".into(),
+        };
+        let config = SearchConfig {
+            population_size: 8,
+            generations: 3,
+            seed: seed.wrapping_add(trial),
+            ..SearchConfig::default()
+        };
+        if let Ok(outcome) = search(&task, &frame(), &config) {
+            searches_completed += 1;
+            failed_candidates += outcome.failed_candidates as u64;
+            degraded_generations += outcome.history.iter().filter(|h| h.degraded).count() as u64;
+        }
+    }
+    println!("\n## chaos searches ({SEARCHES} runs, 30% eval faults, 20% generation faults)");
+    header(&["measure", "count"]);
+    row(&["searches completed".into(), searches_completed.to_string()]);
+    row(&[
+        "candidates scored out".into(),
+        failed_candidates.to_string(),
+    ]);
+    row(&[
+        "generations degraded".into(),
+        degraded_generations.to_string(),
+    ]);
+
+    // ---- export ----
+    let run_telemetry = telemetry::RunTelemetry::capture_global("resilience");
+    let metrics = &run_telemetry.metrics;
+    let recovery_hist = metrics.histogram("resilience.recovery_seconds");
+    let mut counter_keys: Vec<&String> = metrics
+        .metrics
+        .keys()
+        .filter(|k| k.starts_with("resilience.") && *k != "resilience.recovery_seconds")
+        .collect();
+    counter_keys.sort();
+
+    println!("\n## resilience counters (process-global)");
+    header(&["counter", "value"]);
+    for key in &counter_keys {
+        row(&[(*key).clone(), metrics.counter(key).to_string()]);
+    }
+
+    let mut doc = String::from("{\n  \"experiment\": \"resilience\",\n");
+    let _ = writeln!(doc, "  \"seed\": {seed},");
+    let _ = writeln!(doc, "  \"retry_trials\": {TRIALS},");
+    let _ = writeln!(
+        doc,
+        "  \"retry_outcomes\": {{\"first_try\":{first_try},\"recovered\":{recovered},\"exhausted\":{exhausted}}},"
+    );
+    let _ = writeln!(
+        doc,
+        "  \"recovery_latency_seconds\": {{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},",
+        latencies.len(),
+        pct(&latencies, 0.50),
+        pct(&latencies, 0.90),
+        pct(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(0.0)
+    );
+    let _ = writeln!(doc, "  \"chaos_sessions\": {SESSIONS},");
+    let _ = writeln!(
+        doc,
+        "  \"session_outcomes\": {{\"runs_executed\":{runs_executed},\"runs_failed\":{runs_failed}}},"
+    );
+    let _ = writeln!(
+        doc,
+        "  \"search\": {{\"runs\":{SEARCHES},\"completed\":{searches_completed},\"failed_candidates\":{failed_candidates},\"degraded_generations\":{degraded_generations}}},"
+    );
+    if let Some(h) = &recovery_hist {
+        let _ = writeln!(
+            doc,
+            "  \"recovery_seconds_global\": {{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},",
+            h.count, h.p50, h.p95, h.p99, h.max
+        );
+    }
+    doc.push_str("  \"failure_actions\": {");
+    for (i, (action, n)) in action_tally.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let _ = write!(doc, "\"{action}\":{n}");
+    }
+    doc.push_str("},\n");
+    doc.push_str("  \"resilience_counters\": {");
+    for (i, key) in counter_keys.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let _ = write!(doc, "\"{key}\":{}", metrics.counter(key));
+    }
+    doc.push_str("}\n}\n");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/resilience.json", &doc).expect("write resilience json");
+    println!("\nwrote results/resilience.json ({} bytes)", doc.len());
+}

@@ -2,6 +2,8 @@
 
 use matilda_creativity::search::PatternSelection;
 use matilda_creativity::BalanceSchedule;
+use matilda_resilience::RetryPolicy;
+use std::time::Duration;
 
 /// Knobs governing a MATILDA platform instance.
 #[derive(Debug, Clone)]
@@ -23,6 +25,17 @@ pub struct PlatformConfig {
     pub selection: PatternSelection,
     /// Hard cap on autonomous session rounds (guards simulated users).
     pub max_rounds: usize,
+    /// Retry policy for pipeline executions (backoff runs on the active
+    /// resilience clock, so chaos tests never sleep for real).
+    pub retry: RetryPolicy,
+    /// Optional per-session deadline budget; retries stop (and the session
+    /// degrades into conversation) once the allowance is spent.
+    pub deadline: Option<Duration>,
+    /// Consecutive execution failures before the circuit breaker
+    /// quarantines the study runner.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker cools down before allowing a probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for PlatformConfig {
@@ -36,6 +49,10 @@ impl Default for PlatformConfig {
             patterns: Vec::new(),
             selection: PatternSelection::Uniform,
             max_rounds: 60,
+            retry: RetryPolicy::default(),
+            deadline: None,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(30),
         }
     }
 }
@@ -79,6 +96,9 @@ mod tests {
         assert!(c.population_size > 0);
         assert!(c.max_rounds > 10);
         assert!(c.balance.is_none());
+        assert!(c.retry.max_attempts >= 2, "executions retry by default");
+        assert!(c.deadline.is_none());
+        assert!(c.breaker_threshold >= 1);
     }
 
     #[test]

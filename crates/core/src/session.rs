@@ -11,6 +11,7 @@ use matilda_creativity::grammar;
 use matilda_data::DataFrame;
 use matilda_pipeline::prelude::*;
 use matilda_provenance::prelude::*;
+use matilda_resilience as resilience;
 use matilda_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,6 +103,14 @@ pub struct DesignSession {
     /// The telemetry trace identity minted for this session; every span,
     /// log event and provenance event emitted during the session carries it.
     trace_id: telemetry::TraceId,
+    /// The clock retries, breakers and the deadline budget run on —
+    /// resolved at session open, so a session created inside a chaos scope
+    /// inherits its virtual clock and never sleeps for real.
+    clock: std::sync::Arc<dyn resilience::Clock>,
+    /// Per-site circuit breakers quarantining repeatedly-failing sites.
+    breakers: resilience::BreakerRegistry,
+    /// The session's deadline allowance, when configured.
+    budget: Option<resilience::DeadlineBudget>,
 }
 
 impl DesignSession {
@@ -136,6 +145,12 @@ impl DesignSession {
         apprentice.record_outcome(0, true);
         apprentice.record_outcome(0, true);
         apprentice.record_outcome(0, true); // promote Observer -> Apprentice
+        let clock = resilience::fault::clock();
+        let budget = config
+            .deadline
+            .map(|limit| resilience::DeadlineBudget::start(clock.as_ref(), limit));
+        let breakers =
+            resilience::BreakerRegistry::new(config.breaker_threshold, config.breaker_cooldown);
         Self {
             frame,
             config,
@@ -148,6 +163,9 @@ impl DesignSession {
             apprentice,
             closed: false,
             trace_id,
+            clock,
+            breakers,
+            budget,
         }
     }
 
@@ -285,6 +303,16 @@ impl DesignSession {
         }
     }
 
+    /// `(site, state)` of every circuit breaker this session has touched.
+    pub fn breaker_states(&self) -> Vec<(String, resilience::BreakerState)> {
+        self.breakers.states(self.clock.as_ref())
+    }
+
+    /// The session's deadline budget, when one was configured.
+    pub fn budget(&self) -> Option<&resilience::DeadlineBudget> {
+        self.budget.as_ref()
+    }
+
     fn execute(&mut self, spec: PipelineSpec, by: Actor) -> Result<ExecutedDesign> {
         let fp = matilda_pipeline::fingerprint::fingerprint(&spec);
         self.recorder.record(EventKind::PipelineProposed {
@@ -294,19 +322,77 @@ impl DesignSession {
             canonical: matilda_pipeline::codec::encode(&spec),
             by,
         });
-        let report = run(&spec, &self.frame)?;
-        self.recorder.record(EventKind::PipelineExecuted {
-            fingerprint: fp,
-            score: report.test_score,
-            scoring: report.scoring_name.to_string(),
-        });
-        let executed = ExecutedDesign {
-            fingerprint: fp,
-            spec,
-            report,
-        };
-        self.executed.push(executed.clone());
-        Ok(executed)
+        // The study runner sits behind a circuit breaker: after repeated
+        // failures the site is quarantined and the session tells the user
+        // to come back after the cooldown rather than failing again.
+        let breaker = self.breakers.get("pipeline.run");
+        if !breaker.try_acquire(self.clock.as_ref()) {
+            self.recorder.record(EventKind::FailureObserved {
+                site: "pipeline.run".into(),
+                error: "circuit open after repeated failures".into(),
+                action: "breaker_open".into(),
+            });
+            return Err(PlatformError::Session(
+                "the study runner is cooling down after repeated failures; \
+                 let's keep designing and try running again shortly"
+                    .into(),
+            ));
+        }
+        // Transient failures (including injected chaos) are retried with
+        // backoff on the session clock, within the deadline budget.
+        let mut last_error: Option<String> = None;
+        let (result, stats) = self.config.retry.run(
+            self.clock.as_ref(),
+            self.budget.as_ref(),
+            "pipeline.run",
+            |_attempt| {
+                run(&spec, &self.frame).inspect_err(|e| {
+                    last_error = Some(e.to_string());
+                })
+            },
+        );
+        match result {
+            Ok(report) => {
+                breaker.on_success();
+                if stats.retries > 0 {
+                    // The run recovered: keep the failed attempts auditable.
+                    self.recorder.record(EventKind::FailureObserved {
+                        site: "pipeline.run".into(),
+                        error: last_error.unwrap_or_default(),
+                        action: "retried".into(),
+                    });
+                    telemetry::log::info("core.session", "execution recovered")
+                        .field("fingerprint", fp)
+                        .field("retries", u64::from(stats.retries))
+                        .emit();
+                }
+                self.recorder.record(EventKind::PipelineExecuted {
+                    fingerprint: fp,
+                    score: report.test_score,
+                    scoring: report.scoring_name.to_string(),
+                });
+                let executed = ExecutedDesign {
+                    fingerprint: fp,
+                    spec,
+                    report,
+                };
+                self.executed.push(executed.clone());
+                Ok(executed)
+            }
+            Err(e) => {
+                breaker.on_failure(self.clock.as_ref());
+                let action = match stats.stop {
+                    resilience::StopReason::DeadlineExpired => "deadline_expired",
+                    _ => "rejected",
+                };
+                self.recorder.record(EventKind::FailureObserved {
+                    site: "pipeline.run".into(),
+                    error: e.to_string(),
+                    action: action.into(),
+                });
+                Err(e.into())
+            }
+        }
     }
 
     /// Feed one user message through the session.
@@ -318,6 +404,35 @@ impl DesignSession {
         if self.closed {
             telemetry::log::warn("core.session", "step on closed session").emit();
             return Err(PlatformError::Session("session already closed".into()));
+        }
+        // Chaos faultpoint for the turn as a whole: an injected fault (or
+        // isolated panic) degrades into an apologetic reply instead of an
+        // error — the conversation survives, and provenance shows why.
+        let degraded = match resilience::panic_guard::isolate("session.step", || {
+            resilience::fault::faultpoint("session.step").map_err(|f| f.to_string())
+        }) {
+            Ok(Ok(())) => None,
+            Ok(Err(message)) => Some(message),
+            Err(caught) => Some(caught.to_string()),
+        };
+        if let Some(reason) = degraded {
+            telemetry::metrics::global().inc("resilience.turns_degraded");
+            telemetry::log::warn("core.session", "turn degraded")
+                .field("reason", reason.as_str())
+                .emit();
+            self.recorder.record(EventKind::FailureObserved {
+                site: "session.step".into(),
+                error: reason,
+                action: "degraded".into(),
+            });
+            turn_span.field("degraded", true);
+            return Ok(StepOutcome {
+                reply: "Something went wrong on my side just now — nothing is lost. \
+                        Could you say that again?"
+                    .to_string(),
+                executed: None,
+                closed: false,
+            });
         }
         telemetry::log::debug("core.session", "turn started")
             .field("chars_in", user_text.len())
@@ -839,6 +954,107 @@ mod tests {
         // A second session gets a distinct trace identity.
         let other = session();
         assert_ne!(other.trace_id(), trace);
+    }
+
+    fn drive_to_ready(s: &mut DesignSession) {
+        s.step("predict 'label'").unwrap();
+        let mut guard = 0;
+        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 30 {
+            s.step("no").unwrap();
+            guard += 1;
+        }
+    }
+
+    #[test]
+    fn injected_step_fault_degrades_the_turn() {
+        use matilda_resilience::{fault, FaultKind, FaultPlan};
+        let mut s = session();
+        let scope =
+            fault::activate(FaultPlan::new(31).inject_first("session.step", FaultKind::Error, 1));
+        let outcome = s.step("predict 'label'").unwrap();
+        assert!(
+            outcome.reply.contains("nothing is lost"),
+            "{}",
+            outcome.reply
+        );
+        assert!(!outcome.closed);
+        assert_eq!(scope.injected("session.step"), 1);
+        let failures = s.recorder().of_type("failure_observed");
+        assert_eq!(failures.len(), 1);
+        // The next turn proceeds normally: the session survived.
+        let outcome = s.step("predict 'label'").unwrap();
+        assert!(!outcome.reply.contains("nothing is lost"));
+    }
+
+    #[test]
+    fn execution_retry_recovers_from_transient_fault() {
+        use matilda_resilience::{fault, FaultKind, FaultPlan};
+        let mut s = session();
+        let scope = fault::activate(FaultPlan::new(32).inject_first(
+            "pipeline.task.train",
+            FaultKind::Error,
+            1,
+        ));
+        drive_to_ready(&mut s);
+        let outcome = s.step("run it").unwrap();
+        assert!(
+            outcome.executed.is_some(),
+            "retry recovered: {}",
+            outcome.reply
+        );
+        assert_eq!(scope.injected("pipeline.task.train"), 1);
+        let failures = s.recorder().of_type("failure_observed");
+        assert_eq!(failures.len(), 1, "the recovered attempt is auditable");
+        assert!(matches!(
+            &failures[0].kind,
+            EventKind::FailureObserved { action, .. } if action == "retried"
+        ));
+        // The provenance log still passes every quality rule.
+        let report = audit(&s.recorder().snapshot());
+        assert!(report.all_passed(), "failures: {:?}", report.failures());
+    }
+
+    #[test]
+    fn breaker_quarantines_failing_runner() {
+        use matilda_resilience::{fault, BreakerState, FaultKind, FaultPlan};
+        let mut s = DesignSession::new(
+            "breaker",
+            "rq",
+            frame(),
+            UserProfile::novice("Ada", "urbanism"),
+            PlatformConfig {
+                breaker_threshold: 1,
+                retry: matilda_resilience::RetryPolicy::none(),
+                ..PlatformConfig::quick()
+            },
+        );
+        let _scope = fault::activate(FaultPlan::new(33).inject(
+            "pipeline.task.train",
+            FaultKind::Error,
+            1.0,
+        ));
+        drive_to_ready(&mut s);
+        let outcome = s.step("run it").unwrap();
+        assert!(outcome.executed.is_none());
+        assert!(
+            outcome.reply.contains("failed while running"),
+            "{}",
+            outcome.reply
+        );
+        assert_eq!(
+            s.breaker_states(),
+            vec![("pipeline.run".to_string(), BreakerState::Open)]
+        );
+        // The next run attempt is rejected by the open breaker — still
+        // conversation, never a crash.
+        let outcome = s.step("run it").unwrap();
+        assert!(outcome.executed.is_none());
+        assert!(outcome.reply.contains("cooling down"), "{}", outcome.reply);
+        let failures = s.recorder().of_type("failure_observed");
+        assert!(failures.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::FailureObserved { action, .. } if action == "breaker_open"
+        )));
     }
 
     #[test]

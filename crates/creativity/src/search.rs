@@ -12,6 +12,7 @@ use crate::value::Evaluator;
 use matilda_data::DataFrame;
 use matilda_pipeline::registry::DataProfile;
 use matilda_pipeline::Task;
+use matilda_resilience as resilience;
 use matilda_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,6 +87,13 @@ pub struct GenerationStats {
     pub archive_size: usize,
     /// `(pattern, candidates produced)` this generation.
     pub pattern_usage: Vec<(String, usize)>,
+    /// Candidate evaluations this generation that failed abnormally
+    /// (injected fault or isolated panic) and were scored out.
+    pub failed_candidates: usize,
+    /// `true` when this generation was skipped by a degradation event
+    /// (e.g. an injected `search.generation` fault): the population
+    /// carried over unchanged and no new candidates were produced.
+    pub degraded: bool,
 }
 
 /// The result of a creative search.
@@ -99,14 +107,22 @@ pub struct SearchOutcome {
     pub history: Vec<GenerationStats>,
     /// Number of genuine (uncached) pipeline evaluations spent.
     pub evaluations: usize,
+    /// Evaluations that failed abnormally (injected fault or isolated
+    /// panic) across the whole search; the search survived them all.
+    pub failed_candidates: usize,
 }
 
 fn evaluate_batch(evaluator: &Evaluator, batch: &mut [Candidate]) {
     let workers = std::thread::available_parallelism().map_or(2, |p| p.get());
     let chunk = batch.len().div_ceil(workers.max(1)).max(1);
+    // Carry any active chaos scope into the workers, so injected faults
+    // keyed on candidate fingerprints hit them there too.
+    let chaos = resilience::fault::handle();
     crossbeam::thread::scope(|scope| {
         for slice in batch.chunks_mut(chunk) {
+            let chaos = chaos.clone();
             scope.spawn(move |_| {
+                let _chaos = resilience::fault::adopt(chaos);
                 for candidate in slice {
                     if candidate.value.is_none() {
                         candidate.value = Some(evaluator.value(&candidate.spec));
@@ -171,6 +187,45 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
         gen_span.field("generation", generation);
         telemetry::metrics::global().inc("search.generations");
         let lambda = balance.lambda(generation);
+        // Chaos faultpoint for the generation as a whole: an injected
+        // fault (or isolated panic) degrades gracefully — the generation
+        // is skipped, the population carries over, and the search goes on.
+        let degraded = match resilience::panic_guard::isolate("search.generation", || {
+            resilience::fault::faultpoint("search.generation").map_err(|f| f.to_string())
+        }) {
+            Ok(Ok(())) => None,
+            Ok(Err(message)) => Some(message),
+            Err(caught) => Some(caught.to_string()),
+        };
+        if let Some(reason) = degraded {
+            telemetry::metrics::global().inc("resilience.generations_degraded");
+            telemetry::log::warn("creativity.search", "generation degraded")
+                .field("generation", generation)
+                .field("reason", reason.as_str())
+                .emit();
+            let finite: Vec<f64> = population
+                .iter()
+                .filter_map(|c| c.value)
+                .filter(|v| v.is_finite())
+                .collect();
+            history.push(GenerationStats {
+                generation,
+                best_value: finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                mean_value: if finite.is_empty() {
+                    f64::NEG_INFINITY
+                } else {
+                    finite.iter().sum::<f64>() / finite.len() as f64
+                },
+                mean_novelty: population.iter().filter_map(|c| c.novelty).sum::<f64>()
+                    / population.len().max(1) as f64,
+                mean_surprise: 0.0,
+                archive_size: archive.len(),
+                pattern_usage: Vec::new(),
+                failed_candidates: 0,
+                degraded: true,
+            });
+            continue;
+        }
         let mut usage: Vec<(String, usize)> = Vec::new();
         let mut newcomers: Vec<Candidate> = Vec::new();
         {
@@ -205,7 +260,9 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
         // Evaluate everything new (memoized), then annotate novelty and
         // surprise *before* inserting into the archive, so a candidate is
         // not its own nearest neighbour.
+        let failures_before = evaluator.failures();
         evaluate_batch(&evaluator, &mut newcomers);
+        let gen_failures = evaluator.failures() - failures_before;
         let mut surprise_sum = 0.0;
         for c in &mut newcomers {
             c.novelty = Some(archive.novelty(&c.descriptor, config.k_novelty));
@@ -333,6 +390,8 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
             mean_surprise,
             archive_size: archive.len(),
             pattern_usage: usage,
+            failed_candidates: gen_failures,
+            degraded: false,
         });
     }
 
@@ -349,6 +408,7 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
         .field("best_value", best.value.unwrap_or(f64::NEG_INFINITY));
     telemetry::log::info("creativity.search", "search finished")
         .field("evaluations", evaluator.evaluations())
+        .field("failed_candidates", evaluator.failures())
         .field("best_value", best.value.unwrap_or(f64::NEG_INFINITY))
         .field("best_model", best.spec.model.name())
         .emit();
@@ -357,6 +417,7 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
         population,
         history,
         evaluations: evaluator.evaluations(),
+        failed_candidates: evaluator.failures(),
     })
 }
 
@@ -549,6 +610,48 @@ mod tests {
                 .any(|k| k.starts_with("search.candidates.")),
             "per-pattern production counters present"
         );
+    }
+
+    #[test]
+    fn survives_partial_candidate_failures() {
+        use matilda_resilience::{fault, FaultKind, FaultPlan};
+        let task = Task::Classification { target: "y".into() };
+        let plan = FaultPlan::new(77).inject("search.eval_candidate", FaultKind::Error, 0.3);
+        let scope = fault::activate(plan);
+        let outcome = search(&task, &frame(), &quick_config()).unwrap();
+        // The search completed and still admitted survivors.
+        assert!(outcome.best.value.unwrap().is_finite());
+        assert_eq!(
+            outcome.failed_candidates as u64,
+            scope.injected("search.eval_candidate"),
+            "every injected eval fault is a counted candidate failure"
+        );
+        assert!(
+            outcome.failed_candidates > 0,
+            "30% rate should hit something"
+        );
+        let per_gen: usize = outcome.history.iter().map(|h| h.failed_candidates).sum();
+        assert!(per_gen <= outcome.failed_candidates);
+    }
+
+    #[test]
+    fn degraded_generation_carries_population_over() {
+        use matilda_resilience::{fault, FaultKind, FaultPlan};
+        let task = Task::Classification { target: "y".into() };
+        // Fail every generation checkpoint after the first two.
+        let plan = FaultPlan::new(78).inject("search.generation", FaultKind::Error, 0.5);
+        let scope = fault::activate(plan);
+        let outcome = search(&task, &frame(), &quick_config()).unwrap();
+        let degraded = outcome.history.iter().filter(|h| h.degraded).count();
+        assert_eq!(degraded as u64, scope.injected("search.generation"));
+        assert!(degraded > 0, "50% rate over 4 generations should hit");
+        for h in outcome.history.iter().filter(|h| h.degraded) {
+            assert!(
+                h.pattern_usage.is_empty(),
+                "degraded generations produce nothing"
+            );
+        }
+        assert!(outcome.best.value.unwrap().is_finite());
     }
 
     #[test]

@@ -8,6 +8,8 @@ use crate::error::Result;
 use matilda_data::DataFrame;
 use matilda_pipeline::fingerprint::fingerprint;
 use matilda_pipeline::{cv_score, PipelineSpec};
+use matilda_resilience as resilience;
+use matilda_telemetry as telemetry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -19,6 +21,7 @@ pub struct Evaluator {
     k_folds: usize,
     cache: Arc<Mutex<HashMap<u64, f64>>>,
     evaluations: Arc<Mutex<usize>>,
+    failures: Arc<Mutex<usize>>,
 }
 
 impl Evaluator {
@@ -29,6 +32,7 @@ impl Evaluator {
             k_folds,
             cache: Arc::new(Mutex::new(HashMap::new())),
             evaluations: Arc::new(Mutex::new(0)),
+            failures: Arc::new(Mutex::new(0)),
         }
     }
 
@@ -48,12 +52,45 @@ impl Evaluator {
             return v;
         }
         *self.evaluations.lock() += 1;
-        let v = match cv_score(spec, &self.data, self.k_folds) {
-            Ok(cv) => cv.mean,
-            Err(_) => f64::NEG_INFINITY,
+        // The evaluation runs behind a panic-isolation boundary with a
+        // keyed chaos faultpoint inside: the fingerprint drives the fault
+        // decision, so a given design meets the same fate no matter which
+        // worker thread happens to evaluate it.
+        let evaluated = resilience::panic_guard::isolate(
+            "search.eval_candidate",
+            || -> std::result::Result<_, String> {
+                resilience::fault::faultpoint_keyed("search.eval_candidate", fp)
+                    .map_err(|f| f.to_string())?;
+                Ok(cv_score(spec, &self.data, self.k_folds))
+            },
+        );
+        let v = match evaluated {
+            // Normal path: score, or score out an invalid design.
+            Ok(Ok(Ok(cv))) => cv.mean,
+            Ok(Ok(Err(_))) => f64::NEG_INFINITY,
+            // Resilience path: injected fault, or a panic caught at the
+            // boundary. The candidate is scored out and counted; the
+            // search continues with the survivors.
+            Ok(Err(message)) => {
+                self.record_failure(fp, &message);
+                f64::NEG_INFINITY
+            }
+            Err(caught) => {
+                self.record_failure(fp, &caught.to_string());
+                f64::NEG_INFINITY
+            }
         };
         self.cache.lock().insert(fp, v);
         v
+    }
+
+    fn record_failure(&self, fp: u64, message: &str) {
+        *self.failures.lock() += 1;
+        telemetry::metrics::global().inc("resilience.candidates_failed");
+        telemetry::log::warn("creativity.value", "candidate evaluation failed")
+            .field("fingerprint", fp)
+            .field("error", message)
+            .emit();
     }
 
     /// Like [`Evaluator::value`] but propagating errors; used when a failure
@@ -91,6 +128,14 @@ impl Evaluator {
     /// How many genuine (non-cached) evaluations have run.
     pub fn evaluations(&self) -> usize {
         *self.evaluations.lock()
+    }
+
+    /// How many evaluations failed abnormally (injected fault or isolated
+    /// panic) and were scored out. Genuinely invalid designs — those whose
+    /// cross-validation returns a typed error — are not failures; they are
+    /// scored `-inf` as part of the normal search.
+    pub fn failures(&self) -> usize {
+        *self.failures.lock()
     }
 
     /// How many designs are cached.
@@ -154,6 +199,44 @@ mod tests {
         assert!(
             (full - approx).abs() < 0.3,
             "full {full} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn injected_eval_fault_scores_out_and_counts() {
+        use matilda_resilience::{fault, FaultKind, FaultPlan};
+        let plan = FaultPlan::new(21).inject("search.eval_candidate", FaultKind::Error, 1.0);
+        let _scope = fault::activate(plan);
+        let ev = Evaluator::new(frame(), 4);
+        let spec = PipelineSpec::default_classification("y");
+        assert_eq!(ev.value(&spec), f64::NEG_INFINITY);
+        assert_eq!(ev.failures(), 1);
+        // The failure is cached: the design is not retried.
+        assert_eq!(ev.value(&spec), f64::NEG_INFINITY);
+        assert_eq!(ev.failures(), 1);
+    }
+
+    #[test]
+    fn injected_eval_panic_is_isolated() {
+        use matilda_resilience::{fault, panic_guard, FaultKind, FaultPlan};
+        panic_guard::silence_injected_panics();
+        let plan = FaultPlan::new(22).inject("search.eval_candidate", FaultKind::Panic, 1.0);
+        let _scope = fault::activate(plan);
+        let ev = Evaluator::new(frame(), 4);
+        let spec = PipelineSpec::default_classification("y");
+        assert_eq!(ev.value(&spec), f64::NEG_INFINITY);
+        assert_eq!(ev.failures(), 1);
+    }
+
+    #[test]
+    fn invalid_design_is_not_a_failure() {
+        let ev = Evaluator::new(frame(), 4);
+        let spec = PipelineSpec::default_classification("ghost");
+        assert_eq!(ev.value(&spec), f64::NEG_INFINITY);
+        assert_eq!(
+            ev.failures(),
+            0,
+            "typed cv errors are not resilience failures"
         );
     }
 

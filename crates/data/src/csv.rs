@@ -10,6 +10,7 @@ use crate::column::Column;
 use crate::error::{DataError, Result};
 use crate::frame::DataFrame;
 use crate::value::{DType, Value};
+use matilda_resilience as resilience;
 use std::path::Path;
 
 /// Options controlling CSV reading.
@@ -150,7 +151,25 @@ fn parse_cell(cell: &str, dtype: DType, opts: &CsvOptions) -> Value {
 }
 
 /// Parse CSV text into a [`DataFrame`] with inferred schema.
+///
+/// The parse runs behind a panic-isolation boundary and a chaos faultpoint
+/// (`data.csv.read`): a panic anywhere in the parser — injected or real —
+/// surfaces as a typed [`DataError::Csv`], never an unwind.
 pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<DataFrame> {
+    match resilience::panic_guard::isolate("data.csv.read", || read_csv_str_inner(text, opts)) {
+        Ok(result) => result,
+        Err(caught) => Err(DataError::Csv {
+            line: 0,
+            message: caught.to_string(),
+        }),
+    }
+}
+
+fn read_csv_str_inner(text: &str, opts: &CsvOptions) -> Result<DataFrame> {
+    resilience::fault::faultpoint("data.csv.read").map_err(|f| DataError::Csv {
+        line: 0,
+        message: f.to_string(),
+    })?;
     let mut records = tokenize(text, opts.delimiter)?;
     if records.is_empty() {
         return Err(DataError::Empty("csv input"));
@@ -161,6 +180,11 @@ pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<DataFrame> {
         (0..records[0].len()).map(|i| format!("col{i}")).collect()
     };
     let n_cols = header.len();
+    for (i, name) in header.iter().enumerate() {
+        if header[..i].iter().any(|prev| prev == name) {
+            return Err(DataError::DuplicateHeader(name.clone()));
+        }
+    }
     for (i, rec) in records.iter().enumerate() {
         if rec.len() != n_cols {
             return Err(DataError::Csv {
@@ -400,5 +424,33 @@ mod tests {
     #[test]
     fn empty_input_errors() {
         assert!(read_csv_str("", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn duplicate_header_errors() {
+        let err = read_csv_str("a,a\n1,2\n", &CsvOptions::default()).unwrap_err();
+        assert_eq!(err, DataError::DuplicateHeader("a".into()));
+        assert!(err.to_string().contains("duplicate header"));
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_csv_error() {
+        use matilda_resilience::{fault, FaultKind, FaultPlan};
+        let plan = FaultPlan::new(3).inject("data.csv.read", FaultKind::Error, 1.0);
+        let _scope = fault::activate(plan);
+        let err = read_csv_str("a\n1\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { .. }));
+        assert!(err.to_string().contains("injected fault"));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_to_typed_error() {
+        use matilda_resilience::{fault, panic_guard, FaultKind, FaultPlan};
+        panic_guard::silence_injected_panics();
+        let plan = FaultPlan::new(4).inject("data.csv.read", FaultKind::Panic, 1.0);
+        let _scope = fault::activate(plan);
+        let err = read_csv_str("a\n1\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { .. }));
+        assert!(err.to_string().contains("panic isolated"));
     }
 }

@@ -20,6 +20,8 @@ pub enum DataError {
     RowOutOfBounds { index: usize, len: usize },
     /// CSV input could not be parsed.
     Csv { line: usize, message: String },
+    /// The CSV header row names the same column more than once.
+    DuplicateHeader(String),
     /// An operation is undefined for an empty input.
     Empty(&'static str),
     /// A parameter was outside its valid domain.
@@ -42,6 +44,9 @@ impl fmt::Display for DataError {
             }
             DataError::Csv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
+            }
+            DataError::DuplicateHeader(name) => {
+                write!(f, "duplicate header column: {name}")
             }
             DataError::Empty(what) => write!(f, "operation undefined on empty {what}"),
             DataError::InvalidParameter(message) => write!(f, "invalid parameter: {message}"),

@@ -17,6 +17,13 @@ pub enum PipelineError {
     Data(matilda_data::DataError),
     /// Failure in the ML substrate.
     Ml(matilda_ml::MlError),
+    /// A task panicked and was caught at the isolation boundary.
+    TaskPanicked { task: String, message: String },
+    /// A chaos fault was injected at an execution site.
+    FaultInjected(String),
+    /// Scoring produced a non-finite value (NaN or ±inf inputs survived
+    /// preparation); the run is rejected rather than reporting garbage.
+    NonFiniteScore { test: f64, train: f64 },
 }
 
 impl fmt::Display for PipelineError {
@@ -28,6 +35,13 @@ impl fmt::Display for PipelineError {
             PipelineError::BadNode(m) => write!(f, "bad task node: {m}"),
             PipelineError::Data(e) => write!(f, "data error: {e}"),
             PipelineError::Ml(e) => write!(f, "ml error: {e}"),
+            PipelineError::TaskPanicked { task, message } => {
+                write!(f, "task '{task}' panicked: {message}")
+            }
+            PipelineError::FaultInjected(site) => write!(f, "fault injected: {site}"),
+            PipelineError::NonFiniteScore { test, train } => {
+                write!(f, "non-finite score (test={test}, train={train})")
+            }
         }
     }
 }

@@ -8,6 +8,7 @@ use crate::spec::{PipelineSpec, Task};
 use crate::validate::validate_strict;
 use matilda_data::prelude::*;
 use matilda_ml::prelude::*;
+use matilda_resilience as resilience;
 use matilda_telemetry as telemetry;
 
 /// The outcome of executing one pipeline end to end.
@@ -148,7 +149,13 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
         telemetry::log::trace("pipeline.exec", "task started")
             .field("task", id)
             .emit();
-        let step: Result<()> = (|| {
+        // Each task runs behind a panic-isolation boundary with a chaos
+        // faultpoint inside it: an injected (or genuine) panic is caught
+        // here and surfaces as a typed `TaskPanicked`, never an unwind.
+        let site = format!("pipeline.task.{id}");
+        let step: Result<()> = resilience::panic_guard::isolate(&site, || {
+            resilience::fault::faultpoint(&site)
+                .map_err(|f| PipelineError::FaultInjected(f.to_string()))?;
             match id {
                 "explore" => {
                     n_explored = matilda_data::stats::describe(&frame).len();
@@ -186,7 +193,13 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
                 }
             }
             Ok(())
-        })();
+        })
+        .unwrap_or_else(|caught| {
+            Err(PipelineError::TaskPanicked {
+                task: id.to_string(),
+                message: caught.message,
+            })
+        });
         if let Err(e) = step {
             telemetry::log::error("pipeline.exec", "task failed")
                 .field("task", id)
@@ -203,6 +216,16 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
         timings.push((id.to_string(), took));
     }
 
+    if !test_score.is_finite() || !train_score.is_finite() {
+        telemetry::log::error("pipeline.exec", "non-finite score rejected")
+            .field("test_score", test_score.to_string())
+            .field("train_score", train_score.to_string())
+            .emit();
+        return Err(PipelineError::NonFiniteScore {
+            test: test_score,
+            train: train_score,
+        });
+    }
     run_span
         .field("test_score", test_score)
         .field("train_score", train_score);
@@ -232,6 +255,8 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
 pub fn cv_score(spec: &PipelineSpec, df: &DataFrame, k: usize) -> Result<CvResult> {
     let mut span = telemetry::span("pipeline.cv_score");
     span.field("model", spec.model.name()).field("folds", k);
+    resilience::fault::faultpoint("pipeline.cv_score")
+        .map_err(|f| PipelineError::FaultInjected(f.to_string()))?;
     validate_strict(spec, df)?;
     let target = spec.task.target().to_string();
     let mut frame = df.clone();
@@ -419,6 +444,54 @@ mod tests {
         let spec = PipelineSpec::default_classification("label");
         let report = run(&spec, &df).unwrap();
         assert!((report.overfit_gap() - (report.train_score - report.test_score)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injected_task_fault_is_typed() {
+        use matilda_resilience::{fault, FaultKind, FaultPlan};
+        let plan = FaultPlan::new(9).inject("pipeline.task.train", FaultKind::Error, 1.0);
+        let _scope = fault::activate(plan);
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        assert!(matches!(
+            run(&spec, &df),
+            Err(PipelineError::FaultInjected(_))
+        ));
+    }
+
+    #[test]
+    fn injected_task_panic_is_isolated() {
+        use matilda_resilience::{fault, panic_guard, FaultKind, FaultPlan};
+        panic_guard::silence_injected_panics();
+        let plan = FaultPlan::new(10).inject("pipeline.task.fragment", FaultKind::Panic, 1.0);
+        let _scope = fault::activate(plan);
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        match run(&spec, &df) {
+            Err(PipelineError::TaskPanicked { task, .. }) => assert_eq!(task, "fragment"),
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_features_never_panic_the_run() {
+        let df = DataFrame::from_columns(vec![
+            (
+                "x",
+                Column::from_f64(vec![f64::NAN, 1.0, f64::INFINITY, 3.0, 4.0, 5.0, 6.0, 7.0]),
+            ),
+            (
+                "label",
+                Column::from_categorical(&["a", "a", "a", "a", "b", "b", "b", "b"]),
+            ),
+        ])
+        .unwrap();
+        let spec = PipelineSpec::default_classification("label");
+        // Typed error or a finite score — anything but a panic or NaN report.
+        if let Ok(report) = run(&spec, &df) {
+            assert!(report.test_score.is_finite());
+            assert!(report.train_score.is_finite());
+        }
     }
 
     #[test]

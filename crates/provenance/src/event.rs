@@ -108,6 +108,18 @@ pub enum EventKind {
         /// Fingerprint of the adopted final design, if any.
         final_fingerprint: Option<u64>,
     },
+    /// A failure was observed and handled by the resilience layer: the
+    /// session survived, and this event records what was rejected or
+    /// recovered so failed explorations stay auditable.
+    FailureObserved {
+        /// The execution site that failed (e.g. `pipeline.task.train`).
+        site: String,
+        /// The typed error, rendered.
+        error: String,
+        /// The recovery action taken (e.g. "retried", "degraded",
+        /// "rejected", "breaker_open").
+        action: String,
+    },
 }
 
 impl EventKind {
@@ -123,6 +135,7 @@ impl EventKind {
             EventKind::Annotated { .. } => "annotated",
             EventKind::QualityChecked { .. } => "quality_checked",
             EventKind::SessionClosed { .. } => "session_closed",
+            EventKind::FailureObserved { .. } => "failure_observed",
         }
     }
 }
@@ -198,6 +211,11 @@ mod tests {
             },
             EventKind::SessionClosed {
                 final_fingerprint: Some(1),
+            },
+            EventKind::FailureObserved {
+                site: "pipeline.task.train".into(),
+                error: "boom".into(),
+                action: "retried".into(),
             },
         ];
         let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.type_name()).collect();

@@ -124,6 +124,15 @@ pub fn event_to_json(event: &Event) -> String {
             Some(fp) => field_raw(&mut out, "final_fingerprint", fp, &mut first),
             None => field_raw(&mut out, "final_fingerprint", "null", &mut first),
         },
+        EventKind::FailureObserved {
+            site,
+            error,
+            action,
+        } => {
+            field_str(&mut out, "site", site, &mut first);
+            field_str(&mut out, "error", error, &mut first);
+            field_str(&mut out, "action", action, &mut first);
+        }
     }
     out.push('}');
     out
@@ -248,6 +257,20 @@ mod tests {
             final_fingerprint: None,
         });
         assert!(event_to_json(&r.snapshot()[0]).contains("\"final_fingerprint\":null"));
+    }
+
+    #[test]
+    fn failure_observed_serialized() {
+        let r = Recorder::new();
+        r.record(EventKind::FailureObserved {
+            site: "pipeline.task.train".into(),
+            error: "injected fault at pipeline.task.train".into(),
+            action: "retried".into(),
+        });
+        let json = event_to_json(&r.snapshot()[0]);
+        assert!(json.contains("\"type\":\"failure_observed\""));
+        assert!(json.contains("\"site\":\"pipeline.task.train\""));
+        assert!(json.contains("\"action\":\"retried\""));
     }
 
     #[test]

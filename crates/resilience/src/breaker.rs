@@ -1,0 +1,304 @@
+//! Circuit breaking: quarantine a failing site after N consecutive
+//! failures, then probe it again after a budgeted cooldown.
+//!
+//! States follow the classic three-way machine — `Closed` (normal),
+//! `Open` (rejecting), `HalfOpen` (one probe allowed) — with transitions
+//! driven by the injectable [`Clock`] and the live state exported as a
+//! telemetry gauge (`resilience.breaker_state.<site>`: 0 closed, 0.5
+//! half-open, 1 open) so dashboards can watch quarantines happen.
+
+use crate::clock::Clock;
+use matilda_telemetry as telemetry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are rejected until the cooldown elapses.
+    Open,
+    /// One probe call is allowed; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    fn gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 0.5,
+            BreakerState::Open => 1.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Duration,
+    probe_out: bool,
+}
+
+/// A per-site circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    site: String,
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker for `site` tripping after `threshold` consecutive
+    /// failures and cooling down for `cooldown` before half-opening.
+    pub fn new(site: impl Into<String>, threshold: u32, cooldown: Duration) -> Self {
+        let site = site.into();
+        telemetry::metrics::global().set_gauge(
+            &format!("resilience.breaker_state.{site}"),
+            BreakerState::Closed.gauge(),
+        );
+        Self {
+            site,
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: Duration::ZERO,
+                probe_out: false,
+            }),
+        }
+    }
+
+    /// The site this breaker guards.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    fn transition(&self, inner: &mut Inner, next: BreakerState) {
+        if inner.state == next {
+            return;
+        }
+        telemetry::log::info("resilience.breaker", "breaker state changed")
+            .field("site", self.site.as_str())
+            .field("from", inner.state.name())
+            .field("to", next.name())
+            .emit();
+        telemetry::metrics::global().set_gauge(
+            &format!("resilience.breaker_state.{}", self.site),
+            next.gauge(),
+        );
+        if next == BreakerState::Open {
+            telemetry::metrics::global().inc("resilience.breaker_trips");
+        }
+        inner.state = next;
+    }
+
+    /// The current state, advancing `Open → HalfOpen` when the cooldown
+    /// has elapsed.
+    pub fn state(&self, clock: &dyn Clock) -> BreakerState {
+        let mut inner = self.inner.lock();
+        if inner.state == BreakerState::Open
+            && clock.now().saturating_sub(inner.opened_at) >= self.cooldown
+        {
+            inner.probe_out = false;
+            self.transition(&mut inner, BreakerState::HalfOpen);
+        }
+        inner.state
+    }
+
+    /// May a call proceed right now? `Closed` always; `HalfOpen` admits a
+    /// single probe; `Open` rejects (and counts the rejection).
+    pub fn try_acquire(&self, clock: &dyn Clock) -> bool {
+        let state = self.state(clock);
+        let mut inner = self.inner.lock();
+        let admit = match state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                if inner.probe_out {
+                    false
+                } else {
+                    inner.probe_out = true;
+                    true
+                }
+            }
+            BreakerState::Open => false,
+        };
+        if !admit {
+            telemetry::metrics::global().inc("resilience.breaker_rejections");
+        }
+        admit
+    }
+
+    /// Report a successful call: resets the failure streak and closes the
+    /// breaker (a successful half-open probe heals the circuit).
+    pub fn on_success(&self) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures = 0;
+        inner.probe_out = false;
+        self.transition(&mut inner, BreakerState::Closed);
+    }
+
+    /// Report a failed call: extends the streak, trips to `Open` at the
+    /// threshold, and re-opens immediately on a failed half-open probe.
+    pub fn on_failure(&self, clock: &dyn Clock) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures += 1;
+        let reopen = inner.state == BreakerState::HalfOpen;
+        if reopen || inner.consecutive_failures >= self.threshold {
+            inner.opened_at = clock.now();
+            inner.probe_out = false;
+            self.transition(&mut inner, BreakerState::Open);
+        }
+    }
+
+    /// The current consecutive-failure streak.
+    pub fn failure_streak(&self) -> u32 {
+        self.inner.lock().consecutive_failures
+    }
+}
+
+/// A lazily-populated registry of breakers, one per site name.
+#[derive(Debug)]
+pub struct BreakerRegistry {
+    threshold: u32,
+    cooldown: Duration,
+    breakers: Mutex<HashMap<String, Arc<CircuitBreaker>>>,
+}
+
+impl BreakerRegistry {
+    /// A registry creating breakers with the given defaults.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            threshold,
+            cooldown,
+            breakers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The breaker for `site`, created closed on first use.
+    pub fn get(&self, site: &str) -> Arc<CircuitBreaker> {
+        self.breakers
+            .lock()
+            .entry(site.to_string())
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(site, self.threshold, self.cooldown)))
+            .clone()
+    }
+
+    /// `(site, state)` for every breaker created so far.
+    pub fn states(&self, clock: &dyn Clock) -> Vec<(String, BreakerState)> {
+        let breakers: Vec<Arc<CircuitBreaker>> = self.breakers.lock().values().cloned().collect();
+        let mut out: Vec<(String, BreakerState)> = breakers
+            .iter()
+            .map(|b| (b.site().to_string(), b.state(clock)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("s", 3, Duration::from_secs(1));
+        for _ in 0..2 {
+            assert!(b.try_acquire(&clock));
+            b.on_failure(&clock);
+        }
+        assert_eq!(b.state(&clock), BreakerState::Closed);
+        assert!(b.try_acquire(&clock));
+        b.on_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        assert!(!b.try_acquire(&clock), "open breaker rejects");
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("s", 2, Duration::from_secs(1));
+        b.on_failure(&clock);
+        b.on_success();
+        b.on_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Closed, "streak broken");
+        assert_eq!(b.failure_streak(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_then_close_on_success() {
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("s", 1, Duration::from_secs(5));
+        b.try_acquire(&clock);
+        b.on_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(b.state(&clock), BreakerState::HalfOpen);
+        assert!(b.try_acquire(&clock), "one probe admitted");
+        assert!(!b.try_acquire(&clock), "second concurrent probe rejected");
+        b.on_success();
+        assert_eq!(b.state(&clock), BreakerState::Closed);
+        assert!(b.try_acquire(&clock));
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("s", 1, Duration::from_secs(5));
+        b.on_failure(&clock);
+        clock.advance(Duration::from_secs(5));
+        assert!(b.try_acquire(&clock), "half-open probe");
+        b.on_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        clock.advance(Duration::from_secs(4));
+        assert!(!b.try_acquire(&clock), "cooldown restarted from the probe");
+        clock.advance(Duration::from_secs(1));
+        assert!(b.try_acquire(&clock));
+    }
+
+    #[test]
+    fn registry_returns_one_breaker_per_site() {
+        let clock = TestClock::new();
+        let reg = BreakerRegistry::new(2, Duration::from_secs(1));
+        let a1 = reg.get("a");
+        let a2 = reg.get("a");
+        assert!(Arc::ptr_eq(&a1, &a2));
+        a1.on_failure(&clock);
+        a1.on_failure(&clock);
+        reg.get("b");
+        assert_eq!(
+            reg.states(&clock),
+            vec![
+                ("a".to_string(), BreakerState::Open),
+                ("b".to_string(), BreakerState::Closed),
+            ]
+        );
+    }
+
+    #[test]
+    fn state_gauge_exported() {
+        let scoped = telemetry::metrics::scoped();
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("gauged", 1, Duration::from_secs(1));
+        b.on_failure(&clock);
+        let snap = scoped.snapshot();
+        assert_eq!(snap.gauge("resilience.breaker_state.gauged"), Some(1.0));
+        assert_eq!(snap.counter("resilience.breaker_trips"), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Deadline budgets: a fixed allowance of (possibly virtual) time that
+//! retries and cooldowns must fit inside.
+//!
+//! A budget is captured against a [`Clock`] at session open; every retry
+//! loop checks it before sleeping, so a session degrades into conversation
+//! the moment its allowance runs out instead of retrying past its welcome.
+
+use crate::clock::Clock;
+use std::time::Duration;
+
+/// A deadline measured against an injectable clock.
+#[derive(Debug, Clone)]
+pub struct DeadlineBudget {
+    started_at: Duration,
+    limit: Duration,
+}
+
+impl DeadlineBudget {
+    /// Start a budget of `limit` now (per `clock`).
+    pub fn start(clock: &dyn Clock, limit: Duration) -> Self {
+        Self {
+            started_at: clock.now(),
+            limit,
+        }
+    }
+
+    /// The total allowance.
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+
+    /// Time left, saturating at zero.
+    pub fn remaining(&self, clock: &dyn Clock) -> Duration {
+        let spent = clock.now().saturating_sub(self.started_at);
+        self.limit.saturating_sub(spent)
+    }
+
+    /// `true` once the allowance is spent.
+    pub fn expired(&self, clock: &dyn Clock) -> bool {
+        self.remaining(clock).is_zero()
+    }
+
+    /// `true` when at least `d` of allowance remains — the pre-sleep check
+    /// retry loops use so a backoff never overshoots the deadline.
+    pub fn affords(&self, clock: &dyn Clock, d: Duration) -> bool {
+        self.remaining(clock) >= d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    #[test]
+    fn budget_counts_down_and_expires() {
+        let clock = TestClock::new();
+        let budget = DeadlineBudget::start(&clock, Duration::from_secs(10));
+        assert_eq!(budget.remaining(&clock), Duration::from_secs(10));
+        assert!(!budget.expired(&clock));
+        clock.advance(Duration::from_secs(4));
+        assert_eq!(budget.remaining(&clock), Duration::from_secs(6));
+        assert!(budget.affords(&clock, Duration::from_secs(6)));
+        assert!(!budget.affords(&clock, Duration::from_secs(7)));
+        clock.advance(Duration::from_secs(7));
+        assert!(budget.expired(&clock));
+        assert_eq!(budget.remaining(&clock), Duration::ZERO);
+    }
+}

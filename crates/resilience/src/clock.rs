@@ -1,0 +1,104 @@
+//! An injectable clock: the one seam between resilience logic and real time.
+//!
+//! Every sleeping or deadline-checking component in this crate goes through
+//! [`Clock`], so tests drive retries, backoff and circuit-breaker cooldowns
+//! on a [`TestClock`] whose time advances virtually — no test ever blocks on
+//! a real `thread::sleep`.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic clock that can also sleep.
+///
+/// `now` is a duration since an arbitrary fixed epoch (process start for the
+/// real clock), which is all that deadlines and cooldowns need; absolute
+/// wall time never enters resilience decisions.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Monotonic time since the clock's epoch.
+    fn now(&self) -> Duration;
+    /// Block (or virtually advance) for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The process epoch shared by every [`SystemClock`] reading.
+fn process_epoch() -> Instant {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The real clock: `Instant`-based time and genuine `thread::sleep`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        process_epoch().elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A virtual clock for tests: `sleep` advances time instead of blocking.
+///
+/// Clones share the same underlying time, so a clock handed to a session
+/// and the copy kept by the test observe identical instants.
+#[derive(Debug, Clone, Default)]
+pub struct TestClock {
+    now: Arc<Mutex<Duration>>,
+}
+
+impl TestClock {
+    /// A virtual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance virtual time by `d` without anyone sleeping.
+    pub fn advance(&self, d: Duration) {
+        *self.now.lock() += d;
+    }
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+
+    fn sleep(&self, d: Duration) {
+        *self.now.lock() += d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_monotone() {
+        let c = SystemClock;
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn test_clock_sleep_is_virtual() {
+        let c = TestClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        let wall = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert_eq!(c.now(), Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(1), "no real sleeping");
+    }
+
+    #[test]
+    fn test_clock_clones_share_time() {
+        let a = TestClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_millis(250));
+        assert_eq!(b.now(), Duration::from_millis(250));
+    }
+}

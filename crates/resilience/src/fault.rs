@@ -1,0 +1,523 @@
+//! Deterministic fault injection: a seeded [`FaultPlan`] activated over a
+//! scope, consulted by lightweight [`faultpoint`] hooks at named sites.
+//!
+//! Decisions are pure functions of `(plan seed, site, ordinal-or-key)`, so
+//! an identical plan replayed over an identical workload injects the exact
+//! same faults — chaos tests can assert outcomes, retry counts and
+//! provenance sequences bit-for-bit across runs. Sites reached from worker
+//! threads use [`faultpoint_keyed`] with a stable key (e.g. a candidate
+//! fingerprint) so thread scheduling cannot reorder decisions.
+//!
+//! ```
+//! use matilda_resilience::fault::{self, FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::new(7).inject("demo.site", FaultKind::Error, 1.0);
+//! let scope = fault::activate(plan);
+//! assert!(fault::faultpoint("demo.site").is_err());
+//! assert_eq!(scope.injected("demo.site"), 1);
+//! ```
+
+use crate::clock::{Clock, SystemClock};
+use matilda_telemetry as telemetry;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The marker prefixed onto injected panic payloads, so panic hooks and
+/// isolation layers can tell chaos from genuine bugs.
+pub const INJECTED_PANIC_MARKER: &str = "[injected-fault]";
+
+/// What a triggered fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The faultpoint returns an [`InjectedFault`] for the site to surface
+    /// as its own typed error.
+    Error,
+    /// The faultpoint panics (payload tagged [`INJECTED_PANIC_MARKER`]);
+    /// the surrounding isolation layer must catch it.
+    Panic,
+    /// The faultpoint sleeps on the scope's clock, then proceeds normally.
+    Delay(Duration),
+}
+
+impl FaultKind {
+    /// Stable lowercase name for metrics and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Error => "error",
+            FaultKind::Panic => "panic",
+            FaultKind::Delay(_) => "delay",
+        }
+    }
+}
+
+/// One site's injection rule.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Probability in `[0, 1]` that any given call (or key) triggers.
+    pub rate: f64,
+    /// Hard cap on injections at this site; `None` means unbounded.
+    pub max: Option<u64>,
+}
+
+/// A seeded, site-keyed chaos schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<(String, FaultRule)>,
+}
+
+// FNV-1a over the site name: stable across runs and platforms.
+fn site_hash(site: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// splitmix64: one deterministic, well-mixed draw per (seed, site, x).
+fn mix(seed: u64, site: &str, x: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(site_hash(site))
+        .wrapping_add(x.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn frac(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// An empty plan with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Add an unbounded rule: inject `kind` at `site` with probability
+    /// `rate` per call.
+    pub fn inject(self, site: impl Into<String>, kind: FaultKind, rate: f64) -> Self {
+        self.inject_capped(site, kind, rate, None)
+    }
+
+    /// Add a rule injecting at most `max` times.
+    pub fn inject_first(self, site: impl Into<String>, kind: FaultKind, max: u64) -> Self {
+        self.inject_capped(site, kind, 1.0, Some(max))
+    }
+
+    /// Add a rule with both a probability and an injection cap.
+    pub fn inject_capped(
+        mut self,
+        site: impl Into<String>,
+        kind: FaultKind,
+        rate: f64,
+        max: Option<u64>,
+    ) -> Self {
+        self.rules.push((
+            site.into(),
+            FaultRule {
+                kind,
+                rate: rate.clamp(0.0, 1.0),
+                max,
+            },
+        ));
+        self
+    }
+
+    /// The rule for `site`, if any.
+    pub fn rule(&self, site: &str) -> Option<&FaultRule> {
+        self.rules.iter().find(|(s, _)| s == site).map(|(_, r)| r)
+    }
+
+    /// Every site the plan names.
+    pub fn sites(&self) -> Vec<&str> {
+        self.rules.iter().map(|(s, _)| s.as_str()).collect()
+    }
+
+    /// Pure preview: would the `x`-th call (ordinal for [`faultpoint`],
+    /// stable key for [`faultpoint_keyed`]) at `site` trigger, ignoring the
+    /// `max` cap? Lets tests compute the expected injection set up front.
+    pub fn would_trigger(&self, site: &str, x: u64) -> Option<FaultKind> {
+        let rule = self.rule(site)?;
+        (frac(mix(self.seed, site, x)) < rule.rate).then_some(rule.kind)
+    }
+}
+
+/// A live activation of a plan: per-site call and injection counters plus
+/// the clock that delay faults and retry backoff run on.
+#[derive(Debug)]
+pub struct ActiveScope {
+    plan: FaultPlan,
+    clock: Arc<dyn Clock>,
+    calls: Mutex<HashMap<String, u64>>,
+    injected: Mutex<HashMap<String, u64>>,
+}
+
+impl ActiveScope {
+    /// Total calls observed at `site` (triggered or not).
+    pub fn calls(&self, site: &str) -> u64 {
+        self.calls.lock().get(site).copied().unwrap_or(0)
+    }
+
+    /// Faults injected at `site`.
+    pub fn injected(&self, site: &str) -> u64 {
+        self.injected.lock().get(site).copied().unwrap_or(0)
+    }
+
+    /// Faults injected across every site.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.lock().values().sum()
+    }
+
+    /// The plan this scope activates.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The clock faults and retries run on inside this scope.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
+    }
+
+    // Decide for ordinal/keyed call `x`, honouring the injection cap.
+    fn decide(&self, site: &str, x: u64) -> Option<FaultKind> {
+        let rule = self.plan.rule(site)?;
+        if frac(mix(self.plan.seed, site, x)) >= rule.rate {
+            return None;
+        }
+        if let Some(max) = rule.max {
+            if self.injected(site) >= max {
+                return None;
+            }
+        }
+        Some(rule.kind)
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<ActiveScope>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII activation of a plan on the current thread; deactivates on drop.
+///
+/// Derefs to [`ActiveScope`], so the guard doubles as the handle tests use
+/// to read injection counters after the workload ran.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    scope: Arc<ActiveScope>,
+}
+
+impl std::ops::Deref for ScopeGuard {
+    type Target = ActiveScope;
+
+    fn deref(&self) -> &ActiveScope {
+        &self.scope
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|s| Arc::ptr_eq(s, &self.scope)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Activate `plan` on the current thread with the real [`SystemClock`].
+pub fn activate(plan: FaultPlan) -> ScopeGuard {
+    activate_with_clock(plan, Arc::new(SystemClock))
+}
+
+/// Activate `plan` with an explicit clock (tests pass a
+/// [`crate::clock::TestClock`] so injected delays and retry backoff advance
+/// virtual time only).
+pub fn activate_with_clock(plan: FaultPlan, clock: Arc<dyn Clock>) -> ScopeGuard {
+    let scope = Arc::new(ActiveScope {
+        plan,
+        clock,
+        calls: Mutex::new(HashMap::new()),
+        injected: Mutex::new(HashMap::new()),
+    });
+    CURRENT.with(|stack| stack.borrow_mut().push(scope.clone()));
+    ScopeGuard { scope }
+}
+
+/// The scope active on this thread, if any — capture before spawning
+/// workers and re-enter with [`adopt`] so parallel stages stay inside the
+/// same chaos experiment.
+pub fn handle() -> Option<Arc<ActiveScope>> {
+    CURRENT.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Guard returned by [`adopt`]; removes the adopted scope on drop.
+#[derive(Debug)]
+pub struct AdoptGuard {
+    scope: Option<Arc<ActiveScope>>,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if let Some(scope) = self.scope.take() {
+            CURRENT.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|s| Arc::ptr_eq(s, &scope)) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Enter a scope captured on another thread (no-op for `None`), so worker
+/// threads observe the same plan as the thread that spawned them.
+pub fn adopt(scope: Option<Arc<ActiveScope>>) -> AdoptGuard {
+    if let Some(scope) = &scope {
+        CURRENT.with(|stack| stack.borrow_mut().push(scope.clone()));
+    }
+    AdoptGuard { scope }
+}
+
+/// The clock of the active scope, or the real clock outside any scope.
+///
+/// Components that sleep (retry backoff, deadline checks) route through
+/// this so chaos tests never block on real time.
+pub fn clock() -> Arc<dyn Clock> {
+    handle().map_or_else(|| Arc::new(SystemClock) as Arc<dyn Clock>, |s| s.clock())
+}
+
+/// An injected error fault, carrying its site name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    site: String,
+}
+
+impl InjectedFault {
+    /// The site that injected.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {}", self.site)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+fn record_injection(scope: &ActiveScope, site: &str, kind: FaultKind) {
+    *scope.injected.lock().entry(site.to_string()).or_insert(0) += 1;
+    telemetry::metrics::global().inc("resilience.faults_injected");
+    telemetry::metrics::global().inc(&format!("resilience.faults_injected.{}", kind.name()));
+    telemetry::log::warn("resilience.fault", "fault injected")
+        .field("site", site)
+        .field("kind", kind.name())
+        .emit();
+}
+
+fn trigger(scope: &ActiveScope, site: &str, kind: FaultKind) -> Result<(), InjectedFault> {
+    record_injection(scope, site, kind);
+    match kind {
+        FaultKind::Error => Err(InjectedFault {
+            site: site.to_string(),
+        }),
+        FaultKind::Panic => std::panic::panic_any(format!("{INJECTED_PANIC_MARKER} {site}")),
+        FaultKind::Delay(d) => {
+            scope.clock.sleep(d);
+            Ok(())
+        }
+    }
+}
+
+/// Consult the active plan at `site`, using the site's call ordinal as the
+/// decision input. Outside any scope this is a no-op returning `Ok(())`.
+///
+/// Deterministic for sites reached from a single thread; concurrent sites
+/// should use [`faultpoint_keyed`].
+pub fn faultpoint(site: &str) -> Result<(), InjectedFault> {
+    let Some(scope) = handle() else {
+        return Ok(());
+    };
+    let ordinal = {
+        let mut calls = scope.calls.lock();
+        let n = calls.entry(site.to_string()).or_insert(0);
+        let ordinal = *n;
+        *n += 1;
+        ordinal
+    };
+    match scope.decide(site, ordinal) {
+        Some(kind) => trigger(&scope, site, kind),
+        None => Ok(()),
+    }
+}
+
+/// Like [`faultpoint`] but decided by a caller-supplied stable `key`
+/// (e.g. a candidate fingerprint) instead of the call ordinal, so the same
+/// work item always meets the same fate regardless of thread scheduling.
+pub fn faultpoint_keyed(site: &str, key: u64) -> Result<(), InjectedFault> {
+    let Some(scope) = handle() else {
+        return Ok(());
+    };
+    {
+        let mut calls = scope.calls.lock();
+        *calls.entry(site.to_string()).or_insert(0) += 1;
+    }
+    match scope.decide(site, key) {
+        Some(kind) => trigger(&scope, site, kind),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    #[test]
+    fn no_scope_no_faults() {
+        assert!(faultpoint("anything").is_ok());
+        assert!(faultpoint_keyed("anything", 42).is_ok());
+    }
+
+    #[test]
+    fn rate_one_always_injects_and_counts() {
+        let plan = FaultPlan::new(1).inject("s", FaultKind::Error, 1.0);
+        let scope = activate(plan);
+        for _ in 0..5 {
+            assert!(faultpoint("s").is_err());
+        }
+        assert_eq!(scope.injected("s"), 5);
+        assert_eq!(scope.calls("s"), 5);
+        assert_eq!(scope.total_injected(), 5);
+    }
+
+    #[test]
+    fn rate_zero_never_injects() {
+        let scope = activate(FaultPlan::new(1).inject("s", FaultKind::Error, 0.0));
+        for _ in 0..50 {
+            assert!(faultpoint("s").is_ok());
+        }
+        assert_eq!(scope.injected("s"), 0);
+    }
+
+    #[test]
+    fn deterministic_across_activations() {
+        let run = || {
+            let scope = activate(FaultPlan::new(9).inject("s", FaultKind::Error, 0.4));
+            let pattern: Vec<bool> = (0..64).map(|_| faultpoint("s").is_err()).collect();
+            (pattern, scope.injected("s"))
+        };
+        let (a, ia) = run();
+        let (b, ib) = run();
+        assert_eq!(a, b);
+        assert_eq!(ia, ib);
+        assert!(ia > 0 && ia < 64, "a 40% rate injects some but not all");
+    }
+
+    #[test]
+    fn keyed_decisions_ignore_order() {
+        let plan = FaultPlan::new(5).inject("k", FaultKind::Error, 0.5);
+        let forward = {
+            let _scope = activate(plan.clone());
+            (0..32u64)
+                .map(|k| faultpoint_keyed("k", k).is_err())
+                .collect::<Vec<_>>()
+        };
+        let backward = {
+            let _scope = activate(plan);
+            (0..32u64)
+                .rev()
+                .map(|k| faultpoint_keyed("k", k).is_err())
+                .collect::<Vec<_>>()
+        };
+        let mut backward = backward;
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn would_trigger_matches_faultpoint() {
+        let plan = FaultPlan::new(13).inject("p", FaultKind::Error, 0.3);
+        let expected: Vec<bool> = (0..40)
+            .map(|n| plan.would_trigger("p", n).is_some())
+            .collect();
+        let _scope = activate(plan);
+        let actual: Vec<bool> = (0..40).map(|_| faultpoint("p").is_err()).collect();
+        assert_eq!(expected, actual);
+    }
+
+    #[test]
+    fn injection_cap_respected() {
+        let scope = activate(FaultPlan::new(2).inject_first("c", FaultKind::Error, 2));
+        let failures = (0..10).filter(|_| faultpoint("c").is_err()).count();
+        assert_eq!(failures, 2);
+        assert_eq!(scope.injected("c"), 2);
+    }
+
+    #[test]
+    fn panic_fault_carries_marker() {
+        let _scope = activate(FaultPlan::new(3).inject("boom", FaultKind::Panic, 1.0));
+        let caught = std::panic::catch_unwind(|| {
+            let _ = faultpoint("boom");
+        })
+        .unwrap_err();
+        let message = caught.downcast_ref::<String>().unwrap();
+        assert!(message.contains(INJECTED_PANIC_MARKER));
+        assert!(message.contains("boom"));
+    }
+
+    #[test]
+    fn delay_fault_advances_virtual_clock_only() {
+        let clock = TestClock::new();
+        let scope = activate_with_clock(
+            FaultPlan::new(4).inject("slow", FaultKind::Delay(Duration::from_secs(9)), 1.0),
+            Arc::new(clock.clone()),
+        );
+        assert!(faultpoint("slow").is_ok(), "delay faults do not error");
+        assert_eq!(clock.now(), Duration::from_secs(9));
+        assert_eq!(scope.injected("slow"), 1);
+    }
+
+    #[test]
+    fn adopt_carries_scope_to_workers() {
+        let scope = activate(FaultPlan::new(6).inject("w", FaultKind::Error, 1.0));
+        let h = handle();
+        let worker_saw_fault = std::thread::spawn(move || {
+            let _g = adopt(h);
+            faultpoint("w").is_err()
+        })
+        .join()
+        .unwrap();
+        assert!(worker_saw_fault);
+        assert_eq!(scope.injected("w"), 1, "worker counted on the shared scope");
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        let _outer = activate(FaultPlan::new(1).inject("n", FaultKind::Error, 1.0));
+        {
+            let _inner = activate(FaultPlan::new(1));
+            assert!(faultpoint("n").is_ok(), "inner empty plan shadows outer");
+        }
+        assert!(faultpoint("n").is_err(), "outer plan restored");
+    }
+}

@@ -1,0 +1,109 @@
+//! Resilience substrate for the MATILDA platform: deterministic fault
+//! injection, retry with backoff, deadline budgets, panic isolation and
+//! circuit breaking.
+//!
+//! MATILDA's inclusive promise is that a non-technical user never meets a
+//! crash: failures degrade into conversation and provenance. This crate is
+//! the machinery behind that promise, plus the seeded chaos harness that
+//! proves it:
+//!
+//! - [`fault`] — a seeded [`fault::FaultPlan`] (error / panic / delay per
+//!   site) activated over a thread-local scope and consulted by
+//!   [`fault::faultpoint`] hooks on the execution paths. Decisions are pure
+//!   functions of `(seed, site, ordinal-or-key)`, so chaos runs replay
+//!   bit-for-bit.
+//! - [`retry`] — [`retry::RetryPolicy`]: exponential backoff with
+//!   decorrelated jitter on an injectable [`clock::Clock`] (tests never
+//!   sleep for real), cut off cleanly by a [`budget::DeadlineBudget`].
+//! - [`panic_guard`] — [`panic_guard::isolate`] wraps pipeline tasks and
+//!   candidate evaluations in `catch_unwind`, converting escapes into
+//!   typed failures the caller can score out or narrate.
+//! - [`breaker`] — [`breaker::CircuitBreaker`]: quarantine a site after N
+//!   consecutive failures, half-open after a cooldown, state exported as a
+//!   telemetry gauge.
+//!
+//! Every recovery action lands on `resilience.*` metrics and structured
+//! log events, so the observability plane shows the system surviving.
+//!
+//! ```
+//! use matilda_resilience::prelude::*;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let clock = TestClock::new();
+//! let plan = FaultPlan::new(7).inject_first("demo.flaky", FaultKind::Error, 2);
+//! let scope = fault::activate_with_clock(plan, Arc::new(clock.clone()));
+//!
+//! let policy = RetryPolicy { max_attempts: 5, ..RetryPolicy::default() };
+//! let (result, stats) = policy.run(&clock, None, "demo.flaky", |_| {
+//!     fault::faultpoint("demo.flaky").map(|()| "ok")
+//! });
+//! assert_eq!(result.unwrap(), "ok");
+//! assert_eq!(stats.retries, 2, "exactly the two injected failures");
+//! assert_eq!(scope.injected("demo.flaky"), 2);
+//! ```
+
+pub mod breaker;
+pub mod budget;
+pub mod clock;
+pub mod fault;
+pub mod panic_guard;
+pub mod retry;
+
+pub use breaker::{BreakerRegistry, BreakerState, CircuitBreaker};
+pub use budget::DeadlineBudget;
+pub use clock::{Clock, SystemClock, TestClock};
+pub use fault::{ActiveScope, FaultKind, FaultPlan, InjectedFault};
+pub use panic_guard::{isolate, CaughtPanic};
+pub use retry::{RetryPolicy, RetryStats, StopReason};
+
+/// One-stop imports for resilience users.
+pub mod prelude {
+    pub use crate::breaker::{BreakerRegistry, BreakerState, CircuitBreaker};
+    pub use crate::budget::DeadlineBudget;
+    pub use crate::clock::{Clock, SystemClock, TestClock};
+    pub use crate::fault::{self, FaultKind, FaultPlan, InjectedFault};
+    pub use crate::panic_guard::{self, CaughtPanic};
+    pub use crate::retry::{RetryPolicy, RetryStats, StopReason};
+}
+
+#[cfg(test)]
+mod integration_tests {
+    use super::prelude::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn retry_under_injected_delay_uses_scope_clock() {
+        let clock = TestClock::new();
+        let plan =
+            FaultPlan::new(11).inject("it.slow", FaultKind::Delay(Duration::from_millis(40)), 1.0);
+        let _scope = fault::activate_with_clock(plan, Arc::new(clock.clone()));
+        assert!(fault::faultpoint("it.slow").is_ok());
+        assert_eq!(clock.now(), Duration::from_millis(40));
+        // The scope clock is what `fault::clock()` resolves to.
+        assert_eq!(fault::clock().now(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn breaker_retry_and_budget_compose() {
+        let clock = TestClock::new();
+        let breaker = CircuitBreaker::new("it.compose", 2, Duration::from_millis(100));
+        let budget = DeadlineBudget::start(&clock, Duration::from_secs(5));
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        // Two failing attempts: the breaker sees both and trips.
+        let (result, stats) = policy.run(&clock, Some(&budget), "it.compose", |_| {
+            if breaker.try_acquire(&clock) {
+                breaker.on_failure(&clock);
+            }
+            Err::<(), _>("down".to_string())
+        });
+        assert!(result.is_err());
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(breaker.state(&clock), BreakerState::Open);
+        assert!(!budget.expired(&clock), "short backoffs fit the budget");
+    }
+}

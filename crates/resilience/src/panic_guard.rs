@@ -1,0 +1,110 @@
+//! Panic isolation: run a unit of work under `catch_unwind` and hand the
+//! caller a typed record of what escaped instead of unwinding through the
+//! platform.
+//!
+//! Used around every pipeline task and every candidate evaluation so one
+//! poisoned genome or buggy operator degrades into a typed failure the
+//! caller can retry, score out, or narrate — never a crashed session.
+
+use matilda_telemetry as telemetry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A panic caught at an isolation boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaughtPanic {
+    /// The isolation site that caught it.
+    pub site: String,
+    /// Best-effort panic message (payload downcast, or a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panic isolated at {}: {}", self.site, self.message)
+    }
+}
+
+impl std::error::Error for CaughtPanic {}
+
+/// Extract a human-readable message from a panic payload.
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Install (once per process) a panic hook that stays silent for injected
+/// chaos panics and defers to the previous hook for everything else, so
+/// chaos runs don't flood stderr with expected backtraces.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains(crate::fault::INJECTED_PANIC_MARKER));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Run `f`, converting an escaping panic into a [`CaughtPanic`].
+///
+/// Every catch increments `resilience.panics_caught` and emits a structured
+/// log event carrying the site, so recovered panics stay visible even
+/// though they no longer crash anything.
+pub fn isolate<T>(site: &str, f: impl FnOnce() -> T) -> Result<T, CaughtPanic> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            let message = payload_message(payload.as_ref());
+            telemetry::metrics::global().inc("resilience.panics_caught");
+            telemetry::log::error("resilience.panic", "panic isolated")
+                .field("site", site)
+                .field("message", message.as_str())
+                .emit();
+            Err(CaughtPanic {
+                site: site.to_string(),
+                message,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_passes_through() {
+        assert_eq!(isolate("t", || 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn panic_becomes_typed_failure() {
+        silence_injected_panics();
+        let err = isolate("t.site", || -> u32 {
+            std::panic::panic_any(format!("{} synthetic", crate::fault::INJECTED_PANIC_MARKER))
+        })
+        .unwrap_err();
+        assert_eq!(err.site, "t.site");
+        assert!(err.message.contains("synthetic"));
+        assert!(err.to_string().contains("t.site"));
+    }
+
+    #[test]
+    fn str_payloads_extracted() {
+        // A plain &str panic (the common `panic!("...")` literal form);
+        // the expected hook output for this one panic is tolerated.
+        let err = isolate("s", || -> () { panic!("plain literal") }).unwrap_err();
+        assert_eq!(err.message, "plain literal");
+    }
+}

@@ -1,0 +1,256 @@
+//! Retries with exponential backoff and decorrelated jitter, driven by an
+//! injectable clock so tests never sleep for real.
+//!
+//! The jitter schedule follows the "decorrelated jitter" recipe: each sleep
+//! is drawn uniformly from `[base, 3 * previous]` and clamped to `cap`,
+//! with the draw coming from a seeded deterministic hash rather than a
+//! global RNG — identical policies replay identical schedules.
+
+use crate::budget::DeadlineBudget;
+use crate::clock::Clock;
+use matilda_telemetry as telemetry;
+use std::time::Duration;
+
+/// How a retried operation ultimately stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The operation succeeded (possibly after retries).
+    Succeeded,
+    /// Every allowed attempt failed.
+    AttemptsExhausted,
+    /// The deadline budget could not afford another backoff + attempt.
+    DeadlineExpired,
+}
+
+/// Bookkeeping for one retried operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts made (≥ 1).
+    pub attempts: u32,
+    /// Retries after the first attempt (`attempts - 1`).
+    pub retries: u32,
+    /// Total time spent sleeping between attempts (per the clock).
+    pub slept: Duration,
+    /// Why the loop stopped.
+    pub stop: StopReason,
+    /// Clock time from the first failure to eventual success, when the
+    /// operation recovered after at least one failure.
+    pub recovery_latency: Option<Duration>,
+}
+
+/// An exponential-backoff retry policy with decorrelated jitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Minimum backoff between attempts.
+    pub base: Duration,
+    /// Maximum backoff between attempts.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter draws.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            seed: 0x5eed,
+        }
+    }
+}
+
+// One deterministic uniform draw in [0, 1) per (seed, site, attempt).
+fn jitter_frac(seed: u64, site: &str, attempt: u32) -> f64 {
+    let mut z = seed ^ 0x2545_f491_4f6c_dd1d;
+    for b in site.as_bytes() {
+        z = (z ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    z = z.wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based) at `site`:
+    /// decorrelated jitter over the previous sleep, clamped to
+    /// `[base, cap]`.
+    pub fn backoff(&self, site: &str, retry: u32) -> Duration {
+        let base = self.base.as_secs_f64();
+        let cap = self.cap.as_secs_f64().max(base);
+        let mut prev = base;
+        let mut sleep = base;
+        for attempt in 1..=retry {
+            let hi = (prev * 3.0).max(base);
+            sleep = (base + jitter_frac(self.seed, site, attempt) * (hi - base)).min(cap);
+            prev = sleep;
+        }
+        Duration::from_secs_f64(sleep)
+    }
+
+    /// Run `op` under this policy: retry failures with backoff on `clock`
+    /// until success, attempts run out, or `budget` cannot afford the next
+    /// backoff. Returns the final result plus [`RetryStats`].
+    ///
+    /// `op` receives the 1-based attempt number. Retries and recoveries are
+    /// counted on `resilience.retry_attempts` / `resilience.recoveries`,
+    /// and recovery latency lands in the `resilience.recovery_seconds`
+    /// histogram.
+    pub fn run<T, E: std::fmt::Display>(
+        &self,
+        clock: &dyn Clock,
+        budget: Option<&DeadlineBudget>,
+        site: &str,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> (Result<T, E>, RetryStats) {
+        let max_attempts = self.max_attempts.max(1);
+        let mut stats = RetryStats {
+            attempts: 0,
+            retries: 0,
+            slept: Duration::ZERO,
+            stop: StopReason::Succeeded,
+            recovery_latency: None,
+        };
+        let mut first_failure_at: Option<Duration> = None;
+        loop {
+            stats.attempts += 1;
+            match op(stats.attempts) {
+                Ok(v) => {
+                    if let Some(t0) = first_failure_at {
+                        let latency = clock.now().saturating_sub(t0);
+                        stats.recovery_latency = Some(latency);
+                        telemetry::metrics::global().inc("resilience.recoveries");
+                        telemetry::metrics::global()
+                            .observe("resilience.recovery_seconds", latency.as_secs_f64());
+                    }
+                    return (Ok(v), stats);
+                }
+                Err(e) => {
+                    first_failure_at.get_or_insert_with(|| clock.now());
+                    telemetry::log::warn("resilience.retry", "attempt failed")
+                        .field("site", site)
+                        .field("attempt", u64::from(stats.attempts))
+                        .field("error", e.to_string())
+                        .emit();
+                    if stats.attempts >= max_attempts {
+                        stats.stop = StopReason::AttemptsExhausted;
+                        telemetry::metrics::global().inc("resilience.retries_exhausted");
+                        return (Err(e), stats);
+                    }
+                    let backoff = self.backoff(site, stats.attempts);
+                    if let Some(budget) = budget {
+                        if !budget.affords(clock, backoff) {
+                            stats.stop = StopReason::DeadlineExpired;
+                            telemetry::metrics::global().inc("resilience.deadline_cutoffs");
+                            return (Err(e), stats);
+                        }
+                    }
+                    stats.retries += 1;
+                    stats.slept += backoff;
+                    telemetry::metrics::global().inc("resilience.retry_attempts");
+                    clock.sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    #[test]
+    fn first_try_success_means_no_retries() {
+        let clock = TestClock::new();
+        let (result, stats) = RetryPolicy::default().run(&clock, None, "s", |_| Ok::<_, String>(7));
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.stop, StopReason::Succeeded);
+        assert_eq!(stats.recovery_latency, None);
+        assert_eq!(clock.now(), Duration::ZERO, "no sleeping on success");
+    }
+
+    #[test]
+    fn recovers_after_transient_failures() {
+        let clock = TestClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            ..RetryPolicy::default()
+        };
+        let (result, stats) = policy.run(&clock, None, "s", |attempt| {
+            if attempt < 3 {
+                Err("transient".to_string())
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert!(stats.slept > Duration::ZERO);
+        assert_eq!(clock.now(), stats.slept, "sleeps happened on the clock");
+        assert_eq!(stats.recovery_latency, Some(stats.slept));
+    }
+
+    #[test]
+    fn attempts_exhausted_returns_last_error() {
+        let clock = TestClock::new();
+        let (result, stats) = RetryPolicy::default().run(&clock, None, "s", |attempt| {
+            Err::<(), _>(format!("failure {attempt}"))
+        });
+        assert_eq!(result.unwrap_err(), "failure 3");
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.stop, StopReason::AttemptsExhausted);
+    }
+
+    #[test]
+    fn deadline_budget_cuts_off_retries() {
+        let clock = TestClock::new();
+        let budget = DeadlineBudget::start(&clock, Duration::from_nanos(1));
+        let (result, stats) = RetryPolicy::default().run(&clock, Some(&budget), "s", |_| {
+            Err::<(), _>("always".to_string())
+        });
+        assert!(result.is_err());
+        assert_eq!(stats.attempts, 1, "no budget for even one backoff");
+        assert_eq!(stats.stop, StopReason::DeadlineExpired);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 42,
+        };
+        let schedule: Vec<Duration> = (1..=8).map(|r| policy.backoff("site", r)).collect();
+        let again: Vec<Duration> = (1..=8).map(|r| policy.backoff("site", r)).collect();
+        assert_eq!(schedule, again, "deterministic given the seed");
+        for d in &schedule {
+            assert!(*d >= policy.base && *d <= policy.cap, "bounded: {d:?}");
+        }
+        // Jitter: not all equal (decorrelated draws vary).
+        assert!(schedule.windows(2).any(|w| w[0] != w[1]));
+        // A different seed yields a different schedule.
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert_ne!(
+            schedule,
+            (1..=8)
+                .map(|r| other.backoff("site", r))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -183,8 +183,17 @@ fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str)
     let _ = stream.flush();
 }
 
-fn handle_connection(mut stream: TcpStream) {
-    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+/// How long a client may stall a read or write before the serial server
+/// gives up on it. One hung scraper must not wedge the endpoint forever.
+pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn handle_connection(mut stream: TcpStream, client_timeout: Duration) {
+    // Both directions are bounded: a client that connects and never sends
+    // a request times out on read; one that stops draining the response
+    // times out on write. Either way the server moves on to the next
+    // connection.
+    stream.set_read_timeout(Some(client_timeout)).ok();
+    stream.set_write_timeout(Some(client_timeout)).ok();
     let mut request_line = String::new();
     if BufReader::new(&stream)
         .read_line(&mut request_line)
@@ -253,8 +262,19 @@ pub struct ObservabilityServer {
 
 impl ObservabilityServer {
     /// Bind `addr` (e.g. `"127.0.0.1:9464"`, or port `0` for an ephemeral
-    /// port) and start serving on a background thread.
+    /// port) and start serving on a background thread. Client sockets get
+    /// [`DEFAULT_CLIENT_TIMEOUT`] in both directions.
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::bind_with_client_timeout(addr, DEFAULT_CLIENT_TIMEOUT)
+    }
+
+    /// Like [`ObservabilityServer::bind`], but with an explicit per-client
+    /// read/write timeout. The server handles connections serially, so this
+    /// bounds how long one misbehaving client can stall everyone else.
+    pub fn bind_with_client_timeout(
+        addr: impl ToSocketAddrs,
+        client_timeout: Duration,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -267,7 +287,7 @@ impl ObservabilityServer {
                         break;
                     }
                     match stream {
-                        Ok(stream) => handle_connection(stream),
+                        Ok(stream) => handle_connection(stream, client_timeout),
                         Err(_) => continue,
                     }
                 }
@@ -435,6 +455,37 @@ task_seconds_count 4
         // The port is released: a fresh bind on the same port succeeds.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn hung_client_times_out_and_serving_continues() {
+        // A client that connects and never sends a byte must not wedge the
+        // serial server: after the read timeout it is dropped and the next
+        // request is served normally.
+        let server =
+            ObservabilityServer::bind_with_client_timeout("127.0.0.1:0", Duration::from_millis(50))
+                .unwrap();
+        let addr = server.addr();
+
+        let hung = TcpStream::connect(addr).unwrap();
+        // Also park a half-request: a request line with no newline keeps the
+        // server's read_line pending until the timeout fires.
+        let mut partial = TcpStream::connect(addr).unwrap();
+        partial.write_all(b"GET /metr").unwrap();
+
+        let start = std::time::Instant::now();
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "hung clients stalled the server for {:?}",
+            start.elapsed()
+        );
+
+        drop(hung);
+        drop(partial);
+        server.shutdown();
     }
 
     #[test]

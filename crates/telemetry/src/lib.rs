@@ -3,7 +3,7 @@
 //!
 //! Seven layers, usable separately or together:
 //!
-//! - [`span`] — RAII hierarchical tracing. A [`span::SpanGuard`] times a
+//! - [`mod@span`] — RAII hierarchical tracing. A [`span::SpanGuard`] times a
 //!   region of code, carries key/value fields, and links to its parent via
 //!   a thread-local span stack. Closed spans land in a sharded, bounded
 //!   [`span::Collector`] with a configurable sampling policy.

@@ -17,6 +17,7 @@
 //! | [`datagen`] | synthetic scenarios incl. the urban-policy case study |
 //! | [`core`] | the platform: sessions, personas, design modes |
 //! | [`telemetry`] | RAII spans, metrics registry, trace export & run reports |
+//! | [`resilience`] | fault injection, retry/backoff, panic isolation, breakers |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use matilda_datagen as datagen;
 pub use matilda_ml as ml;
 pub use matilda_pipeline as pipeline;
 pub use matilda_provenance as provenance;
+pub use matilda_resilience as resilience;
 pub use matilda_telemetry as telemetry;
 
 /// One-stop imports for platform users.

@@ -1,0 +1,389 @@
+//! Chaos tests: seeded, deterministic fault plans driven end-to-end through
+//! the public facade. Every plan is derived from `CHAOS_SEED` (the CI matrix
+//! variable; default 1), every clock is virtual (no test ever sleeps for
+//! real), and every assertion is about *behaviour under failure*: typed
+//! errors or graceful conversation, never an escaped panic; deterministic
+//! outcomes per seed; recovery actions that stay auditable in provenance.
+
+use matilda::data::csv::{read_csv_str, CsvOptions};
+use matilda::prelude::*;
+use matilda::provenance::{quality, EventKind};
+use matilda::resilience::{fault, panic_guard, BreakerState, FaultKind, FaultPlan};
+use matilda::resilience::{Clock, RetryPolicy, TestClock};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The chaos seed under test: CI runs the suite across a seed matrix.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn frame() -> DataFrame {
+    DataFrame::from_columns(vec![
+        ("x", Column::from_f64((0..60).map(f64::from).collect())),
+        (
+            "noise",
+            Column::from_f64((0..60).map(|i| ((i * 7) % 5) as f64).collect()),
+        ),
+        (
+            "label",
+            Column::from_categorical(
+                &(0..60)
+                    .map(|i| if i < 30 { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+    .unwrap()
+}
+
+fn session(config: PlatformConfig) -> DesignSession {
+    DesignSession::new(
+        "chaos",
+        "can x predict label?",
+        frame(),
+        UserProfile::novice("Ada", "urbanism"),
+        config,
+    )
+}
+
+/// Decline suggestions until the dialogue is ready to run. Degraded turns
+/// do not advance the dialogue, so the guard is generous.
+fn drive_to_ready(s: &mut DesignSession) {
+    s.step("predict 'label'").unwrap();
+    let mut guard = 0;
+    while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 60 {
+        s.step("no").unwrap();
+        guard += 1;
+    }
+    assert!(
+        matches!(s.dialogue().state(), DialogueState::ReadyToRun),
+        "dialogue never became ready"
+    );
+}
+
+/// A stable, replay-comparable rendering of the provenance log: event types
+/// plus the payload fields that must be identical across reruns (trace and
+/// span ids are intentionally excluded — they are process-unique).
+fn provenance_signature(s: &DesignSession) -> Vec<String> {
+    s.recorder()
+        .snapshot()
+        .iter()
+        .map(|e| match &e.kind {
+            EventKind::FailureObserved {
+                site,
+                error,
+                action,
+            } => format!("failure_observed:{site}:{action}:{error}"),
+            EventKind::PipelineProposed { fingerprint, .. } => {
+                format!("pipeline_proposed:{fingerprint}")
+            }
+            EventKind::PipelineExecuted {
+                fingerprint, score, ..
+            } => format!("pipeline_executed:{fingerprint}:{score}"),
+            other => other.type_name().to_string(),
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ determinism ----
+
+/// One full chaotic session under a mixed plan: transient execution faults
+/// (exercising retry), degraded turns, and scored-out candidate evaluations.
+fn run_chaotic_session(seed: u64) -> (Vec<String>, Vec<u64>, [u64; 3]) {
+    let plan = FaultPlan::new(seed)
+        .inject("pipeline.task.train", FaultKind::Error, 0.5)
+        .inject("session.step", FaultKind::Error, 0.15)
+        .inject("search.eval_candidate", FaultKind::Error, 0.2);
+    let scope = fault::activate_with_clock(plan, Arc::new(TestClock::new()));
+    let mut s = session(PlatformConfig::quick());
+    drive_to_ready(&mut s);
+    s.step("run it").unwrap();
+    s.step("run it").unwrap();
+    s.step("done").unwrap();
+    let fingerprints = s.executed().iter().map(|d| d.fingerprint).collect();
+    let injected = [
+        scope.injected("pipeline.task.train"),
+        scope.injected("session.step"),
+        scope.injected("search.eval_candidate"),
+    ];
+    (provenance_signature(&s), fingerprints, injected)
+}
+
+#[test]
+fn identical_seed_and_plan_give_identical_outcomes() {
+    let seed = chaos_seed();
+    let first = run_chaotic_session(seed);
+    let second = run_chaotic_session(seed);
+    assert_eq!(
+        first.0, second.0,
+        "provenance sequence must be identical across reruns"
+    );
+    assert_eq!(first.1, second.1, "executed designs must be identical");
+    assert_eq!(first.2, second.2, "injected-fault counts must be identical");
+}
+
+// ------------------------------------------- partial candidate failures ----
+
+#[test]
+fn search_survives_thirty_percent_candidate_failures() {
+    let plan = FaultPlan::new(chaos_seed().wrapping_mul(31).wrapping_add(3)).inject(
+        "search.eval_candidate",
+        FaultKind::Error,
+        0.3,
+    );
+    let scope = fault::activate(plan);
+    let task = Task::Classification {
+        target: "label".into(),
+    };
+    let config = SearchConfig {
+        population_size: 8,
+        generations: 3,
+        ..Default::default()
+    };
+    let outcome = search(&task, &frame(), &config).expect("search completes under 30% failures");
+    // Survivors were admitted and the best of them is a real score.
+    assert!(outcome.best.value.unwrap().is_finite());
+    assert!(!outcome.population.is_empty());
+    // Every injected fault is a counted candidate failure — no more, no less.
+    assert_eq!(
+        outcome.failed_candidates as u64,
+        scope.injected("search.eval_candidate"),
+        "failure count must match the plan exactly"
+    );
+    assert!(
+        outcome.failed_candidates > 0,
+        "a 30% rate over several generations must hit something"
+    );
+}
+
+// ----------------------------------------------------- panic containment ----
+
+#[test]
+fn full_injection_panics_never_escape_public_apis() {
+    panic_guard::silence_injected_panics();
+    // Panic at every isolated site; `cv_score`'s faultpoint sits outside a
+    // panic boundary by design (callers own the isolation), so it gets a
+    // typed error fault instead.
+    let plan = FaultPlan::new(chaos_seed().wrapping_mul(31).wrapping_add(7))
+        .inject("data.csv.read", FaultKind::Panic, 1.0)
+        .inject("pipeline.task.explore", FaultKind::Panic, 1.0)
+        .inject("pipeline.task.fragment", FaultKind::Panic, 1.0)
+        .inject("pipeline.task.train", FaultKind::Panic, 1.0)
+        .inject("pipeline.cv_score", FaultKind::Error, 1.0)
+        .inject("search.eval_candidate", FaultKind::Panic, 1.0)
+        .inject("search.generation", FaultKind::Panic, 1.0)
+        .inject("session.step", FaultKind::Panic, 1.0);
+    let scope = fault::activate_with_clock(plan, Arc::new(TestClock::new()));
+
+    // Data layer: the panic is isolated into a typed CSV error.
+    assert!(read_csv_str("a,b\n1,2\n", &CsvOptions::default()).is_err());
+
+    // Pipeline layer: the first task panics; run() returns TaskPanicked.
+    let spec = PipelineSpec::default_classification("label");
+    assert!(run(&spec, &frame()).is_err());
+    assert!(cv_score(&spec, &frame(), 3).is_err());
+
+    // Creativity layer: every generation degrades and every evaluation is
+    // scored out, so the search ends with a typed "nothing valid" error.
+    let task = Task::Classification {
+        target: "label".into(),
+    };
+    let config = SearchConfig {
+        population_size: 6,
+        generations: 2,
+        ..Default::default()
+    };
+    assert!(search(&task, &frame(), &config).is_err());
+
+    // Platform layer: every turn degrades gracefully; the conversation
+    // survives and stays open.
+    let mut s = session(PlatformConfig::quick());
+    for text in ["predict 'label'", "yes", "run it", "why?"] {
+        let outcome = s.step(text).expect("degraded turns still reply");
+        assert!(!outcome.reply.is_empty());
+        assert!(!outcome.closed);
+    }
+    assert!(!s.is_closed());
+    assert!(scope.total_injected() > 0, "the plan actually fired");
+}
+
+// ---------------------------------------------------- retry and deadline ----
+
+#[test]
+fn retry_counters_match_the_plan_on_a_virtual_clock() {
+    let clock = TestClock::new();
+    let plan = FaultPlan::new(chaos_seed().wrapping_mul(31).wrapping_add(11)).inject(
+        "pipeline.task.train",
+        FaultKind::Error,
+        1.0,
+    );
+    let scope = fault::activate_with_clock(plan, Arc::new(clock.clone()));
+    let config = PlatformConfig::quick();
+    let max_attempts = u64::from(config.retry.max_attempts);
+    let base_backoff = config.retry.base;
+    let mut s = session(config);
+    drive_to_ready(&mut s);
+
+    let outcome = s.step("run it").unwrap();
+    assert!(outcome.executed.is_none());
+    assert!(
+        outcome.reply.contains("failed while running"),
+        "{}",
+        outcome.reply
+    );
+    // Every attempt hit the injected fault: attempts == the policy cap.
+    assert_eq!(scope.injected("pipeline.task.train"), max_attempts);
+    // Backoff ran on the virtual clock: virtual time moved, real time
+    // (this test) did not block on it.
+    let min_backoff = base_backoff * (max_attempts - 1) as u32;
+    assert!(
+        clock.now() >= min_backoff,
+        "expected >= {min_backoff:?} of virtual backoff, saw {:?}",
+        clock.now()
+    );
+    // The exhausted run is auditable.
+    let failures = s.recorder().of_type("failure_observed");
+    assert!(
+        failures.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::FailureObserved { site, action, .. }
+                if site == "pipeline.run" && action == "rejected"
+        )),
+        "{failures:?}"
+    );
+}
+
+#[test]
+fn deadline_budget_cuts_retries_short() {
+    let clock = TestClock::new();
+    let plan = FaultPlan::new(chaos_seed().wrapping_mul(31).wrapping_add(13)).inject(
+        "pipeline.task.train",
+        FaultKind::Error,
+        1.0,
+    );
+    let scope = fault::activate_with_clock(plan, Arc::new(clock.clone()));
+    let config = PlatformConfig {
+        // Tighter than one base backoff: the budget cannot afford a single
+        // retry pause, so the run stops early with a deadline verdict.
+        deadline: Some(Duration::from_millis(3)),
+        ..PlatformConfig::quick()
+    };
+    let max_attempts = u64::from(config.retry.max_attempts);
+    let mut s = session(config);
+    drive_to_ready(&mut s);
+
+    let outcome = s.step("run it").unwrap();
+    assert!(outcome.executed.is_none());
+    assert!(
+        scope.injected("pipeline.task.train") < max_attempts,
+        "the deadline must stop retries before the attempt cap"
+    );
+    let failures = s.recorder().of_type("failure_observed");
+    assert!(
+        failures.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::FailureObserved { action, .. } if action == "deadline_expired"
+        )),
+        "{failures:?}"
+    );
+}
+
+// --------------------------------------------------------- circuit breaker ----
+
+#[test]
+fn breaker_opens_cools_down_and_recovers() {
+    let clock = TestClock::new();
+    // Exactly one transient fault: the first run fails, every later one
+    // would succeed if allowed to try.
+    let plan = FaultPlan::new(chaos_seed().wrapping_mul(31).wrapping_add(17)).inject_first(
+        "pipeline.task.train",
+        FaultKind::Error,
+        1,
+    );
+    let _scope = fault::activate_with_clock(plan, Arc::new(clock.clone()));
+    let cooldown = Duration::from_secs(5);
+    let mut s = session(PlatformConfig {
+        retry: RetryPolicy::none(),
+        breaker_threshold: 1,
+        breaker_cooldown: cooldown,
+        ..PlatformConfig::quick()
+    });
+    drive_to_ready(&mut s);
+
+    // Failure trips the breaker at threshold 1.
+    let outcome = s.step("run it").unwrap();
+    assert!(
+        outcome.reply.contains("failed while running"),
+        "{}",
+        outcome.reply
+    );
+    assert_eq!(
+        s.breaker_states(),
+        vec![("pipeline.run".to_string(), BreakerState::Open)]
+    );
+
+    // While open, runs are rejected conversationally — no execution happens.
+    let outcome = s.step("run it").unwrap();
+    assert!(outcome.executed.is_none());
+    assert!(outcome.reply.contains("cooling down"), "{}", outcome.reply);
+    assert!(s
+        .recorder()
+        .of_type("failure_observed")
+        .iter()
+        .any(|e| matches!(
+            &e.kind,
+            EventKind::FailureObserved { action, .. } if action == "breaker_open"
+        )));
+
+    // After the cooldown the half-open probe is admitted and succeeds,
+    // closing the breaker again.
+    clock.advance(cooldown + Duration::from_secs(1));
+    let outcome = s.step("run it").unwrap();
+    assert!(
+        outcome.executed.is_some(),
+        "probe run should succeed: {}",
+        outcome.reply
+    );
+    assert_eq!(
+        s.breaker_states(),
+        vec![("pipeline.run".to_string(), BreakerState::Closed)]
+    );
+}
+
+// -------------------------------------------------------------- auditing ----
+
+#[test]
+fn recovered_session_passes_the_full_provenance_audit() {
+    let clock = TestClock::new();
+    // One transient execution fault: the retry recovers, the session closes
+    // normally, and the log — including the failure event — passes every
+    // provenance quality rule.
+    let plan = FaultPlan::new(chaos_seed().wrapping_mul(31).wrapping_add(19)).inject_first(
+        "pipeline.task.train",
+        FaultKind::Error,
+        1,
+    );
+    let scope = fault::activate_with_clock(plan, Arc::new(clock));
+    let mut s = session(PlatformConfig::quick());
+    drive_to_ready(&mut s);
+    let outcome = s.step("run it").unwrap();
+    assert!(
+        outcome.executed.is_some(),
+        "retry recovered: {}",
+        outcome.reply
+    );
+    s.step("done").unwrap();
+    assert_eq!(scope.injected("pipeline.task.train"), 1);
+
+    let events = s.recorder().snapshot();
+    assert!(events.iter().any(|e| matches!(
+        &e.kind,
+        EventKind::FailureObserved { action, .. } if action == "retried"
+    )));
+    let report = quality::audit(&events);
+    assert!(report.all_passed(), "failures: {:?}", report.failures());
+}

@@ -27,6 +27,17 @@ fn hostile_csv_inputs_error_or_parse_never_panic() {
 }
 
 #[test]
+fn duplicate_header_is_a_typed_error() {
+    use matilda::data::error::DataError;
+    let err = read_csv_str("a,a\n1,2", &CsvOptions::default()).unwrap_err();
+    assert!(
+        matches!(err, DataError::DuplicateHeader(ref name) if name == "a"),
+        "expected DuplicateHeader, got: {err}"
+    );
+    assert!(err.to_string().contains("duplicate header"), "{err}");
+}
+
+#[test]
 fn csv_huge_field_ok() {
     let big = "v\n".to_string() + &"x".repeat(100_000) + "\n";
     let df = read_csv_str(&big, &CsvOptions::default()).expect("parses");
@@ -115,6 +126,43 @@ fn all_null_feature_column_handled() {
         run(&spec, &df).is_err(),
         "dropping all rows must error, not panic"
     );
+}
+
+#[test]
+fn non_finite_feature_columns_never_panic_the_run() {
+    // NaN and ±inf in a feature column must flow through prep, training and
+    // scoring to either a typed error or a report with a finite score —
+    // silent NaN propagation into the report is as bad as a panic.
+    let poisons: [(&str, f64); 3] = [
+        ("nan", f64::NAN),
+        ("pos_inf", f64::INFINITY),
+        ("neg_inf", f64::NEG_INFINITY),
+    ];
+    for (label, poison) in poisons {
+        let values: Vec<f64> = (0..40)
+            .map(|i| if i % 7 == 0 { poison } else { f64::from(i) })
+            .collect();
+        let df = DataFrame::from_columns(vec![
+            ("x", Column::from_f64(values)),
+            ("clean", Column::from_f64((0..40).map(f64::from).collect())),
+            (
+                "y",
+                Column::from_categorical(
+                    &(0..40)
+                        .map(|i| if i < 20 { "a" } else { "b" })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+        .unwrap();
+        match run(&PipelineSpec::default_classification("y"), &df) {
+            Ok(report) => assert!(
+                report.test_score.is_finite() && report.train_score.is_finite(),
+                "{label}: non-finite score leaked into the report"
+            ),
+            Err(e) => assert!(!e.to_string().is_empty(), "{label}"),
+        }
+    }
 }
 
 // ---------------------------------------------------------- conversation ----
