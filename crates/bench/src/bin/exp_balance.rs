@@ -35,14 +35,14 @@ fn main() {
         for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let outcome = search(&task, &df, &config(BalanceSchedule::Fixed(lambda), 3))
                 .expect("search runs");
-            let last = outcome.history.last().expect("history");
+            let last = outcome.history().last().expect("history");
             row(&[
                 name.to_string(),
                 f3(lambda),
                 f3(last.best_value),
                 f3(last.mean_value),
                 last.archive_size.to_string(),
-                outcome.evaluations.to_string(),
+                outcome.evaluations().to_string(),
             ]);
         }
     }
@@ -64,7 +64,7 @@ fn main() {
             ),
         ] {
             let outcome = search(&task, &df, &config(balance, 3)).expect("search runs");
-            let last = outcome.history.last().expect("history");
+            let last = outcome.history().last().expect("history");
             row(&[
                 name.to_string(),
                 label.to_string(),

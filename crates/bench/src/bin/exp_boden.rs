@@ -36,7 +36,7 @@ fn main() {
         "mean_surprise",
         "archive",
     ]);
-    for h in &outcome.history {
+    for h in outcome.history() {
         row(&[
             h.generation.to_string(),
             f3(h.best_value),
@@ -46,12 +46,13 @@ fn main() {
             h.archive_size.to_string(),
         ]);
     }
+    let best = outcome.best().expect("search produced a champion");
     println!(
         "\nbest design: {} (origin {}, novelty {}, surprise {})",
-        outcome.best.spec.summary(),
-        outcome.best.origin,
-        f3(outcome.best.novelty.unwrap_or(0.0)),
-        f3(outcome.best.surprise.unwrap_or(0.0)),
+        best.spec.summary(),
+        best.origin,
+        f3(best.novelty.unwrap_or(0.0)),
+        f3(best.surprise.unwrap_or(0.0)),
     );
 
     println!("\n## ablation: novelty neighbourhood size k");
@@ -71,7 +72,7 @@ fn main() {
             },
         )
         .expect("search runs");
-        let last = outcome.history.last().expect("history");
+        let last = outcome.history().last().expect("history");
         row(&[
             k.to_string(),
             f3(last.best_value),

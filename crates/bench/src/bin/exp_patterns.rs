@@ -38,7 +38,7 @@ fn main() {
             );
             match outcome {
                 Ok(outcome) => {
-                    let last = outcome.history.last().expect("history");
+                    let last = outcome.history().last().expect("history");
                     row(&[
                         name.to_string(),
                         pattern.clone(),
@@ -57,7 +57,7 @@ fn main() {
         // The full mix as the reference point.
         let outcome =
             search(&task, &df, &config(Vec::new(), PatternSelection::Uniform)).expect("full mix");
-        let last = outcome.history.last().expect("history");
+        let last = outcome.history().last().expect("history");
         row(&[
             name.to_string(),
             "ALL".into(),
@@ -82,7 +82,7 @@ fn main() {
             .cloned()
             .collect();
         let outcome = search(&task, &df, &config(kept, PatternSelection::Uniform)).expect("search");
-        let last = outcome.history.last().expect("history");
+        let last = outcome.history().last().expect("history");
         row(&[
             name.to_string(),
             excluded.clone(),
@@ -102,12 +102,12 @@ fn main() {
             ("bandit", PatternSelection::Bandit),
         ] {
             let outcome = search(&task, &df, &config(Vec::new(), selection)).expect("search");
-            let last = outcome.history.last().expect("history");
+            let last = outcome.history().last().expect("history");
             row(&[
                 name.to_string(),
                 label.to_string(),
                 f3(last.best_value),
-                outcome.evaluations.to_string(),
+                outcome.evaluations().to_string(),
             ]);
         }
     }

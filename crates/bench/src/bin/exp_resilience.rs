@@ -14,7 +14,7 @@ use matilda_core::prelude::*;
 use matilda_creativity::search::{search, SearchConfig};
 use matilda_data::{Column, DataFrame};
 use matilda_pipeline::prelude::Task;
-use matilda_resilience::{fault, FaultKind, FaultPlan, RetryPolicy, StopReason, TestClock};
+use matilda_resilience::{fault, Clock, FaultKind, FaultPlan, RetryPolicy, StopReason, TestClock};
 use matilda_telemetry as telemetry;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -195,8 +195,8 @@ fn main() {
         };
         if let Ok(outcome) = search(&task, &frame(), &config) {
             searches_completed += 1;
-            failed_candidates += outcome.failed_candidates as u64;
-            degraded_generations += outcome.history.iter().filter(|h| h.degraded).count() as u64;
+            failed_candidates += outcome.failed_candidates() as u64;
+            degraded_generations += outcome.history().iter().filter(|h| h.degraded).count() as u64;
         }
     }
     println!("\n## chaos searches ({SEARCHES} runs, 30% eval faults, 20% generation faults)");
@@ -211,6 +211,127 @@ fn main() {
         degraded_generations.to_string(),
     ]);
 
+    // ---- latency governance: turn latency under injected delays vs SLO ----
+    //
+    // Sessions run with a per-turn deadline equal to the SLO. Injected
+    // delays stretch turns on the virtual clock; retries back off on the
+    // same clock and are cut short by the turn budget. Per-turn latency is
+    // the virtual-clock delta across each `step`, and the gate is the SLO:
+    // p95 turn latency must stay within `MATILDA_TURN_SLO_MS`.
+    let slo_ms: u64 = std::env::var("MATILDA_TURN_SLO_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250);
+    const SLO_SESSIONS: u64 = 15;
+    let mut turn_latencies_ms: Vec<f64> = Vec::new();
+    for trial in 0..SLO_SESSIONS {
+        let clock = Arc::new(TestClock::new());
+        let plan = FaultPlan::new(seed.wrapping_mul(100_000_037).wrapping_add(trial))
+            .inject(
+                "session.step",
+                FaultKind::Delay(std::time::Duration::from_millis(15)),
+                0.4,
+            )
+            .inject(
+                "pipeline.task.train",
+                FaultKind::Delay(std::time::Duration::from_millis(25)),
+                0.5,
+            )
+            .inject("pipeline.task.fragment", FaultKind::Error, 0.3);
+        let _scope = fault::activate_with_clock(plan, clock.clone());
+        let mut s = DesignSession::new(
+            "slo-bench",
+            "can x predict label?",
+            frame(),
+            UserProfile::novice("Ada", "urbanism"),
+            PlatformConfig {
+                turn_deadline: Some(std::time::Duration::from_millis(slo_ms)),
+                ..PlatformConfig::quick()
+            },
+        );
+        let mut timed = |s: &mut DesignSession, text: &str| {
+            let before = clock.now();
+            let out = s.step(text).expect("session survives");
+            turn_latencies_ms.push((clock.now() - before).as_secs_f64() * 1e3);
+            out
+        };
+        timed(&mut s, "predict 'label'");
+        let mut guard = 0;
+        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 60 {
+            timed(&mut s, "no");
+            guard += 1;
+        }
+        timed(&mut s, "run it");
+        timed(&mut s, "done");
+    }
+    turn_latencies_ms.sort_by(f64::total_cmp);
+    let turn_p95 = pct(&turn_latencies_ms, 0.95);
+    let slo_met = turn_p95 <= slo_ms as f64;
+    println!("\n## turn latency under injected delays ({SLO_SESSIONS} sessions, SLO {slo_ms} ms)");
+    header(&["n_turns", "p50_ms", "p95_ms", "p99_ms", "max_ms", "slo_met"]);
+    row(&[
+        turn_latencies_ms.len().to_string(),
+        f3(pct(&turn_latencies_ms, 0.50)),
+        f3(turn_p95),
+        f3(pct(&turn_latencies_ms, 0.99)),
+        f3(turn_latencies_ms.last().copied().unwrap_or(0.0)),
+        slo_met.to_string(),
+    ]);
+
+    // ---- deadline preemption: the search stops mid-generation on budget ----
+    //
+    // Every candidate evaluation is delayed, so a small budget is spent
+    // mid-generation; the search must preempt and still return its best
+    // partial result rather than erroring out.
+    const PREEMPT_SEARCHES: u64 = 6;
+    let mut preempted = 0u64;
+    let mut preempted_with_best = 0u64;
+    let mut preempted_generations = 0u64;
+    for trial in 0..PREEMPT_SEARCHES {
+        let clock = Arc::new(TestClock::new());
+        let plan = FaultPlan::new(seed.wrapping_mul(1_000_000_007).wrapping_add(trial)).inject(
+            "search.eval_candidate",
+            FaultKind::Delay(std::time::Duration::from_millis(40)),
+            1.0,
+        );
+        let _scope = fault::activate_with_clock(plan, clock.clone());
+        let task = Task::Classification {
+            target: "label".into(),
+        };
+        let config = SearchConfig {
+            population_size: 6,
+            generations: 8,
+            seed: seed.wrapping_add(trial),
+            budget: Some(matilda_resilience::DeadlineBudget::start(
+                clock.as_ref(),
+                std::time::Duration::from_millis(250),
+            )),
+            ..SearchConfig::default()
+        };
+        if let Ok(outcome) = search(&task, &frame(), &config) {
+            if outcome.preempted() {
+                preempted += 1;
+                if outcome.best().is_some() {
+                    preempted_with_best += 1;
+                }
+                preempted_generations += outcome.generations_completed() as u64;
+            }
+        }
+    }
+    println!(
+        "\n## deadline preemption ({PREEMPT_SEARCHES} searches, every eval delayed, 250 ms budget)"
+    );
+    header(&["measure", "count"]);
+    row(&["searches preempted".into(), preempted.to_string()]);
+    row(&[
+        "preempted with a usable best".into(),
+        preempted_with_best.to_string(),
+    ]);
+    row(&[
+        "generations completed before preemption".into(),
+        preempted_generations.to_string(),
+    ]);
+
     // ---- export ----
     let run_telemetry = telemetry::RunTelemetry::capture_global("resilience");
     let metrics = &run_telemetry.metrics;
@@ -218,7 +339,11 @@ fn main() {
     let mut counter_keys: Vec<&String> = metrics
         .metrics
         .keys()
-        .filter(|k| k.starts_with("resilience.") && *k != "resilience.recovery_seconds")
+        .filter(|k| {
+            k.starts_with("resilience.")
+                && *k != "resilience.recovery_seconds"
+                && *k != "resilience.turn_latency_seconds"
+        })
         .collect();
     counter_keys.sort();
 
@@ -252,6 +377,21 @@ fn main() {
     let _ = writeln!(
         doc,
         "  \"search\": {{\"runs\":{SEARCHES},\"completed\":{searches_completed},\"failed_candidates\":{failed_candidates},\"degraded_generations\":{degraded_generations}}},"
+    );
+    let _ = writeln!(doc, "  \"slo_ms\": {slo_ms},");
+    let _ = writeln!(
+        doc,
+        "  \"turn_latency_ms\": {{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},",
+        turn_latencies_ms.len(),
+        pct(&turn_latencies_ms, 0.50),
+        turn_p95,
+        pct(&turn_latencies_ms, 0.99),
+        turn_latencies_ms.last().copied().unwrap_or(0.0)
+    );
+    let _ = writeln!(doc, "  \"slo_met\": {slo_met},");
+    let _ = writeln!(
+        doc,
+        "  \"deadline_preemption\": {{\"searches\":{PREEMPT_SEARCHES},\"preempted\":{preempted},\"with_best\":{preempted_with_best},\"generations_completed\":{preempted_generations}}},"
     );
     if let Some(h) = &recovery_hist {
         let _ = writeln!(

@@ -90,8 +90,8 @@ fn main() {
         row(&[
             population.to_string(),
             start.elapsed().as_millis().to_string(),
-            outcome.evaluations.to_string(),
-            f3(outcome.best.value.unwrap_or(f64::NAN)),
+            outcome.evaluations().to_string(),
+            f3(outcome.best().and_then(|b| b.value).unwrap_or(f64::NAN)),
         ]);
     }
     println!(

@@ -84,8 +84,8 @@ fn main() {
     println!("## creative search over the urban design space");
     println!(
         "best design value {:.3} after {} evaluations\n",
-        outcome.best.value.unwrap_or(f64::NAN),
-        outcome.evaluations
+        outcome.best().and_then(|b| b.value).unwrap_or(f64::NAN),
+        outcome.evaluations()
     );
 
     // A short autonomous design session so provenance events are recorded

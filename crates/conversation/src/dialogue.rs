@@ -634,6 +634,7 @@ mod tests {
             }),
             text: "add squared features".into(),
             creative: true,
+            pattern: Some("mutant_shopping".into()),
         };
         d.inject_suggestion(creative).unwrap();
         assert!(d.pending_suggestion().unwrap().creative);
@@ -712,6 +713,7 @@ mod tests {
             action: crate::suggest::SuggestedAction::AddPrep(PrepOp::DropNulls),
             text: "t".into(),
             creative: true,
+            pattern: None,
         };
         assert!(d.inject_suggestion(s).is_err(), "no goal yet");
     }

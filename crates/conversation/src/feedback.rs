@@ -65,6 +65,7 @@ mod tests {
             action,
             text: String::new(),
             creative: false,
+            pattern: None,
         }
     }
 

@@ -44,11 +44,11 @@ pub mod prelude {
     pub use crate::feedback::apply_to_draft;
     pub use crate::intent::{parse, Intent};
     pub use crate::profile::{Expertise, UserProfile};
-    pub use crate::suggest::{suggestions_for, SuggestedAction, Suggestion};
+    pub use crate::suggest::{partition_quarantined, suggestions_for, SuggestedAction, Suggestion};
     pub use crate::transcript::{Speaker, Transcript, Turn};
 }
 
 pub use dialogue::{Dialogue, DialogueEvent, DialogueResponse, DialogueState};
 pub use error::{ConversationError, Result};
 pub use profile::{Expertise, UserProfile};
-pub use suggest::{SuggestedAction, Suggestion};
+pub use suggest::{partition_quarantined, SuggestedAction, Suggestion};

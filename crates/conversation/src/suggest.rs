@@ -34,6 +34,25 @@ pub struct Suggestion {
     /// Whether it came from known territory (registry) or the creativity
     /// engine (set by the platform when it injects creative suggestions).
     pub creative: bool,
+    /// The creativity pattern that produced it (`None` for registry
+    /// suggestions). Drives provenance attribution and lets the session
+    /// quarantine suggestions from chronically failing patterns.
+    pub pattern: Option<String>,
+}
+
+/// Split `suggestions` into `(available, quarantined)` by asking
+/// `is_quarantined` about each suggestion's creativity pattern.
+///
+/// Registry suggestions (no pattern) are always available. The predicate
+/// keeps this crate free of any dependency on the resilience layer: the
+/// session passes a closure consulting its breaker registry.
+pub fn partition_quarantined(
+    suggestions: Vec<Suggestion>,
+    mut is_quarantined: impl FnMut(&str) -> bool,
+) -> (Vec<Suggestion>, Vec<Suggestion>) {
+    suggestions
+        .into_iter()
+        .partition(|s| !s.pattern.as_deref().is_some_and(&mut is_quarantined))
 }
 
 /// Phrase an action for a given user.
@@ -109,6 +128,7 @@ pub fn suggestions_for(
                     format!("Let me take a first look at your {} data", user.domain)
                 },
                 creative: false,
+                pattern: None,
             });
             // This placeholder action is replaced by the platform; explore
             // suggestions exist so the human can steer pace.
@@ -137,6 +157,7 @@ pub fn suggestions_for(
                     text: phrase(&action, entry.rationale, user),
                     action,
                     creative: false,
+                    pattern: None,
                 });
             }
             // Guarantee at least an imputation option exists.
@@ -148,6 +169,7 @@ pub fn suggestions_for(
                     text: phrase(&action, "fill gaps so nothing is silently dropped", user),
                     action,
                     creative: false,
+                    pattern: None,
                 });
             }
         }
@@ -177,6 +199,7 @@ pub fn suggestions_for(
                     text: phrase(&action, "", user),
                     action,
                     creative: false,
+                    pattern: None,
                 });
             }
         }
@@ -196,6 +219,7 @@ pub fn suggestions_for(
                     text: phrase(&action, entry.rationale, user),
                     action,
                     creative: false,
+                    pattern: None,
                 });
             }
         }
@@ -211,6 +235,7 @@ pub fn suggestions_for(
                     text: phrase(&action, "", user),
                     action,
                     creative: false,
+                    pattern: None,
                 });
             }
         }
@@ -333,6 +358,47 @@ mod tests {
         }
         let unique: std::collections::HashSet<&str> = all.iter().map(|s| s.id.as_str()).collect();
         assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn quarantine_partition_skips_only_flagged_patterns() {
+        let mk = |id: &str, pattern: Option<&str>| Suggestion {
+            id: id.into(),
+            phase: Phase::Train,
+            action: SuggestedAction::SetModel(ModelSpec::Knn { k: 3 }),
+            text: String::new(),
+            creative: pattern.is_some(),
+            pattern: pattern.map(String::from),
+        };
+        let (kept, skipped) = partition_quarantined(
+            vec![
+                mk("registry", None),
+                mk("healthy", Some("no_blank_canvas")),
+                mk("sick", Some("mutant_shopping")),
+            ],
+            |p| p == "mutant_shopping",
+        );
+        assert_eq!(
+            kept.iter().map(|s| s.id.as_str()).collect::<Vec<_>>(),
+            vec!["registry", "healthy"]
+        );
+        assert_eq!(
+            skipped.iter().map(|s| s.id.as_str()).collect::<Vec<_>>(),
+            vec!["sick"]
+        );
+    }
+
+    #[test]
+    fn registry_suggestions_never_quarantined() {
+        let user = UserProfile::data_scientist("e");
+        let mut ids = id_counter();
+        let all = suggestions_for(Phase::Train, &data_profile(), &user, &mut ids);
+        let n = all.len();
+        // Even a predicate quarantining everything leaves pattern-less
+        // registry suggestions untouched.
+        let (kept, skipped) = partition_quarantined(all, |_| true);
+        assert_eq!(kept.len(), n);
+        assert!(skipped.is_empty());
     }
 
     #[test]

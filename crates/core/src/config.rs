@@ -31,6 +31,11 @@ pub struct PlatformConfig {
     /// Optional per-session deadline budget; retries stop (and the session
     /// degrades into conversation) once the allowance is spent.
     pub deadline: Option<Duration>,
+    /// Optional per-turn latency allowance (the conversational SLO). Each
+    /// turn starts a fresh budget that bounds retries and creative work
+    /// inside that turn; the tighter of this and the remaining session
+    /// `deadline` wins.
+    pub turn_deadline: Option<Duration>,
     /// Consecutive execution failures before the circuit breaker
     /// quarantines the study runner.
     pub breaker_threshold: u32,
@@ -51,6 +56,7 @@ impl Default for PlatformConfig {
             max_rounds: 60,
             retry: RetryPolicy::default(),
             deadline: None,
+            turn_deadline: None,
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(30),
         }
@@ -82,6 +88,8 @@ impl PlatformConfig {
             patterns: self.patterns.clone(),
             selection: self.selection,
             seeds: Vec::new(),
+            budget: None,
+            breakers: None,
         }
     }
 }

@@ -126,6 +126,7 @@ mod tests {
             action: SuggestedAction::AddPrep(PrepOp::DropNulls),
             text: "t".into(),
             creative,
+            pattern: creative.then(|| "mutant_shopping".to_string()),
         }
     }
 

@@ -147,17 +147,32 @@ impl Matilda {
             dataset: format!("{} rows x {} cols", frame.n_rows(), frame.n_cols()),
             research_question: format!("optimize {:?}", task),
         });
-        let config = self.config.search_config(0.6);
+        let mut config = self.config.search_config(0.6);
+        // A configured session deadline bounds the creative search too: the
+        // search preempts mid-generation once the allowance is spent and
+        // returns its best partial result.
+        if let Some(limit) = self.config.deadline {
+            let clock = matilda_resilience::fault::clock();
+            config.budget = Some(matilda_resilience::DeadlineBudget::start(
+                clock.as_ref(),
+                limit,
+            ));
+        }
         let outcome = search(task, frame, &config)?;
-        let fp = outcome.best.fingerprint;
+        let best = outcome.best().cloned().ok_or_else(|| {
+            PlatformError::Session(
+                "the search deadline expired before any candidate was evaluated".into(),
+            )
+        })?;
+        let fp = best.fingerprint;
         recorder.record(EventKind::PipelineProposed {
             fingerprint: fp,
-            canonical: matilda_pipeline::codec::encode(&outcome.best.spec),
+            canonical: matilda_pipeline::codec::encode(&best.spec),
             by: Actor::Creativity,
         });
-        let spec = outcome.best.spec.clone();
-        let novelty = outcome.best.novelty.unwrap_or(0.0);
-        let surprise = outcome.best.surprise.unwrap_or(0.0);
+        let spec = best.spec.clone();
+        let novelty = best.novelty.unwrap_or(0.0);
+        let surprise = best.surprise.unwrap_or(0.0);
         let report = run(&spec, frame)?;
         recorder.record(EventKind::PipelineExecuted {
             fingerprint: fp,
@@ -177,7 +192,7 @@ impl Matilda {
             assessment,
             cocreativity,
             events,
-            evaluations: outcome.evaluations,
+            evaluations: outcome.evaluations(),
             rounds: 0,
         })
     }
@@ -218,29 +233,42 @@ impl Matilda {
             .config
             .search_config(persona.profile.exploration_weight());
         search_config.seeds = vec![seed_design.spec.clone()];
+        // The refinement shares the session's breaker registry: a pattern
+        // quarantined during conversation stays quarantined in the search.
+        search_config.breakers = Some(session.breaker_registry());
+        if let Some(limit) = self.config.deadline {
+            let clock = matilda_resilience::fault::clock();
+            search_config.budget = Some(matilda_resilience::DeadlineBudget::start(
+                clock.as_ref(),
+                limit,
+            ));
+        }
         let outcome = search(&seed_design.spec.task, frame, &search_config)?;
+        // A deadline-preempted refinement with nothing evaluated falls back
+        // to the conversational seed — the known territory is never lost.
+        let champion = outcome.best().cloned();
         // The champion is kept only when it genuinely beats the seed on the
         // cheap value signal; record its promotion into provenance.
-        let (final_spec, final_novelty, final_surprise) =
-            if outcome.best.fingerprint != seed_design.fingerprint {
+        let (final_spec, final_novelty, final_surprise) = match champion {
+            Some(best) if best.fingerprint != seed_design.fingerprint => {
                 recorder.record(EventKind::PipelineProposed {
-                    fingerprint: outcome.best.fingerprint,
-                    canonical: matilda_pipeline::codec::encode(&outcome.best.spec),
+                    fingerprint: best.fingerprint,
+                    canonical: matilda_pipeline::codec::encode(&best.spec),
                     by: Actor::Creativity,
                 });
                 recorder.record(EventKind::PipelineExecuted {
-                    fingerprint: outcome.best.fingerprint,
-                    score: outcome.best.value.unwrap_or(f64::NEG_INFINITY),
-                    scoring: outcome.best.spec.scoring.name().to_string(),
+                    fingerprint: best.fingerprint,
+                    score: best.value.unwrap_or(f64::NEG_INFINITY),
+                    scoring: best.spec.scoring.name().to_string(),
                 });
                 (
-                    outcome.best.spec.clone(),
-                    outcome.best.novelty.unwrap_or(0.0),
-                    outcome.best.surprise.unwrap_or(0.0),
+                    best.spec.clone(),
+                    best.novelty.unwrap_or(0.0),
+                    best.surprise.unwrap_or(0.0),
                 )
-            } else {
-                (seed_design.spec.clone(), 0.0, 0.0)
-            };
+            }
+            _ => (seed_design.spec.clone(), 0.0, 0.0),
+        };
         recorder.record(EventKind::SessionClosed {
             final_fingerprint: Some(matilda_pipeline::fingerprint::fingerprint(&final_spec)),
         });
@@ -249,7 +277,7 @@ impl Matilda {
             final_spec,
             frame,
             recorder.snapshot(),
-            outcome.evaluations,
+            outcome.evaluations(),
             summary.rounds,
             final_novelty,
             final_surprise,

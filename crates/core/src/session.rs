@@ -83,6 +83,7 @@ fn repair_suggestion(violations: &[matilda_pipeline::validate::Violation]) -> Op
             action,
             text,
             creative: false,
+            pattern: None,
         });
     }
     None
@@ -108,9 +109,14 @@ pub struct DesignSession {
     /// inherits its virtual clock and never sleeps for real.
     clock: std::sync::Arc<dyn resilience::Clock>,
     /// Per-site circuit breakers quarantining repeatedly-failing sites.
-    breakers: resilience::BreakerRegistry,
+    /// Shared (`Arc`) so the creative search can consult the same registry
+    /// that quarantines conversational patterns.
+    breakers: std::sync::Arc<resilience::BreakerRegistry>,
     /// The session's deadline allowance, when configured.
     budget: Option<resilience::DeadlineBudget>,
+    /// The current turn's latency allowance; reset at the top of each
+    /// `step` when `config.turn_deadline` is set.
+    turn_budget: Option<resilience::DeadlineBudget>,
 }
 
 impl DesignSession {
@@ -149,8 +155,10 @@ impl DesignSession {
         let budget = config
             .deadline
             .map(|limit| resilience::DeadlineBudget::start(clock.as_ref(), limit));
-        let breakers =
-            resilience::BreakerRegistry::new(config.breaker_threshold, config.breaker_cooldown);
+        let breakers = std::sync::Arc::new(resilience::BreakerRegistry::new(
+            config.breaker_threshold,
+            config.breaker_cooldown,
+        ));
         Self {
             frame,
             config,
@@ -166,6 +174,7 @@ impl DesignSession {
             clock,
             breakers,
             budget,
+            turn_budget: None,
         }
     }
 
@@ -230,7 +239,7 @@ impl DesignSession {
         // different model family is a pipeline-level responsibility that
         // must be earned; preparation steps are apprentice work.
         let may_swap_model = self.apprentice.role().may_propose_pipelines();
-        let (action, text) = if may_swap_model && self.rng.gen_bool(0.5) {
+        let (action, text, pattern) = if may_swap_model && self.rng.gen_bool(0.5) {
             let mut model = grammar::random_model(draft.task.is_classification(), &mut self.rng);
             for _ in 0..8 {
                 if model.name() != draft.model.name() {
@@ -242,11 +251,11 @@ impl DesignSession {
                 "Here is a less ordinary idea: switch the method to `{}`.",
                 model.name()
             );
-            (SuggestedAction::SetModel(model), text)
+            (SuggestedAction::SetModel(model), text, "mutant_shopping")
         } else {
             let op = grammar::random_prep_op(&profile, &mut self.rng);
             let text = format!("Here is a less ordinary idea: {}.", op.describe());
-            (SuggestedAction::AddPrep(op), text)
+            (SuggestedAction::AddPrep(op), text, "no_blank_canvas")
         };
         Some(Suggestion {
             id: String::new(), // assigned at injection
@@ -254,7 +263,79 @@ impl DesignSession {
             action,
             text,
             creative: true,
+            pattern: Some(pattern.to_string()),
         })
+    }
+
+    /// Put a creative suggestion through the resilience gauntlet before it
+    /// reaches the user: a quarantined pattern is skipped entirely
+    /// (returns `None`), an injected fault or isolated panic trips the
+    /// pattern's breaker and degrades into narration, and a healthy
+    /// suggestion is injected into the dialogue.
+    fn vet_creative_suggestion(&mut self, suggestion: Suggestion) -> Option<String> {
+        let (kept, skipped) = partition_quarantined(vec![suggestion], |pattern| {
+            let site = format!("creativity.pattern.{pattern}");
+            !self.breakers.get(&site).try_acquire(self.clock.as_ref())
+        });
+        for s in &skipped {
+            let site = format!(
+                "creativity.pattern.{}",
+                s.pattern.as_deref().unwrap_or("unknown")
+            );
+            telemetry::metrics::global().inc(telemetry::metrics::names::PATTERNS_QUARANTINED);
+            telemetry::log::warn("core.session", "creative pattern quarantined")
+                .field("site", site.as_str())
+                .emit();
+            self.recorder.record(EventKind::FailureObserved {
+                site,
+                error: "pattern quarantined after repeated failures".into(),
+                action: "quarantined".into(),
+            });
+        }
+        let suggestion = kept.into_iter().next()?;
+        let site = format!(
+            "creativity.pattern.{}",
+            suggestion.pattern.as_deref().unwrap_or("unknown")
+        );
+        let breaker = self.breakers.get(&site);
+        // Chaos faultpoint per creative pattern: repeated injected failures
+        // (or panics) trip the pattern's breaker, feeding the quarantine.
+        let outcome = resilience::panic_guard::isolate(&site, || {
+            resilience::fault::faultpoint(&site).map_err(|f| f.to_string())
+        });
+        match outcome {
+            Ok(Ok(())) => {
+                breaker.on_success();
+                let text = suggestion.text.clone();
+                if self.dialogue.inject_suggestion(suggestion).is_ok() {
+                    self.creative_injected += 1;
+                    Some(format!("{text} Shall we? (yes/no)"))
+                } else {
+                    Some(text)
+                }
+            }
+            Ok(Err(reason))
+            | Err(resilience::CaughtPanic {
+                message: reason, ..
+            }) => {
+                breaker.on_failure(self.clock.as_ref());
+                telemetry::metrics::global().inc(telemetry::metrics::names::PATTERN_FAILURES);
+                telemetry::log::warn("core.session", "creative pattern failed")
+                    .field("site", site.as_str())
+                    .field("reason", reason.as_str())
+                    .emit();
+                self.recorder.record(EventKind::FailureObserved {
+                    site,
+                    error: reason,
+                    action: "degraded".into(),
+                });
+                Some(
+                    "My creative idea fell apart while I was putting it together — \
+                     let's continue with the solid options for now."
+                        .to_string(),
+                )
+            }
+        }
     }
 
     /// Compute and narrate feature importance for the latest executed
@@ -308,6 +389,13 @@ impl DesignSession {
         self.breakers.states(self.clock.as_ref())
     }
 
+    /// A shared handle to the session's breaker registry, so embedding code
+    /// (e.g. the platform's hybrid search) can consult the same per-pattern
+    /// quarantine state the conversational loop maintains.
+    pub fn breaker_registry(&self) -> std::sync::Arc<resilience::BreakerRegistry> {
+        std::sync::Arc::clone(&self.breakers)
+    }
+
     /// The session's deadline budget, when one was configured.
     pub fn budget(&self) -> Option<&resilience::DeadlineBudget> {
         self.budget.as_ref()
@@ -339,11 +427,24 @@ impl DesignSession {
             ));
         }
         // Transient failures (including injected chaos) are retried with
-        // backoff on the session clock, within the deadline budget.
+        // backoff on the session clock, within the deadline budget. When
+        // both a per-turn and a session-wide budget are live, the tighter
+        // one (less time remaining) governs the retries.
         let mut last_error: Option<String> = None;
+        let effective_budget = match (&self.turn_budget, &self.budget) {
+            (Some(turn), Some(session)) => {
+                if turn.remaining(self.clock.as_ref()) <= session.remaining(self.clock.as_ref()) {
+                    Some(turn)
+                } else {
+                    Some(session)
+                }
+            }
+            (Some(turn), None) => Some(turn),
+            (None, session) => session.as_ref(),
+        };
         let (result, stats) = self.config.retry.run(
             self.clock.as_ref(),
-            self.budget.as_ref(),
+            effective_budget,
             "pipeline.run",
             |_attempt| {
                 run(&spec, &self.frame).inspect_err(|e| {
@@ -404,6 +505,80 @@ impl DesignSession {
         if self.closed {
             telemetry::log::warn("core.session", "step on closed session").emit();
             return Err(PlatformError::Session("session already closed".into()));
+        }
+        // Each turn gets a fresh latency allowance when the conversational
+        // SLO is configured. Both the allowance and the measurement run on
+        // the session clock, so chaos tests govern latency on virtual time.
+        let turn_started = self.clock.now();
+        self.turn_budget = self
+            .config
+            .turn_deadline
+            .map(|limit| resilience::DeadlineBudget::start(self.clock.as_ref(), limit));
+        let result = self.step_inner(user_text, &mut turn_span);
+        // Injected delays observed during the turn become auditable
+        // provenance: the log shows *where* the latency was added, and the
+        // SLO gate can correlate slow turns with their cause.
+        if let Some(scope) = resilience::fault::handle() {
+            for (site, delay) in scope.drain_delays() {
+                self.recorder.record(EventKind::FailureObserved {
+                    site,
+                    error: format!("injected delay of {delay:?}"),
+                    action: "delayed".into(),
+                });
+            }
+        }
+        let latency = self.clock.now().saturating_sub(turn_started);
+        telemetry::metrics::global()
+            .observe_duration(telemetry::metrics::names::TURN_LATENCY_SECONDS, latency);
+        turn_span.field("latency_virtual_s", latency.as_secs_f64());
+        result
+    }
+
+    /// The body of one turn; `step` wraps this with per-turn budgeting and
+    /// latency accounting.
+    fn step_inner(
+        &mut self,
+        user_text: &str,
+        turn_span: &mut telemetry::SpanGuard,
+    ) -> Result<StepOutcome> {
+        // A session whose deadline allowance is already spent closes
+        // gracefully instead of starting work it cannot finish: the user
+        // gets a wrap-up (and the best result so far), not a timeout.
+        if self
+            .budget
+            .as_ref()
+            .is_some_and(|b| b.expired(self.clock.as_ref()))
+        {
+            telemetry::metrics::global().inc(telemetry::metrics::names::TURNS_BUDGET_EXHAUSTED);
+            telemetry::log::warn("core.session", "session budget exhausted; closing")
+                .field("executions", self.executed.len())
+                .emit();
+            self.recorder.record(EventKind::FailureObserved {
+                site: "session.turn".into(),
+                error: "session deadline budget exhausted".into(),
+                action: "deadline_expired".into(),
+            });
+            self.recorder.record(EventKind::SessionClosed {
+                final_fingerprint: self.best().map(|d| d.fingerprint),
+            });
+            self.closed = true;
+            let reply = match self.best() {
+                Some(best) => format!(
+                    "We are out of time for this session, so let's stop here. The \
+                     best design we found scored {:.3} — everything is saved and \
+                     we can pick up from it next time.",
+                    best.report.test_score
+                ),
+                None => "We are out of time for this session, so let's stop here. \
+                         We did not get to run a study yet, but the design notes \
+                         are saved and we can continue next time."
+                    .to_string(),
+            };
+            return Ok(StepOutcome {
+                reply,
+                executed: None,
+                closed: true,
+            });
         }
         // Chaos faultpoint for the turn as a whole: an injected fault (or
         // isolated panic) degrades into an apologetic reply instead of an
@@ -488,7 +663,7 @@ impl DesignSession {
                             Actor::Conversation
                         },
                         content: suggestion.text.clone(),
-                        pattern: suggestion.creative.then(|| "mutant_shopping".to_string()),
+                        pattern: suggestion.pattern.clone(),
                     });
                     self.recorder.record(EventKind::SuggestionDecided {
                         suggestion_id: suggestion.id,
@@ -498,10 +673,17 @@ impl DesignSession {
                 }
                 DialogueEvent::SurpriseRequested => {
                     if let Some(suggestion) = self.creative_suggestion() {
-                        let text = suggestion.text.clone();
-                        self.dialogue.inject_suggestion(suggestion)?;
-                        self.creative_injected += 1;
-                        reply = format!("{reply}\n{text} Shall we? (yes/no)");
+                        match self.vet_creative_suggestion(suggestion) {
+                            Some(text) => reply = format!("{reply}\n{text}"),
+                            None => {
+                                reply = format!(
+                                    "{reply}\nMy creative side needs a short break — \
+                                     the last few ideas from that direction kept \
+                                     failing, so I'm letting it cool down. Ask me \
+                                     again in a moment."
+                                );
+                            }
+                        }
                     } else {
                         reply = format!("{reply}\n(I need a goal before I can improvise.)");
                     }

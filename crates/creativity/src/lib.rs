@@ -30,7 +30,7 @@
 //! let task = Task::Classification { target: "y".into() };
 //! let config = SearchConfig { population_size: 6, generations: 2, ..SearchConfig::default() };
 //! let outcome = search(&task, &df, &config).unwrap();
-//! assert!(outcome.best.value.unwrap() > 0.7);
+//! assert!(outcome.best().unwrap().value.unwrap() > 0.7);
 //! ```
 
 pub mod apprentice;
@@ -54,7 +54,7 @@ pub mod prelude {
     pub use crate::error::{CreativityError, Result};
     pub use crate::genome::Candidate;
     pub use crate::patterns::{all_patterns, pattern_by_name, CreativityPattern, PatternContext};
-    pub use crate::search::{search, PatternSelection, SearchConfig, SearchOutcome};
+    pub use crate::search::{search, PatternSelection, SearchConfig, SearchOutcome, SearchReport};
     pub use crate::surprise::SurpriseTracker;
     pub use crate::value::Evaluator;
 }
@@ -64,4 +64,4 @@ pub use archive::Archive;
 pub use balance::BalanceSchedule;
 pub use error::{CreativityError, Result};
 pub use genome::Candidate;
-pub use search::{search, SearchConfig, SearchOutcome};
+pub use search::{search, SearchConfig, SearchOutcome, SearchReport};

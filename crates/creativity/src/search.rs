@@ -14,8 +14,10 @@ use matilda_pipeline::registry::DataProfile;
 use matilda_pipeline::Task;
 use matilda_resilience as resilience;
 use matilda_telemetry as telemetry;
+use matilda_telemetry::metrics::names;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// How patterns are chosen each generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +51,17 @@ pub struct SearchConfig {
     /// Designs seeding the initial population (e.g. the outcome of a
     /// conversational session); evaluated before generation 0.
     pub seeds: Vec<matilda_pipeline::PipelineSpec>,
+    /// Optional deadline allowance, measured on the active resilience
+    /// clock. Checked between candidate evaluations and at generation
+    /// boundaries: an expiring budget preempts the search *mid-generation*
+    /// and returns [`SearchOutcome::DeadlineExpired`] with whatever was
+    /// evaluated so far.
+    pub budget: Option<resilience::DeadlineBudget>,
+    /// Optional shared breaker registry. Each pattern invocation runs
+    /// behind a per-site breaker (`creativity.pattern.<name>`), so a
+    /// chronically failing pattern is quarantined — skipped outright until
+    /// its cooldown — instead of degrading every generation.
+    pub breakers: Option<Arc<resilience::BreakerRegistry>>,
 }
 
 impl Default for SearchConfig {
@@ -66,6 +79,8 @@ impl Default for SearchConfig {
             patterns: Vec::new(),
             selection: PatternSelection::Uniform,
             seeds: Vec::new(),
+            budget: None,
+            breakers: None,
         }
     }
 }
@@ -96,14 +111,16 @@ pub struct GenerationStats {
     pub degraded: bool,
 }
 
-/// The result of a creative search.
+/// Everything a search produces besides its verdict: the surviving
+/// population and the bookkeeping shared by both ways a search can end.
 #[derive(Debug, Clone)]
-pub struct SearchOutcome {
-    /// Best candidate by value.
-    pub best: Candidate,
-    /// Final population, sorted by blended score descending.
+pub struct SearchReport {
+    /// Final population of evaluated candidates; sorted by blended score
+    /// descending when the search completed, by raw value descending when
+    /// it was preempted.
     pub population: Vec<Candidate>,
-    /// Per-generation statistics, oldest first.
+    /// Per-generation statistics, oldest first; only fully completed
+    /// generations appear.
     pub history: Vec<GenerationStats>,
     /// Number of genuine (uncached) pipeline evaluations spent.
     pub evaluations: usize,
@@ -112,7 +129,96 @@ pub struct SearchOutcome {
     pub failed_candidates: usize,
 }
 
-fn evaluate_batch(evaluator: &Evaluator, batch: &mut [Candidate]) {
+/// How a creative search ended.
+///
+/// Both variants carry a full [`SearchReport`]; the accessors below let
+/// callers that only want "the best design and the bookkeeping" ignore the
+/// distinction.
+#[derive(Debug, Clone)]
+pub enum SearchOutcome {
+    /// Every configured generation ran to the end.
+    Completed {
+        /// Best candidate by raw value.
+        best: Candidate,
+        /// The search's bookkeeping.
+        report: SearchReport,
+    },
+    /// The [`SearchConfig::budget`] expired mid-search: the loop was
+    /// preempted between candidate evaluations and returns whatever it had,
+    /// instead of running on past its deadline.
+    DeadlineExpired {
+        /// Best evaluated candidate at preemption time; `None` when the
+        /// budget expired before anything finished evaluating.
+        best_so_far: Option<Candidate>,
+        /// Fully completed generations (the seeding pass counts as one).
+        generations_completed: usize,
+        /// The partial bookkeeping.
+        report: SearchReport,
+    },
+}
+
+impl SearchOutcome {
+    /// The best candidate found, if any candidate was evaluated at all.
+    pub fn best(&self) -> Option<&Candidate> {
+        match self {
+            SearchOutcome::Completed { best, .. } => Some(best),
+            SearchOutcome::DeadlineExpired { best_so_far, .. } => best_so_far.as_ref(),
+        }
+    }
+
+    /// The bookkeeping common to both endings.
+    pub fn report(&self) -> &SearchReport {
+        match self {
+            SearchOutcome::Completed { report, .. }
+            | SearchOutcome::DeadlineExpired { report, .. } => report,
+        }
+    }
+
+    /// Final population (see [`SearchReport::population`]).
+    pub fn population(&self) -> &[Candidate] {
+        &self.report().population
+    }
+
+    /// Per-generation statistics, oldest first.
+    pub fn history(&self) -> &[GenerationStats] {
+        &self.report().history
+    }
+
+    /// Number of genuine (uncached) pipeline evaluations spent.
+    pub fn evaluations(&self) -> usize {
+        self.report().evaluations
+    }
+
+    /// Evaluations that failed abnormally and were scored out.
+    pub fn failed_candidates(&self) -> usize {
+        self.report().failed_candidates
+    }
+
+    /// `true` when the search was preempted by its deadline budget.
+    pub fn preempted(&self) -> bool {
+        matches!(self, SearchOutcome::DeadlineExpired { .. })
+    }
+
+    /// Fully completed generations, however the search ended.
+    pub fn generations_completed(&self) -> usize {
+        match self {
+            SearchOutcome::Completed { report, .. } => report.history.len(),
+            SearchOutcome::DeadlineExpired {
+                generations_completed,
+                ..
+            } => *generations_completed,
+        }
+    }
+}
+
+// The deadline handed through `evaluate_batch` into its workers: the
+// budget plus the clock it is measured on.
+type Deadline<'a> = Option<(
+    &'a resilience::DeadlineBudget,
+    &'a Arc<dyn resilience::Clock>,
+)>;
+
+fn evaluate_batch(evaluator: &Evaluator, batch: &mut [Candidate], deadline: Deadline<'_>) {
     let workers = std::thread::available_parallelism().map_or(2, |p| p.get());
     let chunk = batch.len().div_ceil(workers.max(1)).max(1);
     // Carry any active chaos scope into the workers, so injected faults
@@ -124,6 +230,15 @@ fn evaluate_batch(evaluator: &Evaluator, batch: &mut [Candidate]) {
             scope.spawn(move |_| {
                 let _chaos = resilience::fault::adopt(chaos);
                 for candidate in slice {
+                    // The preemption point between candidate evaluations:
+                    // once the budget is spent, the rest of the slice is
+                    // skipped and stays unevaluated (`value: None`).
+                    if let Some((budget, clock)) = deadline {
+                        if budget.expired(clock.as_ref()) {
+                            telemetry::metrics::global().inc(names::EVALS_SKIPPED_DEADLINE);
+                            continue;
+                        }
+                    }
                     if candidate.value.is_none() {
                         candidate.value = Some(evaluator.value(&candidate.spec));
                     }
@@ -132,6 +247,46 @@ fn evaluate_batch(evaluator: &Evaluator, batch: &mut [Candidate]) {
         }
     })
     .expect("evaluation worker panicked");
+}
+
+/// Build the preempted outcome: merge `extra` (a possibly part-evaluated
+/// batch) into `population`, keep only evaluated candidates, and rank the
+/// survivors by raw value.
+fn preempted_outcome(
+    mut population: Vec<Candidate>,
+    extra: Vec<Candidate>,
+    history: Vec<GenerationStats>,
+    evaluator: &Evaluator,
+) -> SearchOutcome {
+    population.extend(extra);
+    population.retain(|c| c.value.is_some());
+    population.sort_by_key(|c| c.fingerprint);
+    population.dedup_by_key(|c| c.fingerprint);
+    population.sort_by(|a, b| {
+        b.value
+            .unwrap_or(f64::NEG_INFINITY)
+            .total_cmp(&a.value.unwrap_or(f64::NEG_INFINITY))
+    });
+    let best_so_far = population
+        .iter()
+        .find(|c| c.value.map(f64::is_finite).unwrap_or(false))
+        .cloned();
+    telemetry::metrics::global().inc(names::DEADLINE_PREEMPTIONS);
+    telemetry::log::warn("creativity.search", "search preempted by deadline")
+        .field("generations_completed", history.len())
+        .field("evaluated", population.len())
+        .field("has_best", best_so_far.is_some())
+        .emit();
+    SearchOutcome::DeadlineExpired {
+        best_so_far,
+        generations_completed: history.len(),
+        report: SearchReport {
+            population,
+            history,
+            evaluations: evaluator.evaluations(),
+            failed_candidates: evaluator.failures(),
+        },
+    }
 }
 
 /// Run a creative search for `task` over `data`.
@@ -165,6 +320,12 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
     let archive = Archive::new();
     let surprise = SurpriseTracker::new();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // The deadline budget is measured on the active resilience clock, so
+    // chaos tests preempt on virtual time without a single real sleep.
+    let clock = resilience::fault::clock();
+    let budget = config.budget.clone();
+    let deadline: Deadline<'_> = budget.as_ref().map(|b| (b, &clock));
+    let expired = || budget.as_ref().is_some_and(|b| b.expired(clock.as_ref()));
     let mut population: Vec<Candidate> = Vec::new();
     // Seed designs join before generation 0, so every pattern can riff on
     // them; invalid seeds are tolerated (they evaluate to -inf and drop out).
@@ -173,7 +334,16 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
             population.push(Candidate::new(seed_spec.clone(), 0, "seed"));
         }
     }
-    evaluate_batch(&evaluator, &mut population);
+    evaluate_batch(&evaluator, &mut population, deadline);
+    if expired() {
+        search_span.field("preempted", true);
+        return Ok(preempted_outcome(
+            population,
+            Vec::new(),
+            Vec::new(),
+            &evaluator,
+        ));
+    }
     for c in &mut population {
         c.novelty = Some(archive.novelty(&c.descriptor, config.k_novelty));
         archive.insert(c.fingerprint, c.descriptor, c.value);
@@ -183,6 +353,15 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
     let mut credit: Vec<f64> = vec![1.0; patterns.len()];
 
     for generation in 0..=config.generations {
+        if expired() {
+            search_span.field("preempted", true);
+            return Ok(preempted_outcome(
+                population,
+                Vec::new(),
+                history,
+                &evaluator,
+            ));
+        }
         let mut gen_span = telemetry::span("search.generation");
         gen_span.field("generation", generation);
         telemetry::metrics::global().inc("search.generations");
@@ -238,17 +417,64 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
                 generation,
                 lambda,
             };
-            // Allocate the generation's budget across patterns.
-            let budget = config.population_size.max(patterns.len());
+            // Allocate the generation's candidate budget across patterns.
+            let gen_budget = config.population_size.max(patterns.len());
             let weights: Vec<f64> = match config.selection {
                 PatternSelection::Uniform => vec![1.0; patterns.len()],
                 PatternSelection::Bandit => credit.clone(),
             };
             let total_weight: f64 = weights.iter().sum();
             for (i, pattern) in patterns.iter().enumerate() {
-                let share = ((weights[i] / total_weight) * budget as f64).round() as usize;
+                let share = ((weights[i] / total_weight) * gen_budget as f64).round() as usize;
                 let share = share.max(1);
-                let produced = pattern.generate(&ctx, share, &mut rng);
+                let site = format!("creativity.pattern.{}", pattern.name());
+                // A chronically failing pattern is quarantined by its
+                // breaker: skipped outright (zero usage) until the
+                // cooldown re-admits a probe.
+                let breaker = config.breakers.as_ref().map(|reg| reg.get(&site));
+                if let Some(b) = &breaker {
+                    if !b.try_acquire(clock.as_ref()) {
+                        telemetry::metrics::global().inc(names::PATTERNS_QUARANTINED);
+                        telemetry::log::warn("creativity.search", "pattern quarantined")
+                            .field("pattern", pattern.name())
+                            .field("generation", generation)
+                            .emit();
+                        usage.push((pattern.name().to_string(), 0));
+                        continue;
+                    }
+                }
+                // The pattern runs behind its own faultpoint and panic
+                // boundary; a failure feeds the breaker and costs only
+                // this pattern's share of the generation.
+                let attempt = resilience::panic_guard::isolate(&site, || {
+                    resilience::fault::faultpoint(&site)
+                        .map(|()| pattern.generate(&ctx, share, &mut rng))
+                        .map_err(|f| f.to_string())
+                });
+                let produced = match attempt {
+                    Ok(Ok(produced)) => {
+                        if let Some(b) = &breaker {
+                            b.on_success();
+                        }
+                        produced
+                    }
+                    Ok(Err(reason))
+                    | Err(resilience::CaughtPanic {
+                        message: reason, ..
+                    }) => {
+                        if let Some(b) = &breaker {
+                            b.on_failure(clock.as_ref());
+                        }
+                        telemetry::metrics::global().inc(names::PATTERN_FAILURES);
+                        telemetry::log::warn("creativity.search", "pattern invocation failed")
+                            .field("pattern", pattern.name())
+                            .field("generation", generation)
+                            .field("reason", reason.as_str())
+                            .emit();
+                        usage.push((pattern.name().to_string(), 0));
+                        continue;
+                    }
+                };
                 telemetry::metrics::global().add(
                     &format!("search.candidates.{}", pattern.name()),
                     produced.len() as u64,
@@ -261,7 +487,17 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
         // surprise *before* inserting into the archive, so a candidate is
         // not its own nearest neighbour.
         let failures_before = evaluator.failures();
-        evaluate_batch(&evaluator, &mut newcomers);
+        evaluate_batch(&evaluator, &mut newcomers, deadline);
+        // The mid-generation preemption point: if the budget ran out while
+        // this batch evaluated, return partial results now instead of
+        // finishing the generation.
+        if expired() {
+            search_span.field("preempted", true);
+            drop(gen_span);
+            return Ok(preempted_outcome(
+                population, newcomers, history, &evaluator,
+            ));
+        }
         let gen_failures = evaluator.failures() - failures_before;
         let mut surprise_sum = 0.0;
         for c in &mut newcomers {
@@ -412,12 +648,14 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
         .field("best_value", best.value.unwrap_or(f64::NEG_INFINITY))
         .field("best_model", best.spec.model.name())
         .emit();
-    Ok(SearchOutcome {
+    Ok(SearchOutcome::Completed {
         best,
-        population,
-        history,
-        evaluations: evaluator.evaluations(),
-        failed_candidates: evaluator.failures(),
+        report: SearchReport {
+            population,
+            history,
+            evaluations: evaluator.evaluations(),
+            failed_candidates: evaluator.failures(),
+        },
     })
 }
 
@@ -459,19 +697,19 @@ mod tests {
         let task = Task::Classification { target: "y".into() };
         let outcome = search(&task, &frame(), &quick_config()).unwrap();
         assert!(
-            outcome.best.value.unwrap() > 0.9,
+            outcome.best().unwrap().value.unwrap() > 0.9,
             "separable data should be solved, got {:?}",
-            outcome.best.value
+            outcome.best().unwrap().value
         );
-        assert_eq!(outcome.history.len(), 4, "seeding + 3 generations");
-        assert!(outcome.evaluations > 0);
+        assert_eq!(outcome.history().len(), 4, "seeding + 3 generations");
+        assert!(outcome.evaluations() > 0);
     }
 
     #[test]
     fn best_value_monotone_in_history() {
         let task = Task::Classification { target: "y".into() };
         let outcome = search(&task, &frame(), &quick_config()).unwrap();
-        let bests: Vec<f64> = outcome.history.iter().map(|h| h.best_value).collect();
+        let bests: Vec<f64> = outcome.history().iter().map(|h| h.best_value).collect();
         for w in bests.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "elitism keeps the best: {bests:?}");
         }
@@ -482,18 +720,18 @@ mod tests {
         let task = Task::Classification { target: "y".into() };
         let a = search(&task, &frame(), &quick_config()).unwrap();
         let b = search(&task, &frame(), &quick_config()).unwrap();
-        assert_eq!(a.best.fingerprint, b.best.fingerprint);
-        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.best().unwrap().fingerprint, b.best().unwrap().fingerprint);
+        assert_eq!(a.evaluations(), b.evaluations());
     }
 
     #[test]
     fn population_capped_and_sorted() {
         let task = Task::Classification { target: "y".into() };
         let outcome = search(&task, &frame(), &quick_config()).unwrap();
-        assert!(outcome.population.len() <= quick_config().population_size + 1);
+        assert!(outcome.population().len() <= quick_config().population_size + 1);
         let lambda = quick_config().balance.lambda(quick_config().generations);
         let scores: Vec<f64> = outcome
-            .population
+            .population()
             .iter()
             .map(|c| c.blended_score(lambda))
             .collect();
@@ -510,12 +748,12 @@ mod tests {
             ..quick_config()
         };
         let outcome = search(&task, &frame(), &config).unwrap();
-        for h in &outcome.history {
+        for h in outcome.history() {
             for (name, _) in &h.pattern_usage {
                 assert!(name == "no_blank_canvas" || name == "mutant_shopping");
             }
         }
-        assert!(outcome.best.value.unwrap() > 0.7);
+        assert!(outcome.best().unwrap().value.unwrap() > 0.7);
     }
 
     #[test]
@@ -555,12 +793,12 @@ mod tests {
         let evaluator = Evaluator::new(frame(), config.k_folds);
         let seed_value = evaluator.value(&seed_spec);
         assert!(
-            outcome.best.value.unwrap() >= seed_value - 1e-9,
+            outcome.best().unwrap().value.unwrap() >= seed_value - 1e-9,
             "seeded search must not lose to its seed ({} vs {seed_value})",
-            outcome.best.value.unwrap()
+            outcome.best().unwrap().value.unwrap()
         );
         // The seed itself went through the archive.
-        let seeded_history = &outcome.history[0];
+        let seeded_history = &outcome.history()[0];
         assert!(seeded_history.archive_size >= 1);
         let _ = seed_fp;
     }
@@ -575,7 +813,7 @@ mod tests {
         };
         // Must not crash or pollute the search.
         let outcome = search(&task, &frame(), &config).unwrap();
-        assert!(outcome.best.value.unwrap() > 0.7);
+        assert!(outcome.best().unwrap().value.unwrap() > 0.7);
     }
 
     #[test]
@@ -586,7 +824,7 @@ mod tests {
             ..quick_config()
         };
         let outcome = search(&task, &frame(), &config).unwrap();
-        assert!(outcome.best.value.unwrap() > 0.8);
+        assert!(outcome.best().unwrap().value.unwrap() > 0.8);
     }
 
     #[test]
@@ -620,18 +858,18 @@ mod tests {
         let scope = fault::activate(plan);
         let outcome = search(&task, &frame(), &quick_config()).unwrap();
         // The search completed and still admitted survivors.
-        assert!(outcome.best.value.unwrap().is_finite());
+        assert!(outcome.best().unwrap().value.unwrap().is_finite());
         assert_eq!(
-            outcome.failed_candidates as u64,
+            outcome.failed_candidates() as u64,
             scope.injected("search.eval_candidate"),
             "every injected eval fault is a counted candidate failure"
         );
         assert!(
-            outcome.failed_candidates > 0,
+            outcome.failed_candidates() > 0,
             "30% rate should hit something"
         );
-        let per_gen: usize = outcome.history.iter().map(|h| h.failed_candidates).sum();
-        assert!(per_gen <= outcome.failed_candidates);
+        let per_gen: usize = outcome.history().iter().map(|h| h.failed_candidates).sum();
+        assert!(per_gen <= outcome.failed_candidates());
     }
 
     #[test]
@@ -642,23 +880,23 @@ mod tests {
         let plan = FaultPlan::new(78).inject("search.generation", FaultKind::Error, 0.5);
         let scope = fault::activate(plan);
         let outcome = search(&task, &frame(), &quick_config()).unwrap();
-        let degraded = outcome.history.iter().filter(|h| h.degraded).count();
+        let degraded = outcome.history().iter().filter(|h| h.degraded).count();
         assert_eq!(degraded as u64, scope.injected("search.generation"));
         assert!(degraded > 0, "50% rate over 4 generations should hit");
-        for h in outcome.history.iter().filter(|h| h.degraded) {
+        for h in outcome.history().iter().filter(|h| h.degraded) {
             assert!(
                 h.pattern_usage.is_empty(),
                 "degraded generations produce nothing"
             );
         }
-        assert!(outcome.best.value.unwrap().is_finite());
+        assert!(outcome.best().unwrap().value.unwrap().is_finite());
     }
 
     #[test]
     fn archive_grows_over_generations() {
         let task = Task::Classification { target: "y".into() };
         let outcome = search(&task, &frame(), &quick_config()).unwrap();
-        let sizes: Vec<usize> = outcome.history.iter().map(|h| h.archive_size).collect();
+        let sizes: Vec<usize> = outcome.history().iter().map(|h| h.archive_size).collect();
         for w in sizes.windows(2) {
             assert!(w[1] >= w[0]);
         }
@@ -681,11 +919,111 @@ mod tests {
         let oe = search(&task, &frame(), &exploit).unwrap();
         let ox = search(&task, &frame(), &explore).unwrap();
         // Exploration should visit at least as many distinct designs.
-        let last_exploit = oe.history.last().unwrap().archive_size;
-        let last_explore = ox.history.last().unwrap().archive_size;
+        let last_exploit = oe.history().last().unwrap().archive_size;
+        let last_explore = ox.history().last().unwrap().archive_size;
         assert!(
             last_explore as f64 >= last_exploit as f64 * 0.8,
             "exploration archive {last_explore} vs exploitation {last_exploit}"
         );
+    }
+
+    #[test]
+    fn chronically_failing_pattern_is_quarantined() {
+        use matilda_resilience::{
+            fault, BreakerRegistry, BreakerState, FaultKind, FaultPlan, TestClock,
+        };
+        use std::time::Duration;
+        let clock = TestClock::new();
+        let _scope = fault::activate_with_clock(
+            FaultPlan::new(91).inject("creativity.pattern.mutant_shopping", FaultKind::Error, 1.0),
+            Arc::new(clock.clone()),
+        );
+        let registry = Arc::new(BreakerRegistry::new(2, Duration::from_secs(300)));
+        let task = Task::Classification { target: "y".into() };
+        let config = SearchConfig {
+            breakers: Some(registry.clone()),
+            ..quick_config()
+        };
+        let outcome = search(&task, &frame(), &config).unwrap();
+        // The search still completes on the healthy patterns.
+        assert!(!outcome.preempted());
+        assert!(outcome.best().unwrap().value.unwrap() > 0.7);
+        // Two failures trip the breaker; the pattern produced nothing and is
+        // skipped outright once quarantined.
+        assert!(registry.states(&clock).contains(&(
+            "creativity.pattern.mutant_shopping".to_string(),
+            BreakerState::Open
+        )));
+        for h in outcome.history() {
+            for (name, produced) in &h.pattern_usage {
+                if name == "mutant_shopping" {
+                    assert_eq!(*produced, 0, "failing pattern never contributes");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_preempts_mid_generation_with_partial_results() {
+        use matilda_resilience::{fault, DeadlineBudget, FaultKind, FaultPlan, TestClock};
+        use std::time::Duration;
+        let clock = TestClock::new();
+        let _scope = fault::activate_with_clock(
+            // Every uncached evaluation costs 40 virtual ms.
+            FaultPlan::new(5).inject(
+                "search.eval_candidate",
+                FaultKind::Delay(Duration::from_millis(40)),
+                1.0,
+            ),
+            Arc::new(clock.clone()),
+        );
+        let task = Task::Classification { target: "y".into() };
+        let config = SearchConfig {
+            population_size: 6,
+            generations: 8,
+            budget: Some(DeadlineBudget::start(&clock, Duration::from_millis(250))),
+            ..SearchConfig::default()
+        };
+        let outcome = search(&task, &frame(), &config).unwrap();
+        match &outcome {
+            SearchOutcome::DeadlineExpired {
+                best_so_far,
+                generations_completed,
+                report,
+            } => {
+                assert!(best_so_far.is_some(), "generation 0 finished in budget");
+                assert!(*generations_completed >= 1);
+                assert!(*generations_completed < 9, "preempted before the end");
+                assert!(report.population.iter().all(|c| c.value.is_some()));
+            }
+            SearchOutcome::Completed { .. } => panic!("search should have been preempted"),
+        }
+        assert!(outcome.preempted());
+        assert_eq!(outcome.generations_completed(), outcome.history().len());
+    }
+
+    #[test]
+    fn zero_budget_search_returns_empty_handed_without_panicking() {
+        use matilda_resilience::{fault, DeadlineBudget, FaultPlan, TestClock};
+        use std::time::Duration;
+        let clock = TestClock::new();
+        let _scope = fault::activate_with_clock(FaultPlan::new(1), Arc::new(clock.clone()));
+        let task = Task::Classification { target: "y".into() };
+        let config = SearchConfig {
+            budget: Some(DeadlineBudget::start(&clock, Duration::ZERO)),
+            ..quick_config()
+        };
+        let outcome = search(&task, &frame(), &config).unwrap();
+        match outcome {
+            SearchOutcome::DeadlineExpired {
+                best_so_far,
+                generations_completed,
+                ..
+            } => {
+                assert!(best_so_far.is_none());
+                assert_eq!(generations_completed, 0);
+            }
+            SearchOutcome::Completed { .. } => panic!("zero budget cannot complete"),
+        }
     }
 }

@@ -11,6 +11,7 @@ use crate::error::{DataError, Result};
 use crate::frame::DataFrame;
 use crate::value::{DType, Value};
 use matilda_resilience as resilience;
+use matilda_telemetry as telemetry;
 use std::path::Path;
 
 /// Options controlling CSV reading.
@@ -246,13 +247,38 @@ fn read_csv_str_inner(text: &str, opts: &CsvOptions) -> Result<DataFrame> {
     Ok(df)
 }
 
+/// The process-wide registry quarantining chronically failing data
+/// sources, one breaker per `data.read.<path>` site.
+fn read_breakers() -> &'static resilience::BreakerRegistry {
+    static REGISTRY: std::sync::OnceLock<resilience::BreakerRegistry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| resilience::BreakerRegistry::new(3, std::time::Duration::from_secs(30)))
+}
+
 /// Read a CSV file from disk.
+///
+/// Each path gets a circuit breaker (`data.read.<path>`): after three
+/// consecutive failures the source is quarantined and reads return
+/// [`DataError::SourceQuarantined`] immediately — no disk touch — until
+/// the cooldown (on the active resilience clock) re-admits a probe.
 pub fn read_csv_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<DataFrame> {
-    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| DataError::Csv {
-        line: 0,
-        message: format!("io error reading {}: {e}", path.as_ref().display()),
-    })?;
-    read_csv_str(&text, opts)
+    let source = path.as_ref().display().to_string();
+    let clock = resilience::fault::clock();
+    let breaker = read_breakers().get(&format!("data.read.{source}"));
+    if !breaker.try_acquire(clock.as_ref()) {
+        telemetry::metrics::global().inc(telemetry::metrics::names::SOURCES_QUARANTINED);
+        return Err(DataError::SourceQuarantined(source));
+    }
+    let result = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| DataError::Csv {
+            line: 0,
+            message: format!("io error reading {source}: {e}"),
+        })
+        .and_then(|text| read_csv_str(&text, opts));
+    match &result {
+        Ok(_) => breaker.on_success(),
+        Err(_) => breaker.on_failure(clock.as_ref()),
+    }
+    result
 }
 
 fn escape(field: &str, delimiter: char) -> String {
@@ -452,5 +478,50 @@ mod tests {
         let err = read_csv_str("a\n1\n", &CsvOptions::default()).unwrap_err();
         assert!(matches!(err, DataError::Csv { .. }));
         assert!(err.to_string().contains("panic isolated"));
+    }
+
+    #[test]
+    fn failing_source_is_quarantined_then_recovers() {
+        use matilda_resilience::{fault, FaultKind, FaultPlan, TestClock};
+        use std::sync::Arc;
+        use std::time::Duration;
+        let path =
+            std::env::temp_dir().join(format!("matilda-csv-quarantine-{}.csv", std::process::id()));
+        std::fs::write(&path, "a,b\n1,2\n").unwrap();
+        let clock = TestClock::new();
+        // The first four reads hit an injected fault; after that the
+        // source is healthy again.
+        let _scope = fault::activate_with_clock(
+            FaultPlan::new(3).inject_first("data.csv.read", FaultKind::Error, 4),
+            Arc::new(clock.clone()),
+        );
+        let opts = CsvOptions::default();
+        for _ in 0..3 {
+            let err = read_csv_path(&path, &opts).unwrap_err();
+            assert!(matches!(err, DataError::Csv { .. }));
+        }
+        // Three straight failures trip the breaker: rejected with no
+        // faultpoint consumed and no disk touch.
+        assert!(matches!(
+            read_csv_path(&path, &opts),
+            Err(DataError::SourceQuarantined(_))
+        ));
+        // Cooldown elapses; the half-open probe still fails (4th injected
+        // fault) and the quarantine re-opens.
+        clock.advance(Duration::from_secs(30));
+        assert!(matches!(
+            read_csv_path(&path, &opts),
+            Err(DataError::Csv { .. })
+        ));
+        assert!(matches!(
+            read_csv_path(&path, &opts),
+            Err(DataError::SourceQuarantined(_))
+        ));
+        // Next cooldown: the injection cap is spent, the probe succeeds
+        // and the source heals.
+        clock.advance(Duration::from_secs(30));
+        assert!(read_csv_path(&path, &opts).is_ok());
+        assert!(read_csv_path(&path, &opts).is_ok());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -26,6 +26,9 @@ pub enum DataError {
     Empty(&'static str),
     /// A parameter was outside its valid domain.
     InvalidParameter(String),
+    /// The source's circuit breaker is open after repeated read failures;
+    /// reads are rejected until the cooldown re-admits a probe.
+    SourceQuarantined(String),
 }
 
 impl fmt::Display for DataError {
@@ -50,6 +53,12 @@ impl fmt::Display for DataError {
             }
             DataError::Empty(what) => write!(f, "operation undefined on empty {what}"),
             DataError::InvalidParameter(message) => write!(f, "invalid parameter: {message}"),
+            DataError::SourceQuarantined(source) => {
+                write!(
+                    f,
+                    "data source quarantined after repeated failures: {source}"
+                )
+            }
         }
     }
 }
@@ -94,6 +103,13 @@ mod tests {
             message: "unterminated quote".into(),
         };
         assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn display_source_quarantined() {
+        let e = DataError::SourceQuarantined("/data/x.csv".into());
+        assert!(e.to_string().contains("quarantined"));
+        assert!(e.to_string().contains("/data/x.csv"));
     }
 
     #[test]

@@ -145,8 +145,15 @@ impl CircuitBreaker {
 
     /// Report a successful call: resets the failure streak and closes the
     /// breaker (a successful half-open probe heals the circuit).
+    ///
+    /// A success reported while the breaker is still `Open` is ignored: an
+    /// open circuit may only heal through a half-open probe, never because
+    /// a straggling call from before the trip happened to succeed.
     pub fn on_success(&self) {
         let mut inner = self.inner.lock();
+        if inner.state == BreakerState::Open {
+            return;
+        }
         inner.consecutive_failures = 0;
         inner.probe_out = false;
         self.transition(&mut inner, BreakerState::Closed);
@@ -270,6 +277,22 @@ mod tests {
         assert!(!b.try_acquire(&clock), "cooldown restarted from the probe");
         clock.advance(Duration::from_secs(1));
         assert!(b.try_acquire(&clock));
+    }
+
+    #[test]
+    fn straggler_success_cannot_close_an_open_breaker() {
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("s", 1, Duration::from_secs(5));
+        b.on_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        // A call issued before the trip reports back late: ignored.
+        b.on_success();
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        assert!(!b.try_acquire(&clock), "quarantine holds until the probe");
+        clock.advance(Duration::from_secs(5));
+        assert!(b.try_acquire(&clock));
+        b.on_success();
+        assert_eq!(b.state(&clock), BreakerState::Closed);
     }
 
     #[test]

@@ -166,6 +166,7 @@ pub struct ActiveScope {
     clock: Arc<dyn Clock>,
     calls: Mutex<HashMap<String, u64>>,
     injected: Mutex<HashMap<String, u64>>,
+    delays: Mutex<Vec<(String, Duration)>>,
 }
 
 impl ActiveScope {
@@ -192,6 +193,13 @@ impl ActiveScope {
     /// The clock faults and retries run on inside this scope.
     pub fn clock(&self) -> Arc<dyn Clock> {
         self.clock.clone()
+    }
+
+    /// Drain the `(site, pause)` delay observations accumulated since the
+    /// last drain. Sessions call this at turn end so every injected delay
+    /// becomes an auditable provenance event rather than silent latency.
+    pub fn drain_delays(&self) -> Vec<(String, Duration)> {
+        std::mem::take(&mut *self.delays.lock())
     }
 
     // Decide for ordinal/keyed call `x`, honouring the injection cap.
@@ -255,6 +263,7 @@ pub fn activate_with_clock(plan: FaultPlan, clock: Arc<dyn Clock>) -> ScopeGuard
         clock,
         calls: Mutex::new(HashMap::new()),
         injected: Mutex::new(HashMap::new()),
+        delays: Mutex::new(Vec::new()),
     });
     CURRENT.with(|stack| stack.borrow_mut().push(scope.clone()));
     ScopeGuard { scope }
@@ -342,6 +351,7 @@ fn trigger(scope: &ActiveScope, site: &str, kind: FaultKind) -> Result<(), Injec
         }),
         FaultKind::Panic => std::panic::panic_any(format!("{INJECTED_PANIC_MARKER} {site}")),
         FaultKind::Delay(d) => {
+            scope.delays.lock().push((site.to_string(), d));
             scope.clock.sleep(d);
             Ok(())
         }
@@ -495,6 +505,26 @@ mod tests {
         assert!(faultpoint("slow").is_ok(), "delay faults do not error");
         assert_eq!(clock.now(), Duration::from_secs(9));
         assert_eq!(scope.injected("slow"), 1);
+    }
+
+    #[test]
+    fn delay_observations_drain_once() {
+        let clock = TestClock::new();
+        let scope = activate_with_clock(
+            FaultPlan::new(4).inject("slow", FaultKind::Delay(Duration::from_millis(30)), 1.0),
+            Arc::new(clock.clone()),
+        );
+        assert!(faultpoint("slow").is_ok());
+        assert!(faultpoint("slow").is_ok());
+        let drained = scope.drain_delays();
+        assert_eq!(
+            drained,
+            vec![
+                ("slow".to_string(), Duration::from_millis(30)),
+                ("slow".to_string(), Duration::from_millis(30)),
+            ]
+        );
+        assert!(scope.drain_delays().is_empty(), "draining consumes");
     }
 
     #[test]

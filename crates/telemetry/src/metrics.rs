@@ -21,6 +21,31 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::OnceLock;
 
+/// Canonical names for cross-crate metrics, so producers (resilience,
+/// creativity, core) and consumers (benches, CI gates, dashboards) cannot
+/// drift apart on spelling.
+pub mod names {
+    /// Counter: searches preempted by an expiring `DeadlineBudget`
+    /// before their final generation.
+    pub const DEADLINE_PREEMPTIONS: &str = "resilience.deadline_preemptions";
+    /// Histogram (seconds, on the active resilience clock): end-to-end
+    /// latency of one conversational turn.
+    pub const TURN_LATENCY_SECONDS: &str = "resilience.turn_latency_seconds";
+    /// Counter: candidate evaluations skipped because the deadline budget
+    /// expired mid-batch.
+    pub const EVALS_SKIPPED_DEADLINE: &str = "resilience.evals_skipped_deadline";
+    /// Counter: creativity-pattern invocations rejected by an open breaker.
+    pub const PATTERNS_QUARANTINED: &str = "resilience.patterns_quarantined";
+    /// Counter: creativity-pattern invocations that failed (fault or caught
+    /// panic) and fed their breaker.
+    pub const PATTERN_FAILURES: &str = "resilience.pattern_failures";
+    /// Counter: data-source reads rejected by an open breaker.
+    pub const SOURCES_QUARANTINED: &str = "resilience.sources_quarantined";
+    /// Counter: turns refused because the session-wide deadline budget was
+    /// already spent when the turn began.
+    pub const TURNS_BUDGET_EXHAUSTED: &str = "resilience.turns_budget_exhausted";
+}
+
 /// Fixed histogram bucket upper bounds (inclusive), in the metric's unit.
 ///
 /// The default covers 1 µs to ~17 min in powers of four when the unit is

@@ -37,7 +37,7 @@ fn main() {
 
     println!("\ngen | best  | mean  | novelty | surprise | archive | patterns");
     println!("----+-------+-------+---------+----------+---------+---------");
-    for h in &outcome.history {
+    for h in outcome.history() {
         let patterns: Vec<String> = h
             .pattern_usage
             .iter()
@@ -55,19 +55,23 @@ fn main() {
         );
     }
 
-    println!("\nBest design found ({} evaluations):", outcome.evaluations);
-    println!("  {}", outcome.best.spec.summary());
+    let best = outcome.best().expect("search produced a champion");
+    println!(
+        "\nBest design found ({} evaluations):",
+        outcome.evaluations()
+    );
+    println!("  {}", best.spec.summary());
     println!(
         "  value {:.3}, novelty {:.3}, surprise {:.3}, discovered by '{}' at generation {}",
-        outcome.best.value.unwrap_or(f64::NAN),
-        outcome.best.novelty.unwrap_or(0.0),
-        outcome.best.surprise.unwrap_or(0.0),
-        outcome.best.origin,
-        outcome.best.generation
+        best.value.unwrap_or(f64::NAN),
+        best.novelty.unwrap_or(0.0),
+        best.surprise.unwrap_or(0.0),
+        best.origin,
+        best.generation
     );
 
     println!("\nFinal population:");
-    for c in &outcome.population {
+    for c in outcome.population() {
         println!(
             "  {:.3}  {:<30} ({})",
             c.value.unwrap_or(f64::NAN),
@@ -77,7 +81,7 @@ fn main() {
     }
 
     // Confirm the winner on a held-out execution.
-    let report = run(&outcome.best.spec, &df).expect("winner executes");
+    let report = run(&best.spec, &df).expect("winner executes");
     println!(
         "\nHeld-out confirmation: {} = {:.3}",
         report.scoring_name, report.test_score

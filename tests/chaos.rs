@@ -146,16 +146,16 @@ fn search_survives_thirty_percent_candidate_failures() {
     };
     let outcome = search(&task, &frame(), &config).expect("search completes under 30% failures");
     // Survivors were admitted and the best of them is a real score.
-    assert!(outcome.best.value.unwrap().is_finite());
-    assert!(!outcome.population.is_empty());
+    assert!(outcome.best().unwrap().value.unwrap().is_finite());
+    assert!(!outcome.population().is_empty());
     // Every injected fault is a counted candidate failure — no more, no less.
     assert_eq!(
-        outcome.failed_candidates as u64,
+        outcome.failed_candidates() as u64,
         scope.injected("search.eval_candidate"),
         "failure count must match the plan exactly"
     );
     assert!(
-        outcome.failed_candidates > 0,
+        outcome.failed_candidates() > 0,
         "a 30% rate over several generations must hit something"
     );
 }
@@ -289,6 +289,58 @@ fn deadline_budget_cuts_retries_short() {
             EventKind::FailureObserved { action, .. } if action == "deadline_expired"
         )),
         "{failures:?}"
+    );
+}
+
+// --------------------------------------------------------- delay injection ----
+
+/// Injected delays are charged to the virtual clock, audited in provenance
+/// as `FailureObserved { action: "delayed" }`, and counted by the
+/// `resilience.faults_injected.delay` metric — the full latency-fault
+/// pipeline E12 gates on.
+#[test]
+fn delay_injections_are_audited_and_counted() {
+    let clock = TestClock::new();
+    let delay = Duration::from_millis(25);
+    let plan = FaultPlan::new(chaos_seed().wrapping_mul(31).wrapping_add(19)).inject(
+        "pipeline.task.train",
+        FaultKind::Delay(delay),
+        1.0,
+    );
+    let scope = fault::activate_with_clock(plan, Arc::new(clock.clone()));
+    let scoped = matilda::telemetry::metrics::scoped();
+    let mut s = session(PlatformConfig::quick());
+    drive_to_ready(&mut s);
+    let outcome = s.step("run it").unwrap();
+    assert!(
+        outcome.executed.is_some(),
+        "a delay slows the run down but does not fail it"
+    );
+    let injected = scope.injected("pipeline.task.train");
+    assert!(injected >= 1, "the rate-1.0 delay plan must fire");
+    // Each injected delay advanced the virtual clock by exactly its length
+    // (the run succeeded first try, so no backoff time is mixed in).
+    assert_eq!(clock.now(), delay * injected as u32);
+    // Every delay is auditable in provenance with the "delayed" action...
+    let delayed = s
+        .recorder()
+        .of_type("failure_observed")
+        .iter()
+        .filter(|e| {
+            matches!(
+                &e.kind,
+                EventKind::FailureObserved { site, action, .. }
+                    if site == "pipeline.task.train" && action == "delayed"
+            )
+        })
+        .count();
+    assert_eq!(delayed as u64, injected);
+    // ...and counted by the per-kind injection metric.
+    assert_eq!(
+        scoped
+            .snapshot()
+            .counter("resilience.faults_injected.delay"),
+        injected
     );
 }
 

@@ -170,8 +170,8 @@ fn search_budget_monotonicity() {
     };
     let a = search(&task, &df, &short).expect("short search");
     let b = search(&task, &df, &long).expect("long search");
-    assert!(b.best.value.unwrap() >= a.best.value.unwrap() - 1e-9);
-    assert!(b.evaluations >= a.evaluations);
+    assert!(b.best().unwrap().value.unwrap() >= a.best().unwrap().value.unwrap() - 1e-9);
+    assert!(b.evaluations() >= a.evaluations());
 }
 
 /// Cross-crate determinism: the same seeds produce byte-identical

@@ -1,0 +1,217 @@
+//! Latency-governance tests: per-turn deadline budgets, mid-generation
+//! search preemption, and graceful zero-budget degradation.
+//!
+//! Every clock here is virtual ([`TestClock`]) — injected delays and retry
+//! backoffs advance simulated time only, so the suite finishes in
+//! wall-clock milliseconds and never sleeps for real. All fault plans use
+//! rate 1.0, which fires independently of the seed mixing, so every
+//! assertion holds for any `CHAOS_SEED` (CI runs a 1–3 matrix).
+
+use matilda::prelude::*;
+use matilda::provenance::{quality, EventKind};
+use matilda::resilience::{fault, Clock, DeadlineBudget, FaultKind, FaultPlan, TestClock};
+use matilda::telemetry::metrics::{self, names};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The chaos seed under test; plans here are seed-independent (rate 1.0)
+/// but still derive from it so the matrix genuinely varies the mixing.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn frame() -> DataFrame {
+    DataFrame::from_columns(vec![
+        ("x", Column::from_f64((0..60).map(f64::from).collect())),
+        (
+            "noise",
+            Column::from_f64((0..60).map(|i| ((i * 7) % 5) as f64).collect()),
+        ),
+        (
+            "label",
+            Column::from_categorical(
+                &(0..60)
+                    .map(|i| if i < 30 { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+    .unwrap()
+}
+
+fn session(config: PlatformConfig) -> DesignSession {
+    DesignSession::new(
+        "latency",
+        "can x predict label?",
+        frame(),
+        UserProfile::novice("Ada", "urbanism"),
+        config,
+    )
+}
+
+// ------------------------------------------------ turn deadline governance ----
+
+/// Every turn is delayed and every execution fails (forcing retries with
+/// backoff), yet no turn's virtual latency may exceed the configured
+/// per-turn deadline: the delay is charged to the budget, and the budget's
+/// `affords` pre-check stops backoff sleeps that would overshoot.
+#[test]
+fn delayed_turns_never_exceed_the_deadline_budget() {
+    let clock = Arc::new(TestClock::new());
+    let plan = FaultPlan::new(chaos_seed())
+        .inject(
+            "session.step",
+            FaultKind::Delay(Duration::from_millis(10)),
+            1.0,
+        )
+        .inject("pipeline.task.train", FaultKind::Error, 1.0);
+    let _scope = fault::activate_with_clock(plan, clock.clone());
+    let scoped = metrics::scoped();
+    let limit = Duration::from_millis(100);
+    let mut s = session(PlatformConfig {
+        turn_deadline: Some(limit),
+        ..PlatformConfig::quick()
+    });
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut timed = |s: &mut DesignSession, text: &str| {
+        let before = clock.now();
+        s.step(text).unwrap();
+        latencies.push(clock.now() - before);
+    };
+    timed(&mut s, "predict 'label'");
+    let mut guard = 0;
+    while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 60 {
+        timed(&mut s, "no");
+        guard += 1;
+    }
+    timed(&mut s, "run it");
+    timed(&mut s, "done");
+    assert!(latencies.len() >= 4, "the session actually conversed");
+    for (i, latency) in latencies.iter().enumerate() {
+        assert!(
+            *latency <= limit,
+            "turn {i} took {latency:?}, above the {limit:?} deadline"
+        );
+    }
+    // The delays that stretched the turns are auditable in provenance...
+    let delayed = s
+        .recorder()
+        .snapshot()
+        .iter()
+        .filter(|e| {
+            matches!(
+                &e.kind,
+                EventKind::FailureObserved { action, .. } if action == "delayed"
+            )
+        })
+        .count();
+    assert!(delayed >= 1, "injected delays must land in provenance");
+    // ...and every turn's virtual latency landed in the SLO histogram.
+    let snap = scoped.snapshot();
+    let hist = snap
+        .histogram(names::TURN_LATENCY_SECONDS)
+        .expect("turn latency observed");
+    assert_eq!(hist.count, latencies.len() as u64);
+    assert!(hist.max <= limit.as_secs_f64() + 1e-9);
+}
+
+// -------------------------------------------------- mid-search preemption ----
+
+/// With every candidate evaluation delayed by 40 ms, a 250 ms budget is
+/// spent mid-generation: the search must preempt, return the best already
+/// evaluated candidate, and count the preemption — and the virtual clock
+/// must stop within one in-flight evaluation per worker of the budget.
+#[test]
+fn preempted_search_returns_partial_results_within_budget() {
+    let clock = Arc::new(TestClock::new());
+    let plan = FaultPlan::new(chaos_seed()).inject(
+        "search.eval_candidate",
+        FaultKind::Delay(Duration::from_millis(40)),
+        1.0,
+    );
+    let _scope = fault::activate_with_clock(plan, clock.clone());
+    let scoped = metrics::scoped();
+    let budget = Duration::from_millis(250);
+    let config = SearchConfig {
+        population_size: 6,
+        generations: 8,
+        seed: 5,
+        budget: Some(DeadlineBudget::start(clock.as_ref(), budget)),
+        ..SearchConfig::default()
+    };
+    let task = Task::Classification {
+        target: "label".into(),
+    };
+    let outcome = search(&task, &frame(), &config).expect("preemption is not an error");
+    assert!(
+        outcome.preempted(),
+        "a 250 ms budget cannot cover 8 generations of 40 ms evaluations"
+    );
+    assert!(
+        outcome.best().is_some(),
+        "the seed generation fits the budget, so a best-so-far exists"
+    );
+    assert!(outcome.generations_completed() >= 1);
+    assert_eq!(
+        outcome.generations_completed(),
+        outcome.history().len(),
+        "per-generation stats cover exactly the completed generations"
+    );
+    assert_eq!(scoped.snapshot().counter(names::DEADLINE_PREEMPTIONS), 1);
+    // Preemption bounds the clock: once the budget expires no new
+    // evaluation starts, so the overshoot is at most one in-flight
+    // evaluation per worker.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as u32;
+    let elapsed = clock.now();
+    assert!(
+        elapsed <= budget + Duration::from_millis(40) * workers,
+        "clock ran to {elapsed:?}, far past the {budget:?} budget"
+    );
+}
+
+// --------------------------------------------------- zero-budget degrade ----
+
+/// A session whose deadline allowance is already zero must not panic or
+/// error: the first turn closes the session with an apologetic wrap-up,
+/// records why in provenance, and the log still audits clean.
+#[test]
+fn zero_budget_session_degrades_gracefully_and_closes() {
+    let _scope =
+        fault::activate_with_clock(FaultPlan::new(chaos_seed()), Arc::new(TestClock::new()));
+    let scoped = metrics::scoped();
+    let mut s = session(PlatformConfig {
+        deadline: Some(Duration::ZERO),
+        ..PlatformConfig::quick()
+    });
+    let out = s
+        .step("predict 'label'")
+        .expect("graceful close, not an error");
+    assert!(out.closed, "an exhausted budget closes the session");
+    assert!(
+        out.reply.contains("out of time"),
+        "the user hears why: {}",
+        out.reply
+    );
+    assert!(s.is_closed());
+    assert_eq!(scoped.snapshot().counter(names::TURNS_BUDGET_EXHAUSTED), 1);
+    let events = s.recorder().snapshot();
+    assert!(events.iter().any(|e| {
+        matches!(
+            &e.kind,
+            EventKind::FailureObserved { action, site, .. }
+                if action == "deadline_expired" && site == "session.turn"
+        )
+    }));
+    assert!(events
+        .iter()
+        .any(|e| matches!(&e.kind, EventKind::SessionClosed { .. })));
+    let audit = quality::audit(&events);
+    assert!(audit.all_passed(), "{:?}", audit.failures());
+    // A further step on the closed session is a typed error, not a panic.
+    assert!(s.step("hello").is_err());
+}

@@ -189,4 +189,65 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&v), "{v}");
         }
     }
+
+    /// The circuit breaker never takes an illegal transition and its
+    /// exported gauge always matches the observable state, for arbitrary
+    /// acquire/success/failure/clock-advance sequences. Ops are encoded as
+    /// `(kind, ms)` pairs: 0 = try_acquire, 1 = on_success, 2 = on_failure,
+    /// 3 = advance the virtual clock by `ms`.
+    #[test]
+    fn breaker_state_machine_invariants(
+        ops in prop::collection::vec((0u8..4, 1u64..2000), 1..120),
+        threshold in 1u32..5,
+        cooldown_ms in 1u64..2000,
+    ) {
+        use matilda::resilience::{BreakerState, CircuitBreaker, TestClock};
+        use matilda::telemetry::metrics;
+        use std::time::Duration;
+        let scoped = metrics::scoped();
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("prop.site", threshold, Duration::from_millis(cooldown_ms));
+        let mut prev = b.state(&clock);
+        prop_assert_eq!(prev, BreakerState::Closed, "breakers start closed");
+        for (kind, ms) in ops {
+            match kind {
+                0 => {
+                    let admitted = b.try_acquire(&clock);
+                    // An open breaker never admits; a closed one always does.
+                    match b.state(&clock) {
+                        BreakerState::Open => prop_assert!(!admitted),
+                        BreakerState::Closed => prop_assert!(admitted),
+                        BreakerState::HalfOpen => {}
+                    }
+                }
+                1 => b.on_success(),
+                2 => b.on_failure(&clock),
+                _ => clock.advance(Duration::from_millis(ms)),
+            }
+            let cur = b.state(&clock);
+            // Legal transitions only: Open may never jump straight to
+            // Closed (healing requires a half-open probe), and Closed may
+            // never reach HalfOpen (there is no cooldown to wake from).
+            prop_assert!(
+                !(prev == BreakerState::Open && cur == BreakerState::Closed),
+                "open -> closed without a half-open probe"
+            );
+            prop_assert!(
+                !(prev == BreakerState::Closed && cur == BreakerState::HalfOpen),
+                "closed -> half-open is undefined"
+            );
+            // The exported gauge tracks the observable state exactly.
+            let expected = match cur {
+                BreakerState::Closed => 0.0,
+                BreakerState::HalfOpen => 0.5,
+                BreakerState::Open => 1.0,
+            };
+            prop_assert_eq!(
+                scoped.snapshot().gauge("resilience.breaker_state.prop.site"),
+                Some(expected),
+                "gauge must match state {:?}", cur
+            );
+            prev = cur;
+        }
+    }
 }

@@ -237,7 +237,7 @@ fn search_on_unlearnable_data_still_terminates() {
         ..Default::default()
     };
     let outcome = search(&task, &df, &config).expect("terminates");
-    let best = outcome.best.value.unwrap();
+    let best = outcome.best().unwrap().value.unwrap();
     assert!(best.is_finite());
     assert!(best <= 1.0);
 }
