@@ -1,8 +1,14 @@
 //! E12 — resilience under injected chaos: drive the platform through seeded
 //! fault plans and measure what recovery costs and how often it succeeds.
 //! Exports `results/resilience.json` with recovery-latency percentiles, the
-//! tally of recovery actions, and every `resilience.*` counter the run
-//! produced.
+//! tally of recovery actions, per-site cooperative-preemption coverage,
+//! the adaptive breaker tuning observed under chaos, and every
+//! `resilience.*` counter the run produced.
+//!
+//! Sessions are driven by a **sampled workload mix** rather than one fixed
+//! script: per session the seeded RNG draws an accept rate, a creative-turn
+//! rate and a number of study runs (with repair loops after failed runs),
+//! so the chaos and SLO numbers cover a population of conversations.
 //!
 //! All clocks are virtual ([`TestClock`]): backoff advances simulated time,
 //! so the whole experiment is deterministic per `CHAOS_SEED` and finishes in
@@ -12,12 +18,26 @@ use matilda_bench::{f3, header, row};
 use matilda_conversation::prelude::*;
 use matilda_core::prelude::*;
 use matilda_creativity::search::{search, SearchConfig};
-use matilda_data::{Column, DataFrame};
-use matilda_pipeline::prelude::Task;
-use matilda_resilience::{fault, Clock, FaultKind, FaultPlan, RetryPolicy, StopReason, TestClock};
+use matilda_data::csv::{read_csv_str, CsvOptions};
+use matilda_data::{Column, DataError, DataFrame};
+use matilda_ml::ModelSpec;
+use matilda_pipeline::prelude::{
+    cv_score_with_ctx, run_with_ctx, ExecContext, PipelineError, PipelineOutcome, PipelineSpec,
+    Task,
+};
+use matilda_resilience::{
+    cancel, fault, Clock, DeadlineBudget, FaultKind, FaultPlan, RetryPolicy, StopReason, TestClock,
+};
 use matilda_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
 
 fn base_seed() -> u64 {
     std::env::var("CHAOS_SEED")
@@ -51,6 +71,97 @@ fn pct(sorted: &[f64], q: f64) -> f64 {
     }
     let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-site adaptive-cooldown figures averaged over chaos sessions (each
+/// session owns an independent breaker registry).
+struct TuningAgg {
+    threshold: u32,
+    base_cooldown: Duration,
+    sum_rate: f64,
+    sum_effective_s: f64,
+    sessions: u64,
+}
+
+/// Mix statistics accumulated over sampled workloads.
+#[derive(Default)]
+struct WorkloadStats {
+    turns: u64,
+    creative_turns: u64,
+    repair_loops: u64,
+    runs_attempted: u64,
+    runs_executed: u64,
+}
+
+impl WorkloadStats {
+    fn absorb(&mut self, other: &WorkloadStats) {
+        self.turns += other.turns;
+        self.creative_turns += other.creative_turns;
+        self.repair_loops += other.repair_loops;
+        self.runs_attempted += other.runs_attempted;
+        self.runs_executed += other.runs_executed;
+    }
+}
+
+/// Drive a session through a sampled workload instead of a fixed script.
+/// Per session the `rng` draws an accept rate, a creative-turn rate and the
+/// number of study runs; after a failed run the user accepts a pending
+/// repair suggestion (when one exists) and re-runs. `step` performs one
+/// turn — the SLO section wraps it with virtual-clock timing.
+fn drive_sampled_workload(
+    s: &mut DesignSession,
+    rng: &mut StdRng,
+    mut step: impl FnMut(&mut DesignSession, &str) -> StepOutcome,
+) -> WorkloadStats {
+    let accept_rate = rng.gen_range(0.2..0.9);
+    let surprise_rate = rng.gen_range(0.0..0.4);
+    let runs_wanted = rng.gen_range(1..=3u32);
+    let mut stats = WorkloadStats::default();
+    let mut turn = |s: &mut _, text: &str, stats: &mut WorkloadStats| {
+        stats.turns += 1;
+        step(s, text)
+    };
+
+    turn(s, "predict 'label'", &mut stats);
+    let mut guard = 0;
+    while !s.is_closed() && !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 60
+    {
+        if rng.gen_bool(surprise_rate) {
+            stats.creative_turns += 1;
+            turn(s, "surprise me", &mut stats);
+        }
+        let answer = if rng.gen_bool(accept_rate) {
+            "yes"
+        } else {
+            "no"
+        };
+        turn(s, answer, &mut stats);
+        guard += 1;
+    }
+    for _ in 0..runs_wanted {
+        if s.is_closed() {
+            break;
+        }
+        stats.runs_attempted += 1;
+        if turn(s, "run it", &mut stats).executed.is_some() {
+            stats.runs_executed += 1;
+        } else if !s.is_closed() && rng.gen_bool(accept_rate) {
+            // Repair loop: accept the platform's pending fix-up when one
+            // exists (conversational repair), then immediately re-run.
+            stats.repair_loops += 1;
+            if s.dialogue().pending_suggestion().is_some() {
+                turn(s, "yes", &mut stats);
+            }
+            stats.runs_attempted += 1;
+            if turn(s, "run it", &mut stats).executed.is_some() {
+                stats.runs_executed += 1;
+            }
+        }
+    }
+    if !s.is_closed() {
+        turn(s, "done", &mut stats);
+    }
+    stats
 }
 
 fn main() {
@@ -112,18 +223,24 @@ fn main() {
     // ---- chaos sessions: graceful degradation end to end ----
     //
     // Full design sessions under a mixed plan: transient execution faults,
-    // degraded turns and scored-out candidate evaluations. The platform
-    // must keep every session alive; we tally how each run ended.
+    // degraded turns and scored-out candidate evaluations. Each session
+    // runs a *sampled* workload (accept rate, creative turns, run count and
+    // repair loops drawn from the session RNG). The platform must keep
+    // every session alive; we tally how each run ended and how the per-site
+    // breakers tuned their cooldowns in response.
     const SESSIONS: u64 = 20;
-    let mut runs_executed = 0u64;
-    let mut runs_failed = 0u64;
+    let mut workload = WorkloadStats::default();
     let mut action_tally: Vec<(String, u64)> = Vec::new();
+    let mut tuning_by_site: std::collections::BTreeMap<String, TuningAgg> =
+        std::collections::BTreeMap::new();
     for trial in 0..SESSIONS {
-        let plan = FaultPlan::new(seed.wrapping_mul(1_000_003).wrapping_add(trial))
+        let chaos_seed = seed.wrapping_mul(1_000_003).wrapping_add(trial);
+        let plan = FaultPlan::new(chaos_seed)
             .inject("pipeline.task.train", FaultKind::Error, 0.4)
             .inject("session.step", FaultKind::Error, 0.1)
             .inject("search.eval_candidate", FaultKind::Error, 0.2);
         let _scope = fault::activate_with_clock(plan, Arc::new(TestClock::new()));
+        let mut rng = StdRng::seed_from_u64(chaos_seed);
         let mut s = DesignSession::new(
             "chaos-bench",
             "can x predict label?",
@@ -131,19 +248,22 @@ fn main() {
             UserProfile::novice("Ada", "urbanism"),
             PlatformConfig::quick(),
         );
-        s.step("predict 'label'").expect("session survives");
-        let mut guard = 0;
-        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 60 {
-            s.step("no").expect("session survives");
-            guard += 1;
+        let stats = drive_sampled_workload(&mut s, &mut rng, |s, text| {
+            s.step(text).expect("session survives")
+        });
+        workload.absorb(&stats);
+        for t in s.breaker_tuning() {
+            let agg = tuning_by_site.entry(t.site).or_insert(TuningAgg {
+                threshold: t.threshold,
+                base_cooldown: t.base_cooldown,
+                sum_rate: 0.0,
+                sum_effective_s: 0.0,
+                sessions: 0,
+            });
+            agg.sum_rate += t.failure_rate;
+            agg.sum_effective_s += t.effective_cooldown.as_secs_f64();
+            agg.sessions += 1;
         }
-        let outcome = s.step("run it").expect("session survives");
-        if outcome.executed.is_some() {
-            runs_executed += 1;
-        } else {
-            runs_failed += 1;
-        }
-        s.step("done").expect("session survives");
         for e in s.recorder().of_type("failure_observed") {
             if let matilda_provenance::EventKind::FailureObserved { action, .. } = &e.kind {
                 match action_tally.iter_mut().find(|(a, _)| a == action) {
@@ -153,8 +273,10 @@ fn main() {
             }
         }
     }
+    let runs_executed = workload.runs_executed;
+    let runs_failed = workload.runs_attempted - workload.runs_executed;
     action_tally.sort_by(|a, b| a.0.cmp(&b.0));
-    println!("\n## chaos sessions ({SESSIONS} full design sessions under mixed faults)");
+    println!("\n## chaos sessions ({SESSIONS} sampled-workload sessions under mixed faults)");
     header(&["outcome", "count"]);
     row(&[
         "run executed (incl. recovered)".into(),
@@ -165,9 +287,33 @@ fn main() {
         runs_failed.to_string(),
     ]);
     println!();
+    header(&["workload mix", "count"]);
+    row(&["turns".into(), workload.turns.to_string()]);
+    row(&["creative turns".into(), workload.creative_turns.to_string()]);
+    row(&["repair loops".into(), workload.repair_loops.to_string()]);
+    row(&["runs attempted".into(), workload.runs_attempted.to_string()]);
+    println!();
     header(&["recovery action", "count"]);
     for (action, n) in &action_tally {
         row(&[action.clone(), n.to_string()]);
+    }
+    println!();
+    header(&[
+        "breaker site",
+        "sessions",
+        "mean_failure_rate",
+        "base_cooldown_ms",
+        "mean_effective_cooldown_ms",
+    ]);
+    for (site, a) in &tuning_by_site {
+        let n = a.sessions as f64;
+        row(&[
+            site.clone(),
+            a.sessions.to_string(),
+            f3(a.sum_rate / n),
+            f3(a.base_cooldown.as_secs_f64() * 1e3),
+            f3(a.sum_effective_s / n * 1e3),
+        ]);
     }
 
     // ---- chaos searches: candidate attrition and degraded generations ----
@@ -213,11 +359,12 @@ fn main() {
 
     // ---- latency governance: turn latency under injected delays vs SLO ----
     //
-    // Sessions run with a per-turn deadline equal to the SLO. Injected
-    // delays stretch turns on the virtual clock; retries back off on the
-    // same clock and are cut short by the turn budget. Per-turn latency is
-    // the virtual-clock delta across each `step`, and the gate is the SLO:
-    // p95 turn latency must stay within `MATILDA_TURN_SLO_MS`.
+    // Sampled-workload sessions run with a per-turn deadline equal to the
+    // SLO. Injected delays stretch turns on the virtual clock; retries back
+    // off on the same clock and are cut short by the turn budget, which now
+    // also preempts mid-run via the cooperative cancellation points.
+    // Per-turn latency is the virtual-clock delta across each `step`, and
+    // the gate is the SLO: p95 must stay within `MATILDA_TURN_SLO_MS`.
     let slo_ms: u64 = std::env::var("MATILDA_TURN_SLO_MS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -249,20 +396,13 @@ fn main() {
                 ..PlatformConfig::quick()
             },
         );
-        let mut timed = |s: &mut DesignSession, text: &str| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(900_001).wrapping_add(trial));
+        drive_sampled_workload(&mut s, &mut rng, |s, text| {
             let before = clock.now();
             let out = s.step(text).expect("session survives");
             turn_latencies_ms.push((clock.now() - before).as_secs_f64() * 1e3);
             out
-        };
-        timed(&mut s, "predict 'label'");
-        let mut guard = 0;
-        while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 60 {
-            timed(&mut s, "no");
-            guard += 1;
-        }
-        timed(&mut s, "run it");
-        timed(&mut s, "done");
+        });
     }
     turn_latencies_ms.sort_by(f64::total_cmp);
     let turn_p95 = pct(&turn_latencies_ms, 0.95);
@@ -332,6 +472,119 @@ fn main() {
         preempted_generations.to_string(),
     ]);
 
+    // ---- preemption coverage: every cancellation site trips on budget ----
+    //
+    // One micro-scenario per canonical cancellation point, all on the
+    // virtual clock: a delay fault at the site plus a budget sized so the
+    // budget is spent inside that loop. Coverage for a site is `true` iff
+    // the run comes back as a typed preemption naming that site.
+    let fit_delay = |site: &'static str, model: ModelSpec| -> bool {
+        let clock = Arc::new(TestClock::new());
+        let plan = FaultPlan::new(seed).inject(site, FaultKind::Delay(ms(1)), 1.0);
+        let _scope = fault::activate_with_clock(plan, clock.clone());
+        let budget = DeadlineBudget::start(clock.as_ref(), ms(20));
+        let ctx = ExecContext::bounded(budget, clock);
+        let mut spec = PipelineSpec::default_classification("label");
+        spec.model = model;
+        matches!(
+            run_with_ctx(&spec, &frame(), &ctx),
+            Ok(PipelineOutcome::Preempted { site: s, .. }) if s == site
+        )
+    };
+    let mut coverage: Vec<(&str, bool)> = Vec::new();
+    coverage.push(("pipeline.task", {
+        let clock = Arc::new(TestClock::new());
+        let plan =
+            FaultPlan::new(seed).inject("pipeline.task.explore", FaultKind::Delay(ms(10)), 1.0);
+        let _scope = fault::activate_with_clock(plan, clock.clone());
+        let budget = DeadlineBudget::start(clock.as_ref(), ms(5));
+        let ctx = ExecContext::bounded(budget, clock);
+        let spec = PipelineSpec::default_classification("label");
+        matches!(
+            run_with_ctx(&spec, &frame(), &ctx),
+            Ok(PipelineOutcome::Preempted { site, .. }) if site == "pipeline.task"
+        )
+    }));
+    coverage.push((
+        "ml.fit.logistic",
+        fit_delay(
+            "ml.fit.logistic",
+            ModelSpec::Logistic {
+                learning_rate: 0.3,
+                epochs: 200,
+                l2: 1e-3,
+            },
+        ),
+    ));
+    coverage.push((
+        "ml.fit.mlp",
+        fit_delay(
+            "ml.fit.mlp",
+            ModelSpec::Mlp {
+                hidden: 8,
+                learning_rate: 0.5,
+                epochs: 200,
+                seed: 7,
+            },
+        ),
+    ));
+    coverage.push((
+        "ml.fit.boost",
+        fit_delay(
+            "ml.fit.boost",
+            ModelSpec::Boost {
+                n_rounds: 60,
+                learning_rate: 0.3,
+                max_depth: 2,
+            },
+        ),
+    ));
+    coverage.push((
+        "ml.fit.forest",
+        fit_delay(
+            "ml.fit.forest",
+            ModelSpec::Forest {
+                n_trees: 60,
+                max_depth: 4,
+                feature_fraction: 0.8,
+                seed: 7,
+            },
+        ),
+    ));
+    coverage.push(("ml.cv.fold", {
+        let clock = Arc::new(TestClock::new());
+        let plan = FaultPlan::new(seed).inject("ml.cv.fold", FaultKind::Delay(ms(10)), 1.0);
+        let _scope = fault::activate_with_clock(plan, clock.clone());
+        let budget = DeadlineBudget::start(clock.as_ref(), ms(25));
+        let ctx = ExecContext::bounded(budget, clock);
+        let spec = PipelineSpec::default_classification("label");
+        matches!(
+            cv_score_with_ctx(&spec, &frame(), 5, &ctx),
+            Err(PipelineError::Preempted(site)) if site == "ml.cv.fold"
+        )
+    }));
+    coverage.push(("data.csv.batch", {
+        let clock = Arc::new(TestClock::new());
+        let plan = FaultPlan::new(seed).inject("data.csv.batch", FaultKind::Delay(ms(10)), 1.0);
+        let _scope = fault::activate_with_clock(plan, clock.clone());
+        let budget = DeadlineBudget::start(clock.as_ref(), ms(25));
+        let _cancel = cancel::activate_budget(budget, clock);
+        let mut text = String::from("x,label\n");
+        for i in 0..2000 {
+            let _ = writeln!(text, "{i},{}", if i % 2 == 0 { "a" } else { "b" });
+        }
+        matches!(
+            read_csv_str(&text, &CsvOptions::default()),
+            Err(DataError::Preempted(site)) if site == "data.csv.batch"
+        )
+    }));
+    let preemption_coverage_ok = coverage.iter().all(|(_, ok)| *ok);
+    println!("\n## preemption coverage (one delayed-loop micro-scenario per cancellation site)");
+    header(&["cancellation site", "preempts on budget"]);
+    for (site, ok) in &coverage {
+        row(&[(*site).to_string(), ok.to_string()]);
+    }
+
     // ---- export ----
     let run_telemetry = telemetry::RunTelemetry::capture_global("resilience");
     let metrics = &run_telemetry.metrics;
@@ -343,6 +596,8 @@ fn main() {
             k.starts_with("resilience.")
                 && *k != "resilience.recovery_seconds"
                 && *k != "resilience.turn_latency_seconds"
+                && !k.starts_with("resilience.breaker_cooldown_seconds")
+                && !k.starts_with("resilience.breaker_threshold")
         })
         .collect();
     counter_keys.sort();
@@ -376,6 +631,33 @@ fn main() {
     );
     let _ = writeln!(
         doc,
+        "  \"workload_mix\": {{\"turns\":{},\"creative_turns\":{},\"repair_loops\":{},\"runs_attempted\":{},\"runs_executed\":{}}},",
+        workload.turns,
+        workload.creative_turns,
+        workload.repair_loops,
+        workload.runs_attempted,
+        workload.runs_executed
+    );
+    doc.push_str("  \"breaker_tuning\": {");
+    for (i, (site, a)) in tuning_by_site.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let n = a.sessions as f64;
+        let _ = write!(
+            doc,
+            "\"{}\":{{\"sessions\":{},\"threshold\":{},\"mean_failure_rate\":{},\"base_cooldown_s\":{},\"mean_effective_cooldown_s\":{}}}",
+            site,
+            a.sessions,
+            a.threshold,
+            a.sum_rate / n,
+            a.base_cooldown.as_secs_f64(),
+            a.sum_effective_s / n
+        );
+    }
+    doc.push_str("},\n");
+    let _ = writeln!(
+        doc,
         "  \"search\": {{\"runs\":{SEARCHES},\"completed\":{searches_completed},\"failed_candidates\":{failed_candidates},\"degraded_generations\":{degraded_generations}}},"
     );
     let _ = writeln!(doc, "  \"slo_ms\": {slo_ms},");
@@ -392,6 +674,18 @@ fn main() {
     let _ = writeln!(
         doc,
         "  \"deadline_preemption\": {{\"searches\":{PREEMPT_SEARCHES},\"preempted\":{preempted},\"with_best\":{preempted_with_best},\"generations_completed\":{preempted_generations}}},"
+    );
+    doc.push_str("  \"preemption_coverage\": {");
+    for (i, (site, ok)) in coverage.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let _ = write!(doc, "\"{site}\":{ok}");
+    }
+    doc.push_str("},\n");
+    let _ = writeln!(
+        doc,
+        "  \"preemption_coverage_ok\": {preemption_coverage_ok},"
     );
     if let Some(h) = &recovery_hist {
         let _ = writeln!(

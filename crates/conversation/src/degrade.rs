@@ -1,0 +1,113 @@
+//! Graceful-degradation narration: when the platform has to cut a study
+//! short (a deadline preemption), the turn becomes an honest account of how
+//! far the work got, phrased for the user's expertise — never a timeout.
+
+use crate::profile::UserProfile;
+
+/// Plain-language phrase for a cancellation site, used for novice wording.
+fn site_phrase(site: &str) -> &'static str {
+    match site {
+        "pipeline.task" => "between two steps of the study",
+        "ml.cv.fold" => "while double-checking the result on held-back data",
+        "ml.fit.mlp" | "ml.fit.logistic" | "ml.fit.boost" | "ml.fit.forest" => {
+            "while the method was still learning from your data"
+        }
+        "data.csv.batch" => "while reading your data file",
+        _ => "partway through the study",
+    }
+}
+
+/// Narrate a deadline preemption: which work completed, where the budget
+/// ran out, and that nothing was lost.
+///
+/// Novices get the plain-language account; technical users additionally get
+/// the tripped site and the completed task list.
+pub fn narrate_preempted(site: &str, completed_tasks: &[String], user: &UserProfile) -> String {
+    let progress = if completed_tasks.is_empty() {
+        "I had to stop before any step finished".to_string()
+    } else {
+        format!(
+            "I finished {} of the study's steps before stopping",
+            completed_tasks.len()
+        )
+    };
+    if user.expertise.technical_language() {
+        let done = if completed_tasks.is_empty() {
+            "none".to_string()
+        } else {
+            completed_tasks.join(", ")
+        };
+        format!(
+            "This study ran out of its time budget at `{site}`. {progress} \
+             (completed: {done}). The partial timings are saved; a simpler \
+             design or a larger budget would let it finish."
+        )
+    } else {
+        format!(
+            "I ran out of time {} — {}. Nothing is lost: what we measured \
+             is saved, and a simpler design should fit in the time we have.",
+            site_phrase(site),
+            progress.to_lowercase()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn novice_wording_is_plain() {
+        let user = UserProfile::novice("Ada", "urbanism");
+        let text = narrate_preempted(
+            "ml.fit.logistic",
+            &["explore".into(), "fragment".into()],
+            &user,
+        );
+        assert!(text.contains("still learning"), "{text}");
+        assert!(!text.contains("ml.fit.logistic"), "no site names: {text}");
+        assert!(text.contains("Nothing is lost"), "{text}");
+    }
+
+    #[test]
+    fn technical_wording_names_the_site_and_tasks() {
+        let user = UserProfile::data_scientist("Elias");
+        let text = narrate_preempted(
+            "ml.fit.logistic",
+            &["explore".into(), "train".into()],
+            &user,
+        );
+        assert!(text.contains("ml.fit.logistic"), "{text}");
+        assert!(text.contains("explore, train"), "{text}");
+    }
+
+    #[test]
+    fn empty_prefix_is_honest() {
+        let novice = UserProfile::novice("Ada", "urbanism");
+        let text = narrate_preempted("pipeline.task", &[], &novice);
+        assert!(text.contains("before any step finished"), "{text}");
+        let expert = UserProfile::data_scientist("Elias");
+        let text = narrate_preempted("pipeline.task", &[], &expert);
+        assert!(text.contains("completed: none"), "{text}");
+    }
+
+    #[test]
+    fn every_canonical_site_has_a_phrase() {
+        for site in [
+            "pipeline.task",
+            "ml.cv.fold",
+            "ml.fit.mlp",
+            "ml.fit.logistic",
+            "ml.fit.boost",
+            "ml.fit.forest",
+            "data.csv.batch",
+        ] {
+            assert_ne!(
+                site_phrase(site),
+                "partway through the study",
+                "site {site} should have a dedicated phrase"
+            );
+        }
+        assert_eq!(site_phrase("unknown.site"), "partway through the study");
+    }
+}

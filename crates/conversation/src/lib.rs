@@ -5,6 +5,7 @@
 //! without touching technical detail.
 //!
 //! - [`vocab`]: the controlled vocabulary and text normalization;
+//! - [`degrade`]: graceful-degradation narration for preempted studies;
 //! - [`intent`]: rule-based intent parsing (deterministic, replayable);
 //! - [`profile`]: user expertise/domain/openness, which calibrates both
 //!   the number of suggestions and their wording;
@@ -28,6 +29,7 @@
 //! assert!(matches!(response.events.first(), Some(DialogueEvent::GoalSet { .. })));
 //! ```
 
+pub mod degrade;
 pub mod dialogue;
 pub mod error;
 pub mod feedback;
@@ -39,6 +41,7 @@ pub mod vocab;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
+    pub use crate::degrade::narrate_preempted;
     pub use crate::dialogue::{Dialogue, DialogueEvent, DialogueResponse, DialogueState};
     pub use crate::error::{ConversationError, Result};
     pub use crate::feedback::apply_to_draft;

@@ -55,7 +55,9 @@ pub mod prelude {
     pub use crate::narrate::{narrate_report, narrate_verdict};
     pub use crate::persona::Persona;
     pub use crate::platform::{DesignMode, DesignOutcome, Matilda};
-    pub use crate::session::{DesignSession, ExecutedDesign, SessionSummary, StepOutcome};
+    pub use crate::session::{
+        DesignSession, ExecOutcome, ExecutedDesign, PreemptedRun, SessionSummary, StepOutcome,
+    };
 }
 
 pub use assess::{Assessment, Verdict};

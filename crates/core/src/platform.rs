@@ -79,6 +79,27 @@ impl Matilda {
         &self.config
     }
 
+    /// Run the final report under the platform deadline, when configured:
+    /// even the reporting run cooperates with the budget instead of
+    /// overshooting it, and a preemption surfaces as a session error.
+    fn final_report(&self, spec: &PipelineSpec, frame: &DataFrame) -> Result<PipelineReport> {
+        let ctx = match self.config.deadline {
+            Some(limit) => {
+                let clock = matilda_resilience::fault::clock();
+                let budget = matilda_resilience::DeadlineBudget::start(clock.as_ref(), limit);
+                ExecContext::bounded(budget, clock)
+            }
+            None => ExecContext::unbounded(),
+        };
+        match run_with_ctx(spec, frame, &ctx)? {
+            PipelineOutcome::Completed(report) => Ok(report),
+            PipelineOutcome::Preempted { site, .. } => Err(PlatformError::Session(format!(
+                "the final report run was preempted at {site}; \
+                 the deadline budget is spent"
+            ))),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)] // one field per DesignOutcome component
     fn finish_outcome(
         &self,
@@ -91,7 +112,7 @@ impl Matilda {
         novelty: f64,
         surprise: f64,
     ) -> Result<DesignOutcome> {
-        let report = run(&spec, frame)?;
+        let report = self.final_report(&spec, frame)?;
         let assessment = assess(report.test_score, novelty, surprise, report.overfit_gap());
         let cocreativity = CoCreativityReport::from_events(&events);
         Ok(DesignOutcome {
@@ -173,7 +194,7 @@ impl Matilda {
         let spec = best.spec.clone();
         let novelty = best.novelty.unwrap_or(0.0);
         let surprise = best.surprise.unwrap_or(0.0);
-        let report = run(&spec, frame)?;
+        let report = self.final_report(&spec, frame)?;
         recorder.record(EventKind::PipelineExecuted {
             fingerprint: fp,
             score: report.test_score,

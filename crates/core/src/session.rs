@@ -27,6 +27,31 @@ pub struct ExecutedDesign {
     pub report: PipelineReport,
 }
 
+/// A run cut short by the deadline budget: the completed prefix is kept so
+/// the turn can degrade gracefully instead of discarding the work done.
+#[derive(Debug, Clone)]
+pub struct PreemptedRun {
+    /// Fingerprint of the design that was running.
+    pub fingerprint: u64,
+    /// The design itself.
+    pub spec: PipelineSpec,
+    /// Cancellation site that tripped (e.g. `ml.fit.logistic`).
+    pub site: String,
+    /// Task ids that completed before the trip, in execution order.
+    pub completed_tasks: Vec<String>,
+    /// Report over the completed prefix (spans and timings preserved).
+    pub partial: PipelineReport,
+}
+
+/// How one execution attempt ended: a full report, or a budget preemption.
+#[derive(Debug, Clone)]
+pub enum ExecOutcome {
+    /// The run completed and was recorded as an executed design.
+    Done(ExecutedDesign),
+    /// The deadline budget expired mid-run.
+    Preempted(PreemptedRun),
+}
+
 /// The outcome of one session step.
 #[derive(Debug, Clone)]
 pub struct StepOutcome {
@@ -98,6 +123,7 @@ pub struct DesignSession {
     user: UserProfile,
     rng: StdRng,
     executed: Vec<ExecutedDesign>,
+    preempted: Vec<PreemptedRun>,
     creative_injected: usize,
     apprentice: ApprenticeAgent,
     closed: bool,
@@ -167,6 +193,7 @@ impl DesignSession {
             user,
             rng,
             executed: Vec::new(),
+            preempted: Vec::new(),
             creative_injected: 0,
             apprentice,
             closed: false,
@@ -207,6 +234,11 @@ impl DesignSession {
     /// Designs executed so far, in order.
     pub fn executed(&self) -> &[ExecutedDesign] {
         &self.executed
+    }
+
+    /// Runs cut short by the deadline budget, in order.
+    pub fn preempted_runs(&self) -> &[PreemptedRun] {
+        &self.preempted
     }
 
     /// The best executed design by held-out score.
@@ -389,6 +421,12 @@ impl DesignSession {
         self.breakers.states(self.clock.as_ref())
     }
 
+    /// Effective per-site breaker tuning — thresholds and failure-rate
+    /// scaled cooldowns — for every site this session has touched.
+    pub fn breaker_tuning(&self) -> Vec<resilience::BreakerTuning> {
+        self.breakers.tuning(self.clock.as_ref())
+    }
+
     /// A shared handle to the session's breaker registry, so embedding code
     /// (e.g. the platform's hybrid search) can consult the same per-pattern
     /// quarantine state the conversational loop maintains.
@@ -401,7 +439,7 @@ impl DesignSession {
         self.budget.as_ref()
     }
 
-    fn execute(&mut self, spec: PipelineSpec, by: Actor) -> Result<ExecutedDesign> {
+    fn execute(&mut self, spec: PipelineSpec, by: Actor) -> Result<ExecOutcome> {
         let fp = matilda_pipeline::fingerprint::fingerprint(&spec);
         self.recorder.record(EventKind::PipelineProposed {
             fingerprint: fp,
@@ -442,18 +480,57 @@ impl DesignSession {
             (Some(turn), None) => Some(turn),
             (None, session) => session.as_ref(),
         };
+        // The executor receives the governing budget as an execution
+        // context: the run cooperates with the deadline from the inside
+        // (between tasks, per fit iteration, per CSV batch), instead of
+        // only being checked between retry attempts.
+        let ctx = ExecContext {
+            budget: effective_budget.cloned(),
+            clock: std::sync::Arc::clone(&self.clock),
+            breakers: Some(std::sync::Arc::clone(&self.breakers)),
+        };
         let (result, stats) = self.config.retry.run(
             self.clock.as_ref(),
             effective_budget,
             "pipeline.run",
             |_attempt| {
-                run(&spec, &self.frame).inspect_err(|e| {
+                // A preemption is Ok here: it must not be retried (the
+                // budget is spent) and must not count as a runner failure.
+                run_with_ctx(&spec, &self.frame, &ctx).inspect_err(|e| {
                     last_error = Some(e.to_string());
                 })
             },
         );
         match result {
-            Ok(report) => {
+            Ok(PipelineOutcome::Preempted {
+                completed_tasks,
+                partial_report,
+                site,
+            }) => {
+                // Abandoned, not failed: release the breaker probe without
+                // charging an outcome — the runner did nothing wrong.
+                breaker.on_abandoned();
+                telemetry::log::warn("core.session", "run preempted by deadline budget")
+                    .field("fingerprint", fp)
+                    .field("site", site.as_str())
+                    .field("completed_tasks", completed_tasks.len() as u64)
+                    .emit();
+                self.recorder.record(EventKind::FailureObserved {
+                    site: site.clone(),
+                    error: "turn deadline budget exhausted mid-run".into(),
+                    action: "preempted".into(),
+                });
+                let preempted = PreemptedRun {
+                    fingerprint: fp,
+                    spec,
+                    site,
+                    completed_tasks,
+                    partial: partial_report,
+                };
+                self.preempted.push(preempted.clone());
+                Ok(ExecOutcome::Preempted(preempted))
+            }
+            Ok(PipelineOutcome::Completed(report)) => {
                 breaker.on_success();
                 if stats.retries > 0 {
                     // The run recovered: keep the failed attempts auditable.
@@ -478,7 +555,7 @@ impl DesignSession {
                     report,
                 };
                 self.executed.push(executed.clone());
-                Ok(executed)
+                Ok(ExecOutcome::Done(executed))
             }
             Err(e) => {
                 breaker.on_failure(self.clock.as_ref());
@@ -700,11 +777,22 @@ impl DesignSession {
                         // rare class entirely absent from the training
                         // fragment): that too is conversation, not a crash.
                         match self.execute(spec, Actor::Conversation) {
-                            Ok(design) => {
+                            Ok(ExecOutcome::Done(design)) => {
                                 let narration =
                                     crate::narrate::narrate_report(&design.report, &self.user);
                                 reply = format!("{reply}\nStudy complete. {narration}");
                                 executed = Some(design);
+                            }
+                            Ok(ExecOutcome::Preempted(preempted)) => {
+                                // The turn degrades into an honest account of
+                                // how far the study got, in the user's words —
+                                // the session stays alive and responsive.
+                                let narration = narrate_preempted(
+                                    &preempted.site,
+                                    &preempted.completed_tasks,
+                                    &self.user,
+                                );
+                                reply = format!("{reply}\n{narration}");
                             }
                             Err(e) => {
                                 reply = format!(
@@ -1223,10 +1311,12 @@ mod tests {
             "{}",
             outcome.reply
         );
-        assert_eq!(
-            s.breaker_states(),
-            vec![("pipeline.run".to_string(), BreakerState::Open)]
-        );
+        // The runner breaker is open; per-task recording also charged the
+        // failing task's own breaker, while the healthy tasks stay closed.
+        let states = s.breaker_states();
+        assert!(states.contains(&("pipeline.run".to_string(), BreakerState::Open)));
+        assert!(states.contains(&("pipeline.task.train".to_string(), BreakerState::Open)));
+        assert!(states.contains(&("pipeline.task.explore".to_string(), BreakerState::Closed)));
         // The next run attempt is rejected by the open breaker — still
         // conversation, never a crash.
         let outcome = s.step("run it").unwrap();
@@ -1237,6 +1327,61 @@ mod tests {
             &e.kind,
             EventKind::FailureObserved { action, .. } if action == "breaker_open"
         )));
+    }
+
+    #[test]
+    fn deadline_preempts_the_run_into_a_degraded_turn() {
+        use matilda_resilience::{fault, FaultKind, FaultPlan, TestClock};
+        use std::time::Duration;
+        let clock = std::sync::Arc::new(TestClock::new());
+        // The train task costs 60 ms of virtual time against a 50 ms turn
+        // deadline: the task finishes, then the between-task checkpoint
+        // preempts before "test" starts.
+        let _scope = fault::activate_with_clock(
+            FaultPlan::new(77).inject(
+                "pipeline.task.train",
+                FaultKind::Delay(Duration::from_millis(60)),
+                1.0,
+            ),
+            clock.clone(),
+        );
+        let mut s = DesignSession::new(
+            "preempt",
+            "rq",
+            frame(),
+            UserProfile::novice("Ada", "urbanism"),
+            PlatformConfig {
+                turn_deadline: Some(Duration::from_millis(50)),
+                ..PlatformConfig::quick()
+            },
+        );
+        drive_to_ready(&mut s);
+        let outcome = s.step("run it").unwrap();
+        assert!(outcome.executed.is_none(), "{}", outcome.reply);
+        assert!(!outcome.closed, "the session survives the preemption");
+        assert!(
+            outcome.reply.contains("ran out of time"),
+            "{}",
+            outcome.reply
+        );
+        let pre = &s.preempted_runs()[0];
+        assert_eq!(pre.site, "pipeline.task");
+        assert!(pre.completed_tasks.contains(&"train".to_string()));
+        assert!(!pre.partial.timings.is_empty(), "partial spans preserved");
+        // Provenance shows the preemption as a typed failure action.
+        let failures = s.recorder().of_type("failure_observed");
+        assert!(
+            failures.iter().any(|e| matches!(
+                &e.kind,
+                EventKind::FailureObserved { action, site, .. }
+                    if action == "preempted" && site == "pipeline.task"
+            )),
+            "preemption is auditable"
+        );
+        // The log still passes every quality rule after closing.
+        s.step("done").unwrap();
+        let report = audit(&s.recorder().snapshot());
+        assert!(report.all_passed(), "failures: {:?}", report.failures());
     }
 
     #[test]

@@ -239,13 +239,25 @@ fn read_csv_str_inner(text: &str, opts: &CsvOptions) -> Result<DataFrame> {
     for (j, name) in header.iter().enumerate() {
         let dtype = final_dtypes[j];
         let mut col = Column::empty(dtype);
-        for rec in &records {
+        for (i, rec) in records.iter().enumerate() {
+            if i % BATCH_ROWS == 0 {
+                resilience::cancel::checkpoint("data.csv.batch")
+                    .map_err(|p| DataError::Preempted(p.site().to_string()))?;
+                resilience::fault::faultpoint("data.csv.batch").map_err(|f| DataError::Csv {
+                    line: 0,
+                    message: f.to_string(),
+                })?;
+            }
             col.push(parse_cell(&rec[j], dtype, opts))?;
         }
         df.add_column(name.clone(), col)?;
     }
     Ok(df)
 }
+
+/// Rows materialized between `data.csv.batch` cancellation checkpoints: an
+/// expired deadline budget stops a read within one batch per column.
+const BATCH_ROWS: usize = 256;
 
 /// The process-wide registry quarantining chronically failing data
 /// sources, one breaker per `data.read.<path>` site.
@@ -276,6 +288,9 @@ pub fn read_csv_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<DataFr
         .and_then(|text| read_csv_str(&text, opts));
     match &result {
         Ok(_) => breaker.on_success(),
+        // A preempted read says nothing about the source's health: release
+        // any probe slot but charge neither success nor failure.
+        Err(DataError::Preempted(_)) => breaker.on_abandoned(),
         Err(_) => breaker.on_failure(clock.as_ref()),
     }
     result
@@ -478,6 +493,80 @@ mod tests {
         let err = read_csv_str("a\n1\n", &CsvOptions::default()).unwrap_err();
         assert!(matches!(err, DataError::Csv { .. }));
         assert!(err.to_string().contains("panic isolated"));
+    }
+
+    #[test]
+    fn zero_budget_read_preempts_before_the_first_batch() {
+        use matilda_resilience::{cancel, DeadlineBudget, TestClock};
+        use std::sync::Arc;
+        use std::time::Duration;
+        let clock = Arc::new(TestClock::new());
+        let budget = DeadlineBudget::start(clock.as_ref(), Duration::ZERO);
+        let scope = cancel::activate_budget(budget, clock);
+        let err = read_csv_str("a,b\n1,2\n3,4\n", &CsvOptions::default()).unwrap_err();
+        assert_eq!(err, DataError::Preempted("data.csv.batch".into()));
+        assert_eq!(scope.tripped().as_deref(), Some("data.csv.batch"));
+    }
+
+    #[test]
+    fn slow_batches_preempt_mid_read_on_the_virtual_clock() {
+        use matilda_resilience::{
+            cancel, fault, Clock, DeadlineBudget, FaultKind, FaultPlan, TestClock,
+        };
+        use std::sync::Arc;
+        use std::time::Duration;
+        let clock = Arc::new(TestClock::new());
+        // Every 256-row batch boundary costs 10 ms of virtual time.
+        let _faults = fault::activate_with_clock(
+            FaultPlan::new(1).inject(
+                "data.csv.batch",
+                FaultKind::Delay(Duration::from_millis(10)),
+                1.0,
+            ),
+            clock.clone(),
+        );
+        let budget = DeadlineBudget::start(clock.as_ref(), Duration::from_millis(25));
+        let _scope = cancel::activate_budget(budget, clock.clone());
+        let mut text = String::from("v\n");
+        for i in 0..2000 {
+            text.push_str(&format!("{i}\n"));
+        }
+        let err = read_csv_str(&text, &CsvOptions::default()).unwrap_err();
+        assert_eq!(err, DataError::Preempted("data.csv.batch".into()));
+        assert!(
+            clock.now() <= Duration::from_millis(25 + 10),
+            "the read stopped within one batch of the budget: {:?}",
+            clock.now()
+        );
+    }
+
+    #[test]
+    fn preempted_read_does_not_feed_the_source_breaker() {
+        use matilda_resilience::{cancel, DeadlineBudget, TestClock};
+        use std::sync::Arc;
+        use std::time::Duration;
+        let path = std::env::temp_dir().join(format!(
+            "matilda-csv-preempt-breaker-{}.csv",
+            std::process::id()
+        ));
+        std::fs::write(&path, "a,b\n1,2\n").unwrap();
+        let opts = CsvOptions::default();
+        // Four preempted reads in a row would trip a threshold-3 breaker
+        // if they counted as failures.
+        for _ in 0..4 {
+            let clock = Arc::new(TestClock::new());
+            let budget = DeadlineBudget::start(clock.as_ref(), Duration::ZERO);
+            let _scope = cancel::activate_budget(budget, clock);
+            assert!(matches!(
+                read_csv_path(&path, &opts),
+                Err(DataError::Preempted(_))
+            ));
+        }
+        assert!(
+            read_csv_path(&path, &opts).is_ok(),
+            "the source stayed un-quarantined"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

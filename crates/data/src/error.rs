@@ -29,6 +29,9 @@ pub enum DataError {
     /// The source's circuit breaker is open after repeated read failures;
     /// reads are rejected until the cooldown re-admits a probe.
     SourceQuarantined(String),
+    /// The read was cooperatively cancelled at the named checkpoint site
+    /// because the active deadline budget expired.
+    Preempted(String),
 }
 
 impl fmt::Display for DataError {
@@ -58,6 +61,9 @@ impl fmt::Display for DataError {
                     f,
                     "data source quarantined after repeated failures: {source}"
                 )
+            }
+            DataError::Preempted(site) => {
+                write!(f, "preempted at {site}: deadline budget exhausted")
             }
         }
     }
@@ -110,6 +116,13 @@ mod tests {
         let e = DataError::SourceQuarantined("/data/x.csv".into());
         assert!(e.to_string().contains("quarantined"));
         assert!(e.to_string().contains("/data/x.csv"));
+    }
+
+    #[test]
+    fn display_preempted() {
+        let e = DataError::Preempted("data.csv.batch".into());
+        assert!(e.to_string().contains("preempted"));
+        assert!(e.to_string().contains("data.csv.batch"));
     }
 
     #[test]

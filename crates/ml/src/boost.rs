@@ -57,7 +57,7 @@ impl Ensemble {
         n_rounds: usize,
         learning_rate: f64,
         max_depth: usize,
-    ) -> Ensemble {
+    ) -> Result<Ensemble> {
         let n = x.len();
         let base = y.iter().sum::<f64>() / n as f64;
         let indices: Vec<usize> = (0..n).collect();
@@ -65,6 +65,7 @@ impl Ensemble {
         let mut current: Vec<f64> = vec![base; n];
         let mut trees = Vec::with_capacity(n_rounds);
         for _ in 0..n_rounds {
+            crate::hooks::iteration("ml.fit.boost")?;
             let residuals: Vec<f64> = y.iter().zip(&current).map(|(t, c)| t - c).collect();
             let tree = grow_tree(x, &residuals, &indices, &features, None, max_depth, 2);
             for (c, row) in current.iter_mut().zip(x) {
@@ -72,11 +73,11 @@ impl Ensemble {
             }
             trees.push(tree);
         }
-        Ensemble {
+        Ok(Ensemble {
             base,
             learning_rate,
             trees,
-        }
+        })
     }
 
     fn predict(&self, row: &[f64]) -> f64 {
@@ -125,7 +126,7 @@ impl Regressor for GradientBoostingRegressor {
             self.n_rounds,
             self.learning_rate,
             self.max_depth,
-        ));
+        )?);
         self.n_features = d;
         matilda_telemetry::metrics::global().observe_duration("ml.fit_seconds", span.close());
         Ok(())
@@ -196,7 +197,7 @@ impl Classifier for GradientBoostingClassifier {
                 self.n_rounds,
                 self.learning_rate,
                 self.max_depth,
-            ));
+            )?);
         }
         self.n_features = d;
         matilda_telemetry::metrics::global().observe_duration("ml.fit_seconds", span.close());

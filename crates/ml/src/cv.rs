@@ -122,6 +122,7 @@ pub fn cross_validate(
     let folds = k_fold_indices(data.n_rows(), k, seed)?;
     let mut fold_scores = Vec::with_capacity(k);
     for fold in &folds {
+        crate::hooks::iteration("ml.cv.fold")?;
         let train = data.subset(&fold.train)?;
         let test = data.subset(&fold.validation)?;
         fold_scores.push(holdout_score(spec, &train, &test, scoring)?);
@@ -219,6 +220,18 @@ mod tests {
         let a = cross_validate(&spec, &data, 4, Scoring::Accuracy, 5).unwrap();
         let b = cross_validate(&spec, &data, 4, Scoring::Accuracy, 5).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_budget_preempts_before_the_first_fold() {
+        use matilda_resilience::{cancel, DeadlineBudget, TestClock};
+        let clock = std::sync::Arc::new(TestClock::new());
+        let budget = DeadlineBudget::start(clock.as_ref(), std::time::Duration::ZERO);
+        let _scope = cancel::activate_budget(budget, clock);
+        let data = classification_data(40);
+        let spec = ModelSpec::Knn { k: 3 };
+        let err = cross_validate(&spec, &data, 4, Scoring::Accuracy, 5).unwrap_err();
+        assert_eq!(err, MlError::Preempted("ml.cv.fold".into()));
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub enum MlError {
     Numerical(String),
     /// Underlying data error.
     Data(matilda_data::DataError),
+    /// The fit or evaluation was cooperatively cancelled at the named
+    /// checkpoint site because the active deadline budget expired.
+    Preempted(String),
 }
 
 impl fmt::Display for MlError {
@@ -38,6 +41,9 @@ impl fmt::Display for MlError {
             MlError::NotFitted(model) => write!(f, "{model} used before fit"),
             MlError::Numerical(message) => write!(f, "numerical failure: {message}"),
             MlError::Data(e) => write!(f, "data error: {e}"),
+            MlError::Preempted(site) => {
+                write!(f, "preempted at {site}: deadline budget exhausted")
+            }
         }
     }
 }
@@ -53,7 +59,18 @@ impl std::error::Error for MlError {
 
 impl From<matilda_data::DataError> for MlError {
     fn from(e: matilda_data::DataError) -> Self {
-        MlError::Data(e)
+        match e {
+            // A preempted data read stays a preemption, not a data fault,
+            // so the executor can turn it into a partial result.
+            matilda_data::DataError::Preempted(site) => MlError::Preempted(site),
+            other => MlError::Data(other),
+        }
+    }
+}
+
+impl From<matilda_resilience::cancel::Preempted> for MlError {
+    fn from(p: matilda_resilience::cancel::Preempted) -> Self {
+        MlError::Preempted(p.site().to_string())
     }
 }
 
@@ -80,5 +97,14 @@ mod tests {
     fn from_data_error_keeps_source() {
         let e: MlError = matilda_data::DataError::Empty("frame").into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn preemption_lifts_unwrapped_through_error_layers() {
+        let e: MlError = matilda_data::DataError::Preempted("data.csv.batch".into()).into();
+        assert_eq!(e, MlError::Preempted("data.csv.batch".into()));
+        let e: MlError = matilda_resilience::cancel::Preempted::at("ml.fit.mlp").into();
+        assert_eq!(e, MlError::Preempted("ml.fit.mlp".into()));
+        assert!(e.to_string().contains("ml.fit.mlp"));
     }
 }

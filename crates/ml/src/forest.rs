@@ -120,6 +120,7 @@ impl Classifier for RandomForestClassifier {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         self.members.clear();
         for _ in 0..self.n_trees {
+            crate::hooks::iteration("ml.fit.forest")?;
             let rows = bootstrap(x.len(), &mut rng);
             let features = feature_subset(d, self.feature_fraction, &mut rng);
             let root = grow_tree(x, &y_f, &rows, &features, Some(k), self.max_depth, 2);
@@ -203,6 +204,7 @@ impl Regressor for RandomForestRegressor {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         self.members.clear();
         for _ in 0..self.n_trees {
+            crate::hooks::iteration("ml.fit.forest")?;
             let rows = bootstrap(x.len(), &mut rng);
             let features = feature_subset(d, self.feature_fraction, &mut rng);
             let root = grow_tree(x, y, &rows, &features, None, self.max_depth, 2);

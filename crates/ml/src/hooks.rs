@@ -1,0 +1,41 @@
+//! The per-iteration hook long training loops call at each boundary
+//! (epoch, boosting round, tree, CV fold): a cooperative-cancellation
+//! checkpoint so an expired deadline budget stops the loop with a typed
+//! [`MlError::Preempted`](crate::error::MlError::Preempted), then a chaos
+//! faultpoint so injected delay faults stretch iterations on the active
+//! resilience clock.
+
+use crate::error::{MlError, Result};
+use matilda_resilience as resilience;
+
+/// Checkpoint one iteration of the loop at `site`. Outside any
+/// cancellation scope or fault plan this costs two thread-local reads.
+pub(crate) fn iteration(site: &'static str) -> Result<()> {
+    resilience::cancel::checkpoint(site)?;
+    resilience::fault::faultpoint(site).map_err(|f| MlError::Numerical(f.to_string()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matilda_resilience::{cancel, DeadlineBudget, TestClock};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_iteration_is_free() {
+        assert!(iteration("ml.fit.test").is_ok());
+    }
+
+    #[test]
+    fn expired_budget_preempts_the_iteration() {
+        let clock = Arc::new(TestClock::new());
+        let budget = DeadlineBudget::start(clock.as_ref(), Duration::ZERO);
+        let _scope = cancel::activate_budget(budget, clock);
+        assert_eq!(
+            iteration("ml.fit.test"),
+            Err(MlError::Preempted("ml.fit.test".into()))
+        );
+    }
+}

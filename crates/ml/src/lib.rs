@@ -42,6 +42,7 @@ pub mod cv;
 pub mod dataset;
 pub mod error;
 pub mod forest;
+pub(crate) mod hooks;
 pub mod importance;
 pub mod kmeans;
 pub mod knn;

@@ -70,6 +70,7 @@ impl Classifier for LogisticRegression {
         let mut grad_w = vec![vec![0.0; d]; k];
         let mut grad_b = vec![0.0; k];
         for _ in 0..self.epochs {
+            crate::hooks::iteration("ml.fit.logistic")?;
             for g in grad_w.iter_mut() {
                 g.iter_mut().for_each(|v| *v = 0.0);
             }
@@ -140,6 +141,48 @@ mod tests {
             y.push(1);
         }
         (x, y)
+    }
+
+    #[test]
+    fn slow_epochs_preempt_on_the_virtual_clock() {
+        use matilda_resilience::{
+            cancel, fault, Clock, DeadlineBudget, FaultKind, FaultPlan, TestClock,
+        };
+        use std::sync::Arc;
+        use std::time::Duration;
+        let clock = Arc::new(TestClock::new());
+        // Each epoch costs 1 ms of virtual time; a 10 ms budget stops the
+        // 200-epoch fit at the 11th epoch's checkpoint, exactly on budget.
+        let _faults = fault::activate_with_clock(
+            FaultPlan::new(1).inject(
+                "ml.fit.logistic",
+                FaultKind::Delay(Duration::from_millis(1)),
+                1.0,
+            ),
+            clock.clone(),
+        );
+        let budget = DeadlineBudget::start(clock.as_ref(), Duration::from_millis(10));
+        let _scope = cancel::activate_budget(budget, clock.clone());
+        let (x, y) = separable();
+        let mut m = LogisticRegression::new(0.5, 200, 0.0);
+        let err = m.fit(&x, &y).unwrap_err();
+        assert_eq!(err, MlError::Preempted("ml.fit.logistic".into()));
+        assert_eq!(clock.now(), Duration::from_millis(10), "no overshoot");
+    }
+
+    #[test]
+    fn zero_budget_preempts_before_the_first_epoch() {
+        use matilda_resilience::{cancel, DeadlineBudget, TestClock};
+        use std::sync::Arc;
+        use std::time::Duration;
+        let clock = Arc::new(TestClock::new());
+        let budget = DeadlineBudget::start(clock.as_ref(), Duration::ZERO);
+        let scope = cancel::activate_budget(budget, clock);
+        let (x, y) = separable();
+        let mut m = LogisticRegression::new(0.5, 200, 0.0);
+        let err = m.fit(&x, &y).unwrap_err();
+        assert_eq!(err, MlError::Preempted("ml.fit.logistic".into()));
+        assert_eq!(scope.checks(), 1, "preempted at the very first iteration");
     }
 
     #[test]

@@ -133,6 +133,7 @@ impl Classifier for MlpClassifier {
         let n = x.len() as f64;
         let lr = self.learning_rate;
         for _ in 0..self.epochs {
+            crate::hooks::iteration("ml.fit.mlp")?;
             let mut gw1 = vec![vec![0.0; d]; self.hidden];
             let mut gb1 = vec![0.0; self.hidden];
             let mut gw2 = vec![vec![0.0; self.hidden]; k];

@@ -24,6 +24,9 @@ pub enum PipelineError {
     /// Scoring produced a non-finite value (NaN or ±inf inputs survived
     /// preparation); the run is rejected rather than reporting garbage.
     NonFiniteScore { test: f64, train: f64 },
+    /// The turn's deadline budget expired at a cancellation point; the
+    /// string is the site that tripped (e.g. `ml.fit.logistic`).
+    Preempted(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -42,6 +45,9 @@ impl fmt::Display for PipelineError {
             PipelineError::NonFiniteScore { test, train } => {
                 write!(f, "non-finite score (test={test}, train={train})")
             }
+            PipelineError::Preempted(site) => {
+                write!(f, "preempted at {site}: deadline budget exhausted")
+            }
         }
     }
 }
@@ -58,13 +64,21 @@ impl std::error::Error for PipelineError {
 
 impl From<matilda_data::DataError> for PipelineError {
     fn from(e: matilda_data::DataError) -> Self {
-        PipelineError::Data(e)
+        match e {
+            // A preemption inside a data read is a turn-level signal, not a
+            // data failure: lift it so the executor can surface a partial run.
+            matilda_data::DataError::Preempted(site) => PipelineError::Preempted(site),
+            other => PipelineError::Data(other),
+        }
     }
 }
 
 impl From<matilda_ml::MlError> for PipelineError {
     fn from(e: matilda_ml::MlError) -> Self {
-        PipelineError::Ml(e)
+        match e {
+            matilda_ml::MlError::Preempted(site) => PipelineError::Preempted(site),
+            other => PipelineError::Ml(other),
+        }
     }
 }
 
@@ -83,5 +97,14 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: PipelineError = matilda_ml::MlError::EmptyInput("x").into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn preemption_lifts_out_of_child_errors() {
+        let e: PipelineError = matilda_data::DataError::Preempted("data.csv.batch".into()).into();
+        assert_eq!(e, PipelineError::Preempted("data.csv.batch".into()));
+        let e: PipelineError = matilda_ml::MlError::Preempted("ml.fit.mlp".into()).into();
+        assert_eq!(e, PipelineError::Preempted("ml.fit.mlp".into()));
+        assert!(e.to_string().contains("preempted at ml.fit.mlp"));
     }
 }

@@ -9,7 +9,98 @@ use crate::validate::validate_strict;
 use matilda_data::prelude::*;
 use matilda_ml::prelude::*;
 use matilda_resilience as resilience;
+use matilda_resilience::{BreakerRegistry, Clock, DeadlineBudget, SystemClock};
 use matilda_telemetry as telemetry;
+use std::sync::Arc;
+
+/// Execution context for one pipeline run: an optional deadline budget, the
+/// clock it is measured against, and an optional breaker registry that
+/// records per-task outcomes.
+///
+/// [`ExecContext::unbounded`] reproduces the legacy behaviour of [`run`]:
+/// no budget, system clock, no breaker recording. With a budget set,
+/// [`run_with_ctx`] activates a cancellation scope for the duration of the
+/// run, so every cooperative checkpoint below it — between tasks, inside
+/// ML fit loops, across CSV row batches — observes the same budget.
+#[derive(Clone)]
+pub struct ExecContext {
+    /// Remaining turn budget; `None` runs unbounded.
+    pub budget: Option<DeadlineBudget>,
+    /// Clock the budget is measured against.
+    pub clock: Arc<dyn Clock>,
+    /// When present, each task's outcome is recorded against the breaker
+    /// for its site (`pipeline.task.<id>`). Recording never gates: retry
+    /// admission stays the caller's decision.
+    pub breakers: Option<Arc<BreakerRegistry>>,
+}
+
+impl ExecContext {
+    /// No budget, system clock, no breaker recording.
+    pub fn unbounded() -> Self {
+        Self {
+            budget: None,
+            clock: Arc::new(SystemClock),
+            breakers: None,
+        }
+    }
+
+    /// A context that preempts cooperatively once `budget` is exhausted on
+    /// `clock`.
+    pub fn bounded(budget: DeadlineBudget, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            budget: Some(budget),
+            clock,
+            breakers: None,
+        }
+    }
+
+    /// Record per-task outcomes against `breakers`.
+    pub fn with_breakers(mut self, breakers: Arc<BreakerRegistry>) -> Self {
+        self.breakers = Some(breakers);
+        self
+    }
+}
+
+/// The typed result of [`run_with_ctx`]: either a full report, or a partial
+/// one cut short by the deadline budget.
+#[derive(Debug, Clone)]
+pub enum PipelineOutcome {
+    /// Every task ran; the report covers the whole graph.
+    Completed(PipelineReport),
+    /// The budget expired mid-run. `partial_report` keeps the spans and
+    /// timings of every task that finished before the trip.
+    Preempted {
+        /// Ids of the tasks that completed, in execution order.
+        completed_tasks: Vec<String>,
+        /// Report over the completed prefix; scores not yet computed are 0.
+        partial_report: PipelineReport,
+        /// Cancellation site that tripped (e.g. `ml.fit.logistic`).
+        site: String,
+    },
+}
+
+impl PipelineOutcome {
+    /// The report, full or partial.
+    pub fn report(&self) -> &PipelineReport {
+        match self {
+            PipelineOutcome::Completed(r) => r,
+            PipelineOutcome::Preempted { partial_report, .. } => partial_report,
+        }
+    }
+
+    /// `true` when the run was cut short by the budget.
+    pub fn is_preempted(&self) -> bool {
+        matches!(self, PipelineOutcome::Preempted { .. })
+    }
+
+    /// The full report, or `None` if the run was preempted.
+    pub fn into_completed(self) -> Option<PipelineReport> {
+        match self {
+            PipelineOutcome::Completed(r) => Some(r),
+            PipelineOutcome::Preempted { .. } => None,
+        }
+    }
+}
 
 /// The outcome of executing one pipeline end to end.
 #[derive(Debug, Clone)]
@@ -112,7 +203,32 @@ fn align_classes(train: &Dataset, test: &mut Dataset) -> Result<()> {
 /// Execute `spec` on `df`, returning the report.
 ///
 /// Execution follows the standard six-phase task graph; each task is timed.
+/// Runs unbounded; a preemption can only arrive from an enclosing
+/// cancellation scope, and surfaces as [`PipelineError::Preempted`].
 pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
+    match run_with_ctx(spec, df, &ExecContext::unbounded())? {
+        PipelineOutcome::Completed(report) => Ok(report),
+        PipelineOutcome::Preempted { site, .. } => Err(PipelineError::Preempted(site)),
+    }
+}
+
+/// Execute `spec` on `df` under `ctx`, preempting cooperatively when the
+/// context's budget expires.
+///
+/// With a budget, a cancellation scope wraps the whole run: the executor
+/// checkpoints before every task, and the fit/read loops below it checkpoint
+/// per iteration, so an expired turn stops at the next checkpoint instead of
+/// running to completion. The partial report keeps every completed task's
+/// timing.
+pub fn run_with_ctx(
+    spec: &PipelineSpec,
+    df: &DataFrame,
+    ctx: &ExecContext,
+) -> Result<PipelineOutcome> {
+    let _cancel = ctx
+        .budget
+        .clone()
+        .map(|b| resilience::cancel::activate_budget(b, ctx.clock.clone()));
     let mut run_span = telemetry::span("pipeline.run");
     run_span
         .field("model", spec.model.name())
@@ -143,8 +259,15 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
     let mut train_score = 0.0;
     let mut test_score = 0.0;
     let mut features: Vec<String> = Vec::new();
+    let mut preempted_at: Option<String> = None;
 
     for id in order {
+        // Between-task checkpoint: an exhausted budget stops the run here
+        // before the next task starts any work.
+        if let Err(p) = resilience::cancel::checkpoint("pipeline.task") {
+            preempted_at = Some(p.site().to_string());
+            break;
+        }
         let task_span = telemetry::span(format!("pipeline.task.{id}"));
         telemetry::log::trace("pipeline.exec", "task started")
             .field("task", id)
@@ -200,12 +323,33 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
                 message: caught.message,
             })
         });
-        if let Err(e) = step {
-            telemetry::log::error("pipeline.exec", "task failed")
-                .field("task", id)
-                .field("error", e.to_string())
-                .emit();
-            return Err(e);
+        match step {
+            Ok(()) => {
+                if let Some(breakers) = &ctx.breakers {
+                    // Advance `Open → HalfOpen` first so a task breaker whose
+                    // cooldown has elapsed heals on this successful run;
+                    // within the cooldown the success is ignored by design.
+                    let breaker = breakers.get(&site);
+                    breaker.state(ctx.clock.as_ref());
+                    breaker.on_success();
+                }
+            }
+            // A fit or read loop inside the task hit its own checkpoint:
+            // the task is abandoned (not failed) and the run stops here.
+            Err(PipelineError::Preempted(trip_site)) => {
+                preempted_at = Some(trip_site);
+                break;
+            }
+            Err(e) => {
+                if let Some(breakers) = &ctx.breakers {
+                    breakers.get(&site).on_failure(ctx.clock.as_ref());
+                }
+                telemetry::log::error("pipeline.exec", "task failed")
+                    .field("task", id)
+                    .field("error", e.to_string())
+                    .emit();
+                return Err(e);
+            }
         }
         let took = task_span.close();
         telemetry::metrics::global().observe_duration("pipeline.task_seconds", took);
@@ -214,6 +358,33 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
             .field("micros", took.as_micros() as u64)
             .emit();
         timings.push((id.to_string(), took));
+    }
+
+    if let Some(site) = preempted_at {
+        // Partial runs skip the non-finite guard: scores that were never
+        // computed are legitimately zero, not garbage.
+        let completed_tasks: Vec<String> = timings.iter().map(|(t, _)| t.clone()).collect();
+        run_span.field("preempted_at", site.as_str());
+        telemetry::log::warn("pipeline.exec", "run preempted")
+            .field("site", site.as_str())
+            .field("completed_tasks", completed_tasks.len())
+            .emit();
+        let partial_report = PipelineReport {
+            test_score,
+            train_score,
+            timings,
+            elapsed: run_span.close(),
+            n_rows: frame.n_rows(),
+            feature_names: features,
+            model_name,
+            scoring_name: spec.scoring.name(),
+            n_explored_columns: n_explored,
+        };
+        return Ok(PipelineOutcome::Preempted {
+            completed_tasks,
+            partial_report,
+            site,
+        });
     }
 
     if !test_score.is_finite() || !train_score.is_finite() {
@@ -233,7 +404,7 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
         .field("test_score", test_score)
         .field("train_score", train_score)
         .emit();
-    Ok(PipelineReport {
+    Ok(PipelineOutcome::Completed(PipelineReport {
         test_score,
         train_score,
         timings,
@@ -243,7 +414,7 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
         model_name,
         scoring_name: spec.scoring.name(),
         n_explored_columns: n_explored,
-    })
+    }))
 }
 
 /// Cross-validated score of `spec` on `df`: preparation is applied once to
@@ -253,6 +424,23 @@ pub fn run(spec: &PipelineSpec, df: &DataFrame) -> Result<PipelineReport> {
 /// searching; final reporting should use [`run`], whose held-out fragment
 /// never sees preparation statistics.
 pub fn cv_score(spec: &PipelineSpec, df: &DataFrame, k: usize) -> Result<CvResult> {
+    cv_score_with_ctx(spec, df, k, &ExecContext::unbounded())
+}
+
+/// [`cv_score`] under an execution context: with a budget set, the fold loop
+/// preempts cooperatively and the expiry surfaces as
+/// [`PipelineError::Preempted`] — a search should treat it as "stop
+/// searching", not as a failed candidate.
+pub fn cv_score_with_ctx(
+    spec: &PipelineSpec,
+    df: &DataFrame,
+    k: usize,
+    ctx: &ExecContext,
+) -> Result<CvResult> {
+    let _cancel = ctx
+        .budget
+        .clone()
+        .map(|b| resilience::cancel::activate_budget(b, ctx.clock.clone()));
     let mut span = telemetry::span("pipeline.cv_score");
     span.field("model", spec.model.name()).field("folds", k);
     resilience::fault::faultpoint("pipeline.cv_score")
@@ -492,6 +680,152 @@ mod tests {
             assert!(report.test_score.is_finite());
             assert!(report.train_score.is_finite());
         }
+    }
+
+    #[test]
+    fn unbounded_context_matches_run() {
+        let df = classification_frame(60);
+        let spec = PipelineSpec::default_classification("label");
+        let plain = run(&spec, &df).unwrap();
+        let outcome = run_with_ctx(&spec, &df, &ExecContext::unbounded()).unwrap();
+        assert!(!outcome.is_preempted());
+        let report = outcome.into_completed().unwrap();
+        assert_eq!(report.test_score, plain.test_score);
+        assert_eq!(report.train_score, plain.train_score);
+    }
+
+    #[test]
+    fn zero_budget_preempts_before_the_first_task() {
+        use matilda_resilience::{DeadlineBudget, TestClock};
+        let clock = std::sync::Arc::new(TestClock::new());
+        let budget = DeadlineBudget::start(clock.as_ref(), std::time::Duration::ZERO);
+        let ctx = ExecContext::bounded(budget, clock);
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        match run_with_ctx(&spec, &df, &ctx).unwrap() {
+            PipelineOutcome::Preempted {
+                completed_tasks,
+                partial_report,
+                site,
+            } => {
+                assert!(completed_tasks.is_empty(), "no task had time to run");
+                assert_eq!(site, "pipeline.task");
+                // Satellite audit: empty partial reports never panic.
+                assert!(partial_report.slowest_task().is_none());
+                assert_eq!(partial_report.total_time(), std::time::Duration::ZERO);
+                assert_eq!(partial_report.overfit_gap(), 0.0);
+            }
+            other => panic!("expected preemption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_task_preempts_between_tasks_with_partial_report() {
+        use matilda_resilience::{fault, DeadlineBudget, FaultKind, FaultPlan, TestClock};
+        use std::time::Duration;
+        let clock = std::sync::Arc::new(TestClock::new());
+        // "explore" costs 10 ms of virtual time against a 5 ms budget: the
+        // task itself completes, then the next between-task checkpoint trips.
+        let _faults = fault::activate_with_clock(
+            FaultPlan::new(3).inject(
+                "pipeline.task.explore",
+                FaultKind::Delay(Duration::from_millis(10)),
+                1.0,
+            ),
+            clock.clone(),
+        );
+        let budget = DeadlineBudget::start(clock.as_ref(), Duration::from_millis(5));
+        let ctx = ExecContext::bounded(budget, clock);
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        match run_with_ctx(&spec, &df, &ctx).unwrap() {
+            PipelineOutcome::Preempted {
+                completed_tasks,
+                partial_report,
+                site,
+            } => {
+                assert_eq!(completed_tasks, vec!["explore".to_string()]);
+                assert_eq!(site, "pipeline.task");
+                assert_eq!(partial_report.timings.len(), 1);
+                assert_eq!(partial_report.slowest_task().unwrap().0, "explore");
+            }
+            other => panic!("expected preemption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fit_loop_preemption_lifts_out_of_the_train_task() {
+        use matilda_resilience::{fault, DeadlineBudget, FaultKind, FaultPlan, TestClock};
+        use std::time::Duration;
+        let clock = std::sync::Arc::new(TestClock::new());
+        // Each logistic epoch costs 1 ms; the budget expires mid-fit and the
+        // preemption lifts DataError/MlError -> PipelineError -> outcome.
+        let _faults = fault::activate_with_clock(
+            FaultPlan::new(4).inject(
+                "ml.fit.logistic",
+                FaultKind::Delay(Duration::from_millis(1)),
+                1.0,
+            ),
+            clock.clone(),
+        );
+        let budget = DeadlineBudget::start(clock.as_ref(), Duration::from_millis(20));
+        let ctx = ExecContext::bounded(budget, clock.clone());
+        let df = classification_frame(60);
+        let mut spec = PipelineSpec::default_classification("label");
+        spec.model = ModelSpec::Logistic {
+            learning_rate: 0.3,
+            epochs: 200,
+            l2: 1e-3,
+        };
+        match run_with_ctx(&spec, &df, &ctx).unwrap() {
+            PipelineOutcome::Preempted {
+                completed_tasks,
+                partial_report,
+                site,
+            } => {
+                assert_eq!(site, "ml.fit.logistic");
+                assert!(completed_tasks.contains(&"fragment".to_string()));
+                assert!(
+                    !completed_tasks.contains(&"train".to_string()),
+                    "train was cut short, not completed"
+                );
+                assert!(!partial_report.timings.is_empty());
+                assert!(
+                    clock.now() <= Duration::from_millis(21),
+                    "no overshoot past the budget: {:?}",
+                    clock.now()
+                );
+            }
+            other => panic!("expected preemption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_registry_records_task_outcomes() {
+        use matilda_resilience::{BreakerRegistry, SystemClock};
+        let breakers =
+            std::sync::Arc::new(BreakerRegistry::new(3, std::time::Duration::from_secs(30)));
+        let ctx = ExecContext::unbounded().with_breakers(breakers.clone());
+        let df = classification_frame(40);
+        let spec = PipelineSpec::default_classification("label");
+        run_with_ctx(&spec, &df, &ctx).unwrap();
+        let states = breakers.states(&SystemClock);
+        assert!(states.iter().any(|(site, _)| site == "pipeline.task.train"));
+        // A completed run records only successes: rate drops from the
+        // pessimistic prior to 0.
+        assert_eq!(breakers.get("pipeline.task.train").failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn preempted_cv_score_is_a_typed_error() {
+        use matilda_resilience::{DeadlineBudget, TestClock};
+        let clock = std::sync::Arc::new(TestClock::new());
+        let budget = DeadlineBudget::start(clock.as_ref(), std::time::Duration::ZERO);
+        let ctx = ExecContext::bounded(budget, clock);
+        let df = classification_frame(60);
+        let spec = PipelineSpec::default_classification("label");
+        let err = cv_score_with_ctx(&spec, &df, 4, &ctx).unwrap_err();
+        assert_eq!(err, PipelineError::Preempted("ml.cv.fold".into()));
     }
 
     #[test]

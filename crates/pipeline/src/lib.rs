@@ -45,7 +45,10 @@ pub mod validate;
 pub mod prelude {
     pub use crate::codec::{decode as decode_spec, encode as encode_spec};
     pub use crate::error::{PipelineError, Result};
-    pub use crate::exec::{cv_score, run, PipelineReport};
+    pub use crate::exec::{
+        cv_score, cv_score_with_ctx, run, run_with_ctx, ExecContext, PipelineOutcome,
+        PipelineReport,
+    };
     pub use crate::fingerprint::{descriptor, descriptor_distance, fingerprint, DESCRIPTOR_LEN};
     pub use crate::graph::{standard_graph, TaskGraph, TaskNode};
     pub use crate::op::{PrepOp, SplitSpec};
@@ -58,7 +61,9 @@ pub mod prelude {
 }
 
 pub use error::{PipelineError, Result};
-pub use exec::{cv_score, run, PipelineReport};
+pub use exec::{
+    cv_score, cv_score_with_ctx, run, run_with_ctx, ExecContext, PipelineOutcome, PipelineReport,
+};
 pub use op::{PrepOp, SplitSpec};
 pub use phase::Phase;
 pub use spec::{PipelineSpec, Task};

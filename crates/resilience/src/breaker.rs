@@ -6,6 +6,15 @@
 //! driven by the injectable [`Clock`] and the live state exported as a
 //! telemetry gauge (`resilience.breaker_state.<site>`: 0 closed, 0.5
 //! half-open, 1 open) so dashboards can watch quarantines happen.
+//!
+//! Cooldowns adapt per site: each breaker tracks its lifetime failure
+//! rate and scales the configured cooldown by `0.25 + 0.75 × rate`, so a
+//! chronically failing site cools for the full configured time while a
+//! mostly-healthy one that tripped on a transient burst re-probes up to
+//! 4× sooner. The effective value is exported as
+//! `resilience.breaker_cooldown_seconds.<site>` (alongside
+//! `resilience.breaker_threshold.<site>`) and surfaced in run reports via
+//! [`BreakerRegistry::tuning`].
 
 use crate::clock::Clock;
 use matilda_telemetry as telemetry;
@@ -50,6 +59,21 @@ struct Inner {
     consecutive_failures: u32,
     opened_at: Duration,
     probe_out: bool,
+    total_successes: u64,
+    total_failures: u64,
+}
+
+impl Inner {
+    // Lifetime failure rate; with no observations yet the breaker assumes
+    // the worst (1.0) so an untested site gets the full cooldown.
+    fn failure_rate(&self) -> f64 {
+        let total = self.total_failures + self.total_successes;
+        if total == 0 {
+            1.0
+        } else {
+            self.total_failures as f64 / total as f64
+        }
+    }
 }
 
 /// A per-site circuit breaker.
@@ -66,19 +90,30 @@ impl CircuitBreaker {
     /// failures and cooling down for `cooldown` before half-opening.
     pub fn new(site: impl Into<String>, threshold: u32, cooldown: Duration) -> Self {
         let site = site.into();
+        let threshold = threshold.max(1);
         telemetry::metrics::global().set_gauge(
             &format!("resilience.breaker_state.{site}"),
             BreakerState::Closed.gauge(),
         );
+        telemetry::metrics::global().set_gauge(
+            &format!("resilience.breaker_threshold.{site}"),
+            f64::from(threshold),
+        );
+        telemetry::metrics::global().set_gauge(
+            &format!("resilience.breaker_cooldown_seconds.{site}"),
+            cooldown.as_secs_f64(),
+        );
         Self {
             site,
-            threshold: threshold.max(1),
+            threshold,
             cooldown,
             inner: Mutex::new(Inner {
                 state: BreakerState::Closed,
                 consecutive_failures: 0,
                 opened_at: Duration::ZERO,
                 probe_out: false,
+                total_successes: 0,
+                total_failures: 0,
             }),
         }
     }
@@ -107,17 +142,30 @@ impl CircuitBreaker {
         inner.state = next;
     }
 
-    /// The current state, advancing `Open → HalfOpen` when the cooldown
-    /// has elapsed.
+    /// The current state, advancing `Open → HalfOpen` when the (adaptive)
+    /// cooldown has elapsed.
     pub fn state(&self, clock: &dyn Clock) -> BreakerState {
         let mut inner = self.inner.lock();
         if inner.state == BreakerState::Open
-            && clock.now().saturating_sub(inner.opened_at) >= self.cooldown
+            && clock.now().saturating_sub(inner.opened_at) >= self.scaled_cooldown(&inner)
         {
             inner.probe_out = false;
             self.transition(&mut inner, BreakerState::HalfOpen);
         }
         inner.state
+    }
+
+    // The cooldown scaled by the observed failure rate: full length for a
+    // site that only ever fails, down to a quarter for a near-healthy one.
+    fn scaled_cooldown(&self, inner: &Inner) -> Duration {
+        self.cooldown.mul_f64(0.25 + 0.75 * inner.failure_rate())
+    }
+
+    fn export_tuning(&self, inner: &Inner) {
+        telemetry::metrics::global().set_gauge(
+            &format!("resilience.breaker_cooldown_seconds.{}", self.site),
+            self.scaled_cooldown(inner).as_secs_f64(),
+        );
     }
 
     /// May a call proceed right now? `Closed` always; `HalfOpen` admits a
@@ -154,15 +202,18 @@ impl CircuitBreaker {
         if inner.state == BreakerState::Open {
             return;
         }
+        inner.total_successes += 1;
         inner.consecutive_failures = 0;
         inner.probe_out = false;
         self.transition(&mut inner, BreakerState::Closed);
+        self.export_tuning(&inner);
     }
 
     /// Report a failed call: extends the streak, trips to `Open` at the
     /// threshold, and re-opens immediately on a failed half-open probe.
     pub fn on_failure(&self, clock: &dyn Clock) {
         let mut inner = self.inner.lock();
+        inner.total_failures += 1;
         inner.consecutive_failures += 1;
         let reopen = inner.state == BreakerState::HalfOpen;
         if reopen || inner.consecutive_failures >= self.threshold {
@@ -170,12 +221,75 @@ impl CircuitBreaker {
             inner.probe_out = false;
             self.transition(&mut inner, BreakerState::Open);
         }
+        self.export_tuning(&inner);
+    }
+
+    /// Report an abandoned call — preempted by the deadline budget before
+    /// it could succeed or fail. Neither outcome is charged: the streak,
+    /// failure rate and state are untouched, but an outstanding half-open
+    /// probe slot is released so the next turn can probe again.
+    pub fn on_abandoned(&self) {
+        let mut inner = self.inner.lock();
+        inner.probe_out = false;
     }
 
     /// The current consecutive-failure streak.
     pub fn failure_streak(&self) -> u32 {
         self.inner.lock().consecutive_failures
     }
+
+    /// Lifetime failure rate in `[0, 1]`; `1.0` before any observation.
+    pub fn failure_rate(&self) -> f64 {
+        self.inner.lock().failure_rate()
+    }
+
+    /// The cooldown this breaker currently applies (configured cooldown
+    /// scaled by the observed failure rate).
+    pub fn effective_cooldown(&self) -> Duration {
+        let inner = self.inner.lock();
+        self.scaled_cooldown(&inner)
+    }
+
+    /// The configured (unscaled) cooldown.
+    pub fn base_cooldown(&self) -> Duration {
+        self.cooldown
+    }
+
+    /// The consecutive-failure threshold that trips this breaker.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// A snapshot of this breaker's adaptive tuning for run reports.
+    pub fn tuning(&self, clock: &dyn Clock) -> BreakerTuning {
+        let state = self.state(clock);
+        let inner = self.inner.lock();
+        BreakerTuning {
+            site: self.site.clone(),
+            state,
+            threshold: self.threshold,
+            failure_rate: inner.failure_rate(),
+            base_cooldown: self.cooldown,
+            effective_cooldown: self.scaled_cooldown(&inner),
+        }
+    }
+}
+
+/// One breaker's effective per-site tuning, as surfaced in run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerTuning {
+    /// The guarded site.
+    pub site: String,
+    /// Current breaker position.
+    pub state: BreakerState,
+    /// Consecutive failures that trip the breaker.
+    pub threshold: u32,
+    /// Lifetime failure rate in `[0, 1]` (`1.0` before any observation).
+    pub failure_rate: f64,
+    /// The configured cooldown before adaptation.
+    pub base_cooldown: Duration,
+    /// The cooldown actually applied: base scaled by the failure rate.
+    pub effective_cooldown: Duration,
 }
 
 /// A lazily-populated registry of breakers, one per site name.
@@ -213,6 +327,15 @@ impl BreakerRegistry {
             .map(|b| (b.site().to_string(), b.state(clock)))
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Effective per-site tuning for every breaker created so far, sorted
+    /// by site — the block run reports and `/metrics` consumers read.
+    pub fn tuning(&self, clock: &dyn Clock) -> Vec<BreakerTuning> {
+        let breakers: Vec<Arc<CircuitBreaker>> = self.breakers.lock().values().cloned().collect();
+        let mut out: Vec<BreakerTuning> = breakers.iter().map(|b| b.tuning(clock)).collect();
+        out.sort_by(|a, b| a.site.cmp(&b.site));
         out
     }
 }
@@ -311,6 +434,118 @@ mod tests {
                 ("a".to_string(), BreakerState::Open),
                 ("b".to_string(), BreakerState::Closed),
             ]
+        );
+    }
+
+    #[test]
+    fn failure_rate_starts_pessimistic_and_tracks_outcomes() {
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("s", 10, Duration::from_secs(8));
+        assert_eq!(b.failure_rate(), 1.0, "no observations assumes the worst");
+        assert_eq!(b.effective_cooldown(), Duration::from_secs(8));
+        for _ in 0..3 {
+            b.on_success();
+        }
+        b.on_failure(&clock);
+        assert_eq!(b.failure_rate(), 0.25);
+        // 8 s × (0.25 + 0.75 × 0.25) = 3.5 s
+        assert_eq!(b.effective_cooldown(), Duration::from_secs_f64(3.5));
+    }
+
+    #[test]
+    fn healthy_history_shortens_the_cooldown() {
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("s", 2, Duration::from_secs(100));
+        // A long healthy run, then a transient burst trips the breaker.
+        for _ in 0..98 {
+            b.on_success();
+        }
+        b.on_failure(&clock);
+        b.on_failure(&clock);
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        let effective = b.effective_cooldown();
+        assert!(
+            effective < Duration::from_secs(27),
+            "2% failure rate cools far less than the 100 s base: {effective:?}"
+        );
+        clock.advance(effective);
+        assert_eq!(
+            b.state(&clock),
+            BreakerState::HalfOpen,
+            "the adaptive cooldown, not the base one, gates the probe"
+        );
+    }
+
+    #[test]
+    fn failures_only_history_keeps_the_full_cooldown() {
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("s", 1, Duration::from_secs(5));
+        b.on_failure(&clock);
+        assert_eq!(b.effective_cooldown(), Duration::from_secs(5));
+        clock.advance(Duration::from_secs(4));
+        assert_eq!(b.state(&clock), BreakerState::Open);
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(b.state(&clock), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn abandoned_probe_releases_the_slot_without_charging_an_outcome() {
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("s", 1, Duration::from_secs(5));
+        b.on_failure(&clock);
+        clock.advance(Duration::from_secs(5));
+        assert!(b.try_acquire(&clock), "half-open probe admitted");
+        assert!(!b.try_acquire(&clock), "slot held while the probe runs");
+        let rate_before = b.failure_rate();
+        b.on_abandoned();
+        assert_eq!(b.state(&clock), BreakerState::HalfOpen, "state untouched");
+        assert_eq!(b.failure_rate(), rate_before, "no outcome charged");
+        assert!(
+            b.try_acquire(&clock),
+            "the released slot admits a new probe"
+        );
+    }
+
+    #[test]
+    fn tuning_snapshot_reports_effective_values() {
+        let clock = TestClock::new();
+        let reg = BreakerRegistry::new(3, Duration::from_secs(10));
+        let a = reg.get("a");
+        a.on_success();
+        a.on_failure(&clock);
+        reg.get("b");
+        let tuning = reg.tuning(&clock);
+        assert_eq!(tuning.len(), 2);
+        assert_eq!(tuning[0].site, "a");
+        assert_eq!(tuning[0].threshold, 3);
+        assert_eq!(tuning[0].failure_rate, 0.5);
+        assert_eq!(tuning[0].base_cooldown, Duration::from_secs(10));
+        // 10 s × (0.25 + 0.75 × 0.5) = 6.25 s
+        assert_eq!(tuning[0].effective_cooldown, Duration::from_secs_f64(6.25));
+        assert_eq!(tuning[1].site, "b");
+        assert_eq!(tuning[1].failure_rate, 1.0);
+        assert_eq!(tuning[1].effective_cooldown, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn tuning_gauges_exported() {
+        let scoped = telemetry::metrics::scoped();
+        let clock = TestClock::new();
+        let b = CircuitBreaker::new("tuned", 2, Duration::from_secs(4));
+        let snap = scoped.snapshot();
+        assert_eq!(snap.gauge("resilience.breaker_threshold.tuned"), Some(2.0));
+        assert_eq!(
+            snap.gauge("resilience.breaker_cooldown_seconds.tuned"),
+            Some(4.0)
+        );
+        b.on_success();
+        b.on_failure(&clock);
+        // rate 0.5 → 4 s × 0.625 = 2.5 s
+        assert_eq!(
+            scoped
+                .snapshot()
+                .gauge("resilience.breaker_cooldown_seconds.tuned"),
+            Some(2.5)
         );
     }
 

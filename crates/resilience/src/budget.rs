@@ -45,6 +45,18 @@ impl DeadlineBudget {
     pub fn affords(&self, clock: &dyn Clock, d: Duration) -> bool {
         self.remaining(clock) >= d
     }
+
+    /// Checkpoint helper: a typed [`Preempted`](crate::cancel::Preempted)
+    /// at `site` once the allowance is spent, `Ok(())` otherwise. Loops
+    /// holding an explicit budget call this directly; loops reached only
+    /// through the thread-local scope use [`crate::cancel::checkpoint`].
+    pub fn check(&self, clock: &dyn Clock, site: &str) -> Result<(), crate::cancel::Preempted> {
+        if self.expired(clock) {
+            Err(crate::cancel::Preempted::at(site))
+        } else {
+            Ok(())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -65,5 +77,15 @@ mod tests {
         clock.advance(Duration::from_secs(7));
         assert!(budget.expired(&clock));
         assert_eq!(budget.remaining(&clock), Duration::ZERO);
+    }
+
+    #[test]
+    fn check_surfaces_typed_preemption() {
+        let clock = TestClock::new();
+        let budget = DeadlineBudget::start(&clock, Duration::from_secs(1));
+        assert!(budget.check(&clock, "demo.site").is_ok());
+        clock.advance(Duration::from_secs(2));
+        let err = budget.check(&clock, "demo.site").unwrap_err();
+        assert_eq!(err.site(), "demo.site");
     }
 }

@@ -1,0 +1,358 @@
+//! Cooperative cancellation: a deadline budget threaded through pipeline
+//! tasks, ML fit iterations, CV folds and CSV row batches via lightweight
+//! [`checkpoint`] hooks at named sites.
+//!
+//! Mirrors the [`crate::fault`] scope machinery: a [`CancellationPoint`]
+//! is activated over a thread-local scope, and every long-running loop
+//! calls [`checkpoint`] at its boundary. Outside any scope the checkpoint
+//! is a no-op, so library code carries no policy — only the session (or a
+//! bench harness) decides whether work is bounded. When the point reports
+//! expiry the checkpoint returns a typed [`Preempted`] carrying the site
+//! name, which error layers lift unchanged (`DataError::Preempted` →
+//! `MlError::Preempted` → `PipelineError::Preempted`) so the executor can
+//! convert it into a partial result instead of a failure.
+//!
+//! ```
+//! use matilda_resilience::cancel::{self, BudgetCancellation};
+//! use matilda_resilience::{Clock, DeadlineBudget, TestClock};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let clock = Arc::new(TestClock::new());
+//! let budget = DeadlineBudget::start(clock.as_ref(), Duration::from_secs(1));
+//! let scope = cancel::activate(Arc::new(BudgetCancellation::new(budget, clock.clone())));
+//! assert!(cancel::checkpoint("demo.loop").is_ok());
+//! clock.advance(Duration::from_secs(2));
+//! assert!(cancel::checkpoint("demo.loop").is_err());
+//! assert_eq!(scope.tripped().as_deref(), Some("demo.loop"));
+//! ```
+
+use crate::budget::DeadlineBudget;
+use crate::clock::Clock;
+use matilda_telemetry as telemetry;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Typed preemption: the active allowance was spent at a named site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Preempted {
+    site: String,
+}
+
+impl Preempted {
+    /// A preemption observed at `site`.
+    pub fn at(site: impl Into<String>) -> Self {
+        Self { site: site.into() }
+    }
+
+    /// The cancellation site that observed the expired allowance.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+}
+
+impl fmt::Display for Preempted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "preempted at {}: deadline budget exhausted", self.site)
+    }
+}
+
+impl std::error::Error for Preempted {}
+
+/// A cancellation authority checkpoints consult: "should work stop now?"
+///
+/// The standard implementation is [`BudgetCancellation`]; tests can supply
+/// their own (e.g. trip after N checks) without touching any clock.
+pub trait CancellationPoint: Send + Sync + fmt::Debug {
+    /// `true` once the allowance is spent and cooperative work must stop.
+    fn expired(&self) -> bool;
+
+    /// Time left before expiry (zero once expired), for logs and reports.
+    fn remaining(&self) -> Duration;
+}
+
+/// The standard cancellation point: a [`DeadlineBudget`] measured against
+/// the clock it was started on.
+#[derive(Debug, Clone)]
+pub struct BudgetCancellation {
+    budget: DeadlineBudget,
+    clock: Arc<dyn Clock>,
+}
+
+impl BudgetCancellation {
+    /// Bind `budget` to the `clock` it is measured on.
+    pub fn new(budget: DeadlineBudget, clock: Arc<dyn Clock>) -> Self {
+        Self { budget, clock }
+    }
+
+    /// The underlying budget.
+    pub fn budget(&self) -> &DeadlineBudget {
+        &self.budget
+    }
+}
+
+impl CancellationPoint for BudgetCancellation {
+    fn expired(&self) -> bool {
+        self.budget.expired(self.clock.as_ref())
+    }
+
+    fn remaining(&self) -> Duration {
+        self.budget.remaining(self.clock.as_ref())
+    }
+}
+
+/// A live cancellation scope: the point plus observability counters the
+/// executor and tests read back (which sites checked in, where it tripped).
+#[derive(Debug)]
+pub struct CancelScope {
+    point: Arc<dyn CancellationPoint>,
+    checks: Mutex<u64>,
+    visited: Mutex<BTreeSet<String>>,
+    tripped: Mutex<Option<String>>,
+}
+
+impl CancelScope {
+    /// Total checkpoint consultations inside this scope.
+    pub fn checks(&self) -> u64 {
+        *self.checks.lock()
+    }
+
+    /// Every site that checked in, sorted — the per-site coverage record
+    /// E12 uses to prove each budget-bearing loop actually checkpoints.
+    pub fn visited_sites(&self) -> Vec<String> {
+        self.visited.lock().iter().cloned().collect()
+    }
+
+    /// The first site that observed the expired allowance, if any.
+    pub fn tripped(&self) -> Option<String> {
+        self.tripped.lock().clone()
+    }
+
+    /// The cancellation authority this scope consults.
+    pub fn point(&self) -> Arc<dyn CancellationPoint> {
+        self.point.clone()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<CancelScope>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII activation of a cancellation point on the current thread.
+///
+/// Derefs to [`CancelScope`] so the guard doubles as the handle tests use
+/// to read trip/coverage records after the workload ran.
+#[derive(Debug)]
+pub struct CancelGuard {
+    scope: Arc<CancelScope>,
+}
+
+impl std::ops::Deref for CancelGuard {
+    type Target = CancelScope;
+
+    fn deref(&self) -> &CancelScope {
+        &self.scope
+    }
+}
+
+impl Drop for CancelGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|s| Arc::ptr_eq(s, &self.scope)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Activate `point` on the current thread; checkpoints consult it until
+/// the guard drops. Scopes nest; the innermost wins.
+pub fn activate(point: Arc<dyn CancellationPoint>) -> CancelGuard {
+    let scope = Arc::new(CancelScope {
+        point,
+        checks: Mutex::new(0),
+        visited: Mutex::new(BTreeSet::new()),
+        tripped: Mutex::new(None),
+    });
+    CURRENT.with(|stack| stack.borrow_mut().push(scope.clone()));
+    CancelGuard { scope }
+}
+
+/// Convenience: activate a [`BudgetCancellation`] for `budget` on `clock`.
+pub fn activate_budget(budget: DeadlineBudget, clock: Arc<dyn Clock>) -> CancelGuard {
+    activate(Arc::new(BudgetCancellation::new(budget, clock)))
+}
+
+/// The scope active on this thread, if any — capture before spawning
+/// workers and re-enter with [`adopt`] so parallel stages stay bounded by
+/// the same budget.
+pub fn handle() -> Option<Arc<CancelScope>> {
+    CURRENT.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Guard returned by [`adopt`]; removes the adopted scope on drop.
+#[derive(Debug)]
+pub struct AdoptGuard {
+    scope: Option<Arc<CancelScope>>,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if let Some(scope) = self.scope.take() {
+            CURRENT.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|s| Arc::ptr_eq(s, &scope)) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Enter a scope captured on another thread (no-op for `None`), so worker
+/// threads observe the same cancellation point as their spawner.
+pub fn adopt(scope: Option<Arc<CancelScope>>) -> AdoptGuard {
+    if let Some(scope) = &scope {
+        CURRENT.with(|stack| stack.borrow_mut().push(scope.clone()));
+    }
+    AdoptGuard { scope }
+}
+
+/// Consult the active cancellation point at `site`. Outside any scope this
+/// is a no-op returning `Ok(())`, so loops checkpoint unconditionally.
+///
+/// On expiry the trip is counted (`resilience.preempted` and
+/// `resilience.preempted.<site>`), recorded on the scope, and surfaced as
+/// a typed [`Preempted`] for the caller to unwind cooperatively.
+pub fn checkpoint(site: &str) -> Result<(), Preempted> {
+    let Some(scope) = handle() else {
+        return Ok(());
+    };
+    *scope.checks.lock() += 1;
+    scope.visited.lock().insert(site.to_string());
+    if !scope.point.expired() {
+        return Ok(());
+    }
+    let first = {
+        let mut tripped = scope.tripped.lock();
+        if tripped.is_none() {
+            *tripped = Some(site.to_string());
+            true
+        } else {
+            false
+        }
+    };
+    if first {
+        telemetry::metrics::global().inc("resilience.preempted");
+        telemetry::metrics::global().inc(&format!("resilience.preempted.{site}"));
+        telemetry::log::warn("resilience.cancel", "work preempted at checkpoint")
+            .field("site", site)
+            .emit();
+    }
+    Err(Preempted::at(site))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+    use telemetry::metrics;
+
+    fn bounded(limit: Duration) -> (Arc<TestClock>, CancelGuard) {
+        let clock = Arc::new(TestClock::new());
+        let budget = DeadlineBudget::start(clock.as_ref(), limit);
+        let guard = activate_budget(budget, clock.clone());
+        (clock, guard)
+    }
+
+    #[test]
+    fn no_scope_no_preemption() {
+        assert!(checkpoint("anything").is_ok());
+    }
+
+    #[test]
+    fn checkpoint_trips_once_budget_expires() {
+        let scoped = metrics::scoped();
+        let (clock, scope) = bounded(Duration::from_secs(1));
+        assert!(checkpoint("demo.loop").is_ok());
+        clock.advance(Duration::from_secs(2));
+        let err = checkpoint("demo.loop").unwrap_err();
+        assert_eq!(err.site(), "demo.loop");
+        assert!(err.to_string().contains("demo.loop"));
+        assert_eq!(scope.tripped().as_deref(), Some("demo.loop"));
+        assert_eq!(scope.checks(), 2);
+        assert_eq!(scope.visited_sites(), vec!["demo.loop".to_string()]);
+        let snap = scoped.snapshot();
+        assert_eq!(snap.counter("resilience.preempted"), 1);
+        assert_eq!(snap.counter("resilience.preempted.demo.loop"), 1);
+    }
+
+    #[test]
+    fn only_the_first_trip_is_counted() {
+        let scoped = metrics::scoped();
+        let (clock, scope) = bounded(Duration::ZERO);
+        clock.advance(Duration::from_millis(1));
+        assert!(checkpoint("a").is_err());
+        assert!(checkpoint("b").is_err());
+        assert_eq!(scope.tripped().as_deref(), Some("a"));
+        assert_eq!(scoped.snapshot().counter("resilience.preempted"), 1);
+        assert_eq!(
+            scope.visited_sites(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn zero_budget_trips_immediately() {
+        let (_clock, _scope) = bounded(Duration::ZERO);
+        assert!(checkpoint("first").is_err());
+    }
+
+    #[test]
+    fn adopt_carries_scope_to_workers() {
+        let (clock, scope) = bounded(Duration::from_secs(1));
+        clock.advance(Duration::from_secs(2));
+        let h = handle();
+        let worker_preempted = std::thread::spawn(move || {
+            let _g = adopt(h);
+            checkpoint("worker.loop").is_err()
+        })
+        .join()
+        .unwrap();
+        assert!(worker_preempted);
+        assert_eq!(
+            scope.tripped().as_deref(),
+            Some("worker.loop"),
+            "worker recorded on the shared scope"
+        );
+    }
+
+    #[test]
+    fn scopes_nest_innermost_wins() {
+        let (clock, _outer) = bounded(Duration::from_secs(1));
+        clock.advance(Duration::from_secs(2));
+        {
+            let inner_clock = Arc::new(TestClock::new());
+            let budget = DeadlineBudget::start(inner_clock.as_ref(), Duration::from_secs(1));
+            let _inner = activate_budget(budget, inner_clock);
+            assert!(
+                checkpoint("n").is_ok(),
+                "fresh inner budget shadows the exhausted outer one"
+            );
+        }
+        assert!(checkpoint("n").is_err(), "outer scope restored");
+    }
+
+    #[test]
+    fn remaining_reports_through_the_point() {
+        let (clock, scope) = bounded(Duration::from_secs(5));
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(scope.point().remaining(), Duration::from_secs(3));
+        assert!(!scope.point().expired());
+    }
+}

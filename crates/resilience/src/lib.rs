@@ -19,8 +19,13 @@
 //!   candidate evaluations in `catch_unwind`, converting escapes into
 //!   typed failures the caller can score out or narrate.
 //! - [`breaker`] — [`breaker::CircuitBreaker`]: quarantine a site after N
-//!   consecutive failures, half-open after a cooldown, state exported as a
-//!   telemetry gauge.
+//!   consecutive failures, half-open after a cooldown that adapts to the
+//!   observed per-site failure rate, state exported as a telemetry gauge.
+//! - [`cancel`] — cooperative cancellation: a [`cancel::CancellationPoint`]
+//!   (usually a [`budget::DeadlineBudget`] on a clock) activated over a
+//!   thread-local scope and consulted by [`cancel::checkpoint`] hooks at
+//!   task boundaries, fit iterations, CV folds and CSV row batches, so an
+//!   expired turn preempts instead of blocking.
 //!
 //! Every recovery action lands on `resilience.*` metrics and structured
 //! log events, so the observability plane shows the system surviving.
@@ -45,13 +50,15 @@
 
 pub mod breaker;
 pub mod budget;
+pub mod cancel;
 pub mod clock;
 pub mod fault;
 pub mod panic_guard;
 pub mod retry;
 
-pub use breaker::{BreakerRegistry, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerRegistry, BreakerState, BreakerTuning, CircuitBreaker};
 pub use budget::DeadlineBudget;
+pub use cancel::{BudgetCancellation, CancellationPoint, Preempted};
 pub use clock::{Clock, SystemClock, TestClock};
 pub use fault::{ActiveScope, FaultKind, FaultPlan, InjectedFault};
 pub use panic_guard::{isolate, CaughtPanic};
@@ -59,8 +66,9 @@ pub use retry::{RetryPolicy, RetryStats, StopReason};
 
 /// One-stop imports for resilience users.
 pub mod prelude {
-    pub use crate::breaker::{BreakerRegistry, BreakerState, CircuitBreaker};
+    pub use crate::breaker::{BreakerRegistry, BreakerState, BreakerTuning, CircuitBreaker};
     pub use crate::budget::DeadlineBudget;
+    pub use crate::cancel::{self, BudgetCancellation, CancellationPoint, Preempted};
     pub use crate::clock::{Clock, SystemClock, TestClock};
     pub use crate::fault::{self, FaultKind, FaultPlan, InjectedFault};
     pub use crate::panic_guard::{self, CaughtPanic};

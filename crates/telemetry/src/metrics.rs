@@ -44,6 +44,10 @@ pub mod names {
     /// Counter: turns refused because the session-wide deadline budget was
     /// already spent when the turn began.
     pub const TURNS_BUDGET_EXHAUSTED: &str = "resilience.turns_budget_exhausted";
+    /// Counter: cooperative cancellations — work preempted at a budget
+    /// checkpoint. Per-site breakdowns append the site name
+    /// (`resilience.preempted.<site>`).
+    pub const PREEMPTED: &str = "resilience.preempted";
 }
 
 /// Fixed histogram bucket upper bounds (inclusive), in the metric's unit.

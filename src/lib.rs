@@ -55,7 +55,8 @@ pub mod prelude {
     pub use matilda_data::prelude::*;
     pub use matilda_ml::prelude::*;
     pub use matilda_pipeline::prelude::{
-        cv_score, run, standard_graph, PipelineReport, PipelineSpec, Task,
+        cv_score, cv_score_with_ctx, run, run_with_ctx, standard_graph, ExecContext,
+        PipelineOutcome, PipelineReport, PipelineSpec, Task,
     };
     pub use matilda_provenance::prelude::*;
     // Every substrate defines its own `Result` alias; the platform's is the

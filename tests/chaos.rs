@@ -373,10 +373,12 @@ fn breaker_opens_cools_down_and_recovers() {
         "{}",
         outcome.reply
     );
-    assert_eq!(
-        s.breaker_states(),
-        vec![("pipeline.run".to_string(), BreakerState::Open)]
-    );
+    // The runner breaker gates the session; per-task recording also tripped
+    // the failing task's own breaker while healthy tasks stay closed.
+    let states = s.breaker_states();
+    assert!(states.contains(&("pipeline.run".to_string(), BreakerState::Open)));
+    assert!(states.contains(&("pipeline.task.train".to_string(), BreakerState::Open)));
+    assert!(states.contains(&("pipeline.task.explore".to_string(), BreakerState::Closed)));
 
     // While open, runs are rejected conversationally — no execution happens.
     let outcome = s.step("run it").unwrap();
@@ -400,9 +402,11 @@ fn breaker_opens_cools_down_and_recovers() {
         "probe run should succeed: {}",
         outcome.reply
     );
-    assert_eq!(
-        s.breaker_states(),
-        vec![("pipeline.run".to_string(), BreakerState::Closed)]
+    let states = s.breaker_states();
+    assert!(states.contains(&("pipeline.run".to_string(), BreakerState::Closed)));
+    assert!(
+        states.iter().all(|(_, st)| *st == BreakerState::Closed),
+        "every breaker healed after the successful probe run: {states:?}"
     );
 }
 

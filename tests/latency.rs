@@ -215,3 +215,142 @@ fn zero_budget_session_degrades_gracefully_and_closes() {
     // A further step on the closed session is a typed error, not a panic.
     assert!(s.step("hello").is_err());
 }
+
+// --------------------------------------------- cooperative run preemption ----
+
+/// A heavy study — the user adopts the 200-epoch logistic model and every
+/// epoch costs 1 ms of virtual time — cannot fit a 100 ms turn deadline.
+/// The cancellation checkpoint inside the fit loop must preempt
+/// mid-training so the turn still lands within the deadline, degrade the
+/// turn with an auditable `preempted` failure action, and keep the
+/// partial report's completed-task spans.
+#[test]
+fn fit_iteration_delays_preempt_within_the_turn_deadline() {
+    let clock = Arc::new(TestClock::new());
+    let plan = FaultPlan::new(chaos_seed()).inject(
+        "ml.fit.logistic",
+        FaultKind::Delay(Duration::from_millis(1)),
+        1.0,
+    );
+    let _scope = fault::activate_with_clock(plan, clock.clone());
+    let limit = Duration::from_millis(100);
+    let mut s = session(PlatformConfig {
+        turn_deadline: Some(limit),
+        ..PlatformConfig::quick()
+    });
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut timed = |s: &mut DesignSession, text: &str| {
+        let before = clock.now();
+        let out = s.step(text).unwrap();
+        latencies.push(clock.now() - before);
+        out
+    };
+    timed(&mut s, "predict 'label'");
+    // Adopt exactly the logistic-regression suggestion; reject the rest.
+    let mut guard = 0;
+    while !matches!(s.dialogue().state(), DialogueState::ReadyToRun) && guard < 60 {
+        let adopt = matches!(
+            s.dialogue().pending_suggestion().map(|p| &p.action),
+            Some(SuggestedAction::SetModel(ModelSpec::Logistic { .. }))
+        );
+        timed(&mut s, if adopt { "yes" } else { "no" });
+        guard += 1;
+    }
+    let out = timed(&mut s, "run it");
+    assert!(out.executed.is_none(), "{}", out.reply);
+    assert!(!out.closed, "the session survives the preemption");
+    assert!(out.reply.contains("ran out of time"), "{}", out.reply);
+    for (i, latency) in latencies.iter().enumerate() {
+        assert!(
+            *latency <= limit,
+            "turn {i} took {latency:?}, above the {limit:?} deadline"
+        );
+    }
+    let pre = &s.preempted_runs()[0];
+    assert_eq!(
+        pre.site, "ml.fit.logistic",
+        "the trip happened inside the fit loop, not between tasks"
+    );
+    assert!(
+        !pre.partial.timings.is_empty(),
+        "spans of tasks completed before the trip are preserved"
+    );
+    assert!(
+        !pre.completed_tasks.contains(&"train".to_string()),
+        "the preempted train task must not count as completed"
+    );
+    assert!(s.recorder().of_type("failure_observed").iter().any(|e| {
+        matches!(
+            &e.kind,
+            EventKind::FailureObserved { action, site, .. }
+                if action == "preempted" && site == "ml.fit.logistic"
+        )
+    }));
+    s.step("done").unwrap();
+    let audit = quality::audit(&s.recorder().snapshot());
+    assert!(audit.all_passed(), "{:?}", audit.failures());
+}
+
+/// Preemption must be reproducible: the same delayed pipeline under the
+/// same budget stops after the same completed-task set no matter what the
+/// chaos seed mixes in (the delay fires at rate 1.0 on every seed).
+#[test]
+fn preempted_completed_task_set_is_deterministic_across_seeds() {
+    let mut sets: Vec<Vec<String>> = Vec::new();
+    for seed in 1..=3u64 {
+        let clock = Arc::new(TestClock::new());
+        let plan = FaultPlan::new(seed).inject(
+            "pipeline.task.train",
+            FaultKind::Delay(Duration::from_millis(60)),
+            1.0,
+        );
+        let _scope = fault::activate_with_clock(plan, clock.clone());
+        let budget = DeadlineBudget::start(clock.as_ref(), Duration::from_millis(50));
+        let ctx = ExecContext::bounded(budget, clock);
+        let spec = PipelineSpec::default_classification("label");
+        match run_with_ctx(&spec, &frame(), &ctx).unwrap() {
+            PipelineOutcome::Preempted {
+                completed_tasks,
+                site,
+                ..
+            } => {
+                assert_eq!(site, "pipeline.task");
+                sets.push(completed_tasks);
+            }
+            PipelineOutcome::Completed(_) => {
+                panic!("a 60 ms train delay cannot fit a 50 ms budget")
+            }
+        }
+    }
+    assert_eq!(sets[0], sets[1]);
+    assert_eq!(sets[1], sets[2]);
+    assert!(
+        sets[0].contains(&"train".to_string()),
+        "the delayed task itself completed; the budget tripped after it"
+    );
+}
+
+/// A budget that is already spent preempts at the very first cancellation
+/// point: no task runs, no fit iteration starts, and the empty partial
+/// report answers its aggregate queries without panicking.
+#[test]
+fn zero_budget_execution_preempts_before_the_first_fit_iteration() {
+    let clock = Arc::new(TestClock::new());
+    let budget = DeadlineBudget::start(clock.as_ref(), Duration::ZERO);
+    let ctx = ExecContext::bounded(budget, clock);
+    let spec = PipelineSpec::default_classification("label");
+    match run_with_ctx(&spec, &frame(), &ctx).unwrap() {
+        PipelineOutcome::Preempted {
+            completed_tasks,
+            partial_report,
+            site,
+        } => {
+            assert_eq!(site, "pipeline.task");
+            assert!(completed_tasks.is_empty(), "nothing ran");
+            assert!(partial_report.timings.is_empty());
+            assert!(partial_report.slowest_task().is_none());
+            assert_eq!(partial_report.total_time(), Duration::ZERO);
+        }
+        PipelineOutcome::Completed(_) => panic!("a zero budget cannot complete a run"),
+    }
+}
