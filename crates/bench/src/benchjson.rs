@@ -1,0 +1,240 @@
+//! Reading and comparing `BENCH_<n>.json` perf-trajectory files.
+//!
+//! The repo root accumulates one `BENCH_<n>.json` per recorded benchmark
+//! run (see `results/README.md` for the format); `bench_suite` writes the
+//! next file in the sequence and gates against the latest committed one.
+//! Parsing is hand-rolled like every JSON exporter in the workspace: it
+//! scans for exactly the fields the trajectory needs and ignores the rest,
+//! so the format can grow fields without breaking old readers.
+
+use std::path::{Path, PathBuf};
+
+/// One benchmark's numbers as read from a BENCH file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark name (`area/case`).
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median per-sample time, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th percentile per-sample time, nanoseconds.
+    pub p95_ns: f64,
+}
+
+// The first numeric literal at `body[key:]`, e.g. `"mean_ns":123.4,`.
+fn field_f64(body: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat)? + pat.len();
+    let tail = &body[start..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Extract every benchmark entry from a BENCH_*.json document.
+///
+/// Entries are objects whose first field is `"name"` (the shape
+/// `BenchResult::to_json` writes); malformed objects are skipped rather
+/// than failing the whole read.
+pub fn parse_entries(json: &str) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+    for chunk in json.split("{\"name\":\"").skip(1) {
+        let Some(name_end) = chunk.find('"') else {
+            continue;
+        };
+        let name = &chunk[..name_end];
+        let body = match chunk[name_end..].find('}') {
+            Some(obj_end) => &chunk[name_end..name_end + obj_end],
+            None => &chunk[name_end..],
+        };
+        let (Some(mean_ns), Some(p50_ns), Some(p95_ns)) = (
+            field_f64(body, "mean_ns"),
+            field_f64(body, "p50_ns"),
+            field_f64(body, "p95_ns"),
+        ) else {
+            continue;
+        };
+        out.push(BenchEntry {
+            name: name.to_string(),
+            mean_ns,
+            p50_ns,
+            p95_ns,
+        });
+    }
+    out
+}
+
+/// One benchmark that slowed past tolerance vs the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline mean, nanoseconds.
+    pub baseline_ns: f64,
+    /// Current mean, nanoseconds.
+    pub current_ns: f64,
+    /// `current / baseline` (> 1 + tolerance by construction).
+    pub ratio: f64,
+}
+
+/// Benchmarks in `current` whose mean regressed more than `tolerance`
+/// (fractional: 0.25 = 25% slower) against `baseline`, worst first.
+///
+/// Benchmarks present on only one side are ignored — adding or retiring a
+/// benchmark is not a regression.
+pub fn regressions(
+    baseline: &[BenchEntry],
+    current: &[BenchEntry],
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut out: Vec<Regression> = current
+        .iter()
+        .filter_map(|cur| {
+            let base = baseline.iter().find(|b| b.name == cur.name)?;
+            if base.mean_ns <= 0.0 {
+                return None;
+            }
+            let ratio = cur.mean_ns / base.mean_ns;
+            (ratio > 1.0 + tolerance).then(|| Regression {
+                name: cur.name.clone(),
+                baseline_ns: base.mean_ns,
+                current_ns: cur.mean_ns,
+                ratio,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    out
+}
+
+/// The highest-numbered `BENCH_<n>.json` in `dir`, if any — the trajectory
+/// baseline the next run gates against.
+pub fn latest_bench(dir: &Path) -> Option<(u32, PathBuf)> {
+    std::fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name().into_string().ok()?;
+            let n: u32 = name
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()?;
+            Some((n, entry.path()))
+        })
+        .max_by_key(|(n, _)| *n)
+}
+
+/// The regression tolerance from `MATILDA_BENCH_TOLERANCE` (fractional,
+/// default 0.25 = fail past 25% slower).
+pub fn tolerance_from_env() -> f64 {
+    std::env::var("MATILDA_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .unwrap_or(0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = concat!(
+        "{\"version\":1,\"suite\":\"matilda-bench\",\"seed\":7,\"benchmarks\":[",
+        "{\"name\":\"data/csv_parse_10k\",\"mean_ns\":1500.5,\"p50_ns\":1490.0,",
+        "\"p95_ns\":1800.0,\"iters\":2000,\"samples\":32},",
+        "{\"name\":\"ml/fit_logistic_1k\",\"mean_ns\":9e6,\"p50_ns\":8.5e6,",
+        "\"p95_ns\":1.2e7,\"iters\":40,\"samples\":16}]}"
+    );
+
+    #[test]
+    fn parses_entries_from_a_full_document() {
+        let entries = parse_entries(DOC);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "data/csv_parse_10k");
+        assert_eq!(entries[0].mean_ns, 1500.5);
+        assert_eq!(entries[0].p95_ns, 1800.0);
+        assert_eq!(entries[1].name, "ml/fit_logistic_1k");
+        assert_eq!(entries[1].mean_ns, 9e6);
+    }
+
+    #[test]
+    fn malformed_objects_are_skipped() {
+        let json = "[{\"name\":\"ok\",\"mean_ns\":1,\"p50_ns\":1,\"p95_ns\":1},\
+                    {\"name\":\"missing-fields\"}]";
+        let entries = parse_entries(json);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "ok");
+    }
+
+    fn entry(name: &str, mean_ns: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            mean_ns,
+            p50_ns: mean_ns,
+            p95_ns: mean_ns,
+        }
+    }
+
+    #[test]
+    fn regression_gate_respects_tolerance() {
+        let baseline = vec![entry("a", 100.0), entry("b", 100.0), entry("c", 100.0)];
+        let current = vec![
+            entry("a", 124.0), // +24%: inside a 25% tolerance
+            entry("b", 200.0), // +100%: regression
+            entry("c", 50.0),  // improvement
+            entry("new", 1e9), // no baseline: ignored
+        ];
+        let regs = regressions(&baseline, &current, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "b");
+        assert!((regs[0].ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_regression_sorts_first() {
+        let baseline = vec![entry("a", 100.0), entry("b", 100.0)];
+        let current = vec![entry("a", 150.0), entry("b", 300.0)];
+        let regs = regressions(&baseline, &current, 0.1);
+        assert_eq!(regs[0].name, "b");
+        assert_eq!(regs[1].name, "a");
+    }
+
+    #[test]
+    fn latest_bench_picks_highest_number() {
+        let dir = std::env::temp_dir().join("matilda-benchjson-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(latest_bench(&dir), None, "empty dir has no baseline");
+        for n in [1, 2, 10] {
+            std::fs::write(dir.join(format!("BENCH_{n}.json")), "{}").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_bad.json"), "{}").unwrap();
+        std::fs::write(dir.join("NOTBENCH_3.json"), "{}").unwrap();
+        let (n, path) = latest_bench(&dir).unwrap();
+        assert_eq!(n, 10);
+        assert!(path.ends_with("BENCH_10.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn round_trips_bench_result_json() {
+        // The parser reads what the measurement engine writes.
+        let result = criterion::BenchResult {
+            name: "round/trip".into(),
+            mean_ns: 123.4,
+            p50_ns: 120.0,
+            p95_ns: 200.0,
+            iters: 10,
+            samples: 4,
+        };
+        let entries = parse_entries(&result.to_json());
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "round/trip");
+        assert_eq!(entries[0].mean_ns, 123.4);
+        assert_eq!(entries[0].p50_ns, 120.0);
+        assert_eq!(entries[0].p95_ns, 200.0);
+    }
+}

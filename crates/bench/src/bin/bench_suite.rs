@@ -1,0 +1,417 @@
+//! The perf-trajectory driver: run all six hot-path bench areas through
+//! the measurement engine and record the numbers machine-readably.
+//!
+//! ```text
+//! cargo run --release -p matilda-bench --bin bench_suite [-- --gate]
+//! ```
+//!
+//! One run measures CSV ingest, group-by, train/test split, the three
+//! model fits (logistic/forest/boost), the full E1 classification
+//! pipeline, and one creative generation; then it
+//!
+//! - writes `BENCH_<n+1>.json` at the repo root (`BENCH_1.json` on the
+//!   first ever run) — the committed perf trajectory;
+//! - writes `results/bench_report.md` (tables + phase profile) and
+//!   `results/bench_flame.folded` (flamegraph input, diffable with
+//!   `telemetry::flame::diff`);
+//! - compares means against the latest committed `BENCH_*.json` and, with
+//!   `--gate`, exits non-zero when any benchmark regressed past
+//!   `MATILDA_BENCH_TOLERANCE` (default 0.25 = 25%). Without a baseline
+//!   the gate skips gracefully;
+//! - sets the `bench.results` / `bench.regressions` gauges that
+//!   `/healthz` folds into its ok/degraded verdict.
+//!
+//! The workloads are seeded (`MATILDA_BENCH_SEED`, default 7) and the
+//! per-benchmark time budget is `MATILDA_BENCH_BUDGET_MS` (default 300),
+//! so a CI run is deterministic in shape and bounded in time: the whole
+//! suite completes in well under two minutes.
+
+use matilda_bench::benchjson::{self, Regression};
+use matilda_data::prelude::*;
+use matilda_datagen::prelude::*;
+use matilda_ml::prelude::*;
+use matilda_pipeline::prelude::*;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+// Opt-in registration of the counting allocator: phase timers in this
+// process attribute allocs/bytes, not just time.
+#[global_allocator]
+static ALLOC: matilda_telemetry::profile::CountingAlloc =
+    matilda_telemetry::profile::CountingAlloc::new();
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench/../.. — stable regardless of the invocation cwd.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_suite(c: &mut criterion::Criterion, seed: u64) {
+    use criterion::black_box;
+
+    // Area 1-3: the data substrate on a 10k-row frame.
+    let df_10k = blobs_with_noise(
+        &BlobsConfig {
+            n_rows: 10_000,
+            n_classes: 4,
+            separation: 4.0,
+            spread: 1.2,
+            seed,
+            ..Default::default()
+        },
+        3,
+    );
+    let csv_text = write_csv_str(&df_10k, ',');
+    println!("suite: data area ({} csv bytes)", csv_text.len());
+    c.bench_function("data/csv_parse_10k", |b| {
+        b.iter(|| black_box(read_csv_str(black_box(&csv_text), &CsvOptions::default()).unwrap()))
+    });
+    c.bench_function("data/groupby_10k", |b| {
+        b.iter(|| {
+            black_box(group_by(&df_10k, "label", &[("f0", Agg::Mean), ("f1", Agg::Std)]).unwrap())
+        })
+    });
+    c.bench_function("data/train_test_split_10k", |b| {
+        b.iter(|| black_box(train_test_split(&df_10k, 0.25, seed).unwrap()))
+    });
+
+    // Area 4: the three model-fit hot loops on a 1k-row dataset.
+    let df_1k = blobs_with_noise(
+        &BlobsConfig {
+            n_rows: 1_000,
+            n_classes: 3,
+            separation: 4.0,
+            spread: 1.5,
+            seed,
+            ..Default::default()
+        },
+        3,
+    );
+    let data =
+        Dataset::classification(&df_1k, &["f0", "f1", "noise0", "noise1", "noise2"], "label")
+            .expect("dataset");
+    let y = data.y_classes().expect("classes");
+    let fit = |spec: &ModelSpec| {
+        let mut m = spec.build_classifier().expect("classifier");
+        m.fit(&data.x, &y).expect("fit");
+        m
+    };
+    println!("suite: ml fit area ({} rows)", data.x.len());
+    c.bench_function("ml/fit_logistic_1k", |b| {
+        b.iter(|| {
+            black_box(fit(&ModelSpec::Logistic {
+                learning_rate: 0.3,
+                epochs: 50,
+                l2: 1e-3,
+            }))
+        })
+    });
+    c.bench_function("ml/fit_forest10_1k", |b| {
+        b.iter(|| {
+            black_box(fit(&ModelSpec::Forest {
+                n_trees: 10,
+                max_depth: 5,
+                feature_fraction: 0.8,
+                seed,
+            }))
+        })
+    });
+    c.bench_function("ml/fit_boost_1k", |b| {
+        b.iter(|| {
+            black_box(fit(&ModelSpec::Boost {
+                n_rounds: 10,
+                learning_rate: 0.1,
+                max_depth: 3,
+            }))
+        })
+    });
+
+    // Area 5: the full E1 pipeline (impute → encode → scale → fit → score)
+    // end to end on a 2k-row frame with injected missingness.
+    let clean = blobs_with_noise(
+        &BlobsConfig {
+            n_rows: 2_000,
+            n_classes: 3,
+            separation: 4.0,
+            spread: 1.5,
+            seed,
+            ..Default::default()
+        },
+        3,
+    );
+    let df_e1 = inject_mcar(&clean, 0.05, &["label"], seed);
+    let spec = PipelineSpec::default_classification("label");
+    println!("suite: pipeline area");
+    c.bench_function("pipeline/run_e1_2k", |b| {
+        b.iter(|| black_box(run(black_box(&spec), &df_e1).unwrap()))
+    });
+
+    // Area 6: one creative generation — the per-turn unit of MATILDA's
+    // conversational loop.
+    let df_moons = moons(&MoonsConfig {
+        n_rows: 120,
+        noise: 0.15,
+        seed,
+    });
+    let task = Task::Classification {
+        target: "moon".into(),
+    };
+    let config = matilda_creativity::search::SearchConfig {
+        population_size: 6,
+        generations: 1,
+        seed,
+        ..Default::default()
+    };
+    println!("suite: creativity area");
+    let mut group = c.benchmark_group("creativity");
+    group.sample_size(8);
+    group.bench_function("search_1gen_pop6", |b| {
+        b.iter(|| black_box(matilda_creativity::search::search(&task, &df_moons, &config).unwrap()))
+    });
+    group.finish();
+}
+
+fn render_bench_json(results: &[criterion::BenchResult], seed: u64, budget_ms: u64) -> String {
+    let mut out = format!(
+        "{{\n  \"version\": 1,\n  \"suite\": \"matilda-bench\",\n  \"seed\": {seed},\n  \"budget_ms\": {budget_ms},\n  \"benchmarks\": [\n"
+    );
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn render_report(
+    results: &[criterion::BenchResult],
+    baseline: Option<(&Path, &[benchjson::BenchEntry])>,
+    regressions: &[Regression],
+    tolerance: f64,
+    seed: u64,
+    budget_ms: u64,
+) -> String {
+    let mut md = String::from("# Benchmark report\n\n");
+    let _ = writeln!(
+        md,
+        "Suite run with seed {seed}, {budget_ms} ms budget per benchmark \
+         (`MATILDA_BENCH_SEED` / `MATILDA_BENCH_BUDGET_MS`).\n"
+    );
+    md.push_str("## Results\n\n");
+    md.push_str("| benchmark | mean | p50 | p95 | iters | samples |\n");
+    md.push_str("|---|---|---|---|---|---|\n");
+    for r in results {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {} |",
+            r.name,
+            fmt_ns(r.mean_ns),
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p95_ns),
+            r.iters,
+            r.samples
+        );
+    }
+
+    md.push_str("\n## Baseline comparison\n\n");
+    match baseline {
+        None => {
+            md.push_str("No committed `BENCH_*.json` baseline — first recorded run.\n");
+        }
+        Some((path, entries)) => {
+            let _ = writeln!(
+                md,
+                "Against `{}`, tolerance {:.0}%:\n",
+                path.file_name().and_then(|f| f.to_str()).unwrap_or("?"),
+                tolerance * 100.0
+            );
+            md.push_str("| benchmark | baseline mean | current mean | ratio |\n");
+            md.push_str("|---|---|---|---|\n");
+            for r in results {
+                if let Some(base) = entries.iter().find(|e| e.name == r.name) {
+                    let ratio = if base.mean_ns > 0.0 {
+                        r.mean_ns / base.mean_ns
+                    } else {
+                        f64::NAN
+                    };
+                    let _ = writeln!(
+                        md,
+                        "| {} | {} | {} | {:.2}x |",
+                        r.name,
+                        fmt_ns(base.mean_ns),
+                        fmt_ns(r.mean_ns),
+                        ratio
+                    );
+                }
+            }
+            md.push('\n');
+            if regressions.is_empty() {
+                md.push_str("No regressions past tolerance.\n");
+            } else {
+                for reg in regressions {
+                    let _ = writeln!(
+                        md,
+                        "- **REGRESSION** {}: {} → {} ({:.2}x)",
+                        reg.name,
+                        fmt_ns(reg.baseline_ns),
+                        fmt_ns(reg.current_ns),
+                        reg.ratio
+                    );
+                }
+            }
+        }
+    }
+
+    // The phase profile the same run produced: where the time (and the
+    // allocations) inside those benchmarks went.
+    md.push_str("\n## Phase profile\n\n");
+    md.push_str("| phase | calls | total | self | child | allocs | alloc bytes |\n");
+    md.push_str("|---|---|---|---|---|---|---|\n");
+    let mut phases = matilda_telemetry::profile::global().snapshot();
+    phases.sort_by_key(|p| std::cmp::Reverse(p.self_ns));
+    for p in &phases {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            p.name,
+            p.calls,
+            fmt_ns(p.total_ns as f64),
+            fmt_ns(p.self_ns as f64),
+            fmt_ns(p.child_ns() as f64),
+            p.allocs,
+            p.alloc_bytes
+        );
+    }
+    md.push_str(
+        "\nFlamegraph input: `results/bench_flame.folded` \
+         (diff two runs with `matilda_telemetry::flame::diff`).\n",
+    );
+    md
+}
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
+    let seed = env_u64("MATILDA_BENCH_SEED", 7);
+    let budget_ms = env_u64("MATILDA_BENCH_BUDGET_MS", 300);
+    let tolerance = benchjson::tolerance_from_env();
+    let root = repo_root();
+
+    // Capture allocation deltas on every phase timer this run.
+    matilda_telemetry::profile::set_alloc_profiling(true);
+    if !matilda_telemetry::profile::counting_allocator_installed() {
+        eprintln!("warning: counting allocator probe failed; alloc columns will read zero");
+    }
+
+    let _ = criterion::take_results();
+    let mut c = criterion::Criterion::default();
+    c.measurement_time(std::time::Duration::from_millis(budget_ms.max(1)));
+    run_suite(&mut c, seed);
+    let results = criterion::take_results();
+    assert!(
+        results.len() >= 8,
+        "expected all eight benchmarks, got {}",
+        results.len()
+    );
+
+    // Compare against the latest committed BENCH file, then write the next
+    // one in the trajectory.
+    let baseline = benchjson::latest_bench(&root);
+    let baseline_entries = baseline
+        .as_ref()
+        .and_then(|(_, path)| std::fs::read_to_string(path).ok())
+        .map(|text| benchjson::parse_entries(&text))
+        .unwrap_or_default();
+    let current: Vec<benchjson::BenchEntry> = results
+        .iter()
+        .map(|r| benchjson::BenchEntry {
+            name: r.name.clone(),
+            mean_ns: r.mean_ns,
+            p50_ns: r.p50_ns,
+            p95_ns: r.p95_ns,
+        })
+        .collect();
+    let regressions = benchjson::regressions(&baseline_entries, &current, tolerance);
+
+    let metrics = matilda_telemetry::metrics::process_global();
+    metrics.set_gauge(
+        matilda_telemetry::metrics::names::BENCH_RESULTS,
+        results.len() as f64,
+    );
+    metrics.set_gauge(
+        matilda_telemetry::metrics::names::BENCH_REGRESSIONS,
+        regressions.len() as f64,
+    );
+
+    let next = baseline.as_ref().map_or(1, |(n, _)| n + 1);
+    let bench_path = root.join(format!("BENCH_{next}.json"));
+    std::fs::write(&bench_path, render_bench_json(&results, seed, budget_ms))
+        .expect("write BENCH json");
+    println!("wrote {}", bench_path.display());
+
+    let results_dir = root.join("results");
+    std::fs::create_dir_all(&results_dir).expect("results dir");
+    let spans = matilda_telemetry::span::global().snapshot();
+    matilda_telemetry::flame::write_folded(results_dir.join("bench_flame.folded"), &spans)
+        .expect("write folded stacks");
+    let report = render_report(
+        &results,
+        baseline
+            .as_ref()
+            .map(|(_, p)| (p.as_path(), baseline_entries.as_slice())),
+        &regressions,
+        tolerance,
+        seed,
+        budget_ms,
+    );
+    std::fs::write(results_dir.join("bench_report.md"), report).expect("write report");
+    println!("wrote {}", results_dir.join("bench_report.md").display());
+
+    match (&baseline, regressions.is_empty()) {
+        (None, _) => println!("no baseline BENCH_*.json: gate skipped"),
+        (Some((n, _)), true) => println!(
+            "no regressions vs BENCH_{n}.json (tolerance {:.0}%)",
+            tolerance * 100.0
+        ),
+        (Some((n, _)), false) => {
+            for reg in &regressions {
+                eprintln!(
+                    "REGRESSION {}: {} -> {} ({:.2}x) vs BENCH_{n}.json",
+                    reg.name,
+                    fmt_ns(reg.baseline_ns),
+                    fmt_ns(reg.current_ns),
+                    reg.ratio
+                );
+            }
+            if gate {
+                eprintln!(
+                    "bench gate failed: {} regression(s) past {:.0}% tolerance",
+                    regressions.len(),
+                    tolerance * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! EXPERIMENTS.md records the measured outputs next to the paper's
 //! qualitative expectations.
 
+pub mod benchjson;
+
 /// Print a table header row (pipe-separated, for readable CSV-ish output).
 pub fn header(columns: &[&str]) {
     println!("{}", columns.join(" | "));

@@ -362,7 +362,7 @@ pub fn search(task: &Task, data: &DataFrame, config: &SearchConfig) -> Result<Se
                 &evaluator,
             ));
         }
-        let mut gen_span = telemetry::span("search.generation");
+        let mut gen_span = telemetry::profile::phase("search.generation");
         gen_span.field("generation", generation);
         telemetry::metrics::global().inc("search.generations");
         let lambda = balance.lambda(generation);

@@ -157,6 +157,8 @@ fn parse_cell(cell: &str, dtype: DType, opts: &CsvOptions) -> Value {
 /// (`data.csv.read`): a panic anywhere in the parser — injected or real —
 /// surfaces as a typed [`DataError::Csv`], never an unwind.
 pub fn read_csv_str(text: &str, opts: &CsvOptions) -> Result<DataFrame> {
+    let mut timer = telemetry::profile::phase("data.csv_parse");
+    timer.field("bytes", text.len());
     match resilience::panic_guard::isolate("data.csv.read", || read_csv_str_inner(text, opts)) {
         Ok(result) => result,
         Err(caught) => Err(DataError::Csv {

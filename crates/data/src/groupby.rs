@@ -56,6 +56,8 @@ impl Agg {
 /// The output has one row per distinct key value (in first-seen order), the
 /// key column first, then one column per aggregation named `"{agg}({col})"`.
 pub fn group_by(df: &DataFrame, key: &str, aggs: &[(&str, Agg)]) -> Result<DataFrame> {
+    let mut timer = matilda_telemetry::profile::phase("data.group_by");
+    timer.field("rows", df.n_rows()).field("aggs", aggs.len());
     let key_col = df.column(key)?;
     if df.n_rows() == 0 {
         return Err(DataError::Empty("frame"));

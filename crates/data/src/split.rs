@@ -32,6 +32,8 @@ pub fn train_test_split(
     if df.n_rows() < 2 {
         return Err(DataError::Empty("frame with fewer than 2 rows"));
     }
+    let mut timer = matilda_telemetry::profile::phase("data.split");
+    timer.field("rows", df.n_rows());
     let idx = shuffled_indices(df.n_rows(), seed);
     let n_test = ((df.n_rows() as f64) * test_fraction).round().max(1.0) as usize;
     let n_test = n_test.min(df.n_rows() - 1);

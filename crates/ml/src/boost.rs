@@ -116,7 +116,7 @@ impl GradientBoostingRegressor {
 
 impl Regressor for GradientBoostingRegressor {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
-        let mut span = matilda_telemetry::span("ml.fit.boost");
+        let mut span = matilda_telemetry::profile::phase("ml.fit.boost");
         span.field("rows", x.len()).field("rounds", self.n_rounds);
         let d = check_xy(x, y.len())?;
         validate(self.n_rounds, self.learning_rate, self.max_depth)?;
@@ -177,7 +177,7 @@ impl GradientBoostingClassifier {
 
 impl Classifier for GradientBoostingClassifier {
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
-        let mut span = matilda_telemetry::span("ml.fit.boost");
+        let mut span = matilda_telemetry::profile::phase("ml.fit.boost");
         span.field("rows", x.len()).field("rounds", self.n_rounds);
         let d = check_xy(x, y.len())?;
         validate(self.n_rounds, self.learning_rate, self.max_depth)?;

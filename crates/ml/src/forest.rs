@@ -108,7 +108,7 @@ impl RandomForestClassifier {
 
 impl Classifier for RandomForestClassifier {
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) -> Result<()> {
-        let mut span = matilda_telemetry::span("ml.fit.forest");
+        let mut span = matilda_telemetry::profile::phase("ml.fit.forest");
         span.field("rows", x.len()).field("trees", self.n_trees);
         let d = check_xy(x, y.len())?;
         validate(self.n_trees, self.max_depth, self.feature_fraction)?;
@@ -197,7 +197,7 @@ impl RandomForestRegressor {
 
 impl Regressor for RandomForestRegressor {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<()> {
-        let mut span = matilda_telemetry::span("ml.fit.forest");
+        let mut span = matilda_telemetry::profile::phase("ml.fit.forest");
         span.field("rows", x.len()).field("trees", self.n_trees);
         let d = check_xy(x, y.len())?;
         validate(self.n_trees, self.max_depth, self.feature_fraction)?;

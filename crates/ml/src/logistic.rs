@@ -64,6 +64,8 @@ impl Classifier for LogisticRegression {
         if k < 2 {
             return Err(MlError::InvalidParameter("need at least 2 classes".into()));
         }
+        let mut timer = matilda_telemetry::profile::phase("ml.fit.logistic");
+        timer.field("rows", x.len()).field("epochs", self.epochs);
         let n = x.len() as f64;
         self.weights = vec![vec![0.0; d]; k];
         self.biases = vec![0.0; k];
@@ -92,6 +94,7 @@ impl Classifier for LogisticRegression {
                 self.biases[c] -= self.learning_rate * grad_b[c] / n;
             }
         }
+        matilda_telemetry::metrics::global().observe_duration("ml.fit_seconds", timer.close());
         Ok(())
     }
 

@@ -268,7 +268,8 @@ pub fn run_with_ctx(
             preempted_at = Some(p.site().to_string());
             break;
         }
-        let task_span = telemetry::span(format!("pipeline.task.{id}"));
+        let task_span =
+            telemetry::profile::phase_keyed(format!("pipeline.task.{id}"), "pipeline.task");
         telemetry::log::trace("pipeline.exec", "task started")
             .field("task", id)
             .emit();

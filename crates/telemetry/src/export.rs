@@ -10,7 +10,7 @@ use crate::span::{Collector, FieldValue, SpanRecord};
 use std::fmt::Write as _;
 
 /// Escape a string for embedding in a JSON document.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -6,9 +6,14 @@
 //! - `GET /metrics` — the global registry in Prometheus text exposition
 //!   format (version 0.0.4): counters, gauges, and histograms with
 //!   cumulative `le` buckets plus `_sum`/`_count` series.
-//! - `GET /healthz` — `200 ok`, for liveness probes.
+//! - `GET /healthz` — liveness plus perf health: the body's first line is
+//!   `ok` (200) or `degraded` (503, when the last bench run recorded a
+//!   regression), followed by `bench.results`, `bench.regressions` and
+//!   `profile.phases` counters.
 //! - `GET /spans?limit=N` — the most recent closed spans as a JSON array.
 //! - `GET /logs?level=L&limit=N` — the log ring-buffer tail as JSON.
+//! - `GET /profile` — the latest phase-profile snapshot (per-phase calls,
+//!   total/self/child ns, allocation deltas) as JSON.
 //!
 //! The server is one background thread handling connections serially —
 //! observability traffic is a human or a scraper, not the serving path —
@@ -172,6 +177,33 @@ fn logs_body(query: &str) -> String {
     out
 }
 
+/// The `/healthz` status line and body for `registry`'s current state.
+///
+/// The first body line is `ok` or `degraded` — degraded (with a 503) when
+/// the last bench run in this process recorded at least one regression —
+/// followed by the perf-observability counters, one `key=value` per line.
+pub fn healthz_body(registry: &MetricsRegistry) -> (&'static str, String) {
+    let snapshot = registry.snapshot();
+    let results = snapshot
+        .gauge(crate::metrics::names::BENCH_RESULTS)
+        .unwrap_or(0.0);
+    let regressions = snapshot
+        .gauge(crate::metrics::names::BENCH_REGRESSIONS)
+        .unwrap_or(0.0);
+    let phases = crate::profile::global().len();
+    let healthy = regressions <= 0.0;
+    let status = if healthy {
+        "200 OK"
+    } else {
+        "503 Service Unavailable"
+    };
+    let verdict = if healthy { "ok" } else { "degraded" };
+    let body = format!(
+        "{verdict}\nbench.results={results}\nbench.regressions={regressions}\nprofile.phases={phases}\n"
+    );
+    (status, body)
+}
+
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
     let head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -235,7 +267,10 @@ fn handle_connection(mut stream: TcpStream, client_timeout: Duration) {
                 &body,
             );
         }
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/healthz" => {
+            let (status, body) = healthz_body(crate::metrics::process_global());
+            respond(&mut stream, status, "text/plain", &body);
+        }
         "/spans" => respond(
             &mut stream,
             "200 OK",
@@ -243,11 +278,17 @@ fn handle_connection(mut stream: TcpStream, client_timeout: Duration) {
             &spans_body(query),
         ),
         "/logs" => respond(&mut stream, "200 OK", "application/json", &logs_body(query)),
+        "/profile" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &crate::profile::global().to_json(),
+        ),
         _ => respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "unknown path; try /metrics /healthz /spans /logs\n",
+            "unknown path; try /metrics /healthz /spans /logs /profile\n",
         ),
     }
 }
@@ -426,7 +467,10 @@ task_seconds_count 4
 
         let (status, body) = http_get(addr, "/healthz");
         assert!(status.contains("200"), "{status}");
-        assert_eq!(body, "ok\n");
+        assert!(body.starts_with("ok\n"), "{body}");
+        assert!(body.contains("bench.results="), "{body}");
+        assert!(body.contains("bench.regressions="), "{body}");
+        assert!(body.contains("profile.phases="), "{body}");
 
         let (status, body) = http_get(addr, "/metrics");
         assert!(status.contains("200"), "{status}");
@@ -448,8 +492,15 @@ task_seconds_count 4
         assert!(status.contains("200"), "{status}");
         assert!(body.contains("endpoint test event"), "{body}");
 
-        let (status, _) = http_get(addr, "/nope");
+        crate::profile::phase("expose_test.phase").close();
+        let (status, body) = http_get(addr, "/profile");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.starts_with("{\"alloc_profiling\":"), "{body}");
+        assert!(body.contains("\"name\":\"expose_test.phase\""), "{body}");
+
+        let (status, body) = http_get(addr, "/nope");
         assert!(status.contains("404"), "{status}");
+        assert!(body.contains("/profile"), "{body}");
 
         server.shutdown();
         // The port is released: a fresh bind on the same port succeeds.
@@ -476,10 +527,65 @@ task_seconds_count 4
         let start = std::time::Instant::now();
         let (status, body) = http_get(addr, "/healthz");
         assert!(status.contains("200"), "{status}");
-        assert_eq!(body, "ok\n");
+        assert!(body.starts_with("ok\n"), "{body}");
         assert!(
             start.elapsed() < Duration::from_secs(3),
             "hung clients stalled the server for {:?}",
+            start.elapsed()
+        );
+
+        drop(hung);
+        drop(partial);
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_degraded_on_bench_regression() {
+        // Exercised against a local registry so parallel tests sharing the
+        // process-global one never see a transient 503.
+        let m = MetricsRegistry::new();
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "200 OK");
+        assert!(body.starts_with("ok\n"), "{body}");
+
+        m.set_gauge(crate::metrics::names::BENCH_RESULTS, 6.0);
+        m.set_gauge(crate::metrics::names::BENCH_REGRESSIONS, 2.0);
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "503 Service Unavailable");
+        assert!(body.starts_with("degraded\n"), "{body}");
+        assert!(body.contains("bench.results=6"), "{body}");
+        assert!(body.contains("bench.regressions=2"), "{body}");
+
+        m.set_gauge(crate::metrics::names::BENCH_REGRESSIONS, 0.0);
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "200 OK");
+        assert!(body.starts_with("ok\n"), "{body}");
+    }
+
+    #[test]
+    fn hung_client_does_not_stall_profile_route() {
+        // Mirror of the /healthz hung-client test for the new route: a
+        // stalled connection times out and /profile still serves.
+        let server =
+            ObservabilityServer::bind_with_client_timeout("127.0.0.1:0", Duration::from_millis(50))
+                .unwrap();
+        let addr = server.addr();
+
+        let hung = TcpStream::connect(addr).unwrap();
+        let mut partial = TcpStream::connect(addr).unwrap();
+        partial.write_all(b"GET /prof").unwrap();
+
+        crate::profile::phase("expose_test.hung_profile").close();
+        let start = std::time::Instant::now();
+        let (status, body) = http_get(addr, "/profile");
+        assert!(status.contains("200"), "{status}");
+        assert!(
+            body.contains("\"name\":\"expose_test.hung_profile\""),
+            "{body}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "hung clients stalled /profile for {:?}",
             start.elapsed()
         );
 

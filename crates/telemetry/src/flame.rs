@@ -88,6 +88,48 @@ pub fn root_total_ns(folded: &str, root: &str) -> u64 {
         .sum()
 }
 
+/// Subtract two folded-stack documents: `after` minus `before`, stack by
+/// stack.
+///
+/// The output has one line per stack whose self time changed —
+/// `a;b;c <signed-delta-ns>` — sorted by descending delta (regressions
+/// first), ties by stack name. Stacks present on only one side count as
+/// zero on the other; unchanged stacks are omitted. Lines that do not
+/// parse as `stack count` are skipped on either side.
+pub fn diff(before: &str, after: &str) -> String {
+    fn parse(folded: &str) -> BTreeMap<&str, i128> {
+        folded
+            .lines()
+            .filter_map(|line| {
+                let (stack, count) = line.rsplit_once(' ')?;
+                Some((stack, count.parse::<i128>().ok()?))
+            })
+            .collect()
+    }
+    let before = parse(before);
+    let after = parse(after);
+    let mut deltas: Vec<(&str, i128)> = before
+        .keys()
+        .chain(after.keys())
+        .map(|&stack| {
+            let b = before.get(stack).copied().unwrap_or(0);
+            let a = after.get(stack).copied().unwrap_or(0);
+            (stack, a - b)
+        })
+        .filter(|&(_, delta)| delta != 0)
+        .collect();
+    deltas.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(y.0)));
+    deltas.dedup();
+    let mut out = String::new();
+    for (stack, delta) in deltas {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&format!("{delta:+}"));
+        out.push('\n');
+    }
+    out
+}
+
 /// Write [`folded_stacks`] of `spans` to `path` (parent directories are
 /// created).
 pub fn write_folded(
@@ -200,6 +242,29 @@ mod tests {
             count.parse::<u64>().unwrap();
         }
         assert_eq!(root_total_ns(&folded, "outer"), outer_ns);
+    }
+
+    #[test]
+    fn diff_signs_sorts_and_skips_unchanged() {
+        let before = "a 100\na;b 50\nc 10\nsame 7\n";
+        let after = "a 150\na;b 30\nd 5\nsame 7\n";
+        let d = diff(before, after);
+        // Regressions first (largest positive delta), unchanged omitted,
+        // stacks unique to one side diffed against zero.
+        assert_eq!(d, "a +50\nd +5\nc -10\na;b -20\n");
+    }
+
+    #[test]
+    fn diff_of_identical_documents_is_empty() {
+        let folded = folded_stacks(&[record(1, None, "r", 0, 42)]);
+        assert_eq!(diff(&folded, &folded), "");
+    }
+
+    #[test]
+    fn diff_tolerates_garbage_lines() {
+        let before = "not-a-folded-line\na 10\n";
+        let after = "a 12\nanother bad line x\n";
+        assert_eq!(diff(before, after), "a +2\n");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Spans, metrics and run reports: the measurement substrate under every
 //! MATILDA component.
 //!
-//! Seven layers, usable separately or together:
+//! Eight layers, usable separately or together:
 //!
 //! - [`mod@span`] — RAII hierarchical tracing. A [`span::SpanGuard`] times a
 //!   region of code, carries key/value fields, and links to its parent via
@@ -20,8 +20,15 @@
 //! - [`export`] — JSONL trace dumps, a serializable
 //!   [`export::RunTelemetry`] capture and a human-readable run report.
 //! - [`expose`] — a dependency-free HTTP endpoint serving `/metrics`
-//!   (Prometheus text exposition), `/healthz`, `/spans` and `/logs`.
-//! - [`flame`] — folded-stack flamegraph export of any span capture.
+//!   (Prometheus text exposition), `/healthz`, `/spans`, `/logs` and
+//!   `/profile`.
+//! - [`flame`] — folded-stack flamegraph export of any span capture, plus
+//!   [`flame::diff`] between two captures.
+//! - [`profile`] — runtime profiling hooks: an opt-in counting global
+//!   allocator ([`profile::CountingAlloc`] + [`profile::AllocScope`]) and
+//!   RAII phase timers ([`profile::phase`]) that attribute self vs child
+//!   time on the span stack, aggregate into a process-wide registry, and
+//!   surface `bench.*` histograms through [`metrics`].
 //!
 //! ```
 //! use matilda_telemetry as telemetry;
@@ -46,6 +53,7 @@ pub mod expose;
 pub mod flame;
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 pub mod trace;
 
@@ -53,8 +61,15 @@ pub use export::RunTelemetry;
 pub use expose::ObservabilityServer;
 pub use log::{LogBuffer, LogEvent};
 pub use metrics::{HistogramSummary, MetricsRegistry};
+pub use profile::{phase, phase_keyed, AllocScope, CountingAlloc, PhaseGuard, PhaseStat};
 pub use span::{current_span_id, span, Collector, SpanGuard, SpanId, SpanRecord, SpanSampling};
 pub use trace::{current_trace_id, TraceId};
+
+// The crate's own tests exercise the counting allocator, so the test
+// harness installs it; downstream binaries opt in the same way.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: profile::CountingAlloc = profile::CountingAlloc::new();
 
 #[cfg(test)]
 mod prop_tests {

@@ -48,15 +48,25 @@ pub mod names {
     /// checkpoint. Per-site breakdowns append the site name
     /// (`resilience.preempted.<site>`).
     pub const PREEMPTED: &str = "resilience.preempted";
+    /// Gauge: number of benchmarks recorded by the last `bench_suite` run
+    /// in this process.
+    pub const BENCH_RESULTS: &str = "bench.results";
+    /// Gauge: number of benchmarks whose last `bench_suite` run regressed
+    /// past tolerance vs the committed baseline (`/healthz` reports
+    /// degraded while this is non-zero).
+    pub const BENCH_REGRESSIONS: &str = "bench.regressions";
 }
 
 /// Fixed histogram bucket upper bounds (inclusive), in the metric's unit.
 ///
-/// The default covers 1 µs to ~17 min in powers of four when the unit is
-/// seconds — wide enough for both a single column scan and a whole creative
-/// search.
+/// The default covers ~4 ns to ~17 min in powers of four when the unit is
+/// seconds — wide enough for both a single hot-path phase (the `bench.*`
+/// timers record µs- and sub-µs durations) and a whole creative search.
+/// Callers needing a different grid pass one through
+/// [`MetricsRegistry::observe_with_buckets`]; existing bucket sets stay
+/// valid unchanged.
 pub fn default_buckets() -> Vec<f64> {
-    (0..16).map(|i| 1e-6 * 4f64.powi(i)).collect()
+    (-4..16).map(|i| 1e-6 * 4f64.powi(i)).collect()
 }
 
 /// A fixed-bucket histogram with min/max/sum tracking.
@@ -548,6 +558,20 @@ mod tests {
         }
         assert_eq!(h.count(), 7);
         assert_eq!(h.counts, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn default_buckets_reach_sub_microsecond() {
+        let b = default_buckets();
+        assert_eq!(b.len(), 20);
+        assert!(b[0] < 1e-8, "finest bucket is ~4 ns, got {}", b[0]);
+        assert!(b.contains(&1e-6), "the 1 µs bound survives exactly");
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        // A 100 ns observation lands in a real bucket, not the first one
+        // and not the overflow.
+        let h = Histogram::new();
+        let idx = h.bucket_index(1e-7);
+        assert!(idx > 0 && idx < b.len(), "index {idx}");
     }
 
     #[test]

@@ -1,0 +1,583 @@
+//! Runtime profiling hooks: a counting allocator, RAII phase timers with
+//! self/child attribution, and a process-wide phase registry.
+//!
+//! Three cooperating pieces:
+//!
+//! - [`CountingAlloc`] — a [`GlobalAlloc`] wrapper around the system
+//!   allocator that counts allocations and bytes into thread-local
+//!   counters. It is *opt-in twice*: a binary must install it with
+//!   `#[global_allocator]`, and counting only happens while at least one
+//!   [`AllocScope`] is open anywhere in the process (one relaxed atomic
+//!   load per allocation otherwise).
+//! - [`AllocScope`] — RAII window over the calling thread's allocation
+//!   counters; [`AllocScope::end`] (or [`AllocScope::delta`]) yields the
+//!   allocs/bytes recorded since the scope opened. Scopes nest: an inner
+//!   scope's delta is a subset of its outer scope's.
+//! - [`PhaseGuard`] (via [`phase`] / [`phase_keyed`]) — a timer that opens
+//!   a regular telemetry span (so phases appear in `/spans` and the
+//!   flamegraph), attributes **self time vs child time** through a
+//!   thread-local phase stack, optionally captures an allocation delta
+//!   (see [`set_alloc_profiling`]), aggregates per-phase statistics into
+//!   the process-wide [`ProfileRegistry`] served at `/profile`, and
+//!   observes a `bench.<key>` histogram so the same numbers appear in
+//!   `/metrics` and the bench JSON.
+//!
+//! ```
+//! use matilda_telemetry::profile;
+//!
+//! let timer = profile::phase("doc.example");
+//! // ... hot work ...
+//! let wall = timer.close();
+//! let stats = profile::global().snapshot();
+//! let me = stats.iter().find(|p| p.name == "doc.example").unwrap();
+//! assert_eq!(me.total_ns, wall.as_nanos() as u64);
+//! ```
+//!
+//! Like the rest of the telemetry crate, profiling must never change
+//! program behaviour: the allocator counts through `try_with` (so TLS
+//! teardown cannot panic), the registry recovers from poisoned locks, and
+//! a phase guard dropped out of order still attributes its time.
+
+use crate::span::SpanGuard;
+use parking_lot::Mutex;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------------
+
+// Number of `AllocScope`s currently open, process-wide. The allocator only
+// pays for thread-local bookkeeping while this is non-zero.
+static ACTIVE_SCOPES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Monotonic per-thread totals; scopes read them twice and subtract.
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static TL_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count_alloc(size: usize) {
+    if ACTIVE_SCOPES.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    // `try_with`: allocations during TLS teardown must not panic.
+    let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+    let _ = TL_BYTES.try_with(|c| c.set(c.get() + size as u64));
+}
+
+#[inline]
+fn thread_totals() -> (u64, u64) {
+    let allocs = TL_ALLOCS.try_with(Cell::get).unwrap_or(0);
+    let bytes = TL_BYTES.try_with(Cell::get).unwrap_or(0);
+    (allocs, bytes)
+}
+
+/// A counting wrapper around the system allocator.
+///
+/// Install it in a binary (or test harness) to make [`AllocScope`] deltas
+/// meaningful:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: matilda_telemetry::profile::CountingAlloc =
+///     matilda_telemetry::profile::CountingAlloc::new();
+/// ```
+///
+/// Without it, scopes and phase allocation columns simply read zero — the
+/// profiling layer degrades, it never breaks.
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new counting allocator (const, for `static` installation).
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+// SAFETY: defers every allocation to `System`, only adding side-effect-free
+// thread-local counting on the alloc paths.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_alloc(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_alloc(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocations and bytes recorded on one thread over one scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocDelta {
+    /// Number of allocation calls (alloc, alloc_zeroed, realloc).
+    pub allocs: u64,
+    /// Total bytes requested by those calls.
+    pub bytes: u64,
+}
+
+/// RAII window over the calling thread's allocation counters.
+///
+/// While any scope is open the installed [`CountingAlloc`] counts; the
+/// scope's delta is what this thread allocated between open and read.
+#[derive(Debug)]
+pub struct AllocScope {
+    start_allocs: u64,
+    start_bytes: u64,
+}
+
+impl AllocScope {
+    /// Open a scope and start (or keep) allocation counting.
+    pub fn begin() -> Self {
+        ACTIVE_SCOPES.fetch_add(1, Ordering::Relaxed);
+        let (start_allocs, start_bytes) = thread_totals();
+        Self {
+            start_allocs,
+            start_bytes,
+        }
+    }
+
+    /// Allocations on this thread since the scope opened.
+    pub fn delta(&self) -> AllocDelta {
+        let (allocs, bytes) = thread_totals();
+        AllocDelta {
+            allocs: allocs.saturating_sub(self.start_allocs),
+            bytes: bytes.saturating_sub(self.start_bytes),
+        }
+    }
+
+    /// Close the scope, returning its final delta.
+    pub fn end(self) -> AllocDelta {
+        self.delta()
+    }
+}
+
+impl Default for AllocScope {
+    fn default() -> Self {
+        Self::begin()
+    }
+}
+
+impl Drop for AllocScope {
+    fn drop(&mut self) {
+        ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// `true` when a [`CountingAlloc`] is actually installed as the global
+/// allocator (probed once by allocating inside a scope).
+pub fn counting_allocator_installed() -> bool {
+    static PROBE: OnceLock<bool> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        let scope = AllocScope::begin();
+        let v: Vec<u64> = std::hint::black_box(vec![0u64; 32]);
+        drop(std::hint::black_box(v));
+        scope.end().allocs > 0
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Alloc profiling toggle for phase timers
+// ---------------------------------------------------------------------------
+
+static ALLOC_PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Make phase timers capture allocation deltas ([`AllocDelta`]) alongside
+/// their timings. Off by default: with it on, every allocation in the
+/// process pays two thread-local increments while any phase is open.
+pub fn set_alloc_profiling(on: bool) {
+    ALLOC_PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether phase timers currently capture allocation deltas.
+pub fn alloc_profiling() -> bool {
+    ALLOC_PROFILING.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Phase timers with self/child attribution
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    // Open phases on this thread, innermost last. Each frame accumulates
+    // the wall time of its *direct* phase children as they close.
+    static PHASE_STACK: RefCell<Vec<PhaseFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+struct PhaseFrame {
+    token: u64,
+    child_ns: u64,
+}
+
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// Open a phase timer whose span name and registry key are both `name`.
+///
+/// The guard times the region RAII-style, shows up as a span (flamegraph,
+/// `/spans`), aggregates into [`global`] under `name`, and observes the
+/// `bench.<name>` histogram on close.
+pub fn phase(name: impl Into<String>) -> PhaseGuard {
+    let name = name.into();
+    let key = name.clone();
+    PhaseGuard::open(name, key)
+}
+
+/// Open a phase timer with a detailed span name but a stable registry key —
+/// e.g. span `pipeline.task.train` under key `pipeline.task`, so per-task
+/// spans stay distinguishable while metrics stay low-cardinality.
+pub fn phase_keyed(span_name: impl Into<String>, key: impl Into<String>) -> PhaseGuard {
+    PhaseGuard::open(span_name.into(), key.into())
+}
+
+/// An open phase; attributes its time (and optionally allocations) when
+/// closed or dropped.
+#[derive(Debug)]
+pub struct PhaseGuard {
+    span: Option<SpanGuard>,
+    key: String,
+    token: u64,
+    alloc: Option<AllocScope>,
+}
+
+impl PhaseGuard {
+    fn open(span_name: String, key: String) -> Self {
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        let span = crate::span::span(span_name);
+        PHASE_STACK.with(|s| s.borrow_mut().push(PhaseFrame { token, child_ns: 0 }));
+        let alloc = alloc_profiling().then(AllocScope::begin);
+        Self {
+            span: Some(span),
+            key,
+            token,
+            alloc,
+        }
+    }
+
+    /// Attach a key/value annotation to the underlying span.
+    pub fn field(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<crate::span::FieldValue>,
+    ) -> &mut Self {
+        if let Some(span) = self.span.as_mut() {
+            span.field(key, value);
+        }
+        self
+    }
+
+    /// Close the phase now, returning its wall time.
+    pub fn close(mut self) -> Duration {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Duration {
+        let Some(span) = self.span.take() else {
+            return Duration::ZERO;
+        };
+        let alloc = self.alloc.take().map(AllocScope::end).unwrap_or_default();
+        let elapsed = span.close();
+        let total_ns = elapsed.as_nanos() as u64;
+        let child_ns = PHASE_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop LIFO in straight-line code; a guard moved across
+            // scopes can close out of order, so remove it wherever it sits.
+            let child_ns = match stack.iter().rposition(|f| f.token == self.token) {
+                Some(pos) => stack.remove(pos).child_ns,
+                None => 0,
+            };
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += total_ns;
+            }
+            child_ns
+        });
+        let self_ns = total_ns.saturating_sub(child_ns);
+        global().record(&self.key, total_ns, self_ns, alloc);
+        crate::metrics::global().observe(&format!("bench.{}", self.key), elapsed.as_secs_f64());
+        elapsed
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide phase registry
+// ---------------------------------------------------------------------------
+
+/// Aggregate statistics for one phase name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Registry key (the phase's metric key).
+    pub name: String,
+    /// Times the phase closed.
+    pub calls: u64,
+    /// Total wall time across all calls, in nanoseconds.
+    pub total_ns: u64,
+    /// Wall time not attributed to nested phases, in nanoseconds.
+    pub self_ns: u64,
+    /// Longest single call, in nanoseconds.
+    pub max_ns: u64,
+    /// Allocation calls captured while alloc profiling was on.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+impl PhaseStat {
+    /// Wall time attributed to nested phases, in nanoseconds.
+    pub fn child_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.self_ns)
+    }
+
+    /// This stat as one JSON object (hand-rolled, like every exporter in
+    /// the crate).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"calls\":{},\"total_ns\":{},\"self_ns\":{},\"child_ns\":{},\"max_ns\":{},\"allocs\":{},\"alloc_bytes\":{}}}",
+            crate::export::escape(&self.name),
+            self.calls,
+            self.total_ns,
+            self.self_ns,
+            self.child_ns(),
+            self.max_ns,
+            self.allocs,
+            self.alloc_bytes
+        )
+    }
+}
+
+/// Aggregated per-phase statistics, keyed by phase name.
+#[derive(Debug, Default)]
+pub struct ProfileRegistry {
+    phases: Mutex<BTreeMap<String, PhaseStat>>,
+}
+
+impl ProfileRegistry {
+    /// A new, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, key: &str, total_ns: u64, self_ns: u64, alloc: AllocDelta) {
+        let mut phases = self.phases.lock();
+        let stat = phases.entry(key.to_string()).or_insert_with(|| PhaseStat {
+            name: key.to_string(),
+            calls: 0,
+            total_ns: 0,
+            self_ns: 0,
+            max_ns: 0,
+            allocs: 0,
+            alloc_bytes: 0,
+        });
+        stat.calls += 1;
+        stat.total_ns += total_ns;
+        stat.self_ns += self_ns;
+        stat.max_ns = stat.max_ns.max(total_ns);
+        stat.allocs += alloc.allocs;
+        stat.alloc_bytes += alloc.bytes;
+    }
+
+    /// A copy of every phase's statistics, sorted by name.
+    pub fn snapshot(&self) -> Vec<PhaseStat> {
+        self.phases.lock().values().cloned().collect()
+    }
+
+    /// Number of distinct phase names recorded.
+    pub fn len(&self) -> usize {
+        self.phases.lock().len()
+    }
+
+    /// `true` when no phase has closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove every recorded phase.
+    pub fn reset(&self) {
+        self.phases.lock().clear();
+    }
+
+    /// The whole registry as one JSON document:
+    /// `{"alloc_profiling":…,"phases":[…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"alloc_profiling\":{},\"phases\":[", alloc_profiling());
+        for (i, stat) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&stat.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The process-wide profile registry — what `/profile` serves.
+pub fn global() -> &'static ProfileRegistry {
+    static GLOBAL: OnceLock<ProfileRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(ProfileRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_scope_sees_this_threads_allocations() {
+        assert!(
+            counting_allocator_installed(),
+            "the telemetry test harness installs CountingAlloc"
+        );
+        let scope = AllocScope::begin();
+        let v = std::hint::black_box(vec![7u8; 4096]);
+        let delta = scope.end();
+        drop(v);
+        assert!(delta.allocs >= 1, "{delta:?}");
+        assert!(delta.bytes >= 4096, "{delta:?}");
+    }
+
+    #[test]
+    fn nested_scopes_subset_arithmetic() {
+        let outer = AllocScope::begin();
+        let a = std::hint::black_box(vec![1u8; 1024]);
+        let inner = AllocScope::begin();
+        let b = std::hint::black_box(vec![2u64; 512]);
+        let inner_delta = inner.end();
+        let outer_delta = outer.end();
+        drop((a, b));
+        assert!(inner_delta.allocs >= 1);
+        assert!(inner_delta.bytes >= 4096);
+        // The outer scope saw everything the inner one saw, plus its own.
+        assert!(outer_delta.allocs > inner_delta.allocs, "{outer_delta:?}");
+        assert!(
+            outer_delta.bytes >= inner_delta.bytes + 1024,
+            "{outer_delta:?} vs {inner_delta:?}"
+        );
+    }
+
+    #[test]
+    fn zero_alloc_path_reads_zero() {
+        let scope = AllocScope::begin();
+        let mut acc = 0u64;
+        for i in 0..64u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(std::hint::black_box(i));
+        }
+        let delta = scope.end();
+        std::hint::black_box(acc);
+        assert_eq!(delta, AllocDelta::default(), "arithmetic must not allocate");
+    }
+
+    #[test]
+    fn phase_attribution_sums_to_wall_time() {
+        let outer = phase("profile_test.attr_outer");
+        std::thread::sleep(Duration::from_millis(3));
+        {
+            let _inner = phase("profile_test.attr_inner");
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        let wall = outer.close();
+
+        let stats = global().snapshot();
+        let get = |n: &str| stats.iter().find(|p| p.name == n).cloned().unwrap();
+        let outer = get("profile_test.attr_outer");
+        let inner = get("profile_test.attr_inner");
+        assert_eq!(outer.total_ns, wall.as_nanos() as u64);
+        // Self + child reconstructs the wall clock exactly: both sides come
+        // from the same span epoch clock.
+        assert_eq!(outer.self_ns + outer.child_ns(), outer.total_ns);
+        assert_eq!(outer.child_ns(), inner.total_ns);
+        assert!(inner.total_ns >= Duration::from_millis(3).as_nanos() as u64);
+        assert!(outer.self_ns >= Duration::from_millis(3).as_nanos() as u64);
+    }
+
+    #[test]
+    fn phase_emits_bench_metric_and_span() {
+        let scope = crate::metrics::scoped();
+        let spans_before = crate::span::global().len();
+        phase("profile_test.metric").close();
+        let snap = scope.snapshot();
+        let hist = snap.histogram("bench.profile_test.metric").unwrap();
+        assert_eq!(hist.count, 1);
+        assert!(
+            crate::span::global().len() > spans_before,
+            "phase left a span"
+        );
+    }
+
+    #[test]
+    fn phase_keyed_separates_span_name_from_key() {
+        let scope = crate::metrics::scoped();
+        phase_keyed("profile_test.keyed.detail", "profile_test.keyed").close();
+        assert!(scope
+            .snapshot()
+            .histogram("bench.profile_test.keyed")
+            .is_some());
+        let stats = global().snapshot();
+        assert!(stats.iter().any(|p| p.name == "profile_test.keyed"));
+        assert!(crate::span::global()
+            .snapshot()
+            .iter()
+            .any(|s| s.name == "profile_test.keyed.detail"));
+    }
+
+    #[test]
+    fn phase_captures_allocs_when_enabled() {
+        set_alloc_profiling(true);
+        let mut timer = phase("profile_test.allocs");
+        timer.field("rows", 1u64);
+        let v = std::hint::black_box(vec![0u8; 2048]);
+        drop(timer);
+        drop(v);
+        set_alloc_profiling(false);
+        let stats = global().snapshot();
+        let stat = stats
+            .iter()
+            .find(|p| p.name == "profile_test.allocs")
+            .unwrap();
+        assert!(stat.allocs >= 1, "{stat:?}");
+        assert!(stat.alloc_bytes >= 2048, "{stat:?}");
+    }
+
+    #[test]
+    fn registry_json_is_well_formed() {
+        phase("profile_test.json").close();
+        let json = global().to_json();
+        assert!(json.starts_with("{\"alloc_profiling\":"), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+        assert!(json.contains("\"name\":\"profile_test.json\""), "{json}");
+        assert!(json.contains("\"calls\":"), "{json}");
+        assert!(json.contains("\"self_ns\":"), "{json}");
+        assert!(json.contains("\"alloc_bytes\":"), "{json}");
+    }
+
+    #[test]
+    fn out_of_order_drop_still_attributes() {
+        let a = phase("profile_test.ooo_a");
+        let b = phase("profile_test.ooo_b");
+        drop(a); // dropped before its child closes
+        drop(b);
+        let stats = global().snapshot();
+        assert!(stats.iter().any(|p| p.name == "profile_test.ooo_a"));
+        assert!(stats.iter().any(|p| p.name == "profile_test.ooo_b"));
+    }
+}

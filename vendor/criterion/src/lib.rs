@@ -1,57 +1,225 @@
-//! Offline stand-in for `criterion`.
+//! Offline stand-in for `criterion` with a real measurement engine.
 //!
 //! Supports the macro/API surface the workspace benches use
 //! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
-//! `Bencher::iter`, `black_box`) with a simple measured loop: a short
-//! warm-up, then timed batches, reporting mean per-iteration wall time.
-//! No statistics engine, no plots — enough to smoke-run benches offline
-//! and eyeball regressions.
+//! `BenchmarkGroup`, `Bencher::iter`, `black_box`) on top of a small but
+//! genuine statistics engine:
+//!
+//! - **warmup** — untimed calls fill caches and trigger lazy init before
+//!   any sample is recorded;
+//! - **calibration** — a per-iteration estimate from the warmup picks an
+//!   iteration count per sample so one sample batch is long enough to
+//!   measure but short enough to collect many;
+//! - **sampling** — a configurable number of timed batches, each yielding
+//!   one per-iteration ns value;
+//! - **statistics** — mean over all iterations plus p50/p95 over the
+//!   per-sample values (nearest-rank).
+//!
+//! Every finished benchmark is printed *and* recorded into a process-wide
+//! results registry ([`take_results`]) so a driver binary can export the
+//! numbers machine-readably ([`BenchResult::to_json`]) — this is what
+//! `bench_suite` uses to write `BENCH_<n>.json`.
+//!
+//! Time comes from an injectable [`BenchClock`] (same shape as the
+//! workspace's resilience `Clock`: monotonic ns since an arbitrary epoch),
+//! so the engine itself is testable on a deterministic [`ManualClock`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Drives one benchmark's measured loop.
-pub struct Bencher {
-    iters_done: u64,
-    elapsed: Duration,
-    budget: Duration,
+/// A monotonic nanosecond clock, injectable for deterministic engine tests.
+///
+/// Mirrors the workspace `resilience::Clock` contract (monotonic time since
+/// an arbitrary fixed epoch) in the only unit the engine needs.
+pub trait BenchClock: Send + Sync {
+    /// Nanoseconds since the clock's epoch.
+    fn now_ns(&self) -> u64;
 }
 
-impl Bencher {
-    /// Run `f` repeatedly within the time budget, timing every call.
-    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up: one untimed call (fills caches, triggers lazy init).
-        black_box(f());
-        let start = Instant::now();
-        loop {
-            black_box(f());
-            self.iters_done += 1;
-            self.elapsed = start.elapsed();
-            if self.elapsed >= self.budget || self.iters_done >= 1_000_000 {
-                break;
-            }
+/// The real clock: `Instant`-based, shared process epoch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock;
+
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl BenchClock for WallClock {
+    fn now_ns(&self) -> u64 {
+        process_epoch().elapsed().as_nanos() as u64
+    }
+}
+
+/// A deterministic clock for engine tests: every reading advances time by a
+/// fixed step, so iteration counts and statistics are exactly reproducible.
+#[derive(Debug)]
+pub struct ManualClock {
+    step_ns: u64,
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock advancing `step_ns` nanoseconds per reading.
+    pub fn new(step_ns: u64) -> Self {
+        Self {
+            step_ns: step_ns.max(1),
+            now: AtomicU64::new(0),
         }
     }
 }
 
+impl BenchClock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.fetch_add(self.step_ns, Ordering::Relaxed) + self.step_ns
+    }
+}
+
+/// The measured outcome of one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name (`group/name` inside a group).
+    pub name: String,
+    /// Mean wall time per iteration, in nanoseconds (total time / total
+    /// iterations across every sample).
+    pub mean_ns: f64,
+    /// Median of the per-sample per-iteration times.
+    pub p50_ns: f64,
+    /// 95th percentile of the per-sample per-iteration times
+    /// (nearest-rank).
+    pub p95_ns: f64,
+    /// Total timed iterations across all samples (warmup excluded).
+    pub iters: u64,
+    /// Number of timed sample batches collected.
+    pub samples: usize,
+}
+
+impl BenchResult {
+    /// This result as one JSON object (hand-rolled, like every exporter in
+    /// the workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p95_ns\":{:.1},\"iters\":{},\"samples\":{}}}",
+            self.name.replace('\\', "\\\\").replace('"', "\\\""),
+            self.mean_ns,
+            self.p50_ns,
+            self.p95_ns,
+            self.iters,
+            self.samples
+        )
+    }
+}
+
+fn results_registry() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drain every benchmark result recorded since the last call (process-wide,
+/// in completion order). The registry recovers from a poisoned lock: losing
+/// a panicking bench's numbers must not lose everyone else's.
+pub fn take_results() -> Vec<BenchResult> {
+    match results_registry().lock() {
+        Ok(mut r) => std::mem::take(&mut *r),
+        Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+    }
+}
+
+fn record_result(result: BenchResult) {
+    match results_registry().lock() {
+        Ok(mut r) => r.push(result),
+        Err(poisoned) => poisoned.into_inner().push(result),
+    }
+}
+
+/// Drives one benchmark's timed batches.
+///
+/// The engine calls the registered closure several times — once per warmup
+/// pass and once per sample — with `iters` set for that stage; `iter` runs
+/// its function that many times under one pair of clock readings.
+pub struct Bencher {
+    clock: Arc<dyn BenchClock>,
+    iters: u64,
+    last_batch_ns: u64,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Run `f` `iters` times, timing the whole batch with two clock reads.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.ran = true;
+        let start = self.clock.now_ns();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_batch_ns = self.clock.now_ns().saturating_sub(start);
+    }
+}
+
+/// Engine configuration shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Clone)]
+struct EngineConfig {
+    budget: Duration,
+    samples: usize,
+    clock: Arc<dyn BenchClock>,
+    quiet: bool,
+}
+
 /// Registry/driver for a group of benchmarks.
 pub struct Criterion {
-    budget: Duration,
+    config: EngineConfig,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `MATILDA_BENCH_BUDGET_MS` scales every benchmark's measurement
+        // budget without touching code — CI uses it to keep the suite fast.
+        let budget_ms = std::env::var("MATILDA_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
         Self {
-            budget: Duration::from_millis(300),
+            config: EngineConfig {
+                budget: Duration::from_millis(budget_ms.max(1)),
+                samples: 32,
+                clock: Arc::new(WallClock),
+                quiet: false,
+            },
         }
     }
 }
 
 impl Criterion {
-    /// Measure `f` under `name`, printing mean per-iteration time.
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Set the number of timed sample batches per benchmark.
+    pub fn sample_count(&mut self, samples: usize) -> &mut Self {
+        self.config.samples = samples.max(2);
+        self
+    }
+
+    /// Measure on `clock` instead of the wall clock (deterministic tests).
+    pub fn with_clock(&mut self, clock: Arc<dyn BenchClock>) -> &mut Self {
+        self.config.clock = clock;
+        self
+    }
+
+    /// Suppress the per-benchmark stdout line (results still register).
+    pub fn quiet(&mut self, quiet: bool) -> &mut Self {
+        self.config.quiet = quiet;
+        self
+    }
+
+    /// Measure `f` under `name`, printing and recording its statistics.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(name, self.budget, &mut f);
+        run_one(name, &self.config, &mut f);
         self
     }
 
@@ -59,7 +227,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.to_string(),
-            budget: self.budget,
+            config: self.config.clone(),
             _criterion: self,
         }
     }
@@ -68,27 +236,27 @@ impl Criterion {
 /// A named collection of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'c> {
     name: String,
-    budget: Duration,
+    config: EngineConfig,
     _criterion: &'c mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Accepted for API compatibility; the stand-in is time-budgeted,
-    /// not sample-counted, so the value is ignored.
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Set the number of timed sample batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.samples = n.max(2);
         self
     }
 
     /// Shrink or grow the per-benchmark time budget.
     pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
-        self.budget = budget;
+        self.config.budget = budget;
         self
     }
 
     /// Measure `f` under `group/name`.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
-        run_one(&full, self.budget, &mut f);
+        run_one(&full, &self.config, &mut f);
         self
     }
 
@@ -96,22 +264,99 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, f: &mut F) {
-    let mut b = Bencher {
-        iters_done: 0,
-        elapsed: Duration::ZERO,
-        budget,
+/// Nearest-rank percentile of pre-sorted `values` (`q` in 0..=1).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, config: &EngineConfig, f: &mut F) {
+    let budget_ns = config.budget.as_nanos().max(1) as u64;
+    let clock = config.clock.clone();
+
+    // Warmup: untimed single-iteration passes until ~10% of the budget is
+    // spent (at least one, at most 100). The elapsed time doubles as the
+    // calibration estimate for the sample batch size.
+    let warmup_budget = (budget_ns / 10).max(1);
+    let warmup_start = clock.now_ns();
+    let mut warmup_iters = 0u64;
+    loop {
+        let mut b = Bencher {
+            clock: clock.clone(),
+            iters: 1,
+            last_batch_ns: 0,
+            ran: false,
+        };
+        f(&mut b);
+        if !b.ran {
+            // The closure never called `iter`: nothing to measure.
+            record_result(BenchResult {
+                name: name.to_string(),
+                mean_ns: 0.0,
+                p50_ns: 0.0,
+                p95_ns: 0.0,
+                iters: 0,
+                samples: 0,
+            });
+            return;
+        }
+        warmup_iters += 1;
+        let spent = clock.now_ns().saturating_sub(warmup_start);
+        if spent >= warmup_budget || warmup_iters >= 100 {
+            break;
+        }
+    }
+    let warmup_spent = clock.now_ns().saturating_sub(warmup_start).max(1);
+    let est_per_iter = (warmup_spent / warmup_iters).max(1);
+
+    // Calibration: pick iterations per sample so `samples` batches fit the
+    // remaining budget, clamped so a single fast function still aggregates
+    // enough iterations to rise above timer resolution.
+    let samples = config.samples.max(2);
+    let sample_budget = (budget_ns / samples as u64).max(1);
+    let iters_per_sample = (sample_budget / est_per_iter).clamp(1, 10_000_000);
+
+    // Sampling: timed batches; stop early past 2x budget so one slow
+    // benchmark cannot stall the whole suite.
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    let mut total_ns = 0u64;
+    let mut total_iters = 0u64;
+    let sampling_start = clock.now_ns();
+    for _ in 0..samples {
+        let mut b = Bencher {
+            clock: clock.clone(),
+            iters: iters_per_sample,
+            last_batch_ns: 0,
+            ran: false,
+        };
+        f(&mut b);
+        total_ns += b.last_batch_ns;
+        total_iters += iters_per_sample;
+        per_iter_ns.push(b.last_batch_ns as f64 / iters_per_sample as f64);
+        if clock.now_ns().saturating_sub(sampling_start) > budget_ns.saturating_mul(2) {
+            break;
+        }
+    }
+
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let result = BenchResult {
+        name: name.to_string(),
+        mean_ns: total_ns as f64 / total_iters.max(1) as f64,
+        p50_ns: percentile(&per_iter_ns, 0.50),
+        p95_ns: percentile(&per_iter_ns, 0.95),
+        iters: total_iters,
+        samples: per_iter_ns.len(),
     };
-    f(&mut b);
-    let mean_ns = if b.iters_done == 0 {
-        0.0
-    } else {
-        b.elapsed.as_nanos() as f64 / b.iters_done as f64
-    };
-    println!(
-        "bench {name}: {mean_ns:.0} ns/iter ({} iters)",
-        b.iters_done
-    );
+    if !config.quiet {
+        println!(
+            "bench {name}: mean {:.0} ns/iter, p50 {:.0}, p95 {:.0} ({} iters, {} samples)",
+            result.mean_ns, result.p50_ns, result.p95_ns, result.iters, result.samples
+        );
+    }
+    record_result(result);
 }
 
 /// Bundle benchmark functions into one runnable group.
@@ -139,11 +384,24 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    // The results registry is process-wide and tests run on concurrent
+    // threads: serialize every test that drains it.
+    fn registry_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn quiet_criterion(budget: Duration, samples: usize) -> Criterion {
+        let mut c = Criterion::default();
+        c.measurement_time(budget).sample_count(samples).quiet(true);
+        c
+    }
+
     #[test]
-    fn bench_function_runs_and_counts() {
-        let mut c = Criterion {
-            budget: Duration::from_millis(5),
-        };
+    fn bench_function_runs_and_records_stats() {
+        let _guard = registry_lock();
+        let _ = take_results();
+        let mut c = quiet_criterion(Duration::from_millis(5), 4);
         let mut calls = 0u64;
         c.bench_function("smoke", |b| {
             b.iter(|| {
@@ -151,6 +409,107 @@ mod tests {
                 black_box(calls)
             })
         });
-        assert!(calls >= 2, "warm-up + at least one timed iteration");
+        let results = take_results();
+        let smoke = results.iter().find(|r| r.name == "smoke").unwrap();
+        assert!(calls >= 2, "warmup + at least one timed iteration");
+        assert!(smoke.iters >= 1);
+        assert!(smoke.samples >= 1);
+        assert!(smoke.mean_ns >= 0.0);
+        assert!(smoke.p50_ns <= smoke.p95_ns, "{smoke:?}");
+    }
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let _guard = registry_lock();
+        let run = || {
+            let _ = take_results();
+            let mut c = Criterion::default();
+            c.measurement_time(Duration::from_micros(100))
+                .sample_count(8)
+                .quiet(true)
+                .with_clock(Arc::new(ManualClock::new(1_000)));
+            c.bench_function("det", |b| b.iter(|| black_box(1 + 1)));
+            take_results().remove(0)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical engine runs on a manual clock");
+        assert!(a.iters > 0);
+        // Each batch is bounded by two clock readings one step apart, so
+        // the per-iteration estimate is step / iters_per_sample exactly.
+        assert_eq!(a.p50_ns, a.p95_ns);
+    }
+
+    #[test]
+    fn adaptive_iteration_counts_scale_with_budget() {
+        let _guard = registry_lock();
+        let measure = |budget_us: u64| {
+            let _ = take_results();
+            let mut c = Criterion::default();
+            c.measurement_time(Duration::from_micros(budget_us))
+                .sample_count(4)
+                .quiet(true)
+                .with_clock(Arc::new(ManualClock::new(100)));
+            c.bench_function("scale", |b| b.iter(|| black_box(0)));
+            take_results().remove(0).iters
+        };
+        let small = measure(10);
+        let large = measure(10_000);
+        assert!(
+            large > small,
+            "a larger budget must buy more iterations ({small} -> {large})"
+        );
+    }
+
+    #[test]
+    fn groups_prefix_names_and_share_the_registry() {
+        let _guard = registry_lock();
+        let _ = take_results();
+        let mut c = quiet_criterion(Duration::from_millis(2), 3);
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(2));
+        group.bench_function("inner", |b| b.iter(|| black_box(7u64.pow(2))));
+        group.finish();
+        let results = take_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "grp/inner");
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let r = BenchResult {
+            name: "a\"b".into(),
+            mean_ns: 12.34,
+            p50_ns: 10.0,
+            p95_ns: 20.0,
+            iters: 100,
+            samples: 8,
+        };
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"name\":\"a\\\"b\""), "{json}");
+        assert!(json.contains("\"mean_ns\":12.3"), "{json}");
+        assert!(json.contains("\"iters\":100"), "{json}");
+    }
+
+    #[test]
+    fn closure_without_iter_records_empty_result() {
+        let _guard = registry_lock();
+        let _ = take_results();
+        let mut c = quiet_criterion(Duration::from_millis(1), 2);
+        c.bench_function("noop", |_b| {});
+        let results = take_results();
+        assert_eq!(results[0].iters, 0);
+        assert_eq!(results[0].samples, 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.95), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
     }
 }
