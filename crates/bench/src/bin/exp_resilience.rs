@@ -168,6 +168,16 @@ fn main() {
     let seed = base_seed();
     println!("# E12: resilience — recovery under seeded chaos (seed {seed})\n");
 
+    // Flight recorder: every failure trigger below snapshots an incident
+    // capsule. Capsules land under MATILDA_INCIDENT_DIR (default
+    // results/incidents); the journal additionally streams spans/logs/
+    // provenance when MATILDA_JOURNAL_DIR is set in the environment.
+    let incident_dir = std::env::var("MATILDA_INCIDENT_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+        .unwrap_or_else(|| "results/incidents".to_string());
+    telemetry::incident::enable(Some(incident_dir.clone().into()));
+
     // ---- retry microbench: recovery latency under 50% transient faults ----
     //
     // Each trial is one guarded operation behind the default retry policy;
@@ -608,6 +618,36 @@ fn main() {
         row(&[(*key).clone(), metrics.counter(key).to_string()]);
     }
 
+    // ---- flight recorder: incident capsules + journal health ----
+    //
+    // Every capsule captured by the chaos/SLO/preemption sections above,
+    // tallied per trigger. `correlated` counts capsules whose spans, logs
+    // AND provenance tail all carry the capsule's trace id — the
+    // acceptance bar for post-mortem usefulness. The signature multiset is
+    // a pure function of CHAOS_SEED (signatures exclude every
+    // process-ephemeral id), which tests/flight_recorder.rs asserts.
+    let capsules = telemetry::incident::captured();
+    let mut trigger_tally: std::collections::BTreeMap<String, u64> = Default::default();
+    for capsule in &capsules {
+        *trigger_tally.entry(capsule.trigger.clone()).or_default() += 1;
+    }
+    let correlated = capsules.iter().filter(|c| c.correlated).count();
+    let journal_records = metrics.counter(telemetry::metrics::names::JOURNAL_RECORDS);
+    let journal_rotations = metrics.counter(telemetry::metrics::names::JOURNAL_ROTATIONS);
+    let journal_write_errors = metrics.counter(telemetry::metrics::names::JOURNAL_WRITE_ERRORS);
+    println!("\n## incident capsules (written under {incident_dir}/)");
+    header(&["trigger", "captured"]);
+    for (trigger, n) in &trigger_tally {
+        row(&[trigger.clone(), n.to_string()]);
+    }
+    row(&["(total)".into(), capsules.len().to_string()]);
+    row(&["(trace-correlated)".into(), correlated.to_string()]);
+    println!("\n## journal");
+    header(&["counter", "value"]);
+    row(&["records".into(), journal_records.to_string()]);
+    row(&["rotations".into(), journal_rotations.to_string()]);
+    row(&["write_errors".into(), journal_write_errors.to_string()]);
+
     let mut doc = String::from("{\n  \"experiment\": \"resilience\",\n");
     let _ = writeln!(doc, "  \"seed\": {seed},");
     let _ = writeln!(doc, "  \"retry_trials\": {TRIALS},");
@@ -702,6 +742,35 @@ fn main() {
         let _ = write!(doc, "\"{action}\":{n}");
     }
     doc.push_str("},\n");
+    let _ = writeln!(doc, "  \"incidents_captured\": {},", capsules.len());
+    let _ = writeln!(doc, "  \"incidents_correlated\": {correlated},");
+    doc.push_str("  \"incident_triggers\": {");
+    for (i, (trigger, n)) in trigger_tally.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let _ = write!(doc, "\"{trigger}\":{n}");
+    }
+    doc.push_str("},\n");
+    // Signatures are the capsule set's deterministic identity: same
+    // CHAOS_SEED → same list, byte for byte (ids/timing are excluded).
+    doc.push_str("  \"incident_signatures\": [");
+    for (i, capsule) in capsules.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let escaped = capsule
+            .signature
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(doc, "\"{escaped}\"");
+    }
+    doc.push_str("],\n");
+    let _ = writeln!(doc, "  \"journal_records\": {journal_records},");
+    let _ = writeln!(doc, "  \"journal_rotations\": {journal_rotations},");
+    // Flat on purpose: the CI chaos job greps for `"journal_write_errors": 0`.
+    let _ = writeln!(doc, "  \"journal_write_errors\": {journal_write_errors},");
     doc.push_str("  \"resilience_counters\": {");
     for (i, key) in counter_keys.iter().enumerate() {
         if i > 0 {
@@ -714,4 +783,20 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/resilience.json", &doc).expect("write resilience json");
     println!("\nwrote results/resilience.json ({} bytes)", doc.len());
+
+    // Durability before exit: whatever the journal buffered is on disk.
+    telemetry::journal::flush_global();
+
+    // `--serve <addr>`: keep the process alive with the observability
+    // endpoint up, so CI (and humans) can probe /incidents, /spans?trace=
+    // and /healthz against a finished chaos run.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--serve") {
+        let addr = args.get(i + 1).map(String::as_str).unwrap_or("127.0.0.1:0");
+        let server = telemetry::ObservabilityServer::bind(addr).expect("bind observability server");
+        println!("serving observability endpoint on http://{}", server.addr());
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
 }

@@ -608,6 +608,22 @@ impl DesignSession {
         telemetry::metrics::global()
             .observe_duration(telemetry::metrics::names::TURN_LATENCY_SECONDS, latency);
         turn_span.field("latency_virtual_s", latency.as_secs_f64());
+        // A turn that blew its latency deadline is an incident even when it
+        // produced an answer: the capsule ties the slow turn to whatever
+        // delays/retries the trace shows.
+        if let Some(slo) = self.config.turn_deadline {
+            if latency > slo {
+                resilience::incident::report(
+                    "slo_violation",
+                    "session.turn",
+                    &format!(
+                        "turn latency {} ms exceeded the {} ms deadline",
+                        latency.as_millis(),
+                        slo.as_millis()
+                    ),
+                );
+            }
+        }
         result
     }
 
@@ -639,6 +655,9 @@ impl DesignSession {
                 final_fingerprint: self.best().map(|d| d.fingerprint),
             });
             self.closed = true;
+            // Same durability contract as the normal close below: the
+            // journal holds the whole session once `closed` goes true.
+            telemetry::journal::flush_global();
             let reply = match self.best() {
                 Some(best) => format!(
                     "We are out of time for this session, so let's stop here. The \
@@ -674,9 +693,10 @@ impl DesignSession {
                 .emit();
             self.recorder.record(EventKind::FailureObserved {
                 site: "session.step".into(),
-                error: reason,
+                error: reason.clone(),
                 action: "degraded".into(),
             });
+            resilience::incident::report("turn_degraded", "session.step", &reason);
             turn_span.field("degraded", true);
             return Ok(StepOutcome {
                 reply: "Something went wrong on my side just now — nothing is lost. \
@@ -832,6 +852,9 @@ impl DesignSession {
                             self.best().map(|d| d.report.test_score).unwrap_or(f64::NAN),
                         )
                         .emit();
+                    // A closed session's telemetry tail is durable: settle
+                    // the flight recorder before handing back the wrap-up.
+                    telemetry::journal::flush_global();
                 }
             }
         }

@@ -349,6 +349,7 @@ pub fn run_with_ctx(
                     .field("task", id)
                     .field("error", e.to_string())
                     .emit();
+                resilience::incident::report("task_failed", &site, &e.to_string());
                 return Err(e);
             }
         }

@@ -29,12 +29,27 @@ impl Recorder {
         let trace_id = matilda_telemetry::current_trace_id();
         let mut log = self.inner.lock();
         let seq = log.len() as u64;
-        log.push(Event {
+        let event = Event {
             seq,
             span_id,
             trace_id,
             kind,
-        });
+        };
+        // Flight-recorder fan-out: stream the event to the durable journal
+        // and/or the incident ring when either is on. Both gates are one
+        // atomic load, so the default path pays nothing but two branches.
+        let journal_on = matilda_telemetry::journal::enabled();
+        let incident_on = matilda_telemetry::incident::enabled();
+        if journal_on || incident_on {
+            let json = crate::json::event_to_json(&event);
+            if journal_on {
+                matilda_telemetry::journal::record_provenance(&json);
+            }
+            if incident_on {
+                matilda_telemetry::incident::note_provenance(trace_id, &json);
+            }
+        }
+        log.push(event);
         seq
     }
 

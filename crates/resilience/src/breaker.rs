@@ -138,6 +138,16 @@ impl CircuitBreaker {
         );
         if next == BreakerState::Open {
             telemetry::metrics::global().inc("resilience.breaker_trips");
+            // Capture only reads telemetry surfaces, so calling it with the
+            // breaker's inner lock held cannot deadlock.
+            crate::incident::report(
+                "breaker_open",
+                &self.site,
+                &format!(
+                    "opened after {} consecutive failures",
+                    inner.consecutive_failures
+                ),
+            );
         }
         inner.state = next;
     }

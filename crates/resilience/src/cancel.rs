@@ -253,6 +253,7 @@ pub fn checkpoint(site: &str) -> Result<(), Preempted> {
         telemetry::log::warn("resilience.cancel", "work preempted at checkpoint")
             .field("site", site)
             .emit();
+        crate::incident::report("preempted", site, "deadline budget exhausted at checkpoint");
     }
     Err(Preempted::at(site))
 }

@@ -1,0 +1,57 @@
+//! Bridge from resilience trigger sites to the telemetry flight recorder.
+//!
+//! Every failure class this crate manages — caught panics, breakers
+//! opening, cooperative preemptions — plus the session- and pipeline-level
+//! triggers in downstream crates report through [`report`], which decorates
+//! the capsule with the chaos context active on the calling thread (the
+//! seeded [`crate::fault::FaultPlan`], if any) so a post-mortem can tell an
+//! injected failure from a real one.
+
+use matilda_telemetry::incident::IncidentContext;
+
+/// Capture an incident capsule for a failure at `site`, tagged with the
+/// active fault plan's seed and target sites. Returns the capsule id, or
+/// `None` when incident capture is disabled (the common case — the guard
+/// is one atomic load).
+pub fn report(trigger: &str, site: &str, detail: &str) -> Option<String> {
+    if !matilda_telemetry::incident::enabled() {
+        return None;
+    }
+    let ctx = match crate::fault::handle() {
+        Some(scope) => IncidentContext {
+            chaos_seed: Some(scope.plan().seed()),
+            chaos_sites: scope
+                .plan()
+                .sites()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+        },
+        None => IncidentContext::default(),
+    };
+    matilda_telemetry::incident::capture(trigger, site, detail, &ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{self, FaultKind, FaultPlan};
+    use crate::TestClock;
+    use std::sync::Arc;
+
+    #[test]
+    fn report_is_none_while_disabled() {
+        // Never enable capture here: parallel tests in this binary rely on
+        // the disabled default.
+        assert_eq!(report("panic_caught", "t.site", "detail"), None);
+    }
+
+    #[test]
+    fn chaos_context_reflects_the_active_plan() {
+        let plan = FaultPlan::new(77).inject("ctx.site", FaultKind::Error, 1.0);
+        let _scope = fault::activate_with_clock(plan, Arc::new(TestClock::new()));
+        let scope = fault::handle().unwrap();
+        assert_eq!(scope.plan().seed(), 77);
+        assert_eq!(scope.plan().sites(), vec!["ctx.site"]);
+    }
+}

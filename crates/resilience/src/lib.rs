@@ -26,6 +26,10 @@
 //!   thread-local scope and consulted by [`cancel::checkpoint`] hooks at
 //!   task boundaries, fit iterations, CV folds and CSV row batches, so an
 //!   expired turn preempts instead of blocking.
+//! - [`incident`] — the flight-recorder bridge: failure triggers (caught
+//!   panics, breakers opening, preemptions, degraded turns, task errors)
+//!   call [`incident::report`] to snapshot a trace-correlated incident
+//!   capsule tagged with the active chaos plan.
 //!
 //! Every recovery action lands on `resilience.*` metrics and structured
 //! log events, so the observability plane shows the system surviving.
@@ -53,6 +57,7 @@ pub mod budget;
 pub mod cancel;
 pub mod clock;
 pub mod fault;
+pub mod incident;
 pub mod panic_guard;
 pub mod retry;
 

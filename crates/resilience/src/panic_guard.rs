@@ -71,6 +71,7 @@ pub fn isolate<T>(site: &str, f: impl FnOnce() -> T) -> Result<T, CaughtPanic> {
                 .field("site", site)
                 .field("message", message.as_str())
                 .emit();
+            crate::incident::report("panic_caught", site, &message);
             Err(CaughtPanic {
                 site: site.to_string(),
                 message,

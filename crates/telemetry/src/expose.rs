@@ -141,11 +141,24 @@ fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
 
 const DEFAULT_TAIL: usize = 256;
 
+// `?trace=` accepts the decimal trace id (what `/spans` JSON carries) or
+// the 16-hex-digit rendering (what capsule ids embed).
+fn parse_trace(value: &str) -> Option<u64> {
+    value
+        .parse()
+        .ok()
+        .or_else(|| u64::from_str_radix(value, 16).ok())
+}
+
 fn spans_body(query: &str) -> String {
     let limit = query_param(query, "limit")
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_TAIL);
+    let trace = query_param(query, "trace").and_then(parse_trace);
     let mut spans = crate::span::global().snapshot();
+    if let Some(t) = trace {
+        spans.retain(|s| s.trace_id == Some(t));
+    }
     if spans.len() > limit {
         spans.drain(..spans.len() - limit);
     }
@@ -165,7 +178,16 @@ fn logs_body(query: &str) -> String {
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_TAIL);
     let level = query_param(query, "level").and_then(crate::log::Level::parse);
-    let events = crate::log::global().tail(limit, level);
+    let trace = query_param(query, "trace").and_then(parse_trace);
+    // Filter before limiting, so a trace query returns its most recent
+    // events rather than whatever survives a global tail.
+    let mut events = crate::log::global().tail(usize::MAX, level);
+    if let Some(t) = trace {
+        events.retain(|e| e.trace_id == Some(t));
+    }
+    if events.len() > limit {
+        events.drain(..events.len() - limit);
+    }
     let mut out = String::from("[");
     for (i, event) in events.iter().enumerate() {
         if i > 0 {
@@ -180,8 +202,10 @@ fn logs_body(query: &str) -> String {
 /// The `/healthz` status line and body for `registry`'s current state.
 ///
 /// The first body line is `ok` or `degraded` — degraded (with a 503) when
-/// the last bench run in this process recorded at least one regression —
-/// followed by the perf-observability counters, one `key=value` per line.
+/// the last bench run in this process recorded at least one regression, or
+/// when the flight-recorder journal has lost events to write errors —
+/// followed by the perf- and durability-observability counters, one
+/// `key=value` per line.
 pub fn healthz_body(registry: &MetricsRegistry) -> (&'static str, String) {
     let snapshot = registry.snapshot();
     let results = snapshot
@@ -191,7 +215,10 @@ pub fn healthz_body(registry: &MetricsRegistry) -> (&'static str, String) {
         .gauge(crate::metrics::names::BENCH_REGRESSIONS)
         .unwrap_or(0.0);
     let phases = crate::profile::global().len();
-    let healthy = regressions <= 0.0;
+    let journal_records = snapshot.counter(crate::metrics::names::JOURNAL_RECORDS);
+    let journal_errors = snapshot.counter(crate::metrics::names::JOURNAL_WRITE_ERRORS);
+    let incidents = snapshot.counter(crate::metrics::names::INCIDENTS_CAPTURED);
+    let healthy = regressions <= 0.0 && journal_errors == 0;
     let status = if healthy {
         "200 OK"
     } else {
@@ -199,7 +226,7 @@ pub fn healthz_body(registry: &MetricsRegistry) -> (&'static str, String) {
     };
     let verdict = if healthy { "ok" } else { "degraded" };
     let body = format!(
-        "{verdict}\nbench.results={results}\nbench.regressions={regressions}\nprofile.phases={phases}\n"
+        "{verdict}\nbench.results={results}\nbench.regressions={regressions}\nprofile.phases={phases}\njournal.records={journal_records}\njournal.write_errors={journal_errors}\nincidents.captured={incidents}\n"
     );
     (status, body)
 }
@@ -284,11 +311,29 @@ fn handle_connection(mut stream: TcpStream, client_timeout: Duration) {
             "application/json",
             &crate::profile::global().to_json(),
         ),
+        "/incidents" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &crate::incident::list_json(),
+        ),
+        p if p.starts_with("/incidents/") => {
+            let id = &p["/incidents/".len()..];
+            match crate::incident::get(id) {
+                Some(capsule) => respond(&mut stream, "200 OK", "application/json", &capsule),
+                None => respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "text/plain",
+                    "no such incident capsule\n",
+                ),
+            }
+        }
         _ => respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "unknown path; try /metrics /healthz /spans /logs /profile\n",
+            "unknown path; try /metrics /healthz /spans /logs /profile /incidents\n",
         ),
     }
 }
@@ -363,6 +408,9 @@ impl ObservabilityServer {
         // listener is already gone, which is the outcome we want.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         let _ = handle.join();
+        // Graceful shutdown of the observability plane also settles the
+        // flight recorder, so a scrape-then-stop run loses no tail events.
+        crate::journal::flush_global();
     }
 }
 
@@ -592,6 +640,92 @@ task_seconds_count 4
         drop(hung);
         drop(partial);
         server.shutdown();
+    }
+
+    #[test]
+    fn spans_and_logs_filter_by_trace() {
+        // Two traces' worth of activity on the global surfaces; `?trace=`
+        // must return exactly the asked-for trace, in both decimal and the
+        // capsule-id hex spelling.
+        let trace_a = crate::trace::next_trace_id();
+        let trace_b = crate::trace::next_trace_id();
+        {
+            let _t = crate::trace::enter(trace_a);
+            crate::span::global().span("expose_test.trace_a").close();
+            crate::log::info("expose_test.trace", "event on trace a").emit();
+        }
+        {
+            let _t = crate::trace::enter(trace_b);
+            crate::span::global().span("expose_test.trace_b").close();
+            crate::log::info("expose_test.trace", "event on trace b").emit();
+        }
+
+        let body = spans_body(&format!("trace={trace_a}&limit=100000"));
+        assert!(body.contains("expose_test.trace_a"), "{body}");
+        assert!(!body.contains("expose_test.trace_b"), "{body}");
+
+        let hex = crate::trace::format_trace_id(trace_b);
+        let body = spans_body(&format!("trace={hex}&limit=100000"));
+        assert!(body.contains("expose_test.trace_b"), "{body}");
+        assert!(!body.contains("expose_test.trace_a"), "{body}");
+
+        let body = logs_body(&format!("trace={trace_a}&limit=100000"));
+        assert!(body.contains("event on trace a"), "{body}");
+        assert!(!body.contains("event on trace b"), "{body}");
+
+        // Filter-then-limit: a limit of 1 still finds the trace's event.
+        let body = logs_body(&format!("trace={trace_a}&limit=1"));
+        assert!(body.contains("event on trace a"), "{body}");
+    }
+
+    #[test]
+    fn hung_client_does_not_stall_incidents_route() {
+        // The flight recorder's routes get the same hung-client guarantee
+        // as the rest of the plane: a stalled connection times out and
+        // /incidents (listing + capsule fetch) still serve.
+        let server =
+            ObservabilityServer::bind_with_client_timeout("127.0.0.1:0", Duration::from_millis(50))
+                .unwrap();
+        let addr = server.addr();
+
+        let hung = TcpStream::connect(addr).unwrap();
+        let mut partial = TcpStream::connect(addr).unwrap();
+        partial.write_all(b"GET /incid").unwrap();
+
+        let start = std::time::Instant::now();
+        let (status, body) = http_get(addr, "/incidents");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+
+        let (status, body) = http_get(addr, "/incidents/not-a-real-capsule");
+        assert!(status.contains("404"), "{status}");
+        assert!(body.contains("no such incident"), "{body}");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "hung clients stalled /incidents for {:?}",
+            start.elapsed()
+        );
+
+        drop(hung);
+        drop(partial);
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_degraded_on_journal_write_errors() {
+        // Local registry, same isolation story as the bench-regression
+        // test: journal losses must flip the endpoint to 503.
+        let m = MetricsRegistry::new();
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("journal.records=0"), "{body}");
+        assert!(body.contains("incidents.captured=0"), "{body}");
+
+        m.add(crate::metrics::names::JOURNAL_WRITE_ERRORS, 3);
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "503 Service Unavailable");
+        assert!(body.starts_with("degraded\n"), "{body}");
+        assert!(body.contains("journal.write_errors=3"), "{body}");
     }
 
     #[test]

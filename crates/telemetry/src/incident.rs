@@ -1,0 +1,491 @@
+//! Trace-correlated incident capsules: the flight recorder's black box.
+//!
+//! A capsule is a self-contained post-mortem snapshot taken at the moment a
+//! failure trigger fires — a caught panic, a circuit breaker opening, a
+//! deadline preemption, an SLO-violating turn, a pipeline task error. It
+//! bundles everything an operator needs to answer *what happened and why*
+//! without a live process: the trace id, the last-N spans and logs filtered
+//! to that trace, the provenance tail, the metric counters that moved since
+//! the previous capture, the active profile phases, and the chaos seed /
+//! fault plan in effect.
+//!
+//! Capsules live in a bounded in-memory ring (served at `/incidents` and
+//! `/incidents/<id>` by [`crate::expose`]) and, when an incident directory
+//! is configured (`MATILDA_INCIDENT_DIR` or [`enable`]), are also written
+//! to `<dir>/<id>.json` and summarised into the [`crate::journal`].
+//!
+//! Determinism contract: a capsule's `signature` is
+//! `"<trigger>:<site>:<detail>"` — it deliberately excludes every
+//! process-ephemeral quantity (span/trace ids, timestamps, metric values),
+//! so seeded chaos runs produce the *same signature multiset* on every
+//! rerun. That property is what E12 exports and the chaos determinism test
+//! asserts.
+//!
+//! Capture is disabled by default (one relaxed atomic check) and must never
+//! change program behaviour: it only reads telemetry surfaces, and disk
+//! write errors degrade into `telemetry.incident_write_errors`.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable naming the capsule output directory; setting it
+/// enables incident capture lazily, on the first trigger.
+pub const DIR_ENV: &str = "MATILDA_INCIDENT_DIR";
+
+/// Most capsules retained in memory before the oldest is overwritten.
+const MAX_CAPSULES: usize = 256;
+/// Most provenance events retained in the recent-history ring.
+const MAX_PROVENANCE: usize = 512;
+/// Most spans / logs embedded per capsule.
+const MAX_TAIL: usize = 64;
+/// Most provenance events embedded per capsule.
+const MAX_PROVENANCE_TAIL: usize = 32;
+
+/// The chaos context a trigger site passes along so the capsule records
+/// which fault plan (if any) was active. `matilda-resilience` fills this
+/// from its thread-local fault scope; outside chaos it stays `Default`.
+#[derive(Debug, Clone, Default)]
+pub struct IncidentContext {
+    /// Seed of the active `FaultPlan`, if fault injection is on.
+    pub chaos_seed: Option<u64>,
+    /// Sites the active plan targets.
+    pub chaos_sites: Vec<String>,
+}
+
+/// Summary row for one captured capsule (the `/incidents` listing).
+#[derive(Debug, Clone)]
+pub struct CapsuleMeta {
+    /// Stable-ish id: capture index + trace id hex (`0003-00c0ffee…`).
+    pub id: String,
+    /// Which failure class fired (`panic_caught`, `breaker_open`,
+    /// `preempted`, `slo_violation`, `turn_degraded`, `task_failed`).
+    pub trigger: String,
+    /// The site the trigger fired at (span-name convention).
+    pub site: String,
+    /// Human-readable detail (error message, threshold, …).
+    pub detail: String,
+    /// The trace active on the capturing thread, if any.
+    pub trace_id: Option<u64>,
+    /// `trigger:site:detail` — the deterministic identity used by the
+    /// seeded-chaos determinism tests (excludes all ephemeral ids).
+    pub signature: String,
+    /// Whether the capsule's spans, logs *and* provenance tail all carry
+    /// the capsule's trace id (the acceptance-criterion correlation bit).
+    pub correlated: bool,
+}
+
+struct Capsule {
+    meta: CapsuleMeta,
+    json: String,
+}
+
+struct Store {
+    dir: Option<PathBuf>,
+    capsules: VecDeque<Capsule>,
+    provenance: VecDeque<(Option<u64>, String)>,
+    last_counters: BTreeMap<String, u64>,
+    next_index: u64,
+}
+
+impl Store {
+    const fn new() -> Self {
+        Self {
+            dir: None,
+            capsules: VecDeque::new(),
+            provenance: VecDeque::new(),
+            last_counters: BTreeMap::new(),
+            next_index: 0,
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Store::new()))
+}
+
+fn ensure_env_init() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        if let Ok(dir) = std::env::var(DIR_ENV) {
+            if !dir.is_empty() {
+                store().lock().dir = Some(PathBuf::from(dir));
+                ENABLED.store(true, Ordering::Release);
+            }
+        }
+    });
+}
+
+/// `true` when incident capture is on — the cheap gate every trigger site
+/// checks before assembling any context.
+pub fn enabled() -> bool {
+    ensure_env_init();
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Turn capture on. With `Some(dir)`, capsules are also written to
+/// `<dir>/<id>.json`; with `None` they stay in memory only (what tests
+/// use).
+pub fn enable(dir: Option<PathBuf>) {
+    ensure_env_init();
+    store().lock().dir = dir;
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turn capture off (the ring is kept; see [`reset`]).
+pub fn disable() {
+    ensure_env_init();
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Drop all captured capsules, the provenance ring and the counter
+/// baseline. Tests call this between seeded runs.
+pub fn reset() {
+    let mut store = store().lock();
+    store.capsules.clear();
+    store.provenance.clear();
+    store.last_counters.clear();
+    store.next_index = 0;
+}
+
+/// Feed one pre-serialized provenance event into the recent-history ring
+/// (called by `matilda-provenance`'s recorder while capture is enabled).
+pub fn note_provenance(trace_id: Option<u64>, json: &str) {
+    if !enabled() {
+        return;
+    }
+    let mut store = store().lock();
+    if store.provenance.len() >= MAX_PROVENANCE {
+        store.provenance.pop_front();
+    }
+    store.provenance.push_back((trace_id, json.to_string()));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_joined(out: &mut String, items: impl IntoIterator<Item = String>) {
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+}
+
+/// Capture one incident capsule. Returns the capsule id, or `None` when
+/// capture is disabled.
+///
+/// Reads (and only reads) the global telemetry surfaces, so it is safe to
+/// call from anywhere — including with a breaker's internal lock held.
+pub fn capture(trigger: &str, site: &str, detail: &str, ctx: &IncidentContext) -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    let trace = crate::trace::current_trace_id();
+
+    // Tail of spans/logs on the capsule's trace (everything, when the
+    // trigger fired outside any trace).
+    let mut spans = crate::span::global().snapshot();
+    if let Some(t) = trace {
+        spans.retain(|s| s.trace_id == Some(t));
+    }
+    let spans: Vec<String> = spans
+        .iter()
+        .skip(spans.len().saturating_sub(MAX_TAIL))
+        .map(crate::export::span_to_json)
+        .collect();
+
+    let mut logs = crate::log::global().tail(usize::MAX, None);
+    if let Some(t) = trace {
+        logs.retain(|e| e.trace_id == Some(t));
+    }
+    let logs: Vec<String> = logs
+        .iter()
+        .skip(logs.len().saturating_sub(MAX_TAIL))
+        .map(crate::export::log_event_to_json)
+        .collect();
+
+    let metrics_snapshot = crate::metrics::global().snapshot();
+    let profile_phases = crate::profile::global().snapshot();
+
+    let mut store = store().lock();
+
+    let mut provenance: Vec<String> = store
+        .provenance
+        .iter()
+        .filter(|(t, _)| trace.is_none() || *t == trace)
+        .map(|(_, json)| json.clone())
+        .collect();
+    if provenance.len() > MAX_PROVENANCE_TAIL {
+        provenance.drain(..provenance.len() - MAX_PROVENANCE_TAIL);
+    }
+
+    // Counters that moved since the previous capture — the "what was the
+    // system doing" delta, without dumping the whole registry.
+    let mut delta: BTreeMap<String, u64> = BTreeMap::new();
+    for (name, metric) in &metrics_snapshot.metrics {
+        let crate::metrics::MetricValue::Counter(value) = metric else {
+            continue;
+        };
+        let prev = store.last_counters.get(name).copied().unwrap_or(0);
+        if *value > prev {
+            delta.insert(name.clone(), value - prev);
+        }
+        store.last_counters.insert(name.clone(), *value);
+    }
+
+    let index = store.next_index;
+    store.next_index += 1;
+    let trace_hex = trace.map(crate::trace::format_trace_id);
+    let id = format!(
+        "{:04}-{}",
+        index,
+        trace_hex.as_deref().unwrap_or("untraced")
+    );
+    let signature = format!("{trigger}:{site}:{detail}");
+    let correlated =
+        trace.is_some() && !spans.is_empty() && !logs.is_empty() && !provenance.is_empty();
+
+    let mut json = String::with_capacity(4096);
+    json.push_str(&format!(
+        "{{\"id\":\"{}\",\"trigger\":\"{}\",\"site\":\"{}\",\"detail\":\"{}\",",
+        json_escape(&id),
+        json_escape(trigger),
+        json_escape(site),
+        json_escape(detail)
+    ));
+    match trace {
+        Some(t) => json.push_str(&format!(
+            "\"trace_id\":{t},\"trace\":\"{}\",",
+            trace_hex.as_deref().unwrap_or("")
+        )),
+        None => json.push_str("\"trace_id\":null,\"trace\":null,"),
+    }
+    json.push_str("\"chaos\":{\"seed\":");
+    match ctx.chaos_seed {
+        Some(seed) => json.push_str(&seed.to_string()),
+        None => json.push_str("null"),
+    }
+    json.push_str(",\"sites\":[");
+    push_joined(
+        &mut json,
+        ctx.chaos_sites
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s))),
+    );
+    json.push_str(&format!(
+        "]}},\"signature\":\"{}\",\"correlated\":{correlated},",
+        json_escape(&signature)
+    ));
+    json.push_str("\"spans\":[");
+    push_joined(&mut json, spans.iter().cloned());
+    json.push_str("],\"logs\":[");
+    push_joined(&mut json, logs.iter().cloned());
+    json.push_str("],\"provenance\":[");
+    push_joined(&mut json, provenance.iter().cloned());
+    json.push_str("],\"metrics_delta\":{");
+    push_joined(
+        &mut json,
+        delta
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", json_escape(k))),
+    );
+    json.push_str("},\"profile_phases\":[");
+    push_joined(
+        &mut json,
+        profile_phases.iter().map(|p| {
+            format!(
+                "{{\"name\":\"{}\",\"calls\":{}}}",
+                json_escape(&p.name),
+                p.calls
+            )
+        }),
+    );
+    json.push_str("]}");
+
+    let meta = CapsuleMeta {
+        id: id.clone(),
+        trigger: trigger.to_string(),
+        site: site.to_string(),
+        detail: detail.to_string(),
+        trace_id: trace,
+        signature,
+        correlated,
+    };
+    let meta_json = meta_to_json(&meta);
+
+    if let Some(dir) = store.dir.clone() {
+        let write = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(dir.join(format!("{id}.json")), &json));
+        if write.is_err() {
+            crate::metrics::global().inc(crate::metrics::names::INCIDENT_WRITE_ERRORS);
+        }
+    }
+
+    if store.capsules.len() >= MAX_CAPSULES {
+        store.capsules.pop_front();
+        crate::metrics::global().inc(crate::metrics::names::INCIDENTS_DROPPED);
+    }
+    store.capsules.push_back(Capsule { meta, json });
+    drop(store);
+
+    crate::metrics::global().inc(crate::metrics::names::INCIDENTS_CAPTURED);
+    crate::journal::record_incident(&meta_json);
+    // After releasing the store lock: the log hook may journal, and a
+    // journal append must never nest inside our lock.
+    crate::log::info("telemetry.incident", "incident captured")
+        .field("incident", id.as_str())
+        .field("trigger", trigger)
+        .field("site", site)
+        .emit();
+    Some(id)
+}
+
+fn meta_to_json(meta: &CapsuleMeta) -> String {
+    let trace = match meta.trace_id {
+        Some(t) => t.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\":\"{}\",\"trigger\":\"{}\",\"site\":\"{}\",\"detail\":\"{}\",\"trace_id\":{},\"signature\":\"{}\",\"correlated\":{}}}",
+        json_escape(&meta.id),
+        json_escape(&meta.trigger),
+        json_escape(&meta.site),
+        json_escape(&meta.detail),
+        trace,
+        json_escape(&meta.signature),
+        meta.correlated
+    )
+}
+
+/// Summaries of every capsule currently retained, oldest first.
+pub fn captured() -> Vec<CapsuleMeta> {
+    store()
+        .lock()
+        .capsules
+        .iter()
+        .map(|c| c.meta.clone())
+        .collect()
+}
+
+/// The full capsule JSON for `id`, if still retained.
+pub fn get(id: &str) -> Option<String> {
+    store()
+        .lock()
+        .capsules
+        .iter()
+        .find(|c| c.meta.id == id)
+        .map(|c| c.json.clone())
+}
+
+/// The `/incidents` listing body: a JSON array of capsule summaries.
+pub fn list_json() -> String {
+    let store = store().lock();
+    let mut out = String::from("[");
+    push_joined(
+        &mut out,
+        store.capsules.iter().map(|c| meta_to_json(&c.meta)),
+    );
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Incident capture mutates process globals (the enabled flag, the
+    // store); every test that touches them serializes here.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_capture_is_a_noop() {
+        let _gate = lock();
+        disable();
+        reset();
+        assert_eq!(capture("t", "s", "d", &IncidentContext::default()), None);
+        assert!(captured().is_empty());
+    }
+
+    #[test]
+    fn capture_builds_a_listable_retrievable_capsule() {
+        let _gate = lock();
+        enable(None);
+        reset();
+        let ctx = IncidentContext {
+            chaos_seed: Some(9),
+            chaos_sites: vec!["pipeline.task.train".into()],
+        };
+        let id = capture("task_failed", "pipeline.task.train", "boom", &ctx).unwrap();
+        let listed = captured();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].id, id);
+        assert_eq!(listed[0].signature, "task_failed:pipeline.task.train:boom");
+        let json = get(&id).unwrap();
+        assert!(json.contains("\"trigger\":\"task_failed\""));
+        assert!(json.contains("\"seed\":9"));
+        assert!(json.contains("pipeline.task.train"));
+        assert!(list_json().starts_with('['));
+        assert!(list_json().contains(&id));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn provenance_ring_is_bounded_and_trace_filtered() {
+        let _gate = lock();
+        enable(None);
+        reset();
+        for i in 0..(MAX_PROVENANCE + 10) {
+            note_provenance(Some(1), &format!("{{\"i\":{i}}}"));
+        }
+        note_provenance(Some(2), "{\"other\":true}");
+        assert_eq!(store().lock().provenance.len(), MAX_PROVENANCE);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn signature_excludes_ephemeral_ids() {
+        let _gate = lock();
+        enable(None);
+        reset();
+        let ctx = IncidentContext::default();
+        let a = capture("preempted", "ml.fit.logistic", "budget", &ctx).unwrap();
+        reset();
+        let b = capture("preempted", "ml.fit.logistic", "budget", &ctx).unwrap();
+        // Ids differ across "runs" only by trace hex (masked in tests);
+        // signatures are identical by construction.
+        assert_eq!(a.split('-').next(), b.split('-').next());
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,7 +1,7 @@
 //! Spans, metrics and run reports: the measurement substrate under every
 //! MATILDA component.
 //!
-//! Eight layers, usable separately or together:
+//! Ten layers, usable separately or together:
 //!
 //! - [`mod@span`] — RAII hierarchical tracing. A [`span::SpanGuard`] times a
 //!   region of code, carries key/value fields, and links to its parent via
@@ -29,6 +29,14 @@
 //!   RAII phase timers ([`profile::phase`]) that attribute self vs child
 //!   time on the span stack, aggregate into a process-wide registry, and
 //!   surface `bench.*` histograms through [`metrics`].
+//! - [`journal`] — the durable flight recorder: a rotating JSONL segment
+//!   writer (`MATILDA_JOURNAL_DIR`) streaming closed spans, log events and
+//!   provenance events to disk as they occur, with a crash-tolerant
+//!   replaying reader ([`journal::replay`]).
+//! - [`incident`] — trace-correlated incident capsules: failure triggers
+//!   snapshot the last-N spans/logs/provenance plus metric deltas and the
+//!   active chaos plan into self-contained post-mortem documents, served
+//!   at `/incidents` and written under `MATILDA_INCIDENT_DIR`.
 //!
 //! ```
 //! use matilda_telemetry as telemetry;
@@ -51,6 +59,8 @@
 pub mod export;
 pub mod expose;
 pub mod flame;
+pub mod incident;
+pub mod journal;
 pub mod log;
 pub mod metrics;
 pub mod profile;
@@ -59,6 +69,8 @@ pub mod trace;
 
 pub use export::RunTelemetry;
 pub use expose::ObservabilityServer;
+pub use incident::{CapsuleMeta, IncidentContext};
+pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalRecord};
 pub use log::{LogBuffer, LogEvent};
 pub use metrics::{HistogramSummary, MetricsRegistry};
 pub use profile::{phase, phase_keyed, AllocScope, CountingAlloc, PhaseGuard, PhaseStat};

@@ -230,6 +230,12 @@ impl LogBuffer {
 
     fn push(&self, mut event: LogEvent) {
         event.seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+        // Stream to the flight recorder (global buffer only — local test
+        // buffers stay out of the journal) before the bounded ring can
+        // overwrite the event.
+        if crate::journal::enabled() && Arc::ptr_eq(&self.inner, &global().inner) {
+            crate::journal::record_log(&event);
+        }
         let shard = crate::span::thread_index() % SHARDS;
         let mut shard = self.inner.shards[shard].lock();
         if shard.len() >= self.inner.shard_capacity {

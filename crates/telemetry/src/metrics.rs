@@ -55,6 +55,24 @@ pub mod names {
     /// past tolerance vs the committed baseline (`/healthz` reports
     /// degraded while this is non-zero).
     pub const BENCH_REGRESSIONS: &str = "bench.regressions";
+    /// Counter: records appended to the telemetry journal.
+    pub const JOURNAL_RECORDS: &str = "telemetry.journal_records";
+    /// Counter: bytes written to the telemetry journal.
+    pub const JOURNAL_BYTES: &str = "telemetry.journal_bytes";
+    /// Counter: journal segment rotations.
+    pub const JOURNAL_ROTATIONS: &str = "telemetry.journal_rotations";
+    /// Counter: journal write/fsync/rotation failures (`/healthz` reports
+    /// degraded while this is non-zero — the flight recorder is losing
+    /// events).
+    pub const JOURNAL_WRITE_ERRORS: &str = "telemetry.journal_write_errors";
+    /// Gauge: segments the journal has opened in this process.
+    pub const JOURNAL_SEGMENTS: &str = "telemetry.journal_segments";
+    /// Counter: incident capsules captured.
+    pub const INCIDENTS_CAPTURED: &str = "telemetry.incidents_captured";
+    /// Counter: capsules evicted from the bounded in-memory ring.
+    pub const INCIDENTS_DROPPED: &str = "telemetry.incidents_dropped";
+    /// Counter: capsule disk-write failures.
+    pub const INCIDENT_WRITE_ERRORS: &str = "telemetry.incident_write_errors";
 }
 
 /// Fixed histogram bucket upper bounds (inclusive), in the metric's unit.

@@ -309,6 +309,12 @@ impl Collector {
     }
 
     fn push(&self, record: SpanRecord) {
+        // Stream to the flight recorder first — journaling is gated on the
+        // global collector so local (test) collectors never pollute it, and
+        // a dropped record (shard full) is still durably journaled.
+        if crate::journal::enabled() && Arc::ptr_eq(&self.inner, &global().inner) {
+            crate::journal::record_span(&record);
+        }
         let shard = thread_index() % SHARDS;
         let mut shard = self.inner.shards[shard].lock();
         if shard.len() >= self.inner.shard_capacity {
