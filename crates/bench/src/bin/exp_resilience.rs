@@ -595,6 +595,209 @@ fn main() {
         row(&[(*site).to_string(), ok.to_string()]);
     }
 
+    // ---- kill and resurrect: event-sourced crash recovery ----
+    //
+    // The E12 crash fault class. Each trial runs the same fixed,
+    // state-independent script twice: once straight through (no store
+    // attached) to establish the reference provenance digest, and once
+    // attached to the durable session store, where the process "dies" after
+    // a sampled number of turns — the live session is dropped with its log
+    // unclosed, exactly what a kill leaves behind. The recovery pass then
+    // classifies the log as in-flight, replays snapshot + tail under the
+    // logged seed, and the resurrected session finishes the script. The
+    // gate: every recovered run's digest equals its reference digest and
+    // nothing lands in quarantine. Every fourth kill additionally strikes
+    // mid-`write_all`, leaving a torn half-record at the tail that the
+    // reader must count and skip.
+    const KILL_TRIALS: u64 = 20;
+    let script = [
+        "I want to predict 'label'",
+        "yes",
+        "no",
+        "yes",
+        "yes",
+        "no",
+        "run it",
+        "done",
+    ];
+    let store_root = std::env::var(matilda_core::sessionstore::DIR_ENV)
+        .ok()
+        .filter(|d| !d.is_empty())
+        .unwrap_or_else(|| "results/session-store".to_string());
+    // Stale logs from a previous run would pollute the classification tally.
+    std::fs::remove_dir_all(&store_root).ok();
+    let store = SessionStore::open(StoreConfig::new(&store_root)).expect("open session store");
+    store.expose(); // `--serve` mode answers /sessions with a live store scan
+    let session_config = PlatformConfig::quick();
+    let mut digest_matches = 0u64;
+    let mut kill_quarantined = 0u64;
+    let mut turns_replayed = 0u64;
+    let mut restore_ms: Vec<f64> = Vec::new();
+    let mut narration_sample = String::new();
+    for trial in 0..KILL_TRIALS {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7_000_003).wrapping_add(trial));
+        let kill_at = rng.gen_range(1..script.len());
+        let id = format!("kill-bench-{trial:02}");
+        let mut reference = DesignSession::new(
+            &id,
+            "can x predict label?",
+            frame(),
+            UserProfile::novice("Ada", "urbanism"),
+            session_config.clone(),
+        );
+        for text in script {
+            reference.step(text).expect("reference run survives");
+        }
+        let want = reference.provenance_digest();
+
+        let mut doomed = DesignSession::new(
+            &id,
+            "can x predict label?",
+            frame(),
+            UserProfile::novice("Ada", "urbanism"),
+            session_config.clone(),
+        );
+        doomed.attach_store(&store).expect("attach session store");
+        for text in &script[..kill_at] {
+            doomed
+                .step(text)
+                .expect("doomed session survives until the kill");
+        }
+        drop(doomed); // the kill: the log ends without a close record
+        if trial % 4 == 0 {
+            // A kill mid-write: the final journal line is half a record.
+            let segments = telemetry::journal::segment_paths(&store.session_dir(&id))
+                .expect("list journal segments");
+            if let Some(last) = segments.last() {
+                use std::io::Write as _;
+                let mut f = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(last)
+                    .expect("open final segment");
+                f.write_all(b"{\"seq\":99999,\"stream\":\"turn\",\"pay")
+                    .expect("append torn tail");
+            }
+        }
+
+        let report = recover(&store, &session_config, |_meta| Some(frame()));
+        kill_quarantined += report.quarantined.len() as u64;
+        let resumed = report
+            .resumed
+            .into_iter()
+            .find(|r| r.id == id)
+            .expect("killed session comes back in-flight");
+        if narration_sample.is_empty() {
+            narration_sample = resumed.narration.clone();
+        }
+        restore_ms.push(resumed.latency.as_secs_f64() * 1e3);
+        turns_replayed += resumed.turns_replayed as u64;
+        let mut session = resumed.session;
+        for text in &script[kill_at..] {
+            session.step(text).expect("resurrected session survives");
+        }
+        if session.provenance_digest() == want {
+            digest_matches += 1;
+        }
+    }
+    restore_ms.sort_by(f64::total_cmp);
+    let recovery_digest_match = digest_matches == KILL_TRIALS && kill_quarantined == 0;
+    let torn_so_far = telemetry::metrics::global()
+        .snapshot()
+        .counter(telemetry::metrics::names::JOURNAL_TORN_LINES);
+    println!(
+        "\n## kill and resurrect ({KILL_TRIALS} sessions killed mid-turn, snapshot + tail replay)"
+    );
+    header(&["measure", "value"]);
+    row(&[
+        "digest matches".into(),
+        format!("{digest_matches}/{KILL_TRIALS}"),
+    ]);
+    row(&["turns replayed".into(), turns_replayed.to_string()]);
+    row(&["torn tail lines skipped".into(), torn_so_far.to_string()]);
+    row(&["sessions quarantined".into(), kill_quarantined.to_string()]);
+    println!();
+    header(&["restores", "p50_ms", "p95_ms", "max_ms"]);
+    row(&[
+        restore_ms.len().to_string(),
+        f3(pct(&restore_ms, 0.50)),
+        f3(pct(&restore_ms, 0.95)),
+        f3(restore_ms.last().copied().unwrap_or(0.0)),
+    ]);
+    println!("\nrecovery narration: {narration_sample}");
+
+    // ---- store-write chaos: losing durability must not lose the session ----
+    //
+    // Sessions attached to a separate store run under injected storage
+    // faults at the `store.write` site. Transient torn writes are healed by
+    // the retry policy; a hard io-error rate trips the per-session breaker
+    // and persistence degrades to counted no-ops while the conversation
+    // finishes normally. Afterwards the recovery pass scans the faulted
+    // store: every log either restores or quarantines — typed outcomes,
+    // never panics. Injected store faults must stay off the flight
+    // recorder's own `journal_write_errors` counter (a chaos CI gate).
+    const FAULT_SESSIONS: u64 = 3;
+    let faulted_root = format!("{store_root}-faulted");
+    std::fs::remove_dir_all(&faulted_root).ok();
+    let faulted_store =
+        SessionStore::open(StoreConfig::new(&faulted_root)).expect("open faulted store");
+    let store_before = telemetry::metrics::global().snapshot();
+    for trial in 0..FAULT_SESSIONS {
+        let (kind, rate) = match trial % 3 {
+            0 => (FaultKind::IoError, 1.0),
+            1 => (FaultKind::TornWrite, 0.3),
+            _ => (FaultKind::IoError, 0.3),
+        };
+        let plan = FaultPlan::new(seed.wrapping_mul(400_000_009).wrapping_add(trial)).inject(
+            "store.write",
+            kind,
+            rate,
+        );
+        let _scope = fault::activate_with_clock(plan, Arc::new(TestClock::new()));
+        let mut s = DesignSession::new(
+            format!("store-fault-{trial}"),
+            "can x predict label?",
+            frame(),
+            UserProfile::novice("Ada", "urbanism"),
+            session_config.clone(),
+        );
+        s.attach_store(&faulted_store)
+            .expect("attach faulted store");
+        for text in script {
+            s.step(text).expect("session survives storage faults");
+        }
+    }
+    let store_after = telemetry::metrics::global().snapshot();
+    let delta = |name: &str| store_after.counter(name) - store_before.counter(name);
+    let store_write_errors = delta(telemetry::metrics::names::STORE_WRITE_ERRORS);
+    let store_writes_skipped = delta(telemetry::metrics::names::STORE_WRITES_SKIPPED);
+    let store_writes_retried = delta(telemetry::metrics::names::STORE_WRITES_RETRIED);
+    let journal_errors_leaked = delta(telemetry::metrics::names::JOURNAL_WRITE_ERRORS);
+    let fault_recovery = recover(&faulted_store, &session_config, |_meta| Some(frame()));
+    let fault_clean = fault_recovery.count(SessionClass::CleanClosed);
+    let fault_resumed = fault_recovery.resumed.len();
+    let fault_quarantined = fault_recovery.quarantined.len();
+    println!("\n## store-write chaos ({FAULT_SESSIONS} sessions under injected storage faults)");
+    header(&["measure", "count"]);
+    row(&["store write errors".into(), store_write_errors.to_string()]);
+    row(&[
+        "writes skipped (breaker open)".into(),
+        store_writes_skipped.to_string(),
+    ]);
+    row(&[
+        "writes healed by retry".into(),
+        store_writes_retried.to_string(),
+    ]);
+    row(&[
+        "journal write errors leaked".into(),
+        journal_errors_leaked.to_string(),
+    ]);
+    row(&["faulted logs clean-closed".into(), fault_clean.to_string()]);
+    row(&["faulted logs resumed".into(), fault_resumed.to_string()]);
+    row(&[
+        "faulted logs quarantined".into(),
+        fault_quarantined.to_string(),
+    ]);
+
     // ---- export ----
     let run_telemetry = telemetry::RunTelemetry::capture_global("resilience");
     let metrics = &run_telemetry.metrics;
@@ -635,6 +838,15 @@ fn main() {
     let journal_records = metrics.counter(telemetry::metrics::names::JOURNAL_RECORDS);
     let journal_rotations = metrics.counter(telemetry::metrics::names::JOURNAL_ROTATIONS);
     let journal_write_errors = metrics.counter(telemetry::metrics::names::JOURNAL_WRITE_ERRORS);
+    let journal_torn_lines = metrics.counter(telemetry::metrics::names::JOURNAL_TORN_LINES);
+    let mut store_keys: Vec<&String> = metrics
+        .metrics
+        .keys()
+        .filter(|k| {
+            k.starts_with("sessionstore.") && *k != telemetry::metrics::names::STORE_RESTORE_SECONDS
+        })
+        .collect();
+    store_keys.sort();
     println!("\n## incident capsules (written under {incident_dir}/)");
     header(&["trigger", "captured"]);
     for (trigger, n) in &trigger_tally {
@@ -647,6 +859,12 @@ fn main() {
     row(&["records".into(), journal_records.to_string()]);
     row(&["rotations".into(), journal_rotations.to_string()]);
     row(&["write_errors".into(), journal_write_errors.to_string()]);
+    row(&["torn_lines".into(), journal_torn_lines.to_string()]);
+    println!("\n## session store counters (process-global)");
+    header(&["counter", "value"]);
+    for key in &store_keys {
+        row(&[(*key).clone(), metrics.counter(key).to_string()]);
+    }
 
     let mut doc = String::from("{\n  \"experiment\": \"resilience\",\n");
     let _ = writeln!(doc, "  \"seed\": {seed},");
@@ -727,6 +945,33 @@ fn main() {
         doc,
         "  \"preemption_coverage_ok\": {preemption_coverage_ok},"
     );
+    let _ = writeln!(
+        doc,
+        "  \"crash_recovery\": {{\"trials\":{KILL_TRIALS},\"digest_matches\":{digest_matches},\"turns_replayed\":{turns_replayed}}},"
+    );
+    // Flat on purpose: the crash-recovery CI job greps for
+    // `"recovery_digest_match": true` and `"sessions_quarantined": 0`.
+    let _ = writeln!(doc, "  \"recovery_digest_match\": {recovery_digest_match},");
+    let _ = writeln!(doc, "  \"sessions_quarantined\": {kill_quarantined},");
+    let _ = writeln!(
+        doc,
+        "  \"restore_latency_ms\": {{\"count\":{},\"p50\":{},\"p95\":{},\"max\":{}}},",
+        restore_ms.len(),
+        pct(&restore_ms, 0.50),
+        pct(&restore_ms, 0.95),
+        restore_ms.last().copied().unwrap_or(0.0)
+    );
+    let _ = writeln!(
+        doc,
+        "  \"store_faults\": {{\"sessions\":{FAULT_SESSIONS},\"write_errors\":{store_write_errors},\"writes_skipped\":{store_writes_skipped},\"writes_retried\":{store_writes_retried},\"journal_write_errors_leaked\":{journal_errors_leaked},\"clean_closed\":{fault_clean},\"resumed\":{fault_resumed},\"quarantined\":{fault_quarantined}}},"
+    );
+    if let Some(h) = metrics.histogram(telemetry::metrics::names::STORE_RESTORE_SECONDS) {
+        let _ = writeln!(
+            doc,
+            "  \"store_restore_seconds_global\": {{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},",
+            h.count, h.p50, h.p95, h.p99, h.max
+        );
+    }
     if let Some(h) = &recovery_hist {
         let _ = writeln!(
             doc,
@@ -771,6 +1016,15 @@ fn main() {
     let _ = writeln!(doc, "  \"journal_rotations\": {journal_rotations},");
     // Flat on purpose: the CI chaos job greps for `"journal_write_errors": 0`.
     let _ = writeln!(doc, "  \"journal_write_errors\": {journal_write_errors},");
+    let _ = writeln!(doc, "  \"journal_torn_lines\": {journal_torn_lines},");
+    doc.push_str("  \"sessionstore_counters\": {");
+    for (i, key) in store_keys.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        let _ = write!(doc, "\"{key}\":{}", metrics.counter(key));
+    }
+    doc.push_str("},\n");
     doc.push_str("  \"resilience_counters\": {");
     for (i, key) in counter_keys.iter().enumerate() {
         if i > 0 {

@@ -44,6 +44,7 @@ pub mod narrate;
 pub mod persona;
 pub mod platform;
 pub mod session;
+pub mod sessionstore;
 
 /// Convenient re-exports of the most used items.
 pub mod prelude {
@@ -57,6 +58,9 @@ pub mod prelude {
     pub use crate::platform::{DesignMode, DesignOutcome, Matilda};
     pub use crate::session::{
         DesignSession, ExecOutcome, ExecutedDesign, PreemptedRun, SessionSummary, StepOutcome,
+    };
+    pub use crate::sessionstore::{
+        recover, RecoveryReport, RestoreError, SessionClass, SessionStore, StoreConfig,
     };
 }
 

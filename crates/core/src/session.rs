@@ -116,6 +116,8 @@ fn repair_suggestion(violations: &[matilda_pipeline::validate::Violation]) -> Op
 
 /// A live design session.
 pub struct DesignSession {
+    name: String,
+    research_question: String,
     frame: DataFrame,
     config: PlatformConfig,
     dialogue: Dialogue,
@@ -127,6 +129,14 @@ pub struct DesignSession {
     creative_injected: usize,
     apprentice: ApprenticeAgent,
     closed: bool,
+    /// Every successful user turn, in order — the command log of the
+    /// event-sourced model. A session is a deterministic fold of these over
+    /// `(frame, config.seed)`, which is what makes crash recovery a replay.
+    turn_log: Vec<String>,
+    /// The durable store log, when persistence is attached.
+    store: Option<crate::sessionstore::SessionLog>,
+    /// Provenance events already streamed to the store.
+    persisted_seq: usize,
     /// The telemetry trace identity minted for this session; every span,
     /// log event and provenance event emitted during the session carries it.
     trace_id: telemetry::TraceId,
@@ -155,6 +165,7 @@ impl DesignSession {
         config: PlatformConfig,
     ) -> Self {
         let name = name.into();
+        let research_question = research_question.into();
         let trace_id = telemetry::trace::next_trace_id();
         let _trace = telemetry::trace::enter(trace_id);
         telemetry::log::info("core.session", "session opened")
@@ -164,9 +175,9 @@ impl DesignSession {
             .emit();
         let recorder = Recorder::new();
         recorder.record(EventKind::SessionStarted {
-            session: name,
+            session: name.clone(),
             dataset: format!("{} rows x {} cols", frame.n_rows(), frame.n_cols()),
-            research_question: research_question.into(),
+            research_question: research_question.clone(),
         });
         let dialogue = Dialogue::new(user.clone(), &frame);
         let rng = StdRng::seed_from_u64(config.seed ^ 0x5e55_1011);
@@ -186,6 +197,8 @@ impl DesignSession {
             config.breaker_cooldown,
         ));
         Self {
+            name,
+            research_question,
             frame,
             config,
             dialogue,
@@ -197,12 +210,154 @@ impl DesignSession {
             creative_injected: 0,
             apprentice,
             closed: false,
+            turn_log: Vec::new(),
+            store: None,
+            persisted_seq: 0,
             trace_id,
             clock,
             breakers,
             budget,
             turn_budget: None,
         }
+    }
+
+    /// Rebuild a session from its durable log by deterministic replay: a
+    /// fresh session is opened from the log's meta (same name, research
+    /// question, user profile and seed) and every recorded turn is
+    /// re-stepped in order. The caller supplies the dataset — the store
+    /// records the design conversation, not the data.
+    ///
+    /// The rebuilt session is *not* attached to a store; recovery attaches
+    /// it after the fact, so replay itself never writes.
+    pub fn restore(
+        frame: DataFrame,
+        config: PlatformConfig,
+        data: &crate::sessionstore::SessionLogData,
+    ) -> std::result::Result<
+        (Self, crate::sessionstore::RestoreReport),
+        crate::sessionstore::RestoreError,
+    > {
+        use crate::sessionstore::RestoreError;
+        if data.meta.seed != config.seed {
+            return Err(RestoreError::SeedMismatch {
+                log: data.meta.seed,
+                config: config.seed,
+            });
+        }
+        let mut session = Self::new(
+            data.meta.session.clone(),
+            data.meta.research_question.clone(),
+            frame,
+            data.meta.user_profile(),
+            config,
+        );
+        for (turn, text) in data.turns.iter().enumerate() {
+            if session.closed {
+                return Err(RestoreError::ReplayFailed {
+                    turn,
+                    detail: "turn recorded after the session closed".to_string(),
+                });
+            }
+            session.step(text).map_err(|e| RestoreError::ReplayFailed {
+                turn,
+                detail: e.to_string(),
+            })?;
+        }
+        let digest = session.provenance_digest();
+        let report = crate::sessionstore::RestoreReport {
+            turns_replayed: data.turns.len(),
+            digest,
+            closed: session.closed,
+        };
+        Ok((session, report))
+    }
+
+    /// Attach durable persistence: every subsequent successful turn is
+    /// written to the session's log in `store` (turn record + provenance
+    /// tail + periodic snapshot), and closing writes the terminal record.
+    ///
+    /// Attach immediately after [`DesignSession::new`] (or after
+    /// [`DesignSession::restore`], where the log already holds the replayed
+    /// prefix); turns taken before attaching are not in the log, and a later
+    /// recovery would reject the resulting gap.
+    pub fn attach_store(
+        &mut self,
+        store: &crate::sessionstore::SessionStore,
+    ) -> std::io::Result<()> {
+        let id = crate::sessionstore::sanitize_id(&self.name);
+        let fresh = !store.has_records(&id);
+        let log = store.create_log(
+            &id,
+            std::sync::Arc::clone(&self.breakers),
+            std::sync::Arc::clone(&self.clock),
+            self.config.retry.clone(),
+        )?;
+        if fresh {
+            log.write_meta(&crate::sessionstore::SessionMeta {
+                version: crate::sessionstore::META_VERSION,
+                session: self.name.clone(),
+                research_question: self.research_question.clone(),
+                user_name: self.user.name.clone(),
+                user_expertise: self.user.expertise.name().to_string(),
+                user_domain: self.user.domain.clone(),
+                user_openness: self.user.openness,
+                seed: self.config.seed,
+            });
+            log.flush();
+            // Everything recorded so far (the session_started event) flows
+            // out with the first persisted turn.
+            self.persisted_seq = 0;
+        } else {
+            // Resuming an existing log: the replayed prefix is already on
+            // disk; only genuinely new events should stream from here.
+            self.persisted_seq = self.recorder.len();
+        }
+        self.store = Some(log);
+        Ok(())
+    }
+
+    /// The stable, ephemeral-id-free digest of this session's provenance
+    /// stream ([`matilda_provenance::digest_events`]) — equal across a
+    /// straight-through run and a crash-recovered replay of the same turns.
+    pub fn provenance_digest(&self) -> u64 {
+        matilda_provenance::digest_events(&self.recorder.snapshot())
+    }
+
+    /// Successful user turns so far, in order.
+    pub fn turn_log(&self) -> &[String] {
+        &self.turn_log
+    }
+
+    /// Persist the just-completed turn: the turn record, the provenance
+    /// tail since the last persist, a snapshot when one is due, and the
+    /// close record when the turn closed the session. No-op without an
+    /// attached store; write failures degrade inside the log (retry →
+    /// breaker → counted no-op) and never surface here.
+    fn persist_turn(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        let events = self.recorder.snapshot();
+        let final_fingerprint = self.best().map(|d| d.fingerprint);
+        let closed = self.closed;
+        let turn_index = self.turn_log.len() - 1;
+        let log = self.store.as_mut().expect("checked above");
+        log.write_turn(turn_index, &self.turn_log[turn_index]);
+        let from = self.persisted_seq.min(events.len());
+        for event in &events[from..] {
+            log.write_provenance(&matilda_provenance::json::event_to_json(event));
+        }
+        self.persisted_seq = events.len();
+        if log.snapshot_due(events.len()) {
+            let digest = matilda_provenance::digest_events(&events);
+            log.write_snapshot(&self.turn_log, events.len(), digest, closed);
+        }
+        if closed {
+            log.write_close(final_fingerprint);
+        }
+        // One flush per turn: a kill between turns loses nothing, a kill
+        // mid-turn loses at most the turn in progress.
+        log.flush();
     }
 
     /// The trace identity stamped on every span, log event and provenance
@@ -603,6 +758,13 @@ impl DesignSession {
                     action: "delayed".into(),
                 });
             }
+        }
+        // A completed turn is an event-sourcing commit point: record the
+        // command durably, then its provenance tail. Failed turns (closed
+        // session) consumed nothing and are not part of the fold.
+        if result.is_ok() {
+            self.turn_log.push(user_text.to_string());
+            self.persist_turn();
         }
         let latency = self.clock.now().saturating_sub(turn_started);
         telemetry::metrics::global()

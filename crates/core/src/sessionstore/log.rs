@@ -1,0 +1,358 @@
+//! The durable per-session log writer.
+//!
+//! A [`SessionLog`] owns one rotating JSONL journal (the telemetry journal's
+//! segment/fsync machinery) in the session's store directory. Every write
+//! goes through the resilience gauntlet: a chaos faultpoint (`store.write`)
+//! that can tear the line or fail the io, the platform retry policy for
+//! transient failures, and a per-session circuit breaker
+//! (`store.write.<id>`) that degrades persistence to counted no-ops once the
+//! disk is clearly gone — the live session keeps talking either way.
+
+use matilda_conversation::prelude::UserProfile;
+use matilda_provenance::json::{escape, parse_flat_object, FlatValue};
+use matilda_resilience as resilience;
+use matilda_telemetry as telemetry;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Schema version stamped on `meta` and `snapshot` records.
+pub const META_VERSION: u32 = 1;
+
+/// The session identity record — always the first record of a fresh log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMeta {
+    /// Log schema version ([`META_VERSION`] at write time).
+    pub version: u32,
+    /// Session name (also the basis of the store directory id).
+    pub session: String,
+    /// The research question the session opened with.
+    pub research_question: String,
+    /// User display name.
+    pub user_name: String,
+    /// User expertise, as [`matilda_conversation::Expertise::name`].
+    pub user_expertise: String,
+    /// User discipline.
+    pub user_domain: String,
+    /// User openness in `[0, 1]`.
+    pub user_openness: f64,
+    /// The master seed the session ran under; replay refuses a mismatch.
+    pub seed: u64,
+}
+
+impl SessionMeta {
+    /// Serialize as the flat single-line JSON the store's journal carries.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"version\":{},\"session\":\"{}\",\"research_question\":\"{}\",\
+             \"user_name\":\"{}\",\"user_expertise\":\"{}\",\"user_domain\":\"{}\",\
+             \"user_openness\":{},\"seed\":{}}}",
+            self.version,
+            escape(&self.session),
+            escape(&self.research_question),
+            escape(&self.user_name),
+            escape(&self.user_expertise),
+            escape(&self.user_domain),
+            self.user_openness,
+            self.seed
+        )
+    }
+
+    /// Parse a `meta` payload back; `Err` carries a human-readable reason.
+    pub fn parse(payload: &str) -> Result<Self, String> {
+        let fields =
+            parse_flat_object(payload).ok_or_else(|| "not a flat JSON object".to_string())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, FlatValue::Str(s))) => Ok(s.clone()),
+                Some(_) => Err(format!("field `{key}` is not a string")),
+                None => Err(format!("missing field `{key}`")),
+            }
+        };
+        let num_field = |key: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, FlatValue::Num(raw))) => Ok(raw.clone()),
+                Some(_) => Err(format!("field `{key}` is not a number")),
+                None => Err(format!("missing field `{key}`")),
+            }
+        };
+        Ok(Self {
+            version: num_field("version")?
+                .parse()
+                .map_err(|_| "bad version".to_string())?,
+            session: str_field("session")?,
+            research_question: str_field("research_question")?,
+            user_name: str_field("user_name")?,
+            user_expertise: str_field("user_expertise")?,
+            user_domain: str_field("user_domain")?,
+            user_openness: num_field("user_openness")?
+                .parse()
+                .map_err(|_| "bad user_openness".to_string())?,
+            seed: num_field("seed")?
+                .parse()
+                .map_err(|_| "bad seed".to_string())?,
+        })
+    }
+
+    /// Rebuild the user profile replay needs.
+    pub fn user_profile(&self) -> UserProfile {
+        use matilda_conversation::Expertise;
+        let expertise = match self.user_expertise.as_str() {
+            "analyst" => Expertise::Analyst,
+            "data_scientist" => Expertise::DataScientist,
+            // Unknown labels degrade to the most-supported experience
+            // rather than failing the restore.
+            _ => Expertise::Novice,
+        };
+        UserProfile::new(
+            self.user_name.clone(),
+            expertise,
+            self.user_domain.clone(),
+            self.user_openness,
+        )
+    }
+}
+
+/// How one durable write ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Appended on the first attempt.
+    Written,
+    /// Appended after at least one retried transient failure
+    /// (`sessionstore.writes_retried`).
+    Retried,
+    /// Dropped because the session's write breaker is open
+    /// (`sessionstore.writes_skipped`): persistence is degraded, the
+    /// session lives on in memory.
+    Skipped,
+    /// Every attempt failed (`sessionstore.write_errors`); the breaker was
+    /// charged and an incident captured.
+    Failed,
+}
+
+/// The durable log of one session. See the module docs for the record
+/// streams and the degradation ladder.
+#[derive(Debug)]
+pub struct SessionLog {
+    journal: telemetry::journal::Journal,
+    dir: PathBuf,
+    /// Breaker site: `store.write.<session-id>`.
+    site: String,
+    breakers: Arc<resilience::BreakerRegistry>,
+    clock: Arc<dyn resilience::Clock>,
+    retry: resilience::RetryPolicy,
+    snapshot_every: usize,
+    events_at_last_snapshot: usize,
+}
+
+impl SessionLog {
+    pub(crate) fn create(
+        dir: PathBuf,
+        id: &str,
+        breakers: Arc<resilience::BreakerRegistry>,
+        clock: Arc<dyn resilience::Clock>,
+        retry: resilience::RetryPolicy,
+        snapshot_every: usize,
+    ) -> std::io::Result<Self> {
+        let journal =
+            telemetry::journal::Journal::open(telemetry::journal::JournalConfig::new(&dir))?;
+        Ok(Self {
+            journal,
+            dir,
+            site: format!("store.write.{id}"),
+            breakers,
+            clock,
+            retry,
+            snapshot_every: snapshot_every.max(1),
+            events_at_last_snapshot: 0,
+        })
+    }
+
+    /// The session's journal directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// The log's breaker site (`store.write.<id>`).
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// One durable append through breaker → faultpoint → retry. Failures
+    /// never escape: the worst case is a counted, incident-reported no-op.
+    fn write(&self, stream: &str, payload: &str) -> WriteOutcome {
+        let metrics = telemetry::metrics::global();
+        let breaker = self.breakers.get(&self.site);
+        if !breaker.try_acquire(self.clock.as_ref()) {
+            // Open breaker: persistence is degraded to a counted no-op.
+            // The session must keep running on memory alone.
+            metrics.inc(telemetry::metrics::names::STORE_WRITES_SKIPPED);
+            return WriteOutcome::Skipped;
+        }
+        let (result, stats) = self
+            .retry
+            .run(self.clock.as_ref(), None, &self.site, |_attempt| {
+                match resilience::fault::storage_faultpoint("store.write") {
+                    Err(resilience::StorageFault::TornWrite) => {
+                        // The crash simulation: half the line reaches
+                        // disk. Replay counts and skips the torn tail;
+                        // the retry then writes the record whole.
+                        let keep = (payload.len() + 24) / 2;
+                        self.journal.append_torn(stream, payload, keep);
+                        Err("injected storage fault: torn_write".to_string())
+                    }
+                    Err(fault) => Err(fault.to_string()),
+                    Ok(()) => self
+                        .journal
+                        .try_append(stream, payload)
+                        .map(|_seq| ())
+                        .map_err(|e| e.to_string()),
+                }
+            });
+        match result {
+            Ok(()) => {
+                breaker.on_success();
+                if stats.retries > 0 {
+                    metrics.inc(telemetry::metrics::names::STORE_WRITES_RETRIED);
+                    WriteOutcome::Retried
+                } else {
+                    WriteOutcome::Written
+                }
+            }
+            Err(reason) => {
+                breaker.on_failure(self.clock.as_ref());
+                metrics.inc(telemetry::metrics::names::STORE_WRITE_ERRORS);
+                telemetry::log::warn("core.sessionstore", "session log write failed")
+                    .field("site", self.site.as_str())
+                    .field("stream", stream)
+                    .field("reason", reason.as_str())
+                    .emit();
+                resilience::incident::report("store_write_failed", &self.site, &reason);
+                WriteOutcome::Failed
+            }
+        }
+    }
+
+    /// Write the identity record (first record of a fresh log).
+    pub fn write_meta(&self, meta: &SessionMeta) -> WriteOutcome {
+        self.write("meta", &meta.to_json())
+    }
+
+    /// Write one turn record: the `index`-th successful user turn.
+    pub fn write_turn(&self, index: usize, text: &str) -> WriteOutcome {
+        self.write(
+            "turn",
+            &format!("{{\"turn\":{index},\"text\":\"{}\"}}", escape(text)),
+        )
+    }
+
+    /// Stream one provenance event (pre-serialized flat JSON).
+    pub fn write_provenance(&self, event_json: &str) -> WriteOutcome {
+        self.write("provenance", event_json)
+    }
+
+    /// `true` when enough events accumulated since the last snapshot that
+    /// the next checkpoint is due.
+    pub fn snapshot_due(&self, total_events: usize) -> bool {
+        total_events.saturating_sub(self.events_at_last_snapshot) >= self.snapshot_every
+    }
+
+    /// Write a self-contained checkpoint: the full turn list (keys
+    /// `t0..tN-1`, keeping the payload a flat object), the provenance event
+    /// count and digest at this point, and the closed flag.
+    pub fn write_snapshot(
+        &mut self,
+        turns: &[String],
+        events: usize,
+        digest: u64,
+        closed: bool,
+    ) -> WriteOutcome {
+        let mut payload = format!(
+            "{{\"version\":{META_VERSION},\"turns\":{},\"events\":{events},\
+             \"digest\":{digest},\"closed\":{closed}",
+            turns.len()
+        );
+        for (i, turn) in turns.iter().enumerate() {
+            payload.push_str(&format!(",\"t{i}\":\"{}\"", escape(turn)));
+        }
+        payload.push('}');
+        let outcome = self.write("snapshot", &payload);
+        if matches!(outcome, WriteOutcome::Written | WriteOutcome::Retried) {
+            self.events_at_last_snapshot = events;
+            telemetry::metrics::global().inc(telemetry::metrics::names::STORE_SNAPSHOTS_WRITTEN);
+        }
+        outcome
+    }
+
+    /// Write the terminal record marking a clean close.
+    pub fn write_close(&self, final_fingerprint: Option<u64>) -> WriteOutcome {
+        let fp = final_fingerprint
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        self.write("close", &format!("{{\"final_fingerprint\":{fp}}}"))
+    }
+
+    /// Flush (and fsync per the journal policy) everything appended so far.
+    pub fn flush(&self) {
+        self.journal.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trips_with_escapes() {
+        let meta = SessionMeta {
+            version: META_VERSION,
+            session: "city \"quotes\"".into(),
+            research_question: "line\nbreak?".into(),
+            user_name: "Ada".into(),
+            user_expertise: "novice".into(),
+            user_domain: "urbanism".into(),
+            user_openness: 0.3,
+            seed: u64::MAX - 5,
+        };
+        let parsed = SessionMeta::parse(&meta.to_json()).unwrap();
+        assert_eq!(parsed, meta);
+        let profile = parsed.user_profile();
+        assert_eq!(profile.name, "Ada");
+        assert_eq!(profile.expertise.name(), "novice");
+    }
+
+    #[test]
+    fn meta_parse_rejects_torn_and_wrong_shapes() {
+        assert!(SessionMeta::parse("").is_err());
+        assert!(SessionMeta::parse("{\"version\":1}").is_err());
+        let full = SessionMeta {
+            version: 1,
+            session: "s".into(),
+            research_question: "r".into(),
+            user_name: "u".into(),
+            user_expertise: "analyst".into(),
+            user_domain: "d".into(),
+            user_openness: 0.5,
+            seed: 7,
+        }
+        .to_json();
+        for cut in 1..full.len() {
+            // No prefix may parse successfully or panic.
+            assert!(SessionMeta::parse(&full[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_expertise_degrades_to_novice() {
+        let meta = SessionMeta {
+            version: 1,
+            session: "s".into(),
+            research_question: "r".into(),
+            user_name: "u".into(),
+            user_expertise: "wizard".into(),
+            user_domain: "d".into(),
+            user_openness: 0.5,
+            seed: 7,
+        };
+        assert_eq!(meta.user_profile().expertise.name(), "novice");
+    }
+}

@@ -1,0 +1,325 @@
+//! Event-sourced session persistence: the durable complement of
+//! [`crate::session::DesignSession`].
+//!
+//! The session's provenance/turn stream is the source of truth: a session is
+//! a deterministic fold of its user turns over `(frame, config.seed)`, so
+//! durably recording the turns (plus periodic snapshots and the provenance
+//! tail) is enough to resurrect a crashed session bit-for-bit. The store
+//! reuses the telemetry journal's segment/fsync machinery — one rotating
+//! JSONL journal per session under a root directory:
+//!
+//! ```text
+//! $MATILDA_SESSION_DIR/
+//!   <session-id>/journal-000000.jsonl   one record per line
+//!   quarantine/<session-id>/...         corrupt logs, moved aside
+//! ```
+//!
+//! Streams within a session journal:
+//!
+//! - `meta` — first record: schema version, session name, research question,
+//!   user profile and the master seed (replay refuses a seed mismatch).
+//! - `turn` — `{"turn":N,"text":...}`: one record per successful user turn,
+//!   in order. These are the commands of the event-sourced model.
+//! - `provenance` — the session's provenance events, streamed as they are
+//!   recorded (the audit trail; replay rebuilds them rather than reading
+//!   them back).
+//! - `snapshot` — a periodic, self-contained checkpoint embedding the full
+//!   turn list plus the provenance digest at that point; recovery uses the
+//!   newest snapshot and appends the turn tail, so old segments can rot
+//!   without losing the session.
+//! - `close` — the terminal record; its presence classifies a log as
+//!   clean-closed.
+//!
+//! Writes go through a per-session circuit breaker (`store.write.<id>`) and
+//! the platform retry policy, with chaos faultpoints
+//! ([`matilda_resilience::fault::storage_faultpoint`], site `store.write`)
+//! injecting torn writes and io errors deterministically. When the breaker
+//! opens, persistence degrades to counted no-ops (`sessionstore.writes_skipped`,
+//! flipping `/healthz`) and the conversation continues — losing durability
+//! must never lose the session that is live in memory.
+//!
+//! The [`recovery`] pass scans the store at startup, classifies every log
+//! (clean-closed / in-flight / corrupt), resurrects in-flight sessions by
+//! replay with a degraded-turn narration, and quarantines corrupt logs.
+
+mod log;
+mod recovery;
+mod restore;
+
+pub use self::log::{SessionLog, SessionMeta, WriteOutcome, META_VERSION};
+pub use self::recovery::{
+    recover, RecoveredSession, RecoveryOutcome, RecoveryReport, SessionClass,
+};
+pub use self::restore::{RestoreError, RestoreReport, SessionLogData};
+
+use matilda_resilience as resilience;
+use matilda_telemetry as telemetry;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the session-store root directory.
+pub const DIR_ENV: &str = "MATILDA_SESSION_DIR";
+/// Environment variable overriding the snapshot cadence (events between
+/// snapshots).
+pub const SNAPSHOT_EVERY_ENV: &str = "MATILDA_SESSION_SNAPSHOT_EVERY";
+/// Default number of provenance events between snapshot records.
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 32;
+/// Subdirectory of the store root holding quarantined (corrupt) logs.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Reduce a session name to a filesystem-safe directory id.
+pub fn sanitize_id(name: &str) -> String {
+    let id: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if id.is_empty() {
+        "session".to_string()
+    } else {
+        id
+    }
+}
+
+/// Where and how a [`SessionStore`] keeps its logs.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Root directory: one subdirectory per session.
+    pub dir: PathBuf,
+    /// Provenance events between snapshot records.
+    pub snapshot_every: usize,
+}
+
+impl StoreConfig {
+    /// A config rooted at `dir` with the default snapshot cadence.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
+
+    /// The config described by the environment, or `None` when
+    /// `MATILDA_SESSION_DIR` is unset or empty.
+    pub fn from_env() -> Option<Self> {
+        let dir = std::env::var(DIR_ENV).ok().filter(|d| !d.is_empty())?;
+        let mut config = Self::new(dir);
+        if let Some(every) = std::env::var(SNAPSHOT_EVERY_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            config.snapshot_every = every;
+        }
+        Some(config)
+    }
+}
+
+/// A root directory of per-session journals. Cheap to clone conceptually —
+/// it holds only the config; each attached session owns its own journal.
+#[derive(Debug, Clone)]
+pub struct SessionStore {
+    config: StoreConfig,
+}
+
+impl SessionStore {
+    /// Open (create if missing) the store rooted at `config.dir`.
+    pub fn open(config: StoreConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&config.dir)?;
+        Ok(Self { config })
+    }
+
+    /// Open the store described by `MATILDA_SESSION_DIR`, or `Ok(None)` when
+    /// the environment does not ask for one.
+    pub fn from_env() -> std::io::Result<Option<Self>> {
+        match StoreConfig::from_env() {
+            Some(config) => Self::open(config).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// The snapshot cadence sessions attached to this store use.
+    pub fn snapshot_every(&self) -> usize {
+        self.config.snapshot_every.max(1)
+    }
+
+    /// The directory holding session `id`'s journal.
+    pub fn session_dir(&self, id: &str) -> PathBuf {
+        self.config.dir.join(id)
+    }
+
+    /// Ids of every non-quarantined session in the store, sorted.
+    pub fn session_ids(&self) -> std::io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(&self.config.dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+                continue;
+            };
+            if name != QUARANTINE_DIR {
+                ids.push(name);
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Ids of quarantined (corrupt) session logs, sorted.
+    pub fn quarantined_ids(&self) -> std::io::Result<Vec<String>> {
+        let dir = self.config.dir.join(QUARANTINE_DIR);
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let mut ids: Vec<String> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().to_str().map(str::to_string))
+            .collect();
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// `true` when session `id` already has journal segments on disk — the
+    /// signal that an attaching session is resuming rather than starting.
+    pub fn has_records(&self, id: &str) -> bool {
+        telemetry::journal::segment_paths(&self.session_dir(id))
+            .map(|paths| !paths.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Open a durable log for session `id` (a fresh journal segment in its
+    /// directory), wired to the session's breakers, clock and retry policy.
+    pub fn create_log(
+        &self,
+        id: &str,
+        breakers: std::sync::Arc<resilience::BreakerRegistry>,
+        clock: std::sync::Arc<dyn resilience::Clock>,
+        retry: resilience::RetryPolicy,
+    ) -> std::io::Result<SessionLog> {
+        SessionLog::create(
+            self.session_dir(id),
+            id,
+            breakers,
+            clock,
+            retry,
+            self.snapshot_every(),
+        )
+    }
+
+    /// Read session `id`'s log back into structured form (meta, turns,
+    /// provenance events, closed flag). Never panics: torn tails are counted
+    /// and skipped, everything else lands in a typed [`RestoreError`].
+    pub fn load(&self, id: &str) -> Result<SessionLogData, RestoreError> {
+        restore::load_dir(&self.session_dir(id))
+    }
+
+    /// Move session `id`'s log into the quarantine subdirectory, returning
+    /// the new path. The log is preserved for offline inspection, and the
+    /// recovery pass will not trip over it again.
+    pub fn quarantine(&self, id: &str) -> std::io::Result<PathBuf> {
+        let quarantine_root = self.config.dir.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&quarantine_root)?;
+        let mut target = quarantine_root.join(id);
+        // A second crash of a same-named session must not clobber the
+        // evidence from the first.
+        let mut suffix = 1;
+        while target.exists() {
+            target = quarantine_root.join(format!("{id}.{suffix}"));
+            suffix += 1;
+        }
+        std::fs::rename(self.session_dir(id), &target)?;
+        Ok(target)
+    }
+
+    /// A JSON summary of every session in the store — the `/sessions`
+    /// endpoint body.
+    pub fn listing_json(&self) -> String {
+        let mut out = String::from("{\"sessions\":[");
+        let mut first = true;
+        for id in self.session_ids().unwrap_or_default() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match self.load(&id) {
+                Ok(data) => {
+                    let class = if data.closed {
+                        SessionClass::CleanClosed
+                    } else {
+                        SessionClass::InFlight
+                    };
+                    out.push_str(&format!(
+                        "{{\"id\":\"{}\",\"class\":\"{}\",\"turns\":{},\"events\":{},\
+                         \"torn_lines\":{}}}",
+                        matilda_provenance::json::escape(&id),
+                        class.name(),
+                        data.turns.len(),
+                        data.events.len(),
+                        data.torn_lines
+                    ));
+                }
+                Err(e) => {
+                    out.push_str(&format!(
+                        "{{\"id\":\"{}\",\"class\":\"corrupt\",\"error\":\"{}\"}}",
+                        matilda_provenance::json::escape(&id),
+                        matilda_provenance::json::escape(&e.to_string())
+                    ));
+                }
+            }
+        }
+        out.push_str("],\"quarantined\":[");
+        let mut first = true;
+        for id in self.quarantined_ids().unwrap_or_default() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\"", matilda_provenance::json::escape(&id)));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Register this store as the `/sessions` provider on the observability
+    /// server: the endpoint then serves a live scan of the store.
+    pub fn expose(&self) {
+        let store = self.clone();
+        telemetry::expose::register_sessions_provider(move || store.listing_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_keeps_safe_chars_and_replaces_the_rest() {
+        assert_eq!(sanitize_id("my-session_01.a"), "my-session_01.a");
+        assert_eq!(sanitize_id("a b/c:d"), "a_b_c_d");
+        assert_eq!(sanitize_id(""), "session");
+    }
+
+    #[test]
+    fn store_open_creates_root_and_lists_empty() {
+        let dir = std::env::temp_dir().join(format!("matilda-store-open-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = SessionStore::open(StoreConfig::new(&dir)).unwrap();
+        assert!(dir.is_dir());
+        assert!(store.session_ids().unwrap().is_empty());
+        assert!(store.quarantined_ids().unwrap().is_empty());
+        assert!(!store.has_records("nope"));
+        assert_eq!(store.listing_json(), "{\"sessions\":[],\"quarantined\":[]}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,238 @@
+//! The startup recovery pass: scan the store, classify every log, resurrect
+//! the in-flight ones, quarantine the corrupt ones.
+
+use super::log::SessionMeta;
+use super::restore::RestoreError;
+use super::SessionStore;
+use crate::config::PlatformConfig;
+use crate::session::DesignSession;
+use matilda_data::DataFrame;
+use matilda_resilience as resilience;
+use matilda_telemetry as telemetry;
+use std::time::Duration;
+
+/// What the recovery pass decided a session log is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionClass {
+    /// A `close` record is present: nothing to do.
+    CleanClosed,
+    /// The log ends mid-session: the process died with the session live.
+    InFlight,
+    /// The log cannot be loaded or replayed: moved to quarantine.
+    Corrupt,
+}
+
+impl SessionClass {
+    /// Stable lowercase name (used in `/sessions` and experiment output).
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionClass::CleanClosed => "clean_closed",
+            SessionClass::InFlight => "in_flight",
+            SessionClass::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// An in-flight session the pass brought back to life.
+pub struct RecoveredSession {
+    /// Store directory id.
+    pub id: String,
+    /// The resurrected session, re-attached to the store so it keeps
+    /// persisting from here on.
+    pub session: DesignSession,
+    /// What the platform says to the returning user — recovery presented
+    /// as a degraded turn, not a stack trace.
+    pub narration: String,
+    /// Turns re-stepped from the log.
+    pub turns_replayed: usize,
+    /// Provenance digest of the rebuilt session.
+    pub digest: u64,
+    /// Wall-clock time the restore took.
+    pub latency: Duration,
+}
+
+/// One scanned log's verdict.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Store directory id.
+    pub id: String,
+    /// The classification.
+    pub class: SessionClass,
+    /// Detail for corrupt logs (the restore error) or in-flight logs that
+    /// could not be resumed (e.g. no dataset available).
+    pub detail: Option<String>,
+}
+
+/// Everything one recovery pass did.
+pub struct RecoveryReport {
+    /// Verdict per scanned session, in id order.
+    pub outcomes: Vec<RecoveryOutcome>,
+    /// Sessions resurrected and re-attached.
+    pub resumed: Vec<RecoveredSession>,
+    /// Ids moved to quarantine this pass.
+    pub quarantined: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// Count of sessions in `class`.
+    pub fn count(&self, class: SessionClass) -> usize {
+        self.outcomes.iter().filter(|o| o.class == class).count()
+    }
+}
+
+fn quarantine(
+    store: &SessionStore,
+    id: &str,
+    error: &RestoreError,
+    quarantined: &mut Vec<String>,
+) -> Option<String> {
+    telemetry::metrics::global().inc(telemetry::metrics::names::STORE_SESSIONS_QUARANTINED);
+    resilience::incident::report("session_corrupt", "store.recover", &error.to_string());
+    match store.quarantine(id) {
+        Ok(path) => {
+            telemetry::log::warn("core.sessionstore", "corrupt session log quarantined")
+                .field("session", id)
+                .field("error", error.to_string())
+                .field("moved_to", path.display().to_string())
+                .emit();
+            quarantined.push(id.to_string());
+            Some(error.to_string())
+        }
+        Err(io) => {
+            // Even the quarantine move can fail; the log stays put and the
+            // pass reports both problems.
+            telemetry::log::warn("core.sessionstore", "quarantine move failed")
+                .field("session", id)
+                .field("error", io.to_string())
+                .emit();
+            Some(format!("{error} (quarantine move failed: {io})"))
+        }
+    }
+}
+
+/// Scan `store`, classify every session log, resurrect in-flight sessions by
+/// snapshot + tail replay, and quarantine corrupt logs.
+///
+/// `frame_for` supplies the dataset a session ran over (the store records
+/// the design conversation, not the data); returning `None` leaves that log
+/// in place, unclassified beyond in-flight.
+///
+/// Replay runs under the *logged* seed (`meta.seed`), so a recovered
+/// session's provenance digest matches a straight-through run of the same
+/// turns — the property the E12 kill-and-resurrect experiment gates on.
+pub fn recover(
+    store: &SessionStore,
+    config: &PlatformConfig,
+    mut frame_for: impl FnMut(&SessionMeta) -> Option<DataFrame>,
+) -> RecoveryReport {
+    let mut report = RecoveryReport {
+        outcomes: Vec::new(),
+        resumed: Vec::new(),
+        quarantined: Vec::new(),
+    };
+    let ids = match store.session_ids() {
+        Ok(ids) => ids,
+        Err(e) => {
+            telemetry::log::warn("core.sessionstore", "recovery scan failed")
+                .field("error", e.to_string())
+                .emit();
+            return report;
+        }
+    };
+    for id in ids {
+        let data = match store.load(&id) {
+            Ok(data) => data,
+            Err(error) => {
+                let detail = quarantine(store, &id, &error, &mut report.quarantined);
+                report.outcomes.push(RecoveryOutcome {
+                    id,
+                    class: SessionClass::Corrupt,
+                    detail,
+                });
+                continue;
+            }
+        };
+        if data.closed {
+            report.outcomes.push(RecoveryOutcome {
+                id,
+                class: SessionClass::CleanClosed,
+                detail: None,
+            });
+            continue;
+        }
+        let Some(frame) = frame_for(&data.meta) else {
+            report.outcomes.push(RecoveryOutcome {
+                id,
+                class: SessionClass::InFlight,
+                detail: Some("no dataset available; log left in place".to_string()),
+            });
+            continue;
+        };
+        // Replay under the logged seed: determinism is against the run that
+        // wrote the log, not whatever the caller's config happens to hold.
+        let replay_config = PlatformConfig {
+            seed: data.meta.seed,
+            ..config.clone()
+        };
+        let started = std::time::Instant::now();
+        match DesignSession::restore(frame, replay_config, &data) {
+            Ok((mut session, restored)) => {
+                let latency = started.elapsed();
+                let metrics = telemetry::metrics::global();
+                metrics.inc(telemetry::metrics::names::STORE_SESSIONS_RECOVERED);
+                metrics.observe(
+                    telemetry::metrics::names::STORE_RESTORE_SECONDS,
+                    latency.as_secs_f64(),
+                );
+                telemetry::log::info("core.sessionstore", "in-flight session recovered")
+                    .field("session", id.as_str())
+                    .field("turns_replayed", restored.turns_replayed as u64)
+                    .field("digest", restored.digest)
+                    .field("latency_ms", latency.as_millis() as u64)
+                    .emit();
+                let mut detail = None;
+                if let Err(io) = session.attach_store(store) {
+                    // The session is alive either way; it just will not
+                    // persist further turns.
+                    detail = Some(format!("recovered, but re-attach failed: {io}"));
+                }
+                let executions = session.executed().len();
+                let narration = format!(
+                    "We were interrupted mid-design — I found our saved session and \
+                     replayed it: {} turn{} restored, {} stud{} already run. Nothing \
+                     is lost; let's pick up where we left off.",
+                    restored.turns_replayed,
+                    if restored.turns_replayed == 1 {
+                        ""
+                    } else {
+                        "s"
+                    },
+                    executions,
+                    if executions == 1 { "y" } else { "ies" },
+                );
+                report.resumed.push(RecoveredSession {
+                    id: id.clone(),
+                    session,
+                    narration,
+                    turns_replayed: restored.turns_replayed,
+                    digest: restored.digest,
+                    latency,
+                });
+                report.outcomes.push(RecoveryOutcome {
+                    id,
+                    class: SessionClass::InFlight,
+                    detail,
+                });
+            }
+            Err(error) => {
+                let detail = quarantine(store, &id, &error, &mut report.quarantined);
+                report.outcomes.push(RecoveryOutcome {
+                    id,
+                    class: SessionClass::Corrupt,
+                    detail,
+                });
+            }
+        }
+    }
+    report
+}

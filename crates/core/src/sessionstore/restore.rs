@@ -1,0 +1,329 @@
+//! Reading a session log back: typed errors, snapshot + tail merging, and
+//! the short-read chaos hook.
+//!
+//! The loader is the half of event sourcing that must never panic: whatever
+//! bytes a crash (or injected fault) left behind, the result is either a
+//! [`SessionLogData`] replay can fold, or a typed [`RestoreError`] the
+//! recovery pass turns into quarantine.
+
+use super::log::SessionMeta;
+use matilda_provenance::json::{event_from_json, parse_flat_object, FlatValue};
+use matilda_provenance::Event;
+use matilda_resilience as resilience;
+use matilda_telemetry as telemetry;
+use std::path::Path;
+
+/// Why a session log could not be loaded or replayed. Every storage
+/// corruption mode maps to a variant here — storage faults never escape as
+/// panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The directory holds no parseable records at all.
+    EmptyLog,
+    /// Records exist but no `meta` record does: the identity is gone.
+    MissingMeta,
+    /// The `meta` record exists but cannot be parsed.
+    CorruptMeta(String),
+    /// A parseable journal line carried an unparseable or inconsistent
+    /// payload (e.g. a turn index leaving a gap).
+    CorruptRecord {
+        /// Journal sequence number of the offending record.
+        seq: u64,
+        /// Human-readable reason.
+        detail: String,
+    },
+    /// The log was written under a different master seed than the config
+    /// offered for replay; folding would silently diverge.
+    SeedMismatch {
+        /// Seed recorded in the log's meta.
+        log: u64,
+        /// Seed in the replaying config.
+        config: u64,
+    },
+    /// Reading the log failed at the io layer (includes injected
+    /// `store.read` io faults).
+    Io(String),
+    /// Re-stepping a recorded turn failed during replay.
+    ReplayFailed {
+        /// Zero-based index of the turn that failed.
+        turn: usize,
+        /// Human-readable reason.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::EmptyLog => write!(f, "session log is empty"),
+            RestoreError::MissingMeta => write!(f, "session log has no meta record"),
+            RestoreError::CorruptMeta(detail) => {
+                write!(f, "session meta record is corrupt: {detail}")
+            }
+            RestoreError::CorruptRecord { seq, detail } => {
+                write!(f, "corrupt record at seq {seq}: {detail}")
+            }
+            RestoreError::SeedMismatch { log, config } => write!(
+                f,
+                "seed mismatch: log was written under {log}, replay offered {config}"
+            ),
+            RestoreError::Io(detail) => write!(f, "session log io error: {detail}"),
+            RestoreError::ReplayFailed { turn, detail } => {
+                write!(f, "replay failed at turn {turn}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// The structured contents of one session log, ready for replay.
+#[derive(Debug, Clone)]
+pub struct SessionLogData {
+    /// The identity record.
+    pub meta: SessionMeta,
+    /// Every recorded user turn, in order — newest snapshot's turn list
+    /// with the post-snapshot tail appended.
+    pub turns: Vec<String>,
+    /// Provenance events read back from the log (the audit trail as
+    /// persisted; replay rebuilds its own).
+    pub events: Vec<Event>,
+    /// `true` when a `close` record (or a closed snapshot) is present.
+    pub closed: bool,
+    /// Digest recorded by the newest snapshot, if any.
+    pub snapshot_digest: Option<u64>,
+    /// Torn/unparseable journal lines skipped while reading.
+    pub torn_lines: u64,
+}
+
+/// What a successful [`crate::session::DesignSession::restore`] rebuilt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoreReport {
+    /// Turns re-stepped from the log.
+    pub turns_replayed: usize,
+    /// Provenance digest of the rebuilt session
+    /// ([`matilda_provenance::digest_events`]).
+    pub digest: u64,
+    /// Whether replay ended with the session closed.
+    pub closed: bool,
+}
+
+fn flat_u64(fields: &[(String, FlatValue)], key: &str) -> Option<u64> {
+    match fields.iter().find(|(k, _)| k == key)? {
+        (_, FlatValue::Num(raw)) => raw.parse().ok(),
+        _ => None,
+    }
+}
+
+fn flat_str(fields: &[(String, FlatValue)], key: &str) -> Option<String> {
+    match fields.iter().find(|(k, _)| k == key)? {
+        (_, FlatValue::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn flat_bool(fields: &[(String, FlatValue)], key: &str) -> Option<bool> {
+    match fields.iter().find(|(k, _)| k == key)? {
+        (_, FlatValue::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+struct Snapshot {
+    turns: Vec<String>,
+    digest: u64,
+    closed: bool,
+}
+
+fn parse_snapshot(payload: &str) -> Option<Snapshot> {
+    let fields = parse_flat_object(payload)?;
+    let count = flat_u64(&fields, "turns")? as usize;
+    let digest = flat_u64(&fields, "digest")?;
+    let closed = flat_bool(&fields, "closed")?;
+    let mut turns = Vec::with_capacity(count);
+    for i in 0..count {
+        turns.push(flat_str(&fields, &format!("t{i}"))?);
+    }
+    Some(Snapshot {
+        turns,
+        digest,
+        closed,
+    })
+}
+
+fn parse_turn(payload: &str) -> Option<(u64, String)> {
+    let fields = parse_flat_object(payload)?;
+    Some((flat_u64(&fields, "turn")?, flat_str(&fields, "text")?))
+}
+
+/// Load the session log under `dir`. Consults the `store.read` storage
+/// faultpoint once per call: an injected short read truncates the final
+/// segment's tail (simulating a partial read after a crash), an injected io
+/// error surfaces as [`RestoreError::Io`].
+pub(crate) fn load_dir(dir: &Path) -> Result<SessionLogData, RestoreError> {
+    let paths =
+        telemetry::journal::segment_paths(dir).map_err(|e| RestoreError::Io(e.to_string()))?;
+    let mut texts = Vec::with_capacity(paths.len());
+    for path in &paths {
+        texts.push(std::fs::read_to_string(path).map_err(|e| RestoreError::Io(e.to_string()))?);
+    }
+    match resilience::fault::storage_faultpoint("store.read") {
+        Ok(()) => {}
+        Err(resilience::StorageFault::IoError) => {
+            return Err(RestoreError::Io(
+                "injected storage fault: io_error".to_string(),
+            ));
+        }
+        // Both tearing kinds read as "the tail of the last segment never
+        // made it": drop the final quarter, leaving at most one torn line
+        // plus whole lost records — exactly what recovery must absorb.
+        Err(resilience::StorageFault::ShortRead | resilience::StorageFault::TornWrite) => {
+            if let Some(last) = texts.last_mut() {
+                let keep = last.len().saturating_sub(last.len() / 4 + 1);
+                last.truncate(keep);
+            }
+        }
+    }
+
+    let mut records = Vec::new();
+    let mut torn_total = 0u64;
+    for (path, text) in paths.iter().zip(&texts) {
+        let mut torn_here = 0u64;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match telemetry::journal::parse_record(line) {
+                Some(record) => records.push(record),
+                None => torn_here += 1,
+            }
+        }
+        if torn_here > 0 {
+            torn_total += torn_here;
+            telemetry::log::warn("core.sessionstore", "torn session log lines skipped")
+                .field("segment", path.display().to_string())
+                .field("torn_lines", torn_here)
+                .emit();
+        }
+    }
+    if torn_total > 0 {
+        telemetry::metrics::global().add(telemetry::metrics::names::JOURNAL_TORN_LINES, torn_total);
+    }
+    records.sort_by_key(|r| r.seq);
+    if records.is_empty() {
+        return Err(RestoreError::EmptyLog);
+    }
+
+    let mut meta: Option<SessionMeta> = None;
+    let mut turns: Vec<String> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut closed = false;
+    let mut snapshot_digest = None;
+    for record in &records {
+        match record.stream.as_str() {
+            "meta" if meta.is_none() => {
+                meta =
+                    Some(SessionMeta::parse(&record.payload).map_err(RestoreError::CorruptMeta)?);
+            }
+            "turn" => {
+                let (index, text) =
+                    parse_turn(&record.payload).ok_or_else(|| RestoreError::CorruptRecord {
+                        seq: record.seq,
+                        detail: "unparseable turn record".to_string(),
+                    })?;
+                let next = turns.len() as u64;
+                if index == next {
+                    turns.push(text);
+                } else if index > next {
+                    return Err(RestoreError::CorruptRecord {
+                        seq: record.seq,
+                        detail: format!("turn {index} leaves a gap (have {next})"),
+                    });
+                }
+                // index < next: already covered by a snapshot — idempotent.
+            }
+            "snapshot" => {
+                let snapshot =
+                    parse_snapshot(&record.payload).ok_or_else(|| RestoreError::CorruptRecord {
+                        seq: record.seq,
+                        detail: "unparseable snapshot record".to_string(),
+                    })?;
+                // The newest snapshot is authoritative for its prefix; a
+                // snapshot can never know fewer turns than the records
+                // before it established.
+                if snapshot.turns.len() >= turns.len() {
+                    turns = snapshot.turns;
+                }
+                snapshot_digest = Some(snapshot.digest);
+                closed = closed || snapshot.closed;
+            }
+            "close" => closed = true,
+            "provenance" => match event_from_json(&record.payload) {
+                Ok(event) => events.push(event),
+                Err(e) => {
+                    return Err(RestoreError::CorruptRecord {
+                        seq: record.seq,
+                        detail: e.to_string(),
+                    });
+                }
+            },
+            // Foreign streams (a future schema) are ignored, not fatal.
+            _ => {}
+        }
+    }
+    let meta = meta.ok_or(RestoreError::MissingMeta)?;
+    Ok(SessionLogData {
+        meta,
+        turns,
+        events,
+        closed,
+        snapshot_digest,
+        torn_lines: torn_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_payload_round_trips() {
+        let turns = vec!["predict 'label'".to_string(), "yes\nplease".to_string()];
+        let mut payload = format!(
+            "{{\"version\":1,\"turns\":{},\"events\":9,\"digest\":12345,\"closed\":false",
+            turns.len()
+        );
+        for (i, t) in turns.iter().enumerate() {
+            payload.push_str(&format!(
+                ",\"t{i}\":\"{}\"",
+                matilda_provenance::json::escape(t)
+            ));
+        }
+        payload.push('}');
+        let snap = parse_snapshot(&payload).unwrap();
+        assert_eq!(snap.turns, turns);
+        assert_eq!(snap.digest, 12345);
+        assert!(!snap.closed);
+    }
+
+    #[test]
+    fn snapshot_with_missing_turn_key_is_rejected() {
+        // Claims 2 turns but only carries t0.
+        let payload = "{\"version\":1,\"turns\":2,\"events\":1,\"digest\":1,\
+                       \"closed\":false,\"t0\":\"a\"}";
+        assert!(parse_snapshot(payload).is_none());
+    }
+
+    #[test]
+    fn turn_payload_parses() {
+        assert_eq!(
+            parse_turn("{\"turn\":3,\"text\":\"run it\"}").unwrap(),
+            (3, "run it".to_string())
+        );
+        assert!(parse_turn("{\"turn\":3}").is_none());
+        assert!(parse_turn("{\"text\":\"x\"}").is_none());
+    }
+
+    #[test]
+    fn load_missing_dir_is_io_not_panic() {
+        let err = load_dir(Path::new("/nonexistent/matilda-store-xyz")).unwrap_err();
+        assert!(matches!(err, RestoreError::Io(_)));
+    }
+}

@@ -1,0 +1,438 @@
+//! Integration tests for event-sourced session persistence: durable logs,
+//! snapshot + replay recovery, snapshot-boundary edge cases, and the
+//! chaos-tested kill-and-resurrect guarantee.
+
+use matilda_core::prelude::*;
+use matilda_core::sessionstore::{
+    recover, RestoreError, SessionClass, SessionMeta, SessionStore, StoreConfig, META_VERSION,
+};
+use matilda_data::{Column, DataFrame};
+use matilda_provenance::quality::audit;
+use matilda_telemetry as telemetry;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_store(tag: &str) -> (PathBuf, SessionStore) {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "matilda-sessionstore-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = SessionStore::open(StoreConfig::new(&dir)).unwrap();
+    (dir, store)
+}
+
+fn frame() -> DataFrame {
+    DataFrame::from_columns(vec![
+        ("x", Column::from_f64((0..60).map(f64::from).collect())),
+        (
+            "noise",
+            Column::from_f64((0..60).map(|i| ((i * 7) % 5) as f64).collect()),
+        ),
+        (
+            "label",
+            Column::from_categorical(
+                &(0..60)
+                    .map(|i| if i < 30 { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+    .unwrap()
+}
+
+fn profile() -> matilda_conversation::UserProfile {
+    matilda_conversation::UserProfile::novice("Ada", "urbanism")
+}
+
+/// A fixed, state-independent utterance script: every line is a valid input
+/// in any dialogue state, so any prefix replays deterministically.
+fn script() -> Vec<&'static str> {
+    vec![
+        "I want to predict 'label'",
+        "yes",
+        "no",
+        "yes",
+        "yes",
+        "no",
+        "run it",
+        "done",
+    ]
+}
+
+fn new_session(name: &str) -> DesignSession {
+    DesignSession::new(
+        name,
+        "does x drive label?",
+        frame(),
+        profile(),
+        PlatformConfig::quick(),
+    )
+}
+
+#[test]
+fn kill_and_resurrect_matches_straight_through_digest() {
+    let (dir, store) = temp_store("resurrect");
+    // Straight-through reference run: no store attached, same seed.
+    let mut reference = new_session("resurrect");
+    for line in script() {
+        reference.step(line).unwrap();
+    }
+    assert!(reference.is_closed());
+    let reference_digest = reference.provenance_digest();
+
+    // The doomed run: persist, then "die" mid-design (drop without close).
+    let kill_at = 4;
+    {
+        let mut doomed = new_session("resurrect");
+        doomed.attach_store(&store).unwrap();
+        for line in &script()[..kill_at] {
+            doomed.step(line).unwrap();
+        }
+        assert!(!doomed.is_closed());
+    } // dropped: the crash
+
+    // Resurrect: the recovery pass replays the log...
+    let report = recover(&store, &PlatformConfig::quick(), |_meta| Some(frame()));
+    assert_eq!(report.count(SessionClass::InFlight), 1);
+    assert!(report.quarantined.is_empty(), "nothing was corrupt");
+    let mut recovered = report.resumed.into_iter().next().unwrap();
+    assert_eq!(recovered.turns_replayed, kill_at);
+    assert!(recovered.narration.contains("Nothing is lost"));
+    // ...and the remaining turns land on the recovered session.
+    for line in &script()[kill_at..] {
+        recovered.session.step(line).unwrap();
+    }
+    assert!(recovered.session.is_closed());
+    assert_eq!(
+        recovered.session.provenance_digest(),
+        reference_digest,
+        "a resurrected session is indistinguishable from one that never died"
+    );
+    // The recovered log passes the provenance audit, and a second recovery
+    // pass sees a clean close.
+    let quality = audit(&recovered.session.recorder().snapshot());
+    assert!(quality.all_passed(), "failures: {:?}", quality.failures());
+    drop(recovered);
+    let second = recover(&store, &PlatformConfig::quick(), |_meta| Some(frame()));
+    assert_eq!(second.count(SessionClass::CleanClosed), 1);
+    assert!(second.resumed.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_only_log_with_empty_tail_restores() {
+    let (dir, store) = temp_store("snaponly");
+    // Handcraft a log that is meta + snapshot, with no tail turn records.
+    let session_dir = store.session_dir("hand");
+    let journal =
+        telemetry::journal::Journal::open(telemetry::journal::JournalConfig::new(&session_dir))
+            .unwrap();
+    let meta = SessionMeta {
+        version: META_VERSION,
+        session: "hand".into(),
+        research_question: "rq".into(),
+        user_name: "Ada".into(),
+        user_expertise: "novice".into(),
+        user_domain: "urbanism".into(),
+        user_openness: 0.3,
+        seed: 42,
+    };
+    journal.append("meta", &meta.to_json());
+    journal.append(
+        "snapshot",
+        "{\"version\":1,\"turns\":2,\"events\":0,\"digest\":0,\"closed\":false,\
+         \"t0\":\"I want to predict 'label'\",\"t1\":\"yes\"}",
+    );
+    journal.flush();
+    drop(journal);
+    let data = store.load("hand").unwrap();
+    assert_eq!(data.turns.len(), 2, "turns come entirely from the snapshot");
+    assert!(!data.closed);
+    let (session, report) =
+        DesignSession::restore(frame(), PlatformConfig::quick(), &data).unwrap();
+    assert_eq!(report.turns_replayed, 2);
+    assert!(!session.is_closed());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tail_only_log_without_snapshot_restores() {
+    let (dir, store) = temp_store("tailonly");
+    {
+        let mut s = new_session("tail");
+        s.attach_store(&store).unwrap();
+        // Default snapshot cadence (32 events) is never reached in 3 turns:
+        // the log is meta + turn/provenance tail only.
+        for line in &script()[..3] {
+            s.step(line).unwrap();
+        }
+    }
+    let data = store.load("tail").unwrap();
+    assert_eq!(data.turns.len(), 3);
+    assert!(data.snapshot_digest.is_none(), "no snapshot was written");
+    let (session, report) =
+        DesignSession::restore(frame(), PlatformConfig::quick(), &data).unwrap();
+    assert_eq!(report.turns_replayed, 3);
+    assert!(!session.is_closed());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn frequent_snapshots_and_tail_compose() {
+    let (dir, _) = temp_store("snaptail");
+    let store = SessionStore::open(StoreConfig {
+        dir: dir.clone(),
+        snapshot_every: 1, // a snapshot after every turn
+    })
+    .unwrap();
+    let kill_at = 5;
+    {
+        let mut s = new_session("snaptail");
+        s.attach_store(&store).unwrap();
+        for line in &script()[..kill_at] {
+            s.step(line).unwrap();
+        }
+    }
+    let data = store.load("snaptail").unwrap();
+    assert_eq!(data.turns.len(), kill_at);
+    assert!(data.snapshot_digest.is_some());
+    let report = recover(&store, &PlatformConfig::quick(), |_| Some(frame()));
+    assert_eq!(report.resumed.len(), 1);
+    assert_eq!(report.resumed[0].turns_replayed, kill_at);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_final_record_restores_to_the_prefix() {
+    let (dir, store) = temp_store("torn");
+    {
+        let mut s = new_session("torn");
+        s.attach_store(&store).unwrap();
+        for line in &script()[..4] {
+            s.step(line).unwrap();
+        }
+    }
+    // Crash mid-write: raw truncated bytes, no newline, at the log's end.
+    let segments = telemetry::journal::segment_paths(&store.session_dir("torn")).unwrap();
+    let last = segments.last().unwrap();
+    let mut file = std::fs::OpenOptions::new().append(true).open(last).unwrap();
+    file.write_all(b"{\"seq\":9999,\"stream\":\"turn\",\"payl")
+        .unwrap();
+    drop(file);
+    let data = store.load("torn").unwrap();
+    assert_eq!(data.torn_lines, 1, "the torn tail is counted, not fatal");
+    assert_eq!(data.turns.len(), 4, "the parseable prefix survives whole");
+    let (_session, report) =
+        DesignSession::restore(frame(), PlatformConfig::quick(), &data).unwrap();
+    assert_eq!(report.turns_replayed, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_and_meta_less_logs_are_typed_errors_never_panics() {
+    let (dir, store) = temp_store("empty");
+    // An empty log: a journal was opened (one empty segment) but nothing
+    // was ever written.
+    let journal = telemetry::journal::Journal::open(telemetry::journal::JournalConfig::new(
+        store.session_dir("nothing"),
+    ))
+    .unwrap();
+    drop(journal);
+    assert_eq!(store.load("nothing").unwrap_err(), RestoreError::EmptyLog);
+    // A log with records but no meta: identity is gone.
+    let journal = telemetry::journal::Journal::open(telemetry::journal::JournalConfig::new(
+        store.session_dir("anon"),
+    ))
+    .unwrap();
+    journal.append("turn", "{\"turn\":0,\"text\":\"hello\"}");
+    journal.flush();
+    drop(journal);
+    assert_eq!(store.load("anon").unwrap_err(), RestoreError::MissingMeta);
+    // A missing directory entirely is an io error, not a panic.
+    assert!(matches!(
+        store.load("never-existed").unwrap_err(),
+        RestoreError::Io(_)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_payload_quarantines_on_recovery() {
+    let (dir, store) = temp_store("corrupt");
+    let journal = telemetry::journal::Journal::open(telemetry::journal::JournalConfig::new(
+        store.session_dir("bad"),
+    ))
+    .unwrap();
+    let meta = SessionMeta {
+        version: META_VERSION,
+        session: "bad".into(),
+        research_question: "rq".into(),
+        user_name: "Ada".into(),
+        user_expertise: "novice".into(),
+        user_domain: "urbanism".into(),
+        user_openness: 0.3,
+        seed: 42,
+    };
+    journal.append("meta", &meta.to_json());
+    // A parseable journal line whose turn payload is garbage: corruption,
+    // not a torn tail.
+    journal.append("turn", "{\"bogus\":1}");
+    journal.flush();
+    drop(journal);
+    assert!(matches!(
+        store.load("bad").unwrap_err(),
+        RestoreError::CorruptRecord { .. }
+    ));
+    let report = recover(&store, &PlatformConfig::quick(), |_| Some(frame()));
+    assert_eq!(report.count(SessionClass::Corrupt), 1);
+    assert_eq!(report.quarantined, vec!["bad".to_string()]);
+    assert_eq!(store.quarantined_ids().unwrap(), vec!["bad".to_string()]);
+    assert!(store.session_ids().unwrap().is_empty(), "moved aside");
+    // A second pass finds nothing to do.
+    let second = recover(&store, &PlatformConfig::quick(), |_| Some(frame()));
+    assert!(second.outcomes.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn seed_mismatch_is_rejected() {
+    let (dir, store) = temp_store("seed");
+    {
+        let mut s = new_session("seeded");
+        s.attach_store(&store).unwrap();
+        s.step("I want to predict 'label'").unwrap();
+    }
+    let data = store.load("seeded").unwrap();
+    let wrong = PlatformConfig {
+        seed: 999,
+        ..PlatformConfig::quick()
+    };
+    match DesignSession::restore(frame(), wrong, &data) {
+        Err(RestoreError::SeedMismatch {
+            log: 42,
+            config: 999,
+        }) => {}
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("a seed mismatch must not restore"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_store_write_faults_never_escape_and_degrade_to_noops() {
+    use matilda_resilience::{fault, FaultKind, FaultPlan};
+    let scoped = telemetry::metrics::scoped();
+    let (dir, store) = temp_store("writefault");
+    // Every store write fails at the io layer; the retry policy exhausts,
+    // the breaker opens, persistence degrades to counted no-ops — and the
+    // conversation never notices.
+    let _scope = fault::activate(FaultPlan::new(7).inject("store.write", FaultKind::IoError, 1.0));
+    let mut s = new_session("faulted");
+    s.attach_store(&store).unwrap();
+    for line in &script()[..5] {
+        let outcome = s.step(line).unwrap();
+        assert!(!outcome.reply.is_empty());
+    }
+    assert!(!s.is_closed());
+    let snapshot = scoped.registry().snapshot();
+    assert!(
+        snapshot.counter(telemetry::metrics::names::STORE_WRITE_ERRORS) > 0,
+        "exhausted writes are counted"
+    );
+    assert!(
+        snapshot.counter(telemetry::metrics::names::STORE_WRITES_SKIPPED) > 0,
+        "the open breaker degrades writes to counted no-ops"
+    );
+    assert_eq!(
+        snapshot.counter(telemetry::metrics::names::JOURNAL_WRITE_ERRORS),
+        0,
+        "injected store faults never pollute the telemetry journal's counter"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_write_faults_are_healed_by_retry() {
+    use matilda_resilience::{fault, FaultKind, FaultPlan};
+    let scoped = telemetry::metrics::scoped();
+    let (dir, store) = temp_store("tornwrite");
+    // A torn write on the first attempt of some writes: the retry appends
+    // the record whole, so the log stays complete; replay counts the torn
+    // half-lines and moves on.
+    let _scope =
+        fault::activate(FaultPlan::new(11).inject("store.write", FaultKind::TornWrite, 0.3));
+    let kill_at = 4;
+    {
+        let mut s = new_session("tornwrite");
+        s.attach_store(&store).unwrap();
+        for line in &script()[..kill_at] {
+            s.step(line).unwrap();
+        }
+    }
+    let retried = scoped
+        .registry()
+        .snapshot()
+        .counter(telemetry::metrics::names::STORE_WRITES_RETRIED);
+    assert!(retried > 0, "some writes must have healed via retry");
+    let data = store.load("tornwrite").unwrap();
+    assert!(data.torn_lines > 0, "the torn halves are visible");
+    assert_eq!(data.turns.len(), kill_at, "yet no turn was lost");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_read_faults_surface_as_typed_errors() {
+    use matilda_resilience::{fault, FaultKind, FaultPlan};
+    let (dir, store) = temp_store("readfault");
+    {
+        let mut s = new_session("readfault");
+        s.attach_store(&store).unwrap();
+        for line in &script()[..3] {
+            s.step(line).unwrap();
+        }
+    }
+    // An injected io error on read is a typed RestoreError, never a panic.
+    {
+        let _scope =
+            fault::activate(FaultPlan::new(3).inject("store.read", FaultKind::IoError, 1.0));
+        assert!(matches!(
+            store.load("readfault").unwrap_err(),
+            RestoreError::Io(_)
+        ));
+    }
+    // An injected short read truncates the tail: the load still succeeds
+    // with a (possibly shorter) turn prefix.
+    {
+        let _scope =
+            fault::activate(FaultPlan::new(3).inject("store.read", FaultKind::ShortRead, 1.0));
+        let data = store.load("readfault").unwrap();
+        assert!(data.turns.len() <= 3);
+    }
+    // Outside any scope the full log is back.
+    assert_eq!(store.load("readfault").unwrap().turns.len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sessions_listing_reflects_store_state() {
+    let (dir, store) = temp_store("listing");
+    {
+        let mut open = new_session("in-flight");
+        open.attach_store(&store).unwrap();
+        open.step("I want to predict 'label'").unwrap();
+        let mut closed = new_session("closed");
+        closed.attach_store(&store).unwrap();
+        closed.step("done").unwrap();
+        assert!(closed.is_closed());
+    }
+    let listing = store.listing_json();
+    assert!(listing.contains("\"id\":\"in-flight\""), "{listing}");
+    assert!(listing.contains("\"class\":\"in_flight\""), "{listing}");
+    assert!(listing.contains("\"id\":\"closed\""), "{listing}");
+    assert!(listing.contains("\"class\":\"clean_closed\""), "{listing}");
+    std::fs::remove_dir_all(&dir).ok();
+}

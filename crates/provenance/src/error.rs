@@ -15,6 +15,8 @@ pub enum ProvError {
         expected: String,
         got: String,
     },
+    /// A serialized event could not be parsed back (torn or foreign line).
+    Parse(String),
 }
 
 impl fmt::Display for ProvError {
@@ -28,6 +30,7 @@ impl fmt::Display for ProvError {
                     "replay mismatch at seq {seq}: expected {expected}, got {got}"
                 )
             }
+            ProvError::Parse(m) => write!(f, "provenance parse error: {m}"),
         }
     }
 }

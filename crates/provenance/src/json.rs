@@ -1,10 +1,13 @@
-//! Minimal hand-rolled JSON export of session logs.
+//! Minimal hand-rolled JSON export (and re-import) of session logs.
 //!
 //! We deliberately avoid a JSON dependency: provenance exports are flat and
 //! append-only, so a small, well-tested writer is all that is needed. The
-//! output is JSON Lines: one event object per line.
+//! output is JSON Lines: one event object per line. [`event_from_json`]
+//! parses the same flat shape back, which is what the durable session store
+//! replays after a crash.
 
-use crate::event::{Event, EventKind};
+use crate::error::ProvError;
+use crate::event::{Actor, Event, EventKind};
 
 /// Escape a string for inclusion inside JSON quotes.
 pub fn escape(s: &str) -> String {
@@ -136,6 +139,257 @@ pub fn event_to_json(event: &Event) -> String {
     }
     out.push('}');
     out
+}
+
+// ---------------------------------------------------------------------------
+// Re-import: parsing the flat event objects back
+// ---------------------------------------------------------------------------
+
+/// A parsed flat-object value. Numbers keep their raw text so 64-bit
+/// fingerprints survive without an f64 round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatValue {
+    /// A JSON string, already unescaped.
+    Str(String),
+    /// A JSON number, kept as its raw text.
+    Num(String),
+    /// A JSON boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+/// Decode a JSON string body (the part between the quotes) produced by
+/// [`escape`].
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            '/' => out.push('/'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Parse one flat JSON object (`{"k":v,...}`, no nesting — exactly what the
+/// writers in this workspace emit) into key/value pairs. Returns `None` for
+/// anything else (torn tails, nested objects, foreign shapes). Shared with
+/// the session store, whose meta/turn/snapshot records use the same flat
+/// dialect.
+pub fn parse_flat_object(line: &str) -> Option<Vec<(String, FlatValue)>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Key: a quoted string (keys are plain identifiers, no escapes).
+        if bytes[i] != b'"' {
+            return None;
+        }
+        let key_end = body[i + 1..].find('"')? + i + 1;
+        let key = body[i + 1..key_end].to_string();
+        i = key_end + 1;
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        // Value: string (scan past escapes) or bare literal.
+        let value = if bytes.get(i) == Some(&b'"') {
+            i += 1;
+            let start = i;
+            loop {
+                match bytes.get(i)? {
+                    b'\\' => i += 2,
+                    b'"' => break,
+                    _ => i += 1,
+                }
+            }
+            let raw = &body[start..i];
+            i += 1;
+            FlatValue::Str(unescape(raw)?)
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            match body[start..i].trim() {
+                "true" => FlatValue::Bool(true),
+                "false" => FlatValue::Bool(false),
+                "null" => FlatValue::Null,
+                num if !num.is_empty() => FlatValue::Num(num.to_string()),
+                _ => return None,
+            }
+        };
+        fields.push((key, value));
+        if bytes.get(i) == Some(&b',') {
+            i += 1;
+        } else if i != bytes.len() {
+            return None;
+        }
+    }
+    Some(fields)
+}
+
+struct FieldReader {
+    fields: Vec<(String, FlatValue)>,
+}
+
+impl FieldReader {
+    fn get(&self, key: &str) -> Result<&FlatValue, ProvError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ProvError::Parse(format!("missing field `{key}`")))
+    }
+
+    fn str(&self, key: &str) -> Result<String, ProvError> {
+        match self.get(key)? {
+            FlatValue::Str(s) => Ok(s.clone()),
+            other => Err(ProvError::Parse(format!(
+                "field `{key}` is not a string: {other:?}"
+            ))),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ProvError> {
+        match self.get(key)? {
+            FlatValue::Num(raw) => raw
+                .parse()
+                .map_err(|_| ProvError::Parse(format!("field `{key}` is not a u64: {raw}"))),
+            other => Err(ProvError::Parse(format!(
+                "field `{key}` is not a number: {other:?}"
+            ))),
+        }
+    }
+
+    fn opt_u64(&self, key: &str) -> Result<Option<u64>, ProvError> {
+        match self.get(key)? {
+            FlatValue::Null => Ok(None),
+            FlatValue::Num(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| ProvError::Parse(format!("field `{key}` is not a u64: {raw}"))),
+            other => Err(ProvError::Parse(format!(
+                "field `{key}` is not a number or null: {other:?}"
+            ))),
+        }
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, ProvError> {
+        match self.get(key)? {
+            FlatValue::Num(raw) => raw
+                .parse()
+                .map_err(|_| ProvError::Parse(format!("field `{key}` is not an f64: {raw}"))),
+            other => Err(ProvError::Parse(format!(
+                "field `{key}` is not a number: {other:?}"
+            ))),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, ProvError> {
+        match self.get(key)? {
+            FlatValue::Bool(b) => Ok(*b),
+            other => Err(ProvError::Parse(format!(
+                "field `{key}` is not a bool: {other:?}"
+            ))),
+        }
+    }
+
+    fn actor(&self, key: &str) -> Result<Actor, ProvError> {
+        let name = self.str(key)?;
+        match name.as_str() {
+            "human" => Ok(Actor::Human),
+            "conversation" => Ok(Actor::Conversation),
+            "creativity" => Ok(Actor::Creativity),
+            "system" => Ok(Actor::System),
+            other => Err(ProvError::Parse(format!("unknown actor `{other}`"))),
+        }
+    }
+}
+
+/// Parse one event back from the flat single-line JSON [`event_to_json`]
+/// emits. The inverse direction exists for the durable session store: after
+/// a crash, recovery reads the persisted log and rebuilds typed events.
+pub fn event_from_json(line: &str) -> crate::error::Result<Event> {
+    let fields = parse_flat_object(line)
+        .ok_or_else(|| ProvError::Parse(format!("not a flat JSON object: {line}")))?;
+    let r = FieldReader { fields };
+    let kind = match r.str("type")?.as_str() {
+        "session_started" => EventKind::SessionStarted {
+            session: r.str("session")?,
+            dataset: r.str("dataset")?,
+            research_question: r.str("research_question")?,
+        },
+        "phase_entered" => EventKind::PhaseEntered {
+            phase: r.str("phase")?,
+        },
+        "suggestion_made" => EventKind::SuggestionMade {
+            suggestion_id: r.str("suggestion_id")?,
+            by: r.actor("by")?,
+            content: r.str("content")?,
+            pattern: r.str("pattern").ok(),
+        },
+        "suggestion_decided" => EventKind::SuggestionDecided {
+            suggestion_id: r.str("suggestion_id")?,
+            adopted: r.bool("adopted")?,
+            reason: r.str("reason")?,
+        },
+        "pipeline_proposed" => EventKind::PipelineProposed {
+            fingerprint: r.u64("fingerprint")?,
+            canonical: r.str("canonical")?,
+            by: r.actor("by")?,
+        },
+        "pipeline_executed" => EventKind::PipelineExecuted {
+            fingerprint: r.u64("fingerprint")?,
+            score: r.f64("score")?,
+            scoring: r.str("scoring")?,
+        },
+        "annotated" => EventKind::Annotated {
+            target: r.str("target")?,
+            key: r.str("key")?,
+            value: r.str("value")?,
+        },
+        "quality_checked" => EventKind::QualityChecked {
+            check: r.str("check")?,
+            passed: r.bool("passed")?,
+            detail: r.str("detail")?,
+        },
+        "session_closed" => EventKind::SessionClosed {
+            final_fingerprint: r.opt_u64("final_fingerprint")?,
+        },
+        "failure_observed" => EventKind::FailureObserved {
+            site: r.str("site")?,
+            error: r.str("error")?,
+            action: r.str("action")?,
+        },
+        other => return Err(ProvError::Parse(format!("unknown event type `{other}`"))),
+    };
+    Ok(Event {
+        seq: r.u64("seq")?,
+        span_id: r.opt_u64("span_id")?,
+        trace_id: r.opt_u64("trace_id")?,
+        kind,
+    })
 }
 
 /// Serialize a whole log as JSON Lines.
@@ -271,6 +525,109 @@ mod tests {
         assert!(json.contains("\"type\":\"failure_observed\""));
         assert!(json.contains("\"site\":\"pipeline.task.train\""));
         assert!(json.contains("\"action\":\"retried\""));
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let kinds = [
+            EventKind::SessionStarted {
+                session: "s \"quoted\"".into(),
+                dataset: "60 rows x 3 cols".into(),
+                research_question: "line\nbreak".into(),
+            },
+            EventKind::PhaseEntered {
+                phase: "prepare".into(),
+            },
+            EventKind::SuggestionMade {
+                suggestion_id: "s1".into(),
+                by: Actor::Creativity,
+                content: "try \\ escapes\tand tabs".into(),
+                pattern: Some("mutant_shopping".into()),
+            },
+            EventKind::SuggestionMade {
+                suggestion_id: "s2".into(),
+                by: Actor::Conversation,
+                content: "impute".into(),
+                pattern: None,
+            },
+            EventKind::SuggestionDecided {
+                suggestion_id: "s1".into(),
+                adopted: false,
+                reason: "too odd".into(),
+            },
+            EventKind::PipelineProposed {
+                fingerprint: u64::MAX - 3,
+                canonical: "task:X\nmodel:Y\n".into(),
+                by: Actor::System,
+            },
+            EventKind::PipelineExecuted {
+                fingerprint: 0x9e37_79b9_7f4a_7c15,
+                score: 0.8125,
+                scoring: "f1".into(),
+            },
+            EventKind::Annotated {
+                target: "s1".into(),
+                key: "note".into(),
+                value: "\u{1}control".into(),
+            },
+            EventKind::QualityChecked {
+                check: "contiguous".into(),
+                passed: true,
+                detail: String::new(),
+            },
+            EventKind::SessionClosed {
+                final_fingerprint: Some(42),
+            },
+            EventKind::SessionClosed {
+                final_fingerprint: None,
+            },
+            EventKind::FailureObserved {
+                site: "pipeline.task.train".into(),
+                error: "boom".into(),
+                action: "retried".into(),
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let event = Event {
+                seq: i as u64,
+                span_id: (i % 2 == 0).then_some(17 + i as u64),
+                trace_id: Some(u64::MAX - i as u64),
+                kind,
+            };
+            let json = event_to_json(&event);
+            let back = event_from_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+            assert_eq!(back, event, "round trip of {json}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_torn_and_foreign_lines() {
+        assert!(event_from_json("").is_err());
+        assert!(event_from_json("{\"seq\":0").is_err());
+        assert!(event_from_json("{\"seq\":0,\"span_id\":null}").is_err());
+        assert!(event_from_json(
+            "{\"seq\":0,\"span_id\":null,\"trace_id\":null,\"type\":\"martian\"}"
+        )
+        .is_err());
+        // A truncated tail of a valid line (crash mid-write) is an error,
+        // never a panic.
+        let r = Recorder::new();
+        r.record(EventKind::PhaseEntered {
+            phase: "explore".into(),
+        });
+        let json = event_to_json(&r.snapshot()[0]);
+        for cut in 1..json.len() {
+            let _ = event_from_json(&json[..cut]);
+        }
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        for s in ["plain", "say \"hi\"", "a\\b", "line\nbreak\ttab", "\u{1}"] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+        }
+        assert!(unescape("bad \\q escape").is_none());
+        assert!(unescape("truncated \\u00").is_none());
     }
 
     #[test]

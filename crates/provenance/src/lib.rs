@@ -36,14 +36,14 @@ pub mod prelude {
     pub use crate::error::{ProvError, Result};
     pub use crate::event::{Actor, Event, EventKind};
     pub use crate::graph::{ProvGraph, ProvNode, Relation};
-    pub use crate::json::{event_to_json, log_to_jsonl};
+    pub use crate::json::{event_from_json, event_to_json, log_to_jsonl};
     pub use crate::quality::{audit, QualityReport};
     pub use crate::query::{actor_stats, best_execution, decision_trail, score_trajectory};
-    pub use crate::record::Recorder;
+    pub use crate::record::{digest_events, Recorder};
     pub use crate::replay::{replay_plan, verify_replay, ReplayStep};
     pub use crate::report::session_report;
 }
 
 pub use error::{ProvError, Result};
 pub use event::{Actor, Event, EventKind};
-pub use record::Recorder;
+pub use record::{digest_events, Recorder};

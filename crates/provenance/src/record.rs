@@ -77,6 +77,40 @@ impl Recorder {
             .cloned()
             .collect()
     }
+
+    /// A stable digest of the event stream. See [`digest_events`].
+    pub fn digest(&self) -> u64 {
+        digest_events(&self.inner.lock())
+    }
+}
+
+/// A stable, ephemeral-id-free digest of an event stream.
+///
+/// Span and trace ids are minted per process, so two runs of the same
+/// session never share them — the digest masks both (the same masking idea
+/// incident-capsule signatures use) and hashes each event's canonical JSON
+/// with FNV-1a. What remains is exactly the replayable substance: sequence
+/// numbers, event types and payloads. A session restored by replay after a
+/// crash must produce the same digest as the uninterrupted run.
+pub fn digest_events(events: &[Event]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for event in events {
+        let masked = Event {
+            seq: event.seq,
+            span_id: None,
+            trace_id: None,
+            kind: event.kind.clone(),
+        };
+        for b in crate::json::event_to_json(&masked).bytes() {
+            eat(b);
+        }
+        eat(b'\n');
+    }
+    h
 }
 
 #[cfg(test)]
@@ -155,6 +189,48 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap[0].trace_id, None);
         assert_eq!(snap[1].trace_id, Some(trace));
+    }
+
+    #[test]
+    fn digest_masks_ephemeral_ids_but_not_substance() {
+        let build = || {
+            let r = Recorder::new();
+            r.record(suggestion("a"));
+            r.record(EventKind::SuggestionDecided {
+                suggestion_id: "a".into(),
+                adopted: true,
+                reason: String::new(),
+            });
+            r
+        };
+        // Same substance recorded under different span/trace identities
+        // digests identically...
+        let plain = build();
+        let traced = {
+            let trace = matilda_telemetry::trace::next_trace_id();
+            let _guard = matilda_telemetry::trace::enter(trace);
+            let collector = matilda_telemetry::Collector::new();
+            let _span = collector.span("turn");
+            build()
+        };
+        assert_eq!(plain.digest(), traced.digest());
+        // ...while any change of substance moves the digest.
+        let other = build();
+        other.record(suggestion("b"));
+        assert_ne!(plain.digest(), other.digest());
+        assert_ne!(Recorder::new().digest(), plain.digest());
+        assert_eq!(Recorder::new().digest(), Recorder::new().digest());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let ab = Recorder::new();
+        ab.record(suggestion("a"));
+        ab.record(suggestion("b"));
+        let ba = Recorder::new();
+        ba.record(suggestion("b"));
+        ba.record(suggestion("a"));
+        assert_ne!(ab.digest(), ba.digest());
     }
 
     #[test]

@@ -40,6 +40,16 @@ pub enum FaultKind {
     Panic,
     /// The faultpoint sleeps on the scope's clock, then proceeds normally.
     Delay(Duration),
+    /// Storage: the write is cut off mid-line, as if the process died
+    /// during `write_all`. [`storage_faultpoint`] classifies it; the
+    /// generic [`faultpoint`] surfaces it as a plain [`InjectedFault`].
+    TornWrite,
+    /// Storage: the operation fails outright with an I/O error (disk full,
+    /// permission flip, yanked volume).
+    IoError,
+    /// Storage: a read returns fewer bytes than were written, truncating
+    /// the tail of what the reader sees.
+    ShortRead,
 }
 
 impl FaultKind {
@@ -49,6 +59,9 @@ impl FaultKind {
             FaultKind::Error => "error",
             FaultKind::Panic => "panic",
             FaultKind::Delay(_) => "delay",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::IoError => "io_error",
+            FaultKind::ShortRead => "short_read",
         }
     }
 }
@@ -346,9 +359,14 @@ fn record_injection(scope: &ActiveScope, site: &str, kind: FaultKind) {
 fn trigger(scope: &ActiveScope, site: &str, kind: FaultKind) -> Result<(), InjectedFault> {
     record_injection(scope, site, kind);
     match kind {
-        FaultKind::Error => Err(InjectedFault {
-            site: site.to_string(),
-        }),
+        // The generic faultpoint treats the storage kinds as plain errors:
+        // only sites consulting `storage_faultpoint` get the classified
+        // torn-write / short-read behaviours.
+        FaultKind::Error | FaultKind::TornWrite | FaultKind::IoError | FaultKind::ShortRead => {
+            Err(InjectedFault {
+                site: site.to_string(),
+            })
+        }
         FaultKind::Panic => std::panic::panic_any(format!("{INJECTED_PANIC_MARKER} {site}")),
         FaultKind::Delay(d) => {
             scope.delays.lock().push((site.to_string(), d));
@@ -377,6 +395,72 @@ pub fn faultpoint(site: &str) -> Result<(), InjectedFault> {
     match scope.decide(site, ordinal) {
         Some(kind) => trigger(&scope, site, kind),
         None => Ok(()),
+    }
+}
+
+/// A classified storage fault from [`storage_faultpoint`]: the storage
+/// layer turns each kind into its physical failure mode (a half-written
+/// line, a skipped write, a truncated read) instead of a generic error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The write dies mid-line: some prefix of the record reaches disk.
+    TornWrite,
+    /// The operation fails outright; nothing reaches disk.
+    IoError,
+    /// The read is truncated short of the real end of the data.
+    ShortRead,
+}
+
+impl StorageFault {
+    /// Stable lowercase name for metrics, logs and incident capsules.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageFault::TornWrite => "torn_write",
+            StorageFault::IoError => "io_error",
+            StorageFault::ShortRead => "short_read",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected storage fault: {}", self.name())
+    }
+}
+
+impl std::error::Error for StorageFault {}
+
+/// Consult the active plan at a storage `site`, classifying storage fault
+/// kinds so the store can simulate the physical failure (torn line, failed
+/// write, short read) rather than a generic error. Non-storage kinds keep
+/// their usual behaviour: `Error` maps to [`StorageFault::IoError`],
+/// `Panic` panics (the store's isolation layer must catch it), `Delay`
+/// sleeps on the scope clock and proceeds. Outside any scope: `Ok(())`.
+pub fn storage_faultpoint(site: &str) -> Result<(), StorageFault> {
+    let Some(scope) = handle() else {
+        return Ok(());
+    };
+    let ordinal = {
+        let mut calls = scope.calls.lock();
+        let n = calls.entry(site.to_string()).or_insert(0);
+        let ordinal = *n;
+        *n += 1;
+        ordinal
+    };
+    let Some(kind) = scope.decide(site, ordinal) else {
+        return Ok(());
+    };
+    record_injection(&scope, site, kind);
+    match kind {
+        FaultKind::TornWrite => Err(StorageFault::TornWrite),
+        FaultKind::Error | FaultKind::IoError => Err(StorageFault::IoError),
+        FaultKind::ShortRead => Err(StorageFault::ShortRead),
+        FaultKind::Panic => std::panic::panic_any(format!("{INJECTED_PANIC_MARKER} {site}")),
+        FaultKind::Delay(d) => {
+            scope.delays.lock().push((site.to_string(), d));
+            scope.clock.sleep(d);
+            Ok(())
+        }
     }
 }
 
@@ -525,6 +609,54 @@ mod tests {
             ]
         );
         assert!(scope.drain_delays().is_empty(), "draining consumes");
+    }
+
+    #[test]
+    fn storage_faultpoint_classifies_kinds() {
+        let scope = activate(
+            FaultPlan::new(8)
+                .inject_first("st.torn", FaultKind::TornWrite, 1)
+                .inject_first("st.io", FaultKind::IoError, 1)
+                .inject_first("st.short", FaultKind::ShortRead, 1)
+                .inject_first("st.err", FaultKind::Error, 1),
+        );
+        assert_eq!(storage_faultpoint("st.torn"), Err(StorageFault::TornWrite));
+        assert_eq!(storage_faultpoint("st.io"), Err(StorageFault::IoError));
+        assert_eq!(storage_faultpoint("st.short"), Err(StorageFault::ShortRead));
+        // Plain Error rules work at storage sites too, as io errors.
+        assert_eq!(storage_faultpoint("st.err"), Err(StorageFault::IoError));
+        // Caps spent: every site now passes.
+        assert!(storage_faultpoint("st.torn").is_ok());
+        assert_eq!(scope.total_injected(), 4);
+        assert_eq!(scope.injected("st.torn"), 1);
+    }
+
+    #[test]
+    fn storage_kinds_surface_as_errors_at_generic_faultpoints() {
+        let scope = activate(FaultPlan::new(8).inject("gen", FaultKind::TornWrite, 1.0));
+        assert!(faultpoint("gen").is_err());
+        assert_eq!(scope.injected("gen"), 1);
+        assert_eq!(FaultKind::TornWrite.name(), "torn_write");
+        assert_eq!(FaultKind::IoError.name(), "io_error");
+        assert_eq!(FaultKind::ShortRead.name(), "short_read");
+    }
+
+    #[test]
+    fn storage_faultpoint_is_a_noop_outside_any_scope() {
+        assert!(storage_faultpoint("st.nothing").is_ok());
+    }
+
+    #[test]
+    fn storage_faultpoint_shares_ordinal_determinism() {
+        let plan = FaultPlan::new(21).inject("st.det", FaultKind::IoError, 0.5);
+        let expected: Vec<bool> = (0..32)
+            .map(|n| plan.would_trigger("st.det", n).is_some())
+            .collect();
+        let _scope = activate(plan);
+        let actual: Vec<bool> = (0..32)
+            .map(|_| storage_faultpoint("st.det").is_err())
+            .collect();
+        assert_eq!(expected, actual);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use breaker::{BreakerRegistry, BreakerState, BreakerTuning, CircuitBreaker};
 pub use budget::DeadlineBudget;
 pub use cancel::{BudgetCancellation, CancellationPoint, Preempted};
 pub use clock::{Clock, SystemClock, TestClock};
-pub use fault::{ActiveScope, FaultKind, FaultPlan, InjectedFault};
+pub use fault::{ActiveScope, FaultKind, FaultPlan, InjectedFault, StorageFault};
 pub use panic_guard::{isolate, CaughtPanic};
 pub use retry::{RetryPolicy, RetryStats, StopReason};
 
@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::budget::DeadlineBudget;
     pub use crate::cancel::{self, BudgetCancellation, CancellationPoint, Preempted};
     pub use crate::clock::{Clock, SystemClock, TestClock};
-    pub use crate::fault::{self, FaultKind, FaultPlan, InjectedFault};
+    pub use crate::fault::{self, FaultKind, FaultPlan, InjectedFault, StorageFault};
     pub use crate::panic_guard::{self, CaughtPanic};
     pub use crate::retry::{RetryPolicy, RetryStats, StopReason};
 }

@@ -217,8 +217,17 @@ pub fn healthz_body(registry: &MetricsRegistry) -> (&'static str, String) {
     let phases = crate::profile::global().len();
     let journal_records = snapshot.counter(crate::metrics::names::JOURNAL_RECORDS);
     let journal_errors = snapshot.counter(crate::metrics::names::JOURNAL_WRITE_ERRORS);
+    let journal_torn = snapshot.counter(crate::metrics::names::JOURNAL_TORN_LINES);
+    let store_errors = snapshot.counter(crate::metrics::names::STORE_WRITE_ERRORS);
+    let store_skipped = snapshot.counter(crate::metrics::names::STORE_WRITES_SKIPPED);
+    let store_quarantined = snapshot.counter(crate::metrics::names::STORE_SESSIONS_QUARANTINED);
     let incidents = snapshot.counter(crate::metrics::names::INCIDENTS_CAPTURED);
-    let healthy = regressions <= 0.0 && journal_errors == 0;
+    // Store write errors and breaker-gated no-op persistence both mean the
+    // durability promise is currently broken for live sessions — degraded.
+    // Torn lines and quarantined sessions are recovery-time observations of
+    // a past crash, reported but not degrading the live process.
+    let healthy =
+        regressions <= 0.0 && journal_errors == 0 && store_errors == 0 && store_skipped == 0;
     let status = if healthy {
         "200 OK"
     } else {
@@ -226,9 +235,43 @@ pub fn healthz_body(registry: &MetricsRegistry) -> (&'static str, String) {
     };
     let verdict = if healthy { "ok" } else { "degraded" };
     let body = format!(
-        "{verdict}\nbench.results={results}\nbench.regressions={regressions}\nprofile.phases={phases}\njournal.records={journal_records}\njournal.write_errors={journal_errors}\nincidents.captured={incidents}\n"
+        "{verdict}\nbench.results={results}\nbench.regressions={regressions}\nprofile.phases={phases}\njournal.records={journal_records}\njournal.write_errors={journal_errors}\njournal.torn_lines={journal_torn}\nstore.write_errors={store_errors}\nstore.writes_skipped={store_skipped}\nstore.sessions_quarantined={store_quarantined}\nincidents.captured={incidents}\n"
     );
     (status, body)
+}
+
+// ---------------------------------------------------------------------------
+// /sessions: the durable session store, exposed
+// ---------------------------------------------------------------------------
+
+type SessionsProvider = Box<dyn Fn() -> String + Send + Sync>;
+
+fn sessions_provider_slot() -> &'static std::sync::Mutex<Option<SessionsProvider>> {
+    static SLOT: std::sync::OnceLock<std::sync::Mutex<Option<SessionsProvider>>> =
+        std::sync::OnceLock::new();
+    SLOT.get_or_init(|| std::sync::Mutex::new(None))
+}
+
+/// Register the callback behind `GET /sessions`. The session store lives in
+/// a higher layer (`matilda-core`), so it plugs its scanner in here rather
+/// than the telemetry crate depending upward; the callback must return a
+/// complete JSON value.
+pub fn register_sessions_provider(provider: impl Fn() -> String + Send + Sync + 'static) {
+    *sessions_provider_slot().lock().unwrap() = Some(Box::new(provider));
+}
+
+/// Drop any registered `/sessions` provider (tests; store shutdown).
+pub fn clear_sessions_provider() {
+    *sessions_provider_slot().lock().unwrap() = None;
+}
+
+/// The `/sessions` body: the registered provider's JSON, or an empty
+/// listing when no session store has plugged in.
+pub fn sessions_body() -> String {
+    match &*sessions_provider_slot().lock().unwrap() {
+        Some(provider) => provider(),
+        None => "{\"sessions\":[]}".to_string(),
+    }
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
@@ -311,6 +354,7 @@ fn handle_connection(mut stream: TcpStream, client_timeout: Duration) {
             "application/json",
             &crate::profile::global().to_json(),
         ),
+        "/sessions" => respond(&mut stream, "200 OK", "application/json", &sessions_body()),
         "/incidents" => respond(
             &mut stream,
             "200 OK",
@@ -333,7 +377,7 @@ fn handle_connection(mut stream: TcpStream, client_timeout: Duration) {
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "unknown path; try /metrics /healthz /spans /logs /profile /incidents\n",
+            "unknown path; try /metrics /healthz /spans /logs /profile /incidents /sessions\n",
         ),
     }
 }
@@ -726,6 +770,57 @@ task_seconds_count 4
         assert_eq!(status, "503 Service Unavailable");
         assert!(body.starts_with("degraded\n"), "{body}");
         assert!(body.contains("journal.write_errors=3"), "{body}");
+    }
+
+    #[test]
+    fn healthz_reports_degraded_on_store_write_errors() {
+        // Session-store durability losses flip the endpoint: failed writes
+        // and breaker-gated skips both mean sessions are not being saved.
+        let m = MetricsRegistry::new();
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("store.write_errors=0"), "{body}");
+        assert!(body.contains("store.writes_skipped=0"), "{body}");
+        assert!(body.contains("journal.torn_lines=0"), "{body}");
+
+        m.add(crate::metrics::names::STORE_WRITE_ERRORS, 2);
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "503 Service Unavailable");
+        assert!(body.contains("store.write_errors=2"), "{body}");
+
+        let m = MetricsRegistry::new();
+        m.add(crate::metrics::names::STORE_WRITES_SKIPPED, 5);
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "503 Service Unavailable");
+        assert!(body.contains("store.writes_skipped=5"), "{body}");
+
+        // Torn lines and quarantined sessions are recovery-time
+        // observations: reported, but the live process is still healthy.
+        let m = MetricsRegistry::new();
+        m.add(crate::metrics::names::JOURNAL_TORN_LINES, 3);
+        m.add(crate::metrics::names::STORE_SESSIONS_QUARANTINED, 1);
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("journal.torn_lines=3"), "{body}");
+        assert!(body.contains("store.sessions_quarantined=1"), "{body}");
+    }
+
+    #[test]
+    fn sessions_route_serves_registered_provider() {
+        // Without a provider: an empty listing, never a 404.
+        clear_sessions_provider();
+        assert_eq!(sessions_body(), "{\"sessions\":[]}");
+        register_sessions_provider(|| {
+            "{\"sessions\":[{\"id\":\"s1\",\"class\":\"in_flight\"}]}".to_string()
+        });
+        let server = ObservabilityServer::bind("127.0.0.1:0").unwrap();
+        let (status, body) = http_get(server.addr(), "/sessions");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"id\":\"s1\""), "{body}");
+        let (_, body) = http_get(server.addr(), "/nope");
+        assert!(body.contains("/sessions"), "{body}");
+        server.shutdown();
+        clear_sessions_provider();
     }
 
     #[test]

@@ -166,7 +166,8 @@ impl Journal {
     /// trailing line can only ever sit at the end of a dead segment.
     pub fn open(config: JournalConfig) -> std::io::Result<Self> {
         std::fs::create_dir_all(&config.dir)?;
-        let next_index = segment_paths(&config.dir)?
+        let existing = segment_paths(&config.dir)?;
+        let next_index = existing
             .iter()
             .filter_map(|p| {
                 p.file_stem()
@@ -176,6 +177,18 @@ impl Journal {
             })
             .max()
             .map_or(0, |max| max + 1);
+        // Continue the sequence above everything a predecessor wrote, so
+        // `replay`'s sort-by-seq keeps cross-restart append order instead of
+        // interleaving restarted processes. Scan newest segment first; the
+        // per-segment max guards against writers racing across the lock.
+        let next_seq = existing
+            .iter()
+            .rev()
+            .find_map(|p| {
+                let text = std::fs::read_to_string(p).ok()?;
+                text.lines().filter_map(parse_line).map(|r| r.seq + 1).max()
+            })
+            .unwrap_or(0);
         let segment = Self::open_segment(&config.dir, next_index)?;
         crate::metrics::global().set_gauge(
             crate::metrics::names::JOURNAL_SEGMENTS,
@@ -183,7 +196,7 @@ impl Journal {
         );
         Ok(Self {
             config,
-            seq: AtomicU64::new(0),
+            seq: AtomicU64::new(next_seq),
             segment: Mutex::new(Some(segment)),
         })
     }
@@ -220,25 +233,51 @@ impl Journal {
     /// Errors never escape: a failed write increments
     /// `telemetry.journal_write_errors` and the caller proceeds untouched.
     pub fn append(&self, stream: &str, payload: &str) {
+        if self.try_append(stream, payload).is_err() {
+            Self::count_error();
+        }
+    }
+
+    /// Like [`Journal::append`], but a failed write propagates to the
+    /// caller instead of landing on `telemetry.journal_write_errors` — for
+    /// owners (the session store) that bring their own retry policy, error
+    /// accounting and breaker. Returns the appended record's sequence
+    /// number. A post-close append reports success-as-drop (`Ok`), matching
+    /// the silent-drop contract of [`Journal::append`].
+    pub fn try_append(&self, stream: &str, payload: &str) -> std::io::Result<u64> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let line = format!("{{\"seq\":{seq},\"stream\":\"{stream}\",\"payload\":{payload}}}\n");
         let mut guard = self.segment.lock();
         let Some(segment) = guard.as_mut() else {
-            return;
+            return Ok(seq);
         };
-        if segment.file.write_all(line.as_bytes()).is_err() {
-            Self::count_error();
-            return;
-        }
+        segment.file.write_all(line.as_bytes())?;
         segment.bytes += line.len() as u64;
         let metrics = crate::metrics::global();
         metrics.inc(crate::metrics::names::JOURNAL_RECORDS);
         metrics.add(crate::metrics::names::JOURNAL_BYTES, line.len() as u64);
-        if self.config.fsync == FsyncPolicy::Always && segment.file.sync_data().is_err() {
-            Self::count_error();
+        if self.config.fsync == FsyncPolicy::Always {
+            segment.file.sync_data()?;
         }
         if segment.bytes >= self.config.max_segment_bytes {
             self.rotate(&mut guard);
+        }
+        Ok(seq)
+    }
+
+    /// Crash simulation for chaos tests: append the record's line cut off
+    /// after `keep_bytes` bytes, as if the process died mid-`write_all`.
+    /// The newline is still written so later appends stay parseable — the
+    /// torn line itself is what [`replay_counted`] must count and skip.
+    pub fn append_torn(&self, stream: &str, payload: &str, keep_bytes: usize) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let line = format!("{{\"seq\":{seq},\"stream\":\"{stream}\",\"payload\":{payload}}}");
+        let torn = &line[..keep_bytes.min(line.len().saturating_sub(1))];
+        let mut guard = self.segment.lock();
+        if let Some(segment) = guard.as_mut() {
+            let _ = segment.file.write_all(torn.as_bytes());
+            let _ = segment.file.write_all(b"\n");
+            segment.bytes += torn.len() as u64 + 1;
         }
     }
 
@@ -314,9 +353,16 @@ pub struct JournalRecord {
     pub payload: String,
 }
 
-// Parse one journal line. The writer emits exactly
-// `{"seq":N,"stream":"S","payload":...}`, so a strict prefix scan is both
-// safe and dependency-free; anything else (torn tail after a crash) is None.
+/// Parse one journal line. The writer emits exactly
+/// `{"seq":N,"stream":"S","payload":...}`, so a strict prefix scan is both
+/// safe and dependency-free; anything else (torn tail after a crash) is
+/// `None`. Public for readers (the session store) that need per-line control
+/// — e.g. to inject short-read faults between reading and parsing — while
+/// keeping exactly [`replay_counted`]'s notion of a parseable record.
+pub fn parse_record(line: &str) -> Option<JournalRecord> {
+    parse_line(line)
+}
+
 fn parse_line(line: &str) -> Option<JournalRecord> {
     let rest = line.strip_prefix("{\"seq\":")?;
     let comma = rest.find(',')?;
@@ -340,13 +386,39 @@ fn parse_line(line: &str) -> Option<JournalRecord> {
 /// is skipped rather than failing the replay. Records are returned sorted by
 /// sequence number, which the writer guarantees matches append order.
 pub fn replay(dir: &Path) -> std::io::Result<Vec<JournalRecord>> {
+    replay_counted(dir).map(|(records, _)| records)
+}
+
+/// [`replay`], but torn/unparseable lines are counted instead of vanishing:
+/// each one increments `telemetry.journal_torn_lines` (surfaced on
+/// `/healthz`) and the per-segment tally lands in a warn log, so data loss
+/// after a crash is visible rather than silent. Returns the records plus the
+/// number of lines this call skipped.
+pub fn replay_counted(dir: &Path) -> std::io::Result<(Vec<JournalRecord>, u64)> {
     let mut out = Vec::new();
+    let mut torn_total = 0u64;
     for path in segment_paths(dir)? {
         let text = std::fs::read_to_string(&path)?;
-        out.extend(text.lines().filter_map(parse_line));
+        let mut torn_here = 0u64;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match parse_line(line) {
+                Some(record) => out.push(record),
+                None => torn_here += 1,
+            }
+        }
+        if torn_here > 0 {
+            torn_total += torn_here;
+            crate::log::warn("telemetry.journal", "torn journal lines skipped on replay")
+                .field("segment", path.display().to_string())
+                .field("torn_lines", torn_here)
+                .emit();
+        }
+    }
+    if torn_total > 0 {
+        crate::metrics::global().add(crate::metrics::names::JOURNAL_TORN_LINES, torn_total);
     }
     out.sort_by_key(|r| r.seq);
-    Ok(out)
+    Ok((out, torn_total))
 }
 
 // ---------------------------------------------------------------------------
@@ -522,10 +594,83 @@ mod tests {
             2,
             "a reopened journal never appends to a predecessor's segment"
         );
-        // Seq restarts per journal instance; replay keeps file order within
-        // a segment and index order across segments.
+        // Seq continues above the predecessor's records, so replay's
+        // sort-by-seq preserves cross-restart append order.
         let records = replay(&dir).unwrap();
         assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[0].payload, "{\"run\":1}");
+        assert_eq!(records[1].seq, 1);
+        assert_eq!(records[1].payload, "{\"run\":2}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seq_continues_past_a_torn_predecessor_tail() {
+        let dir = temp_dir("seq-torn");
+        {
+            let journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+            journal.append("span", "{\"run\":1}");
+            journal.append("span", "{\"run\":2}");
+            journal.flush();
+            let path = segment_paths(&dir).unwrap().pop().unwrap();
+            let mut file = OpenOptions::new().append(true).open(path).unwrap();
+            file.write_all(b"{\"seq\":2,\"str").unwrap();
+        }
+        let journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+        journal.append("span", "{\"run\":3}");
+        journal.flush();
+        let records = replay(&dir).unwrap();
+        assert_eq!(records.len(), 3);
+        // The torn line's (unreadable) seq is re-used by the successor:
+        // parseable history stays gap-free and ordered.
+        assert_eq!(records[2].seq, 2);
+        assert_eq!(records[2].payload, "{\"run\":3}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn try_append_propagates_write_errors_without_counting() {
+        let scoped = crate::metrics::scoped();
+        let dir = temp_dir("tryappend");
+        let journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(journal.try_append("span", "{\"ok\":1}").unwrap(), 0);
+        // Force an io error by removing the directory under the journal:
+        // further writes go to a still-open handle, so instead exercise the
+        // post-close path (Ok-as-drop) plus the success counter contract.
+        journal.close();
+        assert!(journal.try_append("span", "{\"late\":1}").is_ok());
+        assert_eq!(
+            scoped
+                .registry()
+                .snapshot()
+                .counter(crate::metrics::names::JOURNAL_WRITE_ERRORS),
+            0,
+            "try_append never lands on the journal's own error counter"
+        );
+        assert_eq!(replay(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_counted_surfaces_torn_lines() {
+        let scoped = crate::metrics::scoped();
+        let dir = temp_dir("counted");
+        let journal = Journal::open(JournalConfig::new(&dir)).unwrap();
+        journal.append("span", "{\"ok\":1}");
+        journal.append_torn("span", "{\"lost\":true}", 12);
+        journal.append("span", "{\"ok\":2}");
+        journal.flush();
+        let (records, torn) = replay_counted(&dir).unwrap();
+        assert_eq!(records.len(), 2, "torn line skipped");
+        assert_eq!(torn, 1, "and counted");
+        assert_eq!(
+            scoped
+                .registry()
+                .snapshot()
+                .counter(crate::metrics::names::JOURNAL_TORN_LINES),
+            1
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -67,6 +67,27 @@ pub mod names {
     pub const JOURNAL_WRITE_ERRORS: &str = "telemetry.journal_write_errors";
     /// Gauge: segments the journal has opened in this process.
     pub const JOURNAL_SEGMENTS: &str = "telemetry.journal_segments";
+    /// Counter: torn/unparseable journal lines skipped (and counted) by
+    /// `replay_counted` — post-crash data loss made visible on `/healthz`.
+    pub const JOURNAL_TORN_LINES: &str = "telemetry.journal_torn_lines";
+    /// Counter: session-store writes that failed after retries (`/healthz`
+    /// reports degraded while this is non-zero — session durability is
+    /// degraded, the conversation itself keeps going).
+    pub const STORE_WRITE_ERRORS: &str = "sessionstore.write_errors";
+    /// Counter: session-store writes degraded to counted no-ops by an open
+    /// `store.write.<session>` breaker.
+    pub const STORE_WRITES_SKIPPED: &str = "sessionstore.writes_skipped";
+    /// Counter: session-store writes that succeeded only after retrying a
+    /// transient failure.
+    pub const STORE_WRITES_RETRIED: &str = "sessionstore.writes_retried";
+    /// Counter: snapshot records written into session logs.
+    pub const STORE_SNAPSHOTS_WRITTEN: &str = "sessionstore.snapshots_written";
+    /// Counter: in-flight sessions resurrected by the recovery pass.
+    pub const STORE_SESSIONS_RECOVERED: &str = "sessionstore.sessions_recovered";
+    /// Counter: corrupt session logs moved to quarantine by recovery.
+    pub const STORE_SESSIONS_QUARANTINED: &str = "sessionstore.sessions_quarantined";
+    /// Histogram (seconds, wall clock): latency of one `restore` replay.
+    pub const STORE_RESTORE_SECONDS: &str = "sessionstore.restore_seconds";
     /// Counter: incident capsules captured.
     pub const INCIDENTS_CAPTURED: &str = "telemetry.incidents_captured";
     /// Counter: capsules evicted from the bounded in-memory ring.

@@ -87,17 +87,51 @@ fn main() {
     };
 
     let user = UserProfile::new(args.name, args.expertise, args.domain, 0.5);
-    let mut session = DesignSession::new(
-        "cli-session",
-        "interactive CLI session",
-        frame,
-        user,
-        PlatformConfig {
-            seed: args.seed,
-            ..PlatformConfig::default()
-        },
-    );
-    println!("matilda> {}", session.opening());
+    let config = PlatformConfig {
+        seed: args.seed,
+        ..PlatformConfig::default()
+    };
+
+    // With MATILDA_SESSION_DIR set, sessions are event-sourced: every turn
+    // lands in a durable per-session log, and a session killed mid-design
+    // is resurrected here on the next start by snapshot + tail replay.
+    let store = match SessionStore::from_env() {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("(session store unavailable: {e}; continuing without persistence)");
+            None
+        }
+    };
+    let mut resumed = None;
+    if let Some(store) = &store {
+        let report = recover(store, &config, |_meta| Some(frame.clone()));
+        for id in &report.quarantined {
+            eprintln!("(corrupt session log '{id}' moved to quarantine)");
+        }
+        resumed = report.resumed.into_iter().next();
+    }
+    let mut session = match resumed {
+        Some(r) => {
+            println!("matilda> {}", r.narration);
+            r.session
+        }
+        None => {
+            // A fresh id per invocation: replay folds one conversation per
+            // log, so a clean-closed log is never appended to again.
+            let name = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| format!("cli-{}", d.as_secs()))
+                .unwrap_or_else(|_| "cli-session".to_string());
+            let mut s = DesignSession::new(name, "interactive CLI session", frame, user, config);
+            if let Some(store) = &store {
+                if let Err(e) = s.attach_store(store) {
+                    eprintln!("(session persistence disabled: {e})");
+                }
+            }
+            println!("matilda> {}", s.opening());
+            s
+        }
+    };
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
