@@ -38,7 +38,7 @@
 //! flipping `/healthz`) and the conversation continues — losing durability
 //! must never lose the session that is live in memory.
 //!
-//! The [`recovery`] pass scans the store at startup, classifies every log
+//! The [`recover`] pass scans the store at startup, classifies every log
 //! (clean-closed / in-flight / corrupt), resurrects in-flight sessions by
 //! replay with a degraded-turn narration, and quarantines corrupt logs.
 

@@ -1,0 +1,109 @@
+//! The `matilda-daemon` binary: a resident MATILDA service.
+//!
+//! ```text
+//! matilda-daemon [--socket PATH] [--serve HOST:PORT] [--dataset NAME]
+//!                [--store DIR] [--turn-deadline-ms N] [--seed N]
+//! ```
+//!
+//! - `--socket` — Unix socket for the wire protocol
+//!   (default `/tmp/matilda-daemon.sock`);
+//! - `--serve` — also bind the HTTP observability listener
+//!   (`/metrics`, `/sessions`, `/drain`, ...);
+//! - `--dataset` — default catalog dataset (`demo` or `urban`);
+//! - `--store` — durable session store root (falls back to the
+//!   `MATILDA_SESSION_DIR` environment variable; omit both for an
+//!   in-memory fleet);
+//! - `--turn-deadline-ms` — per-turn latency allowance; slow turns preempt
+//!   at this deadline instead of starving the tick loop;
+//! - `--seed` — base seed per-session seeds derive from.
+//!
+//! The container has no signal-handling dependency, so shutdown is an
+//! explicit drain: `{"op":"drain"}` on the socket, or `GET /drain` on the
+//! HTTP listener. The process exits once the fleet is suspended; a later
+//! start with the same `--store` resurrects it.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use matilda_core::sessionstore;
+use matilda_daemon::{Daemon, DaemonConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: matilda-daemon [--socket PATH] [--serve HOST:PORT] [--dataset NAME] \
+         [--store DIR] [--turn-deadline-ms N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> DaemonConfig {
+    let mut config = DaemonConfig::new("/tmp/matilda-daemon.sock");
+    config.store_dir = std::env::var(sessionstore::DIR_ENV).ok().map(PathBuf::from);
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("missing value for {flag}");
+                usage();
+            }
+        };
+        match flag.as_str() {
+            "--socket" => config.socket = PathBuf::from(value("--socket")),
+            "--serve" => config.http = Some(value("--serve")),
+            "--dataset" => config.dataset = value("--dataset"),
+            "--store" => config.store_dir = Some(PathBuf::from(value("--store"))),
+            "--turn-deadline-ms" => match value("--turn-deadline-ms").parse::<u64>() {
+                Ok(ms) => config.platform.turn_deadline = Some(Duration::from_millis(ms)),
+                Err(_) => usage(),
+            },
+            "--seed" => match value("--seed").parse::<u64>() {
+                Ok(seed) => config.platform.seed = seed,
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if matilda_daemon::catalog::resolve(&config.dataset).is_none() {
+        eprintln!(
+            "unknown dataset `{}`; catalog: {:?}",
+            config.dataset,
+            matilda_daemon::catalog::DATASETS
+        );
+        std::process::exit(2);
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    let socket = config.socket.clone();
+    let daemon = match Daemon::start(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("matilda-daemon failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "matilda-daemon resident on {} ({} session(s) recovered){}",
+        socket.display(),
+        daemon.recovered().len(),
+        match daemon.http_addr() {
+            Some(addr) => format!(", observability on http://{addr}"),
+            None => String::new(),
+        }
+    );
+    // No libc, no signal handlers: wait for a drain to arrive over the
+    // wire or HTTP, then exit cleanly.
+    while !daemon.is_drained() {
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    let summary = daemon.shutdown();
+    eprintln!(
+        "matilda-daemon drained: {} session(s) suspended, {} turn(s) bounced",
+        summary.suspended.len(),
+        summary.bounced
+    );
+}

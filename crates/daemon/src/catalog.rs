@@ -1,0 +1,80 @@
+//! Named deterministic datasets the daemon can open sessions over.
+//!
+//! The session store deliberately records the design conversation, not the
+//! data (PR 8); a resident daemon therefore needs a way to turn a *name*
+//! back into a `DataFrame`, both when a client opens a session and when
+//! startup recovery resurrects one. The catalog is that mapping: every
+//! entry is generated, seed-stable, and identical across restarts, which is
+//! what makes drain → restart → replay reproduce provenance digests.
+
+use matilda_data::{Column, DataFrame};
+use matilda_datagen::UrbanConfig;
+
+/// The dataset name used when a client's `open` does not pick one.
+pub const DEFAULT_DATASET: &str = "demo";
+
+/// Names the catalog resolves, for error messages and docs.
+pub const DATASETS: [&str; 2] = ["demo", "urban"];
+
+/// A small, fully deterministic frame: a linear `x`, a periodic `noise`
+/// column and a categorical `label` splitting the rows in half. Sixty rows
+/// keeps full conversational turns (including pipeline runs) fast enough
+/// that a 16-session e2e harness finishes in CI time.
+fn demo_frame() -> DataFrame {
+    DataFrame::from_columns(vec![
+        ("x", Column::from_f64((0..60).map(f64::from).collect())),
+        (
+            "noise",
+            Column::from_f64((0..60).map(|i| ((i * 7) % 5) as f64).collect()),
+        ),
+        (
+            "label",
+            Column::from_categorical(
+                &(0..60)
+                    .map(|i| if i < 30 { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+    .expect("demo frame columns are well-formed")
+}
+
+/// A compact urban-policy panel from the datagen crate (fixed seed, so it
+/// is byte-identical on every resolve).
+fn urban_frame() -> DataFrame {
+    matilda_datagen::urban_panel(&UrbanConfig {
+        n_districts: 8,
+        n_weeks: 6,
+        ..UrbanConfig::default()
+    })
+}
+
+/// Resolve `name` to its frame, or `None` for names outside the catalog.
+pub fn resolve(name: &str) -> Option<DataFrame> {
+    match name {
+        "demo" => Some(demo_frame()),
+        "urban" => Some(urban_frame()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_dataset_resolves_deterministically() {
+        for name in DATASETS {
+            let a = resolve(name).unwrap_or_else(|| panic!("{name} missing"));
+            let b = resolve(name).unwrap();
+            assert_eq!(a.n_rows(), b.n_rows(), "{name}");
+            assert_eq!(a.n_cols(), b.n_cols(), "{name}");
+        }
+        assert!(resolve("nope").is_none());
+    }
+
+    #[test]
+    fn default_is_listed() {
+        assert!(DATASETS.contains(&DEFAULT_DATASET));
+    }
+}

@@ -1,0 +1,117 @@
+//! A thin blocking client for the daemon's wire protocol.
+//!
+//! Used by the test harnesses and by anyone scripting the daemon from
+//! Rust. One client wraps one connection; replies come back as raw JSON
+//! strings (flat objects — parse them with
+//! [`matilda_provenance::json::parse_flat_object`] when fields matter).
+
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use matilda_provenance::json::{parse_flat_object, FlatValue};
+
+use crate::wire::{read_frame, write_frame, Request, WireError};
+
+/// One connection to a resident daemon.
+pub struct DaemonClient {
+    stream: UnixStream,
+}
+
+impl DaemonClient {
+    /// Connect to the daemon socket at `path`.
+    pub fn connect(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Send one request and wait for its reply frame.
+    pub fn request(&mut self, request: &Request) -> Result<String, WireError> {
+        write_frame(&mut self.stream, &request.to_json())?;
+        read_frame(&mut self.stream)?.ok_or(WireError::Torn {
+            expected: 4,
+            got: 0,
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<String, WireError> {
+        self.request(&Request::Ping)
+    }
+
+    /// Open a session for a novice user over the daemon's default dataset.
+    pub fn open(&mut self, session: &str, question: &str) -> Result<String, WireError> {
+        self.request(&Request::Open {
+            session: session.to_string(),
+            question: question.to_string(),
+            user_name: "user".to_string(),
+            expertise: "novice".to_string(),
+            domain: "general".to_string(),
+            openness: 0.3,
+            dataset: None,
+        })
+    }
+
+    /// One conversational turn.
+    pub fn turn(&mut self, session: &str, text: &str) -> Result<String, WireError> {
+        self.request(&Request::Turn {
+            session: session.to_string(),
+            text: text.to_string(),
+        })
+    }
+
+    /// Introspect one session.
+    pub fn inspect(&mut self, session: &str) -> Result<String, WireError> {
+        self.request(&Request::Inspect {
+            session: session.to_string(),
+        })
+    }
+
+    /// The fleet + store listing.
+    pub fn sessions(&mut self) -> Result<String, WireError> {
+        self.request(&Request::Sessions)
+    }
+
+    /// Trigger a graceful drain; blocks until the fleet is suspended.
+    pub fn drain(&mut self) -> Result<String, WireError> {
+        self.request(&Request::Drain)
+    }
+}
+
+/// Pull a field out of a flat JSON reply: `Str` comes back verbatim,
+/// numbers and booleans as their literal text. `None` when the reply is
+/// not flat JSON or lacks the field.
+pub fn reply_field(reply: &str, key: &str) -> Option<String> {
+    let fields = parse_flat_object(reply)?;
+    fields
+        .into_iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| match v {
+            FlatValue::Str(s) => s,
+            FlatValue::Num(raw) => raw,
+            FlatValue::Bool(b) => b.to_string(),
+            FlatValue::Null => "null".to_string(),
+        })
+}
+
+/// Whether a reply carries `"ok":true`.
+pub fn reply_ok(reply: &str) -> bool {
+    reply_field(reply, "ok").as_deref() == Some("true")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_fields_parse() {
+        let reply = "{\"ok\":true,\"turn\":3,\"reply\":\"hi\",\"closed\":false}";
+        assert!(reply_ok(reply));
+        assert_eq!(reply_field(reply, "turn").as_deref(), Some("3"));
+        assert_eq!(reply_field(reply, "reply").as_deref(), Some("hi"));
+        assert_eq!(reply_field(reply, "closed").as_deref(), Some("false"));
+        assert_eq!(reply_field(reply, "missing"), None);
+        assert!(!reply_ok("{\"ok\":false}"));
+        assert!(!reply_ok("garbage"));
+    }
+}

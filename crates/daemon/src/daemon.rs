@@ -1,0 +1,274 @@
+//! Assembly: a resident daemon from store + catalog + scheduler + servers.
+//!
+//! [`Daemon::start`] wires the pieces together: it opens the durable
+//! session store, runs the startup recovery pass (resurrecting every
+//! in-flight log from the previous life under its logged seed), starts
+//! the scheduler thread, binds the Unix-socket wire server, optionally
+//! binds the HTTP observability listener, and registers the daemon behind
+//! the global `/sessions` and `/drain` routes.
+//!
+//! The scheduler thread **adopts the starting thread's resilience scope**
+//! (`fault::adopt`), so a chaos test that activated a fault plan and a
+//! `TestClock` before `Daemon::start` governs every session the daemon
+//! creates — injected store faults, virtual time, the lot. Production
+//! starts have no scope and run on the system clock; the same code serves
+//! both.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use matilda_core::config::PlatformConfig;
+use matilda_core::sessionstore::{recover, SessionStore, StoreConfig};
+use matilda_resilience::fault;
+use matilda_telemetry as telemetry;
+
+use crate::catalog;
+use crate::manager::SessionManager;
+use crate::scheduler::{Command, CommandQueue, DrainSummary, TickScheduler};
+use crate::server::WireServer;
+
+/// Everything a daemon needs to come up.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix socket path for the wire protocol.
+    pub socket: PathBuf,
+    /// Optional `host:port` for the HTTP observability listener
+    /// (`/metrics`, `/sessions`, `/drain`, ...).
+    pub http: Option<String>,
+    /// Default catalog dataset for `open` requests that do not pick one —
+    /// and the dataset recovery resolves, since logs record the design
+    /// conversation, not the data.
+    pub dataset: String,
+    /// Per-session platform config; the per-session seed is derived from
+    /// `platform.seed` and the session id.
+    pub platform: PlatformConfig,
+    /// Durable store root; `None` keeps the fleet in memory only.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl DaemonConfig {
+    /// A config with defaults suitable for tests: quick platform config,
+    /// no HTTP listener, no store.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        Self {
+            socket: socket.into(),
+            http: None,
+            dataset: catalog::DEFAULT_DATASET.to_string(),
+            platform: PlatformConfig::quick(),
+            store_dir: None,
+        }
+    }
+}
+
+/// A running daemon. Dropping it without [`Daemon::shutdown`] still stops
+/// the servers, but a graceful drain is on the caller.
+pub struct Daemon {
+    queue: Arc<CommandQueue>,
+    server: Option<WireServer>,
+    observability: Option<telemetry::expose::ObservabilityServer>,
+    scheduler: Option<std::thread::JoinHandle<DrainSummary>>,
+    drained: Arc<AtomicBool>,
+    recovered: Vec<String>,
+}
+
+// Push `command` (built around `tx`) and wait for the scheduler's reply.
+fn ask(
+    queue: &CommandQueue,
+    build: impl FnOnce(Sender<String>) -> Command,
+    wait: Duration,
+) -> Option<String> {
+    let (tx, rx) = channel();
+    if queue.push(build(tx)).is_err() {
+        return None;
+    }
+    rx.recv_timeout(wait).ok()
+}
+
+impl Daemon {
+    /// Start a daemon. Blocks until recovery has finished and the wire
+    /// socket is accepting, so a caller that returns from `start` can
+    /// immediately connect and see the resurrected fleet.
+    pub fn start(config: DaemonConfig) -> std::io::Result<Self> {
+        let scope = fault::handle();
+        let queue = Arc::new(CommandQueue::new());
+        let drained = Arc::new(AtomicBool::new(false));
+        let (ready_tx, ready_rx) = channel::<Result<Vec<String>, String>>();
+
+        let sched_queue = Arc::clone(&queue);
+        let sched_drained = Arc::clone(&drained);
+        let sched_config = config.clone();
+        let scheduler = std::thread::Builder::new()
+            .name("matilda-daemon-scheduler".to_string())
+            .spawn(move || {
+                // Inherit the starter's chaos scope and clock (no-op when
+                // none is active).
+                let _adopt = fault::adopt(scope);
+                let store = match &sched_config.store_dir {
+                    Some(dir) => match SessionStore::open(StoreConfig::new(dir)) {
+                        Ok(store) => Some(store),
+                        Err(e) => {
+                            let _ = ready_tx.send(Err(format!("store open failed: {e}")));
+                            return DrainSummary {
+                                suspended: Vec::new(),
+                                bounced: 0,
+                            };
+                        }
+                    },
+                    None => None,
+                };
+                let mut manager = SessionManager::new(
+                    sched_config.platform.clone(),
+                    store,
+                    &sched_config.dataset,
+                );
+                // Resurrect the previous life's in-flight fleet before the
+                // socket opens: recovery replays each log under its logged
+                // seed, so digests match the run that wrote it.
+                let mut recovered_ids = Vec::new();
+                if let Some(store) = manager.store() {
+                    let dataset = sched_config.dataset.clone();
+                    let report = recover(store, manager.base_config(), move |_meta| {
+                        catalog::resolve(&dataset)
+                    });
+                    for resumed in report.resumed {
+                        recovered_ids.push(resumed.id.clone());
+                        manager.adopt(resumed.id, resumed.session);
+                    }
+                }
+                let scheduler = TickScheduler::new(manager, sched_queue);
+                let _ = ready_tx.send(Ok(recovered_ids));
+                let summary = scheduler.run();
+                sched_drained.store(true, Ordering::SeqCst);
+                summary
+            })?;
+
+        let recovered = match ready_rx.recv() {
+            Ok(Ok(ids)) => ids,
+            Ok(Err(detail)) => {
+                let _ = scheduler.join();
+                return Err(std::io::Error::other(detail));
+            }
+            Err(_) => {
+                let _ = scheduler.join();
+                return Err(std::io::Error::other("scheduler died during startup"));
+            }
+        };
+
+        // Route the global HTTP surface through the scheduler.
+        let sessions_queue = Arc::clone(&queue);
+        telemetry::expose::register_sessions_provider(move || {
+            ask(
+                &sessions_queue,
+                |reply| Command::Sessions { reply },
+                Duration::from_secs(5),
+            )
+            .unwrap_or_else(|| "{\"draining\":true,\"live\":[]}".to_string())
+        });
+        let drain_queue = Arc::clone(&queue);
+        telemetry::expose::register_drain_provider(move || {
+            ask(
+                &drain_queue,
+                |reply| Command::Drain { reply },
+                Duration::from_secs(30),
+            )
+            .unwrap_or_else(|| "{\"ok\":true,\"drained\":true,\"already\":true}".to_string())
+        });
+
+        let server = WireServer::bind(&config.socket, Arc::clone(&queue))?;
+        let observability = match &config.http {
+            Some(addr) => Some(telemetry::expose::ObservabilityServer::bind(addr)?),
+            None => None,
+        };
+        telemetry::log::info("daemon", "daemon resident")
+            .field("socket", config.socket.display().to_string())
+            .field("recovered", recovered.len() as u64)
+            .emit();
+        Ok(Self {
+            queue,
+            server: Some(server),
+            observability,
+            scheduler: Some(scheduler),
+            drained,
+            recovered,
+        })
+    }
+
+    /// The command queue (tests drive the scheduler through it directly).
+    pub fn queue(&self) -> Arc<CommandQueue> {
+        Arc::clone(&self.queue)
+    }
+
+    /// Session ids resurrected by the startup recovery pass.
+    pub fn recovered(&self) -> &[String] {
+        &self.recovered
+    }
+
+    /// The HTTP observability address, when one was configured.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.observability.as_ref().map(|o| o.addr())
+    }
+
+    /// Whether a drain has completed.
+    pub fn is_drained(&self) -> bool {
+        self.drained.load(Ordering::SeqCst)
+    }
+
+    /// Trigger a graceful drain and wait for it to settle; idempotent.
+    pub fn drain(&self) -> String {
+        ask(
+            &self.queue,
+            |reply| Command::Drain { reply },
+            Duration::from_secs(30),
+        )
+        .unwrap_or_else(|| "{\"ok\":true,\"drained\":true,\"already\":true}".to_string())
+    }
+
+    /// Drain (if not already drained), stop both servers, unregister the
+    /// HTTP providers and join the scheduler. Returns the drain summary.
+    pub fn shutdown(mut self) -> DrainSummary {
+        if !self.is_drained() {
+            self.drain();
+        }
+        self.stop_front_end();
+        let summary = match self.scheduler.take() {
+            Some(handle) => handle.join().unwrap_or(DrainSummary {
+                suspended: Vec::new(),
+                bounced: 0,
+            }),
+            None => DrainSummary {
+                suspended: Vec::new(),
+                bounced: 0,
+            },
+        };
+        telemetry::log::info("daemon", "daemon stopped")
+            .field("suspended", summary.suspended.len() as u64)
+            .emit();
+        summary
+    }
+
+    fn stop_front_end(&mut self) {
+        telemetry::expose::clear_sessions_provider();
+        telemetry::expose::clear_drain_provider();
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        if let Some(observability) = self.observability.take() {
+            observability.shutdown();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.queue.close();
+        self.stop_front_end();
+        if let Some(handle) = self.scheduler.take() {
+            // Closing the queue makes the scheduler suspend the fleet and
+            // exit on its next idle tick (see `TickScheduler::run`).
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! matilda-daemon: the resident multi-session MATILDA service.
+//!
+//! The paper frames MATILDA as a conversational service many non-expert
+//! users talk to *concurrently*; until now every `DesignSession` lived and
+//! died inside one process invocation. This crate is the serving shape on
+//! top of eight PRs of platform work:
+//!
+//! - [`wire`] — a dependency-free length-prefixed JSON protocol over a
+//!   Unix socket, every peer misbehaviour a typed error;
+//! - [`manager`] — the fleet: many `DesignSession`s keyed by id, durable
+//!   through `core::sessionstore`;
+//! - [`scheduler`] — a tick loop admitting at most one in-flight turn per
+//!   session, round-robining runnable sessions, each turn charged against
+//!   the per-turn `DeadlineBudget` so a slow creative search preempts
+//!   instead of starving its neighbours;
+//! - [`server`] — the accept loop and per-connection handlers;
+//! - [`catalog`] — named deterministic datasets, so restarts can resolve
+//!   a session's data again;
+//! - [`daemon`] — assembly: startup recovery, the HTTP `/sessions` and
+//!   `/drain` routes, graceful drain;
+//! - [`client`] — a thin blocking client for tests and scripting.
+//!
+//! Graceful drain **suspends** the fleet (drop without conversational
+//! close), leaving every durable log classified `in_flight`, so the next
+//! daemon's recovery pass resurrects the fleet by deterministic replay —
+//! the same kill-and-resurrect contract PR 8 established, now for a whole
+//! service.
+
+pub mod catalog;
+pub mod client;
+pub mod daemon;
+pub mod manager;
+pub mod scheduler;
+pub mod server;
+pub mod wire;
+
+/// Everything a harness or binary usually needs.
+pub mod prelude {
+    pub use crate::catalog::{self, DEFAULT_DATASET};
+    pub use crate::client::{reply_field, reply_ok, DaemonClient};
+    pub use crate::daemon::{Daemon, DaemonConfig};
+    pub use crate::manager::{InspectReport, OpenError, SessionManager, TurnError};
+    pub use crate::scheduler::{Command, CommandQueue, DrainSummary, TickOutcome, TickScheduler};
+    pub use crate::server::WireServer;
+    pub use crate::wire::{read_frame, write_frame, Request, WireError, MAX_FRAME_BYTES};
+}
+
+pub use daemon::{Daemon, DaemonConfig};

@@ -1,0 +1,329 @@
+//! The session fleet: many concurrent `DesignSession`s keyed by id.
+//!
+//! The manager owns every live session plus the optional durable store
+//! behind them. It is deliberately single-owner, not `Sync`: all mutation
+//! happens on the scheduler thread, so sessions need no locks and the
+//! at-most-one-in-flight-turn-per-session invariant is structural rather
+//! than defended. Concurrency lives one layer down (connection threads)
+//! and talks to the manager through the scheduler's command queue.
+
+use matilda_core::config::PlatformConfig;
+use matilda_core::error::PlatformError;
+use matilda_core::session::DesignSession;
+use matilda_core::sessionstore::{self, SessionStore};
+use matilda_provenance::json::escape;
+
+use crate::catalog;
+
+/// One resident session plus the daemon-side bookkeeping around it.
+struct Entry {
+    session: DesignSession,
+    /// Catalog dataset the session designs over (recovery needs the name).
+    dataset: String,
+}
+
+/// Why an `open` was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenError {
+    /// The id is already live in this daemon or has durable records.
+    Exists,
+    /// The requested dataset is not in the catalog.
+    UnknownDataset(String),
+    /// The durable store rejected the new log.
+    Store(String),
+}
+
+/// Why a `turn` was refused.
+#[derive(Debug)]
+pub enum TurnError {
+    /// No session with that id is resident.
+    Unknown,
+    /// The session already said goodbye.
+    Closed,
+    /// The turn itself failed inside the platform.
+    Step(PlatformError),
+}
+
+/// What `inspect` reports about one resident session — the introspection
+/// surface the e2e isolation checks gate on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectReport {
+    /// Successful turns so far.
+    pub turns: usize,
+    /// Stable, ephemeral-id-free provenance digest.
+    pub digest: u64,
+    /// The session's trace id.
+    pub trace_id: u64,
+    /// Whether every recorded provenance event carries this session's own
+    /// trace id — `false` would mean another session's work bled in.
+    pub trace_coherent: bool,
+    /// Whether the session has closed conversationally.
+    pub closed: bool,
+    /// Provenance events recorded so far.
+    pub events: usize,
+}
+
+// FNV-1a over the session id: a tiny, stable hash for deriving per-session
+// seeds from the daemon's base seed.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The fleet owner. See the module docs for the threading contract.
+pub struct SessionManager {
+    entries: std::collections::BTreeMap<String, Entry>,
+    store: Option<SessionStore>,
+    base: PlatformConfig,
+    default_dataset: String,
+}
+
+impl SessionManager {
+    /// A new, empty fleet. `base` supplies every per-session config except
+    /// the seed, which is derived per session id so two sessions never
+    /// share a stochastic stream; `store` makes every turn durable.
+    pub fn new(base: PlatformConfig, store: Option<SessionStore>, default_dataset: &str) -> Self {
+        Self {
+            entries: std::collections::BTreeMap::new(),
+            store,
+            base,
+            default_dataset: default_dataset.to_string(),
+        }
+    }
+
+    /// The per-session config: the base with a session-specific seed.
+    pub fn config_for(&self, id: &str) -> PlatformConfig {
+        PlatformConfig {
+            seed: self.base.seed ^ fnv1a(id),
+            ..self.base.clone()
+        }
+    }
+
+    /// The base (fleet-wide) config, as recovery wants it.
+    pub fn base_config(&self) -> &PlatformConfig {
+        &self.base
+    }
+
+    /// The durable store, if one is attached.
+    pub fn store(&self) -> Option<&SessionStore> {
+        self.store.as_ref()
+    }
+
+    /// Ids of resident sessions, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of resident sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `id` is resident and still conversationally open.
+    pub fn is_open(&self, id: &str) -> bool {
+        self.entries
+            .get(id)
+            .map(|e| !e.session.is_closed())
+            .unwrap_or(false)
+    }
+
+    /// Open a fresh session. The public name is sanitized into the store's
+    /// id alphabet first, so the wire name and the on-disk log agree.
+    /// Returns `(id, opening narration, trace id)`.
+    pub fn open(
+        &mut self,
+        name: &str,
+        question: &str,
+        user: matilda_conversation::UserProfile,
+        dataset: Option<&str>,
+    ) -> Result<(String, String, u64), OpenError> {
+        let id = sessionstore::sanitize_id(name);
+        if self.entries.contains_key(&id) {
+            return Err(OpenError::Exists);
+        }
+        if let Some(store) = &self.store {
+            // A durable log under this id — even a cleanly closed one —
+            // must not be appended to by an unrelated new session.
+            if store.has_records(&id) {
+                return Err(OpenError::Exists);
+            }
+        }
+        let dataset = dataset.unwrap_or(&self.default_dataset).to_string();
+        let frame =
+            catalog::resolve(&dataset).ok_or_else(|| OpenError::UnknownDataset(dataset.clone()))?;
+        let config = self.config_for(&id);
+        let mut session = DesignSession::new(id.clone(), question, frame, user, config);
+        if let Some(store) = &self.store {
+            session
+                .attach_store(store)
+                .map_err(|e| OpenError::Store(e.to_string()))?;
+        }
+        let opening = session.opening().to_string();
+        let trace = session.trace_id();
+        self.entries.insert(id.clone(), Entry { session, dataset });
+        Ok((id, opening, trace))
+    }
+
+    /// Adopt an already-built session (startup recovery). Replaces any
+    /// resident entry under the same id.
+    pub fn adopt(&mut self, id: String, session: DesignSession) {
+        let dataset = self.default_dataset.clone();
+        self.entries.insert(id, Entry { session, dataset });
+    }
+
+    /// Feed one turn to session `id`. Returns the step outcome plus the
+    /// 1-based index of the turn within the session.
+    pub fn turn(
+        &mut self,
+        id: &str,
+        text: &str,
+    ) -> Result<(matilda_core::session::StepOutcome, usize), TurnError> {
+        let entry = self.entries.get_mut(id).ok_or(TurnError::Unknown)?;
+        if entry.session.is_closed() {
+            return Err(TurnError::Closed);
+        }
+        let outcome = entry.session.step(text).map_err(TurnError::Step)?;
+        let index = entry.session.turn_log().len();
+        Ok((outcome, index))
+    }
+
+    /// Introspect session `id`.
+    pub fn inspect(&self, id: &str) -> Option<InspectReport> {
+        let entry = self.entries.get(id)?;
+        let session = &entry.session;
+        let trace = session.trace_id();
+        let events = session.recorder().snapshot();
+        let trace_coherent = events
+            .iter()
+            .all(|e| e.trace_id.is_none() || e.trace_id == Some(trace));
+        Some(InspectReport {
+            turns: session.turn_log().len(),
+            digest: session.provenance_digest(),
+            trace_id: trace,
+            trace_coherent,
+            closed: session.is_closed(),
+            events: events.len(),
+        })
+    }
+
+    /// Suspend the whole fleet: drop every session *without* a
+    /// conversational close, exactly like PR 8's simulated crash. Durable
+    /// logs keep their `in_flight` class on disk, so a restarted daemon's
+    /// recovery pass resurrects the fleet by replay — which is why drain
+    /// must not inject a goodbye turn (it would shift the event fold and
+    /// break digest equality with an uninterrupted run). Returns the
+    /// suspended session ids.
+    pub fn suspend_all(&mut self) -> Vec<String> {
+        let ids: Vec<String> = self.entries.keys().cloned().collect();
+        // Dropping an entry drops its `SessionLog`; every turn was already
+        // written through at its commit point, so there is nothing left to
+        // flush beyond the file handles themselves.
+        self.entries.clear();
+        ids
+    }
+
+    /// The `/sessions` listing: live fleet state merged with the durable
+    /// store's classified scan (`clean_closed` / `in_flight` / `corrupt`).
+    pub fn listing_json(&self, draining: bool) -> String {
+        let mut live = String::new();
+        for (id, entry) in &self.entries {
+            if !live.is_empty() {
+                live.push(',');
+            }
+            live.push_str(&format!(
+                "{{\"id\":\"{}\",\"dataset\":\"{}\",\"turns\":{},\"closed\":{},\"digest\":{}}}",
+                escape(id),
+                escape(&entry.dataset),
+                entry.session.turn_log().len(),
+                entry.session.is_closed(),
+                entry.session.provenance_digest(),
+            ));
+        }
+        let store = match &self.store {
+            Some(store) => store.listing_json(),
+            None => "{\"sessions\":[],\"quarantined\":[]}".to_string(),
+        };
+        format!("{{\"draining\":{draining},\"live\":[{live}],\"store\":{store}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> SessionManager {
+        SessionManager::new(PlatformConfig::quick(), None, catalog::DEFAULT_DATASET)
+    }
+
+    fn ada() -> matilda_conversation::UserProfile {
+        matilda_conversation::UserProfile::novice("Ada", "urbanism")
+    }
+
+    #[test]
+    fn open_turn_inspect_round_trip() {
+        let mut m = manager();
+        let (id, opening, trace) = m
+            .open("city one", "what drives label?", ada(), None)
+            .unwrap();
+        assert_eq!(id, "city_one", "names are sanitized into store ids");
+        assert!(!opening.is_empty());
+        let (outcome, index) = m.turn(&id, "I want to predict 'label'").unwrap();
+        assert!(!outcome.reply.is_empty());
+        assert_eq!(index, 1);
+        let report = m.inspect(&id).unwrap();
+        assert_eq!(report.turns, 1);
+        assert_eq!(report.trace_id, trace);
+        assert!(report.trace_coherent);
+        assert!(!report.closed);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_are_typed() {
+        let mut m = manager();
+        m.open("dup", "q", ada(), None).unwrap();
+        assert_eq!(m.open("dup", "q", ada(), None), Err(OpenError::Exists));
+        assert!(matches!(
+            m.open("other", "q", ada(), Some("nope")),
+            Err(OpenError::UnknownDataset(_))
+        ));
+        assert!(matches!(m.turn("ghost", "hi"), Err(TurnError::Unknown)));
+        assert!(m.inspect("ghost").is_none());
+    }
+
+    #[test]
+    fn sessions_do_not_share_seeds_or_traces() {
+        let mut m = manager();
+        let (a, _, trace_a) = m.open("a", "q", ada(), None).unwrap();
+        let (b, _, trace_b) = m.open("b", "q", ada(), None).unwrap();
+        assert_ne!(trace_a, trace_b);
+        assert_ne!(m.config_for(&a).seed, m.config_for(&b).seed);
+        m.turn(&a, "I want to predict 'label'").unwrap();
+        m.turn(&b, "I want to predict 'label'").unwrap();
+        let ia = m.inspect(&a).unwrap();
+        let ib = m.inspect(&b).unwrap();
+        assert!(ia.trace_coherent && ib.trace_coherent);
+        assert_ne!(ia.trace_id, ib.trace_id);
+    }
+
+    #[test]
+    fn suspend_empties_the_fleet() {
+        let mut m = manager();
+        m.open("s1", "q", ada(), None).unwrap();
+        m.open("s2", "q", ada(), None).unwrap();
+        let suspended = m.suspend_all();
+        assert_eq!(suspended.len(), 2);
+        assert!(m.is_empty());
+        let listing = m.listing_json(true);
+        assert!(listing.contains("\"draining\":true"), "{listing}");
+        assert!(listing.contains("\"live\":[]"), "{listing}");
+    }
+}

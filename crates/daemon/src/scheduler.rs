@@ -1,0 +1,626 @@
+//! The tick scheduler: fair, preemptible turn admission for the fleet.
+//!
+//! Connection threads never touch a session. They enqueue [`Command`]s on
+//! the [`CommandQueue`] and block on a per-request reply channel; the
+//! scheduler thread drains the queue, routes turns into per-session
+//! mailboxes, and admits **at most one turn per tick**, round-robining the
+//! runnable sessions. Turns execute serially on the scheduler thread, so
+//! the at-most-one-in-flight-turn-per-session invariant is structural —
+//! and fairness comes from two mechanisms working together:
+//!
+//! 1. round-robin admission: a session with a deep mailbox cannot be
+//!    admitted twice before every other runnable session got a turn;
+//! 2. the per-turn `DeadlineBudget` (`PlatformConfig::turn_deadline`):
+//!    each admitted turn is charged against its own latency allowance and
+//!    preempts at the next cancellation checkpoint when it expires, so one
+//!    slow creative search cannot starve the tick loop.
+//!
+//! Drain is a state machine, not a flag check scattered around:
+//!
+//! ```text
+//! Running --drain--> Draining --fleet suspended--> Drained (queue closed)
+//! ```
+//!
+//! On drain the scheduler stops admitting turns, bounces everything queued
+//! with a typed `draining` error, suspends the fleet (drop without close —
+//! durable logs stay `in_flight` so a restarted daemon resurrects them),
+//! answers the drain waiters, and closes the queue so later pushes fail
+//! fast with `shutting_down`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use matilda_provenance::json::escape;
+use matilda_telemetry as telemetry;
+
+use crate::manager::{OpenError, SessionManager, TurnError};
+use crate::wire::error_reply;
+
+/// Daemon metric names (same registry as the rest of the platform).
+pub mod names {
+    /// Scheduler ticks taken.
+    pub const TICKS: &str = "daemon.ticks";
+    /// Turns admitted to a session.
+    pub const TURNS_ADMITTED: &str = "daemon.turns_admitted";
+    /// Turns refused (unknown session, closed session, draining, ...).
+    pub const TURNS_BOUNCED: &str = "daemon.turns_bounced";
+    /// End-to-end turn latency (enqueue to reply) in seconds, on the
+    /// daemon clock.
+    pub const TURN_SECONDS: &str = "daemon.turn_seconds";
+    /// Live sessions resident in the fleet.
+    pub const SESSIONS_OPEN: &str = "daemon.sessions_open";
+    /// Graceful drains performed.
+    pub const DRAINS: &str = "daemon.drains";
+}
+
+/// One request routed from a connection thread to the scheduler. Every
+/// variant carries the channel its JSON reply must be sent down.
+pub enum Command {
+    /// Open a fresh session.
+    Open {
+        /// Requested session name (sanitized by the manager).
+        session: String,
+        /// Opening research question.
+        question: String,
+        /// Who is talking.
+        user: matilda_conversation::UserProfile,
+        /// Catalog dataset, `None` for the daemon default.
+        dataset: Option<String>,
+        /// Where the reply goes.
+        reply: Sender<String>,
+    },
+    /// One conversational turn.
+    Turn {
+        /// Target session id.
+        session: String,
+        /// The utterance.
+        text: String,
+        /// Where the reply goes.
+        reply: Sender<String>,
+    },
+    /// Introspect one session.
+    Inspect {
+        /// Target session id.
+        session: String,
+        /// Where the reply goes.
+        reply: Sender<String>,
+    },
+    /// The fleet + store listing.
+    Sessions {
+        /// Where the reply goes.
+        reply: Sender<String>,
+    },
+    /// Begin a graceful drain; replied to once the fleet is suspended.
+    Drain {
+        /// Where the drain summary goes.
+        reply: Sender<String>,
+    },
+}
+
+struct QueueState {
+    commands: VecDeque<Command>,
+    closed: bool,
+}
+
+/// The multi-producer command queue between connection threads and the
+/// scheduler. `std::sync` primitives on purpose: the vendored parking_lot
+/// has no `Condvar`, and the queue is nowhere near hot enough to care.
+pub struct CommandQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl Default for CommandQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommandQueue {
+    /// A new, open queue.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                commands: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a command. After the scheduler drained and closed the queue
+    /// the command comes straight back (boxed — it is a wide enum) so the
+    /// caller can reply `shutting_down` itself.
+    pub fn push(&self, command: Command) -> Result<(), Box<Command>> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(Box::new(command));
+        }
+        state.commands.push_back(command);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_pop(&self) -> Option<Command> {
+        self.state.lock().unwrap().commands.pop_front()
+    }
+
+    /// Block up to `timeout` for a command to arrive. `None` on timeout or
+    /// when the queue closed while waiting.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<Command> {
+        let mut state = self.state.lock().unwrap();
+        if state.commands.is_empty() && !state.closed {
+            let (next, _timed_out) = self.ready.wait_timeout(state, timeout).unwrap();
+            state = next;
+        }
+        state.commands.pop_front()
+    }
+
+    /// Close the queue: later pushes bounce; already-queued commands stay
+    /// poppable so a draining scheduler can flush them.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+/// What one [`TickScheduler::tick`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// No commands arrived and no mailbox had a runnable turn.
+    Idle,
+    /// Commands were routed and/or one turn executed.
+    Worked,
+    /// A drain completed; the scheduler is done and the queue is closed.
+    Drained,
+}
+
+/// How a drain ended, for the drain reply and the daemon's logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Session ids suspended (dropped without close, logs left in-flight).
+    pub suspended: Vec<String>,
+    /// Queued-but-unadmitted turns bounced with a `draining` error.
+    pub bounced: usize,
+}
+
+/// A turn waiting in a session's mailbox.
+struct QueuedTurn {
+    text: String,
+    reply: Sender<String>,
+    /// Enqueue stamp on the daemon clock, for end-to-end latency.
+    enqueued: Duration,
+}
+
+/// The scheduler itself. Single-threaded by design: construct it, then
+/// either call [`TickScheduler::tick`] in a loop you own (tests drive it
+/// this way on a `TestClock`) or hand it to [`TickScheduler::run`] on a
+/// dedicated thread.
+pub struct TickScheduler {
+    manager: SessionManager,
+    queue: std::sync::Arc<CommandQueue>,
+    mailboxes: HashMap<String, VecDeque<QueuedTurn>>,
+    /// Round-robin cursor: session ids in admission order.
+    rotation: VecDeque<String>,
+    clock: std::sync::Arc<dyn matilda_resilience::Clock>,
+    draining: bool,
+    drain_summary: Option<DrainSummary>,
+    ticks: u64,
+}
+
+impl TickScheduler {
+    /// Build a scheduler over `manager`, reading commands from `queue`.
+    /// Sessions already resident in the manager (the recovered fleet) get
+    /// mailboxes and rotation slots up front, so turns land on them exactly
+    /// as on freshly opened ones. The latency clock is the thread's
+    /// resilience clock, so chaos tests that activate a `TestClock` measure
+    /// virtual time.
+    pub fn new(manager: SessionManager, queue: std::sync::Arc<CommandQueue>) -> Self {
+        let mut mailboxes: HashMap<String, VecDeque<QueuedTurn>> = HashMap::new();
+        let mut rotation = VecDeque::new();
+        for id in manager.ids() {
+            mailboxes.entry(id.clone()).or_default();
+            rotation.push_back(id);
+        }
+        Self {
+            manager,
+            queue,
+            mailboxes,
+            rotation,
+            clock: matilda_resilience::fault::clock(),
+            draining: false,
+            drain_summary: None,
+            ticks: 0,
+        }
+    }
+
+    /// The fleet, for startup recovery adoption.
+    pub fn manager_mut(&mut self) -> &mut SessionManager {
+        &mut self.manager
+    }
+
+    /// Ticks taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    fn send(reply: &Sender<String>, body: String) {
+        // A caller that gave up on its reply is not the scheduler's
+        // problem; the turn still committed.
+        let _ = reply.send(body);
+    }
+
+    fn route(&mut self, command: Command) {
+        match command {
+            Command::Open {
+                session,
+                question,
+                user,
+                dataset,
+                reply,
+            } => {
+                let body = match self
+                    .manager
+                    .open(&session, &question, user, dataset.as_deref())
+                {
+                    Ok((id, opening, trace)) => {
+                        self.mailboxes.entry(id.clone()).or_default();
+                        self.rotation.push_back(id.clone());
+                        format!(
+                            "{{\"ok\":true,\"session\":\"{}\",\"trace\":{trace},\"opening\":\"{}\"}}",
+                            escape(&id),
+                            escape(&opening)
+                        )
+                    }
+                    Err(OpenError::Exists) => error_reply("session_exists", "id already in use"),
+                    Err(OpenError::UnknownDataset(name)) => error_reply(
+                        "bad_request",
+                        &format!("dataset `{name}` is not in the catalog"),
+                    ),
+                    Err(OpenError::Store(detail)) => error_reply("store", &detail),
+                };
+                Self::send(&reply, body);
+            }
+            Command::Turn {
+                session,
+                text,
+                reply,
+            } => {
+                if self.draining {
+                    telemetry::metrics::global().inc(names::TURNS_BOUNCED);
+                    Self::send(&reply, error_reply("draining", "daemon is draining"));
+                } else if let Some(mailbox) = self.mailboxes.get_mut(&session) {
+                    mailbox.push_back(QueuedTurn {
+                        text,
+                        reply,
+                        enqueued: self.clock.now(),
+                    });
+                } else {
+                    telemetry::metrics::global().inc(names::TURNS_BOUNCED);
+                    Self::send(&reply, error_reply("unknown_session", &session));
+                }
+            }
+            Command::Inspect { session, reply } => {
+                let body = match self.manager.inspect(&session) {
+                    Some(report) => format!(
+                        "{{\"ok\":true,\"session\":\"{}\",\"turns\":{},\"digest\":{},\
+                         \"trace\":{},\"trace_coherent\":{},\"closed\":{},\"events\":{}}}",
+                        escape(&session),
+                        report.turns,
+                        report.digest,
+                        report.trace_id,
+                        report.trace_coherent,
+                        report.closed,
+                        report.events
+                    ),
+                    None => error_reply("unknown_session", &session),
+                };
+                Self::send(&reply, body);
+            }
+            Command::Sessions { reply } => {
+                let body = self.manager.listing_json(self.draining);
+                Self::send(&reply, body);
+            }
+            Command::Drain { reply } => {
+                self.draining = true;
+                self.drain_waiters_push(reply);
+            }
+        }
+    }
+
+    fn drain_waiters_push(&mut self, reply: Sender<String>) {
+        // Stored in a mailbox under a reserved key no sanitized session id
+        // can collide with (sanitize_id never emits `#`).
+        self.mailboxes
+            .entry("#drain".to_string())
+            .or_default()
+            .push_back(QueuedTurn {
+                text: String::new(),
+                reply,
+                enqueued: self.clock.now(),
+            });
+    }
+
+    /// Complete a drain: bounce queued turns, suspend the fleet, answer
+    /// the waiters, close the queue. The summary is also stashed for
+    /// [`TickScheduler::run`] to return.
+    fn finish_drain(&mut self) -> DrainSummary {
+        let waiters = self.mailboxes.remove("#drain").unwrap_or_default();
+        let mut bounced = 0;
+        for (_, mailbox) in self.mailboxes.drain() {
+            for turn in mailbox {
+                bounced += 1;
+                Self::send(&turn.reply, error_reply("draining", "daemon is draining"));
+            }
+        }
+        let suspended = self.manager.suspend_all();
+        let metrics = telemetry::metrics::global();
+        metrics.inc(names::DRAINS);
+        metrics.add(names::TURNS_BOUNCED, bounced as u64);
+        metrics.set_gauge(names::SESSIONS_OPEN, 0.0);
+        self.queue.close();
+        let mut ids = String::new();
+        for id in &suspended {
+            if !ids.is_empty() {
+                ids.push(',');
+            }
+            ids.push_str(&format!("\"{}\"", escape(id)));
+        }
+        let body = format!(
+            "{{\"ok\":true,\"drained\":true,\"suspended\":{},\"bounced\":{bounced},\"sessions\":[{ids}]}}",
+            suspended.len()
+        );
+        for waiter in waiters {
+            Self::send(&waiter.reply, body.clone());
+        }
+        telemetry::log::info("daemon.scheduler", "drain complete")
+            .field("suspended", suspended.len() as u64)
+            .field("bounced", bounced as u64)
+            .emit();
+        let summary = DrainSummary { suspended, bounced };
+        self.drain_summary = Some(summary.clone());
+        summary
+    }
+
+    // The next session (round-robin) holding a runnable turn. Closed or
+    // vanished sessions bounce their mail and leave the rotation.
+    fn next_runnable(&mut self) -> Option<String> {
+        for _ in 0..self.rotation.len() {
+            let id = self.rotation.pop_front()?;
+            let has_mail = self
+                .mailboxes
+                .get(&id)
+                .map(|m| !m.is_empty())
+                .unwrap_or(false);
+            if !has_mail {
+                self.rotation.push_back(id);
+                continue;
+            }
+            if !self.manager.is_open(&id) {
+                // Bounce everything queued on a closed session, typed.
+                if let Some(mailbox) = self.mailboxes.get_mut(&id) {
+                    for turn in mailbox.drain(..) {
+                        telemetry::metrics::global().inc(names::TURNS_BOUNCED);
+                        Self::send(&turn.reply, error_reply("session_closed", &id));
+                    }
+                }
+                self.rotation.push_back(id);
+                continue;
+            }
+            // Runnable: goes to the back *after* its turn, in tick().
+            return Some(id);
+        }
+        None
+    }
+
+    fn execute_turn(&mut self, id: String) {
+        let Some(turn) = self.mailboxes.get_mut(&id).and_then(|m| m.pop_front()) else {
+            self.rotation.push_back(id);
+            return;
+        };
+        let metrics = telemetry::metrics::global();
+        metrics.inc(names::TURNS_ADMITTED);
+        let body = match self.manager.turn(&id, &turn.text) {
+            Ok((outcome, index)) => {
+                let digest = self
+                    .manager
+                    .inspect(&id)
+                    .map(|r| r.digest)
+                    .unwrap_or_default();
+                format!(
+                    "{{\"ok\":true,\"session\":\"{}\",\"turn\":{index},\"closed\":{},\
+                     \"executed\":{},\"digest\":{digest},\"latency_s\":{},\"reply\":\"{}\"}}",
+                    escape(&id),
+                    outcome.closed,
+                    outcome.executed.is_some(),
+                    self.clock.now().saturating_sub(turn.enqueued).as_secs_f64(),
+                    escape(&outcome.reply)
+                )
+            }
+            Err(TurnError::Unknown) => error_reply("unknown_session", &id),
+            Err(TurnError::Closed) => error_reply("session_closed", &id),
+            Err(TurnError::Step(e)) => error_reply("turn_failed", &e.to_string()),
+        };
+        let latency = self.clock.now().saturating_sub(turn.enqueued);
+        metrics.observe_duration(names::TURN_SECONDS, latency);
+        Self::send(&turn.reply, body);
+        self.rotation.push_back(id);
+    }
+
+    /// One scheduler tick: drain the command queue, then — unless a drain
+    /// settled — admit at most one turn from the round-robin rotation.
+    pub fn tick(&mut self) -> TickOutcome {
+        self.ticks += 1;
+        let metrics = telemetry::metrics::global();
+        metrics.inc(names::TICKS);
+        let mut routed = false;
+        while let Some(command) = self.queue.try_pop() {
+            routed = true;
+            self.route(command);
+        }
+        if self.draining {
+            self.finish_drain();
+            return TickOutcome::Drained;
+        }
+        metrics.set_gauge(names::SESSIONS_OPEN, self.manager.len() as f64);
+        match self.next_runnable() {
+            Some(id) => {
+                self.execute_turn(id);
+                TickOutcome::Worked
+            }
+            None if routed => TickOutcome::Worked,
+            None => TickOutcome::Idle,
+        }
+    }
+
+    /// Drive ticks until a drain completes, returning its summary. Idle
+    /// ticks block briefly on the queue's condvar instead of spinning.
+    pub fn run(mut self) -> DrainSummary {
+        loop {
+            match self.tick() {
+                TickOutcome::Drained => {
+                    return self.drain_summary.take().unwrap_or(DrainSummary {
+                        suspended: Vec::new(),
+                        bounced: 0,
+                    });
+                }
+                TickOutcome::Worked => {}
+                TickOutcome::Idle => {
+                    // A queue closed without a drain command (the daemon
+                    // was dropped, not drained) still suspends the fleet —
+                    // logs stay in-flight and the thread exits instead of
+                    // spinning on a dead queue.
+                    if self.queue.is_closed() {
+                        self.draining = true;
+                        continue;
+                    }
+                    // Park until a command lands (or briefly, to re-check);
+                    // the next tick's try_pop loop will consume it.
+                    if let Some(command) = self.queue.pop_timeout(Duration::from_millis(25)) {
+                        self.route(command);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use matilda_core::config::PlatformConfig;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    fn scheduler() -> (TickScheduler, Arc<CommandQueue>) {
+        let manager = SessionManager::new(PlatformConfig::quick(), None, catalog::DEFAULT_DATASET);
+        let queue = Arc::new(CommandQueue::new());
+        (TickScheduler::new(manager, Arc::clone(&queue)), queue)
+    }
+
+    fn ada() -> matilda_conversation::UserProfile {
+        matilda_conversation::UserProfile::novice("Ada", "urbanism")
+    }
+
+    #[test]
+    fn open_then_turn_through_ticks() {
+        let (mut sched, queue) = scheduler();
+        let (tx, rx) = channel();
+        queue
+            .push(Command::Open {
+                session: "s1".into(),
+                question: "what drives label?".into(),
+                user: ada(),
+                dataset: None,
+                reply: tx,
+            })
+            .ok()
+            .unwrap();
+        assert_eq!(sched.tick(), TickOutcome::Worked);
+        let body = rx.recv().unwrap();
+        assert!(body.contains("\"ok\":true"), "{body}");
+        let (tx, rx) = channel();
+        queue
+            .push(Command::Turn {
+                session: "s1".into(),
+                text: "I want to predict 'label'".into(),
+                reply: tx,
+            })
+            .ok()
+            .unwrap();
+        assert_eq!(sched.tick(), TickOutcome::Worked);
+        let body = rx.recv().unwrap();
+        assert!(body.contains("\"turn\":1"), "{body}");
+        assert!(body.contains("\"latency_s\":"), "{body}");
+        // Nothing queued: idle.
+        assert_eq!(sched.tick(), TickOutcome::Idle);
+    }
+
+    #[test]
+    fn unknown_session_turn_bounces_typed() {
+        let (mut sched, queue) = scheduler();
+        let (tx, rx) = channel();
+        queue
+            .push(Command::Turn {
+                session: "ghost".into(),
+                text: "hi".into(),
+                reply: tx,
+            })
+            .ok()
+            .unwrap();
+        sched.tick();
+        let body = rx.recv().unwrap();
+        assert!(body.contains("unknown_session"), "{body}");
+    }
+
+    #[test]
+    fn drain_bounces_queued_turns_and_closes_the_queue() {
+        let (mut sched, queue) = scheduler();
+        let (tx, rx) = channel();
+        queue
+            .push(Command::Open {
+                session: "s1".into(),
+                question: "q".into(),
+                user: ada(),
+                dataset: None,
+                reply: tx,
+            })
+            .ok()
+            .unwrap();
+        sched.tick();
+        rx.recv().unwrap();
+        // Queue one turn, then a drain *behind* it in the same tick: the
+        // turn is unadmitted when the drain lands, so it bounces.
+        let (turn_tx, turn_rx) = channel();
+        let (drain_tx, drain_rx) = channel();
+        queue
+            .push(Command::Turn {
+                session: "s1".into(),
+                text: "hello".into(),
+                reply: turn_tx,
+            })
+            .ok()
+            .unwrap();
+        queue.push(Command::Drain { reply: drain_tx }).ok().unwrap();
+        assert_eq!(sched.tick(), TickOutcome::Drained);
+        let bounced = turn_rx.recv().unwrap();
+        assert!(bounced.contains("draining"), "{bounced}");
+        let summary = drain_rx.recv().unwrap();
+        assert!(summary.contains("\"drained\":true"), "{summary}");
+        assert!(summary.contains("\"suspended\":1"), "{summary}");
+        // The queue is closed: later pushes come straight back.
+        let (tx, _rx) = channel();
+        assert!(queue.push(Command::Sessions { reply: tx }).is_err());
+        assert!(queue.is_closed());
+    }
+}

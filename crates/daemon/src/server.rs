@@ -1,0 +1,267 @@
+//! The Unix-socket front door: accept loop and per-connection handlers.
+//!
+//! Each connection gets its own thread speaking the length-prefixed frame
+//! protocol from [`crate::wire`]. Handlers never touch sessions — they
+//! parse requests, enqueue [`Command`]s, and relay the scheduler's reply,
+//! so a slow turn blocks exactly one client and never the accept loop.
+//! Every protocol failure maps to a typed error reply (and, where the
+//! stream is desynchronized, a close) — a misbehaving peer cannot panic or
+//! hang the daemon.
+
+use std::io::ErrorKind;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use matilda_telemetry as telemetry;
+
+use crate::scheduler::{Command, CommandQueue};
+use crate::wire::{self, error_reply, Request};
+
+/// How often an idle connection wakes up to check the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(250);
+/// Once a frame has started arriving, how long a stall may last.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(5);
+/// How long a handler waits for the scheduler's reply before giving the
+/// client a typed `timeout` error. Generous: a turn may run a full
+/// creative search under a real clock.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A listening wire server; accepts until shut down.
+pub struct WireServer {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Bind `path` (removing any stale socket file first) and start
+    /// accepting connections that feed `queue`.
+    pub fn bind(path: &Path, queue: Arc<CommandQueue>) -> std::io::Result<Self> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_path = path.to_path_buf();
+        let accept = std::thread::Builder::new()
+            .name("matilda-daemon-accept".to_string())
+            .spawn(move || {
+                accept_loop(listener, accept_stop, queue);
+                let _ = std::fs::remove_file(&accept_path);
+            })?;
+        telemetry::log::info("daemon.server", "wire server listening")
+            .field("socket", path.display().to_string())
+            .emit();
+        Ok(Self {
+            path: path.to_path_buf(),
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The socket path this server listens on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stop accepting, wake the accept loop, and join every connection.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept() awake.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = UnixStream::connect(&self.path);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: UnixListener, stop: Arc<AtomicBool>, queue: Arc<CommandQueue>) {
+    let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match incoming {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let conn_stop = Arc::clone(&stop);
+        let conn_queue = Arc::clone(&queue);
+        let handle = std::thread::Builder::new()
+            .name("matilda-daemon-conn".to_string())
+            .spawn(move || handle_connection(stream, conn_stop, conn_queue));
+        if let Ok(handle) = handle {
+            let mut pool = connections.lock().unwrap();
+            // Opportunistically reap finished handlers so the pool does
+            // not grow with every connection the daemon ever served.
+            pool.retain(|h| !h.is_finished());
+            pool.push(handle);
+        }
+    }
+    let handles: Vec<_> = connections.lock().unwrap().drain(..).collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+// Dispatch one parsed request; returns the JSON reply to frame back.
+fn dispatch(request: Request, queue: &CommandQueue) -> String {
+    let (tx, rx) = channel();
+    let command = match request {
+        Request::Ping => return "{\"ok\":true,\"pong\":true}".to_string(),
+        Request::Open {
+            session,
+            question,
+            user_name,
+            expertise,
+            domain,
+            openness,
+            dataset,
+        } => {
+            let level = match expertise.as_str() {
+                "analyst" => matilda_conversation::Expertise::Analyst,
+                "data_scientist" => matilda_conversation::Expertise::DataScientist,
+                // Unknown labels degrade to novice, matching the session
+                // store's meta parser.
+                _ => matilda_conversation::Expertise::Novice,
+            };
+            Command::Open {
+                session,
+                question,
+                user: matilda_conversation::UserProfile::new(user_name, level, domain, openness),
+                dataset,
+                reply: tx,
+            }
+        }
+        Request::Turn { session, text } => Command::Turn {
+            session,
+            text,
+            reply: tx,
+        },
+        Request::Inspect { session } => Command::Inspect { session, reply: tx },
+        Request::Sessions => Command::Sessions { reply: tx },
+        Request::Drain => Command::Drain { reply: tx },
+    };
+    if queue.push(command).is_err() {
+        return error_reply("shutting_down", "daemon has drained");
+    }
+    match rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(body) => body,
+        Err(_) => error_reply("timeout", "scheduler did not reply in time"),
+    }
+}
+
+fn handle_connection(mut stream: UnixStream, stop: Arc<AtomicBool>, queue: Arc<CommandQueue>) {
+    use std::io::Read;
+    let _ = stream.set_write_timeout(Some(FRAME_TIMEOUT));
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Idle wait: read the first byte of the next frame with a short
+        // timeout so a silent client never pins this thread past shutdown.
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        let mut first = [0u8; 1];
+        match stream.read(&mut first) {
+            Ok(0) => return, // clean disconnect
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        // A frame has started: stalls from here are protocol errors, not
+        // idleness. The consumed byte is chained back in front.
+        let _ = stream.set_read_timeout(Some(FRAME_TIMEOUT));
+        let mut reader = (&first[..]).chain(&mut stream);
+        match wire::read_frame(&mut reader) {
+            Ok(Some(payload)) => {
+                let reply = match Request::parse(&payload) {
+                    Ok(request) => dispatch(request, &queue),
+                    Err(e) => error_reply(e.code(), &e.to_string()),
+                };
+                if wire::write_frame(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(e) => {
+                // Torn, oversized or undecodable input leaves the stream
+                // desynchronized: send the typed error (best effort) and
+                // close. The accept loop is unaffected.
+                telemetry::metrics::global().inc("daemon.wire_errors");
+                let _ = wire::write_frame(&mut stream, &error_reply(e.code(), &e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::write_frame;
+    use std::io::Write;
+
+    fn sock_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("matilda-daemon-{tag}-{}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn ping_answered_inline_and_garbage_gets_typed_error() {
+        let path = sock_path("ping");
+        let queue = Arc::new(CommandQueue::new());
+        let server = WireServer::bind(&path, Arc::clone(&queue)).unwrap();
+
+        let mut client = UnixStream::connect(&path).unwrap();
+        write_frame(&mut client, "{\"op\":\"ping\"}").unwrap();
+        let reply = wire::read_frame(&mut client).unwrap().unwrap();
+        assert!(reply.contains("\"pong\":true"), "{reply}");
+
+        // Bad JSON on the same connection: typed error, connection stays.
+        write_frame(&mut client, "not json").unwrap();
+        let reply = wire::read_frame(&mut client).unwrap().unwrap();
+        assert!(reply.contains("bad_request"), "{reply}");
+
+        // An oversized length prefix: typed error, then close — and the
+        // accept loop still serves fresh connections.
+        let mut rogue = UnixStream::connect(&path).unwrap();
+        rogue.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        rogue.flush().unwrap();
+        let reply = wire::read_frame(&mut rogue).unwrap().unwrap();
+        assert!(reply.contains("frame_too_large"), "{reply}");
+        let mut fresh = UnixStream::connect(&path).unwrap();
+        write_frame(&mut fresh, "{\"op\":\"ping\"}").unwrap();
+        let reply = wire::read_frame(&mut fresh).unwrap().unwrap();
+        assert!(reply.contains("\"pong\":true"), "{reply}");
+
+        server.shutdown();
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn closed_queue_means_typed_shutting_down() {
+        let path = sock_path("closedq");
+        let queue = Arc::new(CommandQueue::new());
+        queue.close();
+        let server = WireServer::bind(&path, Arc::clone(&queue)).unwrap();
+        let mut client = UnixStream::connect(&path).unwrap();
+        write_frame(&mut client, "{\"op\":\"sessions\"}").unwrap();
+        let reply = wire::read_frame(&mut client).unwrap().unwrap();
+        assert!(reply.contains("shutting_down"), "{reply}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,446 @@
+//! The daemon's wire protocol: length-prefixed JSON frames.
+//!
+//! A frame is a 4-byte big-endian length followed by that many bytes of
+//! UTF-8 JSON. The framing layer is deliberately tiny and dependency-free,
+//! and every way a peer can misbehave maps to a typed [`WireError`] — a
+//! torn frame, an oversized length prefix, a mid-frame disconnect, invalid
+//! UTF-8 — never a panic and never an unbounded read:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | len: u32 (BE)  | payload: len bytes, UTF-8 |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! Requests are flat JSON objects (`{"op":"turn","session":"s1",...}`)
+//! parsed with the provenance crate's flat-object parser — the same dialect
+//! the session store journals speak. Responses are built by the scheduler;
+//! the framing layer treats them as opaque payloads.
+
+use matilda_provenance::json::{escape, parse_flat_object, FlatValue};
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame's payload, in bytes. A length prefix above this
+/// is rejected *before* any allocation, so a hostile or corrupt prefix
+/// (e.g. `0xffff_ffff`) cannot make the server reserve gigabytes.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Everything that can go wrong on the wire, typed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (includes read/write timeouts).
+    Io(std::io::Error),
+    /// The peer disconnected mid-frame: `got` of `expected` bytes arrived.
+    Torn {
+        /// Bytes the frame (or its length prefix) still owed.
+        expected: usize,
+        /// Bytes actually received before EOF.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// The advertised payload length.
+        len: usize,
+        /// The ceiling it violated.
+        max: usize,
+    },
+    /// The payload is not valid UTF-8.
+    BadUtf8,
+    /// The payload is not a request this daemon understands.
+    BadRequest(String),
+}
+
+impl WireError {
+    /// Stable lowercase code for error replies and metrics.
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::Io(_) => "io",
+            WireError::Torn { .. } => "torn_frame",
+            WireError::FrameTooLarge { .. } => "frame_too_large",
+            WireError::BadUtf8 => "bad_utf8",
+            WireError::BadRequest(_) => "bad_request",
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o failed: {e}"),
+            WireError::Torn { expected, got } => {
+                write!(f, "torn frame: got {got} of {expected} bytes before EOF")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            WireError::BadUtf8 => write!(f, "frame payload is not valid UTF-8"),
+            WireError::BadRequest(detail) => write!(f, "bad request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// Fill `buf` from `r`, mapping EOF-before-full to a typed torn-frame error.
+// `already` biases the `got` count so payload reads report frame-relative
+// progress.
+fn read_exact_or_torn(r: &mut impl Read, buf: &mut [u8]) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(WireError::Torn {
+                    expected: buf.len(),
+                    got: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Write one frame. Fails with [`WireError::FrameTooLarge`] before touching
+/// the transport when `payload` exceeds [`MAX_FRAME_BYTES`].
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), WireError> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge {
+            len: bytes.len(),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. `Ok(None)` is a clean disconnect (EOF exactly on a frame
+/// boundary); EOF anywhere else is [`WireError::Torn`]. An oversized length
+/// prefix is rejected without reading or allocating the payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, WireError> {
+    let mut len_buf = [0u8; 4];
+    // The first byte decides clean-EOF vs torn prefix.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Torn {
+                    expected: 4,
+                    got: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_torn(r, &mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| WireError::BadUtf8)
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Everything a client can ask the daemon to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered by the connection thread, not the scheduler.
+    Ping,
+    /// Open a fresh session.
+    Open {
+        /// Session name (and store id, after sanitization).
+        session: String,
+        /// The research question the session opens with.
+        question: String,
+        /// User display name.
+        user_name: String,
+        /// User expertise: `novice`, `analyst` or `data_scientist`
+        /// (unknown labels degrade to novice, matching the session store).
+        expertise: String,
+        /// User discipline.
+        domain: String,
+        /// User openness in `[0, 1]`.
+        openness: f64,
+        /// Catalog dataset to design over; `None` uses the daemon default.
+        dataset: Option<String>,
+    },
+    /// Feed one conversational turn to an open session.
+    Turn {
+        /// Target session name.
+        session: String,
+        /// The user utterance.
+        text: String,
+    },
+    /// Introspect one session: turn count, provenance digest, trace
+    /// coherence — the isolation probe the e2e harness gates on.
+    Inspect {
+        /// Target session name.
+        session: String,
+    },
+    /// The live + durable session listing (same body as HTTP `/sessions`).
+    Sessions,
+    /// Begin a graceful drain; the reply arrives once the fleet is
+    /// suspended and flushed.
+    Drain,
+}
+
+fn field<'a>(fields: &'a [(String, FlatValue)], key: &str) -> Option<&'a FlatValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(fields: &[(String, FlatValue)], key: &str) -> Result<String, WireError> {
+    match field(fields, key) {
+        Some(FlatValue::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(WireError::BadRequest(format!(
+            "field `{key}` is not a string"
+        ))),
+        None => Err(WireError::BadRequest(format!("missing field `{key}`"))),
+    }
+}
+
+fn opt_str_field(fields: &[(String, FlatValue)], key: &str) -> Option<String> {
+    match field(fields, key) {
+        Some(FlatValue::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn f64_field_or(fields: &[(String, FlatValue)], key: &str, default: f64) -> f64 {
+    match field(fields, key) {
+        Some(FlatValue::Num(raw)) => raw.parse().unwrap_or(default),
+        _ => default,
+    }
+}
+
+impl Request {
+    /// Parse one request payload. Anything that is not a flat JSON object
+    /// with a known `op` is a typed [`WireError::BadRequest`].
+    pub fn parse(payload: &str) -> Result<Self, WireError> {
+        let fields = parse_flat_object(payload)
+            .ok_or_else(|| WireError::BadRequest("not a flat JSON object".to_string()))?;
+        let op = str_field(&fields, "op")?;
+        match op.as_str() {
+            "ping" => Ok(Request::Ping),
+            "open" => Ok(Request::Open {
+                session: str_field(&fields, "session")?,
+                question: str_field(&fields, "question")?,
+                user_name: opt_str_field(&fields, "user_name").unwrap_or_else(|| "user".into()),
+                expertise: opt_str_field(&fields, "expertise").unwrap_or_else(|| "novice".into()),
+                domain: opt_str_field(&fields, "domain").unwrap_or_else(|| "general".into()),
+                openness: f64_field_or(&fields, "openness", 0.3),
+                dataset: opt_str_field(&fields, "dataset"),
+            }),
+            "turn" => Ok(Request::Turn {
+                session: str_field(&fields, "session")?,
+                text: str_field(&fields, "text")?,
+            }),
+            "inspect" => Ok(Request::Inspect {
+                session: str_field(&fields, "session")?,
+            }),
+            "sessions" => Ok(Request::Sessions),
+            "drain" => Ok(Request::Drain),
+            other => Err(WireError::BadRequest(format!("unknown op `{other}`"))),
+        }
+    }
+
+    /// Serialize as the flat JSON object [`Request::parse`] reads back.
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Ping => "{\"op\":\"ping\"}".to_string(),
+            Request::Open {
+                session,
+                question,
+                user_name,
+                expertise,
+                domain,
+                openness,
+                dataset,
+            } => {
+                let mut out = format!(
+                    "{{\"op\":\"open\",\"session\":\"{}\",\"question\":\"{}\",\
+                     \"user_name\":\"{}\",\"expertise\":\"{}\",\"domain\":\"{}\",\
+                     \"openness\":{openness}",
+                    escape(session),
+                    escape(question),
+                    escape(user_name),
+                    escape(expertise),
+                    escape(domain),
+                );
+                if let Some(dataset) = dataset {
+                    out.push_str(&format!(",\"dataset\":\"{}\"", escape(dataset)));
+                }
+                out.push('}');
+                out
+            }
+            Request::Turn { session, text } => format!(
+                "{{\"op\":\"turn\",\"session\":\"{}\",\"text\":\"{}\"}}",
+                escape(session),
+                escape(text)
+            ),
+            Request::Inspect { session } => {
+                format!("{{\"op\":\"inspect\",\"session\":\"{}\"}}", escape(session))
+            }
+            Request::Sessions => "{\"op\":\"sessions\"}".to_string(),
+            Request::Drain => "{\"op\":\"drain\"}".to_string(),
+        }
+    }
+}
+
+/// Build a typed error reply body.
+pub fn error_reply(code: &str, detail: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"code\":\"{}\",\"error\":\"{}\"}}",
+        escape(code),
+        escape(detail)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"ping\"}").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some("{\"op\":\"ping\"}")
+        );
+        // Clean EOF on the frame boundary.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_allocation() {
+        let mut buf = u32::MAX.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }), "{err}");
+        assert_eq!(err.code(), "frame_too_large");
+    }
+
+    #[test]
+    fn torn_prefix_and_payload_are_typed() {
+        // Two of four length bytes.
+        let err = read_frame(&mut Cursor::new(vec![0u8, 0])).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::Torn {
+                    expected: 4,
+                    got: 2
+                }
+            ),
+            "{err}"
+        );
+        // Prefix promises 10 bytes, 3 arrive.
+        let mut buf = 10u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::Torn {
+                    expected: 10,
+                    got: 3
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_typed() {
+        let mut buf = 2u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::BadUtf8), "{err}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Ping,
+            Request::Open {
+                session: "city \"quotes\"".into(),
+                question: "does x\ndrive y?".into(),
+                user_name: "Ada".into(),
+                expertise: "novice".into(),
+                domain: "urbanism".into(),
+                openness: 0.3,
+                dataset: Some("demo".into()),
+            },
+            Request::Turn {
+                session: "s1".into(),
+                text: "run it".into(),
+            },
+            Request::Inspect {
+                session: "s1".into(),
+            },
+            Request::Sessions,
+            Request::Drain,
+        ];
+        for request in requests {
+            let parsed = Request::parse(&request.to_json()).unwrap();
+            assert_eq!(parsed, request);
+        }
+    }
+
+    #[test]
+    fn foreign_clients_may_space_their_json() {
+        // `json.dumps` and friends put spaces after `:` and `,`; the wire
+        // protocol must accept any standard flat JSON, not just the compact
+        // dialect this workspace emits.
+        let parsed =
+            Request::parse("{\"op\": \"turn\", \"session\": \"s1\", \"text\": \"run it\"}")
+                .unwrap();
+        assert_eq!(
+            parsed,
+            Request::Turn {
+                session: "s1".into(),
+                text: "run it".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_typed_not_panics() {
+        for payload in [
+            "",
+            "{",
+            "[1,2]",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"turn\"}",
+            "{\"op\":\"turn\",\"session\":7,\"text\":\"x\"}",
+            "{\"no_op\":true}",
+        ] {
+            let err = Request::parse(payload).unwrap_err();
+            assert_eq!(err.code(), "bad_request", "payload: {payload}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the daemon wire protocol.
+//!
+//! The framing layer faces untrusted peers, so its contract is checked
+//! adversarially: arbitrary payloads must round-trip byte-exact; torn
+//! frames, oversized length prefixes and mid-frame disconnects must come
+//! back as *typed* [`WireError`]s — never a panic, never an unbounded
+//! allocation, never a hang.
+
+use std::io::Cursor;
+
+use matilda_daemon::wire::{
+    error_reply, read_frame, write_frame, Request, WireError, MAX_FRAME_BYTES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any payload (hostile alphabet: quotes, backslashes, braces,
+    /// multibyte) survives write → read byte-exact, and consecutive frames
+    /// on one stream stay delimited.
+    #[test]
+    fn frames_round_trip(a in ".{0,300}", b in ".{0,300}") {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let first = read_frame(&mut cursor).unwrap();
+        let second = read_frame(&mut cursor).unwrap();
+        prop_assert_eq!(first.as_deref(), Some(a.as_str()));
+        prop_assert_eq!(second.as_deref(), Some(b.as_str()));
+        // Clean EOF exactly on the boundary.
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    /// Cutting a well-formed frame at any interior byte produces a typed
+    /// torn-frame error (or a clean EOF when nothing at all arrived) —
+    /// never a panic, never success.
+    #[test]
+    fn truncation_is_always_typed(payload in ".{0,200}", cut_seed in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        // Cut strictly inside the frame.
+        let cut = (cut_seed as usize) % buf.len();
+        let result = read_frame(&mut Cursor::new(buf[..cut].to_vec()));
+        if cut == 0 {
+            prop_assert!(matches!(result, Ok(None)), "zero bytes is a clean EOF");
+        } else {
+            match result {
+                Err(WireError::Torn { expected, got }) => {
+                    prop_assert!(got < expected, "torn {got}/{expected}");
+                }
+                other => prop_assert!(false, "expected Torn, got {other:?}"),
+            }
+        }
+    }
+
+    /// Length prefixes above the ceiling are rejected before any payload
+    /// read, whatever junk follows.
+    #[test]
+    fn oversized_prefixes_are_typed(extra in any::<u32>(), junk in ".{0,64}") {
+        let len = (MAX_FRAME_BYTES as u32).saturating_add(1).saturating_add(extra % 1_000_000);
+        let mut buf = len.to_be_bytes().to_vec();
+        buf.extend_from_slice(junk.as_bytes());
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(WireError::FrameTooLarge { len: got, max }) => {
+                prop_assert_eq!(got, len as usize);
+                prop_assert_eq!(max, MAX_FRAME_BYTES);
+            }
+            other => prop_assert!(false, "expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    /// Request parsing never panics on arbitrary input: every outcome is a
+    /// parsed request or a typed bad_request.
+    #[test]
+    fn arbitrary_payload_never_panics_the_parser(payload in ".{0,300}") {
+        match Request::parse(&payload) {
+            Ok(_) => {}
+            Err(e) => prop_assert_eq!(e.code(), "bad_request"),
+        }
+    }
+
+    /// Every request built from arbitrary field values round-trips through
+    /// its own JSON — escaping holds under quotes, backslashes and
+    /// multibyte characters.
+    #[test]
+    fn requests_round_trip(
+        session in ".{1,60}",
+        text in ".{0,200}",
+        question in ".{0,120}",
+        openness_bits in 0u32..1000,
+    ) {
+        let turn = Request::Turn { session: session.clone(), text };
+        prop_assert_eq!(Request::parse(&turn.to_json()).unwrap(), turn);
+        let open = Request::Open {
+            session: session.clone(),
+            question,
+            user_name: "user".into(),
+            expertise: "analyst".into(),
+            domain: "general".into(),
+            openness: f64::from(openness_bits) / 1000.0,
+            dataset: None,
+        };
+        prop_assert_eq!(Request::parse(&open.to_json()).unwrap(), open);
+        let inspect = Request::Inspect { session };
+        prop_assert_eq!(Request::parse(&inspect.to_json()).unwrap(), inspect);
+    }
+
+    /// Typed error replies are themselves valid flat JSON whatever the
+    /// detail text contains — a failure path must never produce garbage.
+    #[test]
+    fn error_replies_stay_parseable(code in ".{1,20}", detail in ".{0,200}") {
+        let reply = error_reply(&code, &detail);
+        let fields = matilda_provenance::json::parse_flat_object(&reply);
+        prop_assert!(fields.is_some(), "unparseable error reply: {reply}");
+    }
+}
+
+/// A frame that promises more than it delivers, then disconnects — the
+/// "mid-frame disconnect" case, deterministic edition.
+#[test]
+fn mid_frame_disconnect_is_torn() {
+    for promised in [1usize, 5, 100, MAX_FRAME_BYTES] {
+        for delivered in [0usize, 1, 3] {
+            if delivered >= promised {
+                continue;
+            }
+            let mut buf = (promised as u32).to_be_bytes().to_vec();
+            buf.extend(std::iter::repeat_n(b'x', delivered));
+            match read_frame(&mut Cursor::new(buf)) {
+                Err(WireError::Torn { expected, got }) => {
+                    assert_eq!((expected, got), (promised, delivered));
+                }
+                other => panic!("expected Torn for {promised}/{delivered}, got {other:?}"),
+            }
+        }
+    }
+}

@@ -191,15 +191,23 @@ fn unescape(s: &str) -> Option<String> {
 }
 
 /// Parse one flat JSON object (`{"k":v,...}`, no nesting — exactly what the
-/// writers in this workspace emit) into key/value pairs. Returns `None` for
-/// anything else (torn tails, nested objects, foreign shapes). Shared with
-/// the session store, whose meta/turn/snapshot records use the same flat
-/// dialect.
+/// writers in this workspace emit) into key/value pairs. Whitespace between
+/// tokens is tolerated, so standard pretty-printers (`json.dumps` with its
+/// default `", "` separators, say) parse too — the wire protocol faces
+/// clients this workspace did not write. Returns `None` for anything else
+/// (torn tails, nested objects, foreign shapes). Shared with the session
+/// store, whose meta/turn/snapshot records use the same flat dialect.
 pub fn parse_flat_object(line: &str) -> Option<Vec<(String, FlatValue)>> {
     let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
     let mut fields = Vec::new();
     let bytes = body.as_bytes();
     let mut i = 0;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
     while i < bytes.len() {
         // Key: a quoted string (keys are plain identifiers, no escapes).
         if bytes[i] != b'"' {
@@ -208,10 +216,12 @@ pub fn parse_flat_object(line: &str) -> Option<Vec<(String, FlatValue)>> {
         let key_end = body[i + 1..].find('"')? + i + 1;
         let key = body[i + 1..key_end].to_string();
         i = key_end + 1;
+        skip_ws(&mut i);
         if bytes.get(i) != Some(&b':') {
             return None;
         }
         i += 1;
+        skip_ws(&mut i);
         // Value: string (scan past escapes) or bare literal.
         let value = if bytes.get(i) == Some(&b'"') {
             i += 1;
@@ -240,8 +250,10 @@ pub fn parse_flat_object(line: &str) -> Option<Vec<(String, FlatValue)>> {
             }
         };
         fields.push((key, value));
+        skip_ws(&mut i);
         if bytes.get(i) == Some(&b',') {
             i += 1;
+            skip_ws(&mut i);
         } else if i != bytes.len() {
             return None;
         }
@@ -415,6 +427,20 @@ mod tests {
         assert_eq!(escape("a\\b"), "a\\\\b");
         assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn flat_parser_tolerates_interstitial_whitespace() {
+        // A standard pretty-printer's output (spaces after `:` and `,`)
+        // must parse identically to the compact dialect this crate emits.
+        let spaced = "{ \"op\": \"ping\", \"n\": 3, \"deep\" : true, \"gone\": null }";
+        let fields = parse_flat_object(spaced).unwrap();
+        assert_eq!(fields[0], ("op".into(), FlatValue::Str("ping".into())));
+        assert_eq!(fields[1], ("n".into(), FlatValue::Num("3".into())));
+        assert_eq!(fields[2], ("deep".into(), FlatValue::Bool(true)));
+        assert_eq!(fields[3], ("gone".into(), FlatValue::Null));
+        // Still strict where it matters: torn tails stay unparseable.
+        assert!(parse_flat_object("{\"op\": \"pi").is_none());
     }
 
     #[test]

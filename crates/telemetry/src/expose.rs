@@ -274,6 +274,43 @@ pub fn sessions_body() -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// /drain: graceful shutdown of a resident daemon, exposed
+// ---------------------------------------------------------------------------
+
+type DrainProvider = Box<dyn Fn() -> String + Send + Sync>;
+
+fn drain_provider_slot() -> &'static std::sync::Mutex<Option<DrainProvider>> {
+    static SLOT: std::sync::OnceLock<std::sync::Mutex<Option<DrainProvider>>> =
+        std::sync::OnceLock::new();
+    SLOT.get_or_init(|| std::sync::Mutex::new(None))
+}
+
+/// Register the callback behind `GET /drain`. The daemon lives in a higher
+/// layer (`matilda-daemon`), so it plugs its drain trigger in here rather
+/// than the telemetry crate depending upward; the callback must block until
+/// the drain settles and return a complete JSON value describing it.
+pub fn register_drain_provider(provider: impl Fn() -> String + Send + Sync + 'static) {
+    *drain_provider_slot().lock().unwrap() = Some(Box::new(provider));
+}
+
+/// Drop any registered `/drain` provider (tests; daemon shutdown).
+pub fn clear_drain_provider() {
+    *drain_provider_slot().lock().unwrap() = None;
+}
+
+/// The `/drain` body plus whether a daemon is plugged in: the provider's
+/// JSON, or a typed refusal when nothing resident is listening.
+pub fn drain_body() -> (bool, String) {
+    match &*drain_provider_slot().lock().unwrap() {
+        Some(provider) => (true, provider()),
+        None => (
+            false,
+            "{\"ok\":false,\"error\":\"no resident daemon registered\"}".to_string(),
+        ),
+    }
+}
+
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
     let head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -355,6 +392,15 @@ fn handle_connection(mut stream: TcpStream, client_timeout: Duration) {
             &crate::profile::global().to_json(),
         ),
         "/sessions" => respond(&mut stream, "200 OK", "application/json", &sessions_body()),
+        "/drain" => {
+            let (registered, body) = drain_body();
+            let status = if registered {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            respond(&mut stream, status, "application/json", &body);
+        }
         "/incidents" => respond(
             &mut stream,
             "200 OK",
@@ -377,7 +423,7 @@ fn handle_connection(mut stream: TcpStream, client_timeout: Duration) {
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "unknown path; try /metrics /healthz /spans /logs /profile /incidents /sessions\n",
+            "unknown path; try /metrics /healthz /spans /logs /profile /incidents /sessions /drain\n",
         ),
     }
 }
@@ -821,6 +867,24 @@ task_seconds_count 4
         assert!(body.contains("/sessions"), "{body}");
         server.shutdown();
         clear_sessions_provider();
+    }
+
+    #[test]
+    fn drain_route_serves_registered_provider() {
+        // Without a daemon plugged in: a typed 503 refusal, never a 404.
+        clear_drain_provider();
+        let server = ObservabilityServer::bind("127.0.0.1:0").unwrap();
+        let (status, body) = http_get(server.addr(), "/drain");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("no resident daemon"), "{body}");
+        register_drain_provider(|| "{\"ok\":true,\"suspended\":4}".to_string());
+        let (status, body) = http_get(server.addr(), "/drain");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"suspended\":4"), "{body}");
+        let (_, body) = http_get(server.addr(), "/nope");
+        assert!(body.contains("/drain"), "{body}");
+        server.shutdown();
+        clear_drain_provider();
     }
 
     #[test]
