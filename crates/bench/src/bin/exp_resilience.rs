@@ -798,6 +798,215 @@ fn main() {
         fault_quarantined.to_string(),
     ]);
 
+    // ---- overload brownout: a hostile flood must not break calm SLOs ----
+    //
+    // The daemon's admission-control stack, driven deterministically on a
+    // shared virtual clock: four calm conversational sessions share the
+    // tick scheduler with one hostile session that floods its mailbox with
+    // pipeline runs (every CV fold delayed 30 virtual ms, rate 1.0 — seed
+    // independent). The bounded mailbox bounces the flood's overflow with
+    // typed `overloaded` replies, the overload governor browns out (peak
+    // level `saturated`: deadline budgets quartered, generations capped),
+    // and the gates are:
+    //
+    // - `overload_slo_held` — calm-session p95 stays within the SLO while
+    //   the flood is live;
+    // - typed bounces observed (the flood pays, nobody else);
+    // - the mailbox-depth gauge never exceeds its configured bound;
+    // - `overload_recovered_nominal` — once the flood stops, the level
+    //   returns to `nominal` after the hysteresis hold.
+    //
+    // `critical_fill` is set unreachable: shedding is exercised by
+    // tests/daemon_overload.rs; this section gates the *brownout* path,
+    // where every session survives.
+    use matilda_daemon::prelude::{
+        Command as DaemonCommand, CommandQueue, SchedulerTuning, TickScheduler, DEFAULT_DATASET,
+    };
+    const OVERLOAD_ROUNDS: usize = 6;
+    const OVERLOAD_CALM: usize = 4;
+    const OVERLOAD_FLOOD: usize = 16;
+    const OVERLOAD_MAILBOX: usize = 4;
+    let overload_clock = Arc::new(TestClock::new());
+    let overload_plan = FaultPlan::new(seed.wrapping_mul(500_000_003)).inject(
+        "ml.cv.fold",
+        FaultKind::Delay(ms(30)),
+        1.0,
+    );
+    let overload_scope =
+        fault::activate_with_clock(overload_plan, overload_clock.clone() as Arc<dyn Clock>);
+    let overload_manager = matilda_daemon::prelude::SessionManager::new(
+        PlatformConfig {
+            seed: seed.wrapping_mul(77) ^ 0x0ddba11,
+            turn_deadline: Some(ms(slo_ms)),
+            ..PlatformConfig::quick()
+        },
+        None,
+        DEFAULT_DATASET,
+    );
+    let overload_queue = Arc::new(CommandQueue::with_capacity(32));
+    let mut overload_sched = TickScheduler::with_tuning(
+        overload_manager,
+        Arc::clone(&overload_queue),
+        SchedulerTuning {
+            mailbox_depth: OVERLOAD_MAILBOX,
+            policy: matilda_resilience::OverloadPolicy {
+                // Brownout-only: fill pressure can reach `saturated` but
+                // never `critical`, and the p95 thresholds sit above what
+                // a browned-out flood can produce, so recovery is clean.
+                critical_fill: 2.0,
+                elevated_p95: 2.0,
+                saturated_p95: 3.0,
+                ..matilda_resilience::OverloadPolicy::default()
+            },
+            turn_slo: ms(slo_ms),
+            alloc_budget: 0,
+        },
+    );
+    let overload_ids: Vec<String> = (0..OVERLOAD_CALM)
+        .map(|i| format!("calm{i}"))
+        .chain(std::iter::once("hostile".to_string()))
+        .collect();
+    for id in &overload_ids {
+        let (tx, rx) = std::sync::mpsc::channel();
+        overload_queue
+            .push(DaemonCommand::Open {
+                session: id.clone(),
+                question: "what drives label?".into(),
+                user: UserProfile::novice("Ada", "urbanism"),
+                dataset: None,
+                reply: tx,
+            })
+            .ok()
+            .expect("open admitted");
+        while rx.try_recv().is_err() {
+            overload_sched.tick();
+        }
+    }
+    let mut calm_latencies_ms: Vec<f64> = Vec::new();
+    let mut overload_bounced = 0u64;
+    let mut overload_bounce_malformed = 0u64;
+    let mut peak_level = overload_sched.load_level();
+    let mut peak_mailbox_gauge = 0.0f64;
+    let mut flood_waiters = Vec::new();
+    let calm_lines = ["I want to predict 'label'", "yes", "no", "yes", "yes", "no"];
+    let observe_tick = |sched: &mut TickScheduler,
+                        peak_level: &mut matilda_resilience::LoadLevel,
+                        peak_gauge: &mut f64| {
+        sched.tick();
+        *peak_level = (*peak_level).max(sched.load_level());
+        let snap = telemetry::metrics::global().snapshot();
+        if let Some(depth) = snap.gauge("daemon.mailbox_depth") {
+            *peak_gauge = peak_gauge.max(depth);
+        }
+    };
+    for line in calm_lines.iter().take(OVERLOAD_ROUNDS) {
+        // Calm turns first, then the flood, all before any tick — queueing
+        // delay is measured under full contention.
+        let mut waiting = Vec::new();
+        for id in overload_ids.iter().take(OVERLOAD_CALM) {
+            let (tx, rx) = std::sync::mpsc::channel();
+            overload_queue
+                .push(DaemonCommand::turn(id.clone(), *line, tx))
+                .ok()
+                .expect("calm turn admitted");
+            waiting.push((id.clone(), rx));
+        }
+        for _ in 0..OVERLOAD_FLOOD {
+            let (tx, rx) = std::sync::mpsc::channel();
+            match overload_queue.push(DaemonCommand::turn("hostile", "run it", tx)) {
+                Ok(()) => flood_waiters.push(rx),
+                // The command queue itself is bounded; a bounce here is
+                // admission control doing its job at the outer layer.
+                Err(_) => overload_bounced += 1,
+            }
+        }
+        for (id, rx) in waiting {
+            let reply = loop {
+                match rx.try_recv() {
+                    Ok(reply) => break reply,
+                    Err(_) => observe_tick(
+                        &mut overload_sched,
+                        &mut peak_level,
+                        &mut peak_mailbox_gauge,
+                    ),
+                }
+            };
+            assert!(
+                reply.contains("\"ok\":true"),
+                "calm session {id} must never bounce: {reply}"
+            );
+            let latency_s: f64 = reply
+                .split("\"latency_s\":")
+                .nth(1)
+                .and_then(|rest| rest.split([',', '}']).next())
+                .and_then(|raw| raw.parse().ok())
+                .expect("latency field");
+            calm_latencies_ms.push(latency_s * 1e3);
+        }
+    }
+    // The flood stops; drain what was admitted and tally the bounces.
+    let mut flood_completed = 0u64;
+    for rx in flood_waiters {
+        let reply = loop {
+            match rx.try_recv() {
+                Ok(reply) => break reply,
+                Err(_) => observe_tick(
+                    &mut overload_sched,
+                    &mut peak_level,
+                    &mut peak_mailbox_gauge,
+                ),
+            }
+        };
+        if reply.contains("\"ok\":true") {
+            flood_completed += 1;
+        } else if reply.contains("\"code\":\"overloaded\"") && reply.contains("\"retry_after_ms\":")
+        {
+            overload_bounced += 1;
+        } else {
+            overload_bounce_malformed += 1;
+        }
+    }
+    // Calm ticks past the hysteresis hold: the governor must land back at
+    // nominal with full budgets restored.
+    for _ in 0..6 {
+        overload_clock.advance(ms(300));
+        observe_tick(
+            &mut overload_sched,
+            &mut peak_level,
+            &mut peak_mailbox_gauge,
+        );
+    }
+    let overload_recovered_nominal =
+        overload_sched.load_level() == matilda_resilience::LoadLevel::Nominal;
+    drop(overload_scope);
+    calm_latencies_ms.sort_by(f64::total_cmp);
+    let calm_p95 = pct(&calm_latencies_ms, 0.95);
+    let overload_slo_held = calm_p95 <= slo_ms as f64
+        && overload_bounced > 0
+        && overload_bounce_malformed == 0
+        && peak_mailbox_gauge <= OVERLOAD_MAILBOX as f64;
+    println!(
+        "\n## overload brownout ({OVERLOAD_CALM} calm sessions + 1 hostile flood, SLO {slo_ms} ms)"
+    );
+    header(&[
+        "calm_turns",
+        "calm_p95_ms",
+        "flood_completed",
+        "flood_bounced",
+        "peak_level",
+        "recovered_nominal",
+        "slo_held",
+    ]);
+    row(&[
+        calm_latencies_ms.len().to_string(),
+        f3(calm_p95),
+        flood_completed.to_string(),
+        overload_bounced.to_string(),
+        peak_level.name().to_string(),
+        overload_recovered_nominal.to_string(),
+        overload_slo_held.to_string(),
+    ]);
+
     // ---- export ----
     let run_telemetry = telemetry::RunTelemetry::capture_global("resilience");
     let metrics = &run_telemetry.metrics;
@@ -929,6 +1138,18 @@ fn main() {
         turn_latencies_ms.last().copied().unwrap_or(0.0)
     );
     let _ = writeln!(doc, "  \"slo_met\": {slo_met},");
+    let _ = writeln!(
+        doc,
+        "  \"overload\": {{\"calm_turns\":{},\"calm_p95_ms\":{},\"flood_completed\":{flood_completed},\"flood_bounced\":{overload_bounced},\"peak_level\":\"{}\",\"peak_mailbox_depth\":{peak_mailbox_gauge}}},",
+        calm_latencies_ms.len(),
+        calm_p95,
+        peak_level.name()
+    );
+    let _ = writeln!(doc, "  \"overload_slo_held\": {overload_slo_held},");
+    let _ = writeln!(
+        doc,
+        "  \"overload_recovered_nominal\": {overload_recovered_nominal},"
+    );
     let _ = writeln!(
         doc,
         "  \"deadline_preemption\": {{\"searches\":{PREEMPT_SEARCHES},\"preempted\":{preempted},\"with_best\":{preempted_with_best},\"generations_completed\":{preempted_generations}}},"

@@ -52,6 +52,45 @@ pub fn narrate_preempted(site: &str, completed_tasks: &[String], user: &UserProf
     }
 }
 
+/// Narrate an overload (brownout) level change: what the platform is doing
+/// about the pressure, phrased for the user's expertise.
+///
+/// `level` is a stable lowercase load-level name (`nominal`, `elevated`,
+/// `saturated`, `critical`); unknown names get the saturated wording, which
+/// is the safe middle ground.
+pub fn narrate_overload(level: &str, user: &UserProfile) -> String {
+    if user.expertise.technical_language() {
+        return match level {
+            "nominal" => "Load level is back to `nominal`; full deadline budgets and \
+                          search depth are restored."
+                .to_string(),
+            "elevated" => "Load level is `elevated`: per-turn deadline budgets are \
+                           halved to keep latency inside the SLO."
+                .to_string(),
+            "critical" => "Load level is `critical`: the daemon is shedding the \
+                           least-recently-active sessions and bouncing new work with \
+                           `overloaded` replies."
+                .to_string(),
+            _ => format!(
+                "Load level is `{level}`: creative search is capped and new sessions \
+                 are bounced until pressure drops."
+            ),
+        };
+    }
+    match level {
+        "nominal" => "Things have calmed down — we're back to full speed.".to_string(),
+        "elevated" => "It's getting busy, so I'll keep each step a little shorter \
+                       for now. Your work continues as usual."
+            .to_string(),
+        "critical" => "We're overloaded — I'm pausing the quietest conversations so \
+                       active ones keep moving. Nothing is lost."
+            .to_string(),
+        _ => "A lot is happening at once, so I'll explore fewer ideas per turn \
+              until things quiet down. Your results are still trustworthy."
+            .to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +128,27 @@ mod tests {
         let expert = UserProfile::data_scientist("Elias");
         let text = narrate_preempted("pipeline.task", &[], &expert);
         assert!(text.contains("completed: none"), "{text}");
+    }
+
+    #[test]
+    fn overload_narration_tracks_expertise() {
+        let novice = UserProfile::novice("Ada", "urbanism");
+        let expert = UserProfile::data_scientist("Elias");
+        for level in ["nominal", "elevated", "saturated", "critical"] {
+            let plain = narrate_overload(level, &novice);
+            assert!(
+                !plain.contains('`'),
+                "novice wording must avoid jargon markers: {plain}"
+            );
+            let technical = narrate_overload(level, &expert);
+            assert!(
+                technical.contains("Load level"),
+                "technical wording names the level: {technical}"
+            );
+        }
+        // Unknown levels still narrate something sensible.
+        let fallback = narrate_overload("weird", &novice);
+        assert!(fallback.contains("fewer ideas"), "{fallback}");
     }
 
     #[test]

@@ -153,6 +153,15 @@ pub struct DesignSession {
     /// The current turn's latency allowance; reset at the top of each
     /// `step` when `config.turn_deadline` is set.
     turn_budget: Option<resilience::DeadlineBudget>,
+    /// Catalog dataset label recorded in the store meta, when the opener
+    /// named one (the daemon sets this; recovery resolves it per session).
+    dataset_label: Option<String>,
+    /// Brownout multiplier applied to each turn's deadline allowance
+    /// (`1.0` = nominal; the daemon's load governor shrinks it).
+    brownout_scale: f64,
+    /// Creative-search generations before any brownout cap, so recovering
+    /// to nominal restores the configured value.
+    nominal_generations: usize,
 }
 
 impl DesignSession {
@@ -196,6 +205,7 @@ impl DesignSession {
             config.breaker_threshold,
             config.breaker_cooldown,
         ));
+        let nominal_generations = config.generations;
         Self {
             name,
             research_question,
@@ -218,7 +228,52 @@ impl DesignSession {
             breakers,
             budget,
             turn_budget: None,
+            dataset_label: None,
+            brownout_scale: 1.0,
+            nominal_generations,
         }
+    }
+
+    /// Record the catalog dataset this session designs over, so the store
+    /// meta carries it and a restarted daemon resolves the *same* data
+    /// instead of assuming a default. Call before
+    /// [`DesignSession::attach_store`]; the label only reaches disk with
+    /// the meta record of a fresh log.
+    pub fn set_dataset_label(&mut self, label: &str) {
+        self.dataset_label = Some(label.to_string());
+    }
+
+    /// The recorded dataset label, if any.
+    pub fn dataset_label(&self) -> Option<&str> {
+        self.dataset_label.as_deref()
+    }
+
+    /// Apply (or lift) brownout degradation: `deadline_scale` multiplies
+    /// each subsequent turn's latency allowance, and `generation_cap`
+    /// clamps the creative-search generations in the session's config so
+    /// any search launched under it stays small. `(1.0, None)` restores
+    /// nominal behavior.
+    pub fn set_brownout(&mut self, deadline_scale: f64, generation_cap: Option<usize>) {
+        self.brownout_scale = deadline_scale.clamp(0.05, 1.0);
+        self.config.generations = match generation_cap {
+            Some(cap) => self.nominal_generations.min(cap),
+            None => self.nominal_generations,
+        };
+    }
+
+    /// The brownout state: `(deadline scale, effective generations)`.
+    pub fn brownout(&self) -> (f64, usize) {
+        (self.brownout_scale, self.config.generations)
+    }
+
+    /// Circuit breakers currently open across this session's sites — one
+    /// of the daemon's overload signals.
+    pub fn open_breakers(&self) -> usize {
+        self.breakers
+            .states(self.clock.as_ref())
+            .iter()
+            .filter(|(_, state)| matches!(state, resilience::BreakerState::Open))
+            .count()
     }
 
     /// Rebuild a session from its durable log by deterministic replay: a
@@ -302,6 +357,7 @@ impl DesignSession {
                 user_domain: self.user.domain.clone(),
                 user_openness: self.user.openness,
                 seed: self.config.seed,
+                dataset: self.dataset_label.clone(),
             });
             log.flush();
             // Everything recorded so far (the session_started event) flows
@@ -742,10 +798,14 @@ impl DesignSession {
         // SLO is configured. Both the allowance and the measurement run on
         // the session clock, so chaos tests govern latency on virtual time.
         let turn_started = self.clock.now();
-        self.turn_budget = self
-            .config
-            .turn_deadline
-            .map(|limit| resilience::DeadlineBudget::start(self.clock.as_ref(), limit));
+        // Under brownout the allowance shrinks: the turn still answers,
+        // just with less latency headroom for search and retries.
+        self.turn_budget = self.config.turn_deadline.map(|limit| {
+            resilience::DeadlineBudget::start(
+                self.clock.as_ref(),
+                limit.mul_f64(self.brownout_scale),
+            )
+        });
         let result = self.step_inner(user_text, &mut turn_span);
         // Injected delays observed during the turn become auditable
         // provenance: the log shows *where* the latency was added, and the

@@ -37,15 +37,19 @@ pub struct SessionMeta {
     pub user_openness: f64,
     /// The master seed the session ran under; replay refuses a mismatch.
     pub seed: u64,
+    /// Catalog dataset the session designs over, when the opener named
+    /// one. Recovery resolves this per session instead of assuming a
+    /// default; `None` on logs written before the field existed.
+    pub dataset: Option<String>,
 }
 
 impl SessionMeta {
     /// Serialize as the flat single-line JSON the store's journal carries.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"version\":{},\"session\":\"{}\",\"research_question\":\"{}\",\
              \"user_name\":\"{}\",\"user_expertise\":\"{}\",\"user_domain\":\"{}\",\
-             \"user_openness\":{},\"seed\":{}}}",
+             \"user_openness\":{},\"seed\":{}",
             self.version,
             escape(&self.session),
             escape(&self.research_question),
@@ -54,7 +58,12 @@ impl SessionMeta {
             escape(&self.user_domain),
             self.user_openness,
             self.seed
-        )
+        );
+        if let Some(dataset) = &self.dataset {
+            out.push_str(&format!(",\"dataset\":\"{}\"", escape(dataset)));
+        }
+        out.push('}');
+        out
     }
 
     /// Parse a `meta` payload back; `Err` carries a human-readable reason.
@@ -90,6 +99,15 @@ impl SessionMeta {
             seed: num_field("seed")?
                 .parse()
                 .map_err(|_| "bad seed".to_string())?,
+            // Optional: logs written before the field existed stay
+            // parseable, and recovery falls back to the caller's default.
+            dataset: fields
+                .iter()
+                .find(|(k, _)| k == "dataset")
+                .and_then(|(_, v)| match v {
+                    FlatValue::Str(s) => Some(s.clone()),
+                    _ => None,
+                }),
         })
     }
 
@@ -312,6 +330,7 @@ mod tests {
             user_domain: "urbanism".into(),
             user_openness: 0.3,
             seed: u64::MAX - 5,
+            dataset: Some("urban \\ demo".into()),
         };
         let parsed = SessionMeta::parse(&meta.to_json()).unwrap();
         assert_eq!(parsed, meta);
@@ -333,6 +352,7 @@ mod tests {
             user_domain: "d".into(),
             user_openness: 0.5,
             seed: 7,
+            dataset: None,
         }
         .to_json();
         for cut in 1..full.len() {
@@ -352,7 +372,19 @@ mod tests {
             user_domain: "d".into(),
             user_openness: 0.5,
             seed: 7,
+            dataset: None,
         };
         assert_eq!(meta.user_profile().expertise.name(), "novice");
+    }
+
+    #[test]
+    fn meta_without_dataset_field_still_parses() {
+        // A PR-9-era log has no dataset field; parsing must not start
+        // refusing the old schema.
+        let legacy = "{\"version\":1,\"session\":\"s\",\"research_question\":\"r\",\
+                      \"user_name\":\"u\",\"user_expertise\":\"novice\",\
+                      \"user_domain\":\"d\",\"user_openness\":0.5,\"seed\":7}";
+        let meta = SessionMeta::parse(legacy).unwrap();
+        assert_eq!(meta.dataset, None);
     }
 }

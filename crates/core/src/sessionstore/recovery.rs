@@ -49,6 +49,9 @@ pub struct RecoveredSession {
     pub digest: u64,
     /// Wall-clock time the restore took.
     pub latency: Duration,
+    /// Dataset name recorded in the log's meta, when the session named
+    /// one — the adopting fleet should keep resolving this, not a default.
+    pub dataset: Option<String>,
 }
 
 /// One scanned log's verdict.
@@ -161,10 +164,32 @@ pub fn recover(
             continue;
         }
         let Some(frame) = frame_for(&data.meta) else {
+            // Distinguish "the caller has no data at all" from "the log
+            // names a dataset this catalog no longer carries". The latter
+            // is a typed refusal — restoring over a *different* dataset
+            // would silently change what the recorded design means.
+            let detail = match &data.meta.dataset {
+                Some(name) => {
+                    let error = RestoreError::DatasetMissing {
+                        dataset: name.clone(),
+                    };
+                    resilience::incident::report(
+                        "dataset_missing",
+                        "store.recover",
+                        &error.to_string(),
+                    );
+                    telemetry::log::warn("core.sessionstore", "restore refused: dataset missing")
+                        .field("session", id.as_str())
+                        .field("dataset", name.as_str())
+                        .emit();
+                    error.to_string()
+                }
+                None => "no dataset available; log left in place".to_string(),
+            };
             report.outcomes.push(RecoveryOutcome {
                 id,
                 class: SessionClass::InFlight,
-                detail: Some("no dataset available; log left in place".to_string()),
+                detail: Some(detail),
             });
             continue;
         };
@@ -177,6 +202,9 @@ pub fn recover(
         let started = std::time::Instant::now();
         match DesignSession::restore(frame, replay_config, &data) {
             Ok((mut session, restored)) => {
+                if let Some(name) = &data.meta.dataset {
+                    session.set_dataset_label(name);
+                }
                 let latency = started.elapsed();
                 let metrics = telemetry::metrics::global();
                 metrics.inc(telemetry::metrics::names::STORE_SESSIONS_RECOVERED);
@@ -217,6 +245,7 @@ pub fn recover(
                     turns_replayed: restored.turns_replayed,
                     digest: restored.digest,
                     latency,
+                    dataset: data.meta.dataset.clone(),
                 });
                 report.outcomes.push(RecoveryOutcome {
                     id,

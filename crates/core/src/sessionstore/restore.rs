@@ -50,6 +50,13 @@ pub enum RestoreError {
         /// Human-readable reason.
         detail: String,
     },
+    /// The log's meta names a dataset the current catalog cannot resolve.
+    /// Restoring against a *different* dataset would silently change the
+    /// design's meaning, so recovery refuses and leaves the log in place.
+    DatasetMissing {
+        /// The dataset name recorded in the log.
+        dataset: String,
+    },
 }
 
 impl std::fmt::Display for RestoreError {
@@ -71,6 +78,10 @@ impl std::fmt::Display for RestoreError {
             RestoreError::ReplayFailed { turn, detail } => {
                 write!(f, "replay failed at turn {turn}: {detail}")
             }
+            RestoreError::DatasetMissing { dataset } => write!(
+                f,
+                "dataset `{dataset}` is not in the catalog; restore refused, log left in place"
+            ),
         }
     }
 }

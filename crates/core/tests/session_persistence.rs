@@ -140,6 +140,7 @@ fn snapshot_only_log_with_empty_tail_restores() {
         user_domain: "urbanism".into(),
         user_openness: 0.3,
         seed: 42,
+        dataset: None,
     };
     journal.append("meta", &meta.to_json());
     journal.append(
@@ -276,6 +277,7 @@ fn corrupt_payload_quarantines_on_recovery() {
         user_domain: "urbanism".into(),
         user_openness: 0.3,
         seed: 42,
+        dataset: None,
     };
     journal.append("meta", &meta.to_json());
     // A parseable journal line whose turn payload is garbage: corruption,

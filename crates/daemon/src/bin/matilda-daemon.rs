@@ -3,6 +3,7 @@
 //! ```text
 //! matilda-daemon [--socket PATH] [--serve HOST:PORT] [--dataset NAME]
 //!                [--store DIR] [--turn-deadline-ms N] [--seed N]
+//!                [--tcp HOST:PORT] [--token SECRET]
 //! ```
 //!
 //! - `--socket` — Unix socket for the wire protocol
@@ -15,7 +16,13 @@
 //!   in-memory fleet);
 //! - `--turn-deadline-ms` — per-turn latency allowance; slow turns preempt
 //!   at this deadline instead of starving the tick loop;
-//! - `--seed` — base seed per-session seeds derive from.
+//! - `--seed` — base seed per-session seeds derive from;
+//! - `--tcp` — also expose the wire protocol over TCP (falls back to
+//!   `MATILDA_DAEMON_TCP_ADDR`). **Requires a token**: the daemon refuses
+//!   to bind TCP without one;
+//! - `--token` — shared secret TCP clients must present in an `auth` op
+//!   first (falls back to `MATILDA_DAEMON_TOKEN`; prefer the environment
+//!   variable — argv is visible in the process listing).
 //!
 //! The container has no signal-handling dependency, so shutdown is an
 //! explicit drain: `{"op":"drain"}` on the socket, or `GET /drain` on the
@@ -31,7 +38,7 @@ use matilda_daemon::{Daemon, DaemonConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: matilda-daemon [--socket PATH] [--serve HOST:PORT] [--dataset NAME] \
-         [--store DIR] [--turn-deadline-ms N] [--seed N]"
+         [--store DIR] [--turn-deadline-ms N] [--seed N] [--tcp HOST:PORT] [--token SECRET]"
     );
     std::process::exit(2);
 }
@@ -39,6 +46,8 @@ fn usage() -> ! {
 fn parse_args() -> DaemonConfig {
     let mut config = DaemonConfig::new("/tmp/matilda-daemon.sock");
     config.store_dir = std::env::var(sessionstore::DIR_ENV).ok().map(PathBuf::from);
+    config.tcp = std::env::var("MATILDA_DAEMON_TCP_ADDR").ok();
+    config.token = std::env::var("MATILDA_DAEMON_TOKEN").ok();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| match args.next() {
@@ -61,6 +70,8 @@ fn parse_args() -> DaemonConfig {
                 Ok(seed) => config.platform.seed = seed,
                 Err(_) => usage(),
             },
+            "--tcp" => config.tcp = Some(value("--tcp")),
+            "--token" => config.token = Some(value("--token")),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -87,11 +98,15 @@ fn main() {
         }
     };
     eprintln!(
-        "matilda-daemon resident on {} ({} session(s) recovered){}",
+        "matilda-daemon resident on {} ({} session(s) recovered){}{}",
         socket.display(),
         daemon.recovered().len(),
         match daemon.http_addr() {
             Some(addr) => format!(", observability on http://{addr}"),
+            None => String::new(),
+        },
+        match daemon.tcp_addr() {
+            Some(addr) => format!(", authenticated tcp on {addr}"),
             None => String::new(),
         }
     );

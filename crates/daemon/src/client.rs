@@ -1,10 +1,13 @@
 //! A thin blocking client for the daemon's wire protocol.
 //!
 //! Used by the test harnesses and by anyone scripting the daemon from
-//! Rust. One client wraps one connection; replies come back as raw JSON
-//! strings (flat objects — parse them with
-//! [`matilda_provenance::json::parse_flat_object`] when fields matter).
+//! Rust. One client wraps one connection — Unix socket or authenticated
+//! TCP; replies come back as raw JSON strings (flat objects — parse them
+//! with [`matilda_provenance::json::parse_flat_object`] when fields
+//! matter).
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
@@ -12,16 +15,63 @@ use matilda_provenance::json::{parse_flat_object, FlatValue};
 
 use crate::wire::{read_frame, write_frame, Request, WireError};
 
+// The two transports a client can speak over, unified so every request
+// method works on either.
+enum ClientStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.write(buf),
+            ClientStream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => s.flush(),
+            ClientStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
 /// One connection to a resident daemon.
 pub struct DaemonClient {
-    stream: UnixStream,
+    stream: ClientStream,
 }
 
 impl DaemonClient {
     /// Connect to the daemon socket at `path`.
     pub fn connect(path: &Path) -> std::io::Result<Self> {
         Ok(Self {
-            stream: UnixStream::connect(path)?,
+            stream: ClientStream::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Connect to the daemon's TCP door at `addr` (e.g. `127.0.0.1:7333`).
+    /// The connection is useless until [`DaemonClient::auth`] succeeds.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: ClientStream::Tcp(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// Present the shared secret. Must be the first request on a TCP
+    /// connection; a no-op ok on a Unix one.
+    pub fn auth(&mut self, token: &str) -> Result<String, WireError> {
+        self.request(&Request::Auth {
+            token: token.to_string(),
         })
     }
 

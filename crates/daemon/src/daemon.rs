@@ -28,7 +28,7 @@ use matilda_telemetry as telemetry;
 use crate::catalog;
 use crate::manager::SessionManager;
 use crate::scheduler::{Command, CommandQueue, DrainSummary, TickScheduler};
-use crate::server::WireServer;
+use crate::server::{ConnLimits, TcpWireServer, WireServer};
 
 /// Everything a daemon needs to come up.
 #[derive(Debug, Clone)]
@@ -47,6 +47,13 @@ pub struct DaemonConfig {
     pub platform: PlatformConfig,
     /// Durable store root; `None` keeps the fleet in memory only.
     pub store_dir: Option<PathBuf>,
+    /// Optional `host:port` to expose the wire protocol over TCP. Refused
+    /// unless `token` is also set: the Unix socket is gated by file
+    /// permissions, a TCP port is not.
+    pub tcp: Option<String>,
+    /// Shared secret TCP connections must present in an `auth` op before
+    /// any other request is honoured.
+    pub token: Option<String>,
 }
 
 impl DaemonConfig {
@@ -59,6 +66,8 @@ impl DaemonConfig {
             dataset: catalog::DEFAULT_DATASET.to_string(),
             platform: PlatformConfig::quick(),
             store_dir: None,
+            tcp: None,
+            token: None,
         }
     }
 }
@@ -68,6 +77,7 @@ impl DaemonConfig {
 pub struct Daemon {
     queue: Arc<CommandQueue>,
     server: Option<WireServer>,
+    tcp_server: Option<TcpWireServer>,
     observability: Option<telemetry::expose::ObservabilityServer>,
     scheduler: Option<std::thread::JoinHandle<DrainSummary>>,
     drained: Arc<AtomicBool>,
@@ -129,13 +139,21 @@ impl Daemon {
                 // seed, so digests match the run that wrote it.
                 let mut recovered_ids = Vec::new();
                 if let Some(store) = manager.store() {
-                    let dataset = sched_config.dataset.clone();
-                    let report = recover(store, manager.base_config(), move |_meta| {
-                        catalog::resolve(&dataset)
+                    let default_dataset = sched_config.dataset.clone();
+                    // Logs that recorded their dataset resolve it by name;
+                    // a session whose dataset left the catalog is refused
+                    // (typed `DatasetMissing`) instead of silently replayed
+                    // over different data. Pre-dataset-field logs fall back
+                    // to the daemon default, as before.
+                    let report = recover(store, manager.base_config(), move |meta| {
+                        match &meta.dataset {
+                            Some(name) => catalog::resolve(name),
+                            None => catalog::resolve(&default_dataset),
+                        }
                     });
                     for resumed in report.resumed {
                         recovered_ids.push(resumed.id.clone());
-                        manager.adopt(resumed.id, resumed.session);
+                        manager.adopt(resumed.id, resumed.session, resumed.dataset);
                     }
                 }
                 let scheduler = TickScheduler::new(manager, sched_queue);
@@ -177,7 +195,30 @@ impl Daemon {
             .unwrap_or_else(|| "{\"ok\":true,\"drained\":true,\"already\":true}".to_string())
         });
 
-        let server = WireServer::bind(&config.socket, Arc::clone(&queue))?;
+        // One limit set across both doors: the connection cap bounds the
+        // daemon's total handler-thread count, not per-listener counts.
+        let limits = ConnLimits::from_env();
+        let server =
+            WireServer::bind_with(&config.socket, Arc::clone(&queue), Arc::clone(&limits))?;
+        let tcp_server = match &config.tcp {
+            Some(addr) => {
+                let token = config.token.clone().unwrap_or_default();
+                if token.is_empty() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "refusing to expose the daemon over TCP without a token \
+                         (set MATILDA_DAEMON_TOKEN or --token)",
+                    ));
+                }
+                Some(TcpWireServer::bind(
+                    addr,
+                    Arc::clone(&queue),
+                    Arc::new(token),
+                    Arc::clone(&limits),
+                )?)
+            }
+            None => None,
+        };
         let observability = match &config.http {
             Some(addr) => Some(telemetry::expose::ObservabilityServer::bind(addr)?),
             None => None,
@@ -189,6 +230,7 @@ impl Daemon {
         Ok(Self {
             queue,
             server: Some(server),
+            tcp_server,
             observability,
             scheduler: Some(scheduler),
             drained,
@@ -209,6 +251,12 @@ impl Daemon {
     /// The HTTP observability address, when one was configured.
     pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
         self.observability.as_ref().map(|o| o.addr())
+    }
+
+    /// The TCP wire address, when the TCP door was configured (with the
+    /// real port when bound to port 0).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.tcp_server.as_ref().map(|s| s.addr())
     }
 
     /// Whether a drain has completed.
@@ -254,6 +302,9 @@ impl Daemon {
         telemetry::expose::clear_drain_provider();
         if let Some(server) = self.server.take() {
             server.shutdown();
+        }
+        if let Some(tcp_server) = self.tcp_server.take() {
+            tcp_server.shutdown();
         }
         if let Some(observability) = self.observability.take() {
             observability.shutdown();

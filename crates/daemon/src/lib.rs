@@ -13,7 +13,9 @@
 //!   session, round-robining runnable sessions, each turn charged against
 //!   the per-turn `DeadlineBudget` so a slow creative search preempts
 //!   instead of starving its neighbours;
-//! - [`server`] — the accept loop and per-connection handlers;
+//! - [`server`] — the accept loops (Unix, and optionally token-gated TCP)
+//!   and per-connection handlers, with a global connection cap and
+//!   per-connection frame-rate limiting;
 //! - [`catalog`] — named deterministic datasets, so restarts can resolve
 //!   a session's data again;
 //! - [`daemon`] — assembly: startup recovery, the HTTP `/sessions` and
@@ -25,6 +27,15 @@
 //! daemon's recovery pass resurrects the fleet by deterministic replay —
 //! the same kill-and-resurrect contract PR 8 established, now for a whole
 //! service.
+//!
+//! Overload never crashes the daemon and never silently queues without
+//! bound: the command queue and per-session mailboxes are bounded (typed
+//! `overloaded` bounces with retry-after hints), and an
+//! [`matilda_resilience::OverloadGovernor`] in the scheduler degrades
+//! gracefully — halved deadline budgets at `elevated`, capped search and
+//! bounced `open`s at `saturated`, least-recently-active session shedding
+//! at `critical` — with every transition narrated to each session's user
+//! at their expertise level.
 
 pub mod catalog;
 pub mod client;
@@ -40,9 +51,14 @@ pub mod prelude {
     pub use crate::client::{reply_field, reply_ok, DaemonClient};
     pub use crate::daemon::{Daemon, DaemonConfig};
     pub use crate::manager::{InspectReport, OpenError, SessionManager, TurnError};
-    pub use crate::scheduler::{Command, CommandQueue, DrainSummary, TickOutcome, TickScheduler};
-    pub use crate::server::WireServer;
-    pub use crate::wire::{read_frame, write_frame, Request, WireError, MAX_FRAME_BYTES};
+    pub use crate::scheduler::{
+        Command, CommandQueue, DrainSummary, PushError, SchedulerTuning, TickOutcome, TickScheduler,
+    };
+    pub use crate::server::{constant_time_eq, ConnAuth, ConnLimits, TcpWireServer, WireServer};
+    pub use crate::wire::{
+        overloaded_reply, read_frame, sanitize_field, write_frame, Request, WireError,
+        MAX_FRAME_BYTES,
+    };
 }
 
 pub use daemon::{Daemon, DaemonConfig};

@@ -162,6 +162,10 @@ impl SessionManager {
             catalog::resolve(&dataset).ok_or_else(|| OpenError::UnknownDataset(dataset.clone()))?;
         let config = self.config_for(&id);
         let mut session = DesignSession::new(id.clone(), question, frame, user, config);
+        // Label before attaching: the store's meta record carries the
+        // dataset name, so a future daemon's recovery pass can resolve the
+        // same data instead of guessing a default.
+        session.set_dataset_label(&dataset);
         if let Some(store) = &self.store {
             session
                 .attach_store(store)
@@ -174,9 +178,11 @@ impl SessionManager {
     }
 
     /// Adopt an already-built session (startup recovery). Replaces any
-    /// resident entry under the same id.
-    pub fn adopt(&mut self, id: String, session: DesignSession) {
-        let dataset = self.default_dataset.clone();
+    /// resident entry under the same id. `dataset` is the name the
+    /// session's log recorded; pre-dataset-field logs pass `None` and get
+    /// the daemon default.
+    pub fn adopt(&mut self, id: String, session: DesignSession, dataset: Option<String>) {
+        let dataset = dataset.unwrap_or_else(|| self.default_dataset.clone());
         self.entries.insert(id, Entry { session, dataset });
     }
 
@@ -231,8 +237,62 @@ impl SessionManager {
         ids
     }
 
+    /// Suspend one session (critical-overload shedding): drop it without a
+    /// conversational close, exactly like [`SessionManager::suspend_all`]
+    /// does for the whole fleet — the durable log stays `in_flight`, so the
+    /// session resurrects on the next recovery pass (or daemon restart).
+    /// Returns whether `id` was resident.
+    pub fn suspend(&mut self, id: &str) -> bool {
+        self.entries.remove(id).is_some()
+    }
+
+    /// The user a resident session is talking to, for expertise-calibrated
+    /// narration.
+    pub fn user(&self, id: &str) -> Option<&matilda_conversation::UserProfile> {
+        self.entries.get(id).map(|e| e.session.user())
+    }
+
+    /// Apply a brownout to every resident session: scale per-turn deadline
+    /// budgets by `deadline_scale` and cap creative-search generations at
+    /// `generation_cap` (both restored by a later nominal call with
+    /// `1.0, None`).
+    pub fn apply_brownout(&mut self, deadline_scale: f64, generation_cap: Option<usize>) {
+        for entry in self.entries.values_mut() {
+            entry.session.set_brownout(deadline_scale, generation_cap);
+        }
+    }
+
+    /// Total open circuit breakers across the fleet — one of the overload
+    /// governor's input signals (open breakers mean dependencies are
+    /// already failing; more admission would pile on).
+    pub fn open_breakers(&self) -> usize {
+        self.entries
+            .values()
+            .map(|e| e.session.open_breakers())
+            .sum()
+    }
+
     /// The `/sessions` listing: live fleet state merged with the durable
-    /// store's classified scan (`clean_closed` / `in_flight` / `corrupt`).
+    /// store's classified scan (`clean_closed` / `in_flight` / `corrupt`),
+    /// plus the scheduler's admission state (`load_level`, `queue_depth`)
+    /// so operators see overload where they already look for sessions.
+    pub fn listing_json_with_load(
+        &self,
+        draining: bool,
+        load_level: &str,
+        queue_depth: usize,
+    ) -> String {
+        let listing = self.listing_json(draining);
+        debug_assert!(listing.starts_with('{'));
+        format!(
+            "{{\"load_level\":\"{}\",\"queue_depth\":{queue_depth},{}",
+            escape(load_level),
+            &listing[1..]
+        )
+    }
+
+    /// The `/sessions` listing without admission state (see
+    /// [`SessionManager::listing_json_with_load`]).
     pub fn listing_json(&self, draining: bool) -> String {
         let mut live = String::new();
         for (id, entry) in &self.entries {
@@ -325,5 +385,48 @@ mod tests {
         let listing = m.listing_json(true);
         assert!(listing.contains("\"draining\":true"), "{listing}");
         assert!(listing.contains("\"live\":[]"), "{listing}");
+    }
+
+    #[test]
+    fn single_suspend_sheds_only_its_target() {
+        let mut m = manager();
+        m.open("keep", "q", ada(), None).unwrap();
+        m.open("shed", "q", ada(), None).unwrap();
+        assert!(m.suspend("shed"));
+        assert!(!m.suspend("shed"), "second suspend is a no-op");
+        assert!(m.is_open("keep"));
+        assert!(!m.is_open("shed"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn brownout_applies_to_every_resident_session() {
+        let mut m = manager();
+        let (a, _, _) = m.open("a", "q", ada(), None).unwrap();
+        let (b, _, _) = m.open("b", "q", ada(), None).unwrap();
+        m.apply_brownout(0.25, Some(1));
+        for id in [&a, &b] {
+            let entry = m.entries.get(id.as_str()).unwrap();
+            let (scale, generations) = entry.session.brownout();
+            assert!((scale - 0.25).abs() < 1e-9);
+            assert_eq!(generations, 1);
+        }
+        m.apply_brownout(1.0, None);
+        let (scale, _) = m.entries.get(a.as_str()).unwrap().session.brownout();
+        assert!((scale - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn listing_with_load_prepends_admission_state() {
+        let mut m = manager();
+        m.open("s1", "q", ada(), None).unwrap();
+        let listing = m.listing_json_with_load(false, "saturated", 7);
+        assert!(
+            listing.starts_with("{\"load_level\":\"saturated\""),
+            "{listing}"
+        );
+        assert!(listing.contains("\"queue_depth\":7"), "{listing}");
+        assert!(listing.contains("\"draining\":false"), "{listing}");
+        assert!(listing.contains("\"live\":[{"), "{listing}");
     }
 }

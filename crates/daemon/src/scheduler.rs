@@ -1,4 +1,5 @@
-//! The tick scheduler: fair, preemptible turn admission for the fleet.
+//! The tick scheduler: fair, preemptible, overload-hardened turn admission
+//! for the fleet.
 //!
 //! Connection threads never touch a session. They enqueue [`Command`]s on
 //! the [`CommandQueue`] and block on a per-request reply channel; the
@@ -15,6 +16,23 @@
 //!    preempts at the next cancellation checkpoint when it expires, so one
 //!    slow creative search cannot starve the tick loop.
 //!
+//! **Admission control** bounds every buffer a client can fill. The
+//! command queue ([`CommandQueue::with_capacity`]) rejects work commands
+//! once full; per-session mailboxes hold at most
+//! [`SchedulerTuning::mailbox_depth`] turns and bounce overflow — in
+//! arrival order, so earlier requests keep their place — with the typed
+//! `overloaded` reply and a retry-after hint. Memory under flood is
+//! therefore O(sessions × depth + capacity), not O(requests received).
+//!
+//! **Brownout degradation** runs on the [`OverloadGovernor`]: each tick
+//! the scheduler samples queue fill, mailbox fill, turn-latency p95 vs
+//! the SLO, open breakers and allocator churn, and on a level transition
+//! it scales per-turn deadline budgets, caps creative-search generations,
+//! bounces `open`s (Saturated), sheds least-recently-active sessions
+//! (Critical — suspended, not lost: their durable logs stay `in_flight`),
+//! emits an incident capsule, and queues an expertise-calibrated notice
+//! onto every session's next reply.
+//!
 //! Drain is a state machine, not a flag check scattered around:
 //!
 //! ```text
@@ -28,15 +46,17 @@
 //! fast with `shutting_down`.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use matilda_provenance::json::escape;
+use matilda_resilience::{incident, LoadLevel, OverloadGovernor, OverloadPolicy, OverloadSignals};
 use matilda_telemetry as telemetry;
 
 use crate::manager::{OpenError, SessionManager, TurnError};
-use crate::wire::error_reply;
+use crate::wire::{error_reply, overloaded_reply, sanitize_field};
 
 /// Daemon metric names (same registry as the rest of the platform).
 pub mod names {
@@ -44,8 +64,12 @@ pub mod names {
     pub const TICKS: &str = "daemon.ticks";
     /// Turns admitted to a session.
     pub const TURNS_ADMITTED: &str = "daemon.turns_admitted";
-    /// Turns refused (unknown session, closed session, draining, ...).
+    /// Turns refused, aggregate. Per-reason breakdowns append the reason
+    /// (`daemon.turns_bounced.overloaded`, `.draining`, `.unknown_session`,
+    /// `.session_closed`, `.shedding`).
     pub const TURNS_BOUNCED: &str = "daemon.turns_bounced";
+    /// `open` requests bounced by the load level (Saturated and above).
+    pub const OPENS_BOUNCED: &str = "daemon.opens_bounced";
     /// End-to-end turn latency (enqueue to reply) in seconds, on the
     /// daemon clock.
     pub const TURN_SECONDS: &str = "daemon.turn_seconds";
@@ -53,6 +77,30 @@ pub mod names {
     pub const SESSIONS_OPEN: &str = "daemon.sessions_open";
     /// Graceful drains performed.
     pub const DRAINS: &str = "daemon.drains";
+    /// Command-queue depth sampled at each tick's start.
+    pub const QUEUE_DEPTH: &str = "daemon.queue_depth";
+    /// Deepest per-session mailbox sampled each tick (never exceeds the
+    /// configured bound — the E12 overload gate checks exactly that).
+    pub const MAILBOX_DEPTH: &str = "daemon.mailbox_depth";
+    /// Turns whose waiter timed out before admission; the scheduler
+    /// skipped executing them instead of burning a turn nobody reads.
+    pub const REPLIES_ABANDONED: &str = "daemon.replies_abandoned";
+    /// Connections refused at the accept loop by the connection cap.
+    pub const CONNS_SHED: &str = "daemon.conns_shed";
+    /// Failed TCP authentication attempts.
+    pub const AUTH_FAILURES: &str = "daemon.auth_failures";
+    /// Sessions suspended by critical-overload shedding.
+    pub const SESSIONS_SHED: &str = "daemon.sessions_shed";
+    /// The current load level (0 nominal .. 3 critical). Shared with
+    /// `/healthz`, hence defined in the telemetry crate.
+    pub const LOAD_LEVEL: &str = matilda_telemetry::metrics::names::DAEMON_LOAD_LEVEL;
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// One request routed from a connection thread to the scheduler. Every
@@ -79,6 +127,11 @@ pub enum Command {
         text: String,
         /// Where the reply goes.
         reply: Sender<String>,
+        /// Set by the waiter when it gave up (reply timeout). The
+        /// scheduler skips executing abandoned turns — the client already
+        /// got a `timeout` error, so running the turn anyway would mutate
+        /// the session behind a reply nobody reads.
+        abandoned: Arc<AtomicBool>,
     },
     /// Introspect one session.
     Inspect {
@@ -99,6 +152,58 @@ pub enum Command {
     },
 }
 
+impl Command {
+    /// A turn command with a fresh (never-abandoned) tracking flag.
+    pub fn turn(
+        session: impl Into<String>,
+        text: impl Into<String>,
+        reply: Sender<String>,
+    ) -> Self {
+        Command::Turn {
+            session: session.into(),
+            text: text.into(),
+            reply,
+            abandoned: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A turn command plus the handle its waiter flips if it stops
+    /// waiting for the reply.
+    pub fn turn_tracked(
+        session: impl Into<String>,
+        text: impl Into<String>,
+        reply: Sender<String>,
+    ) -> (Self, Arc<AtomicBool>) {
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let command = Command::Turn {
+            session: session.into(),
+            text: text.into(),
+            reply,
+            abandoned: Arc::clone(&abandoned),
+        };
+        (command, abandoned)
+    }
+
+    /// Whether this command admits work into the fleet (and is therefore
+    /// subject to the queue's capacity bound). Control commands — inspect,
+    /// listings, drain — always pass, so a flooded queue can still be
+    /// observed and drained.
+    fn is_work(&self) -> bool {
+        matches!(self, Command::Open { .. } | Command::Turn { .. })
+    }
+}
+
+/// Why [`CommandQueue::push`] refused a command. Both variants hand the
+/// command back (boxed — it is a wide enum) so the caller can answer its
+/// reply channel itself.
+pub enum PushError {
+    /// The queue is at capacity and the command was work (open/turn).
+    /// Admission control: the caller should reply `overloaded`.
+    Full(Box<Command>),
+    /// The scheduler drained and closed the queue: reply `shutting_down`.
+    Closed(Box<Command>),
+}
+
 struct QueueState {
     commands: VecDeque<Command>,
     closed: bool,
@@ -107,9 +212,15 @@ struct QueueState {
 /// The multi-producer command queue between connection threads and the
 /// scheduler. `std::sync` primitives on purpose: the vendored parking_lot
 /// has no `Condvar`, and the queue is nowhere near hot enough to care.
+///
+/// The queue is **bounded** for work commands (open/turn):
+/// once `capacity` commands are waiting, opens and turns bounce with
+/// [`PushError::Full`] instead of queueing without limit — connection
+/// threads turn that into the typed `overloaded` reply.
 pub struct CommandQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
+    capacity: usize,
 }
 
 impl Default for CommandQueue {
@@ -119,24 +230,49 @@ impl Default for CommandQueue {
 }
 
 impl CommandQueue {
-    /// A new, open queue.
+    /// A new, open queue with the capacity from `MATILDA_DAEMON_QUEUE_DEPTH`
+    /// (default 256).
     pub fn new() -> Self {
+        Self::with_capacity(env_u64("MATILDA_DAEMON_QUEUE_DEPTH", 256) as usize)
+    }
+
+    /// A new, open queue bounding work commands at `capacity` (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
             state: Mutex::new(QueueState {
                 commands: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
+            capacity: capacity.max(1),
         }
     }
 
-    /// Enqueue a command. After the scheduler drained and closed the queue
-    /// the command comes straight back (boxed — it is a wide enum) so the
-    /// caller can reply `shutting_down` itself.
-    pub fn push(&self, command: Command) -> Result<(), Box<Command>> {
+    /// The work-command bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Commands currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().commands.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue a command. Closed queues refuse everything; full queues
+    /// refuse work commands (admission control) but always accept control
+    /// commands, so drain and inspection cannot be starved by a flood.
+    pub fn push(&self, command: Command) -> Result<(), PushError> {
         let mut state = self.state.lock().unwrap();
         if state.closed {
-            return Err(Box::new(command));
+            return Err(PushError::Closed(Box::new(command)));
+        }
+        if command.is_work() && state.commands.len() >= self.capacity {
+            return Err(PushError::Full(Box::new(command)));
         }
         state.commands.push_back(command);
         drop(state);
@@ -173,6 +309,37 @@ impl CommandQueue {
     }
 }
 
+/// Scheduler knobs: the mailbox bound and the overload policy. The
+/// `Default` reads the deployment environment:
+///
+/// - `MATILDA_DAEMON_MAILBOX_DEPTH` — queued turns per session (default 8);
+/// - `MATILDA_TURN_SLO_MS` — the turn-latency SLO the p95 signal is
+///   measured against (default 250);
+/// - `MATILDA_DAEMON_ALLOC_BUDGET` — per-tick allocator-churn budget in
+///   bytes for the memory-pressure signal (default 0 = disabled).
+#[derive(Clone, Debug)]
+pub struct SchedulerTuning {
+    /// Max queued turns per session before overflow bounces.
+    pub mailbox_depth: usize,
+    /// Thresholds and hysteresis for the overload governor.
+    pub policy: OverloadPolicy,
+    /// The turn-latency SLO the p95 signal is normalized by.
+    pub turn_slo: Duration,
+    /// Per-tick scheduler-thread allocation budget in bytes (0 disables).
+    pub alloc_budget: u64,
+}
+
+impl Default for SchedulerTuning {
+    fn default() -> Self {
+        Self {
+            mailbox_depth: env_u64("MATILDA_DAEMON_MAILBOX_DEPTH", 8).max(1) as usize,
+            policy: OverloadPolicy::default(),
+            turn_slo: Duration::from_millis(env_u64("MATILDA_TURN_SLO_MS", 250).max(1)),
+            alloc_budget: env_u64("MATILDA_DAEMON_ALLOC_BUDGET", 0),
+        }
+    }
+}
+
 /// What one [`TickScheduler::tick`] accomplished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TickOutcome {
@@ -197,9 +364,13 @@ pub struct DrainSummary {
 struct QueuedTurn {
     text: String,
     reply: Sender<String>,
+    abandoned: Arc<AtomicBool>,
     /// Enqueue stamp on the daemon clock, for end-to-end latency.
     enqueued: Duration,
 }
+
+/// Recent turn latencies kept for the p95 signal.
+const LATENCY_WINDOW: usize = 64;
 
 /// The scheduler itself. Single-threaded by design: construct it, then
 /// either call [`TickScheduler::tick`] in a loop you own (tests drive it
@@ -212,31 +383,59 @@ pub struct TickScheduler {
     /// Round-robin cursor: session ids in admission order.
     rotation: VecDeque<String>,
     clock: std::sync::Arc<dyn matilda_resilience::Clock>,
+    tuning: SchedulerTuning,
+    governor: OverloadGovernor,
+    /// Sliding window of end-to-end turn latencies for the p95 signal.
+    latencies: VecDeque<Duration>,
+    /// Last admitted-turn stamp per session, for recency-based shedding.
+    last_active: HashMap<String, Duration>,
+    /// Brownout notices pending delivery on each session's next reply.
+    notices: HashMap<String, String>,
+    /// Per-tick allocator-churn window (scheduler thread only; reads zero
+    /// when no `CountingAlloc` is installed).
+    alloc: Option<telemetry::AllocScope>,
     draining: bool,
     drain_summary: Option<DrainSummary>,
     ticks: u64,
 }
 
 impl TickScheduler {
-    /// Build a scheduler over `manager`, reading commands from `queue`.
-    /// Sessions already resident in the manager (the recovered fleet) get
-    /// mailboxes and rotation slots up front, so turns land on them exactly
-    /// as on freshly opened ones. The latency clock is the thread's
-    /// resilience clock, so chaos tests that activate a `TestClock` measure
-    /// virtual time.
+    /// Build a scheduler over `manager` with tuning from the environment
+    /// (see [`SchedulerTuning`]).
     pub fn new(manager: SessionManager, queue: std::sync::Arc<CommandQueue>) -> Self {
+        Self::with_tuning(manager, queue, SchedulerTuning::default())
+    }
+
+    /// Build a scheduler with explicit tuning. Sessions already resident
+    /// in the manager (the recovered fleet) get mailboxes and rotation
+    /// slots up front, so turns land on them exactly as on freshly opened
+    /// ones. The latency clock is the thread's resilience clock, so chaos
+    /// tests that activate a `TestClock` measure virtual time.
+    pub fn with_tuning(
+        manager: SessionManager,
+        queue: std::sync::Arc<CommandQueue>,
+        tuning: SchedulerTuning,
+    ) -> Self {
         let mut mailboxes: HashMap<String, VecDeque<QueuedTurn>> = HashMap::new();
         let mut rotation = VecDeque::new();
         for id in manager.ids() {
             mailboxes.entry(id.clone()).or_default();
             rotation.push_back(id);
         }
+        let governor = OverloadGovernor::new(tuning.policy.clone());
+        telemetry::metrics::global().set_gauge(names::LOAD_LEVEL, governor.level().gauge());
         Self {
             manager,
             queue,
             mailboxes,
             rotation,
             clock: matilda_resilience::fault::clock(),
+            tuning,
+            governor,
+            latencies: VecDeque::new(),
+            last_active: HashMap::new(),
+            notices: HashMap::new(),
+            alloc: Some(telemetry::AllocScope::begin()),
             draining: false,
             drain_summary: None,
             ticks: 0,
@@ -253,10 +452,24 @@ impl TickScheduler {
         self.ticks
     }
 
+    /// The governor's current load level.
+    pub fn load_level(&self) -> LoadLevel {
+        self.governor.level()
+    }
+
     fn send(reply: &Sender<String>, body: String) {
         // A caller that gave up on its reply is not the scheduler's
         // problem; the turn still committed.
         let _ = reply.send(body);
+    }
+
+    // A typed refusal: count the aggregate, the per-reason breakdown, and
+    // answer the waiter.
+    fn bounce(reason: &str, reply: &Sender<String>, body: String) {
+        let metrics = telemetry::metrics::global();
+        metrics.inc(names::TURNS_BOUNCED);
+        metrics.inc(&format!("{}.{reason}", names::TURNS_BOUNCED));
+        Self::send(reply, body);
     }
 
     fn route(&mut self, command: Command) {
@@ -268,6 +481,21 @@ impl TickScheduler {
                 dataset,
                 reply,
             } => {
+                // Brownout: at Saturated and above, new sessions bounce
+                // before any queued turn does — existing conversations
+                // keep priority over new arrivals.
+                let level = self.governor.level();
+                if !level.accepts_opens() && !self.draining {
+                    telemetry::metrics::global().inc(names::OPENS_BOUNCED);
+                    Self::send(
+                        &reply,
+                        overloaded_reply(
+                            "daemon is saturated; not accepting new sessions",
+                            level.retry_after_ms(),
+                        ),
+                    );
+                    return;
+                }
                 let body = match self
                     .manager
                     .open(&session, &question, user, dataset.as_deref())
@@ -275,6 +503,7 @@ impl TickScheduler {
                     Ok((id, opening, trace)) => {
                         self.mailboxes.entry(id.clone()).or_default();
                         self.rotation.push_back(id.clone());
+                        self.last_active.insert(id.clone(), self.clock.now());
                         format!(
                             "{{\"ok\":true,\"session\":\"{}\",\"trace\":{trace},\"opening\":\"{}\"}}",
                             escape(&id),
@@ -284,7 +513,7 @@ impl TickScheduler {
                     Err(OpenError::Exists) => error_reply("session_exists", "id already in use"),
                     Err(OpenError::UnknownDataset(name)) => error_reply(
                         "bad_request",
-                        &format!("dataset `{name}` is not in the catalog"),
+                        &format!("dataset `{}` is not in the catalog", sanitize_field(&name)),
                     ),
                     Err(OpenError::Store(detail)) => error_reply("store", &detail),
                 };
@@ -294,19 +523,41 @@ impl TickScheduler {
                 session,
                 text,
                 reply,
+                abandoned,
             } => {
                 if self.draining {
-                    telemetry::metrics::global().inc(names::TURNS_BOUNCED);
-                    Self::send(&reply, error_reply("draining", "daemon is draining"));
+                    Self::bounce(
+                        "draining",
+                        &reply,
+                        error_reply("draining", "daemon is draining"),
+                    );
                 } else if let Some(mailbox) = self.mailboxes.get_mut(&session) {
-                    mailbox.push_back(QueuedTurn {
-                        text,
-                        reply,
-                        enqueued: self.clock.now(),
-                    });
+                    if mailbox.len() >= self.tuning.mailbox_depth {
+                        // FIFO-fair overflow: the turns already queued keep
+                        // their place; the *new* arrival bounces.
+                        let level = self.governor.level();
+                        Self::bounce(
+                            "overloaded",
+                            &reply,
+                            overloaded_reply(
+                                &format!("mailbox for `{}` is full", sanitize_field(&session)),
+                                level.retry_after_ms(),
+                            ),
+                        );
+                    } else {
+                        mailbox.push_back(QueuedTurn {
+                            text,
+                            reply,
+                            abandoned,
+                            enqueued: self.clock.now(),
+                        });
+                    }
                 } else {
-                    telemetry::metrics::global().inc(names::TURNS_BOUNCED);
-                    Self::send(&reply, error_reply("unknown_session", &session));
+                    Self::bounce(
+                        "unknown_session",
+                        &reply,
+                        error_reply("unknown_session", &sanitize_field(&session)),
+                    );
                 }
             }
             Command::Inspect { session, reply } => {
@@ -322,12 +573,16 @@ impl TickScheduler {
                         report.closed,
                         report.events
                     ),
-                    None => error_reply("unknown_session", &session),
+                    None => error_reply("unknown_session", &sanitize_field(&session)),
                 };
                 Self::send(&reply, body);
             }
             Command::Sessions { reply } => {
-                let body = self.manager.listing_json(self.draining);
+                let body = self.manager.listing_json_with_load(
+                    self.draining,
+                    self.governor.level().name(),
+                    self.queue.len(),
+                );
                 Self::send(&reply, body);
             }
             Command::Drain { reply } => {
@@ -346,6 +601,7 @@ impl TickScheduler {
             .push_back(QueuedTurn {
                 text: String::new(),
                 reply,
+                abandoned: Arc::new(AtomicBool::new(false)),
                 enqueued: self.clock.now(),
             });
     }
@@ -366,6 +622,10 @@ impl TickScheduler {
         let metrics = telemetry::metrics::global();
         metrics.inc(names::DRAINS);
         metrics.add(names::TURNS_BOUNCED, bounced as u64);
+        metrics.add(
+            &format!("{}.draining", names::TURNS_BOUNCED),
+            bounced as u64,
+        );
         metrics.set_gauge(names::SESSIONS_OPEN, 0.0);
         self.queue.close();
         let mut ids = String::new();
@@ -409,8 +669,11 @@ impl TickScheduler {
                 // Bounce everything queued on a closed session, typed.
                 if let Some(mailbox) = self.mailboxes.get_mut(&id) {
                     for turn in mailbox.drain(..) {
-                        telemetry::metrics::global().inc(names::TURNS_BOUNCED);
-                        Self::send(&turn.reply, error_reply("session_closed", &id));
+                        Self::bounce(
+                            "session_closed",
+                            &turn.reply,
+                            error_reply("session_closed", &id),
+                        );
                     }
                 }
                 self.rotation.push_back(id);
@@ -427,9 +690,17 @@ impl TickScheduler {
             self.rotation.push_back(id);
             return;
         };
+        if turn.abandoned.load(Ordering::SeqCst) {
+            // The waiter already took a `timeout` error; executing the
+            // turn anyway would mutate the session behind a reply nobody
+            // reads. Skip it, counted.
+            telemetry::metrics::global().inc(names::REPLIES_ABANDONED);
+            self.rotation.push_back(id);
+            return;
+        }
         let metrics = telemetry::metrics::global();
         metrics.inc(names::TURNS_ADMITTED);
-        let body = match self.manager.turn(&id, &turn.text) {
+        let mut body = match self.manager.turn(&id, &turn.text) {
             Ok((outcome, index)) => {
                 let digest = self
                     .manager
@@ -450,18 +721,158 @@ impl TickScheduler {
             Err(TurnError::Closed) => error_reply("session_closed", &id),
             Err(TurnError::Step(e)) => error_reply("turn_failed", &e.to_string()),
         };
+        if body.starts_with("{\"ok\":true") {
+            // A pending brownout notice rides the next successful reply,
+            // so the user hears about degradation in the conversation
+            // instead of discovering shorter answers silently.
+            if let Some(notice) = self.notices.remove(&id) {
+                let field = format!(",\"notice\":\"{}\"", escape(&notice));
+                body.insert_str(body.len() - 1, &field);
+            }
+        }
         let latency = self.clock.now().saturating_sub(turn.enqueued);
         metrics.observe_duration(names::TURN_SECONDS, latency);
+        self.latencies.push_back(latency);
+        if self.latencies.len() > LATENCY_WINDOW {
+            self.latencies.pop_front();
+        }
+        self.last_active.insert(id.clone(), self.clock.now());
         Self::send(&turn.reply, body);
         self.rotation.push_back(id);
     }
 
-    /// One scheduler tick: drain the command queue, then — unless a drain
-    /// settled — admit at most one turn from the round-robin rotation.
+    fn latency_p95(&self) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted: Vec<Duration> = self.latencies.iter().copied().collect();
+        sorted.sort_unstable();
+        let rank = (sorted.len() * 95).div_ceil(100);
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    // Sample the pressure signals, feed the governor, and apply whatever
+    // level transition (and critical shedding) falls out.
+    fn assess_overload(&mut self, queue_depth: usize) {
+        let metrics = telemetry::metrics::global();
+        let deepest = self
+            .mailboxes
+            .iter()
+            .filter(|(id, _)| id.as_str() != "#drain")
+            .map(|(_, m)| m.len())
+            .max()
+            .unwrap_or(0);
+        metrics.set_gauge(names::MAILBOX_DEPTH, deepest as f64);
+        let alloc_bytes = self.alloc.as_ref().map(|s| s.delta().bytes).unwrap_or(0);
+        self.alloc = Some(telemetry::AllocScope::begin());
+        let signals = OverloadSignals {
+            queue_fill: queue_depth as f64 / self.queue.capacity() as f64,
+            mailbox_fill: deepest as f64 / self.tuning.mailbox_depth as f64,
+            p95_ratio: self.latency_p95().as_secs_f64() / self.tuning.turn_slo.as_secs_f64(),
+            open_breakers: self.manager.open_breakers(),
+            alloc_bytes,
+            alloc_budget: self.tuning.alloc_budget,
+        };
+        // Shedding is gated on *instantaneous* pressure as well as the
+        // governor's (hysteresis-held) level: once the backlog drains, the
+        // hold keeps the level at critical for a while, but no further
+        // sessions should pay for pressure that is already gone.
+        let instantaneous = self.governor.policy().classify(&signals);
+        if let Some(transition) = self.governor.observe(self.clock.as_ref(), &signals) {
+            let to = transition.to;
+            metrics.set_gauge(names::LOAD_LEVEL, to.gauge());
+            incident::report(
+                "overload_transition",
+                "daemon.scheduler",
+                &format!(
+                    "load level {} -> {} (queue {:.0}%, mailbox {:.0}%, p95 {:.2}x SLO, {} open breakers)",
+                    transition.from.name(),
+                    to.name(),
+                    signals.queue_fill * 100.0,
+                    signals.mailbox_fill * 100.0,
+                    signals.p95_ratio,
+                    signals.open_breakers,
+                ),
+            );
+            telemetry::log::warn("daemon.scheduler", "load level changed")
+                .field("from", transition.from.name())
+                .field("to", to.name())
+                .emit();
+            self.manager
+                .apply_brownout(to.budget_scale(), to.generation_cap());
+            for id in self.manager.ids() {
+                if let Some(user) = self.manager.user(&id) {
+                    let notice = matilda_conversation::degrade::narrate_overload(to.name(), user);
+                    self.notices.insert(id, notice);
+                }
+            }
+        }
+        if self.governor.level().sheds_sessions() && instantaneous.sheds_sessions() {
+            self.shed_least_recent();
+        }
+    }
+
+    // Critical-load shedding: suspend the least-recently-active session
+    // (its durable log stays `in_flight`, so nothing is lost) and bounce
+    // its queued turns. One per tick — shedding is a pressure valve, not a
+    // massacre.
+    fn shed_least_recent(&mut self) {
+        let ids = self.manager.ids();
+        // Shedding exists to protect the *rest* of the fleet. A lone
+        // session has nobody else to protect — its mailbox bound already
+        // caps the damage — and suspending it would leave the daemon
+        // empty, so critical load with one tenant browns out but never
+        // sheds.
+        if ids.len() <= 1 {
+            return;
+        }
+        let Some(victim) = ids
+            .into_iter()
+            .min_by_key(|id| self.last_active.get(id).copied().unwrap_or(Duration::ZERO))
+        else {
+            return;
+        };
+        self.manager.suspend(&victim);
+        if let Some(mailbox) = self.mailboxes.remove(&victim) {
+            for turn in mailbox {
+                Self::bounce(
+                    "shedding",
+                    &turn.reply,
+                    overloaded_reply(
+                        "session suspended under critical load; it will resume on recovery",
+                        LoadLevel::Critical.retry_after_ms(),
+                    ),
+                );
+            }
+        }
+        self.rotation.retain(|id| id != &victim);
+        self.last_active.remove(&victim);
+        self.notices.remove(&victim);
+        telemetry::metrics::global().inc(names::SESSIONS_SHED);
+        incident::report(
+            "session_shed",
+            "daemon.scheduler",
+            &format!(
+                "session `{}` suspended under critical load",
+                sanitize_field(&victim)
+            ),
+        );
+        telemetry::log::warn("daemon.scheduler", "session shed under critical load")
+            .field("session", victim)
+            .emit();
+    }
+
+    /// One scheduler tick: drain the command queue, assess load, then —
+    /// unless a drain settled — admit at most one turn from the
+    /// round-robin rotation.
     pub fn tick(&mut self) -> TickOutcome {
         self.ticks += 1;
         let metrics = telemetry::metrics::global();
         metrics.inc(names::TICKS);
+        // Sampled before draining: the governor should see the backlog
+        // connection threads built up, not the post-drain emptiness.
+        let queue_depth = self.queue.len();
+        metrics.set_gauge(names::QUEUE_DEPTH, queue_depth as f64);
         let mut routed = false;
         while let Some(command) = self.queue.try_pop() {
             routed = true;
@@ -471,6 +882,9 @@ impl TickScheduler {
             self.finish_drain();
             return TickOutcome::Drained;
         }
+        // Assess *before* admitting, so a transition's brownout applies to
+        // the very turn this tick is about to run.
+        self.assess_overload(queue_depth);
         metrics.set_gauge(names::SESSIONS_OPEN, self.manager.len() as f64);
         match self.next_runnable() {
             Some(id) => {
@@ -551,11 +965,7 @@ mod tests {
         assert!(body.contains("\"ok\":true"), "{body}");
         let (tx, rx) = channel();
         queue
-            .push(Command::Turn {
-                session: "s1".into(),
-                text: "I want to predict 'label'".into(),
-                reply: tx,
-            })
+            .push(Command::turn("s1", "I want to predict 'label'", tx))
             .ok()
             .unwrap();
         assert_eq!(sched.tick(), TickOutcome::Worked);
@@ -570,17 +980,155 @@ mod tests {
     fn unknown_session_turn_bounces_typed() {
         let (mut sched, queue) = scheduler();
         let (tx, rx) = channel();
+        queue.push(Command::turn("ghost", "hi", tx)).ok().unwrap();
+        sched.tick();
+        let body = rx.recv().unwrap();
+        assert!(body.contains("unknown_session"), "{body}");
+    }
+
+    #[test]
+    fn hostile_session_ids_are_sanitized_in_error_replies() {
+        let (mut sched, queue) = scheduler();
+        let (tx, rx) = channel();
         queue
-            .push(Command::Turn {
-                session: "ghost".into(),
-                text: "hi".into(),
+            .push(Command::turn("gh\u{7}ost\"\u{1F600}", "hi", tx))
+            .ok()
+            .unwrap();
+        sched.tick();
+        let body = rx.recv().unwrap();
+        assert!(body.contains("unknown_session"), "{body}");
+        assert!(body.contains("gh_ost"), "{body}");
+        assert!(
+            !body.contains('\u{7}'),
+            "control bytes must not echo: {body}"
+        );
+    }
+
+    #[test]
+    fn full_mailbox_bounces_overflow_in_arrival_order() {
+        let (mut sched, queue) = scheduler();
+        let (tx, rx) = channel();
+        queue
+            .push(Command::Open {
+                session: "s1".into(),
+                question: "q".into(),
+                user: ada(),
+                dataset: None,
+                reply: tx,
+            })
+            .ok()
+            .unwrap();
+        sched.tick();
+        rx.recv().unwrap();
+        let depth = sched.tuning.mailbox_depth;
+        // Fill the mailbox exactly, then two more: the extras bounce with
+        // the typed overloaded reply; the first `depth` stay queued.
+        let mut kept = Vec::new();
+        for i in 0..depth {
+            let (tx, rx) = channel();
+            queue
+                .push(Command::turn("s1", format!("turn {i}"), tx))
+                .ok()
+                .unwrap();
+            kept.push(rx);
+        }
+        let mut bounced = Vec::new();
+        for i in 0..2 {
+            let (tx, rx) = channel();
+            queue
+                .push(Command::turn("s1", format!("overflow {i}"), tx))
+                .ok()
+                .unwrap();
+            bounced.push(rx);
+        }
+        sched.tick(); // routes everything; admits one turn
+        for rx in &bounced {
+            let body = rx.recv().unwrap();
+            assert!(body.contains("\"code\":\"overloaded\""), "{body}");
+            assert!(body.contains("\"retry_after_ms\":"), "{body}");
+        }
+        // The kept turns were not bounced: drive the scheduler until each
+        // gets a real reply. (The reply may *narrate* the overload in its
+        // notice — only the typed bounce code counts as a bounce.)
+        for rx in kept {
+            for _ in 0..depth + 2 {
+                sched.tick();
+                if let Ok(body) = rx.try_recv() {
+                    assert!(body.starts_with("{\"ok\":true"), "{body}");
+                    assert!(!body.contains("\"code\":\"overloaded\""), "{body}");
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_queue_refuses_work_but_accepts_control() {
+        let queue = CommandQueue::with_capacity(2);
+        let (tx, _rx) = channel();
+        queue
+            .push(Command::turn("s", "a", tx.clone()))
+            .ok()
+            .unwrap();
+        queue
+            .push(Command::turn("s", "b", tx.clone()))
+            .ok()
+            .unwrap();
+        // Third work command: Full, command handed back.
+        match queue.push(Command::turn("s", "c", tx.clone())) {
+            Err(PushError::Full(_)) => {}
+            _ => panic!("expected Full"),
+        }
+        // Control commands bypass the bound so drain cannot be starved.
+        queue
+            .push(Command::Sessions { reply: tx.clone() })
+            .ok()
+            .unwrap();
+        queue.push(Command::Drain { reply: tx }).ok().unwrap();
+        assert_eq!(queue.len(), 4);
+        // After close, everything is refused as Closed.
+        queue.close();
+        let (tx2, _rx2) = channel();
+        match queue.push(Command::Sessions { reply: tx2 }) {
+            Err(PushError::Closed(_)) => {}
+            _ => panic!("expected Closed"),
+        }
+    }
+
+    #[test]
+    fn abandoned_turns_are_skipped_not_executed() {
+        let (mut sched, queue) = scheduler();
+        let (tx, rx) = channel();
+        queue
+            .push(Command::Open {
+                session: "s1".into(),
+                question: "q".into(),
+                user: ada(),
+                dataset: None,
+                reply: tx,
+            })
+            .ok()
+            .unwrap();
+        sched.tick();
+        rx.recv().unwrap();
+        let (tx, _rx) = channel();
+        let (command, abandoned) = Command::turn_tracked("s1", "I want to predict 'label'", tx);
+        queue.push(command).ok().unwrap();
+        // The waiter gives up before the scheduler admits the turn.
+        abandoned.store(true, Ordering::SeqCst);
+        sched.tick();
+        // The turn must not have mutated the session.
+        let (tx, rx) = channel();
+        queue
+            .push(Command::Inspect {
+                session: "s1".into(),
                 reply: tx,
             })
             .ok()
             .unwrap();
         sched.tick();
         let body = rx.recv().unwrap();
-        assert!(body.contains("unknown_session"), "{body}");
+        assert!(body.contains("\"turns\":0"), "{body}");
     }
 
     #[test]
@@ -604,11 +1152,7 @@ mod tests {
         let (turn_tx, turn_rx) = channel();
         let (drain_tx, drain_rx) = channel();
         queue
-            .push(Command::Turn {
-                session: "s1".into(),
-                text: "hello".into(),
-                reply: turn_tx,
-            })
+            .push(Command::turn("s1", "hello", turn_tx))
             .ok()
             .unwrap();
         queue.push(Command::Drain { reply: drain_tx }).ok().unwrap();
@@ -622,5 +1166,16 @@ mod tests {
         let (tx, _rx) = channel();
         assert!(queue.push(Command::Sessions { reply: tx }).is_err());
         assert!(queue.is_closed());
+    }
+
+    #[test]
+    fn sessions_listing_carries_load_level_and_queue_depth() {
+        let (mut sched, queue) = scheduler();
+        let (tx, rx) = channel();
+        queue.push(Command::Sessions { reply: tx }).ok().unwrap();
+        sched.tick();
+        let body = rx.recv().unwrap();
+        assert!(body.contains("\"load_level\":\"nominal\""), "{body}");
+        assert!(body.contains("\"queue_depth\":"), "{body}");
     }
 }

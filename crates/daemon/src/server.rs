@@ -1,4 +1,5 @@
-//! The Unix-socket front door: accept loop and per-connection handlers.
+//! The wire front doors: Unix-socket (and optionally TCP) accept loops
+//! and per-connection handlers.
 //!
 //! Each connection gets its own thread speaking the length-prefixed frame
 //! protocol from [`crate::wire`]. Handlers never touch sessions — they
@@ -7,19 +8,42 @@
 //! Every protocol failure maps to a typed error reply (and, where the
 //! stream is desynchronized, a close) — a misbehaving peer cannot panic or
 //! hang the daemon.
+//!
+//! Overload hardening happens at three choke points, all shared between
+//! the Unix and TCP listeners through one [`ConnLimits`]:
+//!
+//! - **connection cap** — past `MATILDA_DAEMON_MAX_CONNS` live
+//!   connections the accept loop sheds new arrivals with a best-effort
+//!   `overloaded` frame instead of spawning an unbounded thread pool;
+//! - **frame-rate limiting** — a per-connection token bucket (refilled on
+//!   the resilience clock, so chaos tests can drive it virtually) bounces
+//!   over-rate frames with `overloaded` and closes the connection after
+//!   three consecutive violations;
+//! - **bounded admission** — a full command queue maps to the typed
+//!   `overloaded` reply with a retry-after hint, a closed one to
+//!   `shutting_down`.
+//!
+//! The TCP door additionally requires a shared-secret handshake
+//! ([`ConnAuth::Required`]): until an `auth` op with the right token
+//! arrives, **every** frame — wrong token, wrong op, garbage — gets the
+//! byte-identical `unauthorized` reply after an escalating real-time
+//! delay, so a probing peer cannot distinguish "bad token" from "valid
+//! token but wrong op", and brute force is rate-bound. Unix connections
+//! are pre-authenticated by socket-file permissions.
 
 use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use matilda_telemetry as telemetry;
 
-use crate::scheduler::{Command, CommandQueue};
-use crate::wire::{self, error_reply, Request};
+use crate::scheduler::{names, Command, CommandQueue, PushError};
+use crate::wire::{self, error_reply, overloaded_reply, Request};
 
 /// How often an idle connection wakes up to check the stop flag.
 const IDLE_POLL: Duration = Duration::from_millis(250);
@@ -29,8 +53,139 @@ const FRAME_TIMEOUT: Duration = Duration::from_secs(5);
 /// client a typed `timeout` error. Generous: a turn may run a full
 /// creative search under a real clock.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+/// Consecutive over-rate frames tolerated before the connection closes.
+const RATE_LIMIT_STRIKES: u32 = 3;
+/// Failed authentication attempts tolerated before the connection closes.
+const AUTH_STRIKES: u32 = 3;
 
-/// A listening wire server; accepts until shut down.
+/// Shared connection-level limits. One instance is shared across every
+/// listener (Unix and TCP), so the cap bounds the daemon's total thread
+/// count, not per-door counts.
+pub struct ConnLimits {
+    max_conns: usize,
+    frames_per_sec: u32,
+    live: AtomicUsize,
+}
+
+impl ConnLimits {
+    /// Explicit limits (mins clamped to 1).
+    pub fn new(max_conns: usize, frames_per_sec: u32) -> Arc<Self> {
+        Arc::new(Self {
+            max_conns: max_conns.max(1),
+            frames_per_sec: frames_per_sec.max(1),
+            live: AtomicUsize::new(0),
+        })
+    }
+
+    /// Limits from the environment: `MATILDA_DAEMON_MAX_CONNS` (default
+    /// 64) and `MATILDA_DAEMON_FRAMES_PER_SEC` (default 50).
+    pub fn from_env() -> Arc<Self> {
+        let max_conns = std::env::var("MATILDA_DAEMON_MAX_CONNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let frames = std::env::var("MATILDA_DAEMON_FRAMES_PER_SEC")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50);
+        Self::new(max_conns, frames)
+    }
+
+    /// Connections currently being served.
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    // Admit one connection, or None at the cap. The guard releases the
+    // slot when the handler thread finishes.
+    fn try_admit(self: &Arc<Self>) -> Option<ConnGuard> {
+        let mut current = self.live.load(Ordering::SeqCst);
+        loop {
+            if current >= self.max_conns {
+                return None;
+            }
+            match self.live.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(ConnGuard {
+                        limits: Arc::clone(self),
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// RAII slot in the connection cap.
+struct ConnGuard {
+    limits: Arc<ConnLimits>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.limits.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// How a connection earns the right to issue commands.
+#[derive(Clone)]
+pub enum ConnAuth {
+    /// Pre-authenticated — the Unix socket's file permissions already
+    /// gated access.
+    Granted,
+    /// Must present this shared secret in an `auth` op first (TCP).
+    Required {
+        /// The expected token.
+        token: Arc<String>,
+    },
+}
+
+/// Compare two secrets without an early exit, so timing does not reveal
+/// the length of the match prefix. Length inequality folds into the
+/// accumulator instead of short-circuiting.
+pub fn constant_time_eq(a: &str, b: &str) -> bool {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    let mut diff: u8 = if a.len() == b.len() { 0 } else { 1 };
+    for i in 0..a.len().max(b.len()) {
+        diff |= a.get(i).copied().unwrap_or(0) ^ b.get(i).copied().unwrap_or(0);
+    }
+    diff == 0
+}
+
+/// The stream surface both socket families share, so one handler serves
+/// Unix and TCP connections.
+pub trait WireStream: std::io::Read + std::io::Write + Send {
+    /// Set the read timeout.
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+    /// Set the write timeout.
+    fn set_write_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl WireStream for UnixStream {
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+    fn set_write_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_write_timeout(timeout)
+    }
+}
+
+impl WireStream for TcpStream {
+    fn set_read_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+    fn set_write_deadline(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_write_timeout(timeout)
+    }
+}
+
+/// A listening Unix-socket wire server; accepts until shut down.
 pub struct WireServer {
     path: PathBuf,
     stop: Arc<AtomicBool>,
@@ -39,8 +194,18 @@ pub struct WireServer {
 
 impl WireServer {
     /// Bind `path` (removing any stale socket file first) and start
-    /// accepting connections that feed `queue`.
+    /// accepting connections that feed `queue`, with limits from the
+    /// environment.
     pub fn bind(path: &Path, queue: Arc<CommandQueue>) -> std::io::Result<Self> {
+        Self::bind_with(path, queue, ConnLimits::from_env())
+    }
+
+    /// Bind with explicit connection limits (shared with other doors).
+    pub fn bind_with(
+        path: &Path,
+        queue: Arc<CommandQueue>,
+        limits: Arc<ConnLimits>,
+    ) -> std::io::Result<Self> {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -49,7 +214,13 @@ impl WireServer {
         let accept = std::thread::Builder::new()
             .name("matilda-daemon-accept".to_string())
             .spawn(move || {
-                accept_loop(listener, accept_stop, queue);
+                accept_loop(
+                    listener.incoming(),
+                    accept_stop,
+                    queue,
+                    ConnAuth::Granted,
+                    limits,
+                );
                 let _ = std::fs::remove_file(&accept_path);
             })?;
         telemetry::log::info("daemon.server", "wire server listening")
@@ -88,22 +259,119 @@ impl Drop for WireServer {
     }
 }
 
-fn accept_loop(listener: UnixListener, stop: Arc<AtomicBool>, queue: Arc<CommandQueue>) {
+/// A listening TCP wire server. Speaks the same frame protocol as the
+/// Unix door but demands the shared-secret `auth` handshake first — the
+/// daemon refuses to construct one without a token.
+pub struct TcpWireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpWireServer {
+    /// Bind `addr` (e.g. `127.0.0.1:7333`, or port 0 for an ephemeral
+    /// one) and start accepting authenticated connections that feed
+    /// `queue`. `limits` is shared with the Unix door so the connection
+    /// cap is global.
+    pub fn bind(
+        addr: &str,
+        queue: Arc<CommandQueue>,
+        token: Arc<String>,
+        limits: Arc<ConnLimits>,
+    ) -> std::io::Result<Self> {
+        if token.is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "refusing to expose the daemon over TCP without a token",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let auth = ConnAuth::Required { token };
+        let accept = std::thread::Builder::new()
+            .name("matilda-daemon-tcp-accept".to_string())
+            .spawn(move || {
+                accept_loop(listener.incoming(), accept_stop, queue, auth, limits);
+            })?;
+        telemetry::log::info("daemon.server", "tcp wire server listening")
+            .field("addr", local.to_string())
+            .emit();
+        Ok(Self {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the accept loop, and join every connection.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpWireServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop<S, L>(
+    incoming: L,
+    stop: Arc<AtomicBool>,
+    queue: Arc<CommandQueue>,
+    auth: ConnAuth,
+    limits: Arc<ConnLimits>,
+) where
+    S: WireStream + 'static,
+    L: Iterator<Item = std::io::Result<S>>,
+{
     let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
         Arc::new(Mutex::new(Vec::new()));
-    for incoming in listener.incoming() {
+    for stream in incoming {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let stream = match incoming {
+        let mut stream = match stream {
             Ok(stream) => stream,
             Err(_) => continue,
         };
+        // Admission at the door: past the cap, shed with a typed frame
+        // instead of spawning an unbounded number of handler threads.
+        // Established connections are untouched — only new arrivals pay.
+        let Some(guard) = limits.try_admit() else {
+            telemetry::metrics::global().inc(names::CONNS_SHED);
+            let _ = stream.set_write_deadline(Some(FRAME_TIMEOUT));
+            let _ = wire::write_frame(
+                &mut stream,
+                &overloaded_reply("connection limit reached", 1000),
+            );
+            continue;
+        };
         let conn_stop = Arc::clone(&stop);
         let conn_queue = Arc::clone(&queue);
+        let conn_auth = auth.clone();
+        let conn_limits = Arc::clone(&limits);
         let handle = std::thread::Builder::new()
             .name("matilda-daemon-conn".to_string())
-            .spawn(move || handle_connection(stream, conn_stop, conn_queue));
+            .spawn(move || {
+                handle_connection(stream, conn_stop, conn_queue, conn_auth, conn_limits);
+                drop(guard);
+            });
         if let Ok(handle) = handle {
             let mut pool = connections.lock().unwrap();
             // Opportunistically reap finished handlers so the pool does
@@ -121,8 +389,12 @@ fn accept_loop(listener: UnixListener, stop: Arc<AtomicBool>, queue: Arc<Command
 // Dispatch one parsed request; returns the JSON reply to frame back.
 fn dispatch(request: Request, queue: &CommandQueue) -> String {
     let (tx, rx) = channel();
+    let mut abandoned = None;
     let command = match request {
         Request::Ping => return "{\"ok\":true,\"pong\":true}".to_string(),
+        // On an authenticated connection (or the pre-authenticated Unix
+        // door) a repeat `auth` is an idempotent ok.
+        Request::Auth { .. } => return "{\"ok\":true,\"authenticated\":true}".to_string(),
         Request::Open {
             session,
             question,
@@ -147,34 +419,68 @@ fn dispatch(request: Request, queue: &CommandQueue) -> String {
                 reply: tx,
             }
         }
-        Request::Turn { session, text } => Command::Turn {
-            session,
-            text,
-            reply: tx,
-        },
+        Request::Turn { session, text } => {
+            let (command, flag) = Command::turn_tracked(session, text, tx);
+            abandoned = Some(flag);
+            command
+        }
         Request::Inspect { session } => Command::Inspect { session, reply: tx },
         Request::Sessions => Command::Sessions { reply: tx },
         Request::Drain => Command::Drain { reply: tx },
     };
-    if queue.push(command).is_err() {
-        return error_reply("shutting_down", "daemon has drained");
+    match queue.push(command) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            // Admission control at the queue: typed, with a retry hint.
+            return overloaded_reply("command queue is full", 500);
+        }
+        Err(PushError::Closed(_)) => return error_reply("shutting_down", "daemon has drained"),
     }
     match rx.recv_timeout(REPLY_TIMEOUT) {
         Ok(body) => body,
-        Err(_) => error_reply("timeout", "scheduler did not reply in time"),
+        Err(_) => {
+            // Mark the turn abandoned so the scheduler skips it instead
+            // of mutating the session behind a reply nobody reads.
+            if let Some(flag) = abandoned {
+                flag.store(true, Ordering::SeqCst);
+            }
+            error_reply("timeout", "scheduler did not reply in time")
+        }
     }
 }
 
-fn handle_connection(mut stream: UnixStream, stop: Arc<AtomicBool>, queue: Arc<CommandQueue>) {
+// The byte-identical refusal every unauthenticated frame gets, whatever
+// its content — indistinguishability is the point.
+fn unauthorized() -> String {
+    error_reply("unauthorized", "authentication required")
+}
+
+fn handle_connection<S: WireStream>(
+    mut stream: S,
+    stop: Arc<AtomicBool>,
+    queue: Arc<CommandQueue>,
+    auth: ConnAuth,
+    limits: Arc<ConnLimits>,
+) {
     use std::io::Read;
-    let _ = stream.set_write_timeout(Some(FRAME_TIMEOUT));
+    let _ = stream.set_write_deadline(Some(FRAME_TIMEOUT));
+    let mut authed = matches!(auth, ConnAuth::Granted);
+    let mut auth_failures: u32 = 0;
+    // Token-bucket frame-rate limit on the resilience clock (virtual
+    // under a TestClock, real otherwise): a full-rate burst is allowed,
+    // then frames drain one token each at `frames_per_sec` refill.
+    let clock = matilda_resilience::fault::clock();
+    let rate = f64::from(limits.frames_per_sec);
+    let mut tokens = rate;
+    let mut refilled = clock.now();
+    let mut over_rate_streak: u32 = 0;
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         // Idle wait: read the first byte of the next frame with a short
         // timeout so a silent client never pins this thread past shutdown.
-        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        let _ = stream.set_read_deadline(Some(IDLE_POLL));
         let mut first = [0u8; 1];
         match stream.read(&mut first) {
             Ok(0) => return, // clean disconnect
@@ -185,10 +491,58 @@ fn handle_connection(mut stream: UnixStream, stop: Arc<AtomicBool>, queue: Arc<C
         }
         // A frame has started: stalls from here are protocol errors, not
         // idleness. The consumed byte is chained back in front.
-        let _ = stream.set_read_timeout(Some(FRAME_TIMEOUT));
+        let _ = stream.set_read_deadline(Some(FRAME_TIMEOUT));
         let mut reader = (&first[..]).chain(&mut stream);
         match wire::read_frame(&mut reader) {
             Ok(Some(payload)) => {
+                let now = clock.now();
+                tokens = (tokens + now.saturating_sub(refilled).as_secs_f64() * rate).min(rate);
+                refilled = now;
+                if tokens < 1.0 {
+                    over_rate_streak += 1;
+                    let _ = wire::write_frame(
+                        &mut stream,
+                        &overloaded_reply("frame rate limit exceeded", 100),
+                    );
+                    if over_rate_streak >= RATE_LIMIT_STRIKES {
+                        return;
+                    }
+                    continue;
+                }
+                tokens -= 1.0;
+                over_rate_streak = 0;
+                if !authed {
+                    // Until the handshake lands, the ONLY accepted frame
+                    // is `auth` with the right token; everything else —
+                    // wrong token, wrong op, garbage — earns the same
+                    // bytes after an escalating real-time delay, so the
+                    // reply channel leaks nothing.
+                    let granted = match (&auth, Request::parse(&payload)) {
+                        (ConnAuth::Required { token }, Ok(Request::Auth { token: offered })) => {
+                            constant_time_eq(&offered, token)
+                        }
+                        _ => false,
+                    };
+                    if granted {
+                        authed = true;
+                        if wire::write_frame(&mut stream, "{\"ok\":true,\"authenticated\":true}")
+                            .is_err()
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                    auth_failures += 1;
+                    telemetry::metrics::global().inc(names::AUTH_FAILURES);
+                    // Real (not virtual) backoff: brute force pays wall
+                    // clock even under a TestClock.
+                    std::thread::sleep(Duration::from_millis(50 * u64::from(auth_failures)));
+                    let _ = wire::write_frame(&mut stream, &unauthorized());
+                    if auth_failures >= AUTH_STRIKES {
+                        return;
+                    }
+                    continue;
+                }
                 let reply = match Request::parse(&payload) {
                     Ok(request) => dispatch(request, &queue),
                     Err(e) => error_reply(e.code(), &e.to_string()),
@@ -201,9 +555,17 @@ fn handle_connection(mut stream: UnixStream, stop: Arc<AtomicBool>, queue: Arc<C
             Err(e) => {
                 // Torn, oversized or undecodable input leaves the stream
                 // desynchronized: send the typed error (best effort) and
-                // close. The accept loop is unaffected.
+                // close. The accept loop is unaffected. Unauthenticated
+                // peers get the uniform refusal instead of a frame-level
+                // diagnosis.
                 telemetry::metrics::global().inc("daemon.wire_errors");
-                let _ = wire::write_frame(&mut stream, &error_reply(e.code(), &e.to_string()));
+                let body = if authed {
+                    error_reply(e.code(), &e.to_string())
+                } else {
+                    telemetry::metrics::global().inc(names::AUTH_FAILURES);
+                    unauthorized()
+                };
+                let _ = wire::write_frame(&mut stream, &body);
                 return;
             }
         }
@@ -263,5 +625,132 @@ mod tests {
         let reply = wire::read_frame(&mut client).unwrap().unwrap();
         assert!(reply.contains("shutting_down"), "{reply}");
         server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_means_typed_overloaded_with_retry_hint() {
+        let path = sock_path("fullq");
+        let queue = Arc::new(CommandQueue::with_capacity(1));
+        // Pre-fill the queue; no scheduler is draining it.
+        let (tx, _rx) = channel();
+        queue.push(Command::turn("s", "x", tx)).ok().unwrap();
+        let server = WireServer::bind(&path, Arc::clone(&queue)).unwrap();
+        let mut client = UnixStream::connect(&path).unwrap();
+        write_frame(
+            &mut client,
+            "{\"op\":\"turn\",\"session\":\"s\",\"text\":\"y\"}",
+        )
+        .unwrap();
+        let reply = wire::read_frame(&mut client).unwrap().unwrap();
+        assert!(reply.contains("\"code\":\"overloaded\""), "{reply}");
+        assert!(reply.contains("\"retry_after_ms\":500"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_sheds_new_arrivals_not_established_ones() {
+        let path = sock_path("cap");
+        let queue = Arc::new(CommandQueue::new());
+        let limits = ConnLimits::new(1, 1000);
+        let server = WireServer::bind_with(&path, Arc::clone(&queue), limits).unwrap();
+        // First client occupies the single slot (the ping round-trip
+        // proves its handler thread is live).
+        let mut held = UnixStream::connect(&path).unwrap();
+        write_frame(&mut held, "{\"op\":\"ping\"}").unwrap();
+        let reply = wire::read_frame(&mut held).unwrap().unwrap();
+        assert!(reply.contains("\"pong\":true"), "{reply}");
+        // Second client is shed with a typed frame, then closed.
+        let mut shed = UnixStream::connect(&path).unwrap();
+        let frame = wire::read_frame(&mut shed).unwrap().unwrap();
+        assert!(frame.contains("\"code\":\"overloaded\""), "{frame}");
+        // The established client still works.
+        write_frame(&mut held, "{\"op\":\"ping\"}").unwrap();
+        let reply = wire::read_frame(&mut held).unwrap().unwrap();
+        assert!(reply.contains("\"pong\":true"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn frame_rate_limit_bounces_then_closes() {
+        let path = sock_path("rate");
+        let queue = Arc::new(CommandQueue::new());
+        // Burst of 2, then every further instant frame is over-rate.
+        let limits = ConnLimits::new(8, 2);
+        let server = WireServer::bind_with(&path, Arc::clone(&queue), limits).unwrap();
+        let mut client = UnixStream::connect(&path).unwrap();
+        let mut bounced = 0;
+        for _ in 0..2 + RATE_LIMIT_STRIKES {
+            write_frame(&mut client, "{\"op\":\"ping\"}").unwrap();
+            let reply = wire::read_frame(&mut client).unwrap().unwrap();
+            if reply.contains("\"code\":\"overloaded\"") {
+                bounced += 1;
+            }
+        }
+        assert_eq!(bounced, RATE_LIMIT_STRIKES, "over-rate frames bounce typed");
+        // Third strike closed the stream.
+        assert!(
+            write_frame(&mut client, "{\"op\":\"ping\"}").is_err()
+                || wire::read_frame(&mut client)
+                    .map(|f| f.is_none())
+                    .unwrap_or(true),
+            "connection closes after repeated over-rate frames"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_requires_auth_and_never_leaks_why() {
+        let queue = Arc::new(CommandQueue::new());
+        let limits = ConnLimits::new(8, 1000);
+        let token = Arc::new("s3cret".to_string());
+        let server = TcpWireServer::bind("127.0.0.1:0", Arc::clone(&queue), token, limits).unwrap();
+        let addr = server.addr();
+
+        // Wrong token and wrong op earn byte-identical refusals.
+        let mut probe = TcpStream::connect(addr).unwrap();
+        probe
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(&mut probe, "{\"op\":\"auth\",\"token\":\"wrong\"}").unwrap();
+        let wrong_token = wire::read_frame(&mut probe).unwrap().unwrap();
+        write_frame(&mut probe, "{\"op\":\"ping\"}").unwrap();
+        let wrong_op = wire::read_frame(&mut probe).unwrap().unwrap();
+        assert_eq!(wrong_token, wrong_op, "refusals must be indistinguishable");
+        assert!(wrong_token.contains("unauthorized"), "{wrong_token}");
+        drop(probe);
+
+        // The right token grants the session; ping works afterwards.
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(&mut client, "{\"op\":\"auth\",\"token\":\"s3cret\"}").unwrap();
+        let reply = wire::read_frame(&mut client).unwrap().unwrap();
+        assert!(reply.contains("\"authenticated\":true"), "{reply}");
+        write_frame(&mut client, "{\"op\":\"ping\"}").unwrap();
+        let reply = wire::read_frame(&mut client).unwrap().unwrap();
+        assert!(reply.contains("\"pong\":true"), "{reply}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_refuses_to_bind_without_a_token() {
+        let queue = Arc::new(CommandQueue::new());
+        let limits = ConnLimits::new(8, 1000);
+        let err = match TcpWireServer::bind("127.0.0.1:0", queue, Arc::new(String::new()), limits) {
+            Err(err) => err,
+            Ok(_) => panic!("tokenless TCP bind must be refused"),
+        };
+        assert!(err.to_string().contains("without a token"), "{err}");
+    }
+
+    #[test]
+    fn constant_time_eq_handles_lengths_and_content() {
+        assert!(constant_time_eq("abc", "abc"));
+        assert!(!constant_time_eq("abc", "abd"));
+        assert!(!constant_time_eq("abc", "ab"));
+        assert!(!constant_time_eq("", "x"));
+        assert!(constant_time_eq("", ""));
     }
 }

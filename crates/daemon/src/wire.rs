@@ -204,6 +204,13 @@ pub enum Request {
     /// Begin a graceful drain; the reply arrives once the fleet is
     /// suspended and flushed.
     Drain,
+    /// Authenticate a TCP connection with the daemon's shared secret.
+    /// Unix-socket connections are pre-authenticated by filesystem
+    /// permissions and never need to send this.
+    Auth {
+        /// The shared secret (`MATILDA_DAEMON_TOKEN`).
+        token: String,
+    },
 }
 
 fn field<'a>(fields: &'a [(String, FlatValue)], key: &str) -> Option<&'a FlatValue> {
@@ -261,6 +268,9 @@ impl Request {
             }),
             "sessions" => Ok(Request::Sessions),
             "drain" => Ok(Request::Drain),
+            "auth" => Ok(Request::Auth {
+                token: str_field(&fields, "token")?,
+            }),
             other => Err(WireError::BadRequest(format!("unknown op `{other}`"))),
         }
     }
@@ -304,6 +314,9 @@ impl Request {
             }
             Request::Sessions => "{\"op\":\"sessions\"}".to_string(),
             Request::Drain => "{\"op\":\"drain\"}".to_string(),
+            Request::Auth { token } => {
+                format!("{{\"op\":\"auth\",\"token\":\"{}\"}}", escape(token))
+            }
         }
     }
 }
@@ -315,6 +328,46 @@ pub fn error_reply(code: &str, detail: &str) -> String {
         escape(code),
         escape(detail)
     )
+}
+
+/// Bounds on the `retry_after_ms` hint carried by [`overloaded_reply`]:
+/// never zero (a zero hint invites an instant retry storm) and never more
+/// than a minute (the daemon re-assesses load every tick; stale hints
+/// should not park clients indefinitely).
+pub const RETRY_AFTER_MS_MIN: u64 = 1;
+/// See [`RETRY_AFTER_MS_MIN`].
+pub const RETRY_AFTER_MS_MAX: u64 = 60_000;
+
+/// Build the typed `overloaded` reply: admission control bounced this
+/// request and the client should back off for `retry_after_ms` before
+/// retrying. The hint is clamped to `[RETRY_AFTER_MS_MIN,
+/// RETRY_AFTER_MS_MAX]` so a confused (or hostile) load computation cannot
+/// emit a zero or multi-hour hint.
+pub fn overloaded_reply(detail: &str, retry_after_ms: u64) -> String {
+    let hint = retry_after_ms.clamp(RETRY_AFTER_MS_MIN, RETRY_AFTER_MS_MAX);
+    format!(
+        "{{\"ok\":false,\"code\":\"overloaded\",\"error\":\"{}\",\"retry_after_ms\":{hint}}}",
+        escape(detail)
+    )
+}
+
+/// Sanitize a client-supplied field before echoing it inside an error
+/// reply: keep ASCII alphanumerics plus ` `, `.`, `_`, `-`; replace
+/// anything else with `_`; cap at 64 chars. JSON escaping already prevents
+/// injection into the reply itself — this bound keeps hostile bytes and
+/// unbounded lengths out of logs, incident capsules and terminal output
+/// that render the echoed field downstream.
+pub fn sanitize_field(raw: &str) -> String {
+    raw.chars()
+        .take(64)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, ' ' | '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -404,6 +457,9 @@ mod tests {
             },
             Request::Sessions,
             Request::Drain,
+            Request::Auth {
+                token: "s3cr3t \"quoted\"".into(),
+            },
         ];
         for request in requests {
             let parsed = Request::parse(&request.to_json()).unwrap();
@@ -438,9 +494,38 @@ mod tests {
             "{\"op\":\"turn\"}",
             "{\"op\":\"turn\",\"session\":7,\"text\":\"x\"}",
             "{\"no_op\":true}",
+            "{\"op\":\"auth\"}",
         ] {
             let err = Request::parse(payload).unwrap_err();
             assert_eq!(err.code(), "bad_request", "payload: {payload}");
         }
+    }
+
+    #[test]
+    fn overloaded_reply_clamps_the_retry_hint() {
+        let reply = overloaded_reply("mailbox full", 500);
+        assert!(reply.contains("\"code\":\"overloaded\""), "{reply}");
+        assert!(reply.contains("\"retry_after_ms\":500"), "{reply}");
+        // A zero hint would invite an instant retry storm.
+        assert!(
+            overloaded_reply("x", 0).contains("\"retry_after_ms\":1"),
+            "zero hint must clamp up"
+        );
+        // A runaway hint must not park clients for hours.
+        assert!(
+            overloaded_reply("x", u64::MAX).contains("\"retry_after_ms\":60000"),
+            "huge hint must clamp down"
+        );
+    }
+
+    #[test]
+    fn sanitize_field_bounds_and_filters() {
+        assert_eq!(sanitize_field("calm-1"), "calm-1");
+        assert_eq!(sanitize_field("a.b_c d"), "a.b_c d");
+        // Control bytes, quotes and non-ASCII become underscores.
+        assert_eq!(sanitize_field("s\u{7}1\"x\u{1F600}"), "s_1_x_");
+        // Length is capped at 64 chars.
+        let long = "x".repeat(500);
+        assert_eq!(sanitize_field(&long).len(), 64);
     }
 }

@@ -58,6 +58,7 @@ pub mod cancel;
 pub mod clock;
 pub mod fault;
 pub mod incident;
+pub mod overload;
 pub mod panic_guard;
 pub mod retry;
 
@@ -66,6 +67,7 @@ pub use budget::DeadlineBudget;
 pub use cancel::{BudgetCancellation, CancellationPoint, Preempted};
 pub use clock::{Clock, SystemClock, TestClock};
 pub use fault::{ActiveScope, FaultKind, FaultPlan, InjectedFault, StorageFault};
+pub use overload::{LoadLevel, OverloadGovernor, OverloadPolicy, OverloadSignals, Transition};
 pub use panic_guard::{isolate, CaughtPanic};
 pub use retry::{RetryPolicy, RetryStats, StopReason};
 
@@ -76,6 +78,9 @@ pub mod prelude {
     pub use crate::cancel::{self, BudgetCancellation, CancellationPoint, Preempted};
     pub use crate::clock::{Clock, SystemClock, TestClock};
     pub use crate::fault::{self, FaultKind, FaultPlan, InjectedFault, StorageFault};
+    pub use crate::overload::{
+        LoadLevel, OverloadGovernor, OverloadPolicy, OverloadSignals, Transition,
+    };
     pub use crate::panic_guard::{self, CaughtPanic};
     pub use crate::retry::{RetryPolicy, RetryStats, StopReason};
 }

@@ -1,0 +1,425 @@
+//! Load-level governance: classify pressure signals into a brownout level
+//! and drive deterministic, hysteretic transitions between them.
+//!
+//! The daemon (or any long-lived service loop) feeds an
+//! [`OverloadGovernor`] one [`OverloadSignals`] sample per tick. The
+//! governor classifies the sample with a pure [`OverloadPolicy`] and
+//! applies asymmetric hysteresis on the injectable [`Clock`]:
+//!
+//! - **upgrades are immediate** — the first saturated sample saturates the
+//!   service, because shedding late is how services fall over;
+//! - **downgrades require the lower level to hold** for
+//!   [`OverloadPolicy::downgrade_hold`] of continuous observation, so a
+//!   flood that ebbs for one tick cannot flap the fleet between levels.
+//!
+//! Everything here is a pure function of `(signals, clock)` — no wall
+//! time, no randomness — so chaos tests replay transitions bit-for-bit
+//! across seeds, which is exactly what `tests/daemon_overload.rs` gates.
+
+use crate::clock::Clock;
+use std::time::Duration;
+
+/// How loaded the service is, in escalating order. Each level implies the
+/// degradations of the levels below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LoadLevel {
+    /// Business as usual: full budgets, everything admitted.
+    Nominal,
+    /// Pressure is building: per-turn deadline budgets shrink so each
+    /// admitted turn costs less latency headroom.
+    Elevated,
+    /// The service is at capacity: creative-search generations are capped
+    /// and new `open` requests bounce before any turn does.
+    Saturated,
+    /// Survival mode: least-recently-active sessions are shed (suspended
+    /// without close — durable logs stay resumable) to protect the rest.
+    Critical,
+}
+
+impl LoadLevel {
+    /// Stable lowercase name for wire payloads and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadLevel::Nominal => "nominal",
+            LoadLevel::Elevated => "elevated",
+            LoadLevel::Saturated => "saturated",
+            LoadLevel::Critical => "critical",
+        }
+    }
+
+    /// Gauge encoding (`0..=3`) for the `daemon.load_level` metric.
+    pub fn gauge(self) -> f64 {
+        match self {
+            LoadLevel::Nominal => 0.0,
+            LoadLevel::Elevated => 1.0,
+            LoadLevel::Saturated => 2.0,
+            LoadLevel::Critical => 3.0,
+        }
+    }
+
+    /// The inverse of [`LoadLevel::gauge`], for health endpoints reading
+    /// the metric back. Out-of-range values clamp to the nearest level.
+    pub fn from_gauge(value: f64) -> Self {
+        match value {
+            v if v >= 3.0 => LoadLevel::Critical,
+            v if v >= 2.0 => LoadLevel::Saturated,
+            v if v >= 1.0 => LoadLevel::Elevated,
+            _ => LoadLevel::Nominal,
+        }
+    }
+
+    /// Multiplier applied to per-turn deadline budgets at this level.
+    pub fn budget_scale(self) -> f64 {
+        match self {
+            LoadLevel::Nominal => 1.0,
+            LoadLevel::Elevated => 0.5,
+            LoadLevel::Saturated | LoadLevel::Critical => 0.25,
+        }
+    }
+
+    /// Cap on creative-search generations, when the level imposes one.
+    pub fn generation_cap(self) -> Option<usize> {
+        match self {
+            LoadLevel::Nominal | LoadLevel::Elevated => None,
+            LoadLevel::Saturated | LoadLevel::Critical => Some(1),
+        }
+    }
+
+    /// Whether new sessions may still be opened at this level.
+    pub fn accepts_opens(self) -> bool {
+        self < LoadLevel::Saturated
+    }
+
+    /// Whether this level sheds resident sessions by recency.
+    pub fn sheds_sessions(self) -> bool {
+        self == LoadLevel::Critical
+    }
+
+    /// Retry-after hint (milliseconds) carried on `overloaded` bounces at
+    /// this level. Bounded — the wire layer clamps it again regardless.
+    pub fn retry_after_ms(self) -> u64 {
+        match self {
+            LoadLevel::Nominal => 100,
+            LoadLevel::Elevated => 250,
+            LoadLevel::Saturated => 1_000,
+            LoadLevel::Critical => 5_000,
+        }
+    }
+}
+
+/// One tick's worth of pressure observations. All ratios are
+/// dimensionless; a signal the caller cannot measure reads as zero and
+/// simply never escalates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverloadSignals {
+    /// Command-queue depth over its capacity (`1.0` = full).
+    pub queue_fill: f64,
+    /// Deepest per-session mailbox over the mailbox bound.
+    pub mailbox_fill: f64,
+    /// Turn-latency p95 over the SLO (`0.0` when no SLO is configured).
+    pub p95_ratio: f64,
+    /// Circuit breakers currently open across the fleet.
+    pub open_breakers: usize,
+    /// Bytes allocated since the previous sample (from `CountingAlloc`;
+    /// zero when the counting allocator is not installed).
+    pub alloc_bytes: u64,
+    /// Per-sample allocation budget; `0` disables the memory signal.
+    pub alloc_budget: u64,
+}
+
+/// The classification thresholds. Pure data, so experiments and tests can
+/// pin exact transition points.
+#[derive(Debug, Clone)]
+pub struct OverloadPolicy {
+    /// Queue/mailbox fill at which the service is elevated.
+    pub elevated_fill: f64,
+    /// Fill at which it is saturated.
+    pub saturated_fill: f64,
+    /// Fill at which it is critical.
+    pub critical_fill: f64,
+    /// p95/SLO ratio at which latency alone elevates the service.
+    pub elevated_p95: f64,
+    /// p95/SLO ratio at which latency alone saturates it.
+    pub saturated_p95: f64,
+    /// Open breakers at which the fleet counts as elevated.
+    pub elevated_breakers: usize,
+    /// How long a *lower* classification must hold before the governor
+    /// downgrades to it.
+    pub downgrade_hold: Duration,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        Self {
+            elevated_fill: 0.5,
+            saturated_fill: 0.75,
+            critical_fill: 0.95,
+            elevated_p95: 1.0,
+            saturated_p95: 2.0,
+            elevated_breakers: 2,
+            downgrade_hold: Duration::from_millis(500),
+        }
+    }
+}
+
+impl OverloadPolicy {
+    /// Classify one sample. Pure: the same signals always yield the same
+    /// level, independent of history (the governor adds the hysteresis).
+    pub fn classify(&self, signals: &OverloadSignals) -> LoadLevel {
+        let fill = signals.queue_fill.max(signals.mailbox_fill);
+        let memory_hot = signals.alloc_budget > 0 && signals.alloc_bytes > signals.alloc_budget;
+        if fill >= self.critical_fill {
+            return LoadLevel::Critical;
+        }
+        if fill >= self.saturated_fill || signals.p95_ratio >= self.saturated_p95 {
+            return LoadLevel::Saturated;
+        }
+        if fill >= self.elevated_fill
+            || signals.p95_ratio >= self.elevated_p95
+            || signals.open_breakers >= self.elevated_breakers
+            || memory_hot
+        {
+            return LoadLevel::Elevated;
+        }
+        LoadLevel::Nominal
+    }
+}
+
+/// One level change the governor committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The level before the change.
+    pub from: LoadLevel,
+    /// The level after it.
+    pub to: LoadLevel,
+}
+
+/// The stateful half: current level plus downgrade hysteresis on a clock.
+#[derive(Debug)]
+pub struct OverloadGovernor {
+    policy: OverloadPolicy,
+    level: LoadLevel,
+    /// The downgrade candidate and when the *lower-than-current* streak
+    /// started, on the governor's clock.
+    downgrade_since: Option<(LoadLevel, Duration)>,
+}
+
+impl OverloadGovernor {
+    /// A governor starting at [`LoadLevel::Nominal`].
+    pub fn new(policy: OverloadPolicy) -> Self {
+        Self {
+            policy,
+            level: LoadLevel::Nominal,
+            downgrade_since: None,
+        }
+    }
+
+    /// The current level.
+    pub fn level(&self) -> LoadLevel {
+        self.level
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &OverloadPolicy {
+        &self.policy
+    }
+
+    /// Feed one sample; returns the transition if the level changed.
+    ///
+    /// Upgrades commit immediately. A downgrade commits only once samples
+    /// classifying *below* the current level have held continuously for
+    /// `policy.downgrade_hold` — and then lands on the highest level seen
+    /// during the hold, so a Critical service that oscillates between
+    /// Nominal and Elevated samples settles at Elevated, not Nominal.
+    pub fn observe(&mut self, clock: &dyn Clock, signals: &OverloadSignals) -> Option<Transition> {
+        let classified = self.policy.classify(signals);
+        if classified >= self.level {
+            self.downgrade_since = None;
+            if classified > self.level {
+                let from = self.level;
+                self.level = classified;
+                return Some(Transition {
+                    from,
+                    to: classified,
+                });
+            }
+            return None;
+        }
+        // classified < level: a downgrade candidate.
+        let now = clock.now();
+        match &mut self.downgrade_since {
+            None => {
+                self.downgrade_since = Some((classified, now));
+                None
+            }
+            Some((candidate, since)) => {
+                // The streak's landing level is the worst sample within it.
+                if classified > *candidate {
+                    *candidate = classified;
+                }
+                if now.saturating_sub(*since) >= self.policy.downgrade_hold {
+                    let to = *candidate;
+                    let from = self.level;
+                    self.level = to;
+                    self.downgrade_since = None;
+                    Some(Transition { from, to })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    fn fill(f: f64) -> OverloadSignals {
+        OverloadSignals {
+            queue_fill: f,
+            ..OverloadSignals::default()
+        }
+    }
+
+    #[test]
+    fn levels_order_and_degradations_escalate() {
+        assert!(LoadLevel::Nominal < LoadLevel::Elevated);
+        assert!(LoadLevel::Saturated < LoadLevel::Critical);
+        assert_eq!(LoadLevel::Nominal.budget_scale(), 1.0);
+        assert!(LoadLevel::Elevated.budget_scale() < 1.0);
+        assert!(LoadLevel::Nominal.generation_cap().is_none());
+        assert!(LoadLevel::Saturated.generation_cap().is_some());
+        assert!(LoadLevel::Elevated.accepts_opens());
+        assert!(!LoadLevel::Saturated.accepts_opens());
+        assert!(LoadLevel::Critical.sheds_sessions());
+        assert!(!LoadLevel::Saturated.sheds_sessions());
+        for level in [
+            LoadLevel::Nominal,
+            LoadLevel::Elevated,
+            LoadLevel::Saturated,
+            LoadLevel::Critical,
+        ] {
+            assert_eq!(LoadLevel::from_gauge(level.gauge()), level);
+        }
+    }
+
+    #[test]
+    fn classify_is_pure_and_monotone_in_fill() {
+        let policy = OverloadPolicy::default();
+        assert_eq!(policy.classify(&fill(0.0)), LoadLevel::Nominal);
+        assert_eq!(policy.classify(&fill(0.5)), LoadLevel::Elevated);
+        assert_eq!(policy.classify(&fill(0.8)), LoadLevel::Saturated);
+        assert_eq!(policy.classify(&fill(1.0)), LoadLevel::Critical);
+        // Latency alone escalates too.
+        let slow = OverloadSignals {
+            p95_ratio: 2.5,
+            ..OverloadSignals::default()
+        };
+        assert_eq!(policy.classify(&slow), LoadLevel::Saturated);
+        // Open breakers and memory pressure elevate but never saturate.
+        let broken = OverloadSignals {
+            open_breakers: 3,
+            ..OverloadSignals::default()
+        };
+        assert_eq!(policy.classify(&broken), LoadLevel::Elevated);
+        let hot = OverloadSignals {
+            alloc_bytes: 10,
+            alloc_budget: 5,
+            ..OverloadSignals::default()
+        };
+        assert_eq!(policy.classify(&hot), LoadLevel::Elevated);
+        // A zero alloc budget disables the memory signal.
+        let unbudgeted = OverloadSignals {
+            alloc_bytes: u64::MAX,
+            alloc_budget: 0,
+            ..OverloadSignals::default()
+        };
+        assert_eq!(policy.classify(&unbudgeted), LoadLevel::Nominal);
+    }
+
+    #[test]
+    fn upgrades_are_immediate_downgrades_hold() {
+        let clock = TestClock::new();
+        let mut governor = OverloadGovernor::new(OverloadPolicy::default());
+        assert_eq!(governor.level(), LoadLevel::Nominal);
+        // Immediate upgrade on the first hot sample.
+        let up = governor.observe(&clock, &fill(0.8)).unwrap();
+        assert_eq!(
+            up,
+            Transition {
+                from: LoadLevel::Nominal,
+                to: LoadLevel::Saturated
+            }
+        );
+        // A single calm sample does not downgrade.
+        assert!(governor.observe(&clock, &fill(0.0)).is_none());
+        assert_eq!(governor.level(), LoadLevel::Saturated);
+        // Calm holds past the hysteresis window: downgrade commits.
+        clock.advance(Duration::from_millis(600));
+        let down = governor.observe(&clock, &fill(0.0)).unwrap();
+        assert_eq!(down.to, LoadLevel::Nominal);
+    }
+
+    #[test]
+    fn a_hot_sample_resets_the_downgrade_streak() {
+        let clock = TestClock::new();
+        let mut governor = OverloadGovernor::new(OverloadPolicy::default());
+        governor.observe(&clock, &fill(1.0)).unwrap(); // -> Critical
+        governor.observe(&clock, &fill(0.0));
+        clock.advance(Duration::from_millis(400));
+        // Still Critical mid-hold; a re-hot sample cancels the streak.
+        assert!(governor.observe(&clock, &fill(1.0)).is_none());
+        clock.advance(Duration::from_millis(600));
+        // The hold restarts from the next calm sample.
+        assert!(governor.observe(&clock, &fill(0.0)).is_none());
+        clock.advance(Duration::from_millis(600));
+        let down = governor.observe(&clock, &fill(0.0)).unwrap();
+        assert_eq!(down.from, LoadLevel::Critical);
+        assert_eq!(down.to, LoadLevel::Nominal);
+    }
+
+    #[test]
+    fn downgrade_lands_on_the_worst_sample_in_the_hold() {
+        let clock = TestClock::new();
+        let mut governor = OverloadGovernor::new(OverloadPolicy::default());
+        governor.observe(&clock, &fill(1.0)).unwrap(); // -> Critical
+        governor.observe(&clock, &fill(0.0));
+        clock.advance(Duration::from_millis(300));
+        // An Elevated sample inside the streak raises the landing level
+        // without cancelling the downgrade.
+        assert!(governor.observe(&clock, &fill(0.6)).is_none());
+        clock.advance(Duration::from_millis(300));
+        let down = governor.observe(&clock, &fill(0.0)).unwrap();
+        assert_eq!(down.to, LoadLevel::Elevated, "not straight to Nominal");
+    }
+
+    #[test]
+    fn transitions_are_deterministic_replays() {
+        // The same sample sequence on the same clock schedule produces the
+        // same transition list, run after run.
+        let drive = || {
+            let clock = TestClock::new();
+            let mut governor = OverloadGovernor::new(OverloadPolicy::default());
+            let mut seen = Vec::new();
+            for (advance_ms, f) in [
+                (0u64, 0.0),
+                (10, 0.6),
+                (10, 0.8),
+                (10, 1.0),
+                (10, 0.0),
+                (600, 0.0),
+            ] {
+                clock.advance(Duration::from_millis(advance_ms));
+                if let Some(t) = governor.observe(&clock, &fill(f)) {
+                    seen.push((t.from, t.to));
+                }
+            }
+            seen
+        };
+        let first = drive();
+        assert_eq!(first, drive());
+        assert!(first.contains(&(LoadLevel::Saturated, LoadLevel::Critical)));
+    }
+}

@@ -222,12 +222,20 @@ pub fn healthz_body(registry: &MetricsRegistry) -> (&'static str, String) {
     let store_skipped = snapshot.counter(crate::metrics::names::STORE_WRITES_SKIPPED);
     let store_quarantined = snapshot.counter(crate::metrics::names::STORE_SESSIONS_QUARANTINED);
     let incidents = snapshot.counter(crate::metrics::names::INCIDENTS_CAPTURED);
+    let load_level = snapshot
+        .gauge(crate::metrics::names::DAEMON_LOAD_LEVEL)
+        .unwrap_or(0.0);
     // Store write errors and breaker-gated no-op persistence both mean the
     // durability promise is currently broken for live sessions — degraded.
     // Torn lines and quarantined sessions are recovery-time observations of
-    // a past crash, reported but not degrading the live process.
-    let healthy =
-        regressions <= 0.0 && journal_errors == 0 && store_errors == 0 && store_skipped == 0;
+    // a past crash, reported but not degrading the live process. A critical
+    // overload level (gauge >= 3) is live too: the daemon is shedding
+    // sessions, so load balancers should stop sending it new ones.
+    let healthy = regressions <= 0.0
+        && journal_errors == 0
+        && store_errors == 0
+        && store_skipped == 0
+        && load_level < 3.0;
     let status = if healthy {
         "200 OK"
     } else {
@@ -235,7 +243,7 @@ pub fn healthz_body(registry: &MetricsRegistry) -> (&'static str, String) {
     };
     let verdict = if healthy { "ok" } else { "degraded" };
     let body = format!(
-        "{verdict}\nbench.results={results}\nbench.regressions={regressions}\nprofile.phases={phases}\njournal.records={journal_records}\njournal.write_errors={journal_errors}\njournal.torn_lines={journal_torn}\nstore.write_errors={store_errors}\nstore.writes_skipped={store_skipped}\nstore.sessions_quarantined={store_quarantined}\nincidents.captured={incidents}\n"
+        "{verdict}\nbench.results={results}\nbench.regressions={regressions}\nprofile.phases={phases}\njournal.records={journal_records}\njournal.write_errors={journal_errors}\njournal.torn_lines={journal_torn}\nstore.write_errors={store_errors}\nstore.writes_skipped={store_skipped}\nstore.sessions_quarantined={store_quarantined}\nincidents.captured={incidents}\ndaemon.load_level={load_level}\n"
     );
     (status, body)
 }
@@ -849,6 +857,30 @@ task_seconds_count 4
         assert_eq!(status, "200 OK");
         assert!(body.contains("journal.torn_lines=3"), "{body}");
         assert!(body.contains("store.sessions_quarantined=1"), "{body}");
+    }
+
+    #[test]
+    fn healthz_reports_degraded_only_at_critical_load() {
+        // Brownout levels below critical are the daemon coping — still
+        // healthy. Critical means it is shedding sessions: load balancers
+        // must stop routing to it, hence the 503.
+        let m = MetricsRegistry::new();
+        for coping in [0.0, 1.0, 2.0] {
+            m.set_gauge(crate::metrics::names::DAEMON_LOAD_LEVEL, coping);
+            let (status, body) = healthz_body(&m);
+            assert_eq!(status, "200 OK", "level {coping} should stay healthy");
+            assert!(
+                body.contains(&format!("daemon.load_level={coping}")),
+                "{body}"
+            );
+        }
+        m.set_gauge(crate::metrics::names::DAEMON_LOAD_LEVEL, 3.0);
+        let (status, body) = healthz_body(&m);
+        assert_eq!(status, "503 Service Unavailable");
+        assert!(body.starts_with("degraded\n"), "{body}");
+        m.set_gauge(crate::metrics::names::DAEMON_LOAD_LEVEL, 0.0);
+        let (status, _) = healthz_body(&m);
+        assert_eq!(status, "200 OK");
     }
 
     #[test]

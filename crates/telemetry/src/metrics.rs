@@ -94,6 +94,10 @@ pub mod names {
     pub const INCIDENTS_DROPPED: &str = "telemetry.incidents_dropped";
     /// Counter: capsule disk-write failures.
     pub const INCIDENT_WRITE_ERRORS: &str = "telemetry.incident_write_errors";
+    /// Gauge: the daemon's current overload level (0 nominal, 1 elevated,
+    /// 2 saturated, 3 critical). Set by the daemon's tick scheduler;
+    /// `/healthz` reports degraded (503) while the gauge reads critical.
+    pub const DAEMON_LOAD_LEVEL: &str = "daemon.load_level";
 }
 
 /// Fixed histogram bucket upper bounds (inclusive), in the metric's unit.

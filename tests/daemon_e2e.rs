@@ -397,11 +397,7 @@ fn noisy_neighbor_cannot_starve_the_fleet() {
             let text = if id == "noisy" { "run it" } else { line };
             let (tx, rx) = channel();
             queue
-                .push(Command::Turn {
-                    session: id.clone(),
-                    text: text.to_string(),
-                    reply: tx,
-                })
+                .push(Command::turn(id.clone(), text, tx))
                 .ok()
                 .unwrap();
             waiting.push((id.clone(), rx));

@@ -1,0 +1,411 @@
+//! Overload-hardening tests for the resident daemon: bounded admission,
+//! deterministic brownout, connection shedding, and the authenticated TCP
+//! door.
+//!
+//! Four gates:
+//!
+//! 1. **FIFO-fair backpressure** — a flooded mailbox bounces *new*
+//!    arrivals with the typed `overloaded` reply (retry-after hint
+//!    included) while every already-queued turn completes in order.
+//! 2. **Connection cap** — past the cap the accept loop sheds new
+//!    connections with a typed frame; established conversations are
+//!    untouched.
+//! 3. **Deterministic brownout** — on a shared `TestClock`, a queue flood
+//!    drives the governor Nominal → Critical (shedding exactly the
+//!    least-recently-active session), and once pressure drops the level
+//!    returns to Nominal after the hysteresis hold; the whole level
+//!    trajectory is byte-identical across `CHAOS_SEED` 1–3.
+//! 4. **Auth opacity** — on the TCP door, a wrong token and a wrong op
+//!    earn byte-identical refusals (nothing leaks which it was), and the
+//!    right token unlocks a full conversation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use matilda::resilience::{fault, LoadLevel, OverloadPolicy, TestClock};
+use matilda_daemon::prelude::*;
+
+/// The chaos seed under test (CI runs a 1–3 matrix).
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// One daemon/scheduler at a time: metrics and HTTP provider slots are
+/// process-global.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_path(tag: &str, suffix: &str) -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "matilda-overload-{tag}-{}-{}{suffix}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+fn user() -> matilda::conversation::UserProfile {
+    matilda::conversation::UserProfile::novice("Ada", "urbanism")
+}
+
+fn open_session(sched: &mut TickScheduler, queue: &CommandQueue, id: &str) {
+    let (tx, rx) = channel();
+    queue
+        .push(Command::Open {
+            session: id.to_string(),
+            question: "what drives label?".into(),
+            user: user(),
+            dataset: None,
+            reply: tx,
+        })
+        .ok()
+        .unwrap();
+    while rx.try_recv().is_err() {
+        sched.tick();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. FIFO-fair mailbox backpressure
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mailbox_flood_bounces_new_arrivals_and_completes_queued_turns_in_order() {
+    let _serial = serial();
+    let mut base = matilda::core::PlatformConfig::quick();
+    base.seed = 9100 + chaos_seed();
+    let manager = SessionManager::new(base, None, DEFAULT_DATASET);
+    let queue = Arc::new(CommandQueue::with_capacity(64));
+    let tuning = SchedulerTuning {
+        mailbox_depth: 4,
+        ..SchedulerTuning::default()
+    };
+    let mut sched = TickScheduler::with_tuning(manager, Arc::clone(&queue), tuning);
+    open_session(&mut sched, &queue, "s1");
+
+    // The state-independent script: any line is valid in any state, so
+    // the four queued turns all succeed whatever dialogue state precedes
+    // them.
+    let lines = ["I want to predict 'label'", "yes", "no", "yes"];
+    let mut kept = Vec::new();
+    for line in lines {
+        let (tx, rx) = channel();
+        queue.push(Command::turn("s1", line, tx)).ok().unwrap();
+        kept.push(rx);
+    }
+    let mut overflow = Vec::new();
+    for _ in 0..3 {
+        let (tx, rx) = channel();
+        queue.push(Command::turn("s1", "yes", tx)).ok().unwrap();
+        overflow.push(rx);
+    }
+    sched.tick(); // routes all seven; the last three bounce
+
+    for rx in &overflow {
+        let bounce = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(bounce.contains("\"code\":\"overloaded\""), "{bounce}");
+        assert!(bounce.contains("\"retry_after_ms\":"), "{bounce}");
+        assert!(bounce.contains("\"ok\":false"), "{bounce}");
+    }
+    // The four queued turns complete, in arrival order: their 1-based
+    // turn indices must come back 1, 2, 3, 4.
+    for (i, rx) in kept.iter().enumerate() {
+        let reply = loop {
+            match rx.try_recv() {
+                Ok(reply) => break reply,
+                Err(_) => {
+                    sched.tick();
+                }
+            }
+        };
+        assert!(reply_ok(&reply), "{reply}");
+        assert_eq!(
+            reply_field(&reply, "turn").as_deref(),
+            Some(format!("{}", i + 1).as_str()),
+            "FIFO order violated: {reply}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Connection cap sheds new arrivals, never established sessions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn connection_cap_sheds_arrivals_and_spares_established_conversations() {
+    let _serial = serial();
+    let socket = temp_path("cap", ".sock");
+    let mut base = matilda::core::PlatformConfig::quick();
+    base.seed = 9200 + chaos_seed();
+    let manager = SessionManager::new(base, None, DEFAULT_DATASET);
+    let queue = Arc::new(CommandQueue::new());
+    let sched = TickScheduler::new(manager, Arc::clone(&queue));
+    let sched_thread = std::thread::spawn(move || sched.run());
+    let limits = ConnLimits::new(1, 1000);
+    let server = WireServer::bind_with(&socket, Arc::clone(&queue), limits).unwrap();
+
+    // The one admitted client opens a session and converses.
+    let mut held = DaemonClient::connect(&socket).unwrap();
+    let opened = held.open("resident", "what drives label?").unwrap();
+    assert!(reply_ok(&opened), "{opened}");
+    let turned = held.turn("resident", "I want to predict 'label'").unwrap();
+    assert!(reply_ok(&turned), "{turned}");
+
+    // The next arrival is over the cap: typed overloaded frame, closed.
+    let mut shed = DaemonClient::connect(&socket).unwrap();
+    let frame = shed.ping().unwrap_or_else(|_| {
+        // The shed frame may already be waiting before our ping goes out;
+        // either way the connection yields exactly one overloaded frame.
+        String::new()
+    });
+    assert!(
+        frame.contains("\"code\":\"overloaded\"") || frame.is_empty(),
+        "{frame}"
+    );
+    drop(shed);
+
+    // The established conversation is untouched by the shedding.
+    let turned = held.turn("resident", "yes").unwrap();
+    assert!(reply_ok(&turned), "{turned}");
+
+    let drained = held.drain().unwrap();
+    assert!(drained.contains("\"drained\":true"), "{drained}");
+    server.shutdown();
+    sched_thread.join().unwrap();
+    std::fs::remove_file(&socket).ok();
+}
+
+// ---------------------------------------------------------------------------
+// 3. Deterministic brownout on a shared TestClock
+// ---------------------------------------------------------------------------
+
+// One full overload episode under `seed`; returns the deduplicated level
+// trajectory plus the surviving session ids.
+fn overload_episode(seed: u64) -> (Vec<&'static str>, Vec<String>) {
+    let clock = Arc::new(TestClock::new());
+    let _scope = fault::activate_with_clock(
+        matilda::resilience::FaultPlan::new(seed),
+        Arc::clone(&clock) as Arc<dyn matilda::resilience::Clock>,
+    );
+
+    let mut base = matilda::core::PlatformConfig::quick();
+    base.seed = 9300 + seed;
+    let manager = SessionManager::new(base, None, DEFAULT_DATASET);
+    // A tiny queue so a burst of eight commands is 100% fill — Critical
+    // territory under the default policy.
+    let queue = Arc::new(CommandQueue::with_capacity(8));
+    let tuning = SchedulerTuning {
+        mailbox_depth: 4,
+        policy: OverloadPolicy::default(),
+        turn_slo: Duration::from_millis(250),
+        alloc_budget: 0,
+    };
+    let mut sched = TickScheduler::with_tuning(manager, Arc::clone(&queue), tuning);
+
+    open_session(&mut sched, &queue, "idle");
+    open_session(&mut sched, &queue, "busy");
+    // Make `busy` more recently active than `idle`, so shedding has an
+    // unambiguous least-recently-active victim.
+    clock.advance(Duration::from_millis(10));
+    let (tx, rx) = channel();
+    queue
+        .push(Command::turn("busy", "I want to predict 'label'", tx))
+        .ok()
+        .unwrap();
+    while rx.try_recv().is_err() {
+        sched.tick();
+    }
+
+    let mut levels = vec![sched.load_level().name()];
+    let observe = |sched: &TickScheduler, levels: &mut Vec<&'static str>| {
+        let level = sched.load_level().name();
+        if levels.last() != Some(&level) {
+            levels.push(level);
+        }
+    };
+    assert_eq!(levels, ["nominal"], "pre-flood baseline");
+
+    // Flood: fill the command queue to the brim in one burst. The next
+    // tick samples 100% queue fill -> Critical.
+    let mut waiting = Vec::new();
+    for i in 0..queue.capacity() {
+        let (tx, rx) = channel();
+        queue
+            .push(Command::turn("busy", format!("flood {i}"), tx))
+            .ok()
+            .unwrap();
+        waiting.push(rx);
+    }
+    sched.tick();
+    observe(&sched, &mut levels);
+    assert_eq!(sched.load_level(), LoadLevel::Critical, "flood peak");
+
+    // Exactly one session was shed — the least-recently-active one — and
+    // pressure already being drained means no further victims.
+    let (tx, rx) = channel();
+    queue.push(Command::Sessions { reply: tx }).ok().unwrap();
+    while rx.try_recv().is_err() {
+        sched.tick();
+    }
+    // Drain the remaining mailbox turns without advancing the clock, so
+    // their latencies stay far below the SLO.
+    for _ in 0..16 {
+        sched.tick();
+        observe(&sched, &mut levels);
+    }
+    let mut survivors: Vec<String> = Vec::new();
+    let (tx, rx) = channel();
+    queue.push(Command::Sessions { reply: tx }).ok().unwrap();
+    loop {
+        match rx.try_recv() {
+            Ok(listing) => {
+                assert!(listing.contains("\"load_level\":"), "{listing}");
+                for id in ["idle", "busy"] {
+                    if listing.contains(&format!("\"id\":\"{id}\"")) {
+                        survivors.push(id.to_string());
+                    }
+                }
+                break;
+            }
+            Err(_) => {
+                sched.tick();
+            }
+        }
+    }
+    assert_eq!(survivors, ["busy"], "the LRA session is shed, no other");
+
+    // Recovery: calm ticks past the downgrade hold land back at Nominal.
+    // Two hold windows are needed — the first downgrade lands on the worst
+    // sample in its streak (the drain phase's Saturated mailbox), the
+    // second on Nominal.
+    for _ in 0..8 {
+        clock.advance(Duration::from_millis(300));
+        sched.tick();
+        observe(&sched, &mut levels);
+    }
+    assert_eq!(sched.load_level(), LoadLevel::Nominal, "{levels:?}");
+
+    // The surviving session's next reply narrates the episode.
+    let (tx, rx) = channel();
+    queue.push(Command::turn("busy", "yes", tx)).ok().unwrap();
+    let reply = loop {
+        match rx.try_recv() {
+            Ok(reply) => break reply,
+            Err(_) => {
+                sched.tick();
+            }
+        }
+    };
+    assert!(reply_ok(&reply), "{reply}");
+    assert!(
+        reply.contains("\"notice\":\""),
+        "brownout narration must ride the next reply: {reply}"
+    );
+
+    // Flood bounces were typed; queued-then-shed turns got the shedding
+    // reason. Every waiter got *some* terminal answer.
+    let mut outcomes = Vec::new();
+    for rx in waiting {
+        let frame = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        outcomes.push(frame);
+    }
+    assert!(
+        outcomes
+            .iter()
+            .all(|f| reply_ok(f) || f.contains("\"code\":\"overloaded\"")),
+        "{outcomes:?}"
+    );
+    assert!(
+        outcomes.iter().any(|f| f.contains("overloaded")),
+        "a full-queue burst must bounce someone: {outcomes:?}"
+    );
+    (levels, survivors)
+}
+
+#[test]
+fn brownout_trajectory_is_deterministic_across_chaos_seeds() {
+    let _serial = serial();
+    let mut baseline: Option<(Vec<&'static str>, Vec<String>)> = None;
+    for seed in 1..=3 {
+        let episode = overload_episode(seed);
+        assert_eq!(episode.0.first(), Some(&"nominal"), "{episode:?}");
+        assert!(episode.0.contains(&"critical"), "{episode:?}");
+        assert_eq!(episode.0.last(), Some(&"nominal"), "{episode:?}");
+        match &baseline {
+            None => baseline = Some(episode),
+            Some(expected) => {
+                assert_eq!(
+                    expected, &episode,
+                    "overload trajectory must not depend on the chaos seed"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. The TCP door: auth opacity, then a full conversation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tcp_auth_refusals_are_opaque_and_the_token_unlocks_a_conversation() {
+    let _serial = serial();
+    let socket = temp_path("tcp", ".sock");
+    let mut config = DaemonConfig::new(&socket);
+    config.platform.seed = 9400 + chaos_seed();
+    config.tcp = Some("127.0.0.1:0".to_string());
+    config.token = Some("correct horse".to_string());
+    let daemon = Daemon::start(config).unwrap();
+    let addr = daemon.tcp_addr().expect("tcp door configured");
+
+    // Wrong token, then wrong op, on one probing connection: the refusals
+    // must be byte-identical — the reply channel reveals nothing about
+    // *why* the frame was refused.
+    let mut probe = DaemonClient::connect_tcp(&addr.to_string()).unwrap();
+    let wrong_token = probe.auth("incorrect horse").unwrap();
+    let wrong_op = probe.ping().unwrap();
+    assert_eq!(wrong_token, wrong_op, "auth refusals must be opaque");
+    assert!(wrong_token.contains("unauthorized"), "{wrong_token}");
+    drop(probe);
+
+    // The right token unlocks the full protocol.
+    let mut client = DaemonClient::connect_tcp(&addr.to_string()).unwrap();
+    let granted = client.auth("correct horse").unwrap();
+    assert!(granted.contains("\"authenticated\":true"), "{granted}");
+    let opened = client.open("remote", "what drives label?").unwrap();
+    assert!(reply_ok(&opened), "{opened}");
+    let turned = client.turn("remote", "I want to predict 'label'").unwrap();
+    assert!(reply_ok(&turned), "{turned}");
+    let listing = client.sessions().unwrap();
+    assert!(listing.contains("\"id\":\"remote\""), "{listing}");
+    assert!(listing.contains("\"load_level\":"), "{listing}");
+
+    daemon.shutdown();
+    std::fs::remove_file(&socket).ok();
+}
+
+#[test]
+fn tcp_without_a_token_is_refused_at_startup() {
+    let _serial = serial();
+    let socket = temp_path("tcp-notoken", ".sock");
+    let mut config = DaemonConfig::new(&socket);
+    config.tcp = Some("127.0.0.1:0".to_string());
+    config.token = None;
+    match Daemon::start(config) {
+        Err(e) => assert!(e.to_string().contains("without a token"), "{e}"),
+        Ok(daemon) => {
+            daemon.shutdown();
+            panic!("tokenless TCP exposure must be refused");
+        }
+    }
+    std::fs::remove_file(&socket).ok();
+}
